@@ -1,0 +1,187 @@
+//! Interprocedural constants and symbolics.
+//!
+//! Top-down pass: a formal parameter of `P` is a known constant when every
+//! call site of `P` passes the same constant value (after the caller's own
+//! constants are folded). This is what lets the compiler treat a problem
+//! size `n` threaded through the call chain (dgefa → daxpy) as a
+//! compile-time constant, so loop bounds and overlap offsets stay
+//! analyzable.
+
+use crate::acg::Acg;
+use fortrand_frontend::ast::Expr;
+use fortrand_frontend::sema::{fold_const, ProgramInfo};
+use fortrand_ir::Sym;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-unit constant formals discovered interprocedurally.
+#[derive(Clone, Debug, Default)]
+pub struct InterConsts {
+    /// `(unit, formal) → value`.
+    pub formals: BTreeMap<(Sym, Sym), i64>,
+}
+
+impl InterConsts {
+    /// The full constant environment for one unit: its own `PARAMETER`s
+    /// plus interprocedurally-known formals.
+    pub fn params_for(&self, unit: Sym, info: &ProgramInfo) -> BTreeMap<Sym, i64> {
+        let mut m = info.unit(unit).params.clone();
+        for (&(u, f), &v) in &self.formals {
+            if u == unit {
+                m.insert(f, v);
+            }
+        }
+        m
+    }
+}
+
+/// Computes interprocedural constants top-down.
+pub fn compute(info: &ProgramInfo, acg: &Acg) -> InterConsts {
+    let mut out = InterConsts::default();
+    // Keys that appeared at some call site with a conflicting or
+    // non-constant actual: permanently not constant.
+    let mut poisoned: BTreeSet<(Sym, Sym)> = BTreeSet::new();
+    for &unit in &acg.topo {
+        let env = out.params_for(unit, info);
+        for edge in acg.calls.get(&unit).into_iter().flatten() {
+            let callee_formals = info.unit(edge.callee).formals.clone();
+            for (i, &f) in callee_formals.iter().enumerate() {
+                let key = (edge.callee, f);
+                if poisoned.contains(&key) {
+                    continue;
+                }
+                let val = edge.actuals.get(i).and_then(|e| match e {
+                    Expr::Int(_) | Expr::Var(_) | Expr::Bin { .. } | Expr::Un { .. } => {
+                        fold_const(e, &env)
+                    }
+                    _ => None,
+                });
+                match (out.formals.get(&key).copied(), val) {
+                    (None, Some(v)) => {
+                        out.formals.insert(key, v);
+                    }
+                    (Some(prev), Some(v)) if prev == v => {}
+                    _ => {
+                        out.formals.remove(&key);
+                        poisoned.insert(key);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acg::build_acg;
+    use fortrand_frontend::load_program;
+
+    fn setup(src: &str) -> (fortrand_frontend::SourceProgram, ProgramInfo, InterConsts) {
+        let (p, info) = load_program(src).unwrap();
+        let acg = build_acg(&p, &info).unwrap();
+        let c = compute(&info, &acg);
+        (p, info, c)
+    }
+
+    #[test]
+    fn constant_threaded_through_chain() {
+        let (p, info, c) = setup(
+            "
+      PROGRAM main
+      PARAMETER (n = 64)
+      call a(n)
+      END
+      SUBROUTINE a(m)
+      INTEGER m
+      call b(m)
+      END
+      SUBROUTINE b(q)
+      INTEGER q
+      END
+",
+        );
+        let a = p.interner.get("a").unwrap();
+        let b = p.interner.get("b").unwrap();
+        let m = p.interner.get("m").unwrap();
+        let q = p.interner.get("q").unwrap();
+        assert_eq!(c.formals.get(&(a, m)), Some(&64));
+        assert_eq!(c.formals.get(&(b, q)), Some(&64));
+        assert_eq!(c.params_for(b, &info)[&q], 64);
+    }
+
+    #[test]
+    fn conflicting_sites_drop_constant() {
+        let (p, _, c) = setup(
+            "
+      PROGRAM main
+      call a(1)
+      call a(2)
+      END
+      SUBROUTINE a(m)
+      INTEGER m
+      END
+",
+        );
+        let a = p.interner.get("a").unwrap();
+        let m = p.interner.get("m").unwrap();
+        assert_eq!(c.formals.get(&(a, m)), None);
+    }
+
+    #[test]
+    fn loop_index_actual_is_not_constant() {
+        let (p, _, c) = setup(
+            "
+      PROGRAM main
+      do i = 1, 10
+        call a(i)
+      enddo
+      END
+      SUBROUTINE a(m)
+      INTEGER m
+      END
+",
+        );
+        let a = p.interner.get("a").unwrap();
+        let m = p.interner.get("m").unwrap();
+        assert_eq!(c.formals.get(&(a, m)), None);
+    }
+
+    #[test]
+    fn folded_expression_actual() {
+        let (p, _, c) = setup(
+            "
+      PROGRAM main
+      PARAMETER (n = 10)
+      call a(2*n + 1)
+      END
+      SUBROUTINE a(m)
+      INTEGER m
+      END
+",
+        );
+        let a = p.interner.get("a").unwrap();
+        let m = p.interner.get("m").unwrap();
+        assert_eq!(c.formals.get(&(a, m)), Some(&21));
+    }
+
+    #[test]
+    fn conflict_then_constant_stays_poisoned() {
+        let (p, _, c) = setup(
+            "
+      PROGRAM main
+      do i = 1, 10
+        call a(i)
+      enddo
+      call a(5)
+      END
+      SUBROUTINE a(m)
+      INTEGER m
+      END
+",
+        );
+        let a = p.interner.get("a").unwrap();
+        let m = p.interner.get("m").unwrap();
+        assert_eq!(c.formals.get(&(a, m)), None);
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared source-program fixtures: executable versions of the paper's
+//! example figures. The paper's abstract right-hand side `F(…)` is replaced
+//! by concrete arithmetic (`0.5 * …`) so the programs run; everything
+//! placement-relevant (declarations, decompositions, loop structure, call
+//! structure) matches the figures exactly.
+
+/// Figure 1: simple Fortran D program — `P1` distributes `X(BLOCK)` and
+/// `F1` computes `X(i) = F(X(i+5))` without knowing the decomposition.
+pub const FIG1: &str = "
+      PROGRAM P1
+      REAL X(100)
+      PARAMETER (n$proc = 4)
+      DISTRIBUTE X(BLOCK)
+      call F1(X)
+      END
+      SUBROUTINE F1(X)
+      REAL X(100)
+      do i = 1,95
+        X(i) = 0.5 * X(i+5)
+      enddo
+      END
+";
+
+/// Figure 4: interprocedural example — `X` row-block-distributed, `Y`
+/// transpose-aligned with `X` (hence effectively column-distributed); `F1`
+/// is invoked with both and forwards to `F2`, which owns the `k` loop.
+pub const FIG4: &str = "
+      PROGRAM P1
+      REAL X(100,100), Y(100,100)
+      PARAMETER (n$proc = 4)
+      ALIGN Y(i,j) with X(j,i)
+      DISTRIBUTE X(BLOCK,:)
+      do i = 1,100
+        call F1(X,i)
+      enddo
+      do j = 1,100
+        call F1(Y,j)
+      enddo
+      END
+      SUBROUTINE F1(Z,i)
+      REAL Z(100,100)
+      INTEGER i
+      call F2(Z,i)
+      END
+      SUBROUTINE F2(Z,i)
+      REAL Z(100,100)
+      INTEGER i
+      do k = 1,95
+        Z(k,i) = 0.5 * Z(k+5,i)
+      enddo
+      END
+";
+
+/// Figure 15: dynamic data decomposition — `X` starts `BLOCK`, `F1`
+/// redistributes it `CYCLIC` inside a time-step loop, `F2` only reads it.
+/// `T` controls the trip count (kept as a parameter for benchmarks).
+pub const FIG15: &str = "
+      PROGRAM P1
+      REAL X(100)
+      PARAMETER (n$proc = 4)
+      PARAMETER (t = 4)
+      DISTRIBUTE X(BLOCK)
+      do k = 1,t
+        call F1(X)
+        call F1(X)
+      enddo
+      call F2(X)
+      END
+      SUBROUTINE F1(X)
+      REAL X(100)
+      DISTRIBUTE X(CYCLIC)
+      do i = 1,100
+        X(i) = X(i) + 1.0
+      enddo
+      END
+      SUBROUTINE F2(X)
+      REAL X(100)
+      do i = 1,100
+        X(i) = 1.5
+      enddo
+      END
+";

@@ -1,0 +1,461 @@
+//! Reaching decompositions (paper §5.2, Figs. 6–7).
+//!
+//! Determines, for every array at every program point, the set of data
+//! decomposition specifications that may reach it. Locally it is a forward
+//! problem over the structured control flow (each `ALIGN`/`DISTRIBUTE` is a
+//! "definition"); interprocedurally it is solved in one *top-down* pass
+//! over the call graph because Fortran D scopes dynamic decomposition to
+//! the current procedure and its descendants — a callee's changes are
+//! undone on return, so a procedure's reaching decompositions depend only
+//! on its callers.
+//!
+//! The inherited placeholder `⊤` of the paper is [`DecompEntry::Inherited`];
+//! after propagation it is expanded from the callee's `Reaching` set.
+
+use crate::acg::Acg;
+use fortrand_frontend::ast::{SourceProgram, Stmt, StmtId, StmtKind};
+use fortrand_frontend::sema::ProgramInfo;
+use fortrand_ir::dist::{Alignment, ArrayDist, DistKind, Distribution};
+use fortrand_ir::Sym;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A fully-resolved decomposition specification for one array: the
+/// decomposition extents, its distribution kinds, and the array's alignment
+/// onto it. Two arrays with equal `DecompSpec`s are partitioned
+/// identically.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct DecompSpec {
+    /// Decomposition extents.
+    pub extents: Vec<i64>,
+    /// Per-decomposition-dimension distribution kinds.
+    pub kinds: Vec<DistKind>,
+    /// Array → decomposition alignment.
+    pub align: Alignment,
+}
+
+impl DecompSpec {
+    /// Builds the effective [`ArrayDist`] for an array with these extents
+    /// on `nprocs` processors.
+    pub fn array_dist(&self, array_extents: &[i64], nprocs: usize) -> ArrayDist {
+        ArrayDist::new(
+            array_extents,
+            &self.align,
+            &self.extents,
+            &Distribution { kinds: self.kinds.clone(), nprocs },
+        )
+    }
+
+    /// Paper-style spelling in array dimension order, e.g. `(block,:)` for
+    /// an identity-aligned row distribution or `(:,block)` for the
+    /// transpose-aligned case of Fig. 7.
+    pub fn spelling(&self) -> String {
+        let parts: Vec<String> = self
+            .align
+            .perm
+            .iter()
+            .map(|&dd| self.kinds.get(dd).copied().unwrap_or(DistKind::Serial).spelling().to_lowercase())
+            .collect();
+        format!("({})", parts.join(","))
+    }
+}
+
+/// One element of a reaching set.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum DecompEntry {
+    /// The paper's `⊤`: a decomposition inherited from the caller.
+    Inherited,
+    /// A concrete specification.
+    Spec(DecompSpec),
+}
+
+/// Reaching set for one variable.
+pub type DecompSet = BTreeSet<DecompEntry>;
+
+/// Results of the analysis.
+#[derive(Clone, Debug, Default)]
+pub struct ReachingDecomps {
+    /// `Reaching(P)`: decompositions reaching each unit's formals from all
+    /// callers (fully expanded — no `Inherited` entries remain).
+    pub reaching: BTreeMap<Sym, BTreeMap<Sym, BTreeSet<DecompSpec>>>,
+    /// Expanded reaching sets *before* each statement, per unit.
+    pub before_stmt: BTreeMap<(Sym, StmtId), BTreeMap<Sym, BTreeSet<DecompSpec>>>,
+    /// `LocalReaching(C)` per call site, translated to callee formals,
+    /// expanded.
+    pub at_call: BTreeMap<StmtId, BTreeMap<Sym, BTreeSet<DecompSpec>>>,
+}
+
+impl ReachingDecomps {
+    /// The unique decomposition of `var` at `stmt` in `unit`, if exactly
+    /// one reaches (the post-cloning invariant).
+    pub fn unique_at(&self, unit: Sym, stmt: StmtId, var: Sym) -> Option<&DecompSpec> {
+        let m = self.before_stmt.get(&(unit, stmt))?;
+        let set = m.get(&var)?;
+        if set.len() == 1 {
+            set.iter().next()
+        } else {
+            None
+        }
+    }
+}
+
+/// Where an array is currently aligned.
+#[derive(Clone, PartialEq, Debug)]
+struct AlignBinding {
+    /// Decomposition (or implicitly-decomposed array) name.
+    target: Sym,
+    /// Alignment onto it.
+    align: Alignment,
+}
+
+/// Flow state within one unit.
+#[derive(Clone, PartialEq, Debug, Default)]
+struct State {
+    /// Per-array reaching set.
+    val: BTreeMap<Sym, DecompSet>,
+    /// Per-array current alignment.
+    aligned: BTreeMap<Sym, AlignBinding>,
+    /// Last distribution seen per decomposition target.
+    dist_of: BTreeMap<Sym, Vec<DistKind>>,
+}
+
+impl State {
+    fn merge(&mut self, other: &State) {
+        for (k, v) in &other.val {
+            self.val.entry(*k).or_default().extend(v.iter().cloned());
+        }
+        // Alignment conflicts collapse to "unknown": drop the binding so a
+        // later DISTRIBUTE of the target no longer updates the array.
+        let keys: Vec<Sym> = self.aligned.keys().copied().collect();
+        for k in keys {
+            if other.aligned.get(&k) != self.aligned.get(&k) {
+                self.aligned.remove(&k);
+            }
+        }
+        let dkeys: Vec<Sym> = self.dist_of.keys().copied().collect();
+        for k in dkeys {
+            if other.dist_of.get(&k) != self.dist_of.get(&k) {
+                self.dist_of.remove(&k);
+            }
+        }
+    }
+}
+
+/// Runs the full interprocedural analysis (Fig. 6's three phases fused:
+/// the call graph is already built, units are visited in topological order,
+/// and per-statement sets are recorded in the same walk).
+pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> ReachingDecomps {
+    let mut out = ReachingDecomps::default();
+
+    for &unit_name in &acg.topo {
+        let unit = prog.unit(unit_name).expect("unit");
+        let ui = info.unit(unit_name);
+
+        // Entry state: formals inherit (expanded immediately from
+        // Reaching, which is complete because callers were processed
+        // first); locals start replicated (empty set).
+        let reaching_here: BTreeMap<Sym, BTreeSet<DecompSpec>> = out
+            .reaching
+            .get(&unit_name)
+            .cloned()
+            .unwrap_or_default();
+        let mut st = State::default();
+        for (&v, vi) in &ui.vars {
+            if vi.is_array() {
+                let set = if vi.is_formal {
+                    reaching_here
+                        .get(&v)
+                        .map(|s| s.iter().cloned().map(DecompEntry::Spec).collect())
+                        .unwrap_or_default()
+                } else {
+                    DecompSet::new()
+                };
+                st.val.insert(v, set);
+                st.aligned
+                    .insert(v, AlignBinding { target: v, align: Alignment::identity(vi.rank()) });
+            }
+        }
+
+        let mut walker = Walker { prog, info, unit_name, out: &mut out };
+        walker.exec_body(&unit.body, &mut st);
+
+        // Push LocalReaching to callees: Reaching(callee) ∪= translate(...).
+        for edge in acg.calls.get(&unit_name).into_iter().flatten() {
+            let at = out.at_call.get(&edge.site).cloned().unwrap_or_default();
+            let entry = out.reaching.entry(edge.callee).or_default();
+            for (formal, specs) in at {
+                entry.entry(formal).or_default().extend(specs);
+            }
+        }
+    }
+    out
+}
+
+struct Walker<'a> {
+    prog: &'a SourceProgram,
+    info: &'a ProgramInfo,
+    unit_name: Sym,
+    out: &'a mut ReachingDecomps,
+}
+
+impl Walker<'_> {
+    fn record(&mut self, stmt: StmtId, st: &State) {
+        let expanded: BTreeMap<Sym, BTreeSet<DecompSpec>> = st
+            .val
+            .iter()
+            .map(|(&v, set)| {
+                (
+                    v,
+                    set.iter()
+                        .filter_map(|e| match e {
+                            DecompEntry::Spec(s) => Some(s.clone()),
+                            DecompEntry::Inherited => None,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        self.out.before_stmt.insert((self.unit_name, stmt), expanded);
+    }
+
+    fn exec_body(&mut self, body: &[Stmt], st: &mut State) {
+        for s in body {
+            self.record(s.id, st);
+            self.exec_stmt(s, st);
+        }
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, st: &mut State) {
+        let ui = self.info.unit(self.unit_name);
+        match &s.kind {
+            StmtKind::Align { array, target, perm, offset } => {
+                st.aligned.insert(
+                    *array,
+                    AlignBinding {
+                        target: *target,
+                        align: Alignment { perm: perm.clone(), offset: offset.clone() },
+                    },
+                );
+                // If the target is already distributed, the array picks up
+                // that distribution immediately.
+                if let Some(kinds) = st.dist_of.get(target).cloned() {
+                    let extents = self.target_extents(*target);
+                    st.val.insert(
+                        *array,
+                        [DecompEntry::Spec(DecompSpec {
+                            extents,
+                            kinds,
+                            align: Alignment { perm: perm.clone(), offset: offset.clone() },
+                        })]
+                        .into(),
+                    );
+                }
+            }
+            StmtKind::Distribute { target, kinds } => {
+                st.dist_of.insert(*target, kinds.clone());
+                let extents = self.target_extents(*target);
+                // Every array currently aligned to the target (including the
+                // target itself if it is an array) is re-specified.
+                let affected: Vec<(Sym, Alignment)> = st
+                    .aligned
+                    .iter()
+                    .filter(|(_, b)| b.target == *target)
+                    .map(|(&a, b)| (a, b.align.clone()))
+                    .collect();
+                for (a, align) in affected {
+                    st.val.insert(
+                        a,
+                        [DecompEntry::Spec(DecompSpec {
+                            extents: extents.clone(),
+                            kinds: kinds.clone(),
+                            align,
+                        })]
+                        .into(),
+                    );
+                }
+                let _ = ui;
+            }
+            StmtKind::Do { body, .. } => {
+                // Loop: iterate to fixpoint (the lattice is small and the
+                // transfer functions are monotone after the first kill).
+                loop {
+                    let before = st.clone();
+                    self.exec_body(body, st);
+                    st.merge(&before);
+                    if *st == before {
+                        break;
+                    }
+                }
+            }
+            StmtKind::If { then_body, else_body, .. } => {
+                let mut st_else = st.clone();
+                self.exec_body(then_body, st);
+                self.exec_body(else_body, &mut st_else);
+                st.merge(&st_else);
+            }
+            StmtKind::Call { name, args } => {
+                // LocalReaching(C), translated to callee formals.
+                let callee_info = self.info.unit(*name);
+                let mut translated: BTreeMap<Sym, BTreeSet<DecompSpec>> = BTreeMap::new();
+                for (i, a) in args.iter().enumerate() {
+                    if let fortrand_frontend::ast::Expr::Var(v) = a {
+                        if let Some(set) = st.val.get(v) {
+                            let formal = callee_info.formals[i];
+                            let specs: BTreeSet<DecompSpec> = set
+                                .iter()
+                                .filter_map(|e| match e {
+                                    DecompEntry::Spec(s) => Some(s.clone()),
+                                    DecompEntry::Inherited => None,
+                                })
+                                .collect();
+                            translated.entry(formal).or_default().extend(specs);
+                        }
+                    }
+                }
+                let prev = self.out.at_call.entry(s.id).or_default();
+                for (f, set) in translated {
+                    prev.entry(f).or_default().extend(set);
+                }
+                // The callee may dynamically remap, but its effects are
+                // undone on return (Fortran D scoping) — caller state is
+                // unchanged.
+            }
+            _ => {}
+        }
+    }
+
+    /// Extents of a decomposition target: declared decomposition extents,
+    /// or the array's own dims for implicit decompositions.
+    fn target_extents(&self, target: Sym) -> Vec<i64> {
+        let ui = self.info.unit(self.unit_name);
+        if let Some(e) = ui.decomps.get(&target) {
+            return e.clone();
+        }
+        if let Some(v) = ui.var(target) {
+            return v.dims.clone();
+        }
+        let _ = self.prog;
+        vec![]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acg::build_acg;
+    use crate::fixtures::{FIG1, FIG15, FIG4};
+    use fortrand_frontend::load_program;
+
+    fn setup(src: &str) -> (fortrand_frontend::SourceProgram, ProgramInfo, ReachingDecomps) {
+        let (p, info) = load_program(src).unwrap();
+        let acg = build_acg(&p, &info).unwrap();
+        let rd = compute(&p, &info, &acg);
+        (p, info, rd)
+    }
+
+    #[test]
+    fn fig1_block_reaches_f1() {
+        let (p, _, rd) = setup(FIG1);
+        let f1 = p.interner.get("f1").unwrap();
+        let x = p.interner.get("x").unwrap();
+        let specs = &rd.reaching[&f1][&x];
+        assert_eq!(specs.len(), 1);
+        let s = specs.iter().next().unwrap();
+        assert_eq!(s.kinds, vec![DistKind::Block]);
+        assert_eq!(s.extents, vec![100]);
+        assert!(s.align.is_identity());
+    }
+
+    /// The paper's Figure 7: Reaching(F1) = row-block (from X at S1) ∪
+    /// column-block (from transpose-aligned Y at S2); Reaching(F2) the same.
+    #[test]
+    fn fig7_reaching_sets() {
+        let (p, _, rd) = setup(FIG4);
+        let f1 = p.interner.get("f1").unwrap();
+        let f2 = p.interner.get("f2").unwrap();
+        let z = p.interner.get("z").unwrap();
+        let r1 = &rd.reaching[&f1][&z];
+        assert_eq!(r1.len(), 2, "{r1:?}");
+        let spellings: Vec<String> = r1.iter().map(|s| s.spelling()).collect();
+        assert!(spellings.contains(&"(block,:)".to_string()), "{spellings:?}");
+        assert!(spellings.contains(&"(:,block)".to_string()), "{spellings:?}");
+        assert_eq!(&rd.reaching[&f1][&z], &rd.reaching[&f2][&z]);
+    }
+
+    #[test]
+    fn fig15_local_redistribution_kills() {
+        let (p, _, rd) = setup(FIG15);
+        let f1 = p.interner.get("f1").unwrap();
+        let x = p.interner.get("x").unwrap();
+        // Block reaches F1 from the caller…
+        let specs = &rd.reaching[&f1][&x];
+        assert_eq!(specs.iter().map(|s| s.spelling()).collect::<Vec<_>>(), vec!["(block)"]);
+        // …but inside F1, after DISTRIBUTE X(CYCLIC), the loop sees cyclic
+        // only. Find F1's DO statement.
+        let f1_unit = p.unit(f1).unwrap();
+        let do_stmt = f1_unit
+            .walk()
+            .find(|s| matches!(s.kind, fortrand_frontend::StmtKind::Do { .. }))
+            .unwrap();
+        let at = &rd.before_stmt[&(f1, do_stmt.id)][&x];
+        assert_eq!(at.len(), 1);
+        assert_eq!(at.iter().next().unwrap().kinds, vec![DistKind::Cyclic]);
+    }
+
+    #[test]
+    fn main_locals_without_distribute_are_replicated() {
+        let (p, _, rd) = setup(
+            "
+      PROGRAM P
+      REAL a(10)
+      a(1) = 0.0
+      END
+",
+        );
+        let pn = p.interner.get("p").unwrap();
+        let a = p.interner.get("a").unwrap();
+        let first = p.unit(pn).unwrap().body[0].id;
+        assert!(rd.before_stmt[&(pn, first)][&a].is_empty());
+    }
+
+    #[test]
+    fn distribute_after_if_merges_paths() {
+        let (p, _, rd) = setup(
+            "
+      PROGRAM P
+      PARAMETER (n$proc = 2)
+      REAL a(10)
+      INTEGER c
+      c = 1
+      if (c .gt. 0) then
+        DISTRIBUTE a(BLOCK)
+      else
+        DISTRIBUTE a(CYCLIC)
+      endif
+      a(1) = 0.0
+      END
+",
+        );
+        let pn = p.interner.get("p").unwrap();
+        let a = p.interner.get("a").unwrap();
+        let unit = p.unit(pn).unwrap();
+        let assign = unit
+            .body
+            .iter()
+            .rev()
+            .find(|s| matches!(s.kind, fortrand_frontend::StmtKind::Assign { .. }))
+            .unwrap();
+        let set = &rd.before_stmt[&(pn, assign.id)][&a];
+        assert_eq!(set.len(), 2, "{set:?}");
+    }
+
+    #[test]
+    fn unique_at_detects_multiplicity() {
+        let (p, _, rd) = setup(FIG4);
+        let f2 = p.interner.get("f2").unwrap();
+        let z = p.interner.get("z").unwrap();
+        let unit = p.unit(f2).unwrap();
+        let stmt = unit.body[0].id;
+        // Two decompositions reach F2's Z — not unique (cloning needed).
+        assert!(rd.unique_at(f2, stmt, z).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion bench for the compiler itself: full-pipeline compilation
+//! throughput on the corpus programs (parse → interprocedural analysis →
+//! cloning → code generation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortrand::corpus::dgefa_source;
+use fortrand::{compile, CompileOptions, Strategy};
+use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    let dgefa = dgefa_source(64, 8);
+    for (name, src) in [
+        ("fig1", FIG1),
+        ("fig4", FIG4),
+        ("fig15", FIG15),
+        ("dgefa", dgefa.as_str()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("interprocedural", name), &src, |b, src| {
+            b.iter(|| compile(src, &CompileOptions::default()).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("runtime-res", name), &src, |b, src| {
+            b.iter(|| {
+                compile(
+                    src,
+                    &CompileOptions {
+                        strategy: Strategy::RuntimeResolution,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for experiment `fig10-vs-fig12`: delayed vs immediate
+//! instantiation across the enclosing trip count (§5.5's 1-vs-100-message
+//! contrast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortrand::corpus::fig4_source;
+use fortrand::{DynOptLevel, Strategy};
+use fortrand_bench::simulate;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delayed_instantiation");
+    g.sample_size(10);
+    for &trips in &[20i64, 100] {
+        let src = fig4_source(trips, 4);
+        for (name, strategy) in [
+            ("interprocedural", Strategy::Interprocedural),
+            ("immediate", Strategy::Immediate),
+        ] {
+            let s = simulate(&src, strategy, DynOptLevel::Kills, 4);
+            eprintln!(
+                "[sim] delayed trips={trips} {name}: {:.3} ms, {} msgs",
+                s.time_ms(),
+                s.total_msgs
+            );
+            g.bench_with_input(BenchmarkId::new(name, trips), &src, |b, src| {
+                b.iter(|| simulate(src, strategy, DynOptLevel::Kills, 4));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

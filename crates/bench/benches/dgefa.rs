@@ -1,0 +1,49 @@
+//! Criterion bench for the §9 dgefa case study: LU factorization under
+//! the three strategies at several processor counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortrand::corpus::{dgefa_matrix, dgefa_source};
+use fortrand::{DynOptLevel, Strategy};
+use fortrand_bench::simulate_with;
+use std::collections::BTreeMap;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dgefa");
+    g.sample_size(10);
+    let n = 48i64;
+    let mut init = BTreeMap::new();
+    init.insert("a", dgefa_matrix(n));
+    for &p in &[1usize, 4] {
+        let src = dgefa_source(n, p);
+        for (name, strategy) in [
+            ("interprocedural", Strategy::Interprocedural),
+            ("immediate", Strategy::Immediate),
+            ("runtime-res", Strategy::RuntimeResolution),
+        ] {
+            // Runtime resolution at n=48 is very slow by design; bench a
+            // smaller instance for it.
+            let (bn, bsrc, binit) = if strategy == Strategy::RuntimeResolution {
+                let bn = 16i64;
+                let mut bi = BTreeMap::new();
+                bi.insert("a", dgefa_matrix(bn));
+                (bn, dgefa_source(bn, p), bi)
+            } else {
+                (n, src.clone(), init.clone())
+            };
+            let s = simulate_with(&bsrc, strategy, DynOptLevel::Kills, p, &binit);
+            eprintln!(
+                "[sim] dgefa n={bn} p={p} {name}: {:.3} ms, {} msgs, {} bytes",
+                s.time_ms(),
+                s.total_msgs,
+                s.total_bytes
+            );
+            g.bench_with_input(BenchmarkId::new(format!("{name}/p{p}"), bn), &bsrc, |b, src| {
+                b.iter(|| simulate_with(src, strategy, DynOptLevel::Kills, p, &binit));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for experiment `fig16-perf`: dynamic-decomposition
+//! optimization levels over the Fig. 15 time-step loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortrand::corpus::fig15_source;
+use fortrand::{DynOptLevel, Strategy};
+use fortrand_bench::simulate;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remap_optimization");
+    g.sample_size(10);
+    let src = fig15_source(8, 4);
+    for (name, lvl) in [
+        ("16a-none", DynOptLevel::None),
+        ("16b-live", DynOptLevel::Live),
+        ("16c-hoist", DynOptLevel::Hoist),
+        ("16d-kills", DynOptLevel::Kills),
+    ] {
+        let s = simulate(&src, Strategy::Interprocedural, lvl, 4);
+        eprintln!(
+            "[sim] remap {name}: {:.3} ms, {} remaps, {} msgs",
+            s.time_ms(),
+            s.total_remaps,
+            s.total_msgs
+        );
+        g.bench_with_input(BenchmarkId::new(name, 8), &src, |b, src| {
+            b.iter(|| simulate(src, Strategy::Interprocedural, lvl, 4));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

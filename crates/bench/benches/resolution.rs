@@ -1,0 +1,36 @@
+//! Criterion bench for experiment `fig2-vs-fig3`: compile-time code
+//! generation vs run-time resolution on the Fig. 1 pipeline pattern. The
+//! measured quantity is end-to-end simulation wall time; the simulated
+//! machine metrics (the paper's axis) are printed once per configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortrand::corpus::relax_source;
+use fortrand::{DynOptLevel, Strategy};
+use fortrand_bench::simulate;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resolution");
+    g.sample_size(10);
+    for &n in &[64i64, 256] {
+        let src = relax_source(n, 5, 1, 4);
+        for (name, strategy) in [
+            ("compile-time", Strategy::Interprocedural),
+            ("runtime-res", Strategy::RuntimeResolution),
+        ] {
+            let s = simulate(&src, strategy, DynOptLevel::Kills, 4);
+            eprintln!(
+                "[sim] resolution n={n} {name}: {:.3} ms, {} msgs, {} bytes",
+                s.time_ms(),
+                s.total_msgs,
+                s.total_bytes
+            );
+            g.bench_with_input(BenchmarkId::new(name, n), &src, |b, src| {
+                b.iter(|| simulate(src, strategy, DynOptLevel::Kills, 4));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

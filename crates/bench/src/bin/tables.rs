@@ -1,0 +1,284 @@
+//! Regenerates every table and figure of the paper (DESIGN.md §5 index).
+//!
+//! ```text
+//! cargo run -p fortrand-bench --bin tables -- all
+//! cargo run -p fortrand-bench --bin tables -- fig2 fig3 tab1 sec9
+//! ```
+
+use fortrand::corpus::{dgefa_matrix, dgefa_source};
+use fortrand::recompile::{self, ModuleDb};
+use fortrand::{compile, CompileOptions, DynOptLevel, Strategy};
+use fortrand_analysis::acg::build_acg;
+use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
+use fortrand_analysis::reaching;
+use fortrand_bench::{exp_delayed, exp_dgefa, exp_remap, exp_resolution, render_rows, Row};
+use fortrand_spmd::print::{pretty, pretty_all};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("fig1") {
+        banner("FIG 1 — input program");
+        println!("{}", FIG1.trim());
+    }
+    if want("fig2") {
+        banner("FIG 2 — Fortran D compiler output (interprocedural)");
+        let out = compile(FIG1, &CompileOptions::default()).unwrap();
+        println!("{}", pretty_all(&out.spmd));
+    }
+    if want("fig3") {
+        banner("FIG 3 — run-time resolution output");
+        let out = compile(
+            FIG1,
+            &CompileOptions { strategy: Strategy::RuntimeResolution, ..Default::default() },
+        )
+        .unwrap();
+        println!("{}", pretty_all(&out.spmd));
+    }
+    if want("tab1") {
+        banner("TABLE 1 — interprocedural dataflow problems");
+        println!("{}", fortrand_analysis::registry::render_table1());
+    }
+    if want("fig4") {
+        banner("FIG 4 — input program");
+        println!("{}", FIG4.trim());
+    }
+    if want("fig5") {
+        banner("FIG 5 — augmented call graph");
+        let (prog, info) = fortrand_frontend::load_program(FIG4).unwrap();
+        let acg = build_acg(&prog, &info).unwrap();
+        for &u in &acg.topo {
+            let name = prog.interner.name(u);
+            println!("node {name}");
+            for e in acg.calls.get(&u).into_iter().flatten() {
+                let loops: Vec<String> = e
+                    .loops
+                    .iter()
+                    .map(|l| format!("loop {}", prog.interner.name(l.var)))
+                    .collect();
+                println!(
+                    "  call {} [{}]",
+                    prog.interner.name(e.callee),
+                    if loops.is_empty() { "no enclosing loop".into() } else { loops.join(" > ") }
+                );
+            }
+        }
+        println!("annotations:");
+        for (&(u, f), &(lo, hi)) in &acg.formal_ranges {
+            println!(
+                "  formal {} of {} iterates {lo}:{hi}",
+                prog.interner.name(f),
+                prog.interner.name(u)
+            );
+        }
+    }
+    if want("fig7") {
+        banner("FIG 7 — reaching decompositions for Fig. 4");
+        let (prog, info) = fortrand_frontend::load_program(FIG4).unwrap();
+        let acg = build_acg(&prog, &info).unwrap();
+        let rd = reaching::compute(&prog, &info, &acg);
+        for (unit, vars) in &rd.reaching {
+            for (var, specs) in vars {
+                let spellings: Vec<String> = specs.iter().map(|s| s.spelling()).collect();
+                println!(
+                    "Reaching({}) [{}] = {{ {} }}",
+                    prog.interner.name(*unit),
+                    prog.interner.name(*var),
+                    spellings.join(", ")
+                );
+            }
+        }
+    }
+    if want("fig8") {
+        banner("FIG 8 — procedure cloning for Fig. 4");
+        let out = compile(FIG4, &CompileOptions::default()).unwrap();
+        for (orig, clones) in &out.report.clones {
+            println!("{orig} -> {}", clones.join(", "));
+        }
+    }
+    if want("fig10") {
+        banner("FIG 10 — interprocedural compiler output for Fig. 4");
+        let out = compile(FIG4, &CompileOptions::default()).unwrap();
+        println!("{}", pretty_all(&out.spmd));
+    }
+    if want("fig11") {
+        banner("FIG 11 — communication plan (static counts)");
+        let out = compile(FIG4, &CompileOptions::default()).unwrap();
+        println!(
+            "vectorized section sends: {}   broadcasts: {}   element messages: {}",
+            out.report.static_sends, out.report.static_bcasts, out.report.static_elem_msgs
+        );
+    }
+    if want("fig12") {
+        banner("FIG 12 — immediate instantiation output for Fig. 4");
+        let out = compile(
+            FIG4,
+            &CompileOptions { strategy: Strategy::Immediate, ..Default::default() },
+        )
+        .unwrap();
+        println!("{}", pretty_all(&out.spmd));
+    }
+    if want("fig13") {
+        banner("FIG 13 — overlap offsets for Fig. 4");
+        let (prog, info) = fortrand_frontend::load_program(FIG4).unwrap();
+        let acg = build_acg(&prog, &info).unwrap();
+        let ov = fortrand::overlap::compute(&prog, &info, &acg);
+        for ((unit, array), w) in &ov.widths {
+            let w_str: Vec<String> =
+                w.iter().map(|&(lo, hi)| format!("(-{lo},+{hi})")).collect();
+            println!(
+                "{}::{} overlap {}",
+                prog.interner.name(*unit),
+                prog.interner.name(*array),
+                w_str.join(" x ")
+            );
+        }
+    }
+    if want("fig14") {
+        banner("FIG 14 — parameterized overlaps (computed display form)");
+        // The alternative of §5.6: instead of statically widened formal
+        // declarations, pass each array's (lo, hi) bounds — known after
+        // compiling the main program — as extra run-time arguments. We
+        // render this view from the *computed* overlap table (the
+        // underlying executable codegen uses statically widened bounds).
+        let (prog, info) = fortrand_frontend::load_program(FIG1).unwrap();
+        let acg = build_acg(&prog, &info).unwrap();
+        let ov = fortrand::overlap::compute(&prog, &info, &acg);
+        for u in &prog.units {
+            let name = prog.interner.name(u.name).to_uppercase();
+            let is_main = u.kind == fortrand_frontend::UnitKind::Program;
+            for (&f, vi) in &info.unit(u.name).vars {
+                if !vi.is_array() {
+                    continue;
+                }
+                let fname = prog.interner.name(f).to_uppercase();
+                let (lo_w, hi_w) = ov
+                    .of(u.name, f)
+                    .and_then(|w| w.first().copied())
+                    .unwrap_or((0, 0));
+                // Local block extent on 4 processors.
+                let local = vi.dims[0] / 4;
+                let (lo, hi) = (1 - lo_w, local + hi_w);
+                if is_main {
+                    println!("{name}: REAL {fname}({lo}:{hi}); call F1({fname},{lo},{hi})");
+                } else if vi.is_formal {
+                    println!(
+                        "{name}: SUBROUTINE {name}({fname},{fname}lo,{fname}hi); \
+                         REAL {fname}({fname}lo:{fname}hi)"
+                    );
+                }
+            }
+        }
+    }
+    if want("fig16") {
+        banner("FIG 16 — dynamic decomposition optimization levels");
+        for (label, lvl) in [
+            ("16a no optimization", DynOptLevel::None),
+            ("16b live decompositions", DynOptLevel::Live),
+            ("16c loop-invariant", DynOptLevel::Hoist),
+            ("16d array kills", DynOptLevel::Kills),
+        ] {
+            let out = compile(FIG15, &CompileOptions { dyn_opt: lvl, ..Default::default() })
+                .unwrap();
+            println!(
+                "{label:<26} remap stmts: {}  mark-only: {}",
+                out.report.static_remaps, out.report.static_marks
+            );
+            let main_text = pretty(&out.spmd, out.spmd.main);
+            for line in main_text.lines().filter(|l| l.contains("remap") || l.contains("mark")) {
+                println!("    {}", line.trim());
+            }
+        }
+    }
+    if want("bench-resolution") {
+        banner("EXP fig2-vs-fig3 — compile-time vs run-time resolution");
+        for (label, ct, rt) in exp_resolution(&[64, 256, 1024], 4) {
+            println!("{}", render_rows(&label, "strategy", &[ct, rt]));
+        }
+    }
+    if want("bench-delayed") {
+        banner("EXP fig10-vs-fig12 — delayed vs immediate instantiation");
+        for (label, a, b) in exp_delayed(&[10, 50, 100], 4) {
+            println!("{}", render_rows(&label, "strategy", &[a, b]));
+        }
+    }
+    if want("bench-remap") {
+        banner("EXP fig16-perf — remap optimization levels");
+        for (label, rows) in exp_remap(&[4, 16], 4) {
+            println!("{}", render_rows(&label, "level", &rows));
+        }
+    }
+    if want("ablation-alpha") {
+        banner("ABLATION — message startup cost α vs delayed instantiation win");
+        println!("{:<12} {:>16} {:>16} {:>8}", "alpha (us)", "interproc (us)", "immediate (us)", "ratio");
+        for (a, inter, imm) in
+            fortrand_bench::ablation_alpha(&[0.0, 5.0, 25.0, 75.0, 300.0], 4)
+        {
+            println!("{:<12} {:>16.1} {:>16.1} {:>8.2}", a, inter, imm, imm / inter);
+        }
+    }
+    if want("sec8") {
+        banner("SEC 8 — recompilation analysis scenarios");
+        let base = compile(FIG4, &CompileOptions::default()).unwrap();
+        let db0 = ModuleDb::from_report(&base.report);
+        let scenarios = [
+            ("no edit", FIG4.to_string()),
+            ("local body edit in F2", FIG4.replace("0.5 *", "0.25 *")),
+            (
+                "stencil width edit in F2",
+                FIG4.replace("Z(k+5,i)", "Z(k+7,i)").replace("do k = 1,95", "do k = 1,93"),
+            ),
+            ("distribution edit in P1", FIG4.replace("(BLOCK,:)", "(:,BLOCK)")),
+        ];
+        for (label, src) in scenarios {
+            let out = compile(&src, &CompileOptions::default()).unwrap();
+            let db1 = ModuleDb::from_report(&out.report);
+            let plan = recompile::plan(&db0, &db1);
+            println!(
+                "{label:<28} recompiled {:>2}/{:<2} units  ({})",
+                plan.recompile.len(),
+                plan.recompile.len() + plan.skip.len(),
+                plan.recompile
+                    .iter()
+                    .map(|(k, r)| format!("{k}:{r:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+    if want("sec9") {
+        banner("SEC 9 — dgefa case study (n=64, strategies x processors)");
+        for (p, rows) in exp_dgefa(64, &[1, 2, 4, 8]) {
+            println!("{}", render_rows(&format!("{p} processors"), "strategy", &rows));
+        }
+        banner("SEC 9 — dgefa speedups (interprocedural, n=256)");
+        for (p, s) in
+            fortrand_bench::dgefa_speedups(256, &[1, 2, 4, 8, 16], Strategy::Interprocedural)
+        {
+            println!("p={p:<3} speedup {s:.2}");
+        }
+    }
+    if want("sec9-check") {
+        banner("SEC 9 — dgefa residual check vs sequential");
+        let n = 32;
+        let src = dgefa_source(n, 4);
+        let out = compile(&src, &CompileOptions::default()).unwrap();
+        let machine = fortrand_machine::Machine::new(4);
+        let mut init = std::collections::BTreeMap::new();
+        init.insert(out.spmd.interner.get("a").unwrap(), dgefa_matrix(n));
+        let res = fortrand_spmd::run_spmd(&out.spmd, &machine, &init);
+        println!(
+            "simulated LU (n={n}, p=4): time {:.3} ms, {} msgs, {} bytes",
+            res.stats.time_ms(),
+            res.stats.total_msgs,
+            res.stats.total_bytes
+        );
+        let _ = Row::from_stats("x", &res.stats);
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}

@@ -1,0 +1,371 @@
+//! # fortrand-bench
+//!
+//! Experiment harness: every table and figure of the paper maps to a
+//! function here (see DESIGN.md §5 for the index). The `tables` binary
+//! prints the artifacts; the Criterion benches under `benches/` measure
+//! the compiler and simulator themselves.
+//!
+//! Quantitative experiments report *simulated* machine metrics
+//! (LogGP-model time, message counts, bytes) — the quantities the paper's
+//! iPSC/860 measurements correspond to. See EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+use fortrand::corpus::{dgefa_matrix, dgefa_source, fig15_source, fig4_source, relax_source};
+use fortrand::{compile, CompileOptions, DynOptLevel, Strategy};
+use fortrand_machine::{Machine, RunStats};
+use fortrand_spmd::run_spmd;
+use std::collections::BTreeMap;
+
+/// Compiles and simulates one program; panics on compile errors (the
+/// corpus is known-good).
+pub fn simulate(src: &str, strategy: Strategy, dyn_opt: DynOptLevel, nprocs: usize) -> RunStats {
+    simulate_with(src, strategy, dyn_opt, nprocs, &BTreeMap::new())
+}
+
+/// Like [`simulate`] with named initial arrays (global row-major data).
+pub fn simulate_with(
+    src: &str,
+    strategy: Strategy,
+    dyn_opt: DynOptLevel,
+    nprocs: usize,
+    init_named: &BTreeMap<&str, Vec<f64>>,
+) -> RunStats {
+    let out = compile(
+        src,
+        &CompileOptions { strategy, dyn_opt, nprocs: Some(nprocs), ..Default::default() },
+    )
+    .unwrap_or_else(|e| panic!("compile ({strategy:?}): {e}"));
+    let machine = Machine::new(nprocs);
+    let mut init = BTreeMap::new();
+    for (name, data) in init_named {
+        if let Some(s) = out.spmd.interner.get(name) {
+            init.insert(s, data.clone());
+        }
+    }
+    run_spmd(&out.spmd, &machine, &init).stats
+}
+
+/// One row of a strategy-comparison table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (e.g. problem size or processor count).
+    pub label: String,
+    /// Simulated execution time in milliseconds.
+    pub time_ms: f64,
+    /// Total messages.
+    pub msgs: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Remap library calls.
+    pub remaps: u64,
+}
+
+impl Row {
+    /// Builds a row from run statistics.
+    pub fn from_stats(label: impl Into<String>, s: &RunStats) -> Row {
+        Row {
+            label: label.into(),
+            time_ms: s.time_ms(),
+            msgs: s.total_msgs,
+            bytes: s.total_bytes,
+            remaps: s.total_remaps,
+        }
+    }
+}
+
+/// Renders rows as a fixed-width table.
+pub fn render_rows(title: &str, header: &str, rows: &[Row]) -> String {
+    let mut out = format!("{title}\n{}\n", "-".repeat(title.len()));
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>10} {:>12} {:>8}\n",
+        header, "time (ms)", "msgs", "bytes", "remaps"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24} {:>12.3} {:>10} {:>12} {:>8}\n",
+            r.label, r.time_ms, r.msgs, r.bytes, r.remaps
+        ));
+    }
+    out
+}
+
+/// Experiment `fig2-vs-fig3`: compile-time codegen vs run-time resolution
+/// for the Fig. 1 pipeline pattern, over problem sizes.
+pub fn exp_resolution(sizes: &[i64], nprocs: usize) -> Vec<(String, Row, Row)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let src = relax_source(n, 5, 1, nprocs);
+            let a = simulate(&src, Strategy::Interprocedural, DynOptLevel::Kills, nprocs);
+            let b = simulate(&src, Strategy::RuntimeResolution, DynOptLevel::Kills, nprocs);
+            (
+                format!("n={n}"),
+                Row::from_stats("compile-time", &a),
+                Row::from_stats("run-time res", &b),
+            )
+        })
+        .collect()
+}
+
+/// Experiment `fig10-vs-fig12`: delayed vs immediate instantiation over
+/// the enclosing trip count (the paper's 1 vs 100 messages).
+pub fn exp_delayed(trips: &[i64], nprocs: usize) -> Vec<(String, Row, Row)> {
+    trips
+        .iter()
+        .map(|&t| {
+            let src = fig4_source(t, nprocs);
+            let a = simulate(&src, Strategy::Interprocedural, DynOptLevel::Kills, nprocs);
+            let b = simulate(&src, Strategy::Immediate, DynOptLevel::Kills, nprocs);
+            (
+                format!("trips={t}"),
+                Row::from_stats("interprocedural", &a),
+                Row::from_stats("immediate", &b),
+            )
+        })
+        .collect()
+}
+
+/// Experiment `fig16-perf`: remap counts/time per dynamic-decomposition
+/// optimization level, over the time-step count.
+pub fn exp_remap(tsteps: &[i64], nprocs: usize) -> Vec<(String, Vec<Row>)> {
+    tsteps
+        .iter()
+        .map(|&t| {
+            let src = fig15_source(t, nprocs);
+            let rows = [
+                ("16a none", DynOptLevel::None),
+                ("16b live", DynOptLevel::Live),
+                ("16c hoist", DynOptLevel::Hoist),
+                ("16d kills", DynOptLevel::Kills),
+            ]
+            .iter()
+            .map(|(label, lvl)| {
+                let s = simulate(&src, Strategy::Interprocedural, *lvl, nprocs);
+                Row::from_stats(*label, &s)
+            })
+            .collect();
+            (format!("T={t}"), rows)
+        })
+        .collect()
+}
+
+/// Experiment `sec9`: dgefa under each strategy (the case study).
+pub fn exp_dgefa(n: i64, procs: &[usize]) -> Vec<(usize, Vec<Row>)> {
+    procs
+        .iter()
+        .map(|&p| {
+            let src = dgefa_source(n, p);
+            let mut init = BTreeMap::new();
+            init.insert("a", dgefa_matrix(n));
+            let rows = vec![
+                Row::from_stats(
+                    "interprocedural",
+                    &simulate_with(&src, Strategy::Interprocedural, DynOptLevel::Kills, p, &init),
+                ),
+                Row::from_stats(
+                    "immediate",
+                    &simulate_with(&src, Strategy::Immediate, DynOptLevel::Kills, p, &init),
+                ),
+                Row::from_stats(
+                    "runtime-res",
+                    &simulate_with(&src, Strategy::RuntimeResolution, DynOptLevel::Kills, p, &init),
+                ),
+                Row::from_stats("hand-coded", &hand_dgefa(n, p)),
+            ];
+            (p, rows)
+        })
+        .collect()
+}
+
+/// dgefa speedup curve for one strategy: time(1 proc) / time(p procs).
+pub fn dgefa_speedups(n: i64, procs: &[usize], strategy: Strategy) -> Vec<(usize, f64)> {
+    let src1 = dgefa_source(n, 1);
+    let mut init = BTreeMap::new();
+    init.insert("a", dgefa_matrix(n));
+    let base = simulate_with(&src1, strategy, DynOptLevel::Kills, 1, &init).time_us;
+    procs
+        .iter()
+        .map(|&p| {
+            let src = dgefa_source(n, p);
+            let t = simulate_with(&src, strategy, DynOptLevel::Kills, p, &init).time_us;
+            (p, base / t)
+        })
+        .collect()
+}
+
+/// Ablation: sweep the message-startup cost α and report the
+/// interprocedural-vs-immediate time ratio — showing that the delayed
+/// instantiation win is precisely an α effect (equal bytes, fewer
+/// messages), and where the strategies would converge.
+pub fn ablation_alpha(alphas_us: &[f64], nprocs: usize) -> Vec<(f64, f64, f64)> {
+    use fortrand::corpus::fig4_source;
+    use fortrand_machine::CostModel;
+    let src = fig4_source(100, nprocs);
+    alphas_us
+        .iter()
+        .map(|&alpha| {
+            let run = |strategy: Strategy| -> f64 {
+                let out = compile(
+                    &src,
+                    &CompileOptions {
+                        strategy,
+                        nprocs: Some(nprocs),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let cost = CostModel { alpha_us: alpha, ..CostModel::ipsc860() };
+                let machine = Machine::with_cost(nprocs, cost);
+                run_spmd(&out.spmd, &machine, &BTreeMap::new()).stats.time_us
+            };
+            let inter = run(Strategy::Interprocedural);
+            let imm = run(Strategy::Immediate);
+            (alpha, inter, imm)
+        })
+        .collect()
+}
+
+/// Hand-written SPMD dgefa against the raw machine API — the paper's
+/// hand-coded comparison point, the upper bound the compiler should
+/// approach. One fused broadcast per elimination step (pivot index +
+/// pivot column); every rank computes the multipliers redundantly from
+/// the broadcast column (trading replicated flops for a second message),
+/// updates only its own cyclic columns, and swaps rows locally.
+pub fn hand_dgefa(n: i64, nprocs: usize) -> RunStats {
+    use fortrand::corpus::dgefa_matrix;
+    let machine = Machine::new(nprocs);
+    let a0 = dgefa_matrix(n);
+    let n = n as usize;
+    machine.run(|node| {
+        let me = node.rank();
+        let p = node.nprocs();
+        // Local column-major storage of the cyclic columns this rank owns.
+        let my_cols: Vec<usize> = (0..n).filter(|j| j % p == me).collect();
+        let mut cols: Vec<Vec<f64>> =
+            my_cols.iter().map(|&j| (0..n).map(|i| a0[i * n + j]).collect()).collect();
+        for k in 0..n.saturating_sub(1) {
+            let owner = k % p;
+            // Owner searches the pivot in its copy of column k.
+            let payload: Vec<f64> = if me == owner {
+                let lc = k / p;
+                let col = &cols[lc];
+                let mut l = k;
+                let mut best = col[k].abs();
+                for (i, &v) in col.iter().enumerate().take(n).skip(k + 1) {
+                    if v.abs() > best {
+                        best = v.abs();
+                        l = i;
+                    }
+                }
+                node.charge_flops((n - k) as u64); // |.| compares
+                let mut msg = Vec::with_capacity(n - k + 1);
+                msg.push(l as f64);
+                msg.extend_from_slice(&col[k..n]);
+                msg
+            } else {
+                Vec::new()
+            };
+            // One fused broadcast: pivot index + raw column k rows k..n.
+            let msg = node.bcast(owner, &payload);
+            let l = msg[0] as usize;
+            let mut piv = msg[1..].to_vec(); // column k, rows k..n, pre-swap
+            // Everyone swaps rows l and k in their own columns…
+            if l != k {
+                for c in cols.iter_mut() {
+                    c.swap(l, k);
+                }
+                node.charge_ops(cols.len() as u64 * 3);
+                // …and applies the same swap to the broadcast column.
+                piv.swap(l - k, 0);
+            }
+            // Replicated multipliers from the broadcast column.
+            let akk = piv[0];
+            let mult: Vec<f64> = piv[1..].iter().map(|v| v / akk).collect();
+            node.charge_flops((n - k - 1) as u64);
+            // Owner stores the multipliers into its column k.
+            if me == owner {
+                let lc = k / p;
+                for (i, m) in mult.iter().enumerate() {
+                    cols[lc][k + 1 + i] = *m;
+                }
+            }
+            // Update owned columns j > k.
+            for (ci, &j) in my_cols.iter().enumerate() {
+                if j <= k {
+                    continue;
+                }
+                let t = cols[ci][k];
+                for (i, m) in mult.iter().enumerate() {
+                    cols[ci][k + 1 + i] -= t * m;
+                }
+                node.charge_flops(2 * (n - k - 1) as u64);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_gap_grows_with_n() {
+        let rows = exp_resolution(&[64, 256], 4);
+        for (label, ct, rt) in &rows {
+            assert!(
+                rt.time_ms > 5.0 * ct.time_ms,
+                "{label}: run-time resolution must be much slower ({} vs {})",
+                rt.time_ms,
+                ct.time_ms
+            );
+        }
+        // The gap ratio grows with n.
+        let r0 = rows[0].2.time_ms / rows[0].1.time_ms;
+        let r1 = rows[1].2.time_ms / rows[1].1.time_ms;
+        assert!(r1 > r0, "gap must grow: {r0} -> {r1}");
+    }
+
+    #[test]
+    fn delayed_scales_messages_with_trips() {
+        let rows = exp_delayed(&[20, 100], 4);
+        // Immediate: msgs grow linearly with trips; interprocedural: flat.
+        assert_eq!(rows[0].1.msgs, rows[1].1.msgs, "interprocedural flat");
+        assert!(rows[1].2.msgs > 4 * rows[0].2.msgs, "immediate grows");
+    }
+
+    #[test]
+    fn hand_dgefa_bounds_the_compiler() {
+        // The compiler's interprocedural code must be within a small
+        // factor of the hand-written SPMD version (the paper's "closely
+        // approach the quality of hand-written code").
+        let n = 64;
+        let p = 4;
+        let src = dgefa_source(n, p);
+        let mut init = BTreeMap::new();
+        init.insert("a", dgefa_matrix(n));
+        let compiled =
+            simulate_with(&src, Strategy::Interprocedural, DynOptLevel::Kills, p, &init);
+        let hand = hand_dgefa(n, p);
+        assert!(
+            compiled.time_us < 6.0 * hand.time_us,
+            "compiled {} µs vs hand {} µs",
+            compiled.time_us,
+            hand.time_us
+        );
+        assert!(hand.time_us <= compiled.time_us, "hand-coded is the lower bound");
+    }
+
+    #[test]
+    fn remap_levels_monotone() {
+        let all = exp_remap(&[8], 4);
+        let rows = &all[0].1;
+        // Remap counts: none ≥ live ≥ hoist ≥ kills.
+        assert!(rows[0].remaps > rows[1].remaps);
+        assert!(rows[1].remaps >= rows[2].remaps);
+        assert!(rows[2].remaps > rows[3].remaps);
+        // 16a: 4 remaps per iteration per rank.
+        assert_eq!(rows[0].remaps, 4 * 8 * 4);
+        // 16d: one remap + one mark, once, per rank.
+        assert_eq!(rows[3].remaps, 4);
+    }
+}

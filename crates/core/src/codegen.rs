@@ -1,0 +1,1439 @@
+//! SPMD code generation.
+//!
+//! Each program unit is compiled (in reverse topological order) into a
+//! node procedure. The generator implements the paper's compilation
+//! strategy concretely:
+//!
+//! * **data partitioning** — each array's unique reaching decomposition
+//!   (post-cloning) becomes an [`ArrayDist`]; local declarations use the
+//!   reduced bounds widened by overlap areas;
+//! * **computation partitioning** (owner computes, Fig. 9) — loops whose
+//!   index drives a distributed dimension of an assigned array are reduced
+//!   to local bounds (`BLOCK`) or guarded local loops (`CYCLIC`);
+//!   constraints on *formals* are delayed to callers
+//!   (`Strategy::Interprocedural`) or turned into ownership guards in
+//!   place (`Strategy::Immediate`);
+//! * **communication** (Fig. 11) — recognized patterns (`BlockShift`
+//!   stencils, `BroadcastDim` pinned slices) are vectorized outward to the
+//!   deepest loop carrying a true dependence and instantiated there, or
+//!   delayed to callers when no local dependence binds them;
+//! * **dynamic data decomposition** (Figs. 16–17) — remap placements from
+//!   [`crate::dynamic_decomp`] are emitted around calls (interprocedural)
+//!   or inside callees (immediate);
+//! * **run-time resolution** (Fig. 3) — the fallback strategy generating
+//!   per-reference ownership tests and element messages.
+//!
+//! The subset of computation/communication patterns accepted is documented
+//! in DESIGN.md; unsupported shapes produce a [`CodegenError`] rather than
+//! silently wrong code.
+
+use crate::dynamic_decomp::{self, Placements};
+use crate::model::*;
+use crate::overlap::Overlaps;
+use fortrand_analysis::acg::Acg;
+use fortrand_analysis::consts::InterConsts;
+use fortrand_analysis::reaching::{DecompSpec, ReachingDecomps};
+use fortrand_analysis::refs::{collect_refs, ArrayRef, LoopCtx};
+use fortrand_analysis::side_effects::{Sections, SideEffects};
+use fortrand_frontend::ast::*;
+use fortrand_frontend::sema::{expr_affine, ProgramInfo, UnitInfo};
+use fortrand_ir::dist::{ArrayDist, DimPartition, DistKind};
+use fortrand_ir::rsd::{Rsd, Triplet};
+use fortrand_ir::{Affine, Sym, SymEnv};
+use fortrand_spmd::ir::{
+    DistId, SActual, SDecl, SExpr, SFormal, SLval, SProc, SRect, SStmt, SpmdProgram,
+};
+use fortrand_spmd::{SBinOp, SIntr};
+use std::collections::BTreeMap;
+
+/// Code generation failure with a source line and reason.
+#[derive(Clone, Debug)]
+pub struct CodegenError {
+    /// Source line.
+    pub line: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+impl CodegenError {
+    fn at(line: u32, m: impl Into<String>) -> Self {
+        CodegenError { line, message: m.into() }
+    }
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+type R<T> = Result<T, CodegenError>;
+
+/// Everything the per-unit compilers need.
+pub struct Ctx<'a> {
+    /// Cloned program.
+    pub prog: &'a SourceProgram,
+    /// Semantic info.
+    pub info: &'a ProgramInfo,
+    /// Call graph.
+    pub acg: &'a Acg,
+    /// Reaching decompositions (post-cloning).
+    pub reaching: &'a ReachingDecomps,
+    /// Side effects.
+    pub se: &'a SideEffects,
+    /// Interprocedural constants.
+    pub consts: &'a InterConsts,
+    /// Overlap widths.
+    pub overlaps: &'a Overlaps,
+    /// Processor count.
+    pub nprocs: usize,
+    /// Strategy.
+    pub strategy: Strategy,
+    /// Dynamic-decomposition optimization level.
+    pub dyn_opt: DynOptLevel,
+}
+
+/// A compiled unit's public record.
+pub struct CompiledUnit {
+    /// Index into `SpmdProgram::procs`.
+    pub proc: usize,
+    /// Residual handed to callers.
+    pub residual: Residual,
+    /// Dynamic decomposition summary (for caller placement).
+    pub dyn_summary: DynDecompSummary,
+}
+
+/// Compiles every unit, returning the program and per-unit records.
+pub fn compile_all(ctx: &Ctx) -> R<(SpmdProgram, BTreeMap<Sym, CompiledUnit>)> {
+    let mut spmd = SpmdProgram {
+        interner: ctx.prog.interner.clone(),
+        nprocs: ctx.nprocs,
+        procs: Vec::new(),
+        main: usize::MAX,
+        dists: Vec::new(),
+    };
+    let mut compiled: BTreeMap<Sym, CompiledUnit> = BTreeMap::new();
+    let mut dyn_summaries: BTreeMap<Sym, DynDecompSummary> = BTreeMap::new();
+    for name in ctx.acg.reverse_topo() {
+        let unit = ctx
+            .prog
+            .unit(name)
+            .ok_or_else(|| CodegenError::at(0, "unit missing from program"))?;
+        if matches!(unit.kind, UnitKind::Function(_)) {
+            return Err(CodegenError::at(
+                unit.line,
+                "FUNCTION units are not supported by SPMD code generation; use a subroutine",
+            ));
+        }
+        let cu = match ctx.strategy {
+            Strategy::RuntimeResolution => {
+                UnitCompiler::new(ctx, unit, &mut spmd, &compiled, &dyn_summaries)?.compile_rtr()?
+            }
+            _ => UnitCompiler::new(ctx, unit, &mut spmd, &compiled, &dyn_summaries)?.compile()?,
+        };
+        dyn_summaries.insert(name, cu.dyn_summary.clone());
+        if unit.kind == UnitKind::Program {
+            spmd.main = cu.proc;
+        }
+        compiled.insert(name, cu);
+    }
+    if spmd.main == usize::MAX {
+        return Err(CodegenError::at(0, "no PROGRAM unit"));
+    }
+    Ok((spmd, compiled))
+}
+
+/// How a scalar symbol is valued in the current context.
+#[derive(Clone, Debug, PartialEq)]
+enum VKind {
+    /// Ordinary global-valued scalar / loop index.
+    Global,
+    /// Partitioned loop index: holds a LOCAL index of `part`.
+    Local { part: DimPartition, dist: DistId, dim: usize },
+}
+
+/// Per-statement communication/ownership plan entry.
+#[derive(Clone, Debug)]
+enum CommOp {
+    Shift {
+        array: Sym,
+        dist: DistId,
+        dim: usize,
+        offset: i64,
+        /// Vectorized global section (for non-shift dims).
+        rsd: Rsd,
+        tag: u64,
+    },
+    Broadcast {
+        array: Sym,
+        dist: DistId,
+        dim: usize,
+        index: Affine,
+        /// Vectorized global section (non-pinned dims meaningful).
+        rsd: Rsd,
+        buffer: Sym,
+    },
+}
+
+/// Key identifying a pinned read rewritten to a buffer.
+type PinKey = (Sym, usize, Affine);
+
+struct UnitCompiler<'a, 'b> {
+    ctx: &'a Ctx<'a>,
+    unit: &'a ProcUnit,
+    ui: &'a UnitInfo,
+    spmd: &'b mut SpmdProgram,
+    compiled: &'b BTreeMap<Sym, CompiledUnit>,
+    dyn_summaries: &'b BTreeMap<Sym, DynDecompSummary>,
+    params: BTreeMap<Sym, i64>,
+    env: SymEnv,
+    is_main: bool,
+    /// Unique decomposition spec per array for this unit (the *initial*
+    /// one; dynamic redistribution is tracked separately).
+    specs: BTreeMap<Sym, Option<DecompSpec>>,
+    dists: BTreeMap<Sym, DistId>,
+    /// Partitioned loop decisions: loop stmt → (array, dim).
+    partitioned: BTreeMap<StmtId, (Sym, usize)>,
+    /// Formals constrained to be local indices (Interprocedural only).
+    local_formals: BTreeMap<Sym, (Sym, usize)>,
+    /// Scalar value kinds in scope.
+    vkinds: BTreeMap<Sym, VKind>,
+    /// Comm operations anchored before a statement.
+    comm_before: BTreeMap<StmtId, Vec<CommOp>>,
+    /// Pinned-read buffer rewrites.
+    pin_buffers: BTreeMap<PinKey, Sym>,
+    /// Pinned reads made local by the statement's own ownership guard.
+    guard_local: std::collections::BTreeSet<(StmtId, PinKey)>,
+    /// Buffer declarations to emit.
+    buffer_decls: Vec<SDecl>,
+    /// Buffer extra-formals (delayed broadcasts) in residual-comm order.
+    buffer_formals: Vec<Sym>,
+    /// Remap placements.
+    placements: Placements,
+    /// Residual being accumulated.
+    residual: Residual,
+    /// Fresh-name/tag counters.
+    next_tag: u64,
+    temp_counter: u32,
+    /// Arrays whose first DISTRIBUTE establishes the declaration spec.
+    first_distribute_seen: BTreeMap<Sym, bool>,
+    /// Buffers to pass at each call site (delayed broadcasts), in callee
+    /// buffer-formal order.
+    edge_buffers: BTreeMap<StmtId, Vec<Sym>>,
+    /// Global-value companion symbols for guarded local loops (`i$g`).
+    global_companion: BTreeMap<Sym, Sym>,
+}
+
+impl<'a, 'b> UnitCompiler<'a, 'b> {
+    fn new(
+        ctx: &'a Ctx<'a>,
+        unit: &'a ProcUnit,
+        spmd: &'b mut SpmdProgram,
+        compiled: &'b BTreeMap<Sym, CompiledUnit>,
+        dyn_summaries: &'b BTreeMap<Sym, DynDecompSummary>,
+    ) -> R<Self> {
+        let ui = ctx.info.unit(unit.name);
+        let params = ctx.consts.params_for(unit.name, ctx.info);
+        let mut env = SymEnv::new();
+        for (&s, &v) in &params {
+            env.set_const(s, v);
+        }
+        for (&(u, f), &(lo, hi)) in &ctx.acg.formal_ranges {
+            if u == unit.name {
+                env.set_range(f, lo, hi);
+            }
+        }
+        Ok(UnitCompiler {
+            ctx,
+            unit,
+            ui,
+            spmd,
+            compiled,
+            dyn_summaries,
+            params,
+            env,
+            is_main: unit.kind == UnitKind::Program,
+            specs: BTreeMap::new(),
+            dists: BTreeMap::new(),
+            partitioned: BTreeMap::new(),
+            local_formals: BTreeMap::new(),
+            vkinds: BTreeMap::new(),
+            comm_before: BTreeMap::new(),
+            pin_buffers: BTreeMap::new(),
+            guard_local: std::collections::BTreeSet::new(),
+            buffer_decls: Vec::new(),
+            buffer_formals: Vec::new(),
+            placements: Placements::default(),
+            residual: Residual::default(),
+            next_tag: 1,
+            temp_counter: 0,
+            first_distribute_seen: BTreeMap::new(),
+            edge_buffers: BTreeMap::new(),
+            global_companion: BTreeMap::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers
+    // ------------------------------------------------------------------
+
+    fn fresh(&mut self, stem: &str) -> Sym {
+        self.temp_counter += 1;
+        self.spmd.interner.intern(&format!("{stem}${}", self.temp_counter))
+    }
+
+    fn fresh_tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        // Tag space partitioned per unit to keep cross-procedure tags
+        // distinct: high bits from the unit symbol.
+        (self.unit.name.0 as u64) << 20 | t
+    }
+
+    /// The unique decomposition spec of `array` at `stmt` (None =
+    /// replicated).
+    fn spec_at(&self, stmt: StmtId, array: Sym) -> R<Option<DecompSpec>> {
+        let set = self
+            .ctx
+            .reaching
+            .before_stmt
+            .get(&(self.unit.name, stmt))
+            .and_then(|m| m.get(&array));
+        match set {
+            None => Ok(None),
+            Some(s) if s.is_empty() => Ok(None),
+            Some(s) if s.len() == 1 => Ok(Some(s.iter().next().unwrap().clone())),
+            Some(_) => Err(CodegenError::at(
+                self.unit.line,
+                format!(
+                    "multiple decompositions reach `{}` (cloning limit hit?)",
+                    self.ctx.prog.interner.name(array)
+                ),
+            )),
+        }
+    }
+
+    /// Resolves the *declaration* spec per array (first spec it ever has)
+    /// and registers distributions. Returns per-array DistId.
+    fn resolve_specs(&mut self) -> R<()> {
+        let arrays: Vec<Sym> = self
+            .ui
+            .vars
+            .iter()
+            .filter(|(_, v)| v.is_array())
+            .map(|(&s, _)| s)
+            .collect();
+        for a in arrays {
+            let is_formal = self.ui.var(a).map(|v| v.is_formal).unwrap_or(false);
+            let mut spec: Option<DecompSpec> = None;
+            // Formals: the inherited (entry) decomposition.
+            if is_formal {
+                if let Some(set) = self
+                    .ctx
+                    .reaching
+                    .reaching
+                    .get(&self.unit.name)
+                    .and_then(|m| m.get(&a))
+                {
+                    if set.len() == 1 {
+                        spec = Some(set.iter().next().unwrap().clone());
+                    } else if set.len() > 1 {
+                        return Err(CodegenError::at(
+                            self.unit.line,
+                            "multiple inherited decompositions (cloning limit hit?)",
+                        ));
+                    }
+                }
+            }
+            // Locals (and main arrays): the first spec ever established.
+            if spec.is_none() {
+                for st in self.unit.walk() {
+                    if let Ok(Some(s)) = self.spec_at(st.id, a) {
+                        spec = Some(s);
+                        break;
+                    }
+                }
+            }
+            let extents = self.ui.var(a).unwrap().dims.clone();
+            let dist = match &spec {
+                Some(s) => s.array_dist(&extents, self.ctx.nprocs),
+                None => ArrayDist::replicated(&extents),
+            };
+            // Compile-time partitioning arithmetic (bounds reduction,
+            // global↔local formulas) assumes zero alignment offsets on
+            // distributed dimensions; nonzero offsets are a run-time
+            // resolution case.
+            for (d, &off) in dist.offsets.iter().enumerate() {
+                if off != 0 && dist.grid_axis[d].is_some() {
+                    return Err(CodegenError::at(
+                        self.unit.line,
+                        format!(
+                            "alignment offset {off} on a distributed dimension of `{}` \
+                             is unsupported by compile-time partitioning; use \
+                             run-time resolution",
+                            self.ctx.prog.interner.name(a)
+                        ),
+                    ));
+                }
+            }
+            let id = self.spmd.add_dist(dist);
+            self.specs.insert(a, spec);
+            self.dists.insert(a, id);
+        }
+        Ok(())
+    }
+
+    /// Lenient spec resolution for run-time resolution: ambiguity is fine
+    /// (ownership is resolved dynamically); the first spec found seeds the
+    /// initial owner distribution of locally-declared arrays.
+    fn resolve_specs_lenient(&mut self) {
+        let arrays: Vec<Sym> = self
+            .ui
+            .vars
+            .iter()
+            .filter(|(_, v)| v.is_array())
+            .map(|(&s, _)| s)
+            .collect();
+        for a in arrays {
+            let mut spec: Option<DecompSpec> = None;
+            for st in self.unit.walk() {
+                if let Some(set) = self
+                    .ctx
+                    .reaching
+                    .before_stmt
+                    .get(&(self.unit.name, st.id))
+                    .and_then(|m| m.get(&a))
+                {
+                    if let Some(s) = set.iter().next() {
+                        spec = Some(s.clone());
+                        break;
+                    }
+                }
+            }
+            if spec.is_none() {
+                if let Some(set) = self
+                    .ctx
+                    .reaching
+                    .reaching
+                    .get(&self.unit.name)
+                    .and_then(|m| m.get(&a))
+                {
+                    spec = set.iter().next().cloned();
+                }
+            }
+            let extents = self.ui.var(a).unwrap().dims.clone();
+            let dist = match &spec {
+                Some(s) => s.array_dist(&extents, self.ctx.nprocs),
+                None => ArrayDist::replicated(&extents),
+            };
+            let id = self.spmd.add_dist(dist);
+            self.specs.insert(a, spec);
+            self.dists.insert(a, id);
+        }
+    }
+
+    /// True when the array has any (possibly ambiguous) reaching
+    /// decomposition at the statement — run-time resolution then treats
+    /// it as distributed with dynamic ownership.
+    fn rtr_is_distributed(&self, stmt: StmtId, array: Sym) -> bool {
+        if let Some(set) = self
+            .ctx
+            .reaching
+            .before_stmt
+            .get(&(self.unit.name, stmt))
+            .and_then(|m| m.get(&array))
+        {
+            if !set.is_empty() {
+                return true;
+            }
+        }
+        self.ctx
+            .reaching
+            .reaching
+            .get(&self.unit.name)
+            .and_then(|m| m.get(&array))
+            .map(|s| !s.is_empty())
+            .unwrap_or(false)
+    }
+
+    fn dist_of(&self, array: Sym) -> &ArrayDist {
+        &self.spmd.dists[self.dists[&array].0 as usize]
+    }
+
+    /// Local declaration bounds for an array (reduced + overlap-widened).
+    fn decl_bounds(&self, array: Sym) -> Vec<(i64, i64)> {
+        let dist = self.dist_of(array).clone();
+        let widths = self.ctx.overlaps.of(self.unit.name, array).cloned();
+        dist.local_extents()
+            .iter()
+            .enumerate()
+            .map(|(d, &e)| {
+                let (lo_w, hi_w) = widths
+                    .as_ref()
+                    .and_then(|w| w.get(d).copied())
+                    .unwrap_or((0, 0));
+                // Overlaps only widen distributed block dims; serial dims
+                // already span the whole extent.
+                if dist.grid_axis[d].is_some()
+                    && matches!(dist.dims[d].kind, DistKind::Block)
+                {
+                    (1 - lo_w, e + hi_w)
+                } else {
+                    (1, e)
+                }
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Pass A: planning
+    // ------------------------------------------------------------------
+
+    /// Decides which loops are partitioned and which formals are
+    /// owner-local, from assignment left-hand sides and callee residual
+    /// constraints.
+    fn plan_partitioning(&mut self) -> R<()> {
+        let refs = collect_refs(self.unit, self.ui);
+        // LHS-driven decisions.
+        for r in refs.iter().filter(|r| r.is_def) {
+            let Some(spec) = self.spec_at(r.stmt, r.array)? else { continue };
+            let dist = spec.array_dist(&self.ui.var(r.array).unwrap().dims, self.ctx.nprocs);
+            for (d, sub) in r.subs.iter().enumerate() {
+                if dist.grid_axis[d].is_none() {
+                    continue;
+                }
+                let Some(a) = sub else {
+                    return Err(CodegenError::at(
+                        0,
+                        "non-affine subscript on a distributed dimension (lhs)",
+                    ));
+                };
+                if let Some((v, off)) = a.as_sym_plus_const() {
+                    if off != 0 {
+                        return Err(CodegenError::at(
+                            0,
+                            "shifted lhs subscript on a distributed dimension is unsupported",
+                        ));
+                    }
+                    // Enclosing loop?
+                    if let Some(l) = r.nest.iter().find(|l| l.var == v) {
+                        if self.partition_safe(l.stmt, v) {
+                            self.record_partition(l.stmt, r.array, d)?;
+                        }
+                        // Unsafe loops fall back to per-statement
+                        // ownership guards (pinned handling).
+                        continue;
+                    }
+                    // A formal parameter?
+                    if self.ui.var(v).map(|x| x.is_formal).unwrap_or(false) {
+                        if self.ctx.strategy == Strategy::Interprocedural && !self.is_main {
+                            self.local_formals.insert(v, (r.array, d));
+                            continue;
+                        }
+                        // Immediate: handled as pinned (ownership guard).
+                        continue;
+                    }
+                }
+                // Loop-invariant pinned subscript: ownership guard at the
+                // statement — handled during emission.
+            }
+        }
+        // Callee-constraint-driven decisions (Interprocedural).
+        if self.ctx.strategy == Strategy::Interprocedural {
+            for edge in self.ctx.acg.calls.get(&self.unit.name).into_iter().flatten() {
+                let Some(cu) = self.compiled.get(&edge.callee) else { continue };
+                for c in &cu.residual.iter_constraints {
+                    let callee_info = self.ctx.info.unit(edge.callee);
+                    let Some(pos) = callee_info.formals.iter().position(|&f| f == c.formal)
+                    else {
+                        continue;
+                    };
+                    if let Some(Expr::Var(v)) = edge.actuals.get(pos) {
+                        if let Some(l) = edge.loops.iter().find(|l| l.var == *v) {
+                            // The constrained dimension belongs to the
+                            // callee's array; map to our actual array.
+                            let apos = callee_info
+                                .formals
+                                .iter()
+                                .position(|&f| f == c.array)
+                                .ok_or_else(|| {
+                                    CodegenError::at(0, "constraint on non-formal array")
+                                })?;
+                            if let Some(Expr::Var(arr)) = edge.actuals.get(apos) {
+                                if self.partition_safe(l.stmt, *v) {
+                                    self.record_partition(l.stmt, *arr, c.dim)?;
+                                }
+                                // Otherwise the call is guarded on
+                                // ownership at emission time.
+                            }
+                        } else if self.ui.var(*v).map(|x| x.is_formal).unwrap_or(false)
+                            && !self.is_main
+                        {
+                            // Pass-through constraint to our own caller.
+                            let apos = callee_info
+                                .formals
+                                .iter()
+                                .position(|&f| f == c.array)
+                                .unwrap_or(usize::MAX);
+                            if let Some(Expr::Var(arr)) = edge.actuals.get(apos) {
+                                self.local_formals.insert(*v, (*arr, c.dim));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Export local-formal constraints.
+        for (&f, &(arr, dim)) in &self.local_formals {
+            self.residual.iter_constraints.push(IterConstraint { formal: f, array: arr, dim });
+        }
+        Ok(())
+    }
+
+    /// Owner-computes legality of partitioning a loop: every statement in
+    /// the body must be executable by the owning processor alone —
+    /// distributed writes driven by the loop index, loop-private scalar
+    /// temporaries, and calls whose only use of the index is a constrained
+    /// (owner-local) formal. Anything else (replicated writes like
+    /// `ipvt(k) = l`, calls that must run on every processor) keeps the
+    /// loop sequential-replicated and falls back to ownership guards.
+    fn partition_safe(&mut self, loop_stmt: StmtId, var: Sym) -> bool {
+        // Locate the loop subtree.
+        let Some(loop_node) = self
+            .unit
+            .walk()
+            .find(|s| s.id == loop_stmt)
+        else {
+            return false;
+        };
+        let StmtKind::Do { body, .. } = &loop_node.kind else { return false };
+        let mut private_candidates: Vec<Sym> = Vec::new();
+        if !self.subtree_safe(body, var, &mut private_candidates) {
+            return false;
+        }
+        // Scalars assigned inside the loop must be loop-private: every
+        // read of the scalar anywhere in the unit sits inside a loop body
+        // that assigns it earlier (simple privatization test).
+        for s in private_candidates {
+            if !self.scalar_privatizable(s) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn subtree_safe(&mut self, body: &[Stmt], var: Sym, scalars: &mut Vec<Sym>) -> bool {
+        for st in body {
+            match &st.kind {
+                StmtKind::Assign { lhs, .. } => match lhs {
+                    LValue::Scalar(s) => scalars.push(*s),
+                    LValue::Element { array, subs } => {
+                        let Ok(spec) = self.spec_at(st.id, *array) else { return false };
+                        let Some(spec) = spec else { return false }; // replicated write
+                        let dist = spec.array_dist(
+                            &self.ui.var(*array).unwrap().dims,
+                            self.ctx.nprocs,
+                        );
+                        let mut driven = false;
+                        for (d, sub) in subs.iter().enumerate() {
+                            if dist.grid_axis[d].is_none() {
+                                continue;
+                            }
+                            if let Some(a) = expr_affine(sub, &self.params) {
+                                if a.is_sym(var) {
+                                    driven = true;
+                                }
+                            }
+                        }
+                        if !driven {
+                            return false;
+                        }
+                    }
+                },
+                StmtKind::Do { body, .. } => {
+                    if !self.subtree_safe(body, var, scalars) {
+                        return false;
+                    }
+                }
+                StmtKind::If { then_body, else_body, .. } => {
+                    if !self.subtree_safe(then_body, var, scalars)
+                        || !self.subtree_safe(else_body, var, scalars)
+                    {
+                        return false;
+                    }
+                }
+                StmtKind::Call { name, args } => {
+                    let Some(cu) = self.compiled.get(name) else { return false };
+                    let callee_info = self.ctx.info.unit(*name);
+                    let mut uses_var_constrained = false;
+                    for (i, a) in args.iter().enumerate() {
+                        let mut mentioned = vec![];
+                        a.mentioned_syms(&mut mentioned);
+                        if !mentioned.contains(&var) {
+                            continue;
+                        }
+                        // The index may only flow into a constrained formal,
+                        // as a bare variable.
+                        let Some(&f) = callee_info.formals.get(i) else { return false };
+                        let constrained = cu
+                            .residual
+                            .iter_constraints
+                            .iter()
+                            .any(|c| c.formal == f);
+                        if !matches!(a, Expr::Var(v) if *v == var) || !constrained {
+                            return false;
+                        }
+                        uses_var_constrained = true;
+                    }
+                    if !uses_var_constrained {
+                        // The call ignores the index entirely: under
+                        // partitioning it would run once per *owned*
+                        // iteration — a semantics change.
+                        return false;
+                    }
+                }
+                StmtKind::Continue => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Simple privatization test: every read of `s` in the unit is inside
+    /// some loop whose body assigns `s` at an earlier pre-order position.
+    fn scalar_privatizable(&self, s: Sym) -> bool {
+        // Pre-order positions.
+        let pos: BTreeMap<StmtId, usize> =
+            self.unit.walk().enumerate().map(|(i, st)| (st.id, i)).collect();
+        // Assignments to s: (position, enclosing loop stmts).
+        let mut assigns: Vec<(usize, Vec<StmtId>)> = Vec::new();
+        let mut reads: Vec<(usize, Vec<StmtId>)> = Vec::new();
+        collect_scalar_uses(&self.unit.body, s, &mut Vec::new(), &pos, &mut assigns, &mut reads);
+        for (rp, rnest) in &reads {
+            let ok = rnest.iter().any(|loop_id| {
+                assigns.iter().any(|(ap, anest)| anest.contains(loop_id) && ap < rp)
+            });
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn record_partition(&mut self, loop_stmt: StmtId, array: Sym, dim: usize) -> R<()> {
+        if let Some(&(a0, d0)) = self.partitioned.get(&loop_stmt) {
+            // Must be the same partition (same kind/extent/procs).
+            let p0 = self.dist_of(a0).dims[d0].clone();
+            let p1 = self.dist_of(array).dims[dim].clone();
+            if p0 != p1 {
+                return Err(CodegenError::at(
+                    0,
+                    "loop drives two differently-distributed dimensions",
+                ));
+            }
+            return Ok(());
+        }
+        self.partitioned.insert(loop_stmt, (array, dim));
+        Ok(())
+    }
+
+    /// Plans communication: local stencil reads and callee residual comms.
+    fn plan_comm(&mut self) -> R<()> {
+        // Local reads.
+        let refs = collect_refs(self.unit, self.ui);
+        // Pinned lhs dimensions per statement: a rhs read of the same
+        // (array, dim, index) under that ownership guard is local and
+        // needs no broadcast (Fig. 12's guarded column access).
+        let mut lhs_pins: BTreeMap<StmtId, Vec<PinKey>> = BTreeMap::new();
+        for r in refs.iter().filter(|r| r.is_def) {
+            let Some(spec) = self.spec_at(r.stmt, r.array)? else { continue };
+            let dist = spec.array_dist(&self.ui.var(r.array).unwrap().dims, self.ctx.nprocs);
+            for (d, sub) in r.subs.iter().enumerate() {
+                if dist.grid_axis[d].is_none() {
+                    continue;
+                }
+                let Some(a) = sub else { continue };
+                let local_match = a.as_sym_plus_const().is_some_and(|(v, off)| {
+                    off == 0
+                        && (r.nest.iter().any(|l| {
+                            l.var == v && self.partitioned.contains_key(&l.stmt)
+                        }) || self.local_formals.contains_key(&v))
+                });
+                if !local_match {
+                    lhs_pins.entry(r.stmt).or_default().push((r.array, d, a.clone()));
+                }
+            }
+        }
+        let mut pinned_reads: Vec<(ArrayRef, usize, Affine)> = Vec::new();
+        for (idx, r) in refs.iter().enumerate() {
+            if r.is_def {
+                continue;
+            }
+            let Some(spec) = self.spec_at(r.stmt, r.array)? else { continue };
+            let dist = spec.array_dist(&self.ui.var(r.array).unwrap().dims, self.ctx.nprocs);
+            for (d, sub) in r.subs.iter().enumerate() {
+                if dist.grid_axis[d].is_none() {
+                    continue;
+                }
+                let Some(a) = sub else {
+                    return Err(CodegenError::at(
+                        0,
+                        "non-affine subscript on a distributed dimension (rhs)",
+                    ));
+                };
+                // Local-var-matched subscript?
+                if let Some((v, off)) = a.as_sym_plus_const() {
+                    let is_part_loop = r
+                        .nest
+                        .iter()
+                        .any(|l| l.var == v && self.partitioned.contains_key(&l.stmt));
+                    let is_local_formal = self.local_formals.contains_key(&v);
+                    if is_part_loop || is_local_formal {
+                        if off == 0 {
+                            continue; // purely local
+                        }
+                        match dist.dims[d].kind {
+                            DistKind::Block => {
+                                self.plan_shift(r, idx, d, off, &dist)?;
+                                continue;
+                            }
+                            _ => {
+                                return Err(CodegenError::at(
+                                    0,
+                                    "shifted read on a non-BLOCK distributed dimension",
+                                ))
+                            }
+                        }
+                    }
+                }
+                // Pinned subscript: every symbol is global-valued here.
+                let pinned_ok = a.syms().all(|s| {
+                    !r.nest
+                        .iter()
+                        .any(|l| l.var == s && self.partitioned.contains_key(&l.stmt))
+                        && !self.local_formals.contains_key(&s)
+                });
+                if !pinned_ok {
+                    return Err(CodegenError::at(
+                        0,
+                        "distributed subscript mixes local and global index values",
+                    ));
+                }
+                let key: PinKey = (r.array, d, a.clone());
+                if lhs_pins.get(&r.stmt).is_some_and(|v| v.contains(&key)) {
+                    // Guard-local: the statement's ownership guard makes
+                    // this read local (LocalIdx access, no broadcast).
+                    self.guard_local.insert((r.stmt, key));
+                    continue;
+                }
+                pinned_reads.push((r.clone(), d, a.clone()));
+            }
+        }
+        // Pinned reads sharing (array, dim, index) share one buffer and one
+        // broadcast; their sections are hulled.
+        let mut groups: Vec<(PinKey, Vec<(ArrayRef, usize, Affine)>)> = Vec::new();
+        for (r, d, a) in pinned_reads {
+            let key: PinKey = (r.array, d, a.clone());
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push((r, d, a)),
+                None => groups.push((key, vec![(r, d, a)])),
+            }
+        }
+        for (_, group) in groups {
+            self.plan_broadcast_group(&group)?;
+        }
+        // Callee residual comms (Interprocedural delayed instantiation).
+        if self.ctx.strategy == Strategy::Interprocedural {
+            let edges: Vec<_> = self
+                .ctx
+                .acg
+                .calls
+                .get(&self.unit.name)
+                .into_iter()
+                .flatten()
+                .cloned()
+                .collect();
+            for edge in edges {
+                let Some(cu) = self.compiled.get(&edge.callee) else { continue };
+                let pending: Vec<PendingComm> = cu.residual.comms.clone();
+                for (ci, pc) in pending.iter().enumerate() {
+                    self.adopt_pending(&edge, pc, ci)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shift pattern from a local read (e.g. `x(i+5)`).
+    fn plan_shift(&mut self, r: &ArrayRef, _idx: usize, dim: usize, off: i64, dist: &ArrayDist) -> R<()> {
+        // Point access section; `place` vectorizes it over each loop it
+        // clears (message vectorization, §5.4).
+        let rsd = r.point_rsd().unwrap_or_else(|| {
+            Rsd::whole(&dist.dims.iter().map(|p| Affine::konst(p.extent)).collect::<Vec<_>>())
+        });
+        let (level, vect) = self.place(&r.nest, rsd, r.array)?;
+        // If the shifted subscript's loop variable survives vectorization,
+        // a flow dependence pins the exchange inside its own loop — that
+        // needs the pipelined codegen of the companion papers, which this
+        // reproduction does not implement.
+        if let Some((v, _)) = r.subs[dim].as_ref().and_then(|a| a.as_sym_plus_const()) {
+            if vect.dims[dim].lo.mentions(v) {
+                return Err(CodegenError::at(
+                    0,
+                    "carried flow dependence on a distributed dimension requires \
+                     pipelining (unsupported); restructure the loop or use \
+                     run-time resolution",
+                ));
+            }
+        }
+        if level == 0
+            && !self.is_main
+            && self.ui.var(r.array).map(|v| v.is_formal).unwrap_or(false)
+            && self.ctx.strategy == Strategy::Interprocedural
+        {
+            self.residual.comms.push(PendingComm {
+                array: r.array,
+                pattern: CommPattern::BlockShift { dim, offset: off },
+                rsd: vect,
+            });
+            return Ok(());
+        }
+        let anchor = anchor_at(&r.nest, level, r.stmt);
+        let tag = self.fresh_tag();
+        let op = CommOp::Shift { array: r.array, dist: self.dists[&r.array], dim, offset: off, rsd: vect, tag };
+        self.comm_before.entry(anchor).or_default().push(op);
+        Ok(())
+    }
+
+    /// Pinned-slice broadcast pattern (e.g. `a(i,k)` with `k` global):
+    /// one buffer + one broadcast per (array, dim, index) group, sections
+    /// hulled over all the group's references.
+    fn plan_broadcast_group(&mut self, group: &[(ArrayRef, usize, Affine)]) -> R<()> {
+        let (r0, dim, index) = (&group[0].0, group[0].1, group[0].2.clone());
+        let array = r0.array;
+        let key: PinKey = (array, dim, index.clone());
+        if self.pin_buffers.contains_key(&key) {
+            return Ok(());
+        }
+        let spec = self.spec_at(r0.stmt, array)?.ok_or_else(|| {
+            CodegenError::at(0, "pinned read of a replicated array")
+        })?;
+        let dist = spec.array_dist(&self.ui.var(array).unwrap().dims, self.ctx.nprocs);
+        // Environment for hulling: unit facts + every group member's loop
+        // ranges.
+        let mut henv = self.env.clone();
+        for (r, _, _) in group {
+            for l in &r.nest {
+                if let (Some(lo), Some(hi)) = (
+                    l.lo.as_ref().map(|a| henv.fold(a)).and_then(|a| a.as_const()),
+                    l.hi.as_ref().map(|a| henv.fold(a)).and_then(|a| a.as_const()),
+                ) {
+                    henv.set_range(l.var, lo, hi);
+                }
+            }
+        }
+        let is_formal = self.ui.var(array).map(|v| v.is_formal).unwrap_or(false);
+        let may_delay = !self.is_main && is_formal && self.ctx.strategy == Strategy::Interprocedural;
+        let mut level: Option<usize> = None;
+        let mut anchor: Option<StmtId> = None;
+        let mut hull: Option<Rsd> = None;
+        for (r, _, _) in group {
+            let rsd = r.point_rsd().unwrap_or_else(|| {
+                Rsd::whole(
+                    &dist.dims.iter().map(|p| Affine::konst(p.extent)).collect::<Vec<_>>(),
+                )
+            });
+            // Never hoist past a loop that defines the pinned index.
+            let floor = r
+                .nest
+                .iter()
+                .rposition(|l| index.mentions(l.var))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let (lv, vect) = self.place_floor(&r.nest, rsd, array, floor)?;
+            let an = anchor_at(&r.nest, lv, r.stmt);
+            let delayed_here = lv == 0 && may_delay;
+            match (level, anchor) {
+                (None, None) => {
+                    level = Some(lv);
+                    anchor = Some(an);
+                }
+                (Some(plv), Some(pan)) => {
+                    if plv != lv {
+                        return Err(CodegenError::at(
+                            0,
+                            "pinned reads of one slice need conflicting placements",
+                        ));
+                    }
+                    if !delayed_here && pan != an {
+                        // Differing anchors are safe when the unit never
+                        // writes the array (the slice is constant through
+                        // the body): hoist to the earliest anchor.
+                        let read_only = !collect_refs(self.unit, self.ui)
+                            .iter()
+                            .any(|x| x.is_def && x.array == array);
+                        if !read_only {
+                            return Err(CodegenError::at(
+                                0,
+                                "pinned reads of one slice need conflicting placements",
+                            ));
+                        }
+                        let pos: BTreeMap<StmtId, usize> = self
+                            .unit
+                            .walk()
+                            .enumerate()
+                            .map(|(i, st)| (st.id, i))
+                            .collect();
+                        if pos.get(&an) < pos.get(&pan) {
+                            anchor = Some(an);
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+            hull = Some(match hull {
+                None => vect,
+                Some(h) => hull_rsd(&h, &vect, &henv).ok_or_else(|| {
+                    CodegenError::at(0, "cannot hull pinned-read sections")
+                })?,
+            });
+        }
+        let level = level.unwrap();
+        let vect = hull.unwrap();
+        let r = r0;
+        if level == 0 && !self.is_main && is_formal && self.ctx.strategy == Strategy::Interprocedural {
+            // Delay: the buffer becomes an extra formal.
+            let buf = self.fresh("buf");
+            self.pin_buffers.insert(key, buf);
+            self.buffer_formals.push(buf);
+            self.residual.comms.push(PendingComm {
+                array: r.array,
+                pattern: CommPattern::BroadcastDim { dim, index },
+                rsd: vect,
+            });
+            return Ok(());
+        }
+        // Instantiate: local buffer + Bcast at the anchor.
+        let buf = self.fresh("buf");
+        self.pin_buffers.insert(key.clone(), buf);
+        let bounds: Vec<(i64, i64)> = dist
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != dim)
+            .map(|(_, p)| (1, p.extent))
+            .collect();
+        let repl = ArrayDist::replicated(&bounds.iter().map(|&(_, h)| h).collect::<Vec<_>>());
+        let repl_id = self.spmd.add_dist(repl);
+        self.buffer_decls.push(SDecl { name: buf, bounds, dist: repl_id, owner_dist: None });
+        let anchor = anchor.unwrap();
+        let op = CommOp::Broadcast {
+            array: r.array,
+            dist: self.dists[&r.array],
+            dim,
+            index,
+            rsd: vect,
+            buffer: buf,
+        };
+        self.comm_before.entry(anchor).or_default().push(op);
+        Ok(())
+    }
+
+
+    /// Adopts a callee's pending communication at one call edge.
+    fn adopt_pending(&mut self, edge: &fortrand_analysis::CallEdge, pc: &PendingComm, _ci: usize) -> R<()> {
+        let callee_info = self.ctx.info.unit(edge.callee);
+        // Translate: callee array formal → our actual array; scalar
+        // formals in bounds → actual affine expressions.
+        let apos = callee_info.formals.iter().position(|&f| f == pc.array);
+        let our_array = match apos {
+            Some(p) => match edge.actuals.get(p) {
+                Some(Expr::Var(a)) => *a,
+                _ => return Err(CodegenError::at(0, "pending comm on non-variable actual")),
+            },
+            None => return Err(CodegenError::at(0, "pending comm on callee local")),
+        };
+        let mut subst: BTreeMap<Sym, Affine> = BTreeMap::new();
+        for (i, &f) in callee_info.formals.iter().enumerate() {
+            if callee_info.is_array(f) {
+                continue;
+            }
+            if let Some(a) = edge.actuals.get(i) {
+                if let Some(aff) = expr_affine(a, &self.params) {
+                    subst.insert(f, aff);
+                }
+            }
+        }
+        let mut rsd = pc.rsd.clone();
+        for (s, rep) in &subst {
+            rsd = rsd.subst(*s, rep);
+        }
+        let pattern = match &pc.pattern {
+            CommPattern::BlockShift { dim, offset } => CommPattern::BlockShift { dim: *dim, offset: *offset },
+            CommPattern::BroadcastDim { dim, index } => {
+                let mut idx = index.clone();
+                for (s, rep) in &subst {
+                    idx = idx.subst(*s, rep);
+                }
+                CommPattern::BroadcastDim { dim: *dim, index: idx }
+            }
+        };
+        let floor = match &pattern {
+            CommPattern::BroadcastDim { index, .. } => edge
+                .loops
+                .iter()
+                .rposition(|l| index.mentions(l.var))
+                .map(|p| p + 1)
+                .unwrap_or(0),
+            _ => 0,
+        };
+        let (level, vect) = self.place_floor(&edge.loops, rsd, our_array, floor)?;
+        let is_formal = self.ui.var(our_array).map(|v| v.is_formal).unwrap_or(false);
+        if level == 0 && !self.is_main && is_formal {
+            // Re-delay to our own caller.
+            if let CommPattern::BroadcastDim { .. } = &pattern {
+                let buf = self.fresh("buf");
+                self.buffer_formals.push(buf);
+                // Call-site pass-through is resolved during emission via
+                // the per-edge buffer map.
+                self.edge_buffers_mut(edge.site).push(buf);
+            }
+            self.residual.comms.push(PendingComm { array: our_array, pattern, rsd: vect });
+            return Ok(());
+        }
+        let anchor = anchor_at(&edge.loops, level, edge.site);
+        match pattern {
+            CommPattern::BlockShift { dim, offset } => {
+                let tag = self.fresh_tag();
+                let op = CommOp::Shift {
+                    array: our_array,
+                    dist: self.dists[&our_array],
+                    dim,
+                    offset,
+                    rsd: vect,
+                    tag,
+                };
+                self.comm_before.entry(anchor).or_default().push(op);
+            }
+            CommPattern::BroadcastDim { dim, index } => {
+                let dist = self.dist_of(our_array).clone();
+                let buf = self.fresh("buf");
+                let bounds: Vec<(i64, i64)> = dist
+                    .dims
+                    .iter()
+                    .enumerate()
+                    .filter(|(d, _)| *d != dim)
+                    .map(|(_, p)| (1, p.extent))
+                    .collect();
+                let repl =
+                    ArrayDist::replicated(&bounds.iter().map(|&(_, h)| h).collect::<Vec<_>>());
+                let repl_id = self.spmd.add_dist(repl);
+                self.buffer_decls.push(SDecl { name: buf, bounds, dist: repl_id, owner_dist: None });
+                self.edge_buffers_mut(edge.site).push(buf);
+                let op = CommOp::Broadcast {
+                    array: our_array,
+                    dist: self.dists[&our_array],
+                    dim,
+                    index,
+                    rsd: vect,
+                    buffer: buf,
+                };
+                self.comm_before.entry(anchor).or_default().push(op);
+            }
+        }
+        Ok(())
+    }
+
+    fn edge_buffers_mut(&mut self, site: StmtId) -> &mut Vec<Sym> {
+        self.edge_buffers.entry(site).or_default()
+    }
+
+    /// Vectorize-and-place: walks the enclosing loops innermost-out,
+    /// vectorizing the read section over each loop that carries no true
+    /// dependence. Returns the remaining level (0 = fully hoisted) and the
+    /// vectorized section.
+    fn place(&mut self, nest: &[LoopCtx], rsd: Rsd, array: Sym) -> R<(usize, Rsd)> {
+        self.place_floor(nest, rsd, array, 0)
+    }
+
+    /// Like [`Self::place`], but never hoists past `floor` (1-based level)
+    /// — used for broadcasts whose pinned index is defined by an enclosing
+    /// loop.
+    fn place_floor(
+        &mut self,
+        nest: &[LoopCtx],
+        mut rsd: Rsd,
+        array: Sym,
+        floor: usize,
+    ) -> R<(usize, Rsd)> {
+        // Comparison environment: unit constants + every enclosing loop's
+        // constant range (so `k ≤ n-1`-style facts are available).
+        let mut env = self.env.clone();
+        for l in nest {
+            if let (Some(lo), Some(hi)) = (
+                l.lo.as_ref().map(|a| env.fold(a)).and_then(|a| a.as_const()),
+                l.hi.as_ref().map(|a| env.fold(a)).and_then(|a| a.as_const()),
+            ) {
+                env.set_range(l.var, lo, hi);
+            }
+        }
+        let mut level = nest.len();
+        for l in nest.iter().rev() {
+            if level <= floor {
+                break;
+            }
+            if self.carried_dep(l, &rsd, array, &env) {
+                break;
+            }
+            let (Some(lo), Some(hi)) = (l.lo.clone(), l.hi.clone()) else { break };
+            if l.step != Some(1) {
+                break;
+            }
+            match rsd.vectorize(l.var, &lo, &hi) {
+                Some(v) => rsd = v,
+                None => break,
+            }
+            level -= 1;
+        }
+        Ok((level, rsd))
+    }
+
+    /// Conservative carried-dependence test for loop `l` between writes of
+    /// `array` in this unit and the read section `rsd`.
+    fn carried_dep(&self, l: &LoopCtx, rsd: &Rsd, array: Sym, env: &SymEnv) -> bool {
+        let mods = self.mods_below(l, array);
+        'mods: for m in &mods {
+            if m.rank() != rsd.rank() {
+                return true;
+            }
+            // Point-point dimensions with matching coefficients in the
+            // loop variable decide the flow direction exactly: elements
+            // coincide when read-iteration − write-iteration =
+            // (c_mod − c_read)/coeff. A non-positive distance means the
+            // read happens no later than the write (anti/loop-independent
+            // only) — no *carried flow* dependence from this write.
+            for d in 0..m.rank() {
+                let (mt, rt) = (&m.dims[d], &rsd.dims[d]);
+                if mt.lo == mt.hi && rt.lo == rt.hi {
+                    let cm = mt.lo.coeff(l.var);
+                    let cr = rt.lo.coeff(l.var);
+                    if cm == cr && cm != 0 {
+                        if let Some(diff) = (mt.lo.clone() - rt.lo.clone()).as_const() {
+                            let dist = diff / cm;
+                            if dist <= 0 {
+                                continue 'mods;
+                            }
+                            return true; // definite carried flow dep
+                        }
+                    }
+                }
+            }
+            // Disjointness after sweeping the loop var on both sides.
+            let (Some(lo), Some(hi)) = (l.lo.clone(), l.hi.clone()) else { return true };
+            let ms = m.vectorize(l.var, &lo, &hi);
+            let rs = rsd.vectorize(l.var, &lo, &hi);
+            if let (Some(ms), Some(rs)) = (ms, rs) {
+                if let Some(i) = ms.intersect(&rs, env) {
+                    if i.is_empty(env).is_yes() {
+                        continue 'mods;
+                    }
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Write sections of `array` in this unit, vectorized over loops
+    /// strictly deeper than `l` (the loop var itself stays symbolic).
+    fn mods_below(&self, l: &LoopCtx, array: Sym) -> Vec<Rsd> {
+        let mut out = Vec::new();
+        // Direct defs — only those lexically inside loop `l` (writes
+        // outside it cannot create an l-carried dependence; ordering with
+        // siblings is preserved by positional anchoring).
+        for r in collect_refs(self.unit, self.ui) {
+            if !r.is_def || r.array != array {
+                continue;
+            }
+            if !r.nest.iter().any(|x| x.stmt == l.stmt) {
+                continue;
+            }
+            let Some(mut rsd) = r.point_rsd() else {
+                out.push(self.whole_of(array));
+                continue;
+            };
+            // Vectorize over loops deeper than l in r's nest.
+            let pos = r.nest.iter().position(|x| x.stmt == l.stmt);
+            let deeper: &[LoopCtx] = match pos {
+                Some(p) => &r.nest[p + 1..],
+                None => &r.nest[..],
+            };
+            let mut ok = true;
+            for dl in deeper.iter().rev() {
+                match (dl.lo.clone(), dl.hi.clone(), dl.step) {
+                    (Some(lo), Some(hi), Some(1)) => match rsd.vectorize(dl.var, &lo, &hi) {
+                        Some(v) => rsd = v,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            out.push(if ok { rsd } else { self.whole_of(array) });
+        }
+        // Callee mods at call sites (already vectorized over callee loops,
+        // still symbolic in our loop vars).
+        for edge in self.ctx.acg.calls.get(&self.unit.name).into_iter().flatten() {
+            if !edge.loops.iter().any(|x| x.stmt == l.stmt) {
+                continue;
+            }
+            let callee_eff = self.ctx.se.units.get(&edge.callee);
+            if let Some(eff) = callee_eff {
+                let (tmods, _) = fortrand_analysis::side_effects::translate_effects(
+                    eff,
+                    edge,
+                    self.ctx.info,
+                    &self.env,
+                );
+                if let Some(secs) = tmods.0.get(&array) {
+                    match secs {
+                        Sections::Whole => out.push(self.whole_of(array)),
+                        Sections::Some(v) => {
+                            for m in v {
+                                // Vectorize over our loops deeper than l.
+                                let pos = edge.loops.iter().position(|x| x.stmt == l.stmt);
+                                let deeper: &[LoopCtx] = match pos {
+                                    Some(p) => &edge.loops[p + 1..],
+                                    None => &edge.loops[..],
+                                };
+                                let mut rsd = m.clone();
+                                let mut ok = true;
+                                for dl in deeper.iter().rev() {
+                                    match (dl.lo.clone(), dl.hi.clone(), dl.step) {
+                                        (Some(lo), Some(hi), Some(1)) => {
+                                            match rsd.vectorize(dl.var, &lo, &hi) {
+                                                Some(v) => rsd = v,
+                                                None => {
+                                                    ok = false;
+                                                    break;
+                                                }
+                                            }
+                                        }
+                                        _ => {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                }
+                                out.push(if ok { rsd } else { self.whole_of(array) });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn whole_of(&self, array: Sym) -> Rsd {
+        let dims = self.ui.var(array).map(|v| v.dims.clone()).unwrap_or_default();
+        Rsd::whole(&dims.iter().map(|&e| Affine::konst(e)).collect::<Vec<_>>())
+    }
+}
+
+/// Collects scalar assignment/read positions for the privatization test.
+fn collect_scalar_uses(
+    body: &[Stmt],
+    s: Sym,
+    nest: &mut Vec<StmtId>,
+    pos: &BTreeMap<StmtId, usize>,
+    assigns: &mut Vec<(usize, Vec<StmtId>)>,
+    reads: &mut Vec<(usize, Vec<StmtId>)>,
+) {
+    for st in body {
+        let p = pos.get(&st.id).copied().unwrap_or(usize::MAX);
+        let mut note_reads = |e: &Expr| {
+            let mut m = vec![];
+            e.mentioned_syms(&mut m);
+            if m.contains(&s) {
+                reads.push((p, nest.clone()));
+            }
+        };
+        match &st.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                note_reads(rhs);
+                match lhs {
+                    LValue::Scalar(v) if *v == s => assigns.push((p, nest.clone())),
+                    LValue::Element { subs, .. } => {
+                        for sub in subs {
+                            note_reads(sub);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            StmtKind::Do { lo, hi, step, body, .. } => {
+                note_reads(lo);
+                note_reads(hi);
+                if let Some(e) = step {
+                    note_reads(e);
+                }
+                nest.push(st.id);
+                collect_scalar_uses(body, s, nest, pos, assigns, reads);
+                nest.pop();
+            }
+            StmtKind::If { cond, then_body, else_body } => {
+                note_reads(cond);
+                collect_scalar_uses(then_body, s, nest, pos, assigns, reads);
+                collect_scalar_uses(else_body, s, nest, pos, assigns, reads);
+            }
+            StmtKind::Call { args, .. } | StmtKind::Print { args } => {
+                for a in args {
+                    note_reads(a);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The anchoring statement for a communication placed at `level` within
+/// `nest` (level = nest.len() means "at the reference's own statement").
+fn anchor_at(nest: &[LoopCtx], level: usize, site: StmtId) -> StmtId {
+    if level >= nest.len() {
+        site
+    } else {
+        nest[level].stmt
+    }
+}
+
+mod emit;
+mod rtr;
+
+
+
+/// Per-dimension hull of two unit-stride sections under `env`.
+fn hull_rsd(a: &Rsd, b: &Rsd, env: &SymEnv) -> Option<Rsd> {
+    if a.rank() != b.rank() {
+        return None;
+    }
+    let dims = a
+        .dims
+        .iter()
+        .zip(&b.dims)
+        .map(|(x, y)| {
+            if x.step != 1 || y.step != 1 {
+                return None;
+            }
+            let lo = env.min(&x.lo, &y.lo)?.clone();
+            let hi = env.max(&x.hi, &y.hi)?.clone();
+            Some(Triplet::new(lo, hi))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(Rsd::new(dims))
+}

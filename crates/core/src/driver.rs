@@ -1,0 +1,320 @@
+//! Compilation driver: the 3-phase ParaScope-style pipeline (paper §4–§5).
+//!
+//! 1. **Local analysis** — parse + semantic analysis per unit (the
+//!    after-edit summary collection).
+//! 2. **Interprocedural propagation** — ACG construction, interprocedural
+//!    constants, reaching decompositions with procedure cloning, GMOD/GREF
+//!    side effects, overlap offsets.
+//! 3. **Interprocedural code generation** — units compiled in reverse
+//!    topological order, residuals flowing caller-ward (delayed
+//!    instantiation).
+//!
+//! The driver also produces per-unit *fact hashes* — digests of the
+//! interprocedural information each unit's code depends on — which the
+//! [`crate::recompile`] module compares across compilations to decide what
+//! must be recompiled after an edit (paper §8).
+
+use crate::cloning::{clone_for_decompositions, CloneResult};
+use crate::codegen::{self, CodegenError, Ctx};
+use crate::model::{DynOptLevel, Strategy};
+use crate::overlap;
+use fortrand_analysis::{consts, side_effects};
+use fortrand_frontend::parse_program;
+use fortrand_spmd::ir::{SStmt, SpmdProgram};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Compilation options.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Strategy (interprocedural / immediate / run-time resolution).
+    pub strategy: Strategy,
+    /// Processor count override (`None` = the program's `n$proc`
+    /// parameter, defaulting to 1).
+    pub nprocs: Option<usize>,
+    /// Dynamic-decomposition optimization level.
+    pub dyn_opt: DynOptLevel,
+    /// Cloning growth threshold before falling back to run-time
+    /// resolution (paper §5.2).
+    pub clone_limit: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            strategy: Strategy::Interprocedural,
+            nprocs: None,
+            dyn_opt: DynOptLevel::Kills,
+            clone_limit: 64,
+        }
+    }
+}
+
+/// Compilation failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Front-end error.
+    Frontend(fortrand_frontend::FrontendError),
+    /// Call graph / cloning error.
+    Graph(String),
+    /// Code generation error.
+    Codegen(CodegenError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "front end: {e}"),
+            CompileError::Graph(e) => write!(f, "interprocedural: {e}"),
+            CompileError::Codegen(e) => write!(f, "code generation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compilation statistics and recompilation bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct CompileReport {
+    /// Processors compiled for.
+    pub nprocs: usize,
+    /// Strategy actually used (may differ from the request when cloning
+    /// hit its limit and the driver fell back to run-time resolution).
+    pub strategy_used: String,
+    /// Clones created: original → clone names.
+    pub clones: BTreeMap<String, Vec<String>>,
+    /// Static counts over the emitted program.
+    pub static_sends: usize,
+    /// Static broadcast statements.
+    pub static_bcasts: usize,
+    /// Static element-message statements (run-time resolution).
+    pub static_elem_msgs: usize,
+    /// Static remap statements.
+    pub static_remaps: usize,
+    /// Static mark-only remaps.
+    pub static_marks: usize,
+    /// Per-unit source hashes (recompilation analysis input).
+    pub source_hashes: BTreeMap<String, u64>,
+    /// Per-unit hashes of consumed interprocedural facts.
+    pub fact_hashes: BTreeMap<String, u64>,
+}
+
+/// A compiled program plus its report.
+pub struct CompileOutput {
+    /// The SPMD node program.
+    pub spmd: SpmdProgram,
+    /// Statistics and recompilation records.
+    pub report: CompileReport,
+}
+
+/// Compiles Fortran D source to an SPMD node program.
+pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompileOutput, CompileError> {
+    // Phase 1+2a: parse, then clone to unique reaching decompositions.
+    let parsed = parse_program(source).map_err(CompileError::Frontend)?;
+    let CloneResult { prog, info, acg, reaching, clones, unresolved } =
+        clone_for_decompositions(parsed, opts.clone_limit).map_err(CompileError::Graph)?;
+
+    let mut strategy = opts.strategy;
+    let mut strategy_used = format!("{strategy:?}");
+    if !unresolved.is_empty() && strategy != Strategy::RuntimeResolution {
+        // Paper §5.2: past the growth threshold, force run-time resolution.
+        strategy = Strategy::RuntimeResolution;
+        strategy_used = format!("{strategy:?} (cloning limit fallback)");
+    }
+
+    let nprocs = opts
+        .nprocs
+        .or(info.n_proc.map(|v| v as usize))
+        .unwrap_or(1)
+        .max(1);
+
+    // Phase 2b: remaining propagation problems.
+    let mut acg = acg;
+    let ic = consts::compute(&info, &acg);
+    // Interprocedural constants sharpen loop bounds, which in turn sharpen
+    // the ACG's formal-range annotations (needed by the symbolic section
+    // algebra for dgefa-style `k ≤ n-1` facts).
+    fortrand_analysis::acg::refine_formal_ranges(&mut acg, &info, &|u| ic.params_for(u, &info));
+    let se = side_effects::compute(&prog, &info, &acg);
+    let overlaps = overlap::compute(&prog, &info, &acg);
+
+    // Phase 3: reverse-topological code generation.
+    let ctx = Ctx {
+        prog: &prog,
+        info: &info,
+        acg: &acg,
+        reaching: &reaching,
+        se: &se,
+        consts: &ic,
+        overlaps: &overlaps,
+        nprocs,
+        strategy,
+        dyn_opt: opts.dyn_opt,
+    };
+    let (spmd, compiled) = codegen::compile_all(&ctx).map_err(CompileError::Codegen)?;
+
+    // Report.
+    let mut report = CompileReport {
+        nprocs,
+        strategy_used,
+        clones: clones
+            .iter()
+            .map(|(k, v)| {
+                (
+                    prog.interner.name(*k).to_string(),
+                    v.iter().map(|s| prog.interner.name(*s).to_string()).collect(),
+                )
+            })
+            .collect(),
+        ..Default::default()
+    };
+    for p in &spmd.procs {
+        count_static(&p.body, &mut report);
+    }
+    for u in &prog.units {
+        let name = prog.interner.name(u.name).to_string();
+        report.source_hashes.insert(name.clone(), hash_of(&format!("{:?}", unit_fingerprint(u))));
+        // Facts a unit's code depends on: its reaching decompositions, the
+        // interprocedural constants of its formals, its overlap widths,
+        // and its callees' residuals.
+        let mut facts = String::new();
+        if let Some(r) = reaching.reaching.get(&u.name) {
+            facts.push_str(&format!("{r:?}"));
+        }
+        for (&(unit, f), v) in &ic.formals {
+            if unit == u.name {
+                facts.push_str(&format!("{f:?}={v};"));
+            }
+        }
+        for ((unit, arr), w) in &overlaps.widths {
+            if *unit == u.name {
+                facts.push_str(&format!("{arr:?}:{w:?};"));
+            }
+        }
+        for edge in acg.calls.get(&u.name).into_iter().flatten() {
+            if let Some(cu) = compiled.get(&edge.callee) {
+                facts.push_str(&format!("{:?}{:?}", cu.residual, cu.dyn_summary));
+            }
+        }
+        report.fact_hashes.insert(name, hash_of(&facts));
+    }
+
+    Ok(CompileOutput { spmd, report })
+}
+
+fn count_static(body: &[SStmt], r: &mut CompileReport) {
+    for s in body {
+        match s {
+            SStmt::Send { .. } => r.static_sends += 1,
+            SStmt::Bcast { .. } | SStmt::BcastScalar { .. } => r.static_bcasts += 1,
+            SStmt::SendElem { .. } => r.static_elem_msgs += 1,
+            SStmt::Remap { .. } | SStmt::RemapGlobal { .. } => r.static_remaps += 1,
+            SStmt::MarkDist { .. } => r.static_marks += 1,
+            SStmt::Do { body, .. } => count_static(body, r),
+            SStmt::If { then_body, else_body, .. } => {
+                count_static(then_body, r);
+                count_static(else_body, r);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A stable structural fingerprint of a unit (names + statement kinds),
+/// independent of statement ids so cloning renumbering doesn't perturb it.
+fn unit_fingerprint(u: &fortrand_frontend::ProcUnit) -> String {
+    let mut s = format!("{:?}|{:?}|{:?}|", u.kind, u.name, u.formals);
+    for st in u.walk() {
+        s.push_str(&format!("{:?};", kind_tag(&st.kind)));
+    }
+    s
+}
+
+fn kind_tag(k: &fortrand_frontend::StmtKind) -> String {
+    use fortrand_frontend::StmtKind::*;
+    match k {
+        Assign { lhs, rhs } => format!("A{lhs:?}={rhs:?}"),
+        Do { var, lo, hi, step, .. } => format!("D{var:?}{lo:?}{hi:?}{step:?}"),
+        If { cond, .. } => format!("I{cond:?}"),
+        Call { name, args } => format!("C{name:?}{args:?}"),
+        Return => "R".into(),
+        Continue => "K".into(),
+        Stop => "S".into(),
+        Align { array, target, perm, offset } => format!("L{array:?}{target:?}{perm:?}{offset:?}"),
+        Distribute { target, kinds } => format!("T{target:?}{kinds:?}"),
+        Print { args } => format!("P{args:?}"),
+    }
+}
+
+fn hash_of(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
+
+    #[test]
+    fn fig1_compiles_interprocedurally() {
+        let out = compile(FIG1, &CompileOptions::default()).unwrap();
+        assert_eq!(out.spmd.nprocs, 4);
+        assert_eq!(out.spmd.procs.len(), 2);
+        // One vectorized send in the whole program.
+        assert_eq!(out.report.static_sends, 1);
+        assert_eq!(out.report.static_elem_msgs, 0);
+    }
+
+    #[test]
+    fn fig1_runtime_resolution_uses_element_messages() {
+        let out = compile(
+            FIG1,
+            &CompileOptions { strategy: Strategy::RuntimeResolution, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.report.static_elem_msgs > 0);
+        assert_eq!(out.report.static_sends, 0);
+    }
+
+    #[test]
+    fn fig4_compiles_with_clones() {
+        let out = compile(FIG4, &CompileOptions::default()).unwrap();
+        assert!(out.report.clones.contains_key("f1"));
+        assert!(out.report.clones.contains_key("f2"));
+        // Row version ships one vectorized exchange, column version none.
+        assert_eq!(out.report.static_sends, 1, "{:?}", out.report);
+    }
+
+    #[test]
+    fn fig15_remap_counts_by_level() {
+        let count = |lvl: DynOptLevel| {
+            let out = compile(
+                FIG15,
+                &CompileOptions { dyn_opt: lvl, ..Default::default() },
+            )
+            .unwrap();
+            (out.report.static_remaps, out.report.static_marks)
+        };
+        assert_eq!(count(DynOptLevel::None), (4, 0));
+        assert_eq!(count(DynOptLevel::Live), (2, 0));
+        assert_eq!(count(DynOptLevel::Hoist), (2, 0));
+        assert_eq!(count(DynOptLevel::Kills), (1, 1));
+    }
+
+    #[test]
+    fn nprocs_override_wins() {
+        let out =
+            compile(FIG1, &CompileOptions { nprocs: Some(2), ..Default::default() }).unwrap();
+        assert_eq!(out.spmd.nprocs, 2);
+    }
+
+    #[test]
+    fn clone_limit_falls_back_to_runtime_resolution() {
+        let out = compile(FIG4, &CompileOptions { clone_limit: 1, ..Default::default() }).unwrap();
+        assert!(out.report.strategy_used.contains("fallback"), "{}", out.report.strategy_used);
+        assert!(out.report.static_elem_msgs > 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Recompilation analysis (paper §8, reconstructed).
+//!
+//! ParaScope preserves separate compilation by recording, per procedure,
+//! the summary information it produced and the interprocedural facts its
+//! compiled code consumed. After an edit, a module must be recompiled only
+//! if (a) its own source changed, or (b) some fact it consumed — reaching
+//! decompositions, callee residuals (iteration sets, nonlocal index sets,
+//! remap summaries), interprocedural constants, overlap widths — changed.
+//!
+//! The [`crate::driver`] computes both hash families during every compile;
+//! this module persists them as a *module database* and diffs databases to
+//! produce a recompilation plan.
+
+use crate::driver::CompileReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Persisted per-program compilation records.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct ModuleDb {
+    /// Per-unit records, keyed by unit name.
+    pub units: BTreeMap<String, UnitRecord>,
+}
+
+/// One unit's record.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct UnitRecord {
+    /// Hash of the unit's own source (structural fingerprint).
+    pub source_hash: u64,
+    /// Hash of the interprocedural facts the unit's code consumed.
+    pub facts_hash: u64,
+}
+
+impl ModuleDb {
+    /// Builds a database from a compile report.
+    pub fn from_report(report: &CompileReport) -> Self {
+        let mut db = ModuleDb::default();
+        for (name, &source_hash) in &report.source_hashes {
+            let facts_hash = report.fact_hashes.get(name).copied().unwrap_or(0);
+            db.units.insert(name.clone(), UnitRecord { source_hash, facts_hash });
+        }
+        db
+    }
+
+    /// Serializes to JSON (the on-disk module database).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("db serializes")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// Why a unit must be recompiled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reason {
+    /// The unit's own source changed.
+    SourceChanged,
+    /// Interprocedural facts it consumed changed.
+    FactsChanged,
+    /// The unit is new.
+    New,
+}
+
+/// Result of recompilation analysis.
+#[derive(Clone, Debug, Default)]
+pub struct RecompilePlan {
+    /// Units to recompile, with reasons.
+    pub recompile: BTreeMap<String, Reason>,
+    /// Units whose compiled code is still valid.
+    pub skip: Vec<String>,
+}
+
+impl RecompilePlan {
+    /// Fraction of units skipped (the benefit of the analysis).
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.recompile.len() + self.skip.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.skip.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Diffs two databases (old compile vs new program state).
+pub fn plan(old: &ModuleDb, new: &ModuleDb) -> RecompilePlan {
+    let mut out = RecompilePlan::default();
+    for (name, rec) in &new.units {
+        match old.units.get(name) {
+            None => {
+                out.recompile.insert(name.clone(), Reason::New);
+            }
+            Some(prev) => {
+                if prev.source_hash != rec.source_hash {
+                    out.recompile.insert(name.clone(), Reason::SourceChanged);
+                } else if prev.facts_hash != rec.facts_hash {
+                    out.recompile.insert(name.clone(), Reason::FactsChanged);
+                } else {
+                    out.skip.push(name.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{compile, CompileOptions};
+    use fortrand_analysis::fixtures::FIG4;
+
+    fn db_of(src: &str) -> ModuleDb {
+        let out = compile(src, &CompileOptions::default()).unwrap();
+        ModuleDb::from_report(&out.report)
+    }
+
+    #[test]
+    fn unchanged_program_recompiles_nothing() {
+        let a = db_of(FIG4);
+        let b = db_of(FIG4);
+        let p = plan(&a, &b);
+        assert!(p.recompile.is_empty(), "{p:?}");
+        assert_eq!(p.skip.len(), b.units.len());
+    }
+
+    #[test]
+    fn body_edit_recompiles_only_that_unit() {
+        // Change F2's arithmetic (same decompositions, same interface).
+        let edited = FIG4.replace("0.5 * Z(k+5,i)", "0.25 * Z(k+5,i)");
+        let a = db_of(FIG4);
+        let b = db_of(&edited);
+        let p = plan(&a, &b);
+        // The edited unit's clones are recompiled for source change.
+        assert!(p
+            .recompile
+            .keys()
+            .all(|k| k.starts_with("f2")), "{p:?}");
+        assert!(!p.recompile.is_empty());
+        // F1 clones and P1 keep their compiled code... unless the edit
+        // changed F2's residual (here the stencil is unchanged in shape,
+        // but the RHS coefficient is local — facts stay equal).
+        assert!(p.skip.iter().any(|k| k.starts_with("f1")), "{p:?}");
+        assert!(p.skip.iter().any(|k| k == "p1"), "{p:?}");
+    }
+
+    #[test]
+    fn decomposition_edit_ripples_to_callees() {
+        // Change the distribution in the main program: every procedure
+        // that inherited it must be recompiled (facts changed).
+        let edited = FIG4.replace("DISTRIBUTE X(BLOCK,:)", "DISTRIBUTE X(:,BLOCK)");
+        let a = db_of(FIG4);
+        let b = db_of(&edited);
+        let p = plan(&a, &b);
+        assert!(p.recompile.contains_key("p1"), "{p:?}");
+        assert!(
+            p.recompile.keys().any(|k| k.starts_with("f1")),
+            "callee must see changed reaching decomposition: {p:?}"
+        );
+    }
+
+    #[test]
+    fn stencil_width_edit_changes_caller_facts() {
+        // Widening the stencil changes F2's residual (overlaps + nonlocal
+        // sets), which P1's compiled code consumed.
+        let edited = FIG4.replace("Z(k+5,i)", "Z(k+7,i)").replace("do k = 1,95", "do k = 1,93");
+        let a = db_of(FIG4);
+        let b = db_of(&edited);
+        let p = plan(&a, &b);
+        assert!(p.recompile.contains_key("p1"), "caller consumed changed residual: {p:?}");
+    }
+
+    #[test]
+    fn db_roundtrips_through_json() {
+        let a = db_of(FIG4);
+        let json = a.to_json();
+        let b = ModuleDb::from_json(&json).unwrap();
+        assert_eq!(a, b);
+    }
+}

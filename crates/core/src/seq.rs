@@ -1,0 +1,502 @@
+//! Sequential reference interpreter.
+//!
+//! Executes the *source* program directly, ignoring all data-placement
+//! statements (a Fortran D program's meaning is exactly its sequential
+//! Fortran meaning — the compiler must preserve it). Used as the
+//! correctness oracle for every compilation strategy: simulated SPMD
+//! results must match this interpreter's results.
+
+use fortrand_frontend::ast::*;
+use fortrand_frontend::sema::ProgramInfo;
+use fortrand_ir::Sym;
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+
+/// Result of a sequential run.
+#[derive(Debug, Default)]
+pub struct SeqOutput {
+    /// Final contents of every array of the main program, row-major.
+    pub arrays: BTreeMap<Sym, Vec<f64>>,
+    /// `print *` output lines.
+    pub printed: Vec<String>,
+}
+
+/// Runtime value.
+#[derive(Clone, Copy, Debug)]
+enum V {
+    I(i64),
+    R(f64),
+}
+
+impl V {
+    fn i(self) -> i64 {
+        match self {
+            V::I(v) => v,
+            V::R(v) => v as i64,
+        }
+    }
+    fn r(self) -> f64 {
+        match self {
+            V::I(v) => v as f64,
+            V::R(v) => v,
+        }
+    }
+    fn truthy(self) -> bool {
+        self.i() != 0
+    }
+}
+
+struct Arr {
+    dims: Vec<i64>,
+    lower: Vec<i64>,
+    data: Vec<f64>,
+}
+
+impl Arr {
+    fn flat(&self, subs: &[i64]) -> usize {
+        let mut f = 0usize;
+        for (d, &x) in subs.iter().enumerate() {
+            let lo = self.lower[d];
+            let w = self.dims[d];
+            assert!(
+                x >= lo && x < lo + w,
+                "sequential interpreter: subscript {x} out of bounds {}..{}",
+                lo,
+                lo + w - 1
+            );
+            f = f * w as usize + (x - lo) as usize;
+        }
+        f
+    }
+}
+
+struct Frame {
+    arrays: FxHashMap<Sym, usize>,
+    scalars: FxHashMap<Sym, V>,
+}
+
+enum Flow {
+    Normal,
+    Return,
+    Stop,
+}
+
+struct Seq<'a> {
+    prog: &'a SourceProgram,
+    info: &'a ProgramInfo,
+    heap: Vec<Arr>,
+    frames: Vec<Frame>,
+    printed: Vec<String>,
+    /// Result value slot for the function currently executing (Fortran
+    /// functions assign to their own name).
+    fn_result: Vec<(Sym, V)>,
+}
+
+/// Runs the program sequentially. `init` provides initial array contents
+/// for main-program arrays (row-major); missing arrays start zeroed.
+pub fn run_sequential(
+    prog: &SourceProgram,
+    info: &ProgramInfo,
+    init: &BTreeMap<Sym, Vec<f64>>,
+) -> SeqOutput {
+    let main = prog.main_unit().expect("no PROGRAM unit");
+    let mut s = Seq { prog, info, heap: Vec::new(), frames: Vec::new(), printed: Vec::new(), fn_result: vec![] };
+    let mut frame = Frame { arrays: FxHashMap::default(), scalars: FxHashMap::default() };
+    let ui = info.unit(main.name);
+    for (&name, vi) in &ui.vars {
+        if vi.is_array() {
+            let len: i64 = vi.dims.iter().product();
+            let mut data = vec![0.0; len as usize];
+            if let Some(v) = init.get(&name) {
+                assert_eq!(v.len(), data.len(), "init size mismatch");
+                data.copy_from_slice(v);
+            }
+            let id = s.heap.len();
+            s.heap.push(Arr { dims: vi.dims.clone(), lower: vi.lower.clone(), data });
+            frame.arrays.insert(name, id);
+        }
+    }
+    s.frames.push(frame);
+    let _ = s.body(&main.body, main.name);
+    let mut out = SeqOutput { printed: std::mem::take(&mut s.printed), ..Default::default() };
+    let frame = s.frames.pop().unwrap();
+    for (&name, vi) in &ui.vars {
+        if vi.is_array() {
+            let id = frame.arrays[&name];
+            out.arrays.insert(name, s.heap[id].data.clone());
+        }
+    }
+    out
+}
+
+impl Seq<'_> {
+    fn frame(&mut self) -> &mut Frame {
+        self.frames.last_mut().unwrap()
+    }
+
+    fn body(&mut self, body: &[Stmt], unit: Sym) -> Flow {
+        for st in body {
+            match self.stmt(st, unit) {
+                Flow::Normal => {}
+                f => return f,
+            }
+        }
+        Flow::Normal
+    }
+
+    fn stmt(&mut self, s: &Stmt, unit: Sym) -> Flow {
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                let v = self.eval(rhs, unit);
+                match lhs {
+                    LValue::Scalar(x) => {
+                        // Function result assignment?
+                        if let Some(slot) = self.fn_result.last_mut() {
+                            if slot.0 == *x {
+                                slot.1 = v;
+                                return Flow::Normal;
+                            }
+                        }
+                        self.frame().scalars.insert(*x, v);
+                    }
+                    LValue::Element { array, subs } => {
+                        let idx: Vec<i64> = subs.iter().map(|e| self.eval(e, unit).i()).collect();
+                        let id = self.frames.last().unwrap().arrays[array];
+                        let f = self.heap[id].flat(&idx);
+                        self.heap[id].data[f] = v.r();
+                    }
+                }
+                Flow::Normal
+            }
+            StmtKind::Do { var, lo, hi, step, body } => {
+                let lo = self.eval(lo, unit).i();
+                let hi = self.eval(hi, unit).i();
+                let st = step.as_ref().map(|e| self.eval(e, unit).i()).unwrap_or(1);
+                assert!(st != 0);
+                let mut i = lo;
+                while (st > 0 && i <= hi) || (st < 0 && i >= hi) {
+                    self.frame().scalars.insert(*var, V::I(i));
+                    match self.body(body, unit) {
+                        Flow::Normal => {}
+                        f => return f,
+                    }
+                    i += st;
+                }
+                Flow::Normal
+            }
+            StmtKind::If { cond, then_body, else_body } => {
+                if self.eval(cond, unit).truthy() {
+                    self.body(then_body, unit)
+                } else {
+                    self.body(else_body, unit)
+                }
+            }
+            StmtKind::Call { name, args } => {
+                self.invoke(*name, args, unit);
+                Flow::Normal
+            }
+            StmtKind::Return => Flow::Return,
+            StmtKind::Stop => Flow::Stop,
+            StmtKind::Print { args } => {
+                let line: Vec<String> = args
+                    .iter()
+                    .map(|a| match self.eval(a, unit) {
+                        V::I(v) => format!("{v}"),
+                        V::R(v) => format!("{v}"),
+                    })
+                    .collect();
+                self.printed.push(line.join(" "));
+                Flow::Normal
+            }
+            // Data placement statements have no sequential meaning.
+            StmtKind::Align { .. } | StmtKind::Distribute { .. } | StmtKind::Continue => Flow::Normal,
+        }
+    }
+
+    /// Calls a subroutine or function; returns the function value if any.
+    fn invoke(&mut self, name: Sym, args: &[Expr], caller: Sym) -> V {
+        let unit = self.prog.unit(name).expect("callee exists");
+        let ui = self.info.unit(name);
+        let mut frame = Frame { arrays: FxHashMap::default(), scalars: FxHashMap::default() };
+        // Copy-back list for scalar actuals that are plain variables.
+        let mut copy_back: Vec<(Sym, Sym)> = Vec::new(); // (formal, caller var)
+        for (i, &f) in unit.formals.iter().enumerate() {
+            let actual = &args[i];
+            let f_is_array = ui.is_array(f);
+            if f_is_array {
+                match actual {
+                    Expr::Var(a) => {
+                        let id = self.frames.last().unwrap().arrays[a];
+                        frame.arrays.insert(f, id);
+                    }
+                    _ => panic!("array formal requires whole-array actual in this subset"),
+                }
+            } else {
+                let v = self.eval(actual, caller);
+                frame.scalars.insert(f, v);
+                if let Expr::Var(a) = actual {
+                    if !self.info.unit(caller).is_array(*a) {
+                        copy_back.push((f, *a));
+                    }
+                }
+            }
+        }
+        // Allocate callee locals.
+        for (&v, vi) in &ui.vars {
+            if vi.is_array() && !frame.arrays.contains_key(&v) {
+                let len: i64 = vi.dims.iter().product();
+                let id = self.heap.len();
+                self.heap.push(Arr { dims: vi.dims.clone(), lower: vi.lower.clone(), data: vec![0.0; len as usize] });
+                frame.arrays.insert(v, id);
+            }
+        }
+        self.frames.push(frame);
+        let is_fn = matches!(unit.kind, UnitKind::Function(_));
+        if is_fn {
+            self.fn_result.push((name, V::R(0.0)));
+        }
+        let _ = self.body(&unit.body, name);
+        let result = if is_fn { self.fn_result.pop().unwrap().1 } else { V::R(0.0) };
+        let callee_frame = self.frames.pop().unwrap();
+        // Fortran copy-out for scalar var actuals.
+        for (f, a) in copy_back {
+            if let Some(&v) = callee_frame.scalars.get(&f) {
+                self.frame().scalars.insert(a, v);
+            }
+        }
+        result
+    }
+
+    fn eval(&mut self, e: &Expr, unit: Sym) -> V {
+        match e {
+            Expr::Int(v) => V::I(*v),
+            Expr::Real(v) => V::R(*v),
+            Expr::Logical(b) => V::I(*b as i64),
+            Expr::Var(x) => {
+                if let Some(&c) = self.info.unit(unit).params.get(x) {
+                    return V::I(c);
+                }
+                // Uninitialized variables read as zero (out-parameters are
+                // evaluated before the callee defines them).
+                self.frames.last().unwrap().scalars.get(x).copied().unwrap_or(V::I(0))
+            }
+            Expr::Element { array, subs } => {
+                let idx: Vec<i64> = subs.iter().map(|s| self.eval(s, unit).i()).collect();
+                let id = self.frames.last().unwrap().arrays[array];
+                let f = self.heap[id].flat(&idx);
+                V::R(self.heap[id].data[f])
+            }
+            Expr::Bin { op, l, r } => {
+                let a = self.eval(l, unit);
+                let b = self.eval(r, unit);
+                self.binop(*op, a, b)
+            }
+            Expr::Un { op, e } => {
+                let v = self.eval(e, unit);
+                match op {
+                    UnOp::Neg => match v {
+                        V::I(x) => V::I(-x),
+                        V::R(x) => V::R(-x),
+                    },
+                    UnOp::Not => V::I(!v.truthy() as i64),
+                }
+            }
+            Expr::Intrinsic { name, args } => {
+                let vals: Vec<V> = args.iter().map(|a| self.eval(a, unit)).collect();
+                self.intrinsic(*name, &vals)
+            }
+            Expr::FuncCall { name, args } => self.invoke(*name, args, unit),
+        }
+    }
+
+    fn binop(&self, op: BinOp, a: V, b: V) -> V {
+        let both_int = matches!((a, b), (V::I(_), V::I(_)));
+        let bv = |c: bool| V::I(c as i64);
+        if both_int {
+            let (x, y) = (a.i(), b.i());
+            match op {
+                BinOp::Add => V::I(x + y),
+                BinOp::Sub => V::I(x - y),
+                BinOp::Mul => V::I(x * y),
+                BinOp::Div => V::I(x / y),
+                BinOp::Pow => V::I(x.pow(y.clamp(0, 62) as u32)),
+                BinOp::Lt => bv(x < y),
+                BinOp::Le => bv(x <= y),
+                BinOp::Gt => bv(x > y),
+                BinOp::Ge => bv(x >= y),
+                BinOp::Eq => bv(x == y),
+                BinOp::Ne => bv(x != y),
+                BinOp::And => bv(x != 0 && y != 0),
+                BinOp::Or => bv(x != 0 || y != 0),
+            }
+        } else {
+            let (x, y) = (a.r(), b.r());
+            match op {
+                BinOp::Add => V::R(x + y),
+                BinOp::Sub => V::R(x - y),
+                BinOp::Mul => V::R(x * y),
+                BinOp::Div => V::R(x / y),
+                BinOp::Pow => V::R(x.powf(y)),
+                BinOp::Lt => bv(x < y),
+                BinOp::Le => bv(x <= y),
+                BinOp::Gt => bv(x > y),
+                BinOp::Ge => bv(x >= y),
+                BinOp::Eq => bv(x == y),
+                BinOp::Ne => bv(x != y),
+                BinOp::And => bv(x != 0.0 && y != 0.0),
+                BinOp::Or => bv(x != 0.0 || y != 0.0),
+            }
+        }
+    }
+
+    fn intrinsic(&self, name: Intrinsic, vals: &[V]) -> V {
+        match name {
+            Intrinsic::Abs => match vals[0] {
+                V::I(v) => V::I(v.abs()),
+                V::R(v) => V::R(v.abs()),
+            },
+            Intrinsic::Min => {
+                if vals.iter().all(|v| matches!(v, V::I(_))) {
+                    V::I(vals.iter().map(|v| v.i()).min().unwrap())
+                } else {
+                    V::R(vals.iter().map(|v| v.r()).fold(f64::INFINITY, f64::min))
+                }
+            }
+            Intrinsic::Max => {
+                if vals.iter().all(|v| matches!(v, V::I(_))) {
+                    V::I(vals.iter().map(|v| v.i()).max().unwrap())
+                } else {
+                    V::R(vals.iter().map(|v| v.r()).fold(f64::NEG_INFINITY, f64::max))
+                }
+            }
+            Intrinsic::Mod => match (vals[0], vals[1]) {
+                (V::I(a), V::I(b)) => V::I(a % b),
+                (a, b) => V::R(a.r() % b.r()),
+            },
+            Intrinsic::Sqrt => V::R(vals[0].r().sqrt()),
+            Intrinsic::Sign => {
+                let (a, b) = (vals[0].r(), vals[1].r());
+                V::R(if b >= 0.0 { a.abs() } else { -a.abs() })
+            }
+            Intrinsic::Dble | Intrinsic::Float => V::R(vals[0].r()),
+            Intrinsic::Int => V::I(vals[0].i()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortrand_frontend::load_program;
+
+    fn run(src: &str, init: &[(&str, Vec<f64>)]) -> (fortrand_frontend::SourceProgram, SeqOutput) {
+        let (p, info) = load_program(src).unwrap();
+        let mut map = BTreeMap::new();
+        for (n, v) in init {
+            map.insert(p.interner.get(n).unwrap(), v.clone());
+        }
+        let out = run_sequential(&p, &info, &map);
+        (p, out)
+    }
+
+    #[test]
+    fn fig1_semantics() {
+        let (p, out) = run(fortrand_analysis::fixtures::FIG1, &[("x", (1..=100).map(|v| v as f64).collect())]);
+        let x = p.interner.get("x").unwrap();
+        let got = &out.arrays[&x];
+        // x(i) = 0.5 * x(i+5) for i=1..95, in order; later reads see
+        // original values only for i+5 > current writes... since i+5 > i,
+        // reads are of not-yet-written elements: x(i) = 0.5*(i+5).
+        for i in 1..=95usize {
+            assert_eq!(got[i - 1], 0.5 * (i as f64 + 5.0), "i={i}");
+        }
+        assert_eq!(got[95], 96.0);
+    }
+
+    #[test]
+    fn call_by_reference_arrays() {
+        let (p, out) = run(
+            "
+      PROGRAM main
+      REAL a(4)
+      call fill(a, 2.5)
+      END
+      SUBROUTINE fill(x, v)
+      REAL x(4)
+      REAL v
+      do i = 1, 4
+        x(i) = v
+      enddo
+      END
+",
+            &[],
+        );
+        let a = p.interner.get("a").unwrap();
+        assert_eq!(out.arrays[&a], vec![2.5; 4]);
+    }
+
+    #[test]
+    fn scalar_copy_out() {
+        let (_, out) = run(
+            "
+      PROGRAM main
+      INTEGER l
+      l = 0
+      call findmax(l)
+      print *, l
+      END
+      SUBROUTINE findmax(l)
+      INTEGER l
+      l = 42
+      END
+",
+            &[],
+        );
+        assert_eq!(out.printed, vec!["42"]);
+    }
+
+    #[test]
+    fn function_call_result() {
+        let (_, out) = run(
+            "
+      PROGRAM main
+      REAL y
+      y = square(3.0)
+      print *, y
+      END
+      REAL FUNCTION square(x)
+      REAL x
+      square = x * x
+      END
+",
+            &[],
+        );
+        assert_eq!(out.printed, vec!["9"]);
+    }
+
+    #[test]
+    fn fig15_semantics() {
+        let (p, out) = run(fortrand_analysis::fixtures::FIG15, &[]);
+        let x = p.interner.get("x").unwrap();
+        // Each k iteration: two F1 passes (+1 each), then F2 overwrites
+        // with 1.5. Final: 1.5 everywhere.
+        assert_eq!(out.arrays[&x], vec![1.5; 100]);
+    }
+
+    #[test]
+    fn lower_bound_arrays() {
+        let (p, out) = run(
+            "
+      PROGRAM main
+      REAL a(0:3)
+      do i = 0, 3
+        a(i) = 1.0 * i
+      enddo
+      END
+",
+            &[],
+        );
+        let a = p.interner.get("a").unwrap();
+        assert_eq!(out.arrays[&a], vec![0.0, 1.0, 2.0, 3.0]);
+    }
+}

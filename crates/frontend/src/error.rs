@@ -1,0 +1,35 @@
+//! Front-end diagnostics.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing or semantically analyzing a
+/// source program. Carries the 1-based source line where it was detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontendError {
+    /// 1-based source line, 0 if not attributable to a line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl FrontendError {
+    /// Creates an error at `line`.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        FrontendError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// Front-end result type.
+pub type Result<T> = std::result::Result<T, FrontendError>;

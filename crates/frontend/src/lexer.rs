@@ -1,0 +1,488 @@
+//! Line-oriented lexer.
+//!
+//! Fortran is statement-per-line; the lexer produces one token vector per
+//! logical line (after gluing `&` continuations), together with the source
+//! line number and any numeric statement label. Keywords are *not*
+//! distinguished here — Fortran has no reserved words — so the parser
+//! decides contextually whether `do` starts a loop or names a variable.
+
+use crate::error::{FrontendError, Result};
+
+/// One token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, lower-cased. May contain `$` (compiler names).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (both `E` and `D` exponents).
+    Real(f64),
+    /// String literal (single-quoted).
+    Str(String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `**`
+    Pow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=` (assignment / PARAMETER binding)
+    Assign,
+    /// `:`
+    Colon,
+    /// `.lt.` or `<`
+    Lt,
+    /// `.le.` or `<=`
+    Le,
+    /// `.gt.` or `>`
+    Gt,
+    /// `.ge.` or `>=`
+    Ge,
+    /// `.eq.` or `==`
+    EqEq,
+    /// `.ne.` or `/=`
+    Ne,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+    /// `.not.`
+    Not,
+    /// `.true.`
+    True,
+    /// `.false.`
+    False,
+}
+
+/// One logical source line of tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Line {
+    /// 1-based source line number (of the first physical line).
+    pub number: u32,
+    /// Optional numeric statement label.
+    pub label: Option<u32>,
+    /// The tokens.
+    pub toks: Vec<Tok>,
+}
+
+/// Lexes a whole source file into logical lines.
+pub fn lex(source: &str) -> Result<Vec<Line>> {
+    // Glue continuations and strip comments first.
+    let mut logical: Vec<(u32, String)> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let trimmed = raw.trim_start();
+        // Whole-line comments: blank, C/c/* in column 1 style, or '!'
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Column-1 comment markers: `*` always; `C`/`c` only when followed
+        // by whitespace or nothing (so `CALL` in column 1 stays code).
+        let mut chars = raw.chars();
+        let first = chars.next().unwrap();
+        let second = chars.next();
+        if first == '*'
+            || ((first == 'C' || first == 'c')
+                && second.map(|c| c == ' ' || c == '\t').unwrap_or(true))
+            || trimmed.starts_with('!')
+        {
+            continue;
+        }
+        // Trailing '!' comment (we have no strings containing '!').
+        let mut text = match raw.find('!') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim_end()
+        .to_string();
+        // Continuation: previous line ended with '&'.
+        let continues_prev = logical.last().map(|(_, t)| t.ends_with('&')).unwrap_or(false);
+        if continues_prev {
+            let (_, prev) = logical.last_mut().unwrap();
+            prev.pop(); // drop '&'
+            prev.push(' ');
+            prev.push_str(text.trim_start());
+        } else {
+            // Leading '&' style continuation also accepted.
+            if let Some(stripped) = text.strip_prefix('&') {
+                if let Some((_, prev)) = logical.last_mut() {
+                    prev.push(' ');
+                    prev.push_str(stripped.trim_start());
+                    continue;
+                }
+            }
+            logical.push((lineno, std::mem::take(&mut text)));
+        }
+    }
+
+    let mut out = Vec::with_capacity(logical.len());
+    for (lineno, text) in logical {
+        let mut toks = lex_line(&text, lineno)?;
+        // Leading integer label.
+        let label = match toks.first() {
+            Some(Tok::Int(v)) if *v >= 0 => {
+                let v = *v as u32;
+                toks.remove(0);
+                Some(v)
+            }
+            _ => None,
+        };
+        if toks.is_empty() {
+            continue;
+        }
+        out.push(Line { number: lineno, label, toks });
+    }
+    Ok(out)
+}
+
+fn lex_line(text: &str, lineno: u32) -> Result<Vec<Tok>> {
+    let b: Vec<char> = text.chars().collect();
+    let n = b.len();
+    let mut i = 0;
+    let mut toks = Vec::new();
+    while i < n {
+        let c = b[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                if i + 1 < n && b[i + 1] == '*' {
+                    toks.push(Tok::Pow);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Star);
+                    i += 1;
+                }
+            }
+            '/' => {
+                if i + 1 < n && b[i + 1] == '=' {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Slash);
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < n && b[i + 1] == '=' {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && b[i + 1] == '=' {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && b[i + 1] == '=' {
+                    toks.push(Tok::EqEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                if j >= n {
+                    return Err(FrontendError::at(lineno, "unterminated string literal"));
+                }
+                toks.push(Tok::Str(b[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '.' => {
+                // Dotted operator (.lt. etc) or a real literal like `.5`.
+                if i + 1 < n && b[i + 1].is_ascii_alphabetic() {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < n && b[j].is_ascii_alphabetic() {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '.' {
+                        let word: String = b[start..j].iter().collect::<String>().to_lowercase();
+                        let tok = match word.as_str() {
+                            "lt" => Tok::Lt,
+                            "le" => Tok::Le,
+                            "gt" => Tok::Gt,
+                            "ge" => Tok::Ge,
+                            "eq" => Tok::EqEq,
+                            "ne" => Tok::Ne,
+                            "and" => Tok::And,
+                            "or" => Tok::Or,
+                            "not" => Tok::Not,
+                            "true" => Tok::True,
+                            "false" => Tok::False,
+                            _ => {
+                                return Err(FrontendError::at(
+                                    lineno,
+                                    format!("unknown dotted operator `.{word}.`"),
+                                ))
+                            }
+                        };
+                        toks.push(tok);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                // Real literal starting with '.'
+                if i + 1 < n && b[i + 1].is_ascii_digit() {
+                    let (tok, len) = lex_number(&b[i..], lineno)?;
+                    toks.push(tok);
+                    i += len;
+                } else {
+                    return Err(FrontendError::at(lineno, "stray `.`"));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, len) = lex_number(&b[i..], lineno)?;
+                toks.push(tok);
+                i += len;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                let mut j = i;
+                while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_' || b[j] == '$') {
+                    j += 1;
+                }
+                let word: String = b[start..j].iter().collect::<String>().to_lowercase();
+                toks.push(Tok::Ident(word));
+                i = j;
+            }
+            other => {
+                return Err(FrontendError::at(lineno, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Lexes a numeric literal starting at `b[0]`; returns the token and length
+/// consumed. Handles the `1.eq.2` ambiguity by refusing to absorb a `.`
+/// that begins a dotted operator.
+fn lex_number(b: &[char], lineno: u32) -> Result<(Tok, usize)> {
+    let n = b.len();
+    let mut j = 0;
+    while j < n && b[j].is_ascii_digit() {
+        j += 1;
+    }
+    let mut is_real = false;
+    if j < n && b[j] == '.' {
+        // Is this `.lt.`-style? Look ahead: letters then '.'.
+        let mut k = j + 1;
+        while k < n && b[k].is_ascii_alphabetic() {
+            k += 1;
+        }
+        let dotted_op = k > j + 1 && k < n && b[k] == '.';
+        if !dotted_op {
+            is_real = true;
+            j += 1;
+            while j < n && b[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    // Exponent: e/d [+/-] digits.
+    if j < n && matches!(b[j], 'e' | 'E' | 'd' | 'D') {
+        let mut k = j + 1;
+        if k < n && (b[k] == '+' || b[k] == '-') {
+            k += 1;
+        }
+        if k < n && b[k].is_ascii_digit() {
+            is_real = true;
+            j = k;
+            while j < n && b[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    let text: String = b[..j].iter().collect();
+    if is_real {
+        let norm = text.to_lowercase().replace('d', "e");
+        norm.parse::<f64>()
+            .map(|v| (Tok::Real(v), j))
+            .map_err(|_| FrontendError::at(lineno, format!("bad real literal `{text}`")))
+    } else {
+        text.parse::<i64>()
+            .map(|v| (Tok::Int(v), j))
+            .map_err(|_| FrontendError::at(lineno, format!("bad integer literal `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        let lines = lex(src).unwrap();
+        assert_eq!(lines.len(), 1, "expected one logical line");
+        lines[0].toks.clone()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            toks("x(i) = f(i+5)"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::LParen,
+                Tok::Ident("i".into()),
+                Tok::RParen,
+                Tok::Assign,
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Ident("i".into()),
+                Tok::Plus,
+                Tok::Int(5),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_operators() {
+        assert_eq!(
+            toks("if (my$p .gt. 0 .and. j .ne. k)"),
+            vec![
+                Tok::Ident("if".into()),
+                Tok::LParen,
+                Tok::Ident("my$p".into()),
+                Tok::Gt,
+                Tok::Int(0),
+                Tok::And,
+                Tok::Ident("j".into()),
+                Tok::Ne,
+                Tok::Ident("k".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn modern_relationals() {
+        assert_eq!(
+            toks("a <= b >= c == d /= e < f > g"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Ident("c".into()),
+                Tok::EqEq,
+                Tok::Ident("d".into()),
+                Tok::Ne,
+                Tok::Ident("e".into()),
+                Tok::Lt,
+                Tok::Ident("f".into()),
+                Tok::Gt,
+                Tok::Ident("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_then_dotted_op() {
+        // `1.eq.2` must lex as Int(1) EqEq Int(2), not Real(1.0) …
+        assert_eq!(toks("if (1.eq.2)")[2], Tok::Int(1));
+        assert_eq!(toks("if (1.eq.2)")[3], Tok::EqEq);
+    }
+
+    #[test]
+    fn real_literals() {
+        assert_eq!(toks("x = 1.5e2"), vec![Tok::Ident("x".into()), Tok::Assign, Tok::Real(150.0)]);
+        assert_eq!(toks("x = 1.0d0")[2], Tok::Real(1.0));
+        assert_eq!(toks("x = .5")[2], Tok::Real(0.5));
+        assert_eq!(toks("x = 2.")[2], Tok::Real(2.0));
+        assert_eq!(toks("x = 1e3")[2], Tok::Real(1000.0));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let lines = lex("C a comment\n! another\n* old style\n  x = 1 ! trailing\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].toks, vec![Tok::Ident("x".into()), Tok::Assign, Tok::Int(1)]);
+        assert_eq!(lines[0].number, 4);
+    }
+
+    #[test]
+    fn continuation_lines_glued() {
+        let lines = lex("x = 1 + &\n    2\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0].toks,
+            vec![Tok::Ident("x".into()), Tok::Assign, Tok::Int(1), Tok::Plus, Tok::Int(2)]
+        );
+    }
+
+    #[test]
+    fn labels_extracted() {
+        let lines = lex("10 continue").unwrap();
+        assert_eq!(lines[0].label, Some(10));
+        assert_eq!(lines[0].toks, vec![Tok::Ident("continue".into())]);
+    }
+
+    #[test]
+    fn case_insensitive_identifiers() {
+        assert_eq!(toks("CALL F1(X)")[0], Tok::Ident("call".into()));
+        assert_eq!(toks("CALL F1(X)")[1], Tok::Ident("f1".into()));
+    }
+
+    #[test]
+    fn power_operator() {
+        assert_eq!(toks("y = x ** 2")[3], Tok::Pow);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("print *, 'oops").is_err());
+    }
+
+    #[test]
+    fn logical_literals() {
+        assert_eq!(toks("p = .true.")[2], Tok::True);
+        assert_eq!(toks("p = .false.")[2], Tok::False);
+    }
+}

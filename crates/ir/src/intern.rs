@@ -1,0 +1,151 @@
+//! Symbol interning.
+//!
+//! Identifiers (variable names, procedure names, loop indices, compiler
+//! temporaries such as `my$p`) are interned into [`Sym`], a `u32` newtype.
+//! All analysis maps are keyed on `Sym`, which keeps the map-heavy dataflow
+//! fixpoints cheap (see the hashing notes in DESIGN.md).
+//!
+//! The interner is append-only; symbols are never freed. A whole-program
+//! compilation holds exactly one [`Interner`], created by the front end and
+//! threaded (by shared reference or clone) through every later phase.
+
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// An interned identifier. Cheap to copy, hash and compare.
+///
+/// The ordering of `Sym` values follows interning order and carries no
+/// semantic meaning; it exists so `Sym` can key `BTreeMap`s when
+/// deterministic iteration order matters (it does, everywhere the compiler
+/// emits code or diagnostics).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Sym(pub u32);
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.0)
+    }
+}
+
+/// Append-only string interner.
+#[derive(Default, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    map: FxHashMap<String, Sym>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if already present.
+    ///
+    /// Names are case-sensitive here; the Fortran front end lower-cases
+    /// identifiers before interning so that `DO I` and `do i` agree.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up a symbol without interning. Returns `None` if never interned.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns a fresh symbol guaranteed not to collide with any source
+    /// identifier, by embedding `$` (illegal in our Fortran identifiers
+    /// except for compiler-generated names) and a counter.
+    pub fn fresh(&mut self, stem: &str) -> Sym {
+        let mut n = 0usize;
+        loop {
+            let candidate = format!("{stem}${n}");
+            if self.map.contains_key(&candidate) {
+                n += 1;
+            } else {
+                return self.intern(&candidate);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner").field("len", &self.names.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_syms() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(i.name(a), "x");
+        assert_eq!(i.name(b), "y");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("nope").is_none());
+        let s = i.intern("yes");
+        assert_eq!(i.get("yes"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn fresh_never_collides() {
+        let mut i = Interner::new();
+        i.intern("tmp$0");
+        let f = i.fresh("tmp");
+        assert_eq!(i.name(f), "tmp$1");
+        let g = i.fresh("tmp");
+        assert_eq!(i.name(g), "tmp$2");
+    }
+
+    #[test]
+    fn sym_ordering_follows_interning_order() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert!(a < b);
+    }
+}

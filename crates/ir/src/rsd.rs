@@ -1,0 +1,597 @@
+//! Regular section descriptors (RSDs).
+//!
+//! The Fortran D compiler represents every collection of data or iterations
+//! as a *regular section descriptor* — a rectangular section with a
+//! `lo:hi:step` triplet per dimension, written in Fortran 90 triplet
+//! notation (`X(26:30, 1:100)`). Index sets, iteration sets, nonlocal index
+//! sets, overlap regions and message contents are all RSDs.
+//!
+//! Bounds are symbolic ([`Affine`]); steps are positive literal constants
+//! (the paper's sections are all unit- or constant-stride). The algebra is
+//! *exact or refuses*: operations return `None` whenever the result is not
+//! representable as (a small number of) RSDs or not provable under the given
+//! [`SymEnv`] — matching the paper's rule that sections are "merged only if
+//! no loss of precision will result". Callers handle `None` conservatively.
+
+use crate::affine::Affine;
+use crate::intern::Sym;
+use crate::symenv::{SymEnv, Tri};
+use std::fmt;
+
+/// One dimension of a section: `lo : hi : step` (inclusive bounds).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Triplet {
+    /// Lower bound (inclusive).
+    pub lo: Affine,
+    /// Upper bound (inclusive).
+    pub hi: Affine,
+    /// Stride; always ≥ 1.
+    pub step: i64,
+}
+
+impl Triplet {
+    /// Unit-stride triplet `lo:hi`.
+    pub fn new(lo: Affine, hi: Affine) -> Self {
+        Triplet { lo, hi, step: 1 }
+    }
+
+    /// Constant unit-stride triplet.
+    pub fn lit(lo: i64, hi: i64) -> Self {
+        Triplet::new(Affine::konst(lo), Affine::konst(hi))
+    }
+
+    /// Single-point triplet `e:e`.
+    pub fn point(e: Affine) -> Self {
+        Triplet { lo: e.clone(), hi: e, step: 1 }
+    }
+
+    /// True if this triplet denotes exactly one point.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Provably empty under `env`?
+    pub fn is_empty(&self, env: &SymEnv) -> Tri {
+        match env.le(&self.lo, &self.hi) {
+            Tri::Yes => Tri::No,
+            Tri::No => Tri::Yes,
+            Tri::Maybe => Tri::Maybe,
+        }
+    }
+
+    /// Number of points if bounds are constant under `env`.
+    pub fn count(&self, env: &SymEnv) -> Option<i64> {
+        let lo = env.fold(&self.lo).as_const()?;
+        let hi = env.fold(&self.hi).as_const()?;
+        if hi < lo {
+            Some(0)
+        } else {
+            Some((hi - lo) / self.step + 1)
+        }
+    }
+
+    /// Substitutes a symbol in both bounds.
+    pub fn subst(&self, s: Sym, rep: &Affine) -> Self {
+        Triplet { lo: self.lo.subst(s, rep), hi: self.hi.subst(s, rep), step: self.step }
+    }
+
+    /// Intersection of two unit-stride triplets, when provable.
+    fn intersect(&self, other: &Triplet, env: &SymEnv) -> Option<Triplet> {
+        if self.step != 1 || other.step != 1 {
+            // Equal strides with provably equal bounds still intersect to self.
+            if self.step == other.step && env.eq(&self.lo, &other.lo).is_yes() {
+                let hi = env.min(&self.hi, &other.hi)?.clone();
+                return Some(Triplet { lo: self.lo.clone(), hi, step: self.step });
+            }
+            return None;
+        }
+        let lo = env.max(&self.lo, &other.lo)?.clone();
+        let hi = env.min(&self.hi, &other.hi)?.clone();
+        Some(Triplet { lo, hi, step: 1 })
+    }
+
+    /// `self \ other` for unit strides: up to two residual triplets
+    /// (left of `other.lo`, right of `other.hi`). `None` if not provable.
+    fn subtract(&self, other: &Triplet, env: &SymEnv) -> Option<Vec<Triplet>> {
+        if self.step != 1 || other.step != 1 {
+            return None;
+        }
+        // Disjoint? Then the difference is self.
+        if env.lt(&self.hi, &other.lo).is_yes() || env.lt(&other.hi, &self.lo).is_yes() {
+            return Some(vec![self.clone()]);
+        }
+        let mut out = Vec::new();
+        // Left residue: [self.lo, other.lo-1] if nonempty provably; empty ok.
+        match env.le(&self.lo, &other.lo.clone().plus_const(-1)) {
+            Tri::Yes => out.push(Triplet::new(self.lo.clone(), other.lo.clone().plus_const(-1))),
+            Tri::No => {}
+            Tri::Maybe => return None,
+        }
+        // Right residue: [other.hi+1, self.hi].
+        match env.le(&other.hi.clone().plus_const(1), &self.hi) {
+            Tri::Yes => out.push(Triplet::new(other.hi.clone().plus_const(1), self.hi.clone())),
+            Tri::No => {}
+            Tri::Maybe => return None,
+        }
+        Some(out)
+    }
+
+    /// Precise union when contiguous/overlapping, unit strides only.
+    fn union(&self, other: &Triplet, env: &SymEnv) -> Option<Triplet> {
+        if self.step != 1 || other.step != 1 {
+            return None;
+        }
+        // They must touch: lo2 ≤ hi1+1 and lo1 ≤ hi2+1.
+        if !env.le(&other.lo, &self.hi.clone().plus_const(1)).is_yes()
+            || !env.le(&self.lo, &other.hi.clone().plus_const(1)).is_yes()
+        {
+            return None;
+        }
+        let lo = env.min(&self.lo, &other.lo)?.clone();
+        let hi = env.max(&self.hi, &other.hi)?.clone();
+        Some(Triplet { lo, hi, step: 1 })
+    }
+
+    /// Does this triplet provably contain `other`?
+    pub fn contains(&self, other: &Triplet, env: &SymEnv) -> Tri {
+        if self.step != 1 {
+            if self == other {
+                return Tri::Yes;
+            }
+            return Tri::Maybe;
+        }
+        match (env.le(&self.lo, &other.lo), env.le(&other.hi, &self.hi)) {
+            (Tri::Yes, Tri::Yes) => Tri::Yes,
+            (Tri::No, _) | (_, Tri::No) => {
+                // Not a subset unless other is empty; be conservative.
+                if other.is_empty(env).is_yes() {
+                    Tri::Yes
+                } else {
+                    Tri::No
+                }
+            }
+            _ => Tri::Maybe,
+        }
+    }
+
+    /// Concrete evaluation: `(lo, hi, step)` with constant bounds.
+    pub fn eval(&self, env: &dyn Fn(Sym) -> Option<i64>) -> Option<(i64, i64, i64)> {
+        Some((self.lo.eval(env)?, self.hi.eval(env)?, self.step))
+    }
+}
+
+/// A regular section descriptor: one [`Triplet`] per array dimension.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Rsd {
+    /// Per-dimension triplets, leftmost (fastest-varying, Fortran order)
+    /// dimension first.
+    pub dims: Vec<Triplet>,
+}
+
+impl Rsd {
+    /// Builds an RSD from triplets.
+    pub fn new(dims: Vec<Triplet>) -> Self {
+        Rsd { dims }
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The whole of an array with the given extents: `1:n1, 1:n2, …`.
+    pub fn whole(extents: &[Affine]) -> Self {
+        Rsd {
+            dims: extents
+                .iter()
+                .map(|e| Triplet::new(Affine::konst(1), e.clone()))
+                .collect(),
+        }
+    }
+
+    /// Provably empty (some dimension empty)?
+    pub fn is_empty(&self, env: &SymEnv) -> Tri {
+        let mut maybe = false;
+        for d in &self.dims {
+            match d.is_empty(env) {
+                Tri::Yes => return Tri::Yes,
+                Tri::Maybe => maybe = true,
+                Tri::No => {}
+            }
+        }
+        if maybe {
+            Tri::Maybe
+        } else {
+            Tri::No
+        }
+    }
+
+    /// Point count if all bounds constant under `env`.
+    pub fn volume(&self, env: &SymEnv) -> Option<i64> {
+        let mut v = 1i64;
+        for d in &self.dims {
+            v *= d.count(env)?;
+        }
+        Some(v)
+    }
+
+    /// Dimension-wise intersection; `None` if any dimension is unprovable.
+    /// A provably-empty result is returned as-is (callers test emptiness).
+    pub fn intersect(&self, other: &Rsd, env: &SymEnv) -> Option<Rsd> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        let dims = self
+            .dims
+            .iter()
+            .zip(&other.dims)
+            .map(|(a, b)| a.intersect(b, env))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Rsd { dims })
+    }
+
+    /// Exact set difference `self \ other`, as a list of disjoint RSDs.
+    ///
+    /// Uses the standard rectangle decomposition: peel residues dimension by
+    /// dimension. Returns `None` when any required comparison is unprovable.
+    pub fn subtract(&self, other: &Rsd, env: &SymEnv) -> Option<Vec<Rsd>> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        // If disjoint in any dimension, difference is self.
+        let inter = match self.intersect(other, env) {
+            Some(i) => {
+                if i.is_empty(env).is_yes() {
+                    return Some(vec![self.clone()]);
+                }
+                i
+            }
+            None => return None,
+        };
+        let mut out = Vec::new();
+        // prefix holds the already-clipped dimensions (intersection), the
+        // current dimension contributes its residues, suffix stays as self.
+        for d in 0..self.rank() {
+            let residues = self.dims[d].subtract(&other.dims[d], env)?;
+            for r in residues {
+                if r.is_empty(env).is_yes() {
+                    continue;
+                }
+                let mut dims = Vec::with_capacity(self.rank());
+                dims.extend(inter.dims[..d].iter().cloned());
+                dims.push(r);
+                dims.extend(self.dims[d + 1..].iter().cloned());
+                out.push(Rsd { dims });
+            }
+        }
+        Some(out)
+    }
+
+    /// Precise union: allowed when the sections agree in all dimensions but
+    /// one, where they must be contiguous or overlapping. This is exactly
+    /// the paper's "merge RSDs at loop if no precision is lost".
+    pub fn union_merge(&self, other: &Rsd, env: &SymEnv) -> Option<Rsd> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        // Containment fast paths.
+        if self.contains(other, env).is_yes() {
+            return Some(self.clone());
+        }
+        if other.contains(self, env).is_yes() {
+            return Some(other.clone());
+        }
+        let mut differing = None;
+        for d in 0..self.rank() {
+            let same = env.eq(&self.dims[d].lo, &other.dims[d].lo).is_yes()
+                && env.eq(&self.dims[d].hi, &other.dims[d].hi).is_yes()
+                && self.dims[d].step == other.dims[d].step;
+            if !same {
+                if differing.is_some() {
+                    return None; // differs in ≥ 2 dims: union is not an RSD
+                }
+                differing = Some(d);
+            }
+        }
+        match differing {
+            None => Some(self.clone()),
+            Some(d) => {
+                let merged = self.dims[d].union(&other.dims[d], env)?;
+                let mut dims = self.dims.clone();
+                dims[d] = merged;
+                Some(Rsd { dims })
+            }
+        }
+    }
+
+    /// Provable containment `other ⊆ self`.
+    pub fn contains(&self, other: &Rsd, env: &SymEnv) -> Tri {
+        if self.rank() != other.rank() {
+            return Tri::No;
+        }
+        let mut maybe = false;
+        for (a, b) in self.dims.iter().zip(&other.dims) {
+            match a.contains(b, env) {
+                Tri::No => return Tri::No,
+                Tri::Maybe => maybe = true,
+                Tri::Yes => {}
+            }
+        }
+        if maybe {
+            Tri::Maybe
+        } else {
+            Tri::Yes
+        }
+    }
+
+    /// Substitutes a symbol in every bound (call-site translation,
+    /// loop-index instantiation).
+    pub fn subst(&self, s: Sym, rep: &Affine) -> Rsd {
+        Rsd { dims: self.dims.iter().map(|d| d.subst(s, rep)).collect() }
+    }
+
+    /// Expands the triplet of dimension `d` over a loop range: each bound
+    /// that mentions the loop index `idx` is replaced by its extreme over
+    /// `[lo, hi]` — the section swept by the loop. This implements the
+    /// paper's message *vectorization* ("X(26:30,i) over i=1:100 becomes
+    /// X(26:30,1:100)").
+    pub fn vectorize(&self, idx: Sym, lo: &Affine, hi: &Affine) -> Option<Rsd> {
+        let mut dims = Vec::with_capacity(self.rank());
+        for t in &self.dims {
+            let clo = t.lo.coeff(idx);
+            let chi = t.hi.coeff(idx);
+            if clo == 0 && chi == 0 {
+                dims.push(t.clone());
+                continue;
+            }
+            if t.step != 1 {
+                return None;
+            }
+            // lo bound: minimized at idx = lo (coeff > 0) or idx = hi (< 0).
+            let new_lo = if clo >= 0 { t.lo.subst(idx, lo) } else { t.lo.subst(idx, hi) };
+            let new_hi = if chi >= 0 { t.hi.subst(idx, hi) } else { t.hi.subst(idx, lo) };
+            // Only exact when the swept sections tile contiguously, which
+            // holds for |coeff| ≤ 1 (the paper's stencil/column patterns).
+            if clo.abs() > 1 || chi.abs() > 1 {
+                return None;
+            }
+            dims.push(Triplet::new(new_lo, new_hi));
+        }
+        Some(Rsd { dims })
+    }
+
+    /// Concrete membership test (used by tests and the interpreter).
+    pub fn contains_point(&self, pt: &[i64], env: &dyn Fn(Sym) -> Option<i64>) -> Option<bool> {
+        if pt.len() != self.rank() {
+            return Some(false);
+        }
+        for (t, &x) in self.dims.iter().zip(pt) {
+            let (lo, hi, step) = t.eval(env)?;
+            if x < lo || x > hi || (x - lo) % step != 0 {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// Fortran 90 triplet-notation rendering, e.g. `(26:30,1:100)`.
+    pub fn display<'a>(&'a self, name: &'a dyn Fn(Sym) -> String) -> RsdDisplay<'a> {
+        RsdDisplay { rsd: self, name }
+    }
+}
+
+/// Helper returned by [`Rsd::display`].
+pub struct RsdDisplay<'a> {
+    rsd: &'a Rsd,
+    name: &'a dyn Fn(Sym) -> String,
+}
+
+impl fmt::Display for RsdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.rsd.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if t.is_point() {
+                write!(f, "{}", t.lo.display(self.name))?;
+            } else {
+                write!(f, "{}:{}", t.lo.display(self.name), t.hi.display(self.name))?;
+                if t.step != 1 {
+                    write!(f, ":{}", t.step)?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> SymEnv {
+        SymEnv::new()
+    }
+
+    fn r1(lo: i64, hi: i64) -> Rsd {
+        Rsd::new(vec![Triplet::lit(lo, hi)])
+    }
+
+    fn r2(a: (i64, i64), b: (i64, i64)) -> Rsd {
+        Rsd::new(vec![Triplet::lit(a.0, a.1), Triplet::lit(b.0, b.1)])
+    }
+
+    #[test]
+    fn paper_example_nonlocal_set() {
+        // §3.1: accesses [6:30] minus local [1:25] = nonlocal [26:30].
+        let accessed = r1(6, 30);
+        let local = r1(1, 25);
+        let diff = accessed.subtract(&local, &env()).unwrap();
+        assert_eq!(diff, vec![r1(26, 30)]);
+    }
+
+    #[test]
+    fn subtract_contained_gives_empty() {
+        let d = r1(5, 10).subtract(&r1(1, 20), &env()).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn subtract_disjoint_gives_self() {
+        let d = r1(1, 5).subtract(&r1(10, 20), &env()).unwrap();
+        assert_eq!(d, vec![r1(1, 5)]);
+    }
+
+    #[test]
+    fn subtract_middle_gives_two_pieces() {
+        let d = r1(1, 10).subtract(&r1(4, 6), &env()).unwrap();
+        assert_eq!(d, vec![r1(1, 3), r1(7, 10)]);
+    }
+
+    #[test]
+    fn subtract_2d_column_pattern() {
+        // [1:30,1:100] \ [1:25,1:100] = [26:30,1:100]
+        let d = r2((1, 30), (1, 100)).subtract(&r2((1, 25), (1, 100)), &env()).unwrap();
+        assert_eq!(d, vec![r2((26, 30), (1, 100))]);
+    }
+
+    #[test]
+    fn subtract_2d_corner_two_rects() {
+        // [1:10,1:10] \ [1:5,1:5] = [6:10,1:10] ∪ [1:5,6:10]
+        let d = r2((1, 10), (1, 10)).subtract(&r2((1, 5), (1, 5)), &env()).unwrap();
+        assert_eq!(d.len(), 2);
+        // Verify exact coverage by membership.
+        let ev = |_s: Sym| -> Option<i64> { None };
+        for x in 1..=10 {
+            for y in 1..=10 {
+                let in_self = (1..=10).contains(&x) && (1..=10).contains(&y);
+                let in_other = x <= 5 && y <= 5;
+                let expect = in_self && !in_other;
+                let got = d.iter().any(|r| r.contains_point(&[x, y], &ev).unwrap());
+                assert_eq!(got, expect, "point ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let i = r1(6, 30).intersect(&r1(1, 25), &env()).unwrap();
+        assert_eq!(i, r1(6, 25));
+    }
+
+    #[test]
+    fn intersect_empty_detected() {
+        let i = r1(26, 30).intersect(&r1(1, 25), &env()).unwrap();
+        assert!(i.is_empty(&env()).is_yes());
+    }
+
+    #[test]
+    fn union_adjacent_merges() {
+        let u = r1(1, 5).union_merge(&r1(6, 10), &env()).unwrap();
+        assert_eq!(u, r1(1, 10));
+    }
+
+    #[test]
+    fn union_gap_refuses() {
+        assert!(r1(1, 5).union_merge(&r1(7, 10), &env()).is_none());
+    }
+
+    #[test]
+    fn union_two_dims_differ_refuses() {
+        let a = r2((1, 5), (1, 5));
+        let b = r2((6, 10), (6, 10));
+        assert!(a.union_merge(&b, &env()).is_none());
+    }
+
+    #[test]
+    fn union_contained_is_outer() {
+        let a = r2((1, 10), (1, 10));
+        let b = r2((2, 5), (3, 4));
+        assert_eq!(a.union_merge(&b, &env()).unwrap(), a);
+    }
+
+    #[test]
+    fn vectorize_point_dim_over_loop() {
+        // X(26:30, i) over i = 1:100  =>  X(26:30, 1:100)   (§5.4 example)
+        let i = Sym(7);
+        let sec = Rsd::new(vec![Triplet::lit(26, 30), Triplet::point(Affine::sym(i))]);
+        let v = sec.vectorize(i, &Affine::konst(1), &Affine::konst(100)).unwrap();
+        assert_eq!(v, r2((26, 30), (1, 100)));
+    }
+
+    #[test]
+    fn vectorize_shifted_window() {
+        // X(i+1 : i+5) over i = 1:10 => X(2:15)
+        let i = Sym(7);
+        let sec = Rsd::new(vec![Triplet::new(
+            Affine::sym(i).plus_const(1),
+            Affine::sym(i).plus_const(5),
+        )]);
+        let v = sec.vectorize(i, &Affine::konst(1), &Affine::konst(10)).unwrap();
+        assert_eq!(v, r1(2, 15));
+    }
+
+    #[test]
+    fn vectorize_negative_coefficient() {
+        // X(n - i) over i = 1:10 => X(n-10 : n-1)
+        let i = Sym(7);
+        let n = Sym(8);
+        let e = Affine::sym(n) - Affine::sym(i);
+        let sec = Rsd::new(vec![Triplet::point(e)]);
+        let v = sec.vectorize(i, &Affine::konst(1), &Affine::konst(10)).unwrap();
+        assert_eq!(v.dims[0].lo, Affine::sym(n).plus_const(-10));
+        assert_eq!(v.dims[0].hi, Affine::sym(n).plus_const(-1));
+    }
+
+    #[test]
+    fn vectorize_stride2_coeff_refuses() {
+        // X(2i) over i: not contiguous, must refuse.
+        let i = Sym(7);
+        let sec = Rsd::new(vec![Triplet::point(Affine::term(i, 2))]);
+        assert!(sec.vectorize(i, &Affine::konst(1), &Affine::konst(10)).is_none());
+    }
+
+    #[test]
+    fn symbolic_bounds_with_ranges() {
+        // [k+1 : n] ∩ [1 : n] = [k+1 : n] when 1 ≤ k.
+        let k = Sym(0);
+        let n = Sym(1);
+        let mut e = SymEnv::new();
+        e.set_range(k, 1, 99);
+        let a = Rsd::new(vec![Triplet::new(Affine::sym(k).plus_const(1), Affine::sym(n))]);
+        let b = Rsd::new(vec![Triplet::new(Affine::konst(1), Affine::sym(n))]);
+        let i = a.intersect(&b, &e).unwrap();
+        assert_eq!(i, a);
+    }
+
+    #[test]
+    fn contains_symbolic() {
+        let n = Sym(1);
+        let whole = Rsd::whole(&[Affine::sym(n)]);
+        let part = Rsd::new(vec![Triplet::new(Affine::konst(2), Affine::sym(n).plus_const(-1))]);
+        assert!(whole.contains(&part, &env()).is_yes());
+    }
+
+    #[test]
+    fn volume_counts_points() {
+        assert_eq!(r2((26, 30), (1, 100)).volume(&env()), Some(500));
+        assert_eq!(r1(5, 4).volume(&env()), Some(0));
+        let stepped = Rsd::new(vec![Triplet { lo: Affine::konst(1), hi: Affine::konst(9), step: 2 }]);
+        assert_eq!(stepped.volume(&env()), Some(5));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let nm = |_s: Sym| "i".to_string();
+        assert_eq!(format!("{}", r2((26, 30), (1, 100)).display(&nm)), "(26:30,1:100)");
+        let pt = Rsd::new(vec![Triplet::lit(26, 30), Triplet::point(Affine::sym(Sym(0)))]);
+        assert_eq!(format!("{}", pt.display(&nm)), "(26:30,i)");
+    }
+
+    #[test]
+    fn whole_array_section() {
+        let w = Rsd::whole(&[Affine::konst(100), Affine::konst(50)]);
+        assert_eq!(w, r2((1, 100), (1, 50)));
+    }
+}

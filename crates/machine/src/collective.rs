@@ -1,0 +1,218 @@
+//! Rendezvous machinery for collective operations.
+//!
+//! Collectives (barrier, broadcast, reductions) need every participant's
+//! virtual clock before the common completion time can be computed, so they
+//! are implemented as a generation-counted rendezvous rather than with the
+//! pairwise channels. The last arriver computes the result, bumps the
+//! generation and wakes the rest; results are double-buffered by generation
+//! parity so a fast node entering the *next* collective cannot clobber a
+//! result a slow node has not yet read.
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Default)]
+struct CollState {
+    generation: u64,
+    arrived: usize,
+    clocks: Vec<f64>,
+    payload: Option<Vec<f64>>,
+    payload_clock: f64,
+    sum: f64,
+    best_val: f64,
+    best_rank: usize,
+    best_payload: Vec<f64>,
+    results: [Option<CollOut>; 2],
+}
+
+#[derive(Clone, Default)]
+struct CollOut {
+    time: f64,
+    data: Vec<f64>,
+    sum: f64,
+}
+
+/// Shared state for all collectives of one machine run.
+pub struct SharedCollectives {
+    nprocs: usize,
+    state: Mutex<CollState>,
+    cv: Condvar,
+}
+
+impl SharedCollectives {
+    /// Creates rendezvous state for `nprocs` participants.
+    pub fn new(nprocs: usize) -> Self {
+        let state = CollState {
+            best_val: f64::NEG_INFINITY,
+            best_rank: usize::MAX,
+            ..CollState::default()
+        };
+        SharedCollectives { nprocs, state: Mutex::new(state), cv: Condvar::new() }
+    }
+
+    /// Generic rendezvous: `contribute` runs under the lock for every
+    /// participant; `compute` runs once, when the last participant arrives,
+    /// and produces the shared result.
+    fn rendezvous(
+        &self,
+        contribute: impl FnOnce(&mut CollState),
+        compute: impl FnOnce(&mut CollState) -> CollOut,
+    ) -> CollOut {
+        let mut g = self.state.lock();
+        let gen = g.generation;
+        contribute(&mut g);
+        g.arrived += 1;
+        if g.arrived == self.nprocs {
+            let out = compute(&mut g);
+            g.results[(gen % 2) as usize] = Some(out);
+            g.arrived = 0;
+            g.clocks.clear();
+            g.payload = None;
+            g.sum = 0.0;
+            g.best_val = f64::NEG_INFINITY;
+            g.best_rank = usize::MAX;
+            g.best_payload.clear();
+            g.generation += 1;
+            self.cv.notify_all();
+        } else {
+            // A bounded wait turns a peer's crash (which would otherwise
+            // strand this thread in the rendezvous forever) into a
+            // diagnosable panic.
+            let deadline =
+                std::time::Instant::now() + std::time::Duration::from_secs(30);
+            while g.generation == gen {
+                if self.cv.wait_until(&mut g, deadline).timed_out() {
+                    panic!(
+                        "collective timeout: a peer never arrived (crashed rank?)"
+                    );
+                }
+            }
+        }
+        g.results[(gen % 2) as usize].clone().expect("collective result missing")
+    }
+
+    /// Barrier: returns the common exit clock
+    /// `max(entry clocks) + sync_cost`.
+    pub fn barrier(&self, my_clock: f64, sync_cost: f64) -> f64 {
+        let out = self.rendezvous(
+            |g| g.clocks.push(my_clock),
+            |g| CollOut {
+                time: g.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + sync_cost,
+                ..Default::default()
+            },
+        );
+        out.time
+    }
+
+    /// Broadcast: the root passes `Some(data)`; everyone receives
+    /// `(arrival_time, data)` where `arrival_time = finish(root_clock,
+    /// bytes)`. Callers clamp with their own clock.
+    pub fn bcast(
+        &self,
+        my_clock: f64,
+        payload: Option<Vec<f64>>,
+        finish: impl FnOnce(f64, u64) -> f64,
+    ) -> (f64, Vec<f64>) {
+        let out = self.rendezvous(
+            |g| {
+                if let Some(p) = payload {
+                    g.payload = Some(p);
+                    g.payload_clock = my_clock;
+                }
+                g.clocks.push(my_clock);
+            },
+            |g| {
+                let data = g.payload.take().expect("bcast: no root payload");
+                let bytes = (data.len() * 8) as u64;
+                CollOut { time: finish(g.payload_clock, bytes), data, sum: 0.0 }
+            },
+        );
+        (out.time, out.data)
+    }
+
+    /// Sum all-reduce: returns `(completion_time, sum)` where completion is
+    /// `max(entry clocks) + extra_cost`.
+    pub fn allreduce(&self, my_clock: f64, v: f64, extra_cost: f64) -> (f64, f64) {
+        let out = self.rendezvous(
+            |g| {
+                g.clocks.push(my_clock);
+                g.sum += v;
+            },
+            |g| CollOut {
+                time: g.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + extra_cost,
+                data: vec![],
+                sum: g.sum,
+            },
+        );
+        (out.time, out.sum)
+    }
+
+    /// Maxloc all-reduce: returns `(completion_time, max value, payload of
+    /// the max contributor)`; ties break toward the lower rank.
+    pub fn maxloc(
+        &self,
+        my_clock: f64,
+        rank: usize,
+        v: f64,
+        payload: Vec<f64>,
+        extra_cost: f64,
+    ) -> (f64, f64, Vec<f64>) {
+        let out = self.rendezvous(
+            |g| {
+                g.clocks.push(my_clock);
+                if g.best_rank == usize::MAX
+                    || v > g.best_val
+                    || (v == g.best_val && rank < g.best_rank)
+                {
+                    g.best_val = v;
+                    g.best_rank = rank;
+                    g.best_payload = payload;
+                }
+            },
+            |g| CollOut {
+                time: g.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + extra_cost,
+                data: std::mem::take(&mut g.best_payload),
+                sum: g.best_val,
+            },
+        );
+        (out.time, out.sum, out.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_twice_in_a_row() {
+        // Reusability across generations: two consecutive barriers from
+        // multiple threads must not hang or cross-talk.
+        let c = Arc::new(SharedCollectives::new(4));
+        std::thread::scope(|s| {
+            for r in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let t1 = c.barrier(r as f64, 1.0);
+                    assert_eq!(t1, 4.0); // max(0..=3) + 1
+                    let t2 = c.barrier(t1 + r as f64, 1.0);
+                    assert_eq!(t2, 8.0); // max(4..=7) + 1
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn maxloc_tie_breaks_low_rank() {
+        let c = Arc::new(SharedCollectives::new(3));
+        std::thread::scope(|s| {
+            for r in 0..3 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let (_, v, p) = c.maxloc(0.0, r, 5.0, vec![r as f64], 0.0);
+                    assert_eq!(v, 5.0);
+                    assert_eq!(p, vec![0.0]); // rank 0 wins ties
+                });
+            }
+        });
+    }
+}

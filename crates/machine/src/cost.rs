@@ -1,0 +1,80 @@
+//! Communication and computation cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// LogGP-style cost parameters, in microseconds.
+///
+/// The defaults approximate the Intel iPSC/860 the paper evaluated on:
+/// message startup around 75µs, asymptotic bandwidth around 2.8 MB/s
+/// (≈0.36µs/byte), and roughly 60ns per double-precision flop (the i860
+/// rarely sustained more than a few MFLOPS on compiled code). The paper's
+/// claims depend on the *ratios* (startup ≫ per-byte ≫ per-flop), not the
+/// absolute values; EXPERIMENTS.md records shape comparisons only.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Message startup latency α (charged to the sender per message).
+    pub alpha_us: f64,
+    /// Per-byte transfer cost β.
+    pub beta_us_per_byte: f64,
+    /// Cost of one floating-point operation.
+    pub flop_us: f64,
+    /// Cost of one scalar/integer/control operation (guards, ownership
+    /// tests, address arithmetic) — what run-time resolution pays per
+    /// reference.
+    pub op_us: f64,
+    /// Fixed cost of one array remapping library call, *excluding* the data
+    /// motion itself (which is charged as messages).
+    pub remap_call_us: f64,
+}
+
+impl CostModel {
+    /// iPSC/860-flavoured defaults (see type-level docs).
+    pub fn ipsc860() -> Self {
+        CostModel {
+            alpha_us: 75.0,
+            beta_us_per_byte: 0.36,
+            flop_us: 0.06,
+            op_us: 0.03,
+            remap_call_us: 50.0,
+        }
+    }
+
+    /// A cost model with free computation — isolates communication effects
+    /// in ablation benchmarks.
+    pub fn comm_only() -> Self {
+        CostModel { flop_us: 0.0, op_us: 0.0, ..Self::ipsc860() }
+    }
+
+    /// Cost charged to a sender for a message of `bytes` bytes.
+    pub fn send_cost(&self, bytes: u64) -> f64 {
+        self.alpha_us + self.beta_us_per_byte * bytes as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::ipsc860()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn startup_dominates_small_messages() {
+        let c = CostModel::ipsc860();
+        // An 8-byte message is dominated by α…
+        assert!(c.send_cost(8) < 1.1 * c.alpha_us);
+        // …while a 100KB message is dominated by β.
+        assert!(c.send_cost(100_000) > 10.0 * c.alpha_us);
+    }
+
+    #[test]
+    fn comm_only_zeroes_compute() {
+        let c = CostModel::comm_only();
+        assert_eq!(c.flop_us, 0.0);
+        assert_eq!(c.op_us, 0.0);
+        assert!(c.alpha_us > 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! # fortrand-machine
+//!
+//! A deterministic simulator of a MIMD distributed-memory message-passing
+//! machine — the execution substrate for programs produced by the Fortran D
+//! compiler. It stands in for the Intel iPSC/860 the paper evaluated on
+//! (see DESIGN.md §2 for the substitution argument).
+//!
+//! Each simulated processor runs as a real OS thread with its own *virtual
+//! clock*. Communication uses pairwise FIFO channels; costs follow a
+//! LogGP-style model ([`CostModel`]): a message of `m` bytes costs the
+//! sender `α + β·m` and arrives at the receiver no earlier than the
+//! sender's post-send clock. The receiver's clock advances to
+//! `max(own clock, arrival time)`. Computation is charged explicitly by the
+//! interpreter via [`Node::charge_flops`] / [`Node::charge_ops`].
+//!
+//! Because every receive names its source and channels are FIFO, execution
+//! is deterministic: simulated times, message counts and message volumes
+//! are exactly reproducible run to run, which is what lets the benchmark
+//! harness regenerate the paper's performance comparisons stably.
+
+mod collective;
+mod cost;
+mod node;
+mod stats;
+
+pub use collective::SharedCollectives;
+pub use cost::CostModel;
+pub use node::{Msg, Node};
+pub use stats::{NodeStats, RunStats};
+
+use crossbeam_channel::unbounded;
+use std::sync::Arc;
+
+/// A simulated distributed-memory machine with `nprocs` nodes.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Number of processors.
+    pub nprocs: usize,
+    /// Communication/computation cost model.
+    pub cost: CostModel,
+}
+
+impl Machine {
+    /// Creates a machine with the default (iPSC/860-flavoured) cost model.
+    pub fn new(nprocs: usize) -> Self {
+        Machine { nprocs, cost: CostModel::ipsc860() }
+    }
+
+    /// Creates a machine with an explicit cost model.
+    pub fn with_cost(nprocs: usize, cost: CostModel) -> Self {
+        Machine { nprocs, cost }
+    }
+
+    /// Runs one SPMD program: `body` is executed once per node, in parallel,
+    /// each invocation receiving that node's [`Node`] handle. Returns the
+    /// aggregated [`RunStats`] (program time = max over nodes of the final
+    /// virtual clock).
+    ///
+    /// # Panics
+    /// Propagates panics from node bodies (e.g. a receive that would
+    /// deadlock times out and panics with a diagnostic).
+    pub fn run<F>(&self, body: F) -> RunStats
+    where
+        F: Fn(&mut Node) + Send + Sync,
+    {
+        let p = self.nprocs;
+        assert!(p >= 1, "machine needs at least one processor");
+        // Pairwise FIFO channels: index [src * p + dst].
+        let mut senders = Vec::with_capacity(p * p);
+        let mut receivers: Vec<Vec<_>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+        for _src in 0..p {
+            for dst in 0..p {
+                let (tx, rx) = unbounded::<Msg>();
+                senders.push(tx);
+                receivers[dst].push(rx);
+            }
+        }
+        let senders = Arc::new(senders);
+        let collectives = Arc::new(SharedCollectives::new(p));
+        let mut node_stats: Vec<Option<NodeStats>> = (0..p).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, my_receivers) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let collectives = Arc::clone(&collectives);
+                let cost = self.cost.clone();
+                let body = &body;
+                handles.push(scope.spawn(move || {
+                    let mut node = Node::new(rank, p, cost, senders, my_receivers, collectives);
+                    body(&mut node);
+                    node.into_stats()
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(s) => node_stats[rank] = Some(s),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+
+        RunStats::aggregate(node_stats.into_iter().map(Option::unwrap).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_pure_compute() {
+        let m = Machine::new(1);
+        let stats = m.run(|node| {
+            node.charge_flops(1000);
+        });
+        assert_eq!(stats.total_msgs, 0);
+        let expect = 1000.0 * m.cost.flop_us;
+        assert!((stats.time_us - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ping_message_timing() {
+        let m = Machine::with_cost(
+            2,
+            CostModel { alpha_us: 100.0, beta_us_per_byte: 1.0, ..CostModel::ipsc860() },
+        );
+        let stats = m.run(|node| {
+            if node.rank() == 0 {
+                node.send(1, 7, &[1.0, 2.0]); // 16 bytes
+            } else {
+                let data = node.recv(0, 7);
+                assert_eq!(data, vec![1.0, 2.0]);
+            }
+        });
+        assert_eq!(stats.total_msgs, 1);
+        assert_eq!(stats.total_bytes, 16);
+        // Sender clock: 0 + α + 16β = 116; receiver waits until then.
+        assert!((stats.time_us - 116.0).abs() < 1e-9, "time {}", stats.time_us);
+    }
+
+    #[test]
+    fn receiver_compute_overlaps_latency() {
+        // If the receiver is already busy past the arrival time, the message
+        // costs it nothing extra.
+        let cost =
+            CostModel { alpha_us: 10.0, beta_us_per_byte: 0.0, flop_us: 1.0, ..CostModel::ipsc860() };
+        let m = Machine::with_cost(2, cost);
+        let stats = m.run(|node| {
+            if node.rank() == 0 {
+                node.send(1, 0, &[0.0]);
+            } else {
+                node.charge_flops(1000); // clock = 1000 >> arrival (10)
+                node.recv(0, 0);
+                assert!((node.clock() - 1000.0).abs() < 1e-9);
+            }
+        });
+        assert!((stats.time_us - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let m = Machine::new(2);
+        m.run(|node| {
+            if node.rank() == 0 {
+                for i in 0..10 {
+                    node.send(1, i, &[i as f64]);
+                }
+            } else {
+                for i in 0..10 {
+                    let d = node.recv(0, i);
+                    assert_eq!(d[0], i as f64);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn ring_pipeline_time_accumulates() {
+        // 0 -> 1 -> 2 -> 3: each hop adds α.
+        let cost =
+            CostModel { alpha_us: 50.0, beta_us_per_byte: 0.0, flop_us: 0.0, ..CostModel::ipsc860() };
+        let m = Machine::with_cost(4, cost);
+        let stats = m.run(|node| {
+            let r = node.rank();
+            if r == 0 {
+                node.send(1, 0, &[42.0]);
+            } else {
+                let d = node.recv(r - 1, 0);
+                if r < 3 {
+                    node.send(r + 1, 0, &d);
+                }
+            }
+        });
+        assert!((stats.time_us - 150.0).abs() < 1e-9, "time {}", stats.time_us);
+        assert_eq!(stats.total_msgs, 3);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let cost = CostModel { alpha_us: 10.0, flop_us: 1.0, ..CostModel::ipsc860() };
+        let m = Machine::with_cost(4, cost.clone());
+        m.run(|node| {
+            node.charge_flops((node.rank() as u64 + 1) * 100);
+            node.barrier();
+            // Everyone is now at least at the slowest node's clock (400)
+            // plus the barrier cost.
+            let min = 400.0 + cost.alpha_us * (4f64).log2().ceil();
+            assert!(node.clock() >= min, "clock {} < {min}", node.clock());
+        });
+    }
+
+    #[test]
+    fn broadcast_delivers_and_charges() {
+        let m = Machine::new(4);
+        let stats = m.run(|node| {
+            let data = if node.rank() == 2 { vec![3.25; 8] } else { vec![] };
+            let got = node.bcast(2, &data);
+            assert_eq!(got, vec![3.25; 8]);
+        });
+        // Tree broadcast: P-1 logical messages.
+        assert_eq!(stats.total_msgs, 3);
+    }
+
+    #[test]
+    fn reduction_sums_across_nodes() {
+        let m = Machine::new(5);
+        m.run(|node| {
+            let s = node.allreduce_sum(node.rank() as f64 + 1.0);
+            assert!((s - 15.0).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn stats_per_node_recorded() {
+        let m = Machine::new(3);
+        let stats = m.run(|node| {
+            if node.rank() == 0 {
+                node.send(1, 0, &[1.0; 4]);
+                node.send(2, 0, &[1.0; 4]);
+            } else {
+                node.recv(0, 0);
+            }
+        });
+        assert_eq!(stats.per_node[0].msgs_sent, 2);
+        assert_eq!(stats.per_node[1].msgs_sent, 0);
+        assert_eq!(stats.per_node[0].bytes_sent, 64);
+        assert_eq!(stats.total_msgs, 2);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let m = Machine::new(4);
+        let run = || {
+            m.run(|node| {
+                let r = node.rank();
+                node.charge_flops((r as u64 * 37 + 11) % 101);
+                if r > 0 {
+                    node.send(0, r as u64, &vec![r as f64; r]);
+                } else {
+                    for s in 1..4 {
+                        node.recv(s, s as u64);
+                    }
+                }
+                node.barrier();
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.time_us, b.time_us);
+        assert_eq!(a.total_msgs, b.total_msgs);
+        assert_eq!(a.total_bytes, b.total_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag mismatch")]
+    fn tag_mismatch_panics() {
+        let m = Machine::new(2);
+        m.run(|node| {
+            if node.rank() == 0 {
+                node.send(1, 1, &[0.0]);
+            } else {
+                node.recv(0, 2);
+            }
+        });
+    }
+}

@@ -1,0 +1,247 @@
+//! Per-processor execution handle.
+
+use crate::collective::SharedCollectives;
+use crate::cost::CostModel;
+use crate::stats::NodeStats;
+use crossbeam_channel::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a real thread may block on a simulated receive before the run
+/// is declared deadlocked. Generous: simulation work is microseconds.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One simulated message: a tag, a payload of f64 words, and the virtual
+/// time at which it becomes available to the receiver.
+#[derive(Clone, Debug)]
+pub struct Msg {
+    /// User tag; receives assert on it to catch compiler bugs early.
+    pub tag: u64,
+    /// Payload (Fortran REALs are simulated as f64 throughout).
+    pub data: Vec<f64>,
+    /// Virtual time at which the receiver may consume the message.
+    pub avail_at_us: f64,
+}
+
+/// Handle given to each node of an SPMD program run under
+/// [`crate::Machine::run`]. Provides message passing, collectives, and
+/// explicit cost charging, all against this node's virtual clock.
+pub struct Node {
+    rank: usize,
+    nprocs: usize,
+    cost: CostModel,
+    clock_us: f64,
+    senders: Arc<Vec<Sender<Msg>>>,
+    receivers: Vec<Receiver<Msg>>,
+    collectives: Arc<SharedCollectives>,
+    stats: NodeStats,
+}
+
+impl Node {
+    pub(crate) fn new(
+        rank: usize,
+        nprocs: usize,
+        cost: CostModel,
+        senders: Arc<Vec<Sender<Msg>>>,
+        receivers: Vec<Receiver<Msg>>,
+        collectives: Arc<SharedCollectives>,
+    ) -> Self {
+        Node { rank, nprocs, cost, clock_us: 0.0, senders, receivers, collectives, stats: NodeStats::default() }
+    }
+
+    /// This node's rank, `0 ≤ rank < nprocs` (the paper's `my$p`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processors (the paper's `n$proc`).
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current virtual clock in µs.
+    pub fn clock(&self) -> f64 {
+        self.clock_us
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Charges `n` floating-point operations to this node's clock.
+    pub fn charge_flops(&mut self, n: u64) {
+        self.stats.flops += n;
+        self.clock_us += n as f64 * self.cost.flop_us;
+    }
+
+    /// Charges `n` scalar/control operations (guards, ownership tests,
+    /// address arithmetic).
+    pub fn charge_ops(&mut self, n: u64) {
+        self.stats.ops += n;
+        self.clock_us += n as f64 * self.cost.op_us;
+    }
+
+    /// Charges one remap library invocation (fixed overhead; data motion is
+    /// charged separately as messages by the caller).
+    pub fn charge_remap(&mut self) {
+        self.stats.remaps += 1;
+        self.clock_us += self.cost.remap_call_us;
+    }
+
+    /// Sends `data` to `dst` with `tag`. Non-blocking in real time; charges
+    /// the sender `α + β·bytes` of virtual time. The message becomes
+    /// available to the receiver at the sender's post-send clock.
+    pub fn send(&mut self, dst: usize, tag: u64, data: &[f64]) {
+        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        assert_ne!(dst, self.rank, "self-send: rank {dst}");
+        let bytes = (data.len() * 8) as u64;
+        self.clock_us += self.cost.send_cost(bytes);
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes;
+        let msg = Msg { tag, data: data.to_vec(), avail_at_us: self.clock_us };
+        self.senders[self.rank * self.nprocs + dst]
+            .send(msg)
+            .expect("machine channel closed while sending");
+    }
+
+    /// Receives the next message from `src`, asserting its tag. Blocks (in
+    /// real time) until available; advances the virtual clock to at least
+    /// the message's availability time and records the wait as idle time.
+    ///
+    /// # Panics
+    /// Panics on tag mismatch or if no message arrives within the deadlock
+    /// timeout.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
+        let msg = self.receivers[src]
+            .recv_timeout(DEADLOCK_TIMEOUT)
+            .unwrap_or_else(|_| {
+                panic!(
+                    "deadlock: rank {} waited >{:?} for a message from {} (tag {})",
+                    self.rank, DEADLOCK_TIMEOUT, src, tag
+                )
+            });
+        assert_eq!(
+            msg.tag, tag,
+            "tag mismatch on rank {} receiving from {}: expected {}, got {}",
+            self.rank, src, tag, msg.tag
+        );
+        if msg.avail_at_us > self.clock_us {
+            self.stats.wait_us += msg.avail_at_us - self.clock_us;
+            self.clock_us = msg.avail_at_us;
+        }
+        msg.data
+    }
+
+    /// Global barrier. Advances every node's clock to
+    /// `max(entry clocks) + α·⌈log₂ P⌉`.
+    pub fn barrier(&mut self) {
+        let levels = log2_ceil(self.nprocs);
+        let t = self.collectives.barrier(self.clock_us, self.cost.alpha_us * levels as f64);
+        if t > self.clock_us {
+            self.stats.wait_us += t - self.clock_us;
+        }
+        self.clock_us = t;
+    }
+
+    /// Broadcast from `root`: every node returns the root's `data`.
+    ///
+    /// Modeled as a binomial tree: all nodes finish at
+    /// `max(own clock, root clock + ⌈log₂ P⌉·(α + β·bytes))`. The `P−1`
+    /// tree messages are attributed to the root for accounting.
+    pub fn bcast(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
+        assert!(root < self.nprocs);
+        if self.nprocs == 1 {
+            return data.to_vec();
+        }
+        let is_root = self.rank == root;
+        let levels = log2_ceil(self.nprocs);
+        let payload = if is_root { Some(data.to_vec()) } else { None };
+        let (t, out) = self.collectives.bcast(self.clock_us, payload, |root_clock, bytes| {
+            root_clock + levels as f64 * self.cost.send_cost(bytes)
+        });
+        if is_root {
+            self.stats.msgs_sent += (self.nprocs - 1) as u64;
+            self.stats.bytes_sent += (self.nprocs - 1) as u64 * (out.len() * 8) as u64;
+        }
+        let t = t.max(self.clock_us);
+        if t > self.clock_us {
+            self.stats.wait_us += t - self.clock_us;
+        }
+        self.clock_us = t;
+        out
+    }
+
+    /// All-reduce (sum) of one value; every node returns the global sum.
+    /// Costs `2·⌈log₂ P⌉·α` beyond the slowest entrant (reduce + broadcast
+    /// trees of 8-byte messages); the `2(P−1)` messages are attributed to
+    /// rank 0.
+    pub fn allreduce_sum(&mut self, v: f64) -> f64 {
+        if self.nprocs == 1 {
+            return v;
+        }
+        let levels = log2_ceil(self.nprocs);
+        let extra = 2.0 * levels as f64 * self.cost.send_cost(8);
+        let (t, sum) = self.collectives.allreduce(self.clock_us, v, extra);
+        if self.rank == 0 {
+            self.stats.msgs_sent += 2 * (self.nprocs - 1) as u64;
+            self.stats.bytes_sent += 2 * (self.nprocs - 1) as u64 * 8;
+        }
+        if t > self.clock_us {
+            self.stats.wait_us += t - self.clock_us;
+        }
+        self.clock_us = t;
+        sum
+    }
+
+    /// All-reduce computing `(max value, payload of the max contributor)` —
+    /// the pattern dgefa's pivot search needs (`idamax` across the owners).
+    /// Ties break toward the lower rank, keeping results deterministic.
+    pub fn allreduce_maxloc(&mut self, v: f64, payload: &[f64]) -> (f64, Vec<f64>) {
+        if self.nprocs == 1 {
+            return (v, payload.to_vec());
+        }
+        let levels = log2_ceil(self.nprocs);
+        let bytes = (payload.len() * 8 + 8) as u64;
+        let extra = 2.0 * levels as f64 * self.cost.send_cost(bytes);
+        let (t, value, data) =
+            self.collectives.maxloc(self.clock_us, self.rank, v, payload.to_vec(), extra);
+        if self.rank == 0 {
+            self.stats.msgs_sent += 2 * (self.nprocs - 1) as u64;
+            self.stats.bytes_sent += 2 * (self.nprocs - 1) as u64 * bytes;
+        }
+        if t > self.clock_us {
+            self.stats.wait_us += t - self.clock_us;
+        }
+        self.clock_us = t;
+        (value, data)
+    }
+
+    /// Final per-node statistics (consumes the node at the end of a run).
+    pub(crate) fn into_stats(mut self) -> NodeStats {
+        self.stats.time_us = self.clock_us;
+        self.stats
+    }
+}
+
+/// ⌈log₂ n⌉ for n ≥ 1.
+pub(crate) fn log2_ceil(n: usize) -> u32 {
+    debug_assert!(n >= 1);
+    usize::BITS - (n - 1).leading_zeros().min(usize::BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(32), 5);
+    }
+}

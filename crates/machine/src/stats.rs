@@ -1,0 +1,86 @@
+//! Execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one simulated node.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Final virtual clock (µs).
+    pub time_us: f64,
+    /// Messages sent by this node.
+    pub msgs_sent: u64,
+    /// Bytes sent by this node.
+    pub bytes_sent: u64,
+    /// Floating-point operations charged.
+    pub flops: u64,
+    /// Scalar/control operations charged (incl. ownership tests).
+    pub ops: u64,
+    /// Remap library calls charged.
+    pub remaps: u64,
+    /// Time spent blocked waiting for messages (µs) — idle time.
+    pub wait_us: f64,
+}
+
+/// Aggregated statistics of one program run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Program execution time: max over nodes of the final clock (µs).
+    pub time_us: f64,
+    /// Total messages across all nodes.
+    pub total_msgs: u64,
+    /// Total bytes across all nodes.
+    pub total_bytes: u64,
+    /// Total flops across all nodes.
+    pub total_flops: u64,
+    /// Total scalar ops across all nodes.
+    pub total_ops: u64,
+    /// Total remap library calls.
+    pub total_remaps: u64,
+    /// Per-node detail.
+    pub per_node: Vec<NodeStats>,
+}
+
+impl RunStats {
+    /// Folds per-node statistics into a run summary.
+    pub fn aggregate(per_node: Vec<NodeStats>) -> Self {
+        let mut s = RunStats { per_node, ..Default::default() };
+        for n in &s.per_node {
+            s.time_us = s.time_us.max(n.time_us);
+            s.total_msgs += n.msgs_sent;
+            s.total_bytes += n.bytes_sent;
+            s.total_flops += n.flops;
+            s.total_ops += n.ops;
+            s.total_remaps += n.remaps;
+        }
+        s
+    }
+
+    /// Program time in milliseconds (convenience for reports).
+    pub fn time_ms(&self) -> f64 {
+        self.time_us / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_takes_max_time_and_sums_counters() {
+        let a = NodeStats { time_us: 10.0, msgs_sent: 2, bytes_sent: 16, flops: 5, ..Default::default() };
+        let b = NodeStats { time_us: 30.0, msgs_sent: 1, bytes_sent: 8, flops: 7, ..Default::default() };
+        let s = RunStats::aggregate(vec![a, b]);
+        assert_eq!(s.time_us, 30.0);
+        assert_eq!(s.total_msgs, 3);
+        assert_eq!(s.total_bytes, 24);
+        assert_eq!(s.total_flops, 12);
+        assert_eq!(s.per_node.len(), 2);
+    }
+
+    #[test]
+    fn empty_aggregate_is_zero() {
+        let s = RunStats::aggregate(vec![]);
+        assert_eq!(s.time_us, 0.0);
+        assert_eq!(s.total_msgs, 0);
+    }
+}

@@ -1,0 +1,1161 @@
+//! SPMD interpreter.
+//!
+//! Executes a node program on every rank of a [`Machine`], charging
+//! computation to the virtual clocks (1 flop per REAL arithmetic node,
+//! 1 op per integer/logical node, subscript, guard and loop-step) and
+//! communication through the machine's send/recv/collective primitives.
+//!
+//! Distributed arrays are scattered from the caller-supplied global initial
+//! values before execution and gathered back after, using each array's
+//! *current* distribution (dynamic remapping updates it), so callers can
+//! check numerical results against a sequential reference regardless of
+//! compilation strategy.
+
+use crate::ir::*;
+use fortrand_ir::dist::ArrayDist;
+use fortrand_ir::Sym;
+use fortrand_machine::{Machine, Node, RunStats};
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+
+/// Result of running a node program.
+#[derive(Debug)]
+pub struct ExecOutput {
+    /// Machine statistics (time, messages, bytes, flops…).
+    pub stats: RunStats,
+    /// Final global contents of every array declared in the entry
+    /// procedure, row-major over the array's global extents.
+    pub arrays: BTreeMap<Sym, Vec<f64>>,
+    /// Lines printed by rank 0 (`print *` statements).
+    pub printed: Vec<String>,
+}
+
+/// Runs `prog` on `machine`. `init` supplies initial global values for
+/// arrays declared in the entry procedure (missing arrays start at zero).
+pub fn run_spmd(
+    prog: &SpmdProgram,
+    machine: &Machine,
+    init: &BTreeMap<Sym, Vec<f64>>,
+) -> ExecOutput {
+    assert_eq!(
+        machine.nprocs, prog.nprocs,
+        "program compiled for {} procs, machine has {}",
+        prog.nprocs, machine.nprocs
+    );
+    let finals: Mutex<Vec<Option<Vec<FinalArray>>>> =
+        Mutex::new((0..machine.nprocs).map(|_| None).collect());
+    let printed: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    let stats = machine.run(|node| {
+        let mut exec = Exec::new(prog, node);
+        exec.enter_main(init);
+        let rank = exec.node.rank();
+        let fin = exec.finish();
+        if rank == 0 {
+            printed.lock().extend(exec.printed.drain(..));
+        }
+        finals.lock()[rank] = Some(fin);
+    });
+
+    // Assemble global arrays from per-rank finals.
+    let finals = finals.into_inner();
+    let per_rank: Vec<Vec<FinalArray>> = finals.into_iter().map(Option::unwrap).collect();
+    let mut arrays = BTreeMap::new();
+    if let Some(rank0) = per_rank.first() {
+        for fa in rank0 {
+            let dist = &prog.dists[fa.owner_dist.unwrap_or(fa.dist).0 as usize];
+            let extents: Vec<i64> = global_extents(dist);
+            let total: i64 = extents.iter().product();
+            let mut global = vec![0.0f64; total as usize];
+            let mut pt = vec![1i64; extents.len()];
+            for flat in 0..total {
+                // Decode row-major point.
+                let mut rem = flat;
+                for (d, &e) in extents.iter().enumerate() {
+                    let stride: i64 = extents[d + 1..].iter().product();
+                    pt[d] = rem / stride + 1;
+                    rem %= stride;
+                    let _ = e;
+                }
+                let owner = dist.owner_of(&pt);
+                let fa_owner = per_rank[owner]
+                    .iter()
+                    .find(|x| x.name == fa.name)
+                    .expect("array missing on owner rank");
+                // Run-time resolution storage is global-indexed.
+                let local = if fa.owner_dist.is_some() {
+                    pt.clone()
+                } else {
+                    dist.local_of_global(&pt)
+                };
+                if let Some(v) = fa_owner.read(&local) {
+                    global[flat as usize] = v;
+                }
+            }
+            arrays.insert(fa.name, global);
+        }
+    }
+    ExecOutput { stats, arrays, printed: printed.into_inner() }
+}
+
+/// Global (pre-partitioning) extents implied by a distribution, in array
+/// index space.
+pub fn global_extents(dist: &ArrayDist) -> Vec<i64> {
+    dist.dims.iter().enumerate().map(|(d, p)| p.extent - dist.offsets[d]).collect()
+}
+
+/// One array's final state on one rank.
+struct FinalArray {
+    name: Sym,
+    bounds: Vec<(i64, i64)>,
+    data: Vec<f64>,
+    dist: DistId,
+    owner_dist: Option<DistId>,
+}
+
+impl FinalArray {
+    fn read(&self, local: &[i64]) -> Option<f64> {
+        let mut flat = 0usize;
+        for (d, &x) in local.iter().enumerate() {
+            let (lo, hi) = self.bounds[d];
+            if x < lo || x > hi {
+                return None;
+            }
+            let width = (hi - lo + 1) as usize;
+            flat = flat * width + (x - lo) as usize;
+        }
+        self.data.get(flat).copied()
+    }
+}
+
+/// Runtime value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Value {
+    I(i64),
+    R(f64),
+}
+
+impl Value {
+    fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::R(v) => v as i64,
+        }
+    }
+    fn as_r(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::R(v) => v,
+        }
+    }
+    fn truthy(self) -> bool {
+        self.as_i() != 0
+    }
+}
+
+/// Array storage on one rank.
+struct ArrayStore {
+    name: Sym,
+    bounds: Vec<(i64, i64)>,
+    data: Vec<f64>,
+    dist: DistId,
+    owner_dist: Option<DistId>,
+}
+
+impl ArrayStore {
+    fn alloc(name: Sym, bounds: Vec<(i64, i64)>, dist: DistId) -> Self {
+        let len: i64 = bounds.iter().map(|&(lo, hi)| (hi - lo + 1).max(0)).product();
+        ArrayStore { name, bounds, data: vec![0.0; len as usize], dist, owner_dist: None }
+    }
+    fn flat(&self, subs: &[i64]) -> usize {
+        debug_assert_eq!(subs.len(), self.bounds.len());
+        let mut flat = 0usize;
+        for (d, &x) in subs.iter().enumerate() {
+            let (lo, hi) = self.bounds[d];
+            assert!(
+                x >= lo && x <= hi,
+                "subscript {} out of local bounds {}:{} (dim {}) of array",
+                x,
+                lo,
+                hi,
+                d
+            );
+            let width = (hi - lo + 1) as usize;
+            flat = flat * width + (x - lo) as usize;
+        }
+        flat
+    }
+    fn get(&self, subs: &[i64]) -> f64 {
+        self.data[self.flat(subs)]
+    }
+    fn set(&mut self, subs: &[i64], v: f64) {
+        let f = self.flat(subs);
+        self.data[f] = v;
+    }
+}
+
+struct Frame {
+    arrays: FxHashMap<Sym, usize>,
+    scalars: FxHashMap<Sym, Value>,
+}
+
+enum Flow {
+    Normal,
+    Return,
+    Stop,
+}
+
+struct Exec<'a> {
+    prog: &'a SpmdProgram,
+    node: &'a mut Node,
+    heap: Vec<ArrayStore>,
+    frames: Vec<Frame>,
+    printed: Vec<String>,
+    pending_flops: u64,
+    pending_ops: u64,
+    main_arrays: Vec<usize>,
+}
+
+/// Tag space reserved for remap traffic (compiler tags stay below this).
+const REMAP_TAG_BASE: u64 = 1 << 40;
+
+impl<'a> Exec<'a> {
+    fn new(prog: &'a SpmdProgram, node: &'a mut Node) -> Self {
+        Exec {
+            prog,
+            node,
+            heap: Vec::new(),
+            frames: Vec::new(),
+            printed: Vec::new(),
+            pending_flops: 0,
+            pending_ops: 0,
+            main_arrays: Vec::new(),
+        }
+    }
+
+    fn flush_charges(&mut self) {
+        if self.pending_flops > 0 {
+            self.node.charge_flops(self.pending_flops);
+            self.pending_flops = 0;
+        }
+        if self.pending_ops > 0 {
+            self.node.charge_ops(self.pending_ops);
+            self.pending_ops = 0;
+        }
+    }
+
+    fn enter_main(&mut self, init: &BTreeMap<Sym, Vec<f64>>) {
+        let main = &self.prog.procs[self.prog.main];
+        let mut frame = Frame { arrays: FxHashMap::default(), scalars: FxHashMap::default() };
+        for d in &main.decls {
+            let id = self.heap.len();
+            let mut store = ArrayStore::alloc(d.name, d.bounds.clone(), d.dist);
+            store.owner_dist = d.owner_dist;
+            self.heap.push(store);
+            frame.arrays.insert(d.name, id);
+            self.main_arrays.push(id);
+            if let Some(global) = init.get(&d.name) {
+                self.scatter_init(id, global);
+            }
+        }
+        self.frames.push(frame);
+        let body = &main.body;
+        let _ = self.exec_body(body);
+        self.flush_charges();
+    }
+
+    /// Fills the local part of array `id` from a row-major global buffer.
+    /// Run-time resolution storage (owner_dist set) takes a full copy.
+    fn scatter_init(&mut self, id: usize, global: &[f64]) {
+        if self.heap[id].owner_dist.is_some() {
+            assert_eq!(self.heap[id].data.len(), global.len(), "rtr init size");
+            self.heap[id].data.copy_from_slice(global);
+            return;
+        }
+        let dist = self.prog.dists[self.heap[id].dist.0 as usize].clone();
+        let extents = global_extents(&dist);
+        let total: i64 = extents.iter().product();
+        assert_eq!(total as usize, global.len(), "initial data size mismatch");
+        let my = self.node.rank();
+        let mut pt = vec![1i64; extents.len()];
+        for flat in 0..total {
+            let mut rem = flat;
+            for d in 0..extents.len() {
+                let stride: i64 = extents[d + 1..].iter().product();
+                pt[d] = rem / stride + 1;
+                rem %= stride;
+            }
+            // Replicated (serial) dims: every rank stores the value; for
+            // distributed dims only the owner does.
+            let owner = dist.owner_of(&pt);
+            let replicated = dist.is_replicated();
+            if replicated || owner == my {
+                let local = dist.local_of_global(&pt);
+                let store = &mut self.heap[id];
+                // Guard against overlap bounds excluding the point (cannot
+                // happen for owned points, but stay defensive).
+                let ok = local
+                    .iter()
+                    .zip(&store.bounds)
+                    .all(|(&x, &(lo, hi))| x >= lo && x <= hi);
+                if ok {
+                    store.set(&local, global[flat as usize]);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Vec<FinalArray> {
+        self.main_arrays
+            .iter()
+            .map(|&id| {
+                let s = &self.heap[id];
+                FinalArray {
+                    name: s.name,
+                    bounds: s.bounds.clone(),
+                    data: s.data.clone(),
+                    dist: s.dist,
+                    owner_dist: s.owner_dist,
+                }
+            })
+            .collect()
+    }
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("no frame")
+    }
+
+    fn array_id(&self, s: Sym) -> usize {
+        *self
+            .frame()
+            .arrays
+            .get(&s)
+            .unwrap_or_else(|| panic!("unbound array `{}`", self.prog.interner.name(s)))
+    }
+
+    fn exec_body(&mut self, body: &[SStmt]) -> Flow {
+        for s in body {
+            match self.exec_stmt(s) {
+                Flow::Normal => {}
+                f => return f,
+            }
+        }
+        Flow::Normal
+    }
+
+    fn exec_stmt(&mut self, s: &SStmt) -> Flow {
+        match s {
+            SStmt::Comment(_) => Flow::Normal,
+            SStmt::Assign { lhs, rhs } => {
+                let v = self.eval(rhs);
+                self.assign(lhs, v);
+                Flow::Normal
+            }
+            SStmt::Do { var, lo, hi, step, body } => {
+                let lo = self.eval(lo).as_i();
+                let hi = self.eval(hi).as_i();
+                let step = *step;
+                assert!(step != 0, "zero DO step");
+                let mut i = lo;
+                while (step > 0 && i <= hi) || (step < 0 && i >= hi) {
+                    self.frames.last_mut().unwrap().scalars.insert(*var, Value::I(i));
+                    self.pending_ops += 1; // loop bookkeeping
+                    match self.exec_body(body) {
+                        Flow::Normal => {}
+                        f => return f,
+                    }
+                    i += step;
+                }
+                Flow::Normal
+            }
+            SStmt::If { cond, then_body, else_body } => {
+                self.pending_ops += 1;
+                if self.eval(cond).truthy() {
+                    self.exec_body(then_body)
+                } else {
+                    self.exec_body(else_body)
+                }
+            }
+            SStmt::Call { proc, args, copy_out } => {
+                let callee = &self.prog.procs[*proc];
+                assert_eq!(callee.formals.len(), args.len(), "call arity");
+                let mut frame =
+                    Frame { arrays: FxHashMap::default(), scalars: FxHashMap::default() };
+                for (f, a) in callee.formals.iter().zip(args) {
+                    match (f.is_array, a) {
+                        (true, SActual::Array(name)) => {
+                            let id = self.array_id(*name);
+                            frame.arrays.insert(f.name, id);
+                        }
+                        (false, SActual::Scalar(e)) => {
+                            let v = self.eval(e);
+                            frame.scalars.insert(f.name, v);
+                        }
+                        _ => panic!("actual/formal kind mismatch"),
+                    }
+                }
+                for d in &callee.decls {
+                    let id = self.heap.len();
+                    let mut store = ArrayStore::alloc(d.name, d.bounds.clone(), d.dist);
+                    store.owner_dist = d.owner_dist;
+                    self.heap.push(store);
+                    frame.arrays.insert(d.name, id);
+                }
+                self.frames.push(frame);
+                self.pending_ops += 2; // call overhead
+                let flow = self.exec_body(&callee.body);
+                let callee_frame = self.frames.pop().unwrap();
+                for (f, caller_var) in copy_out {
+                    if let Some(&v) = callee_frame.scalars.get(f) {
+                        self.frames.last_mut().unwrap().scalars.insert(*caller_var, v);
+                    }
+                }
+                match flow {
+                    Flow::Stop => Flow::Stop,
+                    _ => Flow::Normal,
+                }
+            }
+            SStmt::Return => Flow::Return,
+            SStmt::Stop => Flow::Stop,
+            SStmt::Send { to, tag, array, section } => {
+                let dst = self.eval(to).as_i();
+                assert!(dst >= 0, "negative send destination");
+                let data = self.gather_section(*array, section);
+                self.flush_charges();
+                self.node.send(dst as usize, *tag, &data);
+                Flow::Normal
+            }
+            SStmt::Recv { from, tag, array, section } => {
+                let src = self.eval(from).as_i();
+                assert!(src >= 0, "negative recv source");
+                self.flush_charges();
+                let data = self.node.recv(src as usize, *tag);
+                self.scatter_section(*array, section, &data);
+                Flow::Normal
+            }
+            SStmt::SendElem { to, tag, value } => {
+                let dst = self.eval(to).as_i();
+                let v = self.eval(value).as_r();
+                self.flush_charges();
+                self.node.send(dst as usize, *tag, &[v]);
+                Flow::Normal
+            }
+            SStmt::RecvElem { from, tag, lhs } => {
+                let src = self.eval(from).as_i();
+                self.flush_charges();
+                let data = self.node.recv(src as usize, *tag);
+                self.assign(lhs, Value::R(data[0]));
+                Flow::Normal
+            }
+            SStmt::Bcast { root, src_array, src_section, dst_array, dst_section } => {
+                let root = self.eval(root).as_i() as usize;
+                let is_root = self.node.rank() == root;
+                let data =
+                    if is_root { self.gather_section(*src_array, src_section) } else { vec![] };
+                self.flush_charges();
+                let out = self.node.bcast(root, &data);
+                self.scatter_section(*dst_array, dst_section, &out);
+                Flow::Normal
+            }
+            SStmt::BcastScalar { root, var } => {
+                let root = self.eval(root).as_i() as usize;
+                let is_root = self.node.rank() == root;
+                let data = if is_root {
+                    vec![self
+                        .frame()
+                        .scalars
+                        .get(var)
+                        .copied()
+                        .map(|v| v.as_r())
+                        .unwrap_or(0.0)]
+                } else {
+                    vec![]
+                };
+                self.flush_charges();
+                let out = self.node.bcast(root, &data);
+                // Scalars broadcast this way are integers in practice
+                // (pivot indices); preserve integrality when exact.
+                let v = out[0];
+                let val = if v == v.trunc() { Value::I(v as i64) } else { Value::R(v) };
+                self.frames.last_mut().unwrap().scalars.insert(*var, val);
+                Flow::Normal
+            }
+            SStmt::RemapGlobal { array, to_dist } => {
+                self.remap_global(*array, *to_dist);
+                Flow::Normal
+            }
+            SStmt::Remap { array, to_dist } => {
+                self.remap(*array, *to_dist);
+                Flow::Normal
+            }
+            SStmt::MarkDist { array, to_dist } => {
+                // §6.3: values are dead — swap descriptors, no data motion.
+                let id = self.array_id(*array);
+                let new_dist = &self.prog.dists[to_dist.0 as usize];
+                let bounds: Vec<(i64, i64)> =
+                    new_dist.local_extents().iter().map(|&e| (1, e)).collect();
+                let name = self.heap[id].name;
+                self.heap[id] = ArrayStore::alloc(name, bounds, *to_dist);
+                self.pending_ops += 1;
+                Flow::Normal
+            }
+            SStmt::Print { args } => {
+                if self.node.rank() == 0 {
+                    let vals: Vec<String> = args
+                        .iter()
+                        .map(|a| match self.eval(a) {
+                            Value::I(v) => format!("{v}"),
+                            Value::R(v) => format!("{v}"),
+                        })
+                        .collect();
+                    self.printed.push(vals.join(" "));
+                }
+                Flow::Normal
+            }
+        }
+    }
+
+    fn assign(&mut self, lhs: &SLval, v: Value) {
+        match lhs {
+            SLval::Scalar(s) => {
+                self.frames.last_mut().unwrap().scalars.insert(*s, v);
+            }
+            SLval::Elem { array, subs } => {
+                let subs: Vec<i64> = subs.iter().map(|e| self.eval(e).as_i()).collect();
+                self.pending_ops += subs.len() as u64;
+                let id = self.array_id(*array);
+                self.heap[id].set(&subs, v.as_r());
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &SExpr) -> Value {
+        match e {
+            SExpr::Int(v) => Value::I(*v),
+            SExpr::Real(v) => Value::R(*v),
+            SExpr::MyP => Value::I(self.node.rank() as i64),
+            SExpr::NProcs => Value::I(self.node.nprocs() as i64),
+            // Uninitialized scalars read as zero (Fortran out-parameters
+            // are passed before the callee defines them).
+            SExpr::Var(s) => self.frame().scalars.get(s).copied().unwrap_or(Value::I(0)),
+            SExpr::Elem { array, subs } => {
+                let subs: Vec<i64> = subs.iter().map(|x| self.eval(x).as_i()).collect();
+                self.pending_ops += subs.len() as u64;
+                let id = self.array_id(*array);
+                Value::R(self.heap[id].get(&subs))
+            }
+            SExpr::Bin { op, l, r } => {
+                let a = self.eval(l);
+                let b = self.eval(r);
+                self.charge_bin(a, b);
+                self.apply_bin(*op, a, b)
+            }
+            SExpr::Neg(x) => {
+                let v = self.eval(x);
+                match v {
+                    Value::I(i) => {
+                        self.pending_ops += 1;
+                        Value::I(-i)
+                    }
+                    Value::R(r) => {
+                        self.pending_flops += 1;
+                        Value::R(-r)
+                    }
+                }
+            }
+            SExpr::Not(x) => {
+                let v = self.eval(x);
+                self.pending_ops += 1;
+                Value::I(if v.truthy() { 0 } else { 1 })
+            }
+            SExpr::Intr { name, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect();
+                self.pending_flops += 1;
+                self.apply_intr(*name, &vals)
+            }
+            SExpr::Owner { dist, subs } => {
+                let pt: Vec<i64> = subs.iter().map(|x| self.eval(x).as_i()).collect();
+                // Ownership arithmetic: a few integer ops per query — this
+                // is exactly the per-reference overhead run-time resolution
+                // pays (§3.1).
+                self.pending_ops += 3;
+                let d = &self.prog.dists[dist.0 as usize];
+                Value::I(d.owner_of(&pt) as i64)
+            }
+            SExpr::CurOwner { array, subs } => {
+                let pt: Vec<i64> = subs.iter().map(|x| self.eval(x).as_i()).collect();
+                self.pending_ops += 3;
+                let id = self.array_id(*array);
+                let did = self.heap[id].owner_dist.unwrap_or(self.heap[id].dist);
+                let d = &self.prog.dists[did.0 as usize];
+                Value::I(d.owner_of(&pt) as i64)
+            }
+            SExpr::LocalIdx { dist, dim, sub } => {
+                let g = self.eval(sub).as_i();
+                self.pending_ops += 2;
+                let d = &self.prog.dists[dist.0 as usize];
+                let off = d.offsets[*dim];
+                Value::I(if d.grid_axis[*dim].is_some() {
+                    d.dims[*dim].local_of_global(g + off)
+                } else {
+                    g
+                })
+            }
+        }
+    }
+
+    fn charge_bin(&mut self, a: Value, b: Value) {
+        if matches!(a, Value::R(_)) || matches!(b, Value::R(_)) {
+            self.pending_flops += 1;
+        } else {
+            self.pending_ops += 1;
+        }
+    }
+
+    fn apply_bin(&self, op: SBinOp, a: Value, b: Value) -> Value {
+        use SBinOp::*;
+        let bool_v = |c: bool| Value::I(c as i64);
+        match (a, b) {
+            (Value::I(x), Value::I(y)) => match op {
+                Add => Value::I(x + y),
+                Sub => Value::I(x - y),
+                Mul => Value::I(x * y),
+                Div => Value::I(x / y),
+                Pow => Value::I(x.pow(y.max(0).min(62) as u32)),
+                Lt => bool_v(x < y),
+                Le => bool_v(x <= y),
+                Gt => bool_v(x > y),
+                Ge => bool_v(x >= y),
+                Eq => bool_v(x == y),
+                Ne => bool_v(x != y),
+                And => bool_v(x != 0 && y != 0),
+                Or => bool_v(x != 0 || y != 0),
+            },
+            _ => {
+                let x = a.as_r();
+                let y = b.as_r();
+                match op {
+                    Add => Value::R(x + y),
+                    Sub => Value::R(x - y),
+                    Mul => Value::R(x * y),
+                    Div => Value::R(x / y),
+                    Pow => Value::R(x.powf(y)),
+                    Lt => bool_v(x < y),
+                    Le => bool_v(x <= y),
+                    Gt => bool_v(x > y),
+                    Ge => bool_v(x >= y),
+                    Eq => bool_v(x == y),
+                    Ne => bool_v(x != y),
+                    And => bool_v(x != 0.0 && y != 0.0),
+                    Or => bool_v(x != 0.0 || y != 0.0),
+                }
+            }
+        }
+    }
+
+    fn apply_intr(&self, name: SIntr, vals: &[Value]) -> Value {
+        match name {
+            SIntr::Abs => match vals[0] {
+                Value::I(v) => Value::I(v.abs()),
+                Value::R(v) => Value::R(v.abs()),
+            },
+            SIntr::Min => {
+                if vals.iter().all(|v| matches!(v, Value::I(_))) {
+                    Value::I(vals.iter().map(|v| v.as_i()).min().unwrap())
+                } else {
+                    Value::R(vals.iter().map(|v| v.as_r()).fold(f64::INFINITY, f64::min))
+                }
+            }
+            SIntr::Max => {
+                if vals.iter().all(|v| matches!(v, Value::I(_))) {
+                    Value::I(vals.iter().map(|v| v.as_i()).max().unwrap())
+                } else {
+                    Value::R(vals.iter().map(|v| v.as_r()).fold(f64::NEG_INFINITY, f64::max))
+                }
+            }
+            SIntr::Mod => match (vals[0], vals[1]) {
+                (Value::I(a), Value::I(b)) => Value::I(a % b),
+                (a, b) => Value::R(a.as_r() % b.as_r()),
+            },
+            SIntr::Sqrt => Value::R(vals[0].as_r().sqrt()),
+            SIntr::Sign => {
+                let (a, b) = (vals[0].as_r(), vals[1].as_r());
+                Value::R(if b >= 0.0 { a.abs() } else { -a.abs() })
+            }
+        }
+    }
+
+    /// Enumerates a rect's points (local index space) in row-major order.
+    fn rect_points(&mut self, section: &SRect) -> Vec<Vec<i64>> {
+        let dims: Vec<(i64, i64, i64)> = section
+            .dims
+            .iter()
+            .map(|(lo, hi, step)| (self.eval(lo).as_i(), self.eval(hi).as_i(), *step))
+            .collect();
+        let mut out = Vec::new();
+        let mut pt: Vec<i64> = dims.iter().map(|&(lo, _, _)| lo).collect();
+        if dims.iter().any(|&(lo, hi, _)| hi < lo) {
+            return out;
+        }
+        loop {
+            out.push(pt.clone());
+            // Increment last dimension first.
+            let mut d = dims.len();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                pt[d] += dims[d].2;
+                if pt[d] <= dims[d].1 {
+                    break;
+                }
+                pt[d] = dims[d].0;
+            }
+        }
+    }
+
+    fn gather_section(&mut self, array: Sym, section: &SRect) -> Vec<f64> {
+        let pts = self.rect_points(section);
+        let id = self.array_id(array);
+        self.pending_ops += pts.len() as u64; // pack cost
+        pts.iter().map(|p| self.heap[id].get(p)).collect()
+    }
+
+    fn scatter_section(&mut self, array: Sym, section: &SRect, data: &[f64]) {
+        let pts = self.rect_points(section);
+        assert_eq!(pts.len(), data.len(), "section/message size mismatch");
+        let id = self.array_id(array);
+        self.pending_ops += pts.len() as u64; // unpack cost
+        for (p, &v) in pts.iter().zip(data) {
+            self.heap[id].set(p, v);
+        }
+    }
+
+    /// Full dynamic remap with data motion (library routine of §6).
+    fn remap(&mut self, array: Sym, to_dist: DistId) {
+        let id = self.array_id(array);
+        let from_dist_id = self.heap[id].dist;
+        self.flush_charges();
+        self.node.charge_remap();
+        if from_dist_id == to_dist {
+            return;
+        }
+        let d0 = self.prog.dists[from_dist_id.0 as usize].clone();
+        let d1 = self.prog.dists[to_dist.0 as usize].clone();
+        let extents = global_extents(&d0);
+        assert_eq!(extents, global_extents(&d1), "remap changes array shape");
+        let my = self.node.rank();
+        let p = self.node.nprocs();
+        let total: i64 = extents.iter().product();
+
+        let decode = |flat: i64| -> Vec<i64> {
+            let mut pt = vec![1i64; extents.len()];
+            let mut rem = flat;
+            for d in 0..extents.len() {
+                let stride: i64 = extents[d + 1..].iter().product();
+                pt[d] = rem / stride + 1;
+                rem %= stride;
+            }
+            pt
+        };
+
+        // New local storage.
+        let bounds: Vec<(i64, i64)> = d1.local_extents().iter().map(|&e| (1, e)).collect();
+        let name = self.heap[id].name;
+        let mut new_store = ArrayStore::alloc(name, bounds, to_dist);
+
+        // Outgoing: group my old elements by new owner, row-major order.
+        let mut outgoing: Vec<Vec<f64>> = vec![Vec::new(); p];
+        for flat in 0..total {
+            let pt = decode(flat);
+            if d0.owner_of(&pt) != my {
+                continue;
+            }
+            let v = self.heap[id].get(&d0.local_of_global(&pt));
+            let dst = d1.owner_of(&pt);
+            if dst == my {
+                new_store.set(&d1.local_of_global(&pt), v);
+            } else {
+                outgoing[dst].push(v);
+            }
+        }
+        for (dst, buf) in outgoing.iter().enumerate() {
+            if dst != my && !buf.is_empty() {
+                self.node.send(dst, REMAP_TAG_BASE + dst as u64, buf);
+            }
+        }
+        // Incoming: my new elements whose old owner differs, in the sender's
+        // row-major order (same global order, so a simple fill works).
+        let mut incoming_pts: Vec<Vec<Vec<i64>>> = vec![Vec::new(); p];
+        for flat in 0..total {
+            let pt = decode(flat);
+            if d1.owner_of(&pt) != my {
+                continue;
+            }
+            let src = d0.owner_of(&pt);
+            if src != my {
+                incoming_pts[src].push(pt);
+            }
+        }
+        for (src, pts) in incoming_pts.iter().enumerate() {
+            if src == my || pts.is_empty() {
+                continue;
+            }
+            let data = self.node.recv(src, REMAP_TAG_BASE + my as u64);
+            assert_eq!(data.len(), pts.len(), "remap message size mismatch");
+            for (pt, &v) in pts.iter().zip(&data) {
+                new_store.set(&d1.local_of_global(pt), v);
+            }
+        }
+        self.heap[id] = new_store;
+    }
+
+    /// Run-time resolution remap: storage stays global-shaped; the
+    /// authoritative values move from old owners to new owners.
+    fn remap_global(&mut self, array: Sym, to_dist: DistId) {
+        let id = self.array_id(array);
+        let from = self.heap[id].owner_dist.expect("remap_global on non-rtr array");
+        self.flush_charges();
+        self.node.charge_remap();
+        if from == to_dist {
+            return;
+        }
+        let d0 = self.prog.dists[from.0 as usize].clone();
+        let d1 = self.prog.dists[to_dist.0 as usize].clone();
+        let extents = global_extents(&d0);
+        let my = self.node.rank();
+        let p = self.node.nprocs();
+        let total: i64 = extents.iter().product();
+        let decode = |flat: i64| -> Vec<i64> {
+            let mut pt = vec![1i64; extents.len()];
+            let mut rem = flat;
+            for d in 0..extents.len() {
+                let stride: i64 = extents[d + 1..].iter().product();
+                pt[d] = rem / stride + 1;
+                rem %= stride;
+            }
+            pt
+        };
+        let mut outgoing: Vec<Vec<f64>> = vec![Vec::new(); p];
+        for flat in 0..total {
+            let pt = decode(flat);
+            if d0.owner_of(&pt) != my {
+                continue;
+            }
+            let dst = d1.owner_of(&pt);
+            if dst != my {
+                let v = self.heap[id].get(&pt);
+                outgoing[dst].push(v);
+            }
+        }
+        for (dst, buf) in outgoing.iter().enumerate() {
+            if dst != my && !buf.is_empty() {
+                self.node.send(dst, REMAP_TAG_BASE + dst as u64, buf);
+            }
+        }
+        let mut incoming_pts: Vec<Vec<Vec<i64>>> = vec![Vec::new(); p];
+        for flat in 0..total {
+            let pt = decode(flat);
+            if d1.owner_of(&pt) != my {
+                continue;
+            }
+            let src = d0.owner_of(&pt);
+            if src != my {
+                incoming_pts[src].push(pt);
+            }
+        }
+        for (src, pts) in incoming_pts.iter().enumerate() {
+            if src == my || pts.is_empty() {
+                continue;
+            }
+            let data = self.node.recv(src, REMAP_TAG_BASE + my as u64);
+            assert_eq!(data.len(), pts.len(), "remap_global size mismatch");
+            for (pt, &v) in pts.iter().zip(&data) {
+                self.heap[id].set(pt, v);
+            }
+        }
+        self.heap[id].owner_dist = Some(to_dist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortrand_ir::dist::{Alignment, ArrayDist, DistKind, Distribution};
+    use fortrand_ir::Interner;
+    use fortrand_machine::CostModel;
+
+    fn block_dist(n: i64, p: usize) -> ArrayDist {
+        ArrayDist::new(
+            &[n],
+            &Alignment::identity(1),
+            &[n],
+            &Distribution { kinds: vec![DistKind::Block], nprocs: p },
+        )
+    }
+
+    fn cyclic_dist(n: i64, p: usize) -> ArrayDist {
+        ArrayDist::new(
+            &[n],
+            &Alignment::identity(1),
+            &[n],
+            &Distribution { kinds: vec![DistKind::Cyclic], nprocs: p },
+        )
+    }
+
+    /// Replicated scalar-ish program: every rank doubles each element of a
+    /// replicated array; result equals sequential.
+    #[test]
+    fn replicated_loop_computes() {
+        let mut int = Interner::new();
+        let main = int.intern("main");
+        let a = int.intern("a");
+        let i = int.intern("i");
+        let mut prog =
+            SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+        let did = prog.add_dist(ArrayDist::replicated(&[4]));
+        prog.procs.push(SProc {
+            name: main,
+            formals: vec![],
+            decls: vec![SDecl { name: a, bounds: vec![(1, 4)], dist: did, owner_dist: None }],
+            body: vec![SStmt::Do {
+                var: i,
+                lo: SExpr::int(1),
+                hi: SExpr::int(4),
+                step: 1,
+                body: vec![SStmt::Assign {
+                    lhs: SLval::Elem { array: a, subs: vec![SExpr::Var(i)] },
+                    rhs: SExpr::mul(
+                        SExpr::Real(2.0),
+                        SExpr::Elem { array: a, subs: vec![SExpr::Var(i)] },
+                    ),
+                }],
+            }],
+        });
+        let m = Machine::new(2);
+        let mut init = BTreeMap::new();
+        init.insert(a, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = run_spmd(&prog, &m, &init);
+        assert_eq!(out.arrays[&a], vec![2.0, 4.0, 6.0, 8.0]);
+        assert!(out.stats.total_flops > 0);
+    }
+
+    /// Block-distributed array: each rank writes rank+1 into its local
+    /// elements; gather sees the right owners.
+    #[test]
+    fn block_distribution_scatter_gather() {
+        let mut int = Interner::new();
+        let main = int.intern("main");
+        let a = int.intern("a");
+        let i = int.intern("i");
+        let mut prog =
+            SpmdProgram { interner: int, nprocs: 4, procs: vec![], main: 0, dists: vec![] };
+        let did = prog.add_dist(block_dist(8, 4)); // blocks of 2
+        prog.procs.push(SProc {
+            name: main,
+            formals: vec![],
+            decls: vec![SDecl { name: a, bounds: vec![(1, 2)], dist: did, owner_dist: None }],
+            body: vec![SStmt::Do {
+                var: i,
+                lo: SExpr::int(1),
+                hi: SExpr::int(2),
+                step: 1,
+                body: vec![SStmt::Assign {
+                    lhs: SLval::Elem { array: a, subs: vec![SExpr::Var(i)] },
+                    rhs: SExpr::add(SExpr::MyP, SExpr::int(1)),
+                }],
+            }],
+        });
+        let m = Machine::new(4);
+        let out = run_spmd(&prog, &m, &BTreeMap::new());
+        assert_eq!(out.arrays[&a], vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]);
+    }
+
+    /// Shift communication: rank 0 sends its edge element to rank 1.
+    #[test]
+    fn section_send_recv() {
+        let mut int = Interner::new();
+        let main = int.intern("main");
+        let a = int.intern("a");
+        let mut prog =
+            SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+        let did = prog.add_dist(block_dist(4, 2)); // local 1:2, overlap to 0
+        prog.procs.push(SProc {
+            name: main,
+            formals: vec![],
+            decls: vec![SDecl { name: a, bounds: vec![(0, 2)], dist: did, owner_dist: None }],
+            body: vec![
+                // if my$p == 0 send A(2:2) to 1; if my$p == 1 recv into A(0:0)
+                SStmt::If {
+                    cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::int(0)),
+                    then_body: vec![SStmt::Send {
+                        to: SExpr::int(1),
+                        tag: 9,
+                        array: a,
+                        section: SRect::one(SExpr::int(2), SExpr::int(2)),
+                    }],
+                    else_body: vec![SStmt::Recv {
+                        from: SExpr::int(0),
+                        tag: 9,
+                        array: a,
+                        section: SRect::one(SExpr::int(0), SExpr::int(0)),
+                    }],
+                },
+                // rank 1: A(1) = A(0) + 10
+                SStmt::If {
+                    cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::int(1)),
+                    then_body: vec![SStmt::Assign {
+                        lhs: SLval::Elem { array: a, subs: vec![SExpr::int(1)] },
+                        rhs: SExpr::add(
+                            SExpr::Elem { array: a, subs: vec![SExpr::int(0)] },
+                            SExpr::Real(10.0),
+                        ),
+                    }],
+                    else_body: vec![],
+                },
+            ],
+        });
+        let m = Machine::new(2);
+        let mut init = BTreeMap::new();
+        init.insert(a, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = run_spmd(&prog, &m, &init);
+        // Global element 3 (rank 1 local 1) = old global 2 (=2.0) + 10.
+        assert_eq!(out.arrays[&a], vec![1.0, 2.0, 12.0, 4.0]);
+        assert_eq!(out.stats.total_msgs, 1);
+    }
+
+    /// Remap block -> cyclic preserves contents.
+    #[test]
+    fn remap_preserves_values() {
+        let mut int = Interner::new();
+        let main = int.intern("main");
+        let a = int.intern("a");
+        let mut prog =
+            SpmdProgram { interner: int, nprocs: 3, procs: vec![], main: 0, dists: vec![] };
+        let dblock = prog.add_dist(block_dist(10, 3));
+        let dcyc = prog.add_dist(cyclic_dist(10, 3));
+        prog.procs.push(SProc {
+            name: main,
+            formals: vec![],
+            decls: vec![SDecl { name: a, bounds: vec![(1, 4)], dist: dblock, owner_dist: None }],
+            body: vec![
+                SStmt::Remap { array: a, to_dist: dcyc },
+                SStmt::Remap { array: a, to_dist: dblock },
+            ],
+        });
+        let m = Machine::new(3);
+        let mut init = BTreeMap::new();
+        let vals: Vec<f64> = (1..=10).map(|v| v as f64 * 1.5).collect();
+        init.insert(a, vals.clone());
+        let out = run_spmd(&prog, &m, &init);
+        assert_eq!(out.arrays[&a], vals);
+        assert_eq!(out.stats.total_remaps, 3 * 2);
+        assert!(out.stats.total_msgs > 0);
+    }
+
+    /// Run-time resolution Owner/LocalIdx expressions agree with the
+    /// distribution arithmetic.
+    #[test]
+    fn owner_expression_resolves() {
+        let mut int = Interner::new();
+        let main = int.intern("main");
+        let a = int.intern("a");
+        let w = int.intern("w");
+        let mut prog =
+            SpmdProgram { interner: int, nprocs: 4, procs: vec![], main: 0, dists: vec![] };
+        let did = prog.add_dist(cyclic_dist(8, 4));
+        prog.procs.push(SProc {
+            name: main,
+            formals: vec![],
+            decls: vec![SDecl { name: a, bounds: vec![(1, 2)], dist: did, owner_dist: None }],
+            body: vec![
+                // w = owner(a(6)): global 6 under cyclic(4) -> rank 1.
+                SStmt::Assign {
+                    lhs: SLval::Scalar(w),
+                    rhs: SExpr::Owner { dist: did, subs: vec![SExpr::int(6)] },
+                },
+                // a(local(6)) = w + 1 on the owner only.
+                SStmt::If {
+                    cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::Var(w)),
+                    then_body: vec![SStmt::Assign {
+                        lhs: SLval::Elem {
+                            array: a,
+                            subs: vec![SExpr::LocalIdx {
+                                dist: did,
+                                dim: 0,
+                                sub: Box::new(SExpr::int(6)),
+                            }],
+                        },
+                        rhs: SExpr::add(SExpr::Var(w), SExpr::int(1)),
+                    }],
+                    else_body: vec![],
+                },
+            ],
+        });
+        let m = Machine::new(4);
+        let out = run_spmd(&prog, &m, &BTreeMap::new());
+        // Global index 6 should be 2.0, everything else 0.
+        let expect: Vec<f64> =
+            (1..=8).map(|g| if g == 6 { 2.0 } else { 0.0 }).collect();
+        assert_eq!(out.arrays[&a], expect);
+    }
+
+    /// Print statements land in output (rank 0 only).
+    #[test]
+    fn print_collected_from_rank0() {
+        let mut int = Interner::new();
+        let main = int.intern("main");
+        let mut prog =
+            SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+        prog.procs.push(SProc {
+            name: main,
+            formals: vec![],
+            decls: vec![],
+            body: vec![SStmt::Print { args: vec![SExpr::int(42)] }],
+        });
+        let m = Machine::with_cost(2, CostModel::comm_only());
+        let out = run_spmd(&prog, &m, &BTreeMap::new());
+        assert_eq!(out.printed, vec!["42".to_string()]);
+    }
+
+    /// Procedure calls bind arrays by reference and scalars by value.
+    #[test]
+    fn call_binds_arguments() {
+        let mut int = Interner::new();
+        let main = int.intern("main");
+        let setv = int.intern("setv");
+        let a = int.intern("a");
+        let z = int.intern("z");
+        let v = int.intern("v");
+        let mut prog =
+            SpmdProgram { interner: int, nprocs: 1, procs: vec![], main: 0, dists: vec![] };
+        let did = prog.add_dist(ArrayDist::replicated(&[3]));
+        prog.procs.push(SProc {
+            name: main,
+            formals: vec![],
+            decls: vec![SDecl { name: a, bounds: vec![(1, 3)], dist: did, owner_dist: None }],
+            body: vec![SStmt::Call {
+                proc: 1,
+                args: vec![SActual::Array(a), SActual::Scalar(SExpr::Real(7.5))],
+                copy_out: vec![],
+            }],
+        });
+        prog.procs.push(SProc {
+            name: setv,
+            formals: vec![
+                SFormal { name: z, is_array: true },
+                SFormal { name: v, is_array: false },
+            ],
+            decls: vec![],
+            body: vec![SStmt::Assign {
+                lhs: SLval::Elem { array: z, subs: vec![SExpr::int(2)] },
+                rhs: SExpr::Var(v),
+            }],
+        });
+        let m = Machine::new(1);
+        let out = run_spmd(&prog, &m, &BTreeMap::new());
+        assert_eq!(out.arrays[&a], vec![0.0, 7.5, 0.0]);
+    }
+}

@@ -1,0 +1,404 @@
+//! SPMD node-program IR.
+//!
+//! The program is "single program, multiple data": every node executes the
+//! same procedures, parameterized by `my$p` ([`SExpr::MyP`]). Arrays are
+//! declared with explicit (possibly overlap-extended) local bounds; section
+//! communication is expressed in *local* index space; run-time resolution
+//! constructs ([`SExpr::Owner`], [`SExpr::LocalIdx`]) consult a distribution
+//! table carried by the program.
+
+use fortrand_ir::dist::ArrayDist;
+use fortrand_ir::{Interner, Sym};
+
+/// Index into [`SpmdProgram::dists`] — a compile-time-known distribution.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DistId(pub u32);
+
+/// A complete SPMD program.
+#[derive(Debug, Clone)]
+pub struct SpmdProgram {
+    /// Identifier names (shared with the front end).
+    pub interner: Interner,
+    /// Number of processors the program was compiled for.
+    pub nprocs: usize,
+    /// All node procedures; `procs[main]` is the entry.
+    pub procs: Vec<SProc>,
+    /// Entry procedure index.
+    pub main: usize,
+    /// Distribution table referenced by `DistId`s.
+    pub dists: Vec<ArrayDist>,
+}
+
+impl SpmdProgram {
+    /// Finds a procedure by name.
+    pub fn proc_index(&self, name: Sym) -> Option<usize> {
+        self.procs.iter().position(|p| p.name == name)
+    }
+
+    /// Registers a distribution, returning its id (deduplicating).
+    pub fn add_dist(&mut self, d: ArrayDist) -> DistId {
+        if let Some(i) = self.dists.iter().position(|x| *x == d) {
+            return DistId(i as u32);
+        }
+        self.dists.push(d);
+        DistId(self.dists.len() as u32 - 1)
+    }
+}
+
+/// One node procedure.
+#[derive(Debug, Clone)]
+pub struct SProc {
+    /// Procedure name (clones get suffixed names like `f1$row`).
+    pub name: Sym,
+    /// Formal parameter names, in order.
+    pub formals: Vec<SFormal>,
+    /// Local array declarations (formals re-declared here get their local
+    /// bounds from the caller's storage and must not appear).
+    pub decls: Vec<SDecl>,
+    /// Body.
+    pub body: Vec<SStmt>,
+}
+
+/// A formal parameter of a node procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SFormal {
+    /// Name within the procedure.
+    pub name: Sym,
+    /// True if the formal is an array (passed by reference); false for
+    /// scalars (passed by value).
+    pub is_array: bool,
+}
+
+/// A local array declaration with explicit per-dimension bounds
+/// `lo:hi` — overlap areas widen these (e.g. `X(1:30)` in Fig. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SDecl {
+    /// Array name.
+    pub name: Sym,
+    /// Inclusive local bounds per dimension.
+    pub bounds: Vec<(i64, i64)>,
+    /// Distribution the local bounds were derived from (used by the
+    /// interpreter for initial scatter / final gather and by run-time
+    /// resolution expressions).
+    pub dist: DistId,
+    /// Run-time resolution storage mode: when set, `bounds` cover the whole
+    /// global array on every rank (each rank holds a full-size copy, with
+    /// only the owner's elements authoritative per this distribution).
+    /// Initial scatter fills every rank; the final gather reads each
+    /// element from its owner at *global* indices.
+    pub owner_dist: Option<DistId>,
+}
+
+/// Binary operators (arithmetic on simulated REALs, integer arithmetic on
+/// loop/index values, comparisons, logical connectives).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum SBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+/// Intrinsics available to node programs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum SIntr {
+    Abs,
+    Min,
+    Max,
+    Mod,
+    Sqrt,
+    Sign,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Scalar variable (formal, local scalar, loop index).
+    Var(Sym),
+    /// `my$p` — this node's rank.
+    MyP,
+    /// `n$proc` — total ranks.
+    NProcs,
+    /// Array element in *local* index space.
+    Elem {
+        /// Array.
+        array: Sym,
+        /// Local subscripts.
+        subs: Vec<SExpr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: SBinOp,
+        /// Left operand.
+        l: Box<SExpr>,
+        /// Right operand.
+        r: Box<SExpr>,
+    },
+    /// Arithmetic negation.
+    Neg(Box<SExpr>),
+    /// Logical negation.
+    Not(Box<SExpr>),
+    /// Intrinsic call.
+    Intr {
+        /// Which intrinsic.
+        name: SIntr,
+        /// Arguments.
+        args: Vec<SExpr>,
+    },
+    /// Run-time resolution: owner rank of the element with the given
+    /// *global* subscripts under distribution `dist`.
+    Owner {
+        /// Distribution consulted.
+        dist: DistId,
+        /// Global subscripts.
+        subs: Vec<SExpr>,
+    },
+    /// Run-time resolution: owner rank of the element under the array's
+    /// *current* distribution (tracked at run time across `RemapGlobal`).
+    CurOwner {
+        /// The array whose current owner distribution is consulted.
+        array: Sym,
+        /// Global subscripts.
+        subs: Vec<SExpr>,
+    },
+    /// Run-time resolution: local index (dimension `dim`) of a global
+    /// subscript under `dist`.
+    LocalIdx {
+        /// Distribution consulted.
+        dist: DistId,
+        /// Dimension.
+        dim: usize,
+        /// Global subscript.
+        sub: Box<SExpr>,
+    },
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul are builder helpers, not ops
+impl SExpr {
+    /// Integer literal helper.
+    pub fn int(v: i64) -> SExpr {
+        SExpr::Int(v)
+    }
+    /// Binary helper.
+    pub fn bin(op: SBinOp, l: SExpr, r: SExpr) -> SExpr {
+        SExpr::Bin { op, l: Box::new(l), r: Box::new(r) }
+    }
+    /// `l + r`.
+    pub fn add(l: SExpr, r: SExpr) -> SExpr {
+        Self::bin(SBinOp::Add, l, r)
+    }
+    /// `l - r`.
+    pub fn sub(l: SExpr, r: SExpr) -> SExpr {
+        Self::bin(SBinOp::Sub, l, r)
+    }
+    /// `l * r`.
+    pub fn mul(l: SExpr, r: SExpr) -> SExpr {
+        Self::bin(SBinOp::Mul, l, r)
+    }
+    /// `min(a, b)`.
+    pub fn min2(a: SExpr, b: SExpr) -> SExpr {
+        SExpr::Intr { name: SIntr::Min, args: vec![a, b] }
+    }
+    /// `max(a, b)`.
+    pub fn max2(a: SExpr, b: SExpr) -> SExpr {
+        SExpr::Intr { name: SIntr::Max, args: vec![a, b] }
+    }
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SLval {
+    /// Scalar.
+    Scalar(Sym),
+    /// Array element (local index space).
+    Elem {
+        /// Array.
+        array: Sym,
+        /// Local subscripts.
+        subs: Vec<SExpr>,
+    },
+}
+
+/// A rectangular section in local index space, `lo:hi:step` per dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SRect {
+    /// Per-dimension bounds (inclusive) and step.
+    pub dims: Vec<(SExpr, SExpr, i64)>,
+}
+
+impl SRect {
+    /// A one-dimensional section.
+    pub fn one(lo: SExpr, hi: SExpr) -> SRect {
+        SRect { dims: vec![(lo, hi, 1)] }
+    }
+}
+
+/// Actual arguments at call sites.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SActual {
+    /// Pass an array by reference.
+    Array(Sym),
+    /// Pass a scalar by value.
+    Scalar(SExpr),
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum SStmt {
+    /// Pretty-printer-visible comment (e.g. `{ phase banners }`).
+    Comment(String),
+    /// `lhs = rhs`.
+    Assign {
+        /// Target.
+        lhs: SLval,
+        /// Value.
+        rhs: SExpr,
+    },
+    /// Counted loop, inclusive bounds.
+    Do {
+        /// Index variable.
+        var: Sym,
+        /// Lower bound.
+        lo: SExpr,
+        /// Upper bound.
+        hi: SExpr,
+        /// Step.
+        step: i64,
+        /// Body.
+        body: Vec<SStmt>,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: SExpr,
+        /// Then branch.
+        then_body: Vec<SStmt>,
+        /// Else branch.
+        else_body: Vec<SStmt>,
+    },
+    /// Call a node procedure.
+    Call {
+        /// Callee index into [`SpmdProgram::procs`].
+        proc: usize,
+        /// Actuals.
+        args: Vec<SActual>,
+        /// Fortran copy-out: after return, copy each listed scalar formal's
+        /// final value back into the caller's scalar.
+        copy_out: Vec<(Sym, Sym)>,
+    },
+    /// Return from the current procedure.
+    Return,
+    /// Vectorized section send: gathers `array[section]` (local indices)
+    /// and ships one message.
+    Send {
+        /// Destination rank.
+        to: SExpr,
+        /// Message tag.
+        tag: u64,
+        /// Source array.
+        array: Sym,
+        /// Section (local index space).
+        section: SRect,
+    },
+    /// Matching receive: scatters into `array[section]`.
+    Recv {
+        /// Source rank.
+        from: SExpr,
+        /// Message tag.
+        tag: u64,
+        /// Destination array.
+        array: Sym,
+        /// Section (local index space).
+        section: SRect,
+    },
+    /// Run-time resolution element send.
+    SendElem {
+        /// Destination rank.
+        to: SExpr,
+        /// Tag.
+        tag: u64,
+        /// Value sent.
+        value: SExpr,
+    },
+    /// Run-time resolution element receive.
+    RecvElem {
+        /// Source rank.
+        from: SExpr,
+        /// Tag.
+        tag: u64,
+        /// Where the value lands.
+        lhs: SLval,
+    },
+    /// Collective broadcast: the root gathers `src_array[src_section]`
+    /// (evaluated on the root only) and every rank — root included —
+    /// scatters the payload into `dst_array[dst_section]`. Used for pinned
+    /// column/row broadcasts (dgefa's pivot column) and run-time
+    /// resolution of replicated reads.
+    Bcast {
+        /// Root rank.
+        root: SExpr,
+        /// Source array (root side).
+        src_array: Sym,
+        /// Source section, local index space of the root.
+        src_section: SRect,
+        /// Destination array (all ranks).
+        dst_array: Sym,
+        /// Destination section.
+        dst_section: SRect,
+    },
+    /// Broadcast one scalar variable from `root` to every rank.
+    BcastScalar {
+        /// Root rank.
+        root: SExpr,
+        /// The scalar.
+        var: Sym,
+    },
+    /// Dynamic data decomposition: remap `array` to `to_dist`, moving data
+    /// between nodes (charged as messages + a remap call).
+    Remap {
+        /// Array to remap.
+        array: Sym,
+        /// New distribution.
+        to_dist: DistId,
+    },
+    /// Run-time resolution remap: storage stays global-shaped on every
+    /// rank; authoritative values move from old owners to new owners and
+    /// the array's owner distribution is updated.
+    RemapGlobal {
+        /// Array to remap.
+        array: Sym,
+        /// New owner distribution.
+        to_dist: DistId,
+    },
+    /// Array-kill optimized remap: mark the array as having `to_dist`
+    /// without moving values (§6.3); contents become undefined.
+    MarkDist {
+        /// Array.
+        array: Sym,
+        /// New distribution.
+        to_dist: DistId,
+    },
+    /// `print *, …` — executes on rank 0 only; collected into the output.
+    Print {
+        /// Items.
+        args: Vec<SExpr>,
+    },
+    /// Terminate the whole node program.
+    Stop,
+}

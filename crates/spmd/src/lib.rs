@@ -1,0 +1,30 @@
+//! # fortrand-spmd
+//!
+//! The *output* language of the Fortran D compiler: SPMD node programs with
+//! explicit message passing, plus a pretty printer (for the paper's figure
+//! reproductions) and an interpreter that executes node programs on the
+//! [`fortrand_machine`] simulator.
+//!
+//! A [`ir::SpmdProgram`] is what every compilation strategy produces:
+//!
+//! * the **interprocedural** strategy emits reduced loop bounds, guards
+//!   hoisted to callers, and vectorized section sends/recvs (paper Fig. 10);
+//! * the **immediate-instantiation** strategy emits the same constructs but
+//!   confined inside each procedure (Fig. 12);
+//! * the **run-time resolution** strategy emits per-element ownership tests
+//!   and element messages (Fig. 3).
+//!
+//! The interpreter charges computation and communication to the simulated
+//! machine's virtual clocks, so `Machine::run` of an interpreted program
+//! yields the execution time, message count and volume that the benchmark
+//! harness reports.
+
+pub mod interp;
+pub mod ir;
+pub mod print;
+
+pub use interp::{run_spmd, ExecOutput};
+pub use ir::{
+    DistId, SActual, SDecl, SExpr, SLval, SProc, SRect, SStmt, SpmdProgram, SIntr, SBinOp,
+};
+pub use print::pretty;

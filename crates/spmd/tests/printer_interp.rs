@@ -1,0 +1,250 @@
+//! Integration tests for the SPMD crate: printer stability and
+//! interpreter edge cases that the compiler relies on.
+
+use fortrand_ir::dist::{Alignment, ArrayDist, DistKind, Distribution};
+use fortrand_ir::Interner;
+use fortrand_machine::{CostModel, Machine};
+use fortrand_spmd::ir::*;
+use fortrand_spmd::print::pretty;
+use fortrand_spmd::run_spmd;
+use std::collections::BTreeMap;
+
+fn block_dist(n: i64, p: usize) -> ArrayDist {
+    ArrayDist::new(
+        &[n],
+        &Alignment::identity(1),
+        &[n],
+        &Distribution { kinds: vec![DistKind::Block], nprocs: p },
+    )
+}
+
+/// Builds a trivial program skeleton.
+fn skeleton(nprocs: usize) -> (SpmdProgram, Interner) {
+    let int = Interner::new();
+    (
+        SpmdProgram { interner: int.clone(), nprocs, procs: vec![], main: 0, dists: vec![] },
+        int,
+    )
+}
+
+#[test]
+fn do_loop_negative_step() {
+    let (mut prog, _) = skeleton(1);
+    let mut int = Interner::new();
+    let main = int.intern("main");
+    let a = int.intern("a");
+    let i = int.intern("i");
+    prog.interner = int;
+    let did = prog.add_dist(ArrayDist::replicated(&[5]));
+    prog.procs.push(SProc {
+        name: main,
+        formals: vec![],
+        decls: vec![SDecl { name: a, bounds: vec![(1, 5)], dist: did, owner_dist: None }],
+        body: vec![SStmt::Do {
+            var: i,
+            lo: SExpr::int(5),
+            hi: SExpr::int(1),
+            step: -1,
+            body: vec![SStmt::Assign {
+                lhs: SLval::Elem { array: a, subs: vec![SExpr::Var(i)] },
+                rhs: SExpr::Var(i),
+            }],
+        }],
+    });
+    let out = run_spmd(&prog, &Machine::new(1), &BTreeMap::new());
+    assert_eq!(out.arrays.values().next().unwrap(), &vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+}
+
+#[test]
+fn empty_loop_executes_zero_times() {
+    let (mut prog, _) = skeleton(1);
+    let mut int = Interner::new();
+    let main = int.intern("main");
+    let a = int.intern("a");
+    let i = int.intern("i");
+    prog.interner = int;
+    let did = prog.add_dist(ArrayDist::replicated(&[3]));
+    prog.procs.push(SProc {
+        name: main,
+        formals: vec![],
+        decls: vec![SDecl { name: a, bounds: vec![(1, 3)], dist: did, owner_dist: None }],
+        body: vec![SStmt::Do {
+            var: i,
+            lo: SExpr::int(5),
+            hi: SExpr::int(2),
+            step: 1,
+            body: vec![SStmt::Assign {
+                lhs: SLval::Elem { array: a, subs: vec![SExpr::int(1)] },
+                rhs: SExpr::Real(9.0),
+            }],
+        }],
+    });
+    let out = run_spmd(&prog, &Machine::new(1), &BTreeMap::new());
+    assert_eq!(out.arrays.values().next().unwrap(), &vec![0.0; 3]);
+}
+
+#[test]
+#[should_panic(expected = "out of local bounds")]
+fn out_of_bounds_subscript_is_diagnosed() {
+    let (mut prog, _) = skeleton(1);
+    let mut int = Interner::new();
+    let main = int.intern("main");
+    let a = int.intern("a");
+    prog.interner = int;
+    let did = prog.add_dist(ArrayDist::replicated(&[3]));
+    prog.procs.push(SProc {
+        name: main,
+        formals: vec![],
+        decls: vec![SDecl { name: a, bounds: vec![(1, 3)], dist: did, owner_dist: None }],
+        body: vec![SStmt::Assign {
+            lhs: SLval::Elem { array: a, subs: vec![SExpr::int(7)] },
+            rhs: SExpr::Real(1.0),
+        }],
+    });
+    run_spmd(&prog, &Machine::new(1), &BTreeMap::new());
+}
+
+#[test]
+fn return_stops_procedure_not_program() {
+    let mut int = Interner::new();
+    let main = int.intern("main");
+    let sub = int.intern("sub");
+    let a = int.intern("a");
+    let z = int.intern("z");
+    let mut prog =
+        SpmdProgram { interner: int, nprocs: 1, procs: vec![], main: 0, dists: vec![] };
+    let did = prog.add_dist(ArrayDist::replicated(&[2]));
+    prog.procs.push(SProc {
+        name: main,
+        formals: vec![],
+        decls: vec![SDecl { name: a, bounds: vec![(1, 2)], dist: did, owner_dist: None }],
+        body: vec![
+            SStmt::Call { proc: 1, args: vec![SActual::Array(a)], copy_out: vec![] },
+            // Executes after the callee's RETURN.
+            SStmt::Assign {
+                lhs: SLval::Elem { array: a, subs: vec![SExpr::int(2)] },
+                rhs: SExpr::Real(5.0),
+            },
+        ],
+    });
+    prog.procs.push(SProc {
+        name: sub,
+        formals: vec![SFormal { name: z, is_array: true }],
+        decls: vec![],
+        body: vec![
+            SStmt::Return,
+            // Unreachable.
+            SStmt::Assign {
+                lhs: SLval::Elem { array: z, subs: vec![SExpr::int(1)] },
+                rhs: SExpr::Real(9.0),
+            },
+        ],
+    });
+    let out = run_spmd(&prog, &Machine::new(1), &BTreeMap::new());
+    let got = out.arrays.values().next().unwrap();
+    assert_eq!(got, &vec![0.0, 5.0]);
+}
+
+#[test]
+fn stop_terminates_whole_program() {
+    let mut int = Interner::new();
+    let main = int.intern("main");
+    let a = int.intern("a");
+    let mut prog =
+        SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+    let did = prog.add_dist(ArrayDist::replicated(&[1]));
+    prog.procs.push(SProc {
+        name: main,
+        formals: vec![],
+        decls: vec![SDecl { name: a, bounds: vec![(1, 1)], dist: did, owner_dist: None }],
+        body: vec![
+            SStmt::Stop,
+            SStmt::Assign {
+                lhs: SLval::Elem { array: a, subs: vec![SExpr::int(1)] },
+                rhs: SExpr::Real(9.0),
+            },
+        ],
+    });
+    let out = run_spmd(&prog, &Machine::new(2), &BTreeMap::new());
+    assert_eq!(out.arrays.values().next().unwrap(), &vec![0.0]);
+}
+
+#[test]
+fn printer_renders_every_statement_kind() {
+    let mut int = Interner::new();
+    let main = int.intern("main");
+    let a = int.intern("a");
+    let b = int.intern("buf");
+    let v = int.intern("v");
+    let mut prog =
+        SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+    let did = prog.add_dist(block_dist(8, 2));
+    let rep = prog.add_dist(ArrayDist::replicated(&[8]));
+    prog.procs.push(SProc {
+        name: main,
+        formals: vec![],
+        decls: vec![
+            SDecl { name: a, bounds: vec![(1, 4)], dist: did, owner_dist: None },
+            SDecl { name: b, bounds: vec![(1, 8)], dist: rep, owner_dist: None },
+        ],
+        body: vec![
+            SStmt::Comment("phase banner".into()),
+            SStmt::Assign { lhs: SLval::Scalar(v), rhs: SExpr::NProcs },
+            SStmt::Bcast {
+                root: SExpr::int(0),
+                src_array: a,
+                src_section: SRect::one(SExpr::int(1), SExpr::int(4)),
+                dst_array: b,
+                dst_section: SRect::one(SExpr::int(1), SExpr::int(4)),
+            },
+            SStmt::BcastScalar { root: SExpr::int(0), var: v },
+            SStmt::Remap { array: a, to_dist: did },
+            SStmt::MarkDist { array: a, to_dist: did },
+            SStmt::Print { args: vec![SExpr::Var(v)] },
+            SStmt::Stop,
+        ],
+    });
+    let text = pretty(&prog, 0);
+    for needle in
+        ["{ phase banner }", "n$proc", "broadcast A(1:4) from 0", "broadcast v from 0",
+         "remap A to (block)", "mark-as-(block) A", "print *, v", "stop"]
+    {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn comm_only_cost_model_times_messages_exactly() {
+    let mut int = Interner::new();
+    let main = int.intern("main");
+    let a = int.intern("a");
+    let mut prog =
+        SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+    let did = prog.add_dist(block_dist(4, 2));
+    prog.procs.push(SProc {
+        name: main,
+        formals: vec![],
+        decls: vec![SDecl { name: a, bounds: vec![(1, 2)], dist: did, owner_dist: None }],
+        body: vec![SStmt::If {
+            cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::int(0)),
+            then_body: vec![SStmt::Send {
+                to: SExpr::int(1),
+                tag: 1,
+                array: a,
+                section: SRect::one(SExpr::int(1), SExpr::int(2)),
+            }],
+            else_body: vec![SStmt::Recv {
+                from: SExpr::int(0),
+                tag: 1,
+                array: a,
+                section: SRect::one(SExpr::int(1), SExpr::int(2)),
+            }],
+        }],
+    });
+    let cost = CostModel { alpha_us: 100.0, beta_us_per_byte: 1.0, ..CostModel::comm_only() };
+    let m = Machine::with_cost(2, cost);
+    let out = run_spmd(&prog, &m, &BTreeMap::new());
+    // 2 f64 = 16 bytes: α + 16β = 116 µs exactly (compute is free).
+    assert_eq!(out.stats.total_bytes, 16);
+    assert!((out.stats.time_us - 116.0).abs() < 1e-9, "{}", out.stats.time_us);
+}

@@ -1,0 +1,65 @@
+//! ADI (alternating-direction) integration: the paper's §6 motivation for
+//! dynamic data decomposition. Row sweeps run local under `(BLOCK,:)`,
+//! column sweeps under `(:,BLOCK)`; the executable `DISTRIBUTE` statements
+//! between the phases become remap library calls, and *all* communication
+//! in the program is those remaps.
+//!
+//! ```text
+//! cargo run --release --example adi
+//! ```
+
+use fortrand::corpus::adi_source;
+use fortrand::{compile, run_sequential, CompileOptions, Strategy};
+use fortrand_machine::Machine;
+use fortrand_spmd::run_spmd;
+use std::collections::BTreeMap;
+
+fn main() {
+    let n = 64i64;
+    let steps = 4;
+    let nprocs = 8;
+    let src = adi_source(n, steps, nprocs);
+
+    // Sequential reference.
+    let (prog, info) = fortrand_frontend::load_program(&src).expect("parse");
+    let a_seq = prog.interner.get("a").unwrap();
+    let mut init = BTreeMap::new();
+    init.insert(a_seq, (0..n * n).map(|i| ((i % 31) as f64) * 0.1).collect::<Vec<_>>());
+    let seq = run_sequential(&prog, &info, &init);
+
+    println!("ADI {n}x{n}, {steps} time steps, {nprocs} processors\n");
+    println!("{:<20} {:>12} {:>10} {:>12} {:>8}", "strategy", "time (ms)", "msgs", "bytes", "remaps");
+    for (name, strategy) in [
+        ("interprocedural", Strategy::Interprocedural),
+        ("immediate", Strategy::Immediate),
+        ("runtime-res", Strategy::RuntimeResolution),
+    ] {
+        let out = compile(&src, &CompileOptions { strategy, ..Default::default() })
+            .expect("compilation");
+        let machine = Machine::new(nprocs);
+        let a = out.spmd.interner.get("a").unwrap();
+        let mut sinit = BTreeMap::new();
+        sinit.insert(a, init[&a_seq].clone());
+        let r = run_spmd(&out.spmd, &machine, &sinit);
+        // Verify against the sequential run.
+        let maxerr = r.arrays[&a]
+            .iter()
+            .zip(&seq.arrays[&a_seq])
+            .map(|(g, e)| (g - e).abs())
+            .fold(0.0f64, f64::max);
+        assert!(maxerr < 1e-6, "{name}: max error {maxerr}");
+        println!(
+            "{:<20} {:>12.3} {:>10} {:>12} {:>8}",
+            name,
+            r.stats.time_ms(),
+            r.stats.total_msgs,
+            r.stats.total_bytes,
+            r.stats.total_remaps
+        );
+    }
+    println!(
+        "\nEvery sweep is communication-free under its phase's distribution; \
+         the remaps between phases are the entire message traffic — the \
+         trade dynamic data decomposition makes."
+    );
+}

@@ -1,0 +1,55 @@
+//! Heat-pipeline example: a 1-D relaxation swept through subroutine calls
+//! (the paper's Fig. 1 motif at application scale), compared across the
+//! three compilation strategies.
+//!
+//! ```text
+//! cargo run --release --example heat_pipeline
+//! ```
+
+use fortrand::corpus::relax_source;
+use fortrand::{compile, CompileOptions, DynOptLevel, Strategy};
+use fortrand_machine::Machine;
+use fortrand_spmd::run_spmd;
+use std::collections::BTreeMap;
+
+fn main() {
+    let n = 512;
+    let steps = 4;
+    let nprocs = 8;
+    let src = relax_source(n, 3, steps, nprocs);
+
+    println!("1-D relaxation, n={n}, {steps} double-sweeps, {nprocs} processors\n");
+    println!(
+        "{:<20} {:>12} {:>10} {:>12} {:>10}",
+        "strategy", "time (ms)", "msgs", "bytes", "flops"
+    );
+    for (name, strategy) in [
+        ("interprocedural", Strategy::Interprocedural),
+        ("immediate", Strategy::Immediate),
+        ("runtime-res", Strategy::RuntimeResolution),
+    ] {
+        let out = compile(
+            &src,
+            &CompileOptions { strategy, dyn_opt: DynOptLevel::Kills, ..Default::default() },
+        )
+        .expect("compilation");
+        let machine = Machine::new(nprocs);
+        let mut init = BTreeMap::new();
+        let x = out.spmd.interner.get("x").unwrap();
+        init.insert(x, (0..n).map(|i| (i % 17) as f64).collect::<Vec<_>>());
+        let r = run_spmd(&out.spmd, &machine, &init);
+        println!(
+            "{:<20} {:>12.3} {:>10} {:>12} {:>10}",
+            name,
+            r.stats.time_ms(),
+            r.stats.total_msgs,
+            r.stats.total_bytes,
+            r.stats.total_flops
+        );
+    }
+    println!(
+        "\nThe interprocedural strategy vectorizes each sweep's boundary \
+         exchange out of the loops; run-time resolution pays per-element \
+         ownership tests and messages — the gap is the paper's headline."
+    );
+}
