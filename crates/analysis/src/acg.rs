@@ -58,10 +58,42 @@ pub struct Acg {
 impl Acg {
     /// Units in reverse topological order (callees before callers) — the
     /// interprocedural code-generation order (paper §5).
+    ///
+    /// Defined as the flattening of [`Acg::wavefront_levels`], so the
+    /// sequential driver and the wavefront-parallel driver visit units in
+    /// exactly the same order and produce byte-identical output.
     pub fn reverse_topo(&self) -> Vec<Sym> {
-        let mut v = self.topo.clone();
-        v.reverse();
-        v
+        self.wavefront_levels().into_iter().flatten().collect()
+    }
+
+    /// Wavefront levels for parallel code generation. Level 0 holds the
+    /// leaves; a unit's level is `1 + max(level of its callees)`. Units
+    /// within one level share no call edges (directly or transitively), so
+    /// their code generation is independent and can run concurrently; the
+    /// levels themselves are compiled in order, acting as the barriers of
+    /// the paper's reverse-topological single pass.
+    ///
+    /// Within a level, units keep their relative order from the plain
+    /// reversed topological sort, which makes the flattened order a
+    /// deterministic, callees-before-callers refinement of it.
+    pub fn wavefront_levels(&self) -> Vec<Vec<Sym>> {
+        let mut level: BTreeMap<Sym, usize> = BTreeMap::new();
+        // `topo` is callers-first, so the reverse iteration sees every
+        // callee before its callers.
+        for &u in self.topo.iter().rev() {
+            let l = self
+                .calls
+                .get(&u)
+                .map(|es| es.iter().map(|e| level[&e.callee] + 1).max().unwrap_or(0))
+                .unwrap_or(0);
+            level.insert(u, l);
+        }
+        let depth = level.values().max().map_or(0, |m| m + 1);
+        let mut out = vec![Vec::new(); depth];
+        for &u in self.topo.iter().rev() {
+            out[level[&u]].push(u);
+        }
+        out
     }
 
     /// All call edges into `callee`.
@@ -82,7 +114,10 @@ pub fn build_acg(prog: &SourceProgram, info: &ProgramInfo) -> Result<Acg, String
         let mut nest: Vec<LoopCtx> = Vec::new();
         collect_calls(u, &u.body, info, &mut nest, &mut edges);
         for e in &edges {
-            acg.callers.entry(e.callee).or_default().push((e.caller, e.site));
+            acg.callers
+                .entry(e.callee)
+                .or_default()
+                .push((e.caller, e.site));
         }
         acg.calls.insert(u.name, edges);
     }
@@ -122,9 +157,11 @@ pub fn build_acg(prog: &SourceProgram, info: &ProgramInfo) -> Result<Acg, String
         ready.sort(); // determinism
     }
     if topo.len() != prog.units.len() {
-        return Err("recursive call graph: Fortran D interprocedural compilation requires \
+        return Err(
+            "recursive call graph: Fortran D interprocedural compilation requires \
                     an acyclic call graph"
-            .into());
+                .into(),
+        );
     }
     acg.topo = topo;
 
@@ -139,8 +176,7 @@ pub fn build_acg(prog: &SourceProgram, info: &ProgramInfo) -> Result<Acg, String
     // inherits the 1:100 loop of P1 — the annotation of Fig. 5).
     let topo = acg.topo.clone();
     for &callee in &topo {
-        let edges: Vec<CallEdge> =
-            acg.edges_into(callee).into_iter().cloned().collect();
+        let edges: Vec<CallEdge> = acg.edges_into(callee).into_iter().cloned().collect();
         if edges.is_empty() {
             continue;
         }
@@ -211,9 +247,7 @@ pub fn refine_formal_ranges(
             let mut all_known = true;
             for e in &edges {
                 let params = params_of(e.caller);
-                let fold = |a: &Affine| -> Option<i64> {
-                    a.eval(&|s| params.get(&s).copied())
-                };
+                let fold = |a: &Affine| -> Option<i64> { a.eval(&|s| params.get(&s).copied()) };
                 let this: Option<(i64, i64)> = match e.actuals.get(i) {
                     Some(Expr::Int(c)) => Some((*c, *c)),
                     Some(Expr::Var(v)) => e
@@ -259,7 +293,13 @@ fn collect_calls(
     let params = &info.unit(unit.name).params;
     for s in body {
         match &s.kind {
-            StmtKind::Do { var, lo, hi, step, body } => {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let stepc = match step {
                     None => Some(1),
                     Some(e) => fortrand_frontend::sema::fold_const(e, params),
@@ -274,7 +314,11 @@ fn collect_calls(
                 collect_calls(unit, body, info, nest, out);
                 nest.pop();
             }
-            StmtKind::If { then_body, else_body, .. } => {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_calls(unit, then_body, info, nest, out);
                 collect_calls(unit, else_body, info, nest, out);
             }

@@ -31,7 +31,10 @@ pub struct Kills {
 impl Kills {
     /// Does `stmt` kill `array` entirely?
     pub fn kills(&self, stmt: StmtId, array: Sym) -> bool {
-        self.by_stmt.get(&stmt).map(|v| v.contains(&array)).unwrap_or(false)
+        self.by_stmt
+            .get(&stmt)
+            .map(|v| v.contains(&array))
+            .unwrap_or(false)
     }
 }
 
@@ -42,16 +45,16 @@ pub fn compute(unit: &ProcUnit, info: &UnitInfo, env: &SymEnv) -> Kills {
     kills
 }
 
-fn scan(
-    body: &[Stmt],
-    info: &UnitInfo,
-    env: &SymEnv,
-    nest: &mut Vec<LoopCtx>,
-    out: &mut Kills,
-) {
+fn scan(body: &[Stmt], info: &UnitInfo, env: &SymEnv, nest: &mut Vec<LoopCtx>, out: &mut Kills) {
     for s in body {
         match &s.kind {
-            StmtKind::Do { var, lo, hi, step, body } => {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let stepc = match step {
                     None => Some(1),
                     Some(e) => fortrand_frontend::sema::fold_const(e, &info.params),
@@ -66,34 +69,38 @@ fn scan(
                 scan(body, info, env, nest, out);
                 nest.pop();
             }
-            StmtKind::Assign { lhs, .. } => {
-                if let LValue::Element { array, subs } = lhs {
-                    let vi = match info.var(*array) {
-                        Some(v) if v.is_array() => v,
-                        _ => continue,
-                    };
-                    let r = ArrayRef {
-                        stmt: s.id,
-                        array: *array,
-                        is_def: true,
-                        subs: subs.iter().map(|e| expr_affine(e, &info.params)).collect(),
-                        nest: nest.clone(),
-                    };
-                    if let Some(swept) = r.swept_rsd() {
-                        let whole = Rsd::whole(
-                            &vi.dims.iter().map(|&d| Affine::konst(d)).collect::<Vec<_>>(),
-                        );
-                        if swept.contains(&whole, env).is_yes() {
-                            // Attribute the kill to the outermost loop of
-                            // the nest (or the assignment itself).
-                            let site = nest.first().map(|l| l.stmt).unwrap_or(s.id);
-                            let e = out.by_stmt.entry(site).or_default();
-                            if !e.contains(array) {
-                                e.push(*array);
-                            }
-                            if !out.anywhere.contains(array) {
-                                out.anywhere.push(*array);
-                            }
+            StmtKind::Assign {
+                lhs: LValue::Element { array, subs },
+                ..
+            } => {
+                let vi = match info.var(*array) {
+                    Some(v) if v.is_array() => v,
+                    _ => continue,
+                };
+                let r = ArrayRef {
+                    stmt: s.id,
+                    array: *array,
+                    is_def: true,
+                    subs: subs.iter().map(|e| expr_affine(e, &info.params)).collect(),
+                    nest: nest.clone(),
+                };
+                if let Some(swept) = r.swept_rsd() {
+                    let whole = Rsd::whole(
+                        &vi.dims
+                            .iter()
+                            .map(|&d| Affine::konst(d))
+                            .collect::<Vec<_>>(),
+                    );
+                    if swept.contains(&whole, env).is_yes() {
+                        // Attribute the kill to the outermost loop of
+                        // the nest (or the assignment itself).
+                        let site = nest.first().map(|l| l.stmt).unwrap_or(s.id);
+                        let e = out.by_stmt.entry(site).or_default();
+                        if !e.contains(array) {
+                            e.push(*array);
+                        }
+                        if !out.anywhere.contains(array) {
+                            out.anywhere.push(*array);
                         }
                     }
                 }

@@ -25,19 +25,19 @@
 //! live in the `fortrand` compiler crate; [`registry`] indexes them all.
 
 pub mod acg;
-pub mod fixtures;
 pub mod consts;
 pub mod depend;
+pub mod fixtures;
 pub mod kills;
+pub mod reaching;
 pub mod refs;
 pub mod registry;
-pub mod reaching;
 pub mod side_effects;
 
 pub use acg::{Acg, CallEdge};
-pub use refs::LoopCtx;
-pub use reaching::{DecompSpec, ReachingDecomps};
-pub use refs::ArrayRef;
 pub use consts::InterConsts;
 pub use kills::Kills;
+pub use reaching::{DecompSpec, ReachingDecomps};
+pub use refs::ArrayRef;
+pub use refs::LoopCtx;
 pub use side_effects::SideEffects;

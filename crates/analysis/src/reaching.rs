@@ -41,7 +41,10 @@ impl DecompSpec {
             array_extents,
             &self.align,
             &self.extents,
-            &Distribution { kinds: self.kinds.clone(), nprocs },
+            &Distribution {
+                kinds: self.kinds.clone(),
+                nprocs,
+            },
         )
     }
 
@@ -53,7 +56,14 @@ impl DecompSpec {
             .align
             .perm
             .iter()
-            .map(|&dd| self.kinds.get(dd).copied().unwrap_or(DistKind::Serial).spelling().to_lowercase())
+            .map(|&dd| {
+                self.kinds
+                    .get(dd)
+                    .copied()
+                    .unwrap_or(DistKind::Serial)
+                    .spelling()
+                    .to_lowercase()
+            })
             .collect();
         format!("({})", parts.join(","))
     }
@@ -153,11 +163,8 @@ pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> ReachingD
         // Entry state: formals inherit (expanded immediately from
         // Reaching, which is complete because callers were processed
         // first); locals start replicated (empty set).
-        let reaching_here: BTreeMap<Sym, BTreeSet<DecompSpec>> = out
-            .reaching
-            .get(&unit_name)
-            .cloned()
-            .unwrap_or_default();
+        let reaching_here: BTreeMap<Sym, BTreeSet<DecompSpec>> =
+            out.reaching.get(&unit_name).cloned().unwrap_or_default();
         let mut st = State::default();
         for (&v, vi) in &ui.vars {
             if vi.is_array() {
@@ -170,12 +177,22 @@ pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> ReachingD
                     DecompSet::new()
                 };
                 st.val.insert(v, set);
-                st.aligned
-                    .insert(v, AlignBinding { target: v, align: Alignment::identity(vi.rank()) });
+                st.aligned.insert(
+                    v,
+                    AlignBinding {
+                        target: v,
+                        align: Alignment::identity(vi.rank()),
+                    },
+                );
             }
         }
 
-        let mut walker = Walker { prog, info, unit_name, out: &mut out };
+        let mut walker = Walker {
+            prog,
+            info,
+            unit_name,
+            out: &mut out,
+        };
         walker.exec_body(&unit.body, &mut st);
 
         // Push LocalReaching to callees: Reaching(callee) ∪= translate(...).
@@ -214,7 +231,9 @@ impl Walker<'_> {
                 )
             })
             .collect();
-        self.out.before_stmt.insert((self.unit_name, stmt), expanded);
+        self.out
+            .before_stmt
+            .insert((self.unit_name, stmt), expanded);
     }
 
     fn exec_body(&mut self, body: &[Stmt], st: &mut State) {
@@ -227,12 +246,20 @@ impl Walker<'_> {
     fn exec_stmt(&mut self, s: &Stmt, st: &mut State) {
         let ui = self.info.unit(self.unit_name);
         match &s.kind {
-            StmtKind::Align { array, target, perm, offset } => {
+            StmtKind::Align {
+                array,
+                target,
+                perm,
+                offset,
+            } => {
                 st.aligned.insert(
                     *array,
                     AlignBinding {
                         target: *target,
-                        align: Alignment { perm: perm.clone(), offset: offset.clone() },
+                        align: Alignment {
+                            perm: perm.clone(),
+                            offset: offset.clone(),
+                        },
                     },
                 );
                 // If the target is already distributed, the array picks up
@@ -244,7 +271,10 @@ impl Walker<'_> {
                         [DecompEntry::Spec(DecompSpec {
                             extents,
                             kinds,
-                            align: Alignment { perm: perm.clone(), offset: offset.clone() },
+                            align: Alignment {
+                                perm: perm.clone(),
+                                offset: offset.clone(),
+                            },
                         })]
                         .into(),
                     );
@@ -286,7 +316,11 @@ impl Walker<'_> {
                     }
                 }
             }
-            StmtKind::If { then_body, else_body, .. } => {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 let mut st_else = st.clone();
                 self.exec_body(then_body, st);
                 self.exec_body(else_body, &mut st_else);
@@ -345,7 +379,13 @@ mod tests {
     use crate::fixtures::{FIG1, FIG15, FIG4};
     use fortrand_frontend::load_program;
 
-    fn setup(src: &str) -> (fortrand_frontend::SourceProgram, ProgramInfo, ReachingDecomps) {
+    fn setup(
+        src: &str,
+    ) -> (
+        fortrand_frontend::SourceProgram,
+        ProgramInfo,
+        ReachingDecomps,
+    ) {
         let (p, info) = load_program(src).unwrap();
         let acg = build_acg(&p, &info).unwrap();
         let rd = compute(&p, &info, &acg);
@@ -376,8 +416,14 @@ mod tests {
         let r1 = &rd.reaching[&f1][&z];
         assert_eq!(r1.len(), 2, "{r1:?}");
         let spellings: Vec<String> = r1.iter().map(|s| s.spelling()).collect();
-        assert!(spellings.contains(&"(block,:)".to_string()), "{spellings:?}");
-        assert!(spellings.contains(&"(:,block)".to_string()), "{spellings:?}");
+        assert!(
+            spellings.contains(&"(block,:)".to_string()),
+            "{spellings:?}"
+        );
+        assert!(
+            spellings.contains(&"(:,block)".to_string()),
+            "{spellings:?}"
+        );
         assert_eq!(&rd.reaching[&f1][&z], &rd.reaching[&f2][&z]);
     }
 
@@ -388,7 +434,10 @@ mod tests {
         let x = p.interner.get("x").unwrap();
         // Block reaches F1 from the caller…
         let specs = &rd.reaching[&f1][&x];
-        assert_eq!(specs.iter().map(|s| s.spelling()).collect::<Vec<_>>(), vec!["(block)"]);
+        assert_eq!(
+            specs.iter().map(|s| s.spelling()).collect::<Vec<_>>(),
+            vec!["(block)"]
+        );
         // …but inside F1, after DISTRIBUTE X(CYCLIC), the loop sees cyclic
         // only. Find F1's DO statement.
         let f1_unit = p.unit(f1).unwrap();

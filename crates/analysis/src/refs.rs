@@ -59,7 +59,10 @@ impl ArrayRef {
         for l in self.nest.iter().rev() {
             if l.step != Some(1) {
                 // Non-unit steps sweep non-contiguous sections.
-                if r.dims.iter().any(|t| t.lo.mentions(l.var) || t.hi.mentions(l.var)) {
+                if r.dims
+                    .iter()
+                    .any(|t| t.lo.mentions(l.var) || t.hi.mentions(l.var))
+                {
                     return None;
                 }
                 continue;
@@ -72,7 +75,9 @@ impl ArrayRef {
 
     /// Does this reference mention `var` in any subscript?
     pub fn mentions(&self, var: Sym) -> bool {
-        self.subs.iter().any(|s| s.as_ref().map(|a| a.mentions(var)).unwrap_or(true))
+        self.subs
+            .iter()
+            .any(|s| s.as_ref().map(|a| a.mentions(var)).unwrap_or(true))
     }
 }
 
@@ -100,7 +105,13 @@ fn walk(body: &[Stmt], info: &UnitInfo, nest: &mut Vec<LoopCtx>, out: &mut Vec<A
                 }
                 collect_expr(rhs, s.id, info, nest, out);
             }
-            StmtKind::Do { var, lo, hi, step, body } => {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 collect_expr(lo, s.id, info, nest, out);
                 collect_expr(hi, s.id, info, nest, out);
                 let stepc = match step {
@@ -117,7 +128,11 @@ fn walk(body: &[Stmt], info: &UnitInfo, nest: &mut Vec<LoopCtx>, out: &mut Vec<A
                 walk(body, info, nest, out);
                 nest.pop();
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 collect_expr(cond, s.id, info, nest, out);
                 walk(then_body, info, nest, out);
                 walk(else_body, info, nest, out);

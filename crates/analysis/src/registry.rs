@@ -53,18 +53,78 @@ pub fn table1() -> Vec<Problem> {
     use Direction::*;
     use Phase::*;
     vec![
-        Problem { name: "Call graph", direction: TopDown, phase: Propagation, module: "fortrand_analysis::acg" },
-        Problem { name: "Loop structure", direction: TopDown, phase: Propagation, module: "fortrand_analysis::acg" },
-        Problem { name: "Array aliasing & reshaping", direction: TopDown, phase: Propagation, module: "fortrand_analysis::side_effects (reshape widening) + frontend alias checks" },
-        Problem { name: "Scalar & array side effects", direction: Bidirectional, phase: Propagation, module: "fortrand_analysis::side_effects" },
-        Problem { name: "Symbolics & constants", direction: Bidirectional, phase: Propagation, module: "fortrand_analysis::consts" },
-        Problem { name: "Reaching decompositions", direction: TopDown, phase: Propagation, module: "fortrand_analysis::reaching" },
-        Problem { name: "Local iteration sets", direction: BottomUp, phase: CodeGeneration, module: "fortrand::partition" },
-        Problem { name: "Nonlocal index sets", direction: BottomUp, phase: CodeGeneration, module: "fortrand::comm" },
-        Problem { name: "Overlaps", direction: Bidirectional, phase: CodeGeneration, module: "fortrand::overlap" },
-        Problem { name: "Buffers", direction: BottomUp, phase: CodeGeneration, module: "fortrand::storage" },
-        Problem { name: "Live decompositions", direction: BottomUp, phase: CodeGeneration, module: "fortrand::dynamic_decomp" },
-        Problem { name: "Loop-invariant decomps", direction: BottomUp, phase: CodeGeneration, module: "fortrand::dynamic_decomp" },
+        Problem {
+            name: "Call graph",
+            direction: TopDown,
+            phase: Propagation,
+            module: "fortrand_analysis::acg",
+        },
+        Problem {
+            name: "Loop structure",
+            direction: TopDown,
+            phase: Propagation,
+            module: "fortrand_analysis::acg",
+        },
+        Problem {
+            name: "Array aliasing & reshaping",
+            direction: TopDown,
+            phase: Propagation,
+            module: "fortrand_analysis::side_effects (reshape widening) + frontend alias checks",
+        },
+        Problem {
+            name: "Scalar & array side effects",
+            direction: Bidirectional,
+            phase: Propagation,
+            module: "fortrand_analysis::side_effects",
+        },
+        Problem {
+            name: "Symbolics & constants",
+            direction: Bidirectional,
+            phase: Propagation,
+            module: "fortrand_analysis::consts",
+        },
+        Problem {
+            name: "Reaching decompositions",
+            direction: TopDown,
+            phase: Propagation,
+            module: "fortrand_analysis::reaching",
+        },
+        Problem {
+            name: "Local iteration sets",
+            direction: BottomUp,
+            phase: CodeGeneration,
+            module: "fortrand::partition",
+        },
+        Problem {
+            name: "Nonlocal index sets",
+            direction: BottomUp,
+            phase: CodeGeneration,
+            module: "fortrand::comm",
+        },
+        Problem {
+            name: "Overlaps",
+            direction: Bidirectional,
+            phase: CodeGeneration,
+            module: "fortrand::overlap",
+        },
+        Problem {
+            name: "Buffers",
+            direction: BottomUp,
+            phase: CodeGeneration,
+            module: "fortrand::storage",
+        },
+        Problem {
+            name: "Live decompositions",
+            direction: BottomUp,
+            phase: CodeGeneration,
+            module: "fortrand::dynamic_decomp",
+        },
+        Problem {
+            name: "Loop-invariant decomps",
+            direction: BottomUp,
+            phase: CodeGeneration,
+            module: "fortrand::dynamic_decomp",
+        },
     ]
 }
 
@@ -75,7 +135,10 @@ pub fn render_table1() -> String {
         "Interprocedural Fortran D Dataflow Problems (paper Table 1)\n\
          ------------------------------------------------------------\n",
     );
-    out.push_str(&format!("{:<28} {:>4}  {:<16} {}\n", "Problem", "Dir", "Phase", "Module"));
+    out.push_str(&format!(
+        "{:<28} {:>4}  {:<16} {}\n",
+        "Problem", "Dir", "Phase", "Module"
+    ));
     for r in rows {
         let phase = match r.phase {
             Phase::Propagation => "propagation",

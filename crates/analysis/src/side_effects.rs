@@ -113,8 +113,14 @@ pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> SideEffec
 
         // Local array references.
         for r in collect_refs(unit, ui) {
-            let sections = if r.is_def { &mut eff.mod_arrays } else { &mut eff.ref_arrays };
-            let entry = sections.entry(r.array).or_insert_with(|| Sections::Some(vec![]));
+            let sections = if r.is_def {
+                &mut eff.mod_arrays
+            } else {
+                &mut eff.ref_arrays
+            };
+            let entry = sections
+                .entry(r.array)
+                .or_insert_with(|| Sections::Some(vec![]));
             match r.swept_rsd() {
                 Some(rsd) => entry.add(rsd, &env),
                 None => *entry = Sections::Whole,
@@ -160,13 +166,19 @@ pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> SideEffec
             let callee_eff = se.units.get(&edge.callee).cloned().unwrap_or_default();
             let (tmods, trefs) = translate_effects(&callee_eff, edge, info, &env);
             for (v, s) in tmods.0 {
-                eff.mod_arrays.entry(v).or_insert_with(|| Sections::Some(vec![])).merge(&s, &env);
+                eff.mod_arrays
+                    .entry(v)
+                    .or_insert_with(|| Sections::Some(vec![]))
+                    .merge(&s, &env);
             }
             for v in tmods.1 {
                 eff.mod_scalars.insert(v);
             }
             for (v, s) in trefs.0 {
-                eff.ref_arrays.entry(v).or_insert_with(|| Sections::Some(vec![])).merge(&s, &env);
+                eff.ref_arrays
+                    .entry(v)
+                    .or_insert_with(|| Sections::Some(vec![]))
+                    .merge(&s, &env);
             }
             for v in trefs.1 {
                 eff.ref_scalars.insert(v);
@@ -207,11 +219,9 @@ pub fn translate_effects(
                         == callee_info.var(f).map(|v| v.dims.clone());
                     arrays.insert(f, if same_shape { Some(*a) } else { None });
                 }
-                Some(Expr::Element { array: a, .. }) => {
+                Some(Expr::Element { .. }) => {
                     // Subarray passing: conservative whole-array effect.
-                    arrays.insert(f, None).map(|_| ());
                     arrays.insert(f, None);
-                    let _ = a;
                 }
                 _ => {
                     arrays.insert(f, None);
@@ -327,7 +337,14 @@ mod tests {
     use fortrand_frontend::load_program;
     use fortrand_ir::rsd::Triplet;
 
-    fn setup(src: &str) -> (fortrand_frontend::SourceProgram, ProgramInfo, Acg, SideEffects) {
+    fn setup(
+        src: &str,
+    ) -> (
+        fortrand_frontend::SourceProgram,
+        ProgramInfo,
+        Acg,
+        SideEffects,
+    ) {
         let (p, info) = load_program(src).unwrap();
         let acg = build_acg(&p, &info).unwrap();
         let se = compute(&p, &info, &acg);

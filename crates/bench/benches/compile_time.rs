@@ -1,0 +1,60 @@
+//! Compile-time benchmark for the compilation driver itself: the
+//! sequential reverse-topological sweep vs the wavefront-parallel
+//! schedule vs an incremental one-leaf-edit recompile, over the wide
+//! multi-procedure corpus ([`fortrand::corpus::wide_corpus`]).
+//!
+//! The parallel schedule only pays off with >1 host core; the incremental
+//! engine pays off everywhere (it skips code generation for every unit
+//! whose source and consumed facts are unchanged).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortrand::corpus::{wide_corpus, wide_corpus_edited};
+use fortrand::{compile, CompileMode, CompileOptions, IncrementalEngine};
+
+fn bench_compile_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile-time");
+    g.sample_size(10);
+    let procs = 16;
+    let src = wide_corpus(procs, 256, 8);
+    let edited = wide_corpus_edited(procs, 256, 8);
+
+    g.bench_with_input(BenchmarkId::new("sequential", procs), &src, |b, src| {
+        b.iter(|| compile(src, &CompileOptions::default()).unwrap())
+    });
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    g.bench_with_input(BenchmarkId::new("parallel", threads), &src, |b, src| {
+        b.iter(|| {
+            compile(
+                src,
+                &CompileOptions {
+                    mode: CompileMode::Parallel(threads),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+
+    g.bench_with_input(
+        BenchmarkId::new("incremental-edit", procs),
+        &src,
+        |b, src| {
+            let mut eng = IncrementalEngine::new();
+            eng.compile(src, &CompileOptions::default()).unwrap();
+            // Alternate base/edited so every iteration is a real one-leaf edit.
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let s: &str = if flip { &edited } else { src };
+                eng.compile(s, &CompileOptions::default()).unwrap()
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile_time);
+criterion_main!(benches);

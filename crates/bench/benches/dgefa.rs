@@ -37,9 +37,13 @@ fn bench(c: &mut Criterion) {
                 s.total_msgs,
                 s.total_bytes
             );
-            g.bench_with_input(BenchmarkId::new(format!("{name}/p{p}"), bn), &bsrc, |b, src| {
-                b.iter(|| simulate_with(src, strategy, DynOptLevel::Kills, p, &binit));
-            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("{name}/p{p}"), bn),
+                &bsrc,
+                |b, src| {
+                    b.iter(|| simulate_with(src, strategy, DynOptLevel::Kills, p, &binit));
+                },
+            );
         }
     }
     g.finish();

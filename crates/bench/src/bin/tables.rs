@@ -32,7 +32,10 @@ fn main() {
         banner("FIG 3 — run-time resolution output");
         let out = compile(
             FIG1,
-            &CompileOptions { strategy: Strategy::RuntimeResolution, ..Default::default() },
+            &CompileOptions {
+                strategy: Strategy::RuntimeResolution,
+                ..Default::default()
+            },
         )
         .unwrap();
         println!("{}", pretty_all(&out.spmd));
@@ -61,7 +64,11 @@ fn main() {
                 println!(
                     "  call {} [{}]",
                     prog.interner.name(e.callee),
-                    if loops.is_empty() { "no enclosing loop".into() } else { loops.join(" > ") }
+                    if loops.is_empty() {
+                        "no enclosing loop".into()
+                    } else {
+                        loops.join(" > ")
+                    }
                 );
             }
         }
@@ -115,7 +122,10 @@ fn main() {
         banner("FIG 12 — immediate instantiation output for Fig. 4");
         let out = compile(
             FIG4,
-            &CompileOptions { strategy: Strategy::Immediate, ..Default::default() },
+            &CompileOptions {
+                strategy: Strategy::Immediate,
+                ..Default::default()
+            },
         )
         .unwrap();
         println!("{}", pretty_all(&out.spmd));
@@ -126,8 +136,7 @@ fn main() {
         let acg = build_acg(&prog, &info).unwrap();
         let ov = fortrand::overlap::compute(&prog, &info, &acg);
         for ((unit, array), w) in &ov.widths {
-            let w_str: Vec<String> =
-                w.iter().map(|&(lo, hi)| format!("(-{lo},+{hi})")).collect();
+            let w_str: Vec<String> = w.iter().map(|&(lo, hi)| format!("(-{lo},+{hi})")).collect();
             println!(
                 "{}::{} overlap {}",
                 prog.interner.name(*unit),
@@ -180,14 +189,23 @@ fn main() {
             ("16c loop-invariant", DynOptLevel::Hoist),
             ("16d array kills", DynOptLevel::Kills),
         ] {
-            let out = compile(FIG15, &CompileOptions { dyn_opt: lvl, ..Default::default() })
-                .unwrap();
+            let out = compile(
+                FIG15,
+                &CompileOptions {
+                    dyn_opt: lvl,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             println!(
                 "{label:<26} remap stmts: {}  mark-only: {}",
                 out.report.static_remaps, out.report.static_marks
             );
             let main_text = pretty(&out.spmd, out.spmd.main);
-            for line in main_text.lines().filter(|l| l.contains("remap") || l.contains("mark")) {
+            for line in main_text
+                .lines()
+                .filter(|l| l.contains("remap") || l.contains("mark"))
+            {
                 println!("    {}", line.trim());
             }
         }
@@ -212,11 +230,18 @@ fn main() {
     }
     if want("ablation-alpha") {
         banner("ABLATION — message startup cost α vs delayed instantiation win");
-        println!("{:<12} {:>16} {:>16} {:>8}", "alpha (us)", "interproc (us)", "immediate (us)", "ratio");
-        for (a, inter, imm) in
-            fortrand_bench::ablation_alpha(&[0.0, 5.0, 25.0, 75.0, 300.0], 4)
-        {
-            println!("{:<12} {:>16.1} {:>16.1} {:>8.2}", a, inter, imm, imm / inter);
+        println!(
+            "{:<12} {:>16} {:>16} {:>8}",
+            "alpha (us)", "interproc (us)", "immediate (us)", "ratio"
+        );
+        for (a, inter, imm) in fortrand_bench::ablation_alpha(&[0.0, 5.0, 25.0, 75.0, 300.0], 4) {
+            println!(
+                "{:<12} {:>16.1} {:>16.1} {:>8.2}",
+                a,
+                inter,
+                imm,
+                imm / inter
+            );
         }
     }
     if want("sec8") {
@@ -228,9 +253,13 @@ fn main() {
             ("local body edit in F2", FIG4.replace("0.5 *", "0.25 *")),
             (
                 "stencil width edit in F2",
-                FIG4.replace("Z(k+5,i)", "Z(k+7,i)").replace("do k = 1,95", "do k = 1,93"),
+                FIG4.replace("Z(k+5,i)", "Z(k+7,i)")
+                    .replace("do k = 1,95", "do k = 1,93"),
             ),
-            ("distribution edit in P1", FIG4.replace("(BLOCK,:)", "(:,BLOCK)")),
+            (
+                "distribution edit in P1",
+                FIG4.replace("(BLOCK,:)", "(:,BLOCK)"),
+            ),
         ];
         for (label, src) in scenarios {
             let out = compile(&src, &CompileOptions::default()).unwrap();
@@ -248,10 +277,78 @@ fn main() {
             );
         }
     }
+    if want("compile-time") {
+        banner("COMPILE TIME — sequential vs wavefront-parallel vs incremental");
+        use fortrand::corpus::{wide_corpus, wide_corpus_edited};
+        use fortrand::{CompileMode, IncrementalEngine};
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let procs = 24;
+        let src = wide_corpus(procs, 512, 8);
+        let edited = wide_corpus_edited(procs, 512, 8);
+        println!("corpus: {procs} independent leaf procedures + root, host cores: {threads}");
+        if threads == 1 {
+            println!("(single-core host: the parallel schedule cannot beat sequential here)");
+        }
+        // Best-of-3 wall-clock for each mode.
+        let best = |f: &mut dyn FnMut() -> std::time::Duration| (0..3).map(|_| f()).min().unwrap();
+        let seq = best(&mut || {
+            let t0 = std::time::Instant::now();
+            compile(&src, &CompileOptions::default()).unwrap();
+            t0.elapsed()
+        });
+        let par = best(&mut || {
+            let t0 = std::time::Instant::now();
+            compile(
+                &src,
+                &CompileOptions {
+                    mode: CompileMode::Parallel(threads),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            t0.elapsed()
+        });
+        // Incremental: alternate base/edited so every timed compile is a
+        // genuine one-leaf edit, not a no-op.
+        let mut eng = IncrementalEngine::new();
+        eng.compile(&src, &CompileOptions::default()).unwrap();
+        let mut flip = false;
+        let inc = best(&mut || {
+            flip = !flip;
+            let s: &str = if flip { &edited } else { &src };
+            let t0 = std::time::Instant::now();
+            eng.compile(s, &CompileOptions::default()).unwrap();
+            t0.elapsed()
+        });
+        let last = eng
+            .compile(
+                if flip { &src } else { &edited },
+                &CompileOptions::default(),
+            )
+            .unwrap();
+        println!("sequential            {:>10.3} ms", seq.as_secs_f64() * 1e3);
+        println!(
+            "parallel (x{threads:<2})        {:>10.3} ms  ({:.2}x vs sequential)",
+            par.as_secs_f64() * 1e3,
+            seq.as_secs_f64() / par.as_secs_f64()
+        );
+        println!(
+            "incremental edit      {:>10.3} ms  ({:.2}x vs sequential, {} recompiled / {} reused)",
+            inc.as_secs_f64() * 1e3,
+            seq.as_secs_f64() / inc.as_secs_f64(),
+            last.recompiled.len(),
+            last.reused.len()
+        );
+    }
     if want("sec9") {
         banner("SEC 9 — dgefa case study (n=64, strategies x processors)");
         for (p, rows) in exp_dgefa(64, &[1, 2, 4, 8]) {
-            println!("{}", render_rows(&format!("{p} processors"), "strategy", &rows));
+            println!(
+                "{}",
+                render_rows(&format!("{p} processors"), "strategy", &rows)
+            );
         }
         banner("SEC 9 — dgefa speedups (interprocedural, n=256)");
         for (p, s) in

@@ -32,7 +32,12 @@ pub fn simulate_with(
 ) -> RunStats {
     let out = compile(
         src,
-        &CompileOptions { strategy, dyn_opt, nprocs: Some(nprocs), ..Default::default() },
+        &CompileOptions {
+            strategy,
+            dyn_opt,
+            nprocs: Some(nprocs),
+            ..Default::default()
+        },
     )
     .unwrap_or_else(|e| panic!("compile ({strategy:?}): {e}"));
     let machine = Machine::new(nprocs);
@@ -97,7 +102,12 @@ pub fn exp_resolution(sizes: &[i64], nprocs: usize) -> Vec<(String, Row, Row)> {
         .map(|&n| {
             let src = relax_source(n, 5, 1, nprocs);
             let a = simulate(&src, Strategy::Interprocedural, DynOptLevel::Kills, nprocs);
-            let b = simulate(&src, Strategy::RuntimeResolution, DynOptLevel::Kills, nprocs);
+            let b = simulate(
+                &src,
+                Strategy::RuntimeResolution,
+                DynOptLevel::Kills,
+                nprocs,
+            );
             (
                 format!("n={n}"),
                 Row::from_stats("compile-time", &a),
@@ -160,7 +170,13 @@ pub fn exp_dgefa(n: i64, procs: &[usize]) -> Vec<(usize, Vec<Row>)> {
             let rows = vec![
                 Row::from_stats(
                     "interprocedural",
-                    &simulate_with(&src, Strategy::Interprocedural, DynOptLevel::Kills, p, &init),
+                    &simulate_with(
+                        &src,
+                        Strategy::Interprocedural,
+                        DynOptLevel::Kills,
+                        p,
+                        &init,
+                    ),
                 ),
                 Row::from_stats(
                     "immediate",
@@ -168,7 +184,13 @@ pub fn exp_dgefa(n: i64, procs: &[usize]) -> Vec<(usize, Vec<Row>)> {
                 ),
                 Row::from_stats(
                     "runtime-res",
-                    &simulate_with(&src, Strategy::RuntimeResolution, DynOptLevel::Kills, p, &init),
+                    &simulate_with(
+                        &src,
+                        Strategy::RuntimeResolution,
+                        DynOptLevel::Kills,
+                        p,
+                        &init,
+                    ),
                 ),
                 Row::from_stats("hand-coded", &hand_dgefa(n, p)),
             ];
@@ -214,9 +236,14 @@ pub fn ablation_alpha(alphas_us: &[f64], nprocs: usize) -> Vec<(f64, f64, f64)> 
                     },
                 )
                 .unwrap();
-                let cost = CostModel { alpha_us: alpha, ..CostModel::ipsc860() };
+                let cost = CostModel {
+                    alpha_us: alpha,
+                    ..CostModel::ipsc860()
+                };
                 let machine = Machine::with_cost(nprocs, cost);
-                run_spmd(&out.spmd, &machine, &BTreeMap::new()).stats.time_us
+                run_spmd(&out.spmd, &machine, &BTreeMap::new())
+                    .stats
+                    .time_us
             };
             let inter = run(Strategy::Interprocedural);
             let imm = run(Strategy::Immediate);
@@ -241,8 +268,10 @@ pub fn hand_dgefa(n: i64, nprocs: usize) -> RunStats {
         let p = node.nprocs();
         // Local column-major storage of the cyclic columns this rank owns.
         let my_cols: Vec<usize> = (0..n).filter(|j| j % p == me).collect();
-        let mut cols: Vec<Vec<f64>> =
-            my_cols.iter().map(|&j| (0..n).map(|i| a0[i * n + j]).collect()).collect();
+        let mut cols: Vec<Vec<f64>> = my_cols
+            .iter()
+            .map(|&j| (0..n).map(|i| a0[i * n + j]).collect())
+            .collect();
         for k in 0..n.saturating_sub(1) {
             let owner = k % p;
             // Owner searches the pivot in its copy of column k.
@@ -269,7 +298,7 @@ pub fn hand_dgefa(n: i64, nprocs: usize) -> RunStats {
             let msg = node.bcast(owner, &payload);
             let l = msg[0] as usize;
             let mut piv = msg[1..].to_vec(); // column k, rows k..n, pre-swap
-            // Everyone swaps rows l and k in their own columns…
+                                             // Everyone swaps rows l and k in their own columns…
             if l != k {
                 for c in cols.iter_mut() {
                     c.swap(l, k);
@@ -343,8 +372,13 @@ mod tests {
         let src = dgefa_source(n, p);
         let mut init = BTreeMap::new();
         init.insert("a", dgefa_matrix(n));
-        let compiled =
-            simulate_with(&src, Strategy::Interprocedural, DynOptLevel::Kills, p, &init);
+        let compiled = simulate_with(
+            &src,
+            Strategy::Interprocedural,
+            DynOptLevel::Kills,
+            p,
+            &init,
+        );
         let hand = hand_dgefa(n, p);
         assert!(
             compiled.time_us < 6.0 * hand.time_us,
@@ -352,7 +386,10 @@ mod tests {
             compiled.time_us,
             hand.time_us
         );
-        assert!(hand.time_us <= compiled.time_us, "hand-coded is the lower bound");
+        assert!(
+            hand.time_us <= compiled.time_us,
+            "hand-coded is the lower bound"
+        );
     }
 
     #[test]

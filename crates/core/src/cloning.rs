@@ -64,9 +64,14 @@ pub fn clone_for_decompositions(
         let se = side_effects::compute(&prog, &info, &acg);
 
         // Find the first unit (in topological order) needing cloning.
+        #[allow(clippy::type_complexity)]
         let mut target: Option<(Sym, Vec<(PartKey, Vec<StmtId>)>)> = None;
         for &unit in &acg.topo {
-            if prog.unit(unit).map(|u| u.kind == UnitKind::Program).unwrap_or(true) {
+            if prog
+                .unit(unit)
+                .map(|u| u.kind == UnitKind::Program)
+                .unwrap_or(true)
+            {
                 continue;
             }
             if unresolved.contains(&unit) {
@@ -97,7 +102,14 @@ pub fn clone_for_decompositions(
         }
 
         let Some((unit, parts)) = target else {
-            return Ok(CloneResult { prog, info, acg, reaching: rd, clones, unresolved });
+            return Ok(CloneResult {
+                prog,
+                info,
+                acg,
+                reaching: rd,
+                clones,
+                unresolved,
+            });
         };
 
         if total_clones + parts.len() > limit {
@@ -149,7 +161,11 @@ fn renumber(body: &mut [Stmt], next: &mut u32) {
         *next += 1;
         match &mut s.kind {
             StmtKind::Do { body, .. } => renumber(body, next),
-            StmtKind::If { then_body, else_body, .. } => {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 renumber(then_body, next);
                 renumber(else_body, next);
             }
@@ -167,7 +183,11 @@ fn retarget(body: &mut [Stmt], map: &BTreeMap<StmtId, Sym>) {
                 }
             }
             StmtKind::Do { body, .. } => retarget(body, map),
-            StmtKind::If { then_body, else_body, .. } => {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 retarget(then_body, map);
                 retarget(else_body, map);
             }
@@ -191,8 +211,12 @@ mod tests {
     #[test]
     fn fig4_clones_f1_and_f2() {
         let r = run(FIG4, 16);
-        let names: Vec<&str> =
-            r.prog.units.iter().map(|u| r.prog.interner.name(u.name)).collect();
+        let names: Vec<&str> = r
+            .prog
+            .units
+            .iter()
+            .map(|u| r.prog.interner.name(u.name))
+            .collect();
         assert!(names.contains(&"f1$1"), "{names:?}");
         assert!(names.contains(&"f1$2"), "{names:?}");
         assert!(names.contains(&"f2$1"), "{names:?}");
@@ -205,7 +229,11 @@ mod tests {
             }
             for sets in r.reaching.reaching.get(&u.name).into_iter() {
                 for set in sets.values() {
-                    assert!(set.len() <= 1, "clone {} still ambiguous", r.prog.interner.name(u.name));
+                    assert!(
+                        set.len() <= 1,
+                        "clone {} still ambiguous",
+                        r.prog.interner.name(u.name)
+                    );
                 }
             }
         }
@@ -217,8 +245,16 @@ mod tests {
         let f1_1 = r.prog.interner.get("f1$1").unwrap();
         let f1_2 = r.prog.interner.get("f1$2").unwrap();
         let z = r.prog.interner.get("z").unwrap();
-        let s1 = r.reaching.reaching[&f1_1][&z].iter().next().unwrap().spelling();
-        let s2 = r.reaching.reaching[&f1_2][&z].iter().next().unwrap().spelling();
+        let s1 = r.reaching.reaching[&f1_1][&z]
+            .iter()
+            .next()
+            .unwrap()
+            .spelling();
+        let s2 = r.reaching.reaching[&f1_2][&z]
+            .iter()
+            .next()
+            .unwrap()
+            .spelling();
         // First call site (X) is the row version.
         assert_eq!(s1, "(block,:)");
         assert_eq!(s2, "(:,block)");

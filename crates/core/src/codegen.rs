@@ -39,7 +39,7 @@ use fortrand_frontend::ast::*;
 use fortrand_frontend::sema::{expr_affine, ProgramInfo, UnitInfo};
 use fortrand_ir::dist::{ArrayDist, DimPartition, DistKind};
 use fortrand_ir::rsd::{Rsd, Triplet};
-use fortrand_ir::{Affine, Sym, SymEnv};
+use fortrand_ir::{Affine, Interner, Sym, SymEnv};
 use fortrand_spmd::ir::{
     DistId, SActual, SDecl, SExpr, SFormal, SLval, SProc, SRect, SStmt, SpmdProgram,
 };
@@ -57,7 +57,10 @@ pub struct CodegenError {
 
 impl CodegenError {
     fn at(line: u32, m: impl Into<String>) -> Self {
-        CodegenError { line, message: m.into() }
+        CodegenError {
+            line,
+            message: m.into(),
+        }
     }
 }
 
@@ -115,27 +118,181 @@ pub fn compile_all(ctx: &Ctx) -> R<(SpmdProgram, BTreeMap<Sym, CompiledUnit>)> {
     let mut compiled: BTreeMap<Sym, CompiledUnit> = BTreeMap::new();
     let mut dyn_summaries: BTreeMap<Sym, DynDecompSummary> = BTreeMap::new();
     for name in ctx.acg.reverse_topo() {
-        let unit = ctx
-            .prog
-            .unit(name)
-            .ok_or_else(|| CodegenError::at(0, "unit missing from program"))?;
-        if matches!(unit.kind, UnitKind::Function(_)) {
-            return Err(CodegenError::at(
-                unit.line,
-                "FUNCTION units are not supported by SPMD code generation; use a subroutine",
-            ));
-        }
-        let cu = match ctx.strategy {
-            Strategy::RuntimeResolution => {
-                UnitCompiler::new(ctx, unit, &mut spmd, &compiled, &dyn_summaries)?.compile_rtr()?
-            }
-            _ => UnitCompiler::new(ctx, unit, &mut spmd, &compiled, &dyn_summaries)?.compile()?,
-        };
+        let cu = compile_one(ctx, name, &mut spmd, &compiled, &dyn_summaries)?;
         dyn_summaries.insert(name, cu.dyn_summary.clone());
-        if unit.kind == UnitKind::Program {
+        if ctx.prog.unit(name).map(|u| u.kind) == Some(UnitKind::Program) {
             spmd.main = cu.proc;
         }
         compiled.insert(name, cu);
+    }
+    if spmd.main == usize::MAX {
+        return Err(CodegenError::at(0, "no PROGRAM unit"));
+    }
+    Ok((spmd, compiled))
+}
+
+/// Compiles a single unit into `spmd`, with every callee's record already
+/// present in `compiled`/`dyn_summaries`. Shared by the sequential sweep,
+/// the wavefront workers, and the incremental engine's recompile path.
+pub(crate) fn compile_one(
+    ctx: &Ctx,
+    name: Sym,
+    spmd: &mut SpmdProgram,
+    compiled: &BTreeMap<Sym, CompiledUnit>,
+    dyn_summaries: &BTreeMap<Sym, DynDecompSummary>,
+) -> R<CompiledUnit> {
+    let unit = ctx
+        .prog
+        .unit(name)
+        .ok_or_else(|| CodegenError::at(0, "unit missing from program"))?;
+    if matches!(unit.kind, UnitKind::Function(_)) {
+        return Err(CodegenError::at(
+            unit.line,
+            "FUNCTION units are not supported by SPMD code generation; use a subroutine",
+        ));
+    }
+    match ctx.strategy {
+        Strategy::RuntimeResolution => {
+            UnitCompiler::new(ctx, unit, spmd, compiled, dyn_summaries)?.compile_rtr()
+        }
+        _ => UnitCompiler::new(ctx, unit, spmd, compiled, dyn_summaries)?.compile(),
+    }
+}
+
+/// Compiles one unit into a private scratch program seeded with the merged
+/// program's interner and distribution table.
+fn compile_unit_scratch(
+    ctx: &Ctx,
+    name: Sym,
+    base_interner: &Interner,
+    base_dists: &[ArrayDist],
+    compiled: &BTreeMap<Sym, CompiledUnit>,
+    dyn_summaries: &BTreeMap<Sym, DynDecompSummary>,
+) -> R<(SpmdProgram, CompiledUnit)> {
+    let mut scratch = SpmdProgram {
+        interner: base_interner.clone(),
+        nprocs: ctx.nprocs,
+        procs: Vec::new(),
+        main: usize::MAX,
+        dists: base_dists.to_vec(),
+    };
+    let cu = compile_one(ctx, name, &mut scratch, compiled, dyn_summaries)?;
+    Ok((scratch, cu))
+}
+
+/// Compiles every unit on a wavefront-parallel schedule over the ACG.
+///
+/// Units in the same wavefront level have no call edges between them
+/// (every call edge crosses levels), so they are compiled concurrently on
+/// up to `threads` scoped threads, each into a scratch program seeded with
+/// the merged program's state at the start of the level. Scratch results
+/// are then merged serially in the exact order [`compile_all`] visits
+/// units, remapping scratch-local symbols and distribution ids into the
+/// merged program. Fresh names collide and dedup across units exactly as
+/// they do sequentially, so the merged program is identical — not just
+/// equivalent — to the sequential one.
+pub fn compile_all_parallel(
+    ctx: &Ctx,
+    threads: usize,
+) -> R<(SpmdProgram, BTreeMap<Sym, CompiledUnit>)> {
+    let threads = threads.max(1);
+    let mut spmd = SpmdProgram {
+        interner: ctx.prog.interner.clone(),
+        nprocs: ctx.nprocs,
+        procs: Vec::new(),
+        main: usize::MAX,
+        dists: Vec::new(),
+    };
+    let mut compiled: BTreeMap<Sym, CompiledUnit> = BTreeMap::new();
+    let mut dyn_summaries: BTreeMap<Sym, DynDecompSummary> = BTreeMap::new();
+    for level in ctx.acg.wavefront_levels() {
+        // Snapshot the merged state: every unit in this level compiles
+        // against the same base, so scratch-local ids start at (l0, d0).
+        let base_interner = spmd.interner.clone();
+        let base_dists = spmd.dists.clone();
+        let l0 = base_interner.len();
+        let d0 = base_dists.len();
+        let chunk = level.len().div_ceil(threads).max(1);
+        let results: Vec<R<(SpmdProgram, CompiledUnit)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = level
+                .chunks(chunk)
+                .map(|units| {
+                    let (base_interner, base_dists) = (&base_interner, &base_dists);
+                    let (compiled, dyn_summaries) = (&compiled, &dyn_summaries);
+                    s.spawn(move || {
+                        units
+                            .iter()
+                            .map(|&name| {
+                                compile_unit_scratch(
+                                    ctx,
+                                    name,
+                                    base_interner,
+                                    base_dists,
+                                    compiled,
+                                    dyn_summaries,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("codegen worker panicked"))
+                .collect()
+        });
+        // Merge serially in level order (= flattened reverse-topo order).
+        // `?` surfaces the first error in that order, matching sequential.
+        for (&name, result) in level.iter().zip(results) {
+            let (scratch, mut cu) = result?;
+            let sym_map: Vec<Sym> = (0..scratch.interner.len() as u32)
+                .map(|i| {
+                    if (i as usize) < l0 {
+                        Sym(i)
+                    } else {
+                        spmd.interner.intern(scratch.interner.name(Sym(i)))
+                    }
+                })
+                .collect();
+            let dist_map: Vec<DistId> = scratch
+                .dists
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    if i < d0 {
+                        DistId(i as u32)
+                    } else {
+                        spmd.add_dist(d.clone())
+                    }
+                })
+                .collect();
+            let mut proc = scratch
+                .procs
+                .into_iter()
+                .next()
+                .ok_or_else(|| CodegenError::at(0, "unit produced no procedure"))?;
+            let sym_f = |s: Sym| sym_map[s.0 as usize];
+            let dist_f = |d: DistId| dist_map[d.0 as usize];
+            // Call targets were merged in earlier levels, so their indices
+            // are already final.
+            let proc_f = |p: usize| p;
+            fortrand_spmd::rewrite::remap_proc(
+                &mut proc,
+                &fortrand_spmd::rewrite::ProcRemap {
+                    sym: &sym_f,
+                    dist: &dist_f,
+                    proc: &proc_f,
+                },
+            );
+            cu.proc = spmd.procs.len();
+            spmd.procs.push(proc);
+            let unit = ctx.prog.unit(name).expect("unit checked during compile");
+            if unit.kind == UnitKind::Program {
+                spmd.main = cu.proc;
+            }
+            dyn_summaries.insert(name, cu.dyn_summary.clone());
+            compiled.insert(name, cu);
+        }
     }
     if spmd.main == usize::MAX {
         return Err(CodegenError::at(0, "no PROGRAM unit"));
@@ -149,7 +306,11 @@ enum VKind {
     /// Ordinary global-valued scalar / loop index.
     Global,
     /// Partitioned loop index: holds a LOCAL index of `part`.
-    Local { part: DimPartition, dist: DistId, dim: usize },
+    Local {
+        part: DimPartition,
+        dist: DistId,
+        dim: usize,
+    },
 }
 
 /// Per-statement communication/ownership plan entry.
@@ -279,7 +440,9 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
 
     fn fresh(&mut self, stem: &str) -> Sym {
         self.temp_counter += 1;
-        self.spmd.interner.intern(&format!("{stem}${}", self.temp_counter))
+        self.spmd
+            .interner
+            .intern(&format!("{stem}${}", self.temp_counter))
     }
 
     fn fresh_tag(&mut self) -> u64 {
@@ -474,9 +637,7 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                     .unwrap_or((0, 0));
                 // Overlaps only widen distributed block dims; serial dims
                 // already span the whole extent.
-                if dist.grid_axis[d].is_some()
-                    && matches!(dist.dims[d].kind, DistKind::Block)
-                {
+                if dist.grid_axis[d].is_some() && matches!(dist.dims[d].kind, DistKind::Block) {
                     (1 - lo_w, e + hi_w)
                 } else {
                     (1, e)
@@ -496,7 +657,9 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         let refs = collect_refs(self.unit, self.ui);
         // LHS-driven decisions.
         for r in refs.iter().filter(|r| r.is_def) {
-            let Some(spec) = self.spec_at(r.stmt, r.array)? else { continue };
+            let Some(spec) = self.spec_at(r.stmt, r.array)? else {
+                continue;
+            };
             let dist = spec.array_dist(&self.ui.var(r.array).unwrap().dims, self.ctx.nprocs);
             for (d, sub) in r.subs.iter().enumerate() {
                 if dist.grid_axis[d].is_none() {
@@ -540,12 +703,20 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         }
         // Callee-constraint-driven decisions (Interprocedural).
         if self.ctx.strategy == Strategy::Interprocedural {
-            for edge in self.ctx.acg.calls.get(&self.unit.name).into_iter().flatten() {
-                let Some(cu) = self.compiled.get(&edge.callee) else { continue };
+            for edge in self
+                .ctx
+                .acg
+                .calls
+                .get(&self.unit.name)
+                .into_iter()
+                .flatten()
+            {
+                let Some(cu) = self.compiled.get(&edge.callee) else {
+                    continue;
+                };
                 for c in &cu.residual.iter_constraints {
                     let callee_info = self.ctx.info.unit(edge.callee);
-                    let Some(pos) = callee_info.formals.iter().position(|&f| f == c.formal)
-                    else {
+                    let Some(pos) = callee_info.formals.iter().position(|&f| f == c.formal) else {
                         continue;
                     };
                     if let Some(Expr::Var(v)) = edge.actuals.get(pos) {
@@ -585,7 +756,11 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         }
         // Export local-formal constraints.
         for (&f, &(arr, dim)) in &self.local_formals {
-            self.residual.iter_constraints.push(IterConstraint { formal: f, array: arr, dim });
+            self.residual.iter_constraints.push(IterConstraint {
+                formal: f,
+                array: arr,
+                dim,
+            });
         }
         Ok(())
     }
@@ -599,14 +774,12 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
     /// loop sequential-replicated and falls back to ownership guards.
     fn partition_safe(&mut self, loop_stmt: StmtId, var: Sym) -> bool {
         // Locate the loop subtree.
-        let Some(loop_node) = self
-            .unit
-            .walk()
-            .find(|s| s.id == loop_stmt)
-        else {
+        let Some(loop_node) = self.unit.walk().find(|s| s.id == loop_stmt) else {
             return false;
         };
-        let StmtKind::Do { body, .. } = &loop_node.kind else { return false };
+        let StmtKind::Do { body, .. } = &loop_node.kind else {
+            return false;
+        };
         let mut private_candidates: Vec<Sym> = Vec::new();
         if !self.subtree_safe(body, var, &mut private_candidates) {
             return false;
@@ -628,12 +801,12 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                 StmtKind::Assign { lhs, .. } => match lhs {
                     LValue::Scalar(s) => scalars.push(*s),
                     LValue::Element { array, subs } => {
-                        let Ok(spec) = self.spec_at(st.id, *array) else { return false };
+                        let Ok(spec) = self.spec_at(st.id, *array) else {
+                            return false;
+                        };
                         let Some(spec) = spec else { return false }; // replicated write
-                        let dist = spec.array_dist(
-                            &self.ui.var(*array).unwrap().dims,
-                            self.ctx.nprocs,
-                        );
+                        let dist =
+                            spec.array_dist(&self.ui.var(*array).unwrap().dims, self.ctx.nprocs);
                         let mut driven = false;
                         for (d, sub) in subs.iter().enumerate() {
                             if dist.grid_axis[d].is_none() {
@@ -655,7 +828,11 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                         return false;
                     }
                 }
-                StmtKind::If { then_body, else_body, .. } => {
+                StmtKind::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     if !self.subtree_safe(then_body, var, scalars)
                         || !self.subtree_safe(else_body, var, scalars)
                     {
@@ -663,7 +840,9 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                     }
                 }
                 StmtKind::Call { name, args } => {
-                    let Some(cu) = self.compiled.get(name) else { return false };
+                    let Some(cu) = self.compiled.get(name) else {
+                        return false;
+                    };
                     let callee_info = self.ctx.info.unit(*name);
                     let mut uses_var_constrained = false;
                     for (i, a) in args.iter().enumerate() {
@@ -674,12 +853,11 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                         }
                         // The index may only flow into a constrained formal,
                         // as a bare variable.
-                        let Some(&f) = callee_info.formals.get(i) else { return false };
-                        let constrained = cu
-                            .residual
-                            .iter_constraints
-                            .iter()
-                            .any(|c| c.formal == f);
+                        let Some(&f) = callee_info.formals.get(i) else {
+                            return false;
+                        };
+                        let constrained =
+                            cu.residual.iter_constraints.iter().any(|c| c.formal == f);
                         if !matches!(a, Expr::Var(v) if *v == var) || !constrained {
                             return false;
                         }
@@ -703,15 +881,28 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
     /// some loop whose body assigns `s` at an earlier pre-order position.
     fn scalar_privatizable(&self, s: Sym) -> bool {
         // Pre-order positions.
-        let pos: BTreeMap<StmtId, usize> =
-            self.unit.walk().enumerate().map(|(i, st)| (st.id, i)).collect();
+        let pos: BTreeMap<StmtId, usize> = self
+            .unit
+            .walk()
+            .enumerate()
+            .map(|(i, st)| (st.id, i))
+            .collect();
         // Assignments to s: (position, enclosing loop stmts).
         let mut assigns: Vec<(usize, Vec<StmtId>)> = Vec::new();
         let mut reads: Vec<(usize, Vec<StmtId>)> = Vec::new();
-        collect_scalar_uses(&self.unit.body, s, &mut Vec::new(), &pos, &mut assigns, &mut reads);
+        collect_scalar_uses(
+            &self.unit.body,
+            s,
+            &mut Vec::new(),
+            &pos,
+            &mut assigns,
+            &mut reads,
+        );
         for (rp, rnest) in &reads {
             let ok = rnest.iter().any(|loop_id| {
-                assigns.iter().any(|(ap, anest)| anest.contains(loop_id) && ap < rp)
+                assigns
+                    .iter()
+                    .any(|(ap, anest)| anest.contains(loop_id) && ap < rp)
             });
             if !ok {
                 return false;
@@ -746,7 +937,9 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         // needs no broadcast (Fig. 12's guarded column access).
         let mut lhs_pins: BTreeMap<StmtId, Vec<PinKey>> = BTreeMap::new();
         for r in refs.iter().filter(|r| r.is_def) {
-            let Some(spec) = self.spec_at(r.stmt, r.array)? else { continue };
+            let Some(spec) = self.spec_at(r.stmt, r.array)? else {
+                continue;
+            };
             let dist = spec.array_dist(&self.ui.var(r.array).unwrap().dims, self.ctx.nprocs);
             for (d, sub) in r.subs.iter().enumerate() {
                 if dist.grid_axis[d].is_none() {
@@ -755,12 +948,17 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                 let Some(a) = sub else { continue };
                 let local_match = a.as_sym_plus_const().is_some_and(|(v, off)| {
                     off == 0
-                        && (r.nest.iter().any(|l| {
-                            l.var == v && self.partitioned.contains_key(&l.stmt)
-                        }) || self.local_formals.contains_key(&v))
+                        && (r
+                            .nest
+                            .iter()
+                            .any(|l| l.var == v && self.partitioned.contains_key(&l.stmt))
+                            || self.local_formals.contains_key(&v))
                 });
                 if !local_match {
-                    lhs_pins.entry(r.stmt).or_default().push((r.array, d, a.clone()));
+                    lhs_pins
+                        .entry(r.stmt)
+                        .or_default()
+                        .push((r.array, d, a.clone()));
                 }
             }
         }
@@ -769,7 +967,9 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
             if r.is_def {
                 continue;
             }
-            let Some(spec) = self.spec_at(r.stmt, r.array)? else { continue };
+            let Some(spec) = self.spec_at(r.stmt, r.array)? else {
+                continue;
+            };
             let dist = spec.array_dist(&self.ui.var(r.array).unwrap().dims, self.ctx.nprocs);
             for (d, sub) in r.subs.iter().enumerate() {
                 if dist.grid_axis[d].is_none() {
@@ -831,6 +1031,7 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         }
         // Pinned reads sharing (array, dim, index) share one buffer and one
         // broadcast; their sections are hulled.
+        #[allow(clippy::type_complexity)]
         let mut groups: Vec<(PinKey, Vec<(ArrayRef, usize, Affine)>)> = Vec::new();
         for (r, d, a) in pinned_reads {
             let key: PinKey = (r.array, d, a.clone());
@@ -854,7 +1055,9 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                 .cloned()
                 .collect();
             for edge in edges {
-                let Some(cu) = self.compiled.get(&edge.callee) else { continue };
+                let Some(cu) = self.compiled.get(&edge.callee) else {
+                    continue;
+                };
                 let pending: Vec<PendingComm> = cu.residual.comms.clone();
                 for (ci, pc) in pending.iter().enumerate() {
                     self.adopt_pending(&edge, pc, ci)?;
@@ -865,11 +1068,24 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
     }
 
     /// Shift pattern from a local read (e.g. `x(i+5)`).
-    fn plan_shift(&mut self, r: &ArrayRef, _idx: usize, dim: usize, off: i64, dist: &ArrayDist) -> R<()> {
+    fn plan_shift(
+        &mut self,
+        r: &ArrayRef,
+        _idx: usize,
+        dim: usize,
+        off: i64,
+        dist: &ArrayDist,
+    ) -> R<()> {
         // Point access section; `place` vectorizes it over each loop it
         // clears (message vectorization, §5.4).
         let rsd = r.point_rsd().unwrap_or_else(|| {
-            Rsd::whole(&dist.dims.iter().map(|p| Affine::konst(p.extent)).collect::<Vec<_>>())
+            Rsd::whole(
+                &dist
+                    .dims
+                    .iter()
+                    .map(|p| Affine::konst(p.extent))
+                    .collect::<Vec<_>>(),
+            )
         });
         let (level, vect) = self.place(&r.nest, rsd, r.array)?;
         // If the shifted subscript's loop variable survives vectorization,
@@ -900,7 +1116,14 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         }
         let anchor = anchor_at(&r.nest, level, r.stmt);
         let tag = self.fresh_tag();
-        let op = CommOp::Shift { array: r.array, dist: self.dists[&r.array], dim, offset: off, rsd: vect, tag };
+        let op = CommOp::Shift {
+            array: r.array,
+            dist: self.dists[&r.array],
+            dim,
+            offset: off,
+            rsd: vect,
+            tag,
+        };
         self.comm_before.entry(anchor).or_default().push(op);
         Ok(())
     }
@@ -915,9 +1138,9 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         if self.pin_buffers.contains_key(&key) {
             return Ok(());
         }
-        let spec = self.spec_at(r0.stmt, array)?.ok_or_else(|| {
-            CodegenError::at(0, "pinned read of a replicated array")
-        })?;
+        let spec = self
+            .spec_at(r0.stmt, array)?
+            .ok_or_else(|| CodegenError::at(0, "pinned read of a replicated array"))?;
         let dist = spec.array_dist(&self.ui.var(array).unwrap().dims, self.ctx.nprocs);
         // Environment for hulling: unit facts + every group member's loop
         // ranges.
@@ -925,22 +1148,31 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         for (r, _, _) in group {
             for l in &r.nest {
                 if let (Some(lo), Some(hi)) = (
-                    l.lo.as_ref().map(|a| henv.fold(a)).and_then(|a| a.as_const()),
-                    l.hi.as_ref().map(|a| henv.fold(a)).and_then(|a| a.as_const()),
+                    l.lo.as_ref()
+                        .map(|a| henv.fold(a))
+                        .and_then(|a| a.as_const()),
+                    l.hi.as_ref()
+                        .map(|a| henv.fold(a))
+                        .and_then(|a| a.as_const()),
                 ) {
                     henv.set_range(l.var, lo, hi);
                 }
             }
         }
         let is_formal = self.ui.var(array).map(|v| v.is_formal).unwrap_or(false);
-        let may_delay = !self.is_main && is_formal && self.ctx.strategy == Strategy::Interprocedural;
+        let may_delay =
+            !self.is_main && is_formal && self.ctx.strategy == Strategy::Interprocedural;
         let mut level: Option<usize> = None;
         let mut anchor: Option<StmtId> = None;
         let mut hull: Option<Rsd> = None;
         for (r, _, _) in group {
             let rsd = r.point_rsd().unwrap_or_else(|| {
                 Rsd::whole(
-                    &dist.dims.iter().map(|p| Affine::konst(p.extent)).collect::<Vec<_>>(),
+                    &dist
+                        .dims
+                        .iter()
+                        .map(|p| Affine::konst(p.extent))
+                        .collect::<Vec<_>>(),
                 )
             });
             // Never hoist past a loop that defines the pinned index.
@@ -993,15 +1225,18 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
             }
             hull = Some(match hull {
                 None => vect,
-                Some(h) => hull_rsd(&h, &vect, &henv).ok_or_else(|| {
-                    CodegenError::at(0, "cannot hull pinned-read sections")
-                })?,
+                Some(h) => hull_rsd(&h, &vect, &henv)
+                    .ok_or_else(|| CodegenError::at(0, "cannot hull pinned-read sections"))?,
             });
         }
         let level = level.unwrap();
         let vect = hull.unwrap();
         let r = r0;
-        if level == 0 && !self.is_main && is_formal && self.ctx.strategy == Strategy::Interprocedural {
+        if level == 0
+            && !self.is_main
+            && is_formal
+            && self.ctx.strategy == Strategy::Interprocedural
+        {
             // Delay: the buffer becomes an extra formal.
             let buf = self.fresh("buf");
             self.pin_buffers.insert(key, buf);
@@ -1025,7 +1260,12 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
             .collect();
         let repl = ArrayDist::replicated(&bounds.iter().map(|&(_, h)| h).collect::<Vec<_>>());
         let repl_id = self.spmd.add_dist(repl);
-        self.buffer_decls.push(SDecl { name: buf, bounds, dist: repl_id, owner_dist: None });
+        self.buffer_decls.push(SDecl {
+            name: buf,
+            bounds,
+            dist: repl_id,
+            owner_dist: None,
+        });
         let anchor = anchor.unwrap();
         let op = CommOp::Broadcast {
             array: r.array,
@@ -1039,9 +1279,13 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         Ok(())
     }
 
-
     /// Adopts a callee's pending communication at one call edge.
-    fn adopt_pending(&mut self, edge: &fortrand_analysis::CallEdge, pc: &PendingComm, _ci: usize) -> R<()> {
+    fn adopt_pending(
+        &mut self,
+        edge: &fortrand_analysis::CallEdge,
+        pc: &PendingComm,
+        _ci: usize,
+    ) -> R<()> {
         let callee_info = self.ctx.info.unit(edge.callee);
         // Translate: callee array formal → our actual array; scalar
         // formals in bounds → actual affine expressions.
@@ -1069,13 +1313,19 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
             rsd = rsd.subst(*s, rep);
         }
         let pattern = match &pc.pattern {
-            CommPattern::BlockShift { dim, offset } => CommPattern::BlockShift { dim: *dim, offset: *offset },
+            CommPattern::BlockShift { dim, offset } => CommPattern::BlockShift {
+                dim: *dim,
+                offset: *offset,
+            },
             CommPattern::BroadcastDim { dim, index } => {
                 let mut idx = index.clone();
                 for (s, rep) in &subst {
                     idx = idx.subst(*s, rep);
                 }
-                CommPattern::BroadcastDim { dim: *dim, index: idx }
+                CommPattern::BroadcastDim {
+                    dim: *dim,
+                    index: idx,
+                }
             }
         };
         let floor = match &pattern {
@@ -1098,7 +1348,11 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                 // the per-edge buffer map.
                 self.edge_buffers_mut(edge.site).push(buf);
             }
-            self.residual.comms.push(PendingComm { array: our_array, pattern, rsd: vect });
+            self.residual.comms.push(PendingComm {
+                array: our_array,
+                pattern,
+                rsd: vect,
+            });
             return Ok(());
         }
         let anchor = anchor_at(&edge.loops, level, edge.site);
@@ -1128,7 +1382,12 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                 let repl =
                     ArrayDist::replicated(&bounds.iter().map(|&(_, h)| h).collect::<Vec<_>>());
                 let repl_id = self.spmd.add_dist(repl);
-                self.buffer_decls.push(SDecl { name: buf, bounds, dist: repl_id, owner_dist: None });
+                self.buffer_decls.push(SDecl {
+                    name: buf,
+                    bounds,
+                    dist: repl_id,
+                    owner_dist: None,
+                });
                 self.edge_buffers_mut(edge.site).push(buf);
                 let op = CommOp::Broadcast {
                     array: our_array,
@@ -1171,8 +1430,12 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         let mut env = self.env.clone();
         for l in nest {
             if let (Some(lo), Some(hi)) = (
-                l.lo.as_ref().map(|a| env.fold(a)).and_then(|a| a.as_const()),
-                l.hi.as_ref().map(|a| env.fold(a)).and_then(|a| a.as_const()),
+                l.lo.as_ref()
+                    .map(|a| env.fold(a))
+                    .and_then(|a| a.as_const()),
+                l.hi.as_ref()
+                    .map(|a| env.fold(a))
+                    .and_then(|a| a.as_const()),
             ) {
                 env.set_range(l.var, lo, hi);
             }
@@ -1185,7 +1448,9 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
             if self.carried_dep(l, &rsd, array, &env) {
                 break;
             }
-            let (Some(lo), Some(hi)) = (l.lo.clone(), l.hi.clone()) else { break };
+            let (Some(lo), Some(hi)) = (l.lo.clone(), l.hi.clone()) else {
+                break;
+            };
             if l.step != Some(1) {
                 break;
             }
@@ -1229,7 +1494,9 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
                 }
             }
             // Disjointness after sweeping the loop var on both sides.
-            let (Some(lo), Some(hi)) = (l.lo.clone(), l.hi.clone()) else { return true };
+            let (Some(lo), Some(hi)) = (l.lo.clone(), l.hi.clone()) else {
+                return true;
+            };
             let ms = m.vectorize(l.var, &lo, &hi);
             let rs = rsd.vectorize(l.var, &lo, &hi);
             if let (Some(ms), Some(rs)) = (ms, rs) {
@@ -1288,7 +1555,14 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
         }
         // Callee mods at call sites (already vectorized over callee loops,
         // still symbolic in our loop vars).
-        for edge in self.ctx.acg.calls.get(&self.unit.name).into_iter().flatten() {
+        for edge in self
+            .ctx
+            .acg
+            .calls
+            .get(&self.unit.name)
+            .into_iter()
+            .flatten()
+        {
             if !edge.loops.iter().any(|x| x.stmt == l.stmt) {
                 continue;
             }
@@ -1341,7 +1615,11 @@ impl<'a, 'b> UnitCompiler<'a, 'b> {
     }
 
     fn whole_of(&self, array: Sym) -> Rsd {
-        let dims = self.ui.var(array).map(|v| v.dims.clone()).unwrap_or_default();
+        let dims = self
+            .ui
+            .var(array)
+            .map(|v| v.dims.clone())
+            .unwrap_or_default();
         Rsd::whole(&dims.iter().map(|&e| Affine::konst(e)).collect::<Vec<_>>())
     }
 }
@@ -1377,7 +1655,9 @@ fn collect_scalar_uses(
                     _ => {}
                 }
             }
-            StmtKind::Do { lo, hi, step, body, .. } => {
+            StmtKind::Do {
+                lo, hi, step, body, ..
+            } => {
                 note_reads(lo);
                 note_reads(hi);
                 if let Some(e) = step {
@@ -1387,7 +1667,11 @@ fn collect_scalar_uses(
                 collect_scalar_uses(body, s, nest, pos, assigns, reads);
                 nest.pop();
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 note_reads(cond);
                 collect_scalar_uses(then_body, s, nest, pos, assigns, reads);
                 collect_scalar_uses(else_body, s, nest, pos, assigns, reads);
@@ -1414,8 +1698,6 @@ fn anchor_at(nest: &[LoopCtx], level: usize, site: StmtId) -> StmtId {
 
 mod emit;
 mod rtr;
-
-
 
 /// Per-dimension hull of two unit-stride sections under `env`.
 fn hull_rsd(a: &Rsd, b: &Rsd, env: &SymEnv) -> Option<Rsd> {

@@ -46,10 +46,16 @@ impl UnitCompiler<'_, '_> {
             .unit
             .formals
             .iter()
-            .map(|&f| SFormal { name: f, is_array: self.ui.is_array(f) })
+            .map(|&f| SFormal {
+                name: f,
+                is_array: self.ui.is_array(f),
+            })
             .collect();
         for &b in &self.buffer_formals {
-            formals.push(SFormal { name: b, is_array: true });
+            formals.push(SFormal {
+                name: b,
+                is_array: true,
+            });
         }
         let mut decls: Vec<SDecl> = Vec::new();
         for (&a, vi) in &self.ui.vars {
@@ -64,10 +70,19 @@ impl UnitCompiler<'_, '_> {
         }
         decls.extend(self.buffer_decls.iter().cloned());
 
-        let proc = SProc { name: self.unit.name, formals, decls, body };
+        let proc = SProc {
+            name: self.unit.name,
+            formals,
+            decls,
+            body,
+        };
         let idx = self.spmd.procs.len();
         self.spmd.procs.push(proc);
-        Ok(CompiledUnit { proc: idx, residual: self.residual, dyn_summary })
+        Ok(CompiledUnit {
+            proc: idx,
+            residual: self.residual,
+            dyn_summary,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -76,7 +91,13 @@ impl UnitCompiler<'_, '_> {
         let mut out = Vec::new();
         for st in body {
             // Remap placements before the statement.
-            for action in self.placements.before.get(&st.id).cloned().unwrap_or_default() {
+            for action in self
+                .placements
+                .before
+                .get(&st.id)
+                .cloned()
+                .unwrap_or_default()
+            {
                 out.push(self.emit_remap(&action)?);
             }
             // Planned communication anchored here.
@@ -84,7 +105,13 @@ impl UnitCompiler<'_, '_> {
                 out.extend(self.emit_comm(&op)?);
             }
             self.emit_stmt(st, &mut out)?;
-            for action in self.placements.after.get(&st.id).cloned().unwrap_or_default() {
+            for action in self
+                .placements
+                .after
+                .get(&st.id)
+                .cloned()
+                .unwrap_or_default()
+            {
                 out.push(self.emit_remap(&action)?);
             }
         }
@@ -101,23 +128,41 @@ impl UnitCompiler<'_, '_> {
         let dist = action.to.array_dist(&extents, self.ctx.nprocs);
         let id = self.spmd.add_dist(dist);
         Ok(if action.mark_only {
-            SStmt::MarkDist { array: action.array, to_dist: id }
+            SStmt::MarkDist {
+                array: action.array,
+                to_dist: id,
+            }
         } else {
-            SStmt::Remap { array: action.array, to_dist: id }
+            SStmt::Remap {
+                array: action.array,
+                to_dist: id,
+            }
         })
     }
 
     fn emit_stmt(&mut self, st: &Stmt, out: &mut Vec<SStmt>) -> R<()> {
         match &st.kind {
             StmtKind::Assign { lhs, rhs } => self.emit_assign(st, lhs, rhs, out),
-            StmtKind::Do { var, lo, hi, step, body } => {
-                self.emit_do(st, *var, lo, hi, step.as_ref(), body, out)
-            }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => self.emit_do(st, *var, lo, hi, step.as_ref(), body, out),
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.tr_expr(cond, st.id)?;
                 let t = self.emit_body(then_body)?;
                 let e = self.emit_body(else_body)?;
-                out.push(SStmt::If { cond: c, then_body: t, else_body: e });
+                out.push(SStmt::If {
+                    cond: c,
+                    then_body: t,
+                    else_body: e,
+                });
                 Ok(())
             }
             StmtKind::Call { name, args } => self.emit_call(st, *name, args, out),
@@ -139,9 +184,7 @@ impl UnitCompiler<'_, '_> {
                 Ok(())
             }
             StmtKind::Align { .. } => Ok(()), // effect realized via reaching
-            StmtKind::Distribute { target, kinds } => {
-                self.emit_distribute(st, *target, kinds, out)
-            }
+            StmtKind::Distribute { target, kinds } => self.emit_distribute(st, *target, kinds, out),
         }
     }
 
@@ -158,13 +201,22 @@ impl UnitCompiler<'_, '_> {
             // of named decompositions emits per-array remaps lazily.
             return Ok(());
         }
-        let first = !self.first_distribute_seen.get(&target).copied().unwrap_or(false);
+        let first = !self
+            .first_distribute_seen
+            .get(&target)
+            .copied()
+            .unwrap_or(false);
         self.first_distribute_seen.insert(target, true);
         let is_formal = self.ui.var(target).map(|v| v.is_formal).unwrap_or(false);
         let delegated = self.ctx.strategy == Strategy::Interprocedural
             && !self.is_main
             && is_formal
-            && self.residual.dyn_decomp.before.iter().any(|(a, _)| *a == target);
+            && self
+                .residual
+                .dyn_decomp
+                .before
+                .iter()
+                .any(|(a, _)| *a == target);
         // A first DISTRIBUTE of a non-formal array establishes the
         // declaration spec (no remap needed); a delegated first remap of a
         // formal is the caller's job.
@@ -183,19 +235,21 @@ impl UnitCompiler<'_, '_> {
             DecompSpec {
                 extents,
                 kinds: _kinds.to_vec(),
-                align: fortrand_ir::dist::Alignment::identity(
-                    self.ui.var(target).unwrap().rank(),
-                ),
+                align: fortrand_ir::dist::Alignment::identity(self.ui.var(target).unwrap().rank()),
             }
         };
         let extents = self.ui.var(target).unwrap().dims.clone();
         let dist = spec.array_dist(&extents, self.ctx.nprocs);
         let id = self.spmd.add_dist(dist);
         let _ = st;
-        out.push(SStmt::Remap { array: target, to_dist: id });
+        out.push(SStmt::Remap {
+            array: target,
+            to_dist: id,
+        });
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_do(
         &mut self,
         st: &Stmt,
@@ -219,11 +273,20 @@ impl UnitCompiler<'_, '_> {
             self.vkinds.insert(var, VKind::Global);
             let inner = self.emit_body(body)?;
             self.vkinds.remove(&var);
-            out.push(SStmt::Do { var, lo: lo_s, hi: hi_s, step: stepc, body: inner });
+            out.push(SStmt::Do {
+                var,
+                lo: lo_s,
+                hi: hi_s,
+                step: stepc,
+                body: inner,
+            });
             return Ok(());
         };
         if stepc != 1 {
-            return Err(CodegenError::at(st.line, "partitioned loop with non-unit step"));
+            return Err(CodegenError::at(
+                st.line,
+                "partitioned loop with non-unit step",
+            ));
         }
         let dist_id = self.dists[&array];
         let partn = self.dist_of(array).dims[dim].clone();
@@ -257,22 +320,40 @@ impl UnitCompiler<'_, '_> {
                         SExpr::int(1),
                     )
                 };
-                self.vkinds.insert(var, VKind::Local { part: partn, dist: dist_id, dim });
+                self.vkinds.insert(
+                    var,
+                    VKind::Local {
+                        part: partn,
+                        dist: dist_id,
+                        dim,
+                    },
+                );
                 let inner = self.emit_body(body)?;
                 self.vkinds.remove(&var);
-                out.push(SStmt::Do { var, lo: lo_s, hi: SExpr::Var(ub), step: 1, body: inner });
+                out.push(SStmt::Do {
+                    var,
+                    lo: lo_s,
+                    hi: SExpr::Var(ub),
+                    step: 1,
+                    body: inner,
+                });
                 Ok(())
             }
             _ => {
                 // General local-index loop with a global-range guard
                 // (cyclic distributions and symbolic bounds).
                 let nloc = partn.local_extent();
-                let g = self.spmd.interner.intern(
-                    &format!("{}$g", self.ctx.prog.interner.name(var)),
-                );
+                let g = self
+                    .spmd
+                    .interner
+                    .intern(&format!("{}$g", self.ctx.prog.interner.name(var)));
                 self.vkinds.insert(
                     var,
-                    VKind::Local { part: partn.clone(), dist: dist_id, dim },
+                    VKind::Local {
+                        part: partn.clone(),
+                        dist: dist_id,
+                        dim,
+                    },
                 );
                 // g = global index of local var on this processor.
                 let g_expr = global_of_local_expr(&partn, SExpr::Var(var));
@@ -281,14 +362,21 @@ impl UnitCompiler<'_, '_> {
                 // Record the companion symbol so serial-dim uses of the
                 // loop var read `var$g`.
                 self.global_companion.insert(var, g);
-                let mut inner = vec![SStmt::Assign { lhs: SLval::Scalar(g), rhs: g_expr }];
+                let mut inner = vec![SStmt::Assign {
+                    lhs: SLval::Scalar(g),
+                    rhs: g_expr,
+                }];
                 let cond = SExpr::bin(
                     SBinOp::And,
                     SExpr::bin(SBinOp::Ge, SExpr::Var(g), lo_s),
                     SExpr::bin(SBinOp::Le, SExpr::Var(g), hi_s),
                 );
                 let guarded = self.emit_body(body)?;
-                inner.push(SStmt::If { cond, then_body: guarded, else_body: vec![] });
+                inner.push(SStmt::If {
+                    cond,
+                    then_body: guarded,
+                    else_body: vec![],
+                });
                 self.global_companion.remove(&var);
                 self.vkinds.remove(&var);
                 out.push(SStmt::Do {
@@ -307,18 +395,26 @@ impl UnitCompiler<'_, '_> {
         match lhs {
             LValue::Scalar(v) => {
                 let r = self.tr_expr(rhs, st.id)?;
-                out.push(SStmt::Assign { lhs: SLval::Scalar(*v), rhs: r });
+                out.push(SStmt::Assign {
+                    lhs: SLval::Scalar(*v),
+                    rhs: r,
+                });
                 Ok(())
             }
             LValue::Element { array, subs } => {
                 let spec = self.spec_at(st.id, *array)?;
                 if spec.is_none() {
                     // Replicated array: executed by everyone, global subs.
-                    let subs =
-                        subs.iter().map(|s| self.tr_expr(s, st.id)).collect::<R<Vec<_>>>()?;
+                    let subs = subs
+                        .iter()
+                        .map(|s| self.tr_expr(s, st.id))
+                        .collect::<R<Vec<_>>>()?;
                     let r = self.tr_expr(rhs, st.id)?;
                     out.push(SStmt::Assign {
-                        lhs: SLval::Elem { array: *array, subs },
+                        lhs: SLval::Elem {
+                            array: *array,
+                            subs,
+                        },
                         rhs: r,
                     });
                     return Ok(());
@@ -359,19 +455,35 @@ impl UnitCompiler<'_, '_> {
                         ));
                     }
                     owner_subs = Some(subs_pt);
-                    lhs_subs.push(SExpr::LocalIdx { dist: dist_id, dim: d, sub: Box::new(g) });
+                    lhs_subs.push(SExpr::LocalIdx {
+                        dist: dist_id,
+                        dim: d,
+                        sub: Box::new(g),
+                    });
                 }
                 let r = self.tr_expr(rhs, st.id)?;
-                let assign =
-                    SStmt::Assign { lhs: SLval::Elem { array: *array, subs: lhs_subs }, rhs: r };
+                let assign = SStmt::Assign {
+                    lhs: SLval::Elem {
+                        array: *array,
+                        subs: lhs_subs,
+                    },
+                    rhs: r,
+                };
                 match owner_subs {
                     Some(pt) => {
                         let cond = SExpr::bin(
                             SBinOp::Eq,
                             SExpr::MyP,
-                            SExpr::Owner { dist: dist_id, subs: pt },
+                            SExpr::Owner {
+                                dist: dist_id,
+                                subs: pt,
+                            },
                         );
-                        out.push(SStmt::If { cond, then_body: vec![assign], else_body: vec![] });
+                        out.push(SStmt::If {
+                            cond,
+                            then_body: vec![assign],
+                            else_body: vec![],
+                        });
                     }
                     None => out.push(assign),
                 }
@@ -467,7 +579,10 @@ impl UnitCompiler<'_, '_> {
                         owner_guard = Some(SExpr::bin(
                             SBinOp::Eq,
                             SExpr::MyP,
-                            SExpr::Owner { dist: dist_id, subs: pt },
+                            SExpr::Owner {
+                                dist: dist_id,
+                                subs: pt,
+                            },
                         ));
                         sargs.push(SActual::Scalar(SExpr::LocalIdx {
                             dist: dist_id,
@@ -489,11 +604,17 @@ impl UnitCompiler<'_, '_> {
         for b in self.edge_buffers.get(&st.id).cloned().unwrap_or_default() {
             sargs.push(SActual::Array(b));
         }
-        let call = SStmt::Call { proc: cu.proc, args: sargs, copy_out };
+        let call = SStmt::Call {
+            proc: cu.proc,
+            args: sargs,
+            copy_out,
+        };
         match owner_guard {
-            Some(cond) => {
-                out.push(SStmt::If { cond, then_body: vec![call], else_body: vec![] })
-            }
+            Some(cond) => out.push(SStmt::If {
+                cond,
+                then_body: vec![call],
+                else_body: vec![],
+            }),
             None => out.push(call),
         }
         Ok(())
@@ -505,12 +626,22 @@ impl UnitCompiler<'_, '_> {
 
     fn emit_comm(&mut self, op: &CommOp) -> R<Vec<SStmt>> {
         match op {
-            CommOp::Shift { array, dist, dim, offset, rsd, tag } => {
-                self.emit_shift(*array, *dist, *dim, *offset, rsd, *tag)
-            }
-            CommOp::Broadcast { array, dist, dim, index, rsd, buffer } => {
-                self.emit_broadcast(*array, *dist, *dim, index, rsd, *buffer)
-            }
+            CommOp::Shift {
+                array,
+                dist,
+                dim,
+                offset,
+                rsd,
+                tag,
+            } => self.emit_shift(*array, *dist, *dim, *offset, rsd, *tag),
+            CommOp::Broadcast {
+                array,
+                dist,
+                dim,
+                index,
+                rsd,
+                buffer,
+            } => self.emit_broadcast(*array, *dist, *dim, index, rsd, *buffer),
         }
     }
 
@@ -625,12 +756,19 @@ impl UnitCompiler<'_, '_> {
         let rank = dist.rank();
         let mut owner_pt = vec![SExpr::int(1); rank];
         owner_pt[dim] = idx.clone();
-        let root = SExpr::Owner { dist: dist_id, subs: owner_pt };
+        let root = SExpr::Owner {
+            dist: dist_id,
+            subs: owner_pt,
+        };
         let mut src: Vec<(SExpr, SExpr, i64)> = Vec::new();
         let mut dst: Vec<(SExpr, SExpr, i64)> = Vec::new();
         for (d, t) in rsd.dims.iter().enumerate() {
             if d == dim {
-                let li = SExpr::LocalIdx { dist: dist_id, dim, sub: Box::new(idx.clone()) };
+                let li = SExpr::LocalIdx {
+                    dist: dist_id,
+                    dim,
+                    sub: Box::new(idx.clone()),
+                };
                 src.push((li.clone(), li, 1));
                 continue;
             }
@@ -761,12 +899,30 @@ impl UnitCompiler<'_, '_> {
                     .map(|a| self.tr_expr(a, stmt))
                     .collect::<R<Vec<_>>>()?;
                 Ok(match name {
-                    Intrinsic::Abs => SExpr::Intr { name: SIntr::Abs, args },
-                    Intrinsic::Min => SExpr::Intr { name: SIntr::Min, args },
-                    Intrinsic::Max => SExpr::Intr { name: SIntr::Max, args },
-                    Intrinsic::Mod => SExpr::Intr { name: SIntr::Mod, args },
-                    Intrinsic::Sqrt => SExpr::Intr { name: SIntr::Sqrt, args },
-                    Intrinsic::Sign => SExpr::Intr { name: SIntr::Sign, args },
+                    Intrinsic::Abs => SExpr::Intr {
+                        name: SIntr::Abs,
+                        args,
+                    },
+                    Intrinsic::Min => SExpr::Intr {
+                        name: SIntr::Min,
+                        args,
+                    },
+                    Intrinsic::Max => SExpr::Intr {
+                        name: SIntr::Max,
+                        args,
+                    },
+                    Intrinsic::Mod => SExpr::Intr {
+                        name: SIntr::Mod,
+                        args,
+                    },
+                    Intrinsic::Sqrt => SExpr::Intr {
+                        name: SIntr::Sqrt,
+                        args,
+                    },
+                    Intrinsic::Sign => SExpr::Intr {
+                        name: SIntr::Sign,
+                        args,
+                    },
                     // Type conversions are no-ops in the simulated REAL
                     // domain.
                     Intrinsic::Dble | Intrinsic::Float | Intrinsic::Int => {
@@ -820,10 +976,7 @@ impl UnitCompiler<'_, '_> {
             let key: PinKey = (array, d, a.clone());
             if self.guard_local.contains(&(stmt, key.clone())) {
                 // Local under the statement's ownership guard.
-                let g = self.tr_expr(
-                    &subs[d],
-                    stmt,
-                )?;
+                let g = self.tr_expr(&subs[d], stmt)?;
                 let dist_id2 = self.current_dist(stmt, array)?;
                 let mut final_subs = Vec::new();
                 for (i, s) in out_subs.into_iter().enumerate() {
@@ -837,7 +990,10 @@ impl UnitCompiler<'_, '_> {
                         final_subs.push(s);
                     }
                 }
-                return Ok(SExpr::Elem { array, subs: final_subs });
+                return Ok(SExpr::Elem {
+                    array,
+                    subs: final_subs,
+                });
             }
             let buf = self.pin_buffers.get(&key).copied().ok_or_else(|| {
                 CodegenError::at(
@@ -855,9 +1011,15 @@ impl UnitCompiler<'_, '_> {
                     bsubs.push(s);
                 }
             }
-            return Ok(SExpr::Elem { array: buf, subs: bsubs });
+            return Ok(SExpr::Elem {
+                array: buf,
+                subs: bsubs,
+            });
         }
-        Ok(SExpr::Elem { array, subs: out_subs })
+        Ok(SExpr::Elem {
+            array,
+            subs: out_subs,
+        })
     }
 }
 
@@ -890,7 +1052,10 @@ pub(super) fn global_of_local_expr(part: &DimPartition, local: SExpr) -> SExpr {
                         SExpr::add(SExpr::mul(lb, SExpr::int(p)), SExpr::MyP),
                         SExpr::int(k),
                     ),
-                    SExpr::Intr { name: SIntr::Mod, args: vec![lm1, SExpr::int(k)] },
+                    SExpr::Intr {
+                        name: SIntr::Mod,
+                        args: vec![lm1, SExpr::int(k)],
+                    },
                 ),
                 SExpr::int(1),
             )

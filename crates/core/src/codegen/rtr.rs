@@ -38,25 +38,45 @@ impl UnitCompiler<'_, '_> {
             .unit
             .formals
             .iter()
-            .map(|&f| SFormal { name: f, is_array: self.ui.is_array(f) })
+            .map(|&f| SFormal {
+                name: f,
+                is_array: self.ui.is_array(f),
+            })
             .collect();
         let mut decls: Vec<SDecl> = Vec::new();
         for (&a, vi) in &self.ui.vars {
             if vi.is_array() && !vi.is_formal {
                 let bounds: Vec<(i64, i64)> = vi.dims.iter().map(|&e| (1, e)).collect();
-                let owner_dist =
-                    if self.specs[&a].is_some() { Some(self.dists[&a]) } else { None };
+                let owner_dist = if self.specs[&a].is_some() {
+                    Some(self.dists[&a])
+                } else {
+                    None
+                };
                 // Storage is global-shaped; the nominal layout dist is the
                 // replicated one matching the bounds.
                 let repl = ArrayDist::replicated(&vi.dims);
                 let repl_id = self.spmd.add_dist(repl);
-                decls.push(SDecl { name: a, bounds, dist: repl_id, owner_dist });
+                decls.push(SDecl {
+                    name: a,
+                    bounds,
+                    dist: repl_id,
+                    owner_dist,
+                });
             }
         }
-        let proc = SProc { name: self.unit.name, formals, decls, body };
+        let proc = SProc {
+            name: self.unit.name,
+            formals,
+            decls,
+            body,
+        };
         let idx = self.spmd.procs.len();
         self.spmd.procs.push(proc);
-        Ok(CompiledUnit { proc: idx, residual: Residual::default(), dyn_summary })
+        Ok(CompiledUnit {
+            proc: idx,
+            residual: Residual::default(),
+            dyn_summary,
+        })
     }
 
     fn rtr_body(&mut self, body: &[Stmt]) -> R<Vec<SStmt>> {
@@ -64,7 +84,13 @@ impl UnitCompiler<'_, '_> {
         for st in body {
             match &st.kind {
                 StmtKind::Assign { lhs, rhs } => self.rtr_assign(st, lhs, rhs, &mut out)?,
-                StmtKind::Do { var, lo, hi, step, body } => {
+                StmtKind::Do {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                } => {
                     let stepc = match step {
                         None => 1,
                         Some(e) => fortrand_frontend::sema::fold_const(e, &self.params)
@@ -75,9 +101,19 @@ impl UnitCompiler<'_, '_> {
                     let lo = self.rtr_expr(lo, st.id, &mut out)?;
                     let hi = self.rtr_expr(hi, st.id, &mut out)?;
                     let inner = self.rtr_body(body)?;
-                    out.push(SStmt::Do { var: *var, lo, hi, step: stepc, body: inner });
+                    out.push(SStmt::Do {
+                        var: *var,
+                        lo,
+                        hi,
+                        step: stepc,
+                        body: inner,
+                    });
                 }
-                StmtKind::If { cond, then_body, else_body } => {
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     // Every rank must take the same branch: distributed
                     // reads in the condition are refreshed from their
                     // owners first.
@@ -85,12 +121,17 @@ impl UnitCompiler<'_, '_> {
                     let c = self.rtr_expr(cond, st.id, &mut out)?;
                     let t = self.rtr_body(then_body)?;
                     let e = self.rtr_body(else_body)?;
-                    out.push(SStmt::If { cond: c, then_body: t, else_body: e });
+                    out.push(SStmt::If {
+                        cond: c,
+                        then_body: t,
+                        else_body: e,
+                    });
                 }
                 StmtKind::Call { name, args } => {
-                    let cu = self.compiled.get(name).ok_or_else(|| {
-                        CodegenError::at(st.line, "callee not yet compiled")
-                    })?;
+                    let cu = self
+                        .compiled
+                        .get(name)
+                        .ok_or_else(|| CodegenError::at(st.line, "callee not yet compiled"))?;
                     let callee_info = self.ctx.info.unit(*name);
                     let callee_eff = self.ctx.se.unit(*name);
                     let mut sargs = Vec::new();
@@ -117,7 +158,11 @@ impl UnitCompiler<'_, '_> {
                             }
                         }
                     }
-                    out.push(SStmt::Call { proc: cu.proc, args: sargs, copy_out });
+                    out.push(SStmt::Call {
+                        proc: cu.proc,
+                        args: sargs,
+                        copy_out,
+                    });
                 }
                 StmtKind::Return => out.push(SStmt::Return),
                 StmtKind::Continue => {}
@@ -137,11 +182,13 @@ impl UnitCompiler<'_, '_> {
                     if !self.ui.is_array(*target) {
                         continue;
                     }
-                    let first =
-                        !self.first_distribute_seen.get(target).copied().unwrap_or(false);
+                    let first = !self
+                        .first_distribute_seen
+                        .get(target)
+                        .copied()
+                        .unwrap_or(false);
                     self.first_distribute_seen.insert(*target, true);
-                    let is_formal =
-                        self.ui.var(*target).map(|v| v.is_formal).unwrap_or(false);
+                    let is_formal = self.ui.var(*target).map(|v| v.is_formal).unwrap_or(false);
                     if first && !is_formal {
                         continue; // declaration establishes the first dist
                     }
@@ -153,7 +200,10 @@ impl UnitCompiler<'_, '_> {
                     };
                     let dist = spec.array_dist(&extents, self.ctx.nprocs);
                     let id = self.spmd.add_dist(dist);
-                    out.push(SStmt::RemapGlobal { array: *target, to_dist: id });
+                    out.push(SStmt::RemapGlobal {
+                        array: *target,
+                        to_dist: id,
+                    });
                 }
             }
         }
@@ -161,13 +211,7 @@ impl UnitCompiler<'_, '_> {
     }
 
     /// Run-time resolution of one assignment.
-    fn rtr_assign(
-        &mut self,
-        st: &Stmt,
-        lhs: &LValue,
-        rhs: &Expr,
-        out: &mut Vec<SStmt>,
-    ) -> R<()> {
+    fn rtr_assign(&mut self, st: &Stmt, lhs: &LValue, rhs: &Expr, out: &mut Vec<SStmt>) -> R<()> {
         // Collect distributed rhs element reads.
         let mut reads: Vec<(Sym, Vec<Expr>)> = Vec::new();
         collect_dist_reads(rhs, self.ui, &mut reads);
@@ -187,16 +231,21 @@ impl UnitCompiler<'_, '_> {
                     .iter()
                     .map(|s| self.rtr_expr(s, st.id, out))
                     .collect::<R<Vec<_>>>()?;
-                let owner_l = SExpr::CurOwner { array: *array, subs: lsubs.clone() };
+                let owner_l = SExpr::CurOwner {
+                    array: *array,
+                    subs: lsubs.clone(),
+                };
                 // Per-reference element messages.
                 for (ra, rsubs) in &reads {
                     let rsubs_s = rsubs
                         .iter()
                         .map(|s| self.rtr_expr(s, st.id, out))
                         .collect::<R<Vec<_>>>()?;
-                    let owner_r = SExpr::CurOwner { array: *ra, subs: rsubs_s.clone() };
-                    let differs =
-                        SExpr::bin(SBinOp::Ne, owner_r.clone(), owner_l.clone());
+                    let owner_r = SExpr::CurOwner {
+                        array: *ra,
+                        subs: rsubs_s.clone(),
+                    };
+                    let differs = SExpr::bin(SBinOp::Ne, owner_r.clone(), owner_l.clone());
                     let tag = self.fresh_tag();
                     out.push(SStmt::If {
                         cond: SExpr::bin(
@@ -207,7 +256,10 @@ impl UnitCompiler<'_, '_> {
                         then_body: vec![SStmt::SendElem {
                             to: owner_l.clone(),
                             tag,
-                            value: SExpr::Elem { array: *ra, subs: rsubs_s.clone() },
+                            value: SExpr::Elem {
+                                array: *ra,
+                                subs: rsubs_s.clone(),
+                            },
                         }],
                         else_body: vec![],
                     });
@@ -220,7 +272,10 @@ impl UnitCompiler<'_, '_> {
                         then_body: vec![SStmt::RecvElem {
                             from: owner_r,
                             tag,
-                            lhs: SLval::Elem { array: *ra, subs: rsubs_s },
+                            lhs: SLval::Elem {
+                                array: *ra,
+                                subs: rsubs_s,
+                            },
                         }],
                         else_body: vec![],
                     });
@@ -230,7 +285,10 @@ impl UnitCompiler<'_, '_> {
                 out.push(SStmt::If {
                     cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, owner_l),
                     then_body: vec![SStmt::Assign {
-                        lhs: SLval::Elem { array: *array, subs: lsubs },
+                        lhs: SLval::Elem {
+                            array: *array,
+                            subs: lsubs,
+                        },
                         rhs: r,
                     }],
                     else_body: vec![],
@@ -246,7 +304,10 @@ impl UnitCompiler<'_, '_> {
                         .iter()
                         .map(|s| self.rtr_expr(s, st.id, out))
                         .collect::<R<Vec<_>>>()?;
-                    let owner_r = SExpr::CurOwner { array: *ra, subs: rsubs_s.clone() };
+                    let owner_r = SExpr::CurOwner {
+                        array: *ra,
+                        subs: rsubs_s.clone(),
+                    };
                     let sect = SRect {
                         dims: rsubs_s.iter().map(|s| (s.clone(), s.clone(), 1)).collect(),
                     };
@@ -290,9 +351,13 @@ impl UnitCompiler<'_, '_> {
                 .iter()
                 .map(|s| self.rtr_expr(s, stmt, out))
                 .collect::<R<Vec<_>>>()?;
-            let owner_r = SExpr::CurOwner { array: ra, subs: rsubs_s.clone() };
-            let sect =
-                SRect { dims: rsubs_s.iter().map(|s| (s.clone(), s.clone(), 1)).collect() };
+            let owner_r = SExpr::CurOwner {
+                array: ra,
+                subs: rsubs_s.clone(),
+            };
+            let sect = SRect {
+                dims: rsubs_s.iter().map(|s| (s.clone(), s.clone(), 1)).collect(),
+            };
             out.push(SStmt::Bcast {
                 root: owner_r,
                 src_array: ra,
@@ -306,6 +371,7 @@ impl UnitCompiler<'_, '_> {
 
     /// Expression translation for run-time resolution: everything global,
     /// no local-index rewriting.
+    #[allow(clippy::only_used_in_recursion)] // stmt/out mirror the non-RTR walker
     fn rtr_expr(&mut self, e: &Expr, stmt: StmtId, out: &mut Vec<SStmt>) -> R<SExpr> {
         match e {
             Expr::Int(v) => Ok(SExpr::Int(*v)),
@@ -323,7 +389,10 @@ impl UnitCompiler<'_, '_> {
                     .iter()
                     .map(|s| self.rtr_expr(s, stmt, out))
                     .collect::<R<Vec<_>>>()?;
-                Ok(SExpr::Elem { array: *array, subs })
+                Ok(SExpr::Elem {
+                    array: *array,
+                    subs,
+                })
             }
             Expr::Bin { op, l, r } => {
                 let ls = self.rtr_expr(l, stmt, out)?;
@@ -343,20 +412,39 @@ impl UnitCompiler<'_, '_> {
                     .map(|a| self.rtr_expr(a, stmt, out))
                     .collect::<R<Vec<_>>>()?;
                 Ok(match name {
-                    Intrinsic::Abs => SExpr::Intr { name: SIntr::Abs, args },
-                    Intrinsic::Min => SExpr::Intr { name: SIntr::Min, args },
-                    Intrinsic::Max => SExpr::Intr { name: SIntr::Max, args },
-                    Intrinsic::Mod => SExpr::Intr { name: SIntr::Mod, args },
-                    Intrinsic::Sqrt => SExpr::Intr { name: SIntr::Sqrt, args },
-                    Intrinsic::Sign => SExpr::Intr { name: SIntr::Sign, args },
+                    Intrinsic::Abs => SExpr::Intr {
+                        name: SIntr::Abs,
+                        args,
+                    },
+                    Intrinsic::Min => SExpr::Intr {
+                        name: SIntr::Min,
+                        args,
+                    },
+                    Intrinsic::Max => SExpr::Intr {
+                        name: SIntr::Max,
+                        args,
+                    },
+                    Intrinsic::Mod => SExpr::Intr {
+                        name: SIntr::Mod,
+                        args,
+                    },
+                    Intrinsic::Sqrt => SExpr::Intr {
+                        name: SIntr::Sqrt,
+                        args,
+                    },
+                    Intrinsic::Sign => SExpr::Intr {
+                        name: SIntr::Sign,
+                        args,
+                    },
                     Intrinsic::Dble | Intrinsic::Float | Intrinsic::Int => {
                         args.into_iter().next().unwrap()
                     }
                 })
             }
-            Expr::FuncCall { .. } => {
-                Err(CodegenError::at(0, "user FUNCTION calls unsupported in SPMD"))
-            }
+            Expr::FuncCall { .. } => Err(CodegenError::at(
+                0,
+                "user FUNCTION calls unsupported in SPMD",
+            )),
         }
     }
 }

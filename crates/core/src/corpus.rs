@@ -129,7 +129,10 @@ pub fn relax_source(n: i64, shift: i64, steps: i64, nprocs: usize) -> String {
 pub fn fig15_source(t: i64, nprocs: usize) -> String {
     fortrand_analysis::fixtures::FIG15
         .replace("PARAMETER (t = 4)", &format!("PARAMETER (t = {t})"))
-        .replace("PARAMETER (n$proc = 4)", &format!("PARAMETER (n$proc = {nprocs})"))
+        .replace(
+            "PARAMETER (n$proc = 4)",
+            &format!("PARAMETER (n$proc = {nprocs})"),
+        )
 }
 
 /// The Fig. 4 program with a parameterized extent (delayed-instantiation
@@ -139,7 +142,10 @@ pub fn fig4_source(trips: i64, nprocs: usize) -> String {
     fortrand_analysis::fixtures::FIG4
         .replace("do i = 1,100", &format!("do i = 1,{trips}"))
         .replace("do j = 1,100", &format!("do j = 1,{trips}"))
-        .replace("PARAMETER (n$proc = 4)", &format!("PARAMETER (n$proc = {nprocs})"))
+        .replace(
+            "PARAMETER (n$proc = 4)",
+            &format!("PARAMETER (n$proc = {nprocs})"),
+        )
 }
 
 /// ADI-style alternating-direction integration: the motivating workload
@@ -186,6 +192,53 @@ pub fn adi_source(n: i64, steps: i64, nprocs: usize) -> String {
     )
 }
 
+/// A wide, call-independent corpus for compile-time benchmarking: `procs`
+/// leaf subroutines, each sweeping its own pair of BLOCK-distributed
+/// arrays with a distinct stencil shift, all called from the main program.
+/// The ACG is a single wavefront level of `procs` independent units below
+/// the root — the shape the wavefront-parallel code generator exploits.
+pub fn wide_corpus(procs: usize, n: i64, nprocs: usize) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "\n      PROGRAM main\n      PARAMETER (n = {n})\n      PARAMETER (n$proc = {nprocs})\n"
+    ));
+    for p in 0..procs {
+        s.push_str(&format!("      REAL x{p}({n}), y{p}({n})\n"));
+    }
+    for p in 0..procs {
+        s.push_str(&format!(
+            "      DISTRIBUTE x{p}(BLOCK)\n      DISTRIBUTE y{p}(BLOCK)\n"
+        ));
+    }
+    for p in 0..procs {
+        s.push_str(&format!("      call sweep{p}(x{p}, y{p}, n)\n"));
+    }
+    s.push_str("      END\n");
+    for p in 0..procs {
+        let shift = (p % 7) + 1;
+        s.push_str(&format!(
+            "\n      SUBROUTINE sweep{p}(u, v, n)\n      \
+             REAL u({n}), v({n})\n      \
+             INTEGER n, i\n      \
+             do i = 1, n-{shift}\n        \
+             v(i) = 0.5 * (u(i) + u(i+{shift}))\n      \
+             enddo\n      \
+             do i = 1, n-{shift}\n        \
+             u(i) = 0.5 * (v(i) + v(i+{shift}))\n      \
+             enddo\n      \
+             END\n"
+        ));
+    }
+    s
+}
+
+/// The [`wide_corpus`] program with one leaf's coefficient edited — the
+/// §8 incremental-compilation scenario (only that leaf should recompile;
+/// its residual shape is unchanged, so callers keep their code).
+pub fn wide_corpus_edited(procs: usize, n: i64, nprocs: usize) -> String {
+    wide_corpus(procs, n, nprocs).replacen("0.5 * (u(i)", "0.25 * (u(i)", 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +260,42 @@ mod tests {
             let diag = a[i * n as usize + i].abs();
             assert!(diag > 8.0, "weak diagonal at {i}: {diag}");
         }
+    }
+
+    #[test]
+    fn wide_corpus_compiles_in_every_mode() {
+        use crate::driver::{compile, CompileMode, CompileOptions};
+        let src = wide_corpus(6, 64, 4);
+        let seq = compile(&src, &CompileOptions::default()).unwrap();
+        assert_eq!(seq.spmd.procs.len(), 7);
+        let par = compile(
+            &src,
+            &CompileOptions {
+                mode: CompileMode::Parallel(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            fortrand_spmd::print::pretty_all(&seq.spmd),
+            fortrand_spmd::print::pretty_all(&par.spmd)
+        );
+    }
+
+    #[test]
+    fn wide_corpus_edit_recompiles_one_leaf() {
+        use crate::incremental::IncrementalEngine;
+        let mut eng = IncrementalEngine::new();
+        let opts = Default::default();
+        eng.compile(&wide_corpus(6, 64, 4), &opts).unwrap();
+        let out = eng.compile(&wide_corpus_edited(6, 64, 4), &opts).unwrap();
+        assert_eq!(out.recompiled.len(), 1, "{:?}", out.recompiled);
+        assert!(
+            out.recompiled.contains_key("sweep0"),
+            "{:?}",
+            out.recompiled
+        );
+        assert_eq!(out.reused.len(), 6);
     }
 
     #[test]

@@ -15,15 +15,33 @@
 //! must be recompiled after an edit (paper §8).
 
 use crate::cloning::{clone_for_decompositions, CloneResult};
-use crate::codegen::{self, CodegenError, Ctx};
+use crate::codegen::{self, CodegenError, CompiledUnit, Ctx};
 use crate::model::{DynOptLevel, Strategy};
-use crate::overlap;
+use crate::overlap::{self, Overlaps};
+use fortrand_analysis::acg::Acg;
+use fortrand_analysis::consts::InterConsts;
+use fortrand_analysis::reaching::ReachingDecomps;
+use fortrand_analysis::side_effects::SideEffects;
 use fortrand_analysis::{consts, side_effects};
 use fortrand_frontend::parse_program;
+use fortrand_frontend::sema::ProgramInfo;
+use fortrand_frontend::SourceProgram;
+use fortrand_ir::{Interner, Sym};
 use fortrand_spmd::ir::{SStmt, SpmdProgram};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+
+/// How the code-generation phase is scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompileMode {
+    /// One unit at a time, in reverse topological order over the ACG.
+    Sequential,
+    /// Wavefront-parallel over the ACG with up to this many worker
+    /// threads (clamped to ≥ 1). Output is byte-identical to
+    /// [`CompileMode::Sequential`].
+    Parallel(usize),
+}
 
 /// Compilation options.
 #[derive(Clone, Debug)]
@@ -38,6 +56,8 @@ pub struct CompileOptions {
     /// Cloning growth threshold before falling back to run-time
     /// resolution (paper §5.2).
     pub clone_limit: usize,
+    /// Code-generation schedule.
+    pub mode: CompileMode,
 }
 
 impl Default for CompileOptions {
@@ -47,6 +67,7 @@ impl Default for CompileOptions {
             nprocs: None,
             dyn_opt: DynOptLevel::Kills,
             clone_limit: 64,
+            mode: CompileMode::Sequential,
         }
     }
 }
@@ -108,12 +129,55 @@ pub struct CompileOutput {
     pub report: CompileReport,
 }
 
-/// Compiles Fortran D source to an SPMD node program.
-pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompileOutput, CompileError> {
+/// The product of phases 1 and 2: everything code generation consumes.
+///
+/// Factored out of [`compile`] so the incremental engine
+/// ([`crate::incremental`]) can run the analysis pipeline once, then make
+/// per-unit recompile-or-reuse decisions during the codegen sweep.
+pub(crate) struct Analysis {
+    pub prog: SourceProgram,
+    pub info: ProgramInfo,
+    pub acg: Acg,
+    pub reaching: ReachingDecomps,
+    pub clones: BTreeMap<Sym, Vec<Sym>>,
+    pub strategy: Strategy,
+    pub strategy_used: String,
+    pub nprocs: usize,
+    pub ic: InterConsts,
+    pub se: SideEffects,
+    pub overlaps: Overlaps,
+}
+
+impl Analysis {
+    /// Borrows a codegen context from the analysis results.
+    pub fn ctx(&self, dyn_opt: DynOptLevel) -> Ctx<'_> {
+        Ctx {
+            prog: &self.prog,
+            info: &self.info,
+            acg: &self.acg,
+            reaching: &self.reaching,
+            se: &self.se,
+            consts: &self.ic,
+            overlaps: &self.overlaps,
+            nprocs: self.nprocs,
+            strategy: self.strategy,
+            dyn_opt,
+        }
+    }
+}
+
+/// Phases 1 and 2: parse, clone, and solve the interprocedural problems.
+pub(crate) fn analyze(source: &str, opts: &CompileOptions) -> Result<Analysis, CompileError> {
     // Phase 1+2a: parse, then clone to unique reaching decompositions.
     let parsed = parse_program(source).map_err(CompileError::Frontend)?;
-    let CloneResult { prog, info, acg, reaching, clones, unresolved } =
-        clone_for_decompositions(parsed, opts.clone_limit).map_err(CompileError::Graph)?;
+    let CloneResult {
+        prog,
+        info,
+        acg,
+        reaching,
+        clones,
+        unresolved,
+    } = clone_for_decompositions(parsed, opts.clone_limit).map_err(CompileError::Graph)?;
 
     let mut strategy = opts.strategy;
     let mut strategy_used = format!("{strategy:?}");
@@ -139,31 +203,57 @@ pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompileOutput, Com
     let se = side_effects::compute(&prog, &info, &acg);
     let overlaps = overlap::compute(&prog, &info, &acg);
 
-    // Phase 3: reverse-topological code generation.
-    let ctx = Ctx {
-        prog: &prog,
-        info: &info,
-        acg: &acg,
-        reaching: &reaching,
-        se: &se,
-        consts: &ic,
-        overlaps: &overlaps,
-        nprocs,
+    Ok(Analysis {
+        prog,
+        info,
+        acg,
+        reaching,
+        clones,
         strategy,
-        dyn_opt: opts.dyn_opt,
-    };
-    let (spmd, compiled) = codegen::compile_all(&ctx).map_err(CompileError::Codegen)?;
-
-    // Report.
-    let mut report = CompileReport {
-        nprocs,
         strategy_used,
-        clones: clones
+        nprocs,
+        ic,
+        se,
+        overlaps,
+    })
+}
+
+/// Compiles Fortran D source to an SPMD node program.
+pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompileOutput, CompileError> {
+    let an = analyze(source, opts)?;
+
+    // Phase 3: reverse-topological code generation, sequential or
+    // wavefront-parallel (identical output either way).
+    let ctx = an.ctx(opts.dyn_opt);
+    let (spmd, compiled) = match opts.mode {
+        CompileMode::Sequential => codegen::compile_all(&ctx),
+        CompileMode::Parallel(threads) => codegen::compile_all_parallel(&ctx, threads),
+    }
+    .map_err(CompileError::Codegen)?;
+
+    let report = build_report(&an, &spmd, &compiled);
+    Ok(CompileOutput { spmd, report })
+}
+
+/// Builds the statistics + recompilation-hash report for a finished
+/// compile.
+pub(crate) fn build_report(
+    an: &Analysis,
+    spmd: &SpmdProgram,
+    compiled: &BTreeMap<Sym, CompiledUnit>,
+) -> CompileReport {
+    let mut report = CompileReport {
+        nprocs: an.nprocs,
+        strategy_used: an.strategy_used.clone(),
+        clones: an
+            .clones
             .iter()
             .map(|(k, v)| {
                 (
-                    prog.interner.name(*k).to_string(),
-                    v.iter().map(|s| prog.interner.name(*s).to_string()).collect(),
+                    an.prog.interner.name(*k).to_string(),
+                    v.iter()
+                        .map(|s| an.prog.interner.name(*s).to_string())
+                        .collect(),
                 )
             })
             .collect(),
@@ -172,35 +262,48 @@ pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompileOutput, Com
     for p in &spmd.procs {
         count_static(&p.body, &mut report);
     }
-    for u in &prog.units {
-        let name = prog.interner.name(u.name).to_string();
-        report.source_hashes.insert(name.clone(), hash_of(&format!("{:?}", unit_fingerprint(u))));
-        // Facts a unit's code depends on: its reaching decompositions, the
-        // interprocedural constants of its formals, its overlap widths,
-        // and its callees' residuals.
-        let mut facts = String::new();
-        if let Some(r) = reaching.reaching.get(&u.name) {
-            facts.push_str(&format!("{r:?}"));
-        }
-        for (&(unit, f), v) in &ic.formals {
-            if unit == u.name {
-                facts.push_str(&format!("{f:?}={v};"));
-            }
-        }
-        for ((unit, arr), w) in &overlaps.widths {
-            if *unit == u.name {
-                facts.push_str(&format!("{arr:?}:{w:?};"));
-            }
-        }
-        for edge in acg.calls.get(&u.name).into_iter().flatten() {
-            if let Some(cu) = compiled.get(&edge.callee) {
-                facts.push_str(&format!("{:?}{:?}", cu.residual, cu.dyn_summary));
-            }
-        }
-        report.fact_hashes.insert(name, hash_of(&facts));
+    for u in &an.prog.units {
+        let name = an.prog.interner.name(u.name).to_string();
+        report.source_hashes.insert(
+            name.clone(),
+            stable_hash(&unit_fingerprint(u), &an.prog.interner),
+        );
+        report.fact_hashes.insert(
+            name,
+            stable_hash(&unit_facts(an, u.name, compiled), &an.prog.interner),
+        );
     }
+    report
+}
 
-    Ok(CompileOutput { spmd, report })
+/// Renders the interprocedural facts unit `name`'s compiled code depends
+/// on: its reaching decompositions, the interprocedural constants of its
+/// formals, its overlap widths, and its callees' residuals.
+pub(crate) fn unit_facts(
+    an: &Analysis,
+    name: Sym,
+    compiled: &BTreeMap<Sym, CompiledUnit>,
+) -> String {
+    let mut facts = String::new();
+    if let Some(r) = an.reaching.reaching.get(&name) {
+        facts.push_str(&format!("{r:?}"));
+    }
+    for (&(unit, f), v) in &an.ic.formals {
+        if unit == name {
+            facts.push_str(&format!("{f:?}={v};"));
+        }
+    }
+    for ((unit, arr), w) in &an.overlaps.widths {
+        if *unit == name {
+            facts.push_str(&format!("{arr:?}:{w:?};"));
+        }
+    }
+    for edge in an.acg.calls.get(&name).into_iter().flatten() {
+        if let Some(cu) = compiled.get(&edge.callee) {
+            facts.push_str(&format!("{:?}{:?}", cu.residual, cu.dyn_summary));
+        }
+    }
+    facts
 }
 
 fn count_static(body: &[SStmt], r: &mut CompileReport) {
@@ -212,7 +315,11 @@ fn count_static(body: &[SStmt], r: &mut CompileReport) {
             SStmt::Remap { .. } | SStmt::RemapGlobal { .. } => r.static_remaps += 1,
             SStmt::MarkDist { .. } => r.static_marks += 1,
             SStmt::Do { body, .. } => count_static(body, r),
-            SStmt::If { then_body, else_body, .. } => {
+            SStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 count_static(then_body, r);
                 count_static(else_body, r);
             }
@@ -223,7 +330,7 @@ fn count_static(body: &[SStmt], r: &mut CompileReport) {
 
 /// A stable structural fingerprint of a unit (names + statement kinds),
 /// independent of statement ids so cloning renumbering doesn't perturb it.
-fn unit_fingerprint(u: &fortrand_frontend::ProcUnit) -> String {
+pub(crate) fn unit_fingerprint(u: &fortrand_frontend::ProcUnit) -> String {
     let mut s = format!("{:?}|{:?}|{:?}|", u.kind, u.name, u.formals);
     for st in u.walk() {
         s.push_str(&format!("{:?};", kind_tag(&st.kind)));
@@ -235,13 +342,20 @@ fn kind_tag(k: &fortrand_frontend::StmtKind) -> String {
     use fortrand_frontend::StmtKind::*;
     match k {
         Assign { lhs, rhs } => format!("A{lhs:?}={rhs:?}"),
-        Do { var, lo, hi, step, .. } => format!("D{var:?}{lo:?}{hi:?}{step:?}"),
+        Do {
+            var, lo, hi, step, ..
+        } => format!("D{var:?}{lo:?}{hi:?}{step:?}"),
         If { cond, .. } => format!("I{cond:?}"),
         Call { name, args } => format!("C{name:?}{args:?}"),
         Return => "R".into(),
         Continue => "K".into(),
         Stop => "S".into(),
-        Align { array, target, perm, offset } => format!("L{array:?}{target:?}{perm:?}{offset:?}"),
+        Align {
+            array,
+            target,
+            perm,
+            offset,
+        } => format!("L{array:?}{target:?}{perm:?}{offset:?}"),
         Distribute { target, kinds } => format!("T{target:?}{kinds:?}"),
         Print { args } => format!("P{args:?}"),
     }
@@ -251,6 +365,42 @@ fn hash_of(s: &str) -> u64 {
     let mut h = DefaultHasher::new();
     s.hash(&mut h);
     h.finish()
+}
+
+/// Hashes a debug-rendered fact string after resolving `Sym(<id>)`
+/// occurrences to `Sym(<name>)`.
+///
+/// Interner ids are assigned in parse order, so an edit that adds or
+/// removes an identifier early in the file shifts the ids of every later
+/// symbol — which would spuriously change the hashes of *unedited* units
+/// and defeat the §8 recompilation analysis. Resolving ids to names makes
+/// the hashes depend only on what the facts actually say.
+pub(crate) fn stable_hash(s: &str, interner: &Interner) -> u64 {
+    hash_of(&resolve_syms(s, interner))
+}
+
+fn resolve_syms(s: &str, interner: &Interner) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find("Sym(") {
+        let (before, after) = rest.split_at(pos + 4);
+        out.push_str(before);
+        match after.find(')') {
+            Some(end) if after[..end].bytes().all(|b| b.is_ascii_digit()) && end > 0 => {
+                let id: usize = after[..end].parse().expect("digits");
+                if id < interner.len() {
+                    out.push_str(interner.name(Sym(id as u32)));
+                } else {
+                    out.push_str(&after[..end]);
+                }
+                out.push(')');
+                rest = &after[end + 1..];
+            }
+            _ => rest = after,
+        }
+    }
+    out.push_str(rest);
+    out
 }
 
 #[cfg(test)]
@@ -272,7 +422,10 @@ mod tests {
     fn fig1_runtime_resolution_uses_element_messages() {
         let out = compile(
             FIG1,
-            &CompileOptions { strategy: Strategy::RuntimeResolution, ..Default::default() },
+            &CompileOptions {
+                strategy: Strategy::RuntimeResolution,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(out.report.static_elem_msgs > 0);
@@ -293,7 +446,10 @@ mod tests {
         let count = |lvl: DynOptLevel| {
             let out = compile(
                 FIG15,
-                &CompileOptions { dyn_opt: lvl, ..Default::default() },
+                &CompileOptions {
+                    dyn_opt: lvl,
+                    ..Default::default()
+                },
             )
             .unwrap();
             (out.report.static_remaps, out.report.static_marks)
@@ -305,16 +461,57 @@ mod tests {
     }
 
     #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        for src in [FIG1, FIG4, FIG15] {
+            let seq = compile(src, &CompileOptions::default()).unwrap();
+            for threads in [1, 2, 4] {
+                let par = compile(
+                    src,
+                    &CompileOptions {
+                        mode: CompileMode::Parallel(threads),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    fortrand_spmd::print::pretty_all(&par.spmd),
+                    fortrand_spmd::print::pretty_all(&seq.spmd),
+                    "threads={threads}"
+                );
+                assert_eq!(par.spmd.main, seq.spmd.main);
+                assert_eq!(par.report.fact_hashes, seq.report.fact_hashes);
+            }
+        }
+    }
+
+    #[test]
     fn nprocs_override_wins() {
-        let out =
-            compile(FIG1, &CompileOptions { nprocs: Some(2), ..Default::default() }).unwrap();
+        let out = compile(
+            FIG1,
+            &CompileOptions {
+                nprocs: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(out.spmd.nprocs, 2);
     }
 
     #[test]
     fn clone_limit_falls_back_to_runtime_resolution() {
-        let out = compile(FIG4, &CompileOptions { clone_limit: 1, ..Default::default() }).unwrap();
-        assert!(out.report.strategy_used.contains("fallback"), "{}", out.report.strategy_used);
+        let out = compile(
+            FIG4,
+            &CompileOptions {
+                clone_limit: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            out.report.strategy_used.contains("fallback"),
+            "{}",
+            out.report.strategy_used
+        );
         assert!(out.report.static_elem_msgs > 0);
     }
 }

@@ -79,7 +79,13 @@ pub fn summarize(
             .reaching
             .get(&unit.name)
             .and_then(|m| m.get(&array))
-            .and_then(|set| if set.len() == 1 { set.iter().next().cloned() } else { None })
+            .and_then(|set| {
+                if set.len() == 1 {
+                    set.iter().next().cloned()
+                } else {
+                    None
+                }
+            })
     };
 
     // Walk in pre-order tracking which arrays have been redistributed.
@@ -224,7 +230,11 @@ enum Ev {
         dead: bool,
     },
     /// A use of `array` requiring `spec`.
-    Use { array: Sym, spec: DecompSpec, value_kill: bool },
+    Use {
+        array: Sym,
+        spec: DecompSpec,
+        value_kill: bool,
+    },
     /// A loop with nested events.
     Loop { stmt: StmtId, body: Vec<Ev> },
 }
@@ -252,20 +262,40 @@ fn build_events(
                     body: build_events(body, unit, info, callee_summaries, reaching),
                 });
             }
-            StmtKind::If { then_body, else_body, .. } => {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 // Conservative: treat both branches' events as sequential.
-                out.extend(build_events(then_body, unit, info, callee_summaries, reaching));
-                out.extend(build_events(else_body, unit, info, callee_summaries, reaching));
+                out.extend(build_events(
+                    then_body,
+                    unit,
+                    info,
+                    callee_summaries,
+                    reaching,
+                ));
+                out.extend(build_events(
+                    else_body,
+                    unit,
+                    info,
+                    callee_summaries,
+                    reaching,
+                ));
             }
             StmtKind::Call { name, args } => {
-                let Some(cs) = callee_summaries.get(name) else { continue };
+                let Some(cs) = callee_summaries.get(name) else {
+                    continue;
+                };
                 let callee_info = info.unit(*name);
                 for (i, a) in args.iter().enumerate() {
                     let Expr::Var(v) = a else { continue };
                     if !ui.is_array(*v) {
                         continue;
                     }
-                    let Some(&f) = callee_info.formals.get(i) else { continue };
+                    let Some(&f) = callee_info.formals.get(i) else {
+                        continue;
+                    };
                     // Spec needed before the call.
                     let before_spec = cs.before.iter().find(|(bf, _)| *bf == f).map(|(_, s)| s);
                     let inherited = reaching
@@ -327,7 +357,11 @@ fn build_events(
                         .and_then(|m| m.get(&v))
                         .and_then(|s| if s.len() == 1 { s.iter().next() } else { None })
                     {
-                        out.push(Ev::Use { array: v, spec: spec.clone(), value_kill: false });
+                        out.push(Ev::Use {
+                            array: v,
+                            spec: spec.clone(),
+                            value_kill: false,
+                        });
                     }
                 }
             }
@@ -361,7 +395,11 @@ enum Next {
 fn scan_next(events: &[Ev], array: Sym) -> Next {
     for e in events {
         match e {
-            Ev::Remap { array: a, dead: false, .. } if *a == array => return Next::Remap,
+            Ev::Remap {
+                array: a,
+                dead: false,
+                ..
+            } if *a == array => return Next::Remap,
             Ev::Use { array: a, spec, .. } if *a == array => return Next::Use(spec.clone()),
             Ev::Loop { body, .. } => match scan_next(body, array) {
                 Next::End => {}
@@ -397,7 +435,9 @@ fn remove_dead_in(events: &mut Vec<Ev>, exit_cont: &[Ev], wrap: Option<&[Ev]>) {
             continue;
         }
         let array = match &events[i] {
-            Ev::Remap { array, dead: false, .. } => *array,
+            Ev::Remap {
+                array, dead: false, ..
+            } => *array,
             _ => continue,
         };
         let rest: Vec<Ev> = snapshot[i + 1..].to_vec();
@@ -525,13 +565,19 @@ fn mark_kills(events: &mut [Ev]) {
     for i in 0..events.len() {
         match &mut events[i] {
             Ev::Loop { body, .. } => mark_kills(body),
-            Ev::Remap { array, mark_only, .. } => {
+            Ev::Remap {
+                array, mark_only, ..
+            } => {
                 let array = *array;
                 // Next event for this array at this level.
                 let mut found = None;
                 for e in &snapshot[i + 1..] {
                     match e {
-                        Ev::Use { array: a, value_kill, .. } if *a == array => {
+                        Ev::Use {
+                            array: a,
+                            value_kill,
+                            ..
+                        } if *a == array => {
                             found = Some(*value_kill);
                             break;
                         }
@@ -539,12 +585,11 @@ fn mark_kills(events: &mut [Ev]) {
                             found = Some(false);
                             break;
                         }
-                        Ev::Loop { body, .. }
-                            if scan_next(body, array) != Next::End => {
-                                // Uses inside the loop: be conservative.
-                                found = Some(false);
-                                break;
-                            }
+                        Ev::Loop { body, .. } if scan_next(body, array) != Next::End => {
+                            // Uses inside the loop: be conservative.
+                            found = Some(false);
+                            break;
+                        }
                         _ => {}
                     }
                 }
@@ -560,9 +605,18 @@ fn mark_kills(events: &mut [Ev]) {
 fn collect_placements(events: &[Ev], out: &mut Placements) {
     for e in events {
         match e {
-            Ev::Remap { array, to, mark_only, anchor, dead: false } => {
-                let action =
-                    RemapAction { array: *array, to: to.clone(), mark_only: *mark_only };
+            Ev::Remap {
+                array,
+                to,
+                mark_only,
+                anchor,
+                dead: false,
+            } => {
+                let action = RemapAction {
+                    array: *array,
+                    to: to.clone(),
+                    mark_only: *mark_only,
+                };
                 match anchor {
                     Anchor::Before(s) => out.before.entry(*s).or_default().push(action),
                     Anchor::After(s) => out.after.entry(*s).or_default().push(action),
@@ -600,7 +654,12 @@ mod tests {
             let s = summarize(unit, info.unit(name), &info, &rd, &summaries, &se);
             summaries.insert(name, s);
         }
-        Setup { prog, info, summaries, reaching: rd }
+        Setup {
+            prog,
+            info,
+            summaries,
+            reaching: rd,
+        }
     }
 
     fn placements_at(level: DynOptLevel) -> (Setup, Placements) {
@@ -621,9 +680,15 @@ mod tests {
         assert!(s1.uses.is_empty(), "{s1:?}");
         assert!(s1.kills.contains(&x));
         assert_eq!(s1.before.len(), 1);
-        assert_eq!(s1.before[0].1.kinds, vec![fortrand_ir::dist::DistKind::Cyclic]);
+        assert_eq!(
+            s1.before[0].1.kinds,
+            vec![fortrand_ir::dist::DistKind::Cyclic]
+        );
         assert_eq!(s1.after.len(), 1);
-        assert_eq!(s1.after[0].1.kinds, vec![fortrand_ir::dist::DistKind::Block]);
+        assert_eq!(
+            s1.after[0].1.kinds,
+            vec![fortrand_ir::dist::DistKind::Block]
+        );
         let s2 = &s.summaries[&f2];
         assert!(s2.uses.contains(&x));
         assert!(s2.kills.is_empty());
@@ -667,8 +732,12 @@ mod tests {
     #[test]
     fn fig16d_array_kill_marks() {
         let (_, p) = placements_at(DynOptLevel::Kills);
-        let actions: Vec<&RemapAction> =
-            p.before.values().chain(p.after.values()).flatten().collect();
+        let actions: Vec<&RemapAction> = p
+            .before
+            .values()
+            .chain(p.after.values())
+            .flatten()
+            .collect();
         assert_eq!(actions.len(), 2);
         assert!(actions.iter().any(|a| a.mark_only), "{actions:?}");
         assert!(actions.iter().any(|a| !a.mark_only), "{actions:?}");

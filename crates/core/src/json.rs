@@ -1,0 +1,415 @@
+//! Minimal hand-rolled JSON used for the persistent module database.
+//!
+//! The build environment has no registry access, so instead of serde this
+//! module provides a small [`Json`] tree with an emitter and a
+//! recursive-descent parser. It supports the full JSON grammar except
+//! floating-point numbers (integers only — the database stores 64-bit
+//! hashes as hex *strings* precisely because JSON numbers are f64 and
+//! would silently truncate them).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers are integers (`i128` covers the full `u64`/`i64`
+/// range); objects preserve insertion order so emission is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Hex-string encoding for a 64-bit hash (lossless, unlike a JSON
+    /// number).
+    pub fn hex_u64(v: u64) -> Json {
+        Json::Str(format!("{v:#018x}"))
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Decodes a [`Json::hex_u64`]-encoded hash.
+    pub fn as_hex_u64(&self) -> Option<u64> {
+        let s = self.as_str()?;
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        u64::from_str_radix(s, 16).ok()
+    }
+
+    /// Pretty-prints with 2-space indentation and a trailing newline, the
+    /// canonical on-disk form of the module database.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.emit(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn emit(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => emit_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.emit(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    emit_string(out, k);
+                    out.push_str(": ");
+                    v.emit(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn emit_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document; trailing whitespace is allowed, trailing content
+/// is an error.
+pub fn parse(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char, self.pos, self.bytes[self.pos] as char
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.keyword("true", Json::Bool(true)),
+            b'f' => self.keyword("false", Json::Bool(false)),
+            b'n' => self.keyword("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(format!("expected {kw:?} at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err(format!(
+                "floating-point numbers unsupported (byte {start}); store as strings"
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by the db
+                            // format; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk =
+                        std::str::from_utf8(&self.bytes[start..end]).map_err(|e| e.to_string())?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = Json::Obj(vec![
+            (
+                "units".into(),
+                Json::Obj(vec![(
+                    "p1".into(),
+                    Json::Obj(vec![
+                        ("source_hash".into(), Json::hex_u64(u64::MAX)),
+                        ("level".into(), Json::Int(2)),
+                        (
+                            "deps".into(),
+                            Json::Arr(vec![Json::str("f1"), Json::str("f2$1")]),
+                        ),
+                    ]),
+                )]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("flag".into(), Json::Bool(true)),
+            ("nothing".into(), Json::Null),
+            ("neg".into(), Json::Int(-42)),
+        ]);
+        let text = v.pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn hex_u64_is_lossless() {
+        for v in [0u64, 1, u64::MAX, 0x8000_0000_0000_0001, (1 << 53) + 1] {
+            assert_eq!(Json::hex_u64(v).as_hex_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Json::str("a\"b\\c\nd\te\u{1}é");
+        let back = parse(&v.pretty()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn rejects_floats_and_trailing_garbage() {
+        assert!(parse("1.5").is_err());
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\": }").is_err());
+    }
+}

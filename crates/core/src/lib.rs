@@ -37,15 +37,20 @@
 //! ```
 
 pub mod cloning;
-pub mod corpus;
 pub mod codegen;
+pub mod corpus;
 pub mod driver;
 pub mod dynamic_decomp;
+pub mod incremental;
+pub mod json;
 pub mod model;
 pub mod overlap;
 pub mod recompile;
 pub mod seq;
 
-pub use driver::{compile, CompileError, CompileOptions, CompileOutput, CompileReport};
+pub use driver::{
+    compile, CompileError, CompileMode, CompileOptions, CompileOutput, CompileReport,
+};
+pub use incremental::{IncrementalEngine, IncrementalOutput};
 pub use model::{DynOptLevel, Strategy};
 pub use seq::run_sequential;

@@ -68,14 +68,22 @@ pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> Overlaps 
 
     // Bottom-up: callee formal offsets → caller actual arrays.
     for unit in acg.reverse_topo() {
-        let edges: Vec<_> = acg.calls.get(&unit).into_iter().flatten().cloned().collect();
+        let edges: Vec<_> = acg
+            .calls
+            .get(&unit)
+            .into_iter()
+            .flatten()
+            .cloned()
+            .collect();
         for e in edges {
             let callee_formals = info.unit(e.callee).formals.clone();
             for (i, &f) in callee_formals.iter().enumerate() {
                 if !info.unit(e.callee).is_array(f) {
                     continue;
                 }
-                let Some(callee_w) = o.widths.get(&(e.callee, f)).cloned() else { continue };
+                let Some(callee_w) = o.widths.get(&(e.callee, f)).cloned() else {
+                    continue;
+                };
                 if let Some(Expr::Var(a)) = e.actuals.get(i) {
                     let a = *a;
                     if info.unit(e.caller).is_array(a) {
@@ -97,7 +105,13 @@ pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> Overlaps 
 
     // Top-down: caller widths → callee formals, so declarations agree.
     for &unit in &acg.topo {
-        let edges: Vec<_> = acg.calls.get(&unit).into_iter().flatten().cloned().collect();
+        let edges: Vec<_> = acg
+            .calls
+            .get(&unit)
+            .into_iter()
+            .flatten()
+            .cloned()
+            .collect();
         for e in edges {
             let callee_formals = info.unit(e.callee).formals.clone();
             for (i, &f) in callee_formals.iter().enumerate() {

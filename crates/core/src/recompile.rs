@@ -12,18 +12,18 @@
 //! produce a recompilation plan.
 
 use crate::driver::CompileReport;
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Json};
 use std::collections::BTreeMap;
 
 /// Persisted per-program compilation records.
-#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ModuleDb {
     /// Per-unit records, keyed by unit name.
     pub units: BTreeMap<String, UnitRecord>,
 }
 
 /// One unit's record.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UnitRecord {
     /// Hash of the unit's own source (structural fingerprint).
     pub source_hash: u64,
@@ -37,19 +37,62 @@ impl ModuleDb {
         let mut db = ModuleDb::default();
         for (name, &source_hash) in &report.source_hashes {
             let facts_hash = report.fact_hashes.get(name).copied().unwrap_or(0);
-            db.units.insert(name.clone(), UnitRecord { source_hash, facts_hash });
+            db.units.insert(
+                name.clone(),
+                UnitRecord {
+                    source_hash,
+                    facts_hash,
+                },
+            );
         }
         db
     }
 
-    /// Serializes to JSON (the on-disk module database).
+    /// Serializes to JSON (the on-disk module database). Hashes are stored
+    /// as hex strings because JSON numbers cannot represent all of `u64`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("db serializes")
+        let units = self
+            .units
+            .iter()
+            .map(|(name, rec)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("source_hash".into(), Json::hex_u64(rec.source_hash)),
+                        ("facts_hash".into(), Json::hex_u64(rec.facts_hash)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![("units".into(), Json::Obj(units))]).pretty()
     }
 
     /// Deserializes from JSON.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let root = json::parse(s)?;
+        let units = root
+            .get("units")
+            .and_then(Json::as_obj)
+            .ok_or("module db: missing \"units\" object")?;
+        let mut db = ModuleDb::default();
+        for (name, rec) in units {
+            let source_hash = rec
+                .get("source_hash")
+                .and_then(Json::as_hex_u64)
+                .ok_or_else(|| format!("module db: unit {name}: bad source_hash"))?;
+            let facts_hash = rec
+                .get("facts_hash")
+                .and_then(Json::as_hex_u64)
+                .ok_or_else(|| format!("module db: unit {name}: bad facts_hash"))?;
+            db.units.insert(
+                name.clone(),
+                UnitRecord {
+                    source_hash,
+                    facts_hash,
+                },
+            );
+        }
+        Ok(db)
     }
 }
 
@@ -135,10 +178,7 @@ mod tests {
         let b = db_of(&edited);
         let p = plan(&a, &b);
         // The edited unit's clones are recompiled for source change.
-        assert!(p
-            .recompile
-            .keys()
-            .all(|k| k.starts_with("f2")), "{p:?}");
+        assert!(p.recompile.keys().all(|k| k.starts_with("f2")), "{p:?}");
         assert!(!p.recompile.is_empty());
         // F1 clones and P1 keep their compiled code... unless the edit
         // changed F2's residual (here the stencil is unchanged in shape,
@@ -166,11 +206,16 @@ mod tests {
     fn stencil_width_edit_changes_caller_facts() {
         // Widening the stencil changes F2's residual (overlaps + nonlocal
         // sets), which P1's compiled code consumed.
-        let edited = FIG4.replace("Z(k+5,i)", "Z(k+7,i)").replace("do k = 1,95", "do k = 1,93");
+        let edited = FIG4
+            .replace("Z(k+5,i)", "Z(k+7,i)")
+            .replace("do k = 1,95", "do k = 1,93");
         let a = db_of(FIG4);
         let b = db_of(&edited);
         let p = plan(&a, &b);
-        assert!(p.recompile.contains_key("p1"), "caller consumed changed residual: {p:?}");
+        assert!(
+            p.recompile.contains_key("p1"),
+            "caller consumed changed residual: {p:?}"
+        );
     }
 
     #[test]

@@ -100,8 +100,18 @@ pub fn run_sequential(
     init: &BTreeMap<Sym, Vec<f64>>,
 ) -> SeqOutput {
     let main = prog.main_unit().expect("no PROGRAM unit");
-    let mut s = Seq { prog, info, heap: Vec::new(), frames: Vec::new(), printed: Vec::new(), fn_result: vec![] };
-    let mut frame = Frame { arrays: FxHashMap::default(), scalars: FxHashMap::default() };
+    let mut s = Seq {
+        prog,
+        info,
+        heap: Vec::new(),
+        frames: Vec::new(),
+        printed: Vec::new(),
+        fn_result: vec![],
+    };
+    let mut frame = Frame {
+        arrays: FxHashMap::default(),
+        scalars: FxHashMap::default(),
+    };
     let ui = info.unit(main.name);
     for (&name, vi) in &ui.vars {
         if vi.is_array() {
@@ -112,13 +122,20 @@ pub fn run_sequential(
                 data.copy_from_slice(v);
             }
             let id = s.heap.len();
-            s.heap.push(Arr { dims: vi.dims.clone(), lower: vi.lower.clone(), data });
+            s.heap.push(Arr {
+                dims: vi.dims.clone(),
+                lower: vi.lower.clone(),
+                data,
+            });
             frame.arrays.insert(name, id);
         }
     }
     s.frames.push(frame);
     let _ = s.body(&main.body, main.name);
-    let mut out = SeqOutput { printed: std::mem::take(&mut s.printed), ..Default::default() };
+    let mut out = SeqOutput {
+        printed: std::mem::take(&mut s.printed),
+        ..Default::default()
+    };
     let frame = s.frames.pop().unwrap();
     for (&name, vi) in &ui.vars {
         if vi.is_array() {
@@ -168,7 +185,13 @@ impl Seq<'_> {
                 }
                 Flow::Normal
             }
-            StmtKind::Do { var, lo, hi, step, body } => {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo = self.eval(lo, unit).i();
                 let hi = self.eval(hi, unit).i();
                 let st = step.as_ref().map(|e| self.eval(e, unit).i()).unwrap_or(1);
@@ -184,7 +207,11 @@ impl Seq<'_> {
                 }
                 Flow::Normal
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 if self.eval(cond, unit).truthy() {
                     self.body(then_body, unit)
                 } else {
@@ -209,7 +236,9 @@ impl Seq<'_> {
                 Flow::Normal
             }
             // Data placement statements have no sequential meaning.
-            StmtKind::Align { .. } | StmtKind::Distribute { .. } | StmtKind::Continue => Flow::Normal,
+            StmtKind::Align { .. } | StmtKind::Distribute { .. } | StmtKind::Continue => {
+                Flow::Normal
+            }
         }
     }
 
@@ -217,7 +246,10 @@ impl Seq<'_> {
     fn invoke(&mut self, name: Sym, args: &[Expr], caller: Sym) -> V {
         let unit = self.prog.unit(name).expect("callee exists");
         let ui = self.info.unit(name);
-        let mut frame = Frame { arrays: FxHashMap::default(), scalars: FxHashMap::default() };
+        let mut frame = Frame {
+            arrays: FxHashMap::default(),
+            scalars: FxHashMap::default(),
+        };
         // Copy-back list for scalar actuals that are plain variables.
         let mut copy_back: Vec<(Sym, Sym)> = Vec::new(); // (formal, caller var)
         for (i, &f) in unit.formals.iter().enumerate() {
@@ -246,7 +278,11 @@ impl Seq<'_> {
             if vi.is_array() && !frame.arrays.contains_key(&v) {
                 let len: i64 = vi.dims.iter().product();
                 let id = self.heap.len();
-                self.heap.push(Arr { dims: vi.dims.clone(), lower: vi.lower.clone(), data: vec![0.0; len as usize] });
+                self.heap.push(Arr {
+                    dims: vi.dims.clone(),
+                    lower: vi.lower.clone(),
+                    data: vec![0.0; len as usize],
+                });
                 frame.arrays.insert(v, id);
             }
         }
@@ -256,7 +292,11 @@ impl Seq<'_> {
             self.fn_result.push((name, V::R(0.0)));
         }
         let _ = self.body(&unit.body, name);
-        let result = if is_fn { self.fn_result.pop().unwrap().1 } else { V::R(0.0) };
+        let result = if is_fn {
+            self.fn_result.pop().unwrap().1
+        } else {
+            V::R(0.0)
+        };
         let callee_frame = self.frames.pop().unwrap();
         // Fortran copy-out for scalar var actuals.
         for (f, a) in copy_back {
@@ -278,7 +318,13 @@ impl Seq<'_> {
                 }
                 // Uninitialized variables read as zero (out-parameters are
                 // evaluated before the callee defines them).
-                self.frames.last().unwrap().scalars.get(x).copied().unwrap_or(V::I(0))
+                self.frames
+                    .last()
+                    .unwrap()
+                    .scalars
+                    .get(x)
+                    .copied()
+                    .unwrap_or(V::I(0))
             }
             Expr::Element { array, subs } => {
                 let idx: Vec<i64> = subs.iter().map(|s| self.eval(s, unit).i()).collect();
@@ -401,7 +447,10 @@ mod tests {
 
     #[test]
     fn fig1_semantics() {
-        let (p, out) = run(fortrand_analysis::fixtures::FIG1, &[("x", (1..=100).map(|v| v as f64).collect())]);
+        let (p, out) = run(
+            fortrand_analysis::fixtures::FIG1,
+            &[("x", (1..=100).map(|v| v as f64).collect())],
+        );
         let x = p.interner.get("x").unwrap();
         let got = &out.arrays[&x];
         // x(i) = 0.5 * x(i+5) for i=1..95, in order; later reads see

@@ -69,7 +69,9 @@ impl ProcUnit {
     /// Iterates over every statement in the body, recursively, in source
     /// (pre-) order.
     pub fn walk(&self) -> StmtWalker<'_> {
-        StmtWalker { stack: self.body.iter().rev().collect() }
+        StmtWalker {
+            stack: self.body.iter().rev().collect(),
+        }
     }
 }
 
@@ -86,7 +88,11 @@ impl<'a> Iterator for StmtWalker<'a> {
             StmtKind::Do { body, .. } => {
                 self.stack.extend(body.iter().rev());
             }
-            StmtKind::If { then_body, else_body, .. } => {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 self.stack.extend(else_body.iter().rev());
                 self.stack.extend(then_body.iter().rev());
             }
@@ -280,7 +286,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for `< ≤ > ≥ = ≠`.
     pub fn is_relational(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
     /// True for `.AND.` / `.OR.`.
     pub fn is_logical(self) -> bool {
@@ -426,7 +435,11 @@ mod tests {
 
     #[test]
     fn walker_visits_nested_statements_in_order() {
-        let mk = |id: u32, kind: StmtKind| Stmt { id: StmtId(id), line: 0, kind };
+        let mk = |id: u32, kind: StmtKind| Stmt {
+            id: StmtId(id),
+            line: 0,
+            kind,
+        };
         let inner = mk(2, StmtKind::Continue);
         let loop_stmt = mk(
             1,
@@ -456,7 +469,10 @@ mod tests {
         let e = Expr::Bin {
             op: BinOp::Add,
             l: Box::new(Expr::Var(Sym(5))),
-            r: Box::new(Expr::Element { array: Sym(6), subs: vec![Expr::Var(Sym(7))] }),
+            r: Box::new(Expr::Element {
+                array: Sym(6),
+                subs: vec![Expr::Var(Sym(7))],
+            }),
         };
         let mut out = vec![];
         e.mentioned_syms(&mut out);

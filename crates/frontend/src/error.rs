@@ -15,7 +15,10 @@ pub struct FrontendError {
 impl FrontendError {
     /// Creates an error at `line`.
     pub fn at(line: u32, message: impl Into<String>) -> Self {
-        FrontendError { line, message: message.into() }
+        FrontendError {
+            line,
+            message: message.into(),
+        }
     }
 }
 

@@ -105,7 +105,10 @@ pub fn lex(source: &str) -> Result<Vec<Line>> {
         .trim_end()
         .to_string();
         // Continuation: previous line ended with '&'.
-        let continues_prev = logical.last().map(|(_, t)| t.ends_with('&')).unwrap_or(false);
+        let continues_prev = logical
+            .last()
+            .map(|(_, t)| t.ends_with('&'))
+            .unwrap_or(false);
         if continues_prev {
             let (_, prev) = logical.last_mut().unwrap();
             prev.pop(); // drop '&'
@@ -139,7 +142,11 @@ pub fn lex(source: &str) -> Result<Vec<Line>> {
         if toks.is_empty() {
             continue;
         }
-        out.push(Line { number: lineno, label, toks });
+        out.push(Line {
+            number: lineno,
+            label,
+            toks,
+        });
     }
     Ok(out)
 }
@@ -293,7 +300,10 @@ fn lex_line(text: &str, lineno: u32) -> Result<Vec<Tok>> {
                 i = j;
             }
             other => {
-                return Err(FrontendError::at(lineno, format!("unexpected character `{other}`")));
+                return Err(FrontendError::at(
+                    lineno,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -432,7 +442,10 @@ mod tests {
 
     #[test]
     fn real_literals() {
-        assert_eq!(toks("x = 1.5e2"), vec![Tok::Ident("x".into()), Tok::Assign, Tok::Real(150.0)]);
+        assert_eq!(
+            toks("x = 1.5e2"),
+            vec![Tok::Ident("x".into()), Tok::Assign, Tok::Real(150.0)]
+        );
         assert_eq!(toks("x = 1.0d0")[2], Tok::Real(1.0));
         assert_eq!(toks("x = .5")[2], Tok::Real(0.5));
         assert_eq!(toks("x = 2.")[2], Tok::Real(2.0));
@@ -443,7 +456,10 @@ mod tests {
     fn comments_skipped() {
         let lines = lex("C a comment\n! another\n* old style\n  x = 1 ! trailing\n").unwrap();
         assert_eq!(lines.len(), 1);
-        assert_eq!(lines[0].toks, vec![Tok::Ident("x".into()), Tok::Assign, Tok::Int(1)]);
+        assert_eq!(
+            lines[0].toks,
+            vec![Tok::Ident("x".into()), Tok::Assign, Tok::Int(1)]
+        );
         assert_eq!(lines[0].number, 4);
     }
 
@@ -453,7 +469,13 @@ mod tests {
         assert_eq!(lines.len(), 1);
         assert_eq!(
             lines[0].toks,
-            vec![Tok::Ident("x".into()), Tok::Assign, Tok::Int(1), Tok::Plus, Tok::Int(2)]
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2)
+            ]
         );
     }
 

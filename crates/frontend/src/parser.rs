@@ -14,7 +14,10 @@ use fortrand_ir::{Interner, Sym};
 /// Parses a whole source file.
 pub fn parse_program(source: &str) -> Result<SourceProgram> {
     let lines = lex(source)?;
-    let mut p = Parser { interner: Interner::new(), next_id: 0 };
+    let mut p = Parser {
+        interner: Interner::new(),
+        next_id: 0,
+    };
     let mut units = Vec::new();
     let mut i = 0;
     while i < lines.len() {
@@ -25,7 +28,10 @@ pub fn parse_program(source: &str) -> Result<SourceProgram> {
     if units.is_empty() {
         return Err(FrontendError::at(0, "empty program"));
     }
-    Ok(SourceProgram { units, interner: p.interner })
+    Ok(SourceProgram {
+        units,
+        interner: p.interner,
+    })
 }
 
 struct Parser {
@@ -38,9 +44,22 @@ enum Block {
     /// The unit body itself.
     Unit(Vec<Stmt>),
     /// An open DO loop: header info + collected body (+ closing label).
-    Do { var: Sym, lo: Expr, hi: Expr, step: Option<Expr>, label: Option<u32>, line: u32, body: Vec<Stmt> },
+    Do {
+        var: Sym,
+        lo: Expr,
+        hi: Expr,
+        step: Option<Expr>,
+        label: Option<u32>,
+        line: u32,
+        body: Vec<Stmt>,
+    },
     /// An open IF: condition + then-branch (+ else once seen).
-    If { cond: Expr, line: u32, then_body: Vec<Stmt>, else_body: Option<Vec<Stmt>> },
+    If {
+        cond: Expr,
+        line: u32,
+        then_body: Vec<Stmt>,
+        else_body: Option<Vec<Stmt>>,
+    },
 }
 
 impl Parser {
@@ -64,11 +83,18 @@ impl Parser {
         let mut idx = 1;
         loop {
             if idx >= lines.len() {
-                return Err(FrontendError::at(header.number, "unit not terminated by END"));
+                return Err(FrontendError::at(
+                    header.number,
+                    "unit not terminated by END",
+                ));
             }
             let line = &lines[idx];
             idx += 1;
-            let mut c = Cursor { toks: &line.toks, pos: 0, line: line.number };
+            let mut c = Cursor {
+                toks: &line.toks,
+                pos: 0,
+                line: line.number,
+            };
             let head = match c.peek_ident() {
                 Some(w) => w.to_string(),
                 None => String::new(),
@@ -97,8 +123,14 @@ impl Parser {
                             Block::Unit(b) => b,
                             _ => unreachable!(),
                         };
-                        let unit =
-                            ProcUnit { kind, name, formals, decls, body, line: header.number };
+                        let unit = ProcUnit {
+                            kind,
+                            name,
+                            formals,
+                            decls,
+                            body,
+                            line: header.number,
+                        };
                         return Ok((unit, idx));
                     }
                     Some(other) => {
@@ -117,7 +149,10 @@ impl Parser {
             if head == "else" {
                 c.bump();
                 if c.peek_ident() == Some("if") || c.peek_ident() == Some("elseif") {
-                    return Err(FrontendError::at(line.number, "ELSE IF is not supported; nest an IF inside ELSE"));
+                    return Err(FrontendError::at(
+                        line.number,
+                        "ELSE IF is not supported; nest an IF inside ELSE",
+                    ));
                 }
                 match blocks.last_mut() {
                     Some(Block::If { else_body, .. }) if else_body.is_none() => {
@@ -128,7 +163,10 @@ impl Parser {
                 continue;
             }
             if head == "elseif" {
-                return Err(FrontendError::at(line.number, "ELSE IF is not supported; nest an IF inside ELSE"));
+                return Err(FrontendError::at(
+                    line.number,
+                    "ELSE IF is not supported; nest an IF inside ELSE",
+                ));
             }
 
             // Declarations (only legal before executable statements have
@@ -141,7 +179,11 @@ impl Parser {
 
             // Statements that open blocks.
             if head == "do" {
-                let mut c2 = Cursor { toks: &line.toks, pos: 1, line: line.number };
+                let mut c2 = Cursor {
+                    toks: &line.toks,
+                    pos: 1,
+                    line: line.number,
+                };
                 // Optional closing label: DO 10 i = …
                 let label = match c2.peek() {
                     Some(Tok::Int(v)) => {
@@ -157,20 +199,41 @@ impl Parser {
                 let lo = self.parse_expr(&mut c2)?;
                 c2.expect(&Tok::Comma)?;
                 let hi = self.parse_expr(&mut c2)?;
-                let step = if c2.eat(&Tok::Comma) { Some(self.parse_expr(&mut c2)?) } else { None };
+                let step = if c2.eat(&Tok::Comma) {
+                    Some(self.parse_expr(&mut c2)?)
+                } else {
+                    None
+                };
                 c2.expect_end()?;
-                blocks.push(Block::Do { var, lo, hi, step, label, line: line.number, body: Vec::new() });
+                blocks.push(Block::Do {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    label,
+                    line: line.number,
+                    body: Vec::new(),
+                });
                 continue;
             }
             if head == "if" {
-                let mut c2 = Cursor { toks: &line.toks, pos: 1, line: line.number };
+                let mut c2 = Cursor {
+                    toks: &line.toks,
+                    pos: 1,
+                    line: line.number,
+                };
                 c2.expect(&Tok::LParen)?;
                 let cond = self.parse_expr(&mut c2)?;
                 c2.expect(&Tok::RParen)?;
                 if c2.peek_ident() == Some("then") {
                     c2.bump();
                     c2.expect_end()?;
-                    blocks.push(Block::If { cond, line: line.number, then_body: Vec::new(), else_body: None });
+                    blocks.push(Block::If {
+                        cond,
+                        line: line.number,
+                        then_body: Vec::new(),
+                        else_body: None,
+                    });
                 } else {
                     // Logical IF: the rest is a single simple statement.
                     let inner = self.parse_simple_stmt(&mut c2)?;
@@ -203,7 +266,11 @@ impl Parser {
     }
 
     fn parse_unit_header(&mut self, line: &Line) -> Result<(UnitKind, Sym, Vec<Sym>)> {
-        let mut c = Cursor { toks: &line.toks, pos: 0, line: line.number };
+        let mut c = Cursor {
+            toks: &line.toks,
+            pos: 0,
+            line: line.number,
+        };
         let first = c.expect_ident("unit header")?;
         let (kind, name) = match first.as_str() {
             "program" => {
@@ -231,7 +298,10 @@ impl Parser {
                     }
                 };
                 if c.peek_ident() != Some("function") {
-                    return Err(FrontendError::at(line.number, "expected FUNCTION after type in unit header"));
+                    return Err(FrontendError::at(
+                        line.number,
+                        "expected FUNCTION after type in unit header",
+                    ));
                 }
                 c.bump();
                 let n = c.expect_ident("function name")?;
@@ -245,26 +315,43 @@ impl Parser {
             }
         };
         let mut formals = Vec::new();
-        if c.eat(&Tok::LParen)
-            && !c.eat(&Tok::RParen) {
-                loop {
-                    let f = c.expect_ident("formal parameter")?;
-                    formals.push(self.sym(&f));
-                    if c.eat(&Tok::RParen) {
-                        break;
-                    }
-                    c.expect(&Tok::Comma)?;
+        if c.eat(&Tok::LParen) && !c.eat(&Tok::RParen) {
+            loop {
+                let f = c.expect_ident("formal parameter")?;
+                formals.push(self.sym(&f));
+                if c.eat(&Tok::RParen) {
+                    break;
                 }
+                c.expect(&Tok::Comma)?;
             }
+        }
         c.expect_end()?;
         Ok((kind, name, formals))
     }
 
     fn close_do(&mut self, blocks: &mut Vec<Block>, lineno: u32) -> Result<()> {
         match blocks.pop() {
-            Some(Block::Do { var, lo, hi, step, body, line, .. }) => {
+            Some(Block::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                line,
+                ..
+            }) => {
                 let id = self.fresh_id();
-                let stmt = Stmt { id, line, kind: StmtKind::Do { var, lo, hi, step, body } };
+                let stmt = Stmt {
+                    id,
+                    line,
+                    kind: StmtKind::Do {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body,
+                    },
+                };
                 self.push_stmt(blocks, stmt);
                 Ok(())
             }
@@ -279,12 +366,21 @@ impl Parser {
 
     fn close_if(&mut self, blocks: &mut Vec<Block>, lineno: u32) -> Result<()> {
         match blocks.pop() {
-            Some(Block::If { cond, line, then_body, else_body }) => {
+            Some(Block::If {
+                cond,
+                line,
+                then_body,
+                else_body,
+            }) => {
                 let id = self.fresh_id();
                 let stmt = Stmt {
                     id,
                     line,
-                    kind: StmtKind::If { cond, then_body, else_body: else_body.unwrap_or_default() },
+                    kind: StmtKind::If {
+                        cond,
+                        then_body,
+                        else_body: else_body.unwrap_or_default(),
+                    },
                 };
                 self.push_stmt(blocks, stmt);
                 Ok(())
@@ -301,7 +397,11 @@ impl Parser {
     fn push_stmt(&mut self, blocks: &mut [Block], stmt: Stmt) {
         match blocks.last_mut().expect("block stack empty") {
             Block::Unit(b) | Block::Do { body: b, .. } => b.push(stmt),
-            Block::If { then_body, else_body, .. } => match else_body {
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => match else_body {
                 Some(e) => e.push(stmt),
                 None => then_body.push(stmt),
             },
@@ -327,10 +427,9 @@ impl Parser {
             // body it is a declaration — unless it is an assignment like
             // `real = 1` (we do not support variables named after types).
             c.bump();
-            if head == "double"
-                && c.peek_ident() == Some("precision") {
-                    c.bump();
-                }
+            if head == "double" && c.peek_ident() == Some("precision") {
+                c.bump();
+            }
             let mut out = Vec::new();
             loop {
                 let name = c.expect_ident("declared name")?;
@@ -346,7 +445,12 @@ impl Parser {
                         c.expect(&Tok::Comma)?;
                     }
                 }
-                out.push(Decl::Var { ty, name, dims, line: c.line });
+                out.push(Decl::Var {
+                    ty,
+                    name,
+                    dims,
+                    line: c.line,
+                });
                 if !c.eat(&Tok::Comma) {
                     break;
                 }
@@ -363,7 +467,11 @@ impl Parser {
                 let name = self.sym(&name);
                 c.expect(&Tok::Assign)?;
                 let value = self.parse_expr(c)?;
-                out.push(Decl::Parameter { name, value, line: c.line });
+                out.push(Decl::Parameter {
+                    name,
+                    value,
+                    line: c.line,
+                });
                 if c.eat(&Tok::RParen) {
                     break;
                 }
@@ -387,7 +495,11 @@ impl Parser {
                     }
                     c.expect(&Tok::Comma)?;
                 }
-                out.push(Decl::Decomposition { name, dims, line: c.line });
+                out.push(Decl::Decomposition {
+                    name,
+                    dims,
+                    line: c.line,
+                });
                 if !c.eat(&Tok::Comma) {
                     break;
                 }
@@ -404,7 +516,10 @@ impl Parser {
             let hi = self.parse_expr(c)?;
             Ok(Extent { lo: first, hi })
         } else {
-            Ok(Extent { lo: Expr::int(1), hi: first })
+            Ok(Extent {
+                lo: Expr::int(1),
+                hi: first,
+            })
         }
     }
 
@@ -419,16 +534,15 @@ impl Parser {
                 let name = c.expect_ident("callee")?;
                 let name = self.sym(&name);
                 let mut args = Vec::new();
-                if c.eat(&Tok::LParen)
-                    && !c.eat(&Tok::RParen) {
-                        loop {
-                            args.push(self.parse_expr(c)?);
-                            if c.eat(&Tok::RParen) {
-                                break;
-                            }
-                            c.expect(&Tok::Comma)?;
+                if c.eat(&Tok::LParen) && !c.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.parse_expr(c)?);
+                        if c.eat(&Tok::RParen) {
+                            break;
                         }
+                        c.expect(&Tok::Comma)?;
                     }
+                }
                 c.expect_end()?;
                 StmtKind::Call { name, args }
             }
@@ -553,7 +667,12 @@ impl Parser {
             offset = vec![0; perm.len()];
         }
         c.expect_end()?;
-        Ok(StmtKind::Align { array, target, perm, offset })
+        Ok(StmtKind::Align {
+            array,
+            target,
+            perm,
+            offset,
+        })
     }
 
     /// `DISTRIBUTE D(BLOCK, :)`.
@@ -624,7 +743,11 @@ impl Parser {
         let mut l = self.parse_and(c)?;
         while c.eat(&Tok::Or) {
             let r = self.parse_and(c)?;
-            l = Expr::Bin { op: BinOp::Or, l: Box::new(l), r: Box::new(r) };
+            l = Expr::Bin {
+                op: BinOp::Or,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
         }
         Ok(l)
     }
@@ -633,7 +756,11 @@ impl Parser {
         let mut l = self.parse_not(c)?;
         while c.eat(&Tok::And) {
             let r = self.parse_not(c)?;
-            l = Expr::Bin { op: BinOp::And, l: Box::new(l), r: Box::new(r) };
+            l = Expr::Bin {
+                op: BinOp::And,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
         }
         Ok(l)
     }
@@ -641,7 +768,10 @@ impl Parser {
     fn parse_not(&mut self, c: &mut Cursor) -> Result<Expr> {
         if c.eat(&Tok::Not) {
             let e = self.parse_not(c)?;
-            return Ok(Expr::Un { op: UnOp::Not, e: Box::new(e) });
+            return Ok(Expr::Un {
+                op: UnOp::Not,
+                e: Box::new(e),
+            });
         }
         self.parse_rel(c)
     }
@@ -661,7 +791,11 @@ impl Parser {
             Some(op) => {
                 c.bump();
                 let r = self.parse_addsub(c)?;
-                Ok(Expr::Bin { op, l: Box::new(l), r: Box::new(r) })
+                Ok(Expr::Bin {
+                    op,
+                    l: Box::new(l),
+                    r: Box::new(r),
+                })
             }
             None => Ok(l),
         }
@@ -677,7 +811,11 @@ impl Parser {
             };
             c.bump();
             let r = self.parse_muldiv(c)?;
-            l = Expr::Bin { op, l: Box::new(l), r: Box::new(r) };
+            l = Expr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
         }
         Ok(l)
     }
@@ -692,7 +830,11 @@ impl Parser {
             };
             c.bump();
             let r = self.parse_unary(c)?;
-            l = Expr::Bin { op, l: Box::new(l), r: Box::new(r) };
+            l = Expr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
         }
         Ok(l)
     }
@@ -700,7 +842,10 @@ impl Parser {
     fn parse_unary(&mut self, c: &mut Cursor) -> Result<Expr> {
         if c.eat(&Tok::Minus) {
             let e = self.parse_unary(c)?;
-            return Ok(Expr::Un { op: UnOp::Neg, e: Box::new(e) });
+            return Ok(Expr::Un {
+                op: UnOp::Neg,
+                e: Box::new(e),
+            });
         }
         if c.eat(&Tok::Plus) {
             return self.parse_unary(c);
@@ -713,7 +858,11 @@ impl Parser {
         if c.eat(&Tok::Pow) {
             // Right associative.
             let exp = self.parse_unary(c)?;
-            return Ok(Expr::Bin { op: BinOp::Pow, l: Box::new(base), r: Box::new(exp) });
+            return Ok(Expr::Bin {
+                op: BinOp::Pow,
+                l: Box::new(base),
+                r: Box::new(exp),
+            });
         }
         Ok(base)
     }
@@ -803,7 +952,10 @@ impl Cursor<'_> {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(FrontendError::at(self.line, format!("expected {t:?}, found {:?}", self.peek())))
+            Err(FrontendError::at(
+                self.line,
+                format!("expected {t:?}, found {:?}", self.peek()),
+            ))
         }
     }
     fn expect_ident(&mut self, what: &str) -> Result<String> {
@@ -813,7 +965,10 @@ impl Cursor<'_> {
                 self.bump();
                 Ok(s)
             }
-            other => Err(FrontendError::at(self.line, format!("expected {what}, found {other:?}"))),
+            other => Err(FrontendError::at(
+                self.line,
+                format!("expected {what}, found {other:?}"),
+            )),
         }
     }
     fn expect_int(&mut self, what: &str) -> Result<i64> {
@@ -823,7 +978,10 @@ impl Cursor<'_> {
                 self.bump();
                 Ok(v)
             }
-            other => Err(FrontendError::at(self.line, format!("expected {what}, found {other:?}"))),
+            other => Err(FrontendError::at(
+                self.line,
+                format!("expected {what}, found {other:?}"),
+            )),
         }
     }
     fn expect_end(&mut self) -> Result<()> {
@@ -868,7 +1026,7 @@ mod tests {
         assert_eq!(p.units[1].kind, UnitKind::Subroutine);
         let main = &p.units[0];
         assert_eq!(main.decls.len(), 2); // X decl + parameter
-        // Body: DISTRIBUTE, DO, CALL.
+                                         // Body: DISTRIBUTE, DO, CALL.
         assert_eq!(main.body.len(), 3);
         assert!(matches!(main.body[0].kind, StmtKind::Distribute { .. }));
         assert!(matches!(main.body[1].kind, StmtKind::Do { .. }));
@@ -941,7 +1099,12 @@ mod tests {
       END
 ";
         let p = parse_program(src).unwrap();
-        if let StmtKind::If { then_body, else_body, .. } = &p.units[0].body[0].kind {
+        if let StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } = &p.units[0].body[0].kind
+        {
             assert_eq!(then_body.len(), 1);
             assert_eq!(else_body.len(), 1);
         } else {
@@ -959,7 +1122,12 @@ mod tests {
       END
 ";
         let p = parse_program(src).unwrap();
-        if let StmtKind::If { then_body, else_body, .. } = &p.units[0].body[0].kind {
+        if let StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } = &p.units[0].body[0].kind
+        {
             assert_eq!(then_body.len(), 1);
             assert!(else_body.is_empty());
         } else {
@@ -1049,7 +1217,10 @@ mod tests {
         let p = parse_program(src).unwrap();
         if let StmtKind::Assign { rhs, .. } = &p.units[0].body[0].kind {
             // 1 + (2*3)
-            if let Expr::Bin { op: BinOp::Add, r, .. } = rhs {
+            if let Expr::Bin {
+                op: BinOp::Add, r, ..
+            } = rhs
+            {
                 assert!(matches!(**r, Expr::Bin { op: BinOp::Mul, .. }));
             } else {
                 panic!("expected Add at top");
@@ -1084,7 +1255,9 @@ mod tests {
     #[test]
     fn call_without_args() {
         let p = parse_program("PROGRAM P\n call init\n END").unwrap();
-        assert!(matches!(p.units[0].body[0].kind, StmtKind::Call { ref args, .. } if args.is_empty()));
+        assert!(
+            matches!(p.units[0].body[0].kind, StmtKind::Call { ref args, .. } if args.is_empty())
+        );
     }
 
     #[test]

@@ -120,11 +120,17 @@ pub fn analyze(prog: &mut SourceProgram) -> Result<ProgramInfo> {
         return Err(FrontendError::at(0, "more than one PROGRAM unit"));
     }
 
-    let mut info = ProgramInfo { unit_kinds: unit_kinds.clone(), ..Default::default() };
+    let mut info = ProgramInfo {
+        unit_kinds: unit_kinds.clone(),
+        ..Default::default()
+    };
 
     for u in &mut prog.units {
         let ui = analyze_unit(u, &prog.interner, &unit_kinds, &formal_counts)?;
-        if let Some(&np) = ui.params.get(&prog.interner.get("n$proc").unwrap_or(Sym(u32::MAX))) {
+        if let Some(&np) = ui
+            .params
+            .get(&prog.interner.get("n$proc").unwrap_or(Sym(u32::MAX)))
+        {
             info.n_proc = Some(np);
         }
         info.units.insert(u.name, ui);
@@ -145,13 +151,19 @@ fn analyze_unit(
     unit_kinds: &BTreeMap<Sym, UnitKind>,
     formal_counts: &BTreeMap<Sym, usize>,
 ) -> Result<UnitInfo> {
-    let mut ui = UnitInfo { formals: u.formals.clone(), ..Default::default() };
+    let mut ui = UnitInfo {
+        formals: u.formals.clone(),
+        ..Default::default()
+    };
 
     // Parameters first (extents may reference them).
     for d in &u.decls {
         if let Decl::Parameter { name, value, line } = d {
             let v = fold_const(value, &ui.params).ok_or_else(|| {
-                FrontendError::at(*line, "PARAMETER value must be an integer constant expression")
+                FrontendError::at(
+                    *line,
+                    "PARAMETER value must be an integer constant expression",
+                )
             })?;
             ui.params.insert(*name, v);
         }
@@ -160,7 +172,12 @@ fn analyze_unit(
     // Declared variables and decompositions.
     for d in &u.decls {
         match d {
-            Decl::Var { ty, name, dims, line } => {
+            Decl::Var {
+                ty,
+                name,
+                dims,
+                line,
+            } => {
                 let mut extents = Vec::new();
                 let mut lower = Vec::new();
                 for e in dims {
@@ -169,7 +186,10 @@ fn analyze_unit(
                     let hi = fold_const(&e.hi, &ui.params)
                         .ok_or_else(|| FrontendError::at(*line, "array bound must be constant"))?;
                     if hi < lo {
-                        return Err(FrontendError::at(*line, "array upper bound below lower bound"));
+                        return Err(FrontendError::at(
+                            *line,
+                            "array upper bound below lower bound",
+                        ));
                     }
                     extents.push(hi - lo + 1);
                     lower.push(lo);
@@ -177,7 +197,15 @@ fn analyze_unit(
                 let is_formal = u.formals.contains(name);
                 if ui
                     .vars
-                    .insert(*name, VarInfo { ty: *ty, dims: extents, lower, is_formal })
+                    .insert(
+                        *name,
+                        VarInfo {
+                            ty: *ty,
+                            dims: extents,
+                            lower,
+                            is_formal,
+                        },
+                    )
                     .is_some()
                 {
                     return Err(FrontendError::at(
@@ -189,12 +217,17 @@ fn analyze_unit(
             Decl::Decomposition { name, dims, line } => {
                 let mut extents = Vec::new();
                 for e in dims {
-                    let lo = fold_const(&e.lo, &ui.params)
-                        .ok_or_else(|| FrontendError::at(*line, "decomposition bound must be constant"))?;
-                    let hi = fold_const(&e.hi, &ui.params)
-                        .ok_or_else(|| FrontendError::at(*line, "decomposition bound must be constant"))?;
+                    let lo = fold_const(&e.lo, &ui.params).ok_or_else(|| {
+                        FrontendError::at(*line, "decomposition bound must be constant")
+                    })?;
+                    let hi = fold_const(&e.hi, &ui.params).ok_or_else(|| {
+                        FrontendError::at(*line, "decomposition bound must be constant")
+                    })?;
                     if lo != 1 {
-                        return Err(FrontendError::at(*line, "decomposition lower bounds must be 1"));
+                        return Err(FrontendError::at(
+                            *line,
+                            "decomposition lower bounds must be 1",
+                        ));
                     }
                     extents.push(hi);
                 }
@@ -215,7 +248,12 @@ fn analyze_unit(
     }
 
     // Walk and rewrite the body.
-    let mut ctx = UnitCtx { ui: &mut ui, interner, unit_kinds, formal_counts };
+    let mut ctx = UnitCtx {
+        ui: &mut ui,
+        interner,
+        unit_kinds,
+        formal_counts,
+    };
     rewrite_body(&mut u.body, &mut ctx)?;
 
     Ok(ui)
@@ -270,13 +308,19 @@ fn rewrite_body(body: &mut [Stmt], ctx: &mut UnitCtx) -> Result<()> {
                         let vi = ctx.ui.vars.get(array).ok_or_else(|| {
                             FrontendError::at(
                                 line,
-                                format!("assignment to undeclared array `{}`", ctx.interner.name(*array)),
+                                format!(
+                                    "assignment to undeclared array `{}`",
+                                    ctx.interner.name(*array)
+                                ),
                             )
                         })?;
                         if !vi.is_array() {
                             return Err(FrontendError::at(
                                 line,
-                                format!("`{}` subscripted but is a scalar", ctx.interner.name(*array)),
+                                format!(
+                                    "`{}` subscripted but is a scalar",
+                                    ctx.interner.name(*array)
+                                ),
                             ));
                         }
                         if vi.rank() != subs.len() {
@@ -293,7 +337,13 @@ fn rewrite_body(body: &mut [Stmt], ctx: &mut UnitCtx) -> Result<()> {
                     }
                 }
             }
-            StmtKind::Do { var, lo, hi, step, body } => {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 ctx.declare_implicit(*var);
                 rewrite_expr(lo, ctx, line)?;
                 rewrite_expr(hi, ctx, line)?;
@@ -302,7 +352,11 @@ fn rewrite_body(body: &mut [Stmt], ctx: &mut UnitCtx) -> Result<()> {
                 }
                 rewrite_body(body, ctx)?;
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 rewrite_expr(cond, ctx, line)?;
                 rewrite_body(then_body, ctx)?;
                 rewrite_body(else_body, ctx)?;
@@ -319,7 +373,10 @@ fn rewrite_body(body: &mut [Stmt], ctx: &mut UnitCtx) -> Result<()> {
                     None => {
                         return Err(FrontendError::at(
                             line,
-                            format!("call to undefined subroutine `{}`", ctx.interner.name(*name)),
+                            format!(
+                                "call to undefined subroutine `{}`",
+                                ctx.interner.name(*name)
+                            ),
                         ))
                     }
                 }
@@ -353,9 +410,18 @@ fn rewrite_body(body: &mut [Stmt], ctx: &mut UnitCtx) -> Result<()> {
                         ctx.ui.aliased_vars.push(w[0]);
                     }
                 }
-                ctx.ui.calls.push(CallSite { stmt: sid, callee: *name, args: args.clone() });
+                ctx.ui.calls.push(CallSite {
+                    stmt: sid,
+                    callee: *name,
+                    args: args.clone(),
+                });
             }
-            StmtKind::Align { array, target, perm, offset } => {
+            StmtKind::Align {
+                array,
+                target,
+                perm,
+                offset,
+            } => {
                 let arr_rank = ctx
                     .ui
                     .vars
@@ -375,7 +441,10 @@ fn rewrite_body(body: &mut [Stmt], ctx: &mut UnitCtx) -> Result<()> {
                 } else {
                     return Err(FrontendError::at(
                         line,
-                        format!("ALIGN target `{}` is neither decomposition nor array", ctx.interner.name(*target)),
+                        format!(
+                            "ALIGN target `{}` is neither decomposition nor array",
+                            ctx.interner.name(*target)
+                        ),
                     ));
                 };
                 if perm.is_empty() {
@@ -384,7 +453,10 @@ fn rewrite_body(body: &mut [Stmt], ctx: &mut UnitCtx) -> Result<()> {
                     *offset = vec![0; arr_rank];
                 }
                 if perm.len() != arr_rank {
-                    return Err(FrontendError::at(line, "ALIGN dummy count differs from array rank"));
+                    return Err(FrontendError::at(
+                        line,
+                        "ALIGN dummy count differs from array rank",
+                    ));
                 }
                 if perm.iter().any(|&p| p >= tgt_rank) {
                     return Err(FrontendError::at(line, "ALIGN maps past target rank"));
@@ -405,12 +477,19 @@ fn rewrite_body(body: &mut [Stmt], ctx: &mut UnitCtx) -> Result<()> {
                     ));
                 };
                 if kinds.len() != tgt_rank {
-                    return Err(FrontendError::at(line, "DISTRIBUTE kind count differs from rank"));
+                    return Err(FrontendError::at(
+                        line,
+                        "DISTRIBUTE kind count differs from rank",
+                    ));
                 }
-                if let Some(DistKind::BlockCyclic(k)) =
-                    kinds.iter().find(|k| matches!(k, DistKind::BlockCyclic(v) if *v < 1))
+                if let Some(DistKind::BlockCyclic(k)) = kinds
+                    .iter()
+                    .find(|k| matches!(k, DistKind::BlockCyclic(v) if *v < 1))
                 {
-                    return Err(FrontendError::at(line, format!("bad BLOCK_CYCLIC size {k:?}")));
+                    return Err(FrontendError::at(
+                        line,
+                        format!("bad BLOCK_CYCLIC size {k:?}"),
+                    ));
                 }
             }
             StmtKind::Print { args } => {
@@ -488,7 +567,10 @@ fn rewrite_expr(e: &mut Expr, ctx: &mut UnitCtx, line: u32) -> Result<()> {
                 if expected != subs.len() {
                     return Err(FrontendError::at(
                         line,
-                        format!("function `{name_str}` expects {expected} argument(s), got {}", subs.len()),
+                        format!(
+                            "function `{name_str}` expects {expected} argument(s), got {}",
+                            subs.len()
+                        ),
                     ));
                 }
                 let args = std::mem::take(subs);
@@ -555,7 +637,9 @@ pub fn expr_affine(e: &Expr, params: &BTreeMap<Sym, i64>) -> Option<Affine> {
                 BinOp::Mul => {
                     if let Some(c) = a.as_const() {
                         Some(b.scale(c))
-                    } else { b.as_const().map(|c| a.scale(c)) }
+                    } else {
+                        b.as_const().map(|c| a.scale(c))
+                    }
                 }
                 BinOp::Div => {
                     let c = b.as_const()?;
@@ -648,7 +732,13 @@ mod tests {
 ",
         );
         if let StmtKind::Assign { rhs, .. } = &p.units[0].body[0].kind {
-            assert!(matches!(rhs, Expr::Intrinsic { name: Intrinsic::Min, .. }));
+            assert!(matches!(
+                rhs,
+                Expr::Intrinsic {
+                    name: Intrinsic::Min,
+                    ..
+                }
+            ));
         } else {
             panic!()
         }
@@ -718,11 +808,13 @@ mod tests {
 
     #[test]
     fn undefined_subroutine_rejected() {
-        let e = load_err("
+        let e = load_err(
+            "
       PROGRAM P
       call nosuch(1)
       END
-");
+",
+        );
         assert!(e.message.contains("undefined subroutine"), "{e}");
     }
 

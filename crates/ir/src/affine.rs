@@ -28,7 +28,10 @@ pub struct Affine {
 impl Affine {
     /// The constant expression `c`.
     pub fn konst(c: i64) -> Self {
-        Affine { terms: BTreeMap::new(), konst: c }
+        Affine {
+            terms: BTreeMap::new(),
+            konst: c,
+        }
     }
 
     /// The zero expression.
@@ -185,12 +188,16 @@ impl Add for Affine {
                 terms.remove(&s);
             }
         }
-        Affine { terms, konst: self.konst + rhs.konst }
+        Affine {
+            terms,
+            konst: self.konst + rhs.konst,
+        }
     }
 }
 
 impl Sub for Affine {
     type Output = Affine;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a − b ≡ a + (−b)
     fn sub(self, rhs: Affine) -> Affine {
         self + rhs.neg()
     }

@@ -19,10 +19,9 @@
 use crate::affine::Affine;
 use crate::intern::Sym;
 use crate::rsd::{Rsd, Triplet};
-use serde::{Deserialize, Serialize};
 
 /// How one decomposition dimension is mapped to processors.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum DistKind {
     /// Contiguous blocks of size ⌈N/P⌉.
     Block,
@@ -77,18 +76,23 @@ pub struct Alignment {
 impl Alignment {
     /// Identity alignment of the given rank.
     pub fn identity(rank: usize) -> Self {
-        Alignment { perm: (0..rank).collect(), offset: vec![0; rank] }
+        Alignment {
+            perm: (0..rank).collect(),
+            offset: vec![0; rank],
+        }
     }
 
     /// The transpose alignment for rank 2 (`ALIGN Y(i,j) with D(j,i)`).
     pub fn transpose2() -> Self {
-        Alignment { perm: vec![1, 0], offset: vec![0, 0] }
+        Alignment {
+            perm: vec![1, 0],
+            offset: vec![0, 0],
+        }
     }
 
     /// True if this is the identity.
     pub fn is_identity(&self) -> bool {
-        self.offset.iter().all(|&o| o == 0)
-            && self.perm.iter().enumerate().all(|(i, &p)| i == p)
+        self.offset.iter().all(|&o| o == 0) && self.perm.iter().enumerate().all(|(i, &p)| i == p)
     }
 }
 
@@ -119,7 +123,7 @@ impl Distribution {
 /// With one distributed dimension the grid is simply `[P]`; with two it is a
 /// near-square factorization of `P`, and so on. Rank 0 holds grid
 /// coordinate (0,…,0); linearization is row-major over grid axes.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct ProcGrid {
     /// Processors along each grid axis; the product is the total count.
     pub shape: Vec<usize>,
@@ -135,7 +139,7 @@ impl ProcGrid {
         }
         let mut shape = vec![1usize; naxes];
         let mut rem = nprocs;
-        for axis in 0..naxes {
+        for (axis, slot) in shape.iter_mut().enumerate() {
             let axes_left = naxes - axis;
             // Largest divisor of rem that is ≤ ceil(rem^(1/axes_left)).
             let target = (rem as f64).powf(1.0 / axes_left as f64).round() as usize;
@@ -147,8 +151,8 @@ impl ProcGrid {
             }
             // Put the larger factor first.
             let d = rem / best;
-            shape[axis] = d.max(best);
-            rem /= shape[axis];
+            *slot = d.max(best);
+            rem /= *slot;
         }
         // Distribute any remainder (only if factorization failed) onto axis 0.
         shape[0] *= rem.max(1);
@@ -207,7 +211,11 @@ impl DimPartition {
 
     /// Owner coordinate (along this grid axis) of global index `g` (1-based).
     pub fn owner(&self, g: i64) -> usize {
-        debug_assert!(g >= 1 && g <= self.extent, "index {g} out of [1,{}]", self.extent);
+        debug_assert!(
+            g >= 1 && g <= self.extent,
+            "index {g} out of [1,{}]",
+            self.extent
+        );
         let p = self.nprocs as i64;
         match self.kind {
             DistKind::Serial => 0,
@@ -276,7 +284,10 @@ impl DimPartition {
 
     /// Maximum local count over all processors (the local declared extent).
     pub fn local_extent(&self) -> i64 {
-        (0..self.nprocs).map(|q| self.local_count(q)).max().unwrap_or(0)
+        (0..self.nprocs)
+            .map(|q| self.local_count(q))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The set of *global* indices owned by coordinate `q`, as a triplet.
@@ -357,18 +368,31 @@ impl ArrayDist {
         let grid = ProcGrid::new(dist.nprocs, next_axis);
         let mut dims = Vec::with_capacity(rank);
         let mut grid_axis = Vec::with_capacity(rank);
-        for d in 0..rank {
+        for (d, &array_extent) in array_extents.iter().enumerate() {
             let ddim = align.perm[d];
             let kind = dist.kinds.get(ddim).copied().unwrap_or(DistKind::Serial);
-            let axis = if kind.is_distributed() { axis_of_ddim[ddim] } else { None };
+            let axis = if kind.is_distributed() {
+                axis_of_ddim[ddim]
+            } else {
+                None
+            };
             let nprocs = axis.map(|a| grid.shape[a]).unwrap_or(1);
             // Partition over the *decomposition* extent so that aligned
             // arrays (possibly smaller, offset) agree on owners.
-            let extent = decomp_extents.get(ddim).copied().unwrap_or(array_extents[d]);
-            dims.push(DimPartition { kind, extent, nprocs });
+            let extent = decomp_extents.get(ddim).copied().unwrap_or(array_extent);
+            dims.push(DimPartition {
+                kind,
+                extent,
+                nprocs,
+            });
             grid_axis.push(axis);
         }
-        ArrayDist { dims, offsets: align.offset.clone(), grid, grid_axis }
+        ArrayDist {
+            dims,
+            offsets: align.offset.clone(),
+            grid,
+            grid_axis,
+        }
     }
 
     /// A fully serial (replicated) distribution — used for scalars and
@@ -377,7 +401,11 @@ impl ArrayDist {
         ArrayDist {
             dims: array_extents
                 .iter()
-                .map(|&e| DimPartition { kind: DistKind::Serial, extent: e, nprocs: 1 })
+                .map(|&e| DimPartition {
+                    kind: DistKind::Serial,
+                    extent: e,
+                    nprocs: 1,
+                })
                 .collect(),
             offsets: vec![0; array_extents.len()],
             grid: ProcGrid::new(1, 0),
@@ -456,7 +484,13 @@ impl ArrayDist {
         self.dims
             .iter()
             .enumerate()
-            .map(|(d, dp)| if self.grid_axis[d].is_some() { dp.local_extent() } else { dp.extent })
+            .map(|(d, dp)| {
+                if self.grid_axis[d].is_some() {
+                    dp.local_extent()
+                } else {
+                    dp.extent
+                }
+            })
             .collect()
     }
 
@@ -476,13 +510,25 @@ mod tests {
     use super::*;
 
     fn block(extent: i64, p: usize) -> DimPartition {
-        DimPartition { kind: DistKind::Block, extent, nprocs: p }
+        DimPartition {
+            kind: DistKind::Block,
+            extent,
+            nprocs: p,
+        }
     }
     fn cyclic(extent: i64, p: usize) -> DimPartition {
-        DimPartition { kind: DistKind::Cyclic, extent, nprocs: p }
+        DimPartition {
+            kind: DistKind::Cyclic,
+            extent,
+            nprocs: p,
+        }
     }
     fn bc(extent: i64, k: i64, p: usize) -> DimPartition {
-        DimPartition { kind: DistKind::BlockCyclic(k), extent, nprocs: p }
+        DimPartition {
+            kind: DistKind::BlockCyclic(k),
+            extent,
+            nprocs: p,
+        }
     }
 
     #[test]
@@ -542,7 +588,10 @@ mod tests {
         }
         // Owned set of proc 1 is 2:10:4.
         let t = d.owned_triplet(1);
-        assert_eq!((t.lo.as_const(), t.hi.as_const(), t.step), (Some(2), Some(10), 4));
+        assert_eq!(
+            (t.lo.as_const(), t.hi.as_const(), t.step),
+            (Some(2), Some(10), 4)
+        );
     }
 
     #[test]
@@ -563,7 +612,11 @@ mod tests {
 
     #[test]
     fn serial_is_identity() {
-        let d = DimPartition { kind: DistKind::Serial, extent: 50, nprocs: 1 };
+        let d = DimPartition {
+            kind: DistKind::Serial,
+            extent: 50,
+            nprocs: 1,
+        };
         assert_eq!(d.owner(17), 0);
         assert_eq!(d.local_of_global(17), 17);
         assert_eq!(d.local_count(0), 50);
@@ -586,34 +639,52 @@ mod tests {
     #[test]
     fn array_dist_row_block() {
         // X(100,100) distributed (BLOCK,:) on 4 procs — fig. 4's X.
-        let dist = Distribution { kinds: vec![DistKind::Block, DistKind::Serial], nprocs: 4 };
+        let dist = Distribution {
+            kinds: vec![DistKind::Block, DistKind::Serial],
+            nprocs: 4,
+        };
         let ad = ArrayDist::new(&[100, 100], &Alignment::identity(2), &[100, 100], &dist);
         assert_eq!(ad.owner_of(&[25, 99]), 0);
         assert_eq!(ad.owner_of(&[26, 1]), 1);
         assert_eq!(ad.local_extents(), vec![25, 100]);
         let owned = ad.owned_rsd(2);
-        assert_eq!(owned, Rsd::new(vec![Triplet::lit(51, 75), Triplet::lit(1, 100)]));
+        assert_eq!(
+            owned,
+            Rsd::new(vec![Triplet::lit(51, 75), Triplet::lit(1, 100)])
+        );
     }
 
     #[test]
     fn array_dist_transpose_alignment() {
         // Fig. 4: ALIGN Y(i,j) with X(j,i); DISTRIBUTE X(BLOCK,:).
         // Y's *second* dimension is block-distributed: effective (:,BLOCK).
-        let dist = Distribution { kinds: vec![DistKind::Block, DistKind::Serial], nprocs: 4 };
+        let dist = Distribution {
+            kinds: vec![DistKind::Block, DistKind::Serial],
+            nprocs: 4,
+        };
         let ad = ArrayDist::new(&[100, 100], &Alignment::transpose2(), &[100, 100], &dist);
         assert_eq!(ad.local_extents(), vec![100, 25]);
         assert_eq!(ad.owner_of(&[1, 25]), 0);
         assert_eq!(ad.owner_of(&[1, 26]), 1);
         let owned = ad.owned_rsd(1);
-        assert_eq!(owned, Rsd::new(vec![Triplet::lit(1, 100), Triplet::lit(26, 50)]));
+        assert_eq!(
+            owned,
+            Rsd::new(vec![Triplet::lit(1, 100), Triplet::lit(26, 50)])
+        );
     }
 
     #[test]
     fn alignment_offset_shifts_owner() {
         // ALIGN X(i) with D(i+10), D(110) BLOCK over 11 procs (block 10):
         // X(1) maps to D(11), owned by proc 1.
-        let dist = Distribution { kinds: vec![DistKind::Block], nprocs: 11 };
-        let al = Alignment { perm: vec![0], offset: vec![10] };
+        let dist = Distribution {
+            kinds: vec![DistKind::Block],
+            nprocs: 11,
+        };
+        let al = Alignment {
+            perm: vec![0],
+            offset: vec![10],
+        };
         let ad = ArrayDist::new(&[100], &al, &[110], &dist);
         assert_eq!(ad.owner_of(&[1]), 1);
         // Owned RSD of proc 1 expressed in X's indices: D[11:20] -> X[1:10].
@@ -631,7 +702,10 @@ mod tests {
     #[test]
     fn column_cyclic_for_dgefa() {
         // dgefa distributes A(n,n) (:,CYCLIC): column j owned by (j-1) mod P.
-        let dist = Distribution { kinds: vec![DistKind::Serial, DistKind::Cyclic], nprocs: 4 };
+        let dist = Distribution {
+            kinds: vec![DistKind::Serial, DistKind::Cyclic],
+            nprocs: 4,
+        };
         let ad = ArrayDist::new(&[8, 8], &Alignment::identity(2), &[8, 8], &dist);
         assert_eq!(ad.owner_of(&[3, 1]), 0);
         assert_eq!(ad.owner_of(&[3, 2]), 1);

@@ -18,7 +18,7 @@ use std::fmt;
 /// semantic meaning; it exists so `Sym` can key `BTreeMap`s when
 /// deterministic iteration order matters (it does, everywhere the compiler
 /// emits code or diagnostics).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Sym(pub u32);
 
 impl fmt::Debug for Sym {
@@ -95,7 +95,9 @@ impl Interner {
 
 impl fmt::Debug for Interner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Interner").field("len", &self.names.len()).finish()
+        f.debug_struct("Interner")
+            .field("len", &self.names.len())
+            .finish()
     }
 }
 

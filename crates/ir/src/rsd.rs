@@ -42,7 +42,11 @@ impl Triplet {
 
     /// Single-point triplet `e:e`.
     pub fn point(e: Affine) -> Self {
-        Triplet { lo: e.clone(), hi: e, step: 1 }
+        Triplet {
+            lo: e.clone(),
+            hi: e,
+            step: 1,
+        }
     }
 
     /// True if this triplet denotes exactly one point.
@@ -72,7 +76,11 @@ impl Triplet {
 
     /// Substitutes a symbol in both bounds.
     pub fn subst(&self, s: Sym, rep: &Affine) -> Self {
-        Triplet { lo: self.lo.subst(s, rep), hi: self.hi.subst(s, rep), step: self.step }
+        Triplet {
+            lo: self.lo.subst(s, rep),
+            hi: self.hi.subst(s, rep),
+            step: self.step,
+        }
     }
 
     /// Intersection of two unit-stride triplets, when provable.
@@ -81,7 +89,11 @@ impl Triplet {
             // Equal strides with provably equal bounds still intersect to self.
             if self.step == other.step && env.eq(&self.lo, &other.lo).is_yes() {
                 let hi = env.min(&self.hi, &other.hi)?.clone();
-                return Some(Triplet { lo: self.lo.clone(), hi, step: self.step });
+                return Some(Triplet {
+                    lo: self.lo.clone(),
+                    hi,
+                    step: self.step,
+                });
             }
             return None;
         }
@@ -103,13 +115,19 @@ impl Triplet {
         let mut out = Vec::new();
         // Left residue: [self.lo, other.lo-1] if nonempty provably; empty ok.
         match env.le(&self.lo, &other.lo.clone().plus_const(-1)) {
-            Tri::Yes => out.push(Triplet::new(self.lo.clone(), other.lo.clone().plus_const(-1))),
+            Tri::Yes => out.push(Triplet::new(
+                self.lo.clone(),
+                other.lo.clone().plus_const(-1),
+            )),
             Tri::No => {}
             Tri::Maybe => return None,
         }
         // Right residue: [other.hi+1, self.hi].
         match env.le(&other.hi.clone().plus_const(1), &self.hi) {
-            Tri::Yes => out.push(Triplet::new(other.hi.clone().plus_const(1), self.hi.clone())),
+            Tri::Yes => out.push(Triplet::new(
+                other.hi.clone().plus_const(1),
+                self.hi.clone(),
+            )),
             Tri::No => {}
             Tri::Maybe => return None,
         }
@@ -327,7 +345,9 @@ impl Rsd {
     /// Substitutes a symbol in every bound (call-site translation,
     /// loop-index instantiation).
     pub fn subst(&self, s: Sym, rep: &Affine) -> Rsd {
-        Rsd { dims: self.dims.iter().map(|d| d.subst(s, rep)).collect() }
+        Rsd {
+            dims: self.dims.iter().map(|d| d.subst(s, rep)).collect(),
+        }
     }
 
     /// Expands the triplet of dimension `d` over a loop range: each bound
@@ -348,8 +368,16 @@ impl Rsd {
                 return None;
             }
             // lo bound: minimized at idx = lo (coeff > 0) or idx = hi (< 0).
-            let new_lo = if clo >= 0 { t.lo.subst(idx, lo) } else { t.lo.subst(idx, hi) };
-            let new_hi = if chi >= 0 { t.hi.subst(idx, hi) } else { t.hi.subst(idx, lo) };
+            let new_lo = if clo >= 0 {
+                t.lo.subst(idx, lo)
+            } else {
+                t.lo.subst(idx, hi)
+            };
+            let new_hi = if chi >= 0 {
+                t.hi.subst(idx, hi)
+            } else {
+                t.hi.subst(idx, lo)
+            };
             // Only exact when the swept sections tile contiguously, which
             // holds for |coeff| ≤ 1 (the paper's stencil/column patterns).
             if clo.abs() > 1 || chi.abs() > 1 {
@@ -452,14 +480,18 @@ mod tests {
     #[test]
     fn subtract_2d_column_pattern() {
         // [1:30,1:100] \ [1:25,1:100] = [26:30,1:100]
-        let d = r2((1, 30), (1, 100)).subtract(&r2((1, 25), (1, 100)), &env()).unwrap();
+        let d = r2((1, 30), (1, 100))
+            .subtract(&r2((1, 25), (1, 100)), &env())
+            .unwrap();
         assert_eq!(d, vec![r2((26, 30), (1, 100))]);
     }
 
     #[test]
     fn subtract_2d_corner_two_rects() {
         // [1:10,1:10] \ [1:5,1:5] = [6:10,1:10] ∪ [1:5,6:10]
-        let d = r2((1, 10), (1, 10)).subtract(&r2((1, 5), (1, 5)), &env()).unwrap();
+        let d = r2((1, 10), (1, 10))
+            .subtract(&r2((1, 5), (1, 5)), &env())
+            .unwrap();
         assert_eq!(d.len(), 2);
         // Verify exact coverage by membership.
         let ev = |_s: Sym| -> Option<i64> { None };
@@ -516,7 +548,9 @@ mod tests {
         // X(26:30, i) over i = 1:100  =>  X(26:30, 1:100)   (§5.4 example)
         let i = Sym(7);
         let sec = Rsd::new(vec![Triplet::lit(26, 30), Triplet::point(Affine::sym(i))]);
-        let v = sec.vectorize(i, &Affine::konst(1), &Affine::konst(100)).unwrap();
+        let v = sec
+            .vectorize(i, &Affine::konst(1), &Affine::konst(100))
+            .unwrap();
         assert_eq!(v, r2((26, 30), (1, 100)));
     }
 
@@ -528,7 +562,9 @@ mod tests {
             Affine::sym(i).plus_const(1),
             Affine::sym(i).plus_const(5),
         )]);
-        let v = sec.vectorize(i, &Affine::konst(1), &Affine::konst(10)).unwrap();
+        let v = sec
+            .vectorize(i, &Affine::konst(1), &Affine::konst(10))
+            .unwrap();
         assert_eq!(v, r1(2, 15));
     }
 
@@ -539,7 +575,9 @@ mod tests {
         let n = Sym(8);
         let e = Affine::sym(n) - Affine::sym(i);
         let sec = Rsd::new(vec![Triplet::point(e)]);
-        let v = sec.vectorize(i, &Affine::konst(1), &Affine::konst(10)).unwrap();
+        let v = sec
+            .vectorize(i, &Affine::konst(1), &Affine::konst(10))
+            .unwrap();
         assert_eq!(v.dims[0].lo, Affine::sym(n).plus_const(-10));
         assert_eq!(v.dims[0].hi, Affine::sym(n).plus_const(-1));
     }
@@ -549,7 +587,9 @@ mod tests {
         // X(2i) over i: not contiguous, must refuse.
         let i = Sym(7);
         let sec = Rsd::new(vec![Triplet::point(Affine::term(i, 2))]);
-        assert!(sec.vectorize(i, &Affine::konst(1), &Affine::konst(10)).is_none());
+        assert!(sec
+            .vectorize(i, &Affine::konst(1), &Affine::konst(10))
+            .is_none());
     }
 
     #[test]
@@ -559,7 +599,10 @@ mod tests {
         let n = Sym(1);
         let mut e = SymEnv::new();
         e.set_range(k, 1, 99);
-        let a = Rsd::new(vec![Triplet::new(Affine::sym(k).plus_const(1), Affine::sym(n))]);
+        let a = Rsd::new(vec![Triplet::new(
+            Affine::sym(k).plus_const(1),
+            Affine::sym(n),
+        )]);
         let b = Rsd::new(vec![Triplet::new(Affine::konst(1), Affine::sym(n))]);
         let i = a.intersect(&b, &e).unwrap();
         assert_eq!(i, a);
@@ -569,7 +612,10 @@ mod tests {
     fn contains_symbolic() {
         let n = Sym(1);
         let whole = Rsd::whole(&[Affine::sym(n)]);
-        let part = Rsd::new(vec![Triplet::new(Affine::konst(2), Affine::sym(n).plus_const(-1))]);
+        let part = Rsd::new(vec![Triplet::new(
+            Affine::konst(2),
+            Affine::sym(n).plus_const(-1),
+        )]);
         assert!(whole.contains(&part, &env()).is_yes());
     }
 
@@ -577,15 +623,25 @@ mod tests {
     fn volume_counts_points() {
         assert_eq!(r2((26, 30), (1, 100)).volume(&env()), Some(500));
         assert_eq!(r1(5, 4).volume(&env()), Some(0));
-        let stepped = Rsd::new(vec![Triplet { lo: Affine::konst(1), hi: Affine::konst(9), step: 2 }]);
+        let stepped = Rsd::new(vec![Triplet {
+            lo: Affine::konst(1),
+            hi: Affine::konst(9),
+            step: 2,
+        }]);
         assert_eq!(stepped.volume(&env()), Some(5));
     }
 
     #[test]
     fn display_matches_paper_notation() {
         let nm = |_s: Sym| "i".to_string();
-        assert_eq!(format!("{}", r2((26, 30), (1, 100)).display(&nm)), "(26:30,1:100)");
-        let pt = Rsd::new(vec![Triplet::lit(26, 30), Triplet::point(Affine::sym(Sym(0)))]);
+        assert_eq!(
+            format!("{}", r2((26, 30), (1, 100)).display(&nm)),
+            "(26:30,1:100)"
+        );
+        let pt = Rsd::new(vec![
+            Triplet::lit(26, 30),
+            Triplet::point(Affine::sym(Sym(0))),
+        ]);
         assert_eq!(format!("{}", pt.display(&nm)), "(26:30,i)");
     }
 

@@ -193,7 +193,10 @@ mod tests {
         let mut env = SymEnv::new();
         env.set_const(s(0), 100);
         // n - 5 ≤ 100 when n = 100.
-        assert_eq!(env.le(&Affine::sym(s(0)).plus_const(-5), &Affine::konst(100)), Tri::Yes);
+        assert_eq!(
+            env.le(&Affine::sym(s(0)).plus_const(-5), &Affine::konst(100)),
+            Tri::Yes
+        );
         assert_eq!(env.eq(&Affine::sym(s(0)), &Affine::konst(100)), Tri::Yes);
     }
 
@@ -201,10 +204,16 @@ mod tests {
     fn range_interval_arithmetic() {
         let mut env = SymEnv::new();
         env.set_range(s(0), 1, 95); // loop index i in 1..95
-        // i + 5 ≤ 100
-        assert_eq!(env.le(&Affine::sym(s(0)).plus_const(5), &Affine::konst(100)), Tri::Yes);
+                                    // i + 5 ≤ 100
+        assert_eq!(
+            env.le(&Affine::sym(s(0)).plus_const(5), &Affine::konst(100)),
+            Tri::Yes
+        );
         // i + 5 ≤ 50 is unknown (i may be 95)
-        assert_eq!(env.le(&Affine::sym(s(0)).plus_const(5), &Affine::konst(50)), Tri::Maybe);
+        assert_eq!(
+            env.le(&Affine::sym(s(0)).plus_const(5), &Affine::konst(50)),
+            Tri::Maybe
+        );
         // i ≥ 1 i.e. 1 ≤ i
         assert_eq!(env.le(&Affine::konst(1), &Affine::sym(s(0))), Tri::Yes);
     }

@@ -8,7 +8,7 @@
 //! parity so a fast node entering the *next* collective cannot clobber a
 //! result a slow node has not yet read.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 #[derive(Default)]
 struct CollState {
@@ -46,7 +46,11 @@ impl SharedCollectives {
             best_rank: usize::MAX,
             ..CollState::default()
         };
-        SharedCollectives { nprocs, state: Mutex::new(state), cv: Condvar::new() }
+        SharedCollectives {
+            nprocs,
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+        }
     }
 
     /// Generic rendezvous: `contribute` runs under the lock for every
@@ -57,7 +61,7 @@ impl SharedCollectives {
         contribute: impl FnOnce(&mut CollState),
         compute: impl FnOnce(&mut CollState) -> CollOut,
     ) -> CollOut {
-        let mut g = self.state.lock();
+        let mut g = self.state.lock().expect("collective lock poisoned");
         let gen = g.generation;
         contribute(&mut g);
         g.arrived += 1;
@@ -77,17 +81,25 @@ impl SharedCollectives {
             // A bounded wait turns a peer's crash (which would otherwise
             // strand this thread in the rendezvous forever) into a
             // diagnosable panic.
-            let deadline =
-                std::time::Instant::now() + std::time::Duration::from_secs(30);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
             while g.generation == gen {
-                if self.cv.wait_until(&mut g, deadline).timed_out() {
-                    panic!(
-                        "collective timeout: a peer never arrived (crashed rank?)"
-                    );
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    panic!("collective timeout: a peer never arrived (crashed rank?)");
+                }
+                let (g2, res) = self
+                    .cv
+                    .wait_timeout(g, deadline - now)
+                    .expect("collective lock poisoned");
+                g = g2;
+                if res.timed_out() && g.generation == gen {
+                    panic!("collective timeout: a peer never arrived (crashed rank?)");
                 }
             }
         }
-        g.results[(gen % 2) as usize].clone().expect("collective result missing")
+        g.results[(gen % 2) as usize]
+            .clone()
+            .expect("collective result missing")
     }
 
     /// Barrier: returns the common exit clock
@@ -123,7 +135,11 @@ impl SharedCollectives {
             |g| {
                 let data = g.payload.take().expect("bcast: no root payload");
                 let bytes = (data.len() * 8) as u64;
-                CollOut { time: finish(g.payload_clock, bytes), data, sum: 0.0 }
+                CollOut {
+                    time: finish(g.payload_clock, bytes),
+                    data,
+                    sum: 0.0,
+                }
             },
         );
         (out.time, out.data)

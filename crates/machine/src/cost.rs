@@ -1,7 +1,5 @@
 //! Communication and computation cost model.
 
-use serde::{Deserialize, Serialize};
-
 /// LogGP-style cost parameters, in microseconds.
 ///
 /// The defaults approximate the Intel iPSC/860 the paper evaluated on:
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// rarely sustained more than a few MFLOPS on compiled code). The paper's
 /// claims depend on the *ratios* (startup ≫ per-byte ≫ per-flop), not the
 /// absolute values; EXPERIMENTS.md records shape comparisons only.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CostModel {
     /// Message startup latency α (charged to the sender per message).
     pub alpha_us: f64,
@@ -42,7 +40,11 @@ impl CostModel {
     /// A cost model with free computation — isolates communication effects
     /// in ablation benchmarks.
     pub fn comm_only() -> Self {
-        CostModel { flop_us: 0.0, op_us: 0.0, ..Self::ipsc860() }
+        CostModel {
+            flop_us: 0.0,
+            op_us: 0.0,
+            ..Self::ipsc860()
+        }
     }
 
     /// Cost charged to a sender for a message of `bytes` bytes.

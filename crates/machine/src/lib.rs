@@ -28,7 +28,7 @@ pub use cost::CostModel;
 pub use node::{Msg, Node};
 pub use stats::{NodeStats, RunStats};
 
-use crossbeam_channel::unbounded;
+use std::sync::mpsc::channel as unbounded;
 use std::sync::Arc;
 
 /// A simulated distributed-memory machine with `nprocs` nodes.
@@ -38,17 +38,36 @@ pub struct Machine {
     pub nprocs: usize,
     /// Communication/computation cost model.
     pub cost: CostModel,
+    /// Real-time budget a node may block on a receive before the run is
+    /// declared deadlocked (default 30 s; see [`Node::recv`]).
+    deadlock_timeout: std::time::Duration,
 }
 
 impl Machine {
     /// Creates a machine with the default (iPSC/860-flavoured) cost model.
     pub fn new(nprocs: usize) -> Self {
-        Machine { nprocs, cost: CostModel::ipsc860() }
+        Machine {
+            nprocs,
+            cost: CostModel::ipsc860(),
+            deadlock_timeout: node::DEADLOCK_TIMEOUT,
+        }
     }
 
     /// Creates a machine with an explicit cost model.
     pub fn with_cost(nprocs: usize, cost: CostModel) -> Self {
-        Machine { nprocs, cost }
+        Machine {
+            nprocs,
+            cost,
+            deadlock_timeout: node::DEADLOCK_TIMEOUT,
+        }
+    }
+
+    /// Overrides the receive deadlock timeout. Intended for tests that
+    /// exercise the deadlock diagnostic without the 30-second stall; the
+    /// default is generous because simulation work is microseconds.
+    pub fn with_deadlock_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.deadlock_timeout = timeout;
+        self
     }
 
     /// Runs one SPMD program: `body` is executed once per node, in parallel,
@@ -69,10 +88,10 @@ impl Machine {
         let mut senders = Vec::with_capacity(p * p);
         let mut receivers: Vec<Vec<_>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
         for _src in 0..p {
-            for dst in 0..p {
+            for dst_receivers in receivers.iter_mut() {
                 let (tx, rx) = unbounded::<Msg>();
                 senders.push(tx);
-                receivers[dst].push(rx);
+                dst_receivers.push(rx);
             }
         }
         let senders = Arc::new(senders);
@@ -85,9 +104,11 @@ impl Machine {
                 let senders = Arc::clone(&senders);
                 let collectives = Arc::clone(&collectives);
                 let cost = self.cost.clone();
+                let timeout = self.deadlock_timeout;
                 let body = &body;
                 handles.push(scope.spawn(move || {
-                    let mut node = Node::new(rank, p, cost, senders, my_receivers, collectives);
+                    let mut node =
+                        Node::new(rank, p, cost, senders, my_receivers, collectives, timeout);
                     body(&mut node);
                     node.into_stats()
                 }));
@@ -123,7 +144,11 @@ mod tests {
     fn ping_message_timing() {
         let m = Machine::with_cost(
             2,
-            CostModel { alpha_us: 100.0, beta_us_per_byte: 1.0, ..CostModel::ipsc860() },
+            CostModel {
+                alpha_us: 100.0,
+                beta_us_per_byte: 1.0,
+                ..CostModel::ipsc860()
+            },
         );
         let stats = m.run(|node| {
             if node.rank() == 0 {
@@ -136,15 +161,23 @@ mod tests {
         assert_eq!(stats.total_msgs, 1);
         assert_eq!(stats.total_bytes, 16);
         // Sender clock: 0 + α + 16β = 116; receiver waits until then.
-        assert!((stats.time_us - 116.0).abs() < 1e-9, "time {}", stats.time_us);
+        assert!(
+            (stats.time_us - 116.0).abs() < 1e-9,
+            "time {}",
+            stats.time_us
+        );
     }
 
     #[test]
     fn receiver_compute_overlaps_latency() {
         // If the receiver is already busy past the arrival time, the message
         // costs it nothing extra.
-        let cost =
-            CostModel { alpha_us: 10.0, beta_us_per_byte: 0.0, flop_us: 1.0, ..CostModel::ipsc860() };
+        let cost = CostModel {
+            alpha_us: 10.0,
+            beta_us_per_byte: 0.0,
+            flop_us: 1.0,
+            ..CostModel::ipsc860()
+        };
         let m = Machine::with_cost(2, cost);
         let stats = m.run(|node| {
             if node.rank() == 0 {
@@ -178,8 +211,12 @@ mod tests {
     #[test]
     fn ring_pipeline_time_accumulates() {
         // 0 -> 1 -> 2 -> 3: each hop adds α.
-        let cost =
-            CostModel { alpha_us: 50.0, beta_us_per_byte: 0.0, flop_us: 0.0, ..CostModel::ipsc860() };
+        let cost = CostModel {
+            alpha_us: 50.0,
+            beta_us_per_byte: 0.0,
+            flop_us: 0.0,
+            ..CostModel::ipsc860()
+        };
         let m = Machine::with_cost(4, cost);
         let stats = m.run(|node| {
             let r = node.rank();
@@ -192,13 +229,21 @@ mod tests {
                 }
             }
         });
-        assert!((stats.time_us - 150.0).abs() < 1e-9, "time {}", stats.time_us);
+        assert!(
+            (stats.time_us - 150.0).abs() < 1e-9,
+            "time {}",
+            stats.time_us
+        );
         assert_eq!(stats.total_msgs, 3);
     }
 
     #[test]
     fn barrier_synchronizes_clocks() {
-        let cost = CostModel { alpha_us: 10.0, flop_us: 1.0, ..CostModel::ipsc860() };
+        let cost = CostModel {
+            alpha_us: 10.0,
+            flop_us: 1.0,
+            ..CostModel::ipsc860()
+        };
         let m = Machine::with_cost(4, cost.clone());
         m.run(|node| {
             node.charge_flops((node.rank() as u64 + 1) * 100);
@@ -214,7 +259,11 @@ mod tests {
     fn broadcast_delivers_and_charges() {
         let m = Machine::new(4);
         let stats = m.run(|node| {
-            let data = if node.rank() == 2 { vec![3.25; 8] } else { vec![] };
+            let data = if node.rank() == 2 {
+                vec![3.25; 8]
+            } else {
+                vec![]
+            };
             let got = node.bcast(2, &data);
             assert_eq!(got, vec![3.25; 8]);
         });

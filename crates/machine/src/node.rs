@@ -3,13 +3,15 @@
 use crate::collective::SharedCollectives;
 use crate::cost::CostModel;
 use crate::stats::NodeStats;
-use crossbeam_channel::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// How long a real thread may block on a simulated receive before the run
 /// is declared deadlocked. Generous: simulation work is microseconds.
-const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+/// Tests shrink it via [`crate::Machine::with_deadlock_timeout`] so the
+/// deadlock path can be exercised without a 30-second stall.
+pub(crate) const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// One simulated message: a tag, a payload of f64 words, and the virtual
 /// time at which it becomes available to the receiver.
@@ -35,6 +37,7 @@ pub struct Node {
     receivers: Vec<Receiver<Msg>>,
     collectives: Arc<SharedCollectives>,
     stats: NodeStats,
+    deadlock_timeout: Duration,
 }
 
 impl Node {
@@ -45,8 +48,19 @@ impl Node {
         senders: Arc<Vec<Sender<Msg>>>,
         receivers: Vec<Receiver<Msg>>,
         collectives: Arc<SharedCollectives>,
+        deadlock_timeout: Duration,
     ) -> Self {
-        Node { rank, nprocs, cost, clock_us: 0.0, senders, receivers, collectives, stats: NodeStats::default() }
+        Node {
+            rank,
+            nprocs,
+            cost,
+            clock_us: 0.0,
+            senders,
+            receivers,
+            collectives,
+            stats: NodeStats::default(),
+            deadlock_timeout,
+        }
     }
 
     /// This node's rank, `0 ≤ rank < nprocs` (the paper's `my$p`).
@@ -99,7 +113,11 @@ impl Node {
         self.clock_us += self.cost.send_cost(bytes);
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes;
-        let msg = Msg { tag, data: data.to_vec(), avail_at_us: self.clock_us };
+        let msg = Msg {
+            tag,
+            data: data.to_vec(),
+            avail_at_us: self.clock_us,
+        };
         self.senders[self.rank * self.nprocs + dst]
             .send(msg)
             .expect("machine channel closed while sending");
@@ -115,11 +133,11 @@ impl Node {
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
         assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
         let msg = self.receivers[src]
-            .recv_timeout(DEADLOCK_TIMEOUT)
+            .recv_timeout(self.deadlock_timeout)
             .unwrap_or_else(|_| {
                 panic!(
                     "deadlock: rank {} waited >{:?} for a message from {} (tag {})",
-                    self.rank, DEADLOCK_TIMEOUT, src, tag
+                    self.rank, self.deadlock_timeout, src, tag
                 )
             });
         assert_eq!(
@@ -138,7 +156,9 @@ impl Node {
     /// `max(entry clocks) + α·⌈log₂ P⌉`.
     pub fn barrier(&mut self) {
         let levels = log2_ceil(self.nprocs);
-        let t = self.collectives.barrier(self.clock_us, self.cost.alpha_us * levels as f64);
+        let t = self
+            .collectives
+            .barrier(self.clock_us, self.cost.alpha_us * levels as f64);
         if t > self.clock_us {
             self.stats.wait_us += t - self.clock_us;
         }
@@ -158,9 +178,11 @@ impl Node {
         let is_root = self.rank == root;
         let levels = log2_ceil(self.nprocs);
         let payload = if is_root { Some(data.to_vec()) } else { None };
-        let (t, out) = self.collectives.bcast(self.clock_us, payload, |root_clock, bytes| {
-            root_clock + levels as f64 * self.cost.send_cost(bytes)
-        });
+        let (t, out) = self
+            .collectives
+            .bcast(self.clock_us, payload, |root_clock, bytes| {
+                root_clock + levels as f64 * self.cost.send_cost(bytes)
+            });
         if is_root {
             self.stats.msgs_sent += (self.nprocs - 1) as u64;
             self.stats.bytes_sent += (self.nprocs - 1) as u64 * (out.len() * 8) as u64;
@@ -206,7 +228,8 @@ impl Node {
         let bytes = (payload.len() * 8 + 8) as u64;
         let extra = 2.0 * levels as f64 * self.cost.send_cost(bytes);
         let (t, value, data) =
-            self.collectives.maxloc(self.clock_us, self.rank, v, payload.to_vec(), extra);
+            self.collectives
+                .maxloc(self.clock_us, self.rank, v, payload.to_vec(), extra);
         if self.rank == 0 {
             self.stats.msgs_sent += 2 * (self.nprocs - 1) as u64;
             self.stats.bytes_sent += 2 * (self.nprocs - 1) as u64 * bytes;

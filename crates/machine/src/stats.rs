@@ -1,9 +1,7 @@
 //! Execution statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Statistics for one simulated node.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct NodeStats {
     /// Final virtual clock (µs).
     pub time_us: f64,
@@ -22,7 +20,7 @@ pub struct NodeStats {
 }
 
 /// Aggregated statistics of one program run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Program execution time: max over nodes of the final clock (µs).
     pub time_us: f64,
@@ -43,7 +41,10 @@ pub struct RunStats {
 impl RunStats {
     /// Folds per-node statistics into a run summary.
     pub fn aggregate(per_node: Vec<NodeStats>) -> Self {
-        let mut s = RunStats { per_node, ..Default::default() };
+        let mut s = RunStats {
+            per_node,
+            ..Default::default()
+        };
         for n in &s.per_node {
             s.time_us = s.time_us.max(n.time_us);
             s.total_msgs += n.msgs_sent;
@@ -67,8 +68,20 @@ mod tests {
 
     #[test]
     fn aggregate_takes_max_time_and_sums_counters() {
-        let a = NodeStats { time_us: 10.0, msgs_sent: 2, bytes_sent: 16, flops: 5, ..Default::default() };
-        let b = NodeStats { time_us: 30.0, msgs_sent: 1, bytes_sent: 8, flops: 7, ..Default::default() };
+        let a = NodeStats {
+            time_us: 10.0,
+            msgs_sent: 2,
+            bytes_sent: 16,
+            flops: 5,
+            ..Default::default()
+        };
+        let b = NodeStats {
+            time_us: 30.0,
+            msgs_sent: 1,
+            bytes_sent: 8,
+            flops: 7,
+            ..Default::default()
+        };
         let s = RunStats::aggregate(vec![a, b]);
         assert_eq!(s.time_us, 30.0);
         assert_eq!(s.total_msgs, 3);

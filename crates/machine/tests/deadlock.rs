@@ -1,0 +1,72 @@
+//! The simulator's deadlock path: a receive with no matching send must
+//! fail loudly with the documented diagnostic instead of hanging the test
+//! suite — that diagnostic is how compiler bugs that emit mismatched
+//! communication surface during the paper reproductions.
+
+use fortrand_machine::Machine;
+use std::time::{Duration, Instant};
+
+#[test]
+fn unmatched_recv_panics_with_deadlock_diagnostic_within_timeout() {
+    let machine = Machine::new(2).with_deadlock_timeout(Duration::from_millis(200));
+    let t0 = Instant::now();
+    // Silence the default panic-to-stderr printer for the expected panic.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        machine.run(|node| {
+            if node.rank() == 0 {
+                node.recv(1, 42);
+            }
+        });
+    }));
+    std::panic::set_hook(prev_hook);
+    let elapsed = t0.elapsed();
+
+    let err = res.expect_err("run must propagate the deadlock panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("deadlock: rank 0 waited"),
+        "unexpected diagnostic: {msg}"
+    );
+    assert!(
+        msg.contains("for a message from 1 (tag 42)"),
+        "unexpected diagnostic: {msg}"
+    );
+    // The shrunk timeout must be honored: well under the 30 s default.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "diagnostic took {elapsed:?}"
+    );
+}
+
+#[test]
+fn tag_mismatch_panics_with_diagnostic() {
+    let machine = Machine::new(2).with_deadlock_timeout(Duration::from_millis(500));
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        machine.run(|node| {
+            if node.rank() == 0 {
+                node.send(1, 7, &[1.0]);
+            } else {
+                node.recv(0, 8);
+            }
+        });
+    }));
+    std::panic::set_hook(prev_hook);
+    let err = res.expect_err("tag mismatch must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("tag mismatch on rank 1"),
+        "unexpected diagnostic: {msg}"
+    );
+}

@@ -28,7 +28,13 @@ fn many_tags_interleaved_fifo() {
 
 #[test]
 fn collectives_with_heavily_skewed_clocks() {
-    let m = Machine::with_cost(4, CostModel { flop_us: 1.0, ..CostModel::ipsc860() });
+    let m = Machine::with_cost(
+        4,
+        CostModel {
+            flop_us: 1.0,
+            ..CostModel::ipsc860()
+        },
+    );
     m.run(|node| {
         // Rank 3 is 10^6 µs ahead.
         if node.rank() == 3 {
@@ -73,7 +79,12 @@ fn single_processor_collectives_are_free() {
 
 #[test]
 fn wait_time_accounted_as_idle() {
-    let cost = CostModel { alpha_us: 10.0, beta_us_per_byte: 0.0, flop_us: 1.0, ..CostModel::ipsc860() };
+    let cost = CostModel {
+        alpha_us: 10.0,
+        beta_us_per_byte: 0.0,
+        flop_us: 1.0,
+        ..CostModel::ipsc860()
+    };
     let m = Machine::with_cost(2, cost);
     let stats = m.run(|node| {
         if node.rank() == 0 {

@@ -15,9 +15,9 @@ use crate::ir::*;
 use fortrand_ir::dist::ArrayDist;
 use fortrand_ir::Sym;
 use fortrand_machine::{Machine, Node, RunStats};
-use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Result of running a node program.
 #[derive(Debug)]
@@ -53,13 +53,13 @@ pub fn run_spmd(
         let rank = exec.node.rank();
         let fin = exec.finish();
         if rank == 0 {
-            printed.lock().extend(exec.printed.drain(..));
+            printed.lock().unwrap().extend(exec.printed.drain(..));
         }
-        finals.lock()[rank] = Some(fin);
+        finals.lock().unwrap()[rank] = Some(fin);
     });
 
     // Assemble global arrays from per-rank finals.
-    let finals = finals.into_inner();
+    let finals = finals.into_inner().unwrap();
     let per_rank: Vec<Vec<FinalArray>> = finals.into_iter().map(Option::unwrap).collect();
     let mut arrays = BTreeMap::new();
     if let Some(rank0) = per_rank.first() {
@@ -96,13 +96,21 @@ pub fn run_spmd(
             arrays.insert(fa.name, global);
         }
     }
-    ExecOutput { stats, arrays, printed: printed.into_inner() }
+    ExecOutput {
+        stats,
+        arrays,
+        printed: printed.into_inner().unwrap(),
+    }
 }
 
 /// Global (pre-partitioning) extents implied by a distribution, in array
 /// index space.
 pub fn global_extents(dist: &ArrayDist) -> Vec<i64> {
-    dist.dims.iter().enumerate().map(|(d, p)| p.extent - dist.offsets[d]).collect()
+    dist.dims
+        .iter()
+        .enumerate()
+        .map(|(d, p)| p.extent - dist.offsets[d])
+        .collect()
 }
 
 /// One array's final state on one rank.
@@ -165,8 +173,17 @@ struct ArrayStore {
 
 impl ArrayStore {
     fn alloc(name: Sym, bounds: Vec<(i64, i64)>, dist: DistId) -> Self {
-        let len: i64 = bounds.iter().map(|&(lo, hi)| (hi - lo + 1).max(0)).product();
-        ArrayStore { name, bounds, data: vec![0.0; len as usize], dist, owner_dist: None }
+        let len: i64 = bounds
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1).max(0))
+            .product();
+        ArrayStore {
+            name,
+            bounds,
+            data: vec![0.0; len as usize],
+            dist,
+            owner_dist: None,
+        }
     }
     fn flat(&self, subs: &[i64]) -> usize {
         debug_assert_eq!(subs.len(), self.bounds.len());
@@ -247,7 +264,10 @@ impl<'a> Exec<'a> {
 
     fn enter_main(&mut self, init: &BTreeMap<Sym, Vec<f64>>) {
         let main = &self.prog.procs[self.prog.main];
-        let mut frame = Frame { arrays: FxHashMap::default(), scalars: FxHashMap::default() };
+        let mut frame = Frame {
+            arrays: FxHashMap::default(),
+            scalars: FxHashMap::default(),
+        };
         for d in &main.decls {
             let id = self.heap.len();
             let mut store = ArrayStore::alloc(d.name, d.bounds.clone(), d.dist);
@@ -352,14 +372,24 @@ impl<'a> Exec<'a> {
                 self.assign(lhs, v);
                 Flow::Normal
             }
-            SStmt::Do { var, lo, hi, step, body } => {
+            SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo = self.eval(lo).as_i();
                 let hi = self.eval(hi).as_i();
                 let step = *step;
                 assert!(step != 0, "zero DO step");
                 let mut i = lo;
                 while (step > 0 && i <= hi) || (step < 0 && i >= hi) {
-                    self.frames.last_mut().unwrap().scalars.insert(*var, Value::I(i));
+                    self.frames
+                        .last_mut()
+                        .unwrap()
+                        .scalars
+                        .insert(*var, Value::I(i));
                     self.pending_ops += 1; // loop bookkeeping
                     match self.exec_body(body) {
                         Flow::Normal => {}
@@ -369,7 +399,11 @@ impl<'a> Exec<'a> {
                 }
                 Flow::Normal
             }
-            SStmt::If { cond, then_body, else_body } => {
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 self.pending_ops += 1;
                 if self.eval(cond).truthy() {
                     self.exec_body(then_body)
@@ -377,11 +411,17 @@ impl<'a> Exec<'a> {
                     self.exec_body(else_body)
                 }
             }
-            SStmt::Call { proc, args, copy_out } => {
+            SStmt::Call {
+                proc,
+                args,
+                copy_out,
+            } => {
                 let callee = &self.prog.procs[*proc];
                 assert_eq!(callee.formals.len(), args.len(), "call arity");
-                let mut frame =
-                    Frame { arrays: FxHashMap::default(), scalars: FxHashMap::default() };
+                let mut frame = Frame {
+                    arrays: FxHashMap::default(),
+                    scalars: FxHashMap::default(),
+                };
                 for (f, a) in callee.formals.iter().zip(args) {
                     match (f.is_array, a) {
                         (true, SActual::Array(name)) => {
@@ -408,7 +448,11 @@ impl<'a> Exec<'a> {
                 let callee_frame = self.frames.pop().unwrap();
                 for (f, caller_var) in copy_out {
                     if let Some(&v) = callee_frame.scalars.get(f) {
-                        self.frames.last_mut().unwrap().scalars.insert(*caller_var, v);
+                        self.frames
+                            .last_mut()
+                            .unwrap()
+                            .scalars
+                            .insert(*caller_var, v);
                     }
                 }
                 match flow {
@@ -418,7 +462,12 @@ impl<'a> Exec<'a> {
             }
             SStmt::Return => Flow::Return,
             SStmt::Stop => Flow::Stop,
-            SStmt::Send { to, tag, array, section } => {
+            SStmt::Send {
+                to,
+                tag,
+                array,
+                section,
+            } => {
                 let dst = self.eval(to).as_i();
                 assert!(dst >= 0, "negative send destination");
                 let data = self.gather_section(*array, section);
@@ -426,7 +475,12 @@ impl<'a> Exec<'a> {
                 self.node.send(dst as usize, *tag, &data);
                 Flow::Normal
             }
-            SStmt::Recv { from, tag, array, section } => {
+            SStmt::Recv {
+                from,
+                tag,
+                array,
+                section,
+            } => {
                 let src = self.eval(from).as_i();
                 assert!(src >= 0, "negative recv source");
                 self.flush_charges();
@@ -448,11 +502,20 @@ impl<'a> Exec<'a> {
                 self.assign(lhs, Value::R(data[0]));
                 Flow::Normal
             }
-            SStmt::Bcast { root, src_array, src_section, dst_array, dst_section } => {
+            SStmt::Bcast {
+                root,
+                src_array,
+                src_section,
+                dst_array,
+                dst_section,
+            } => {
                 let root = self.eval(root).as_i() as usize;
                 let is_root = self.node.rank() == root;
-                let data =
-                    if is_root { self.gather_section(*src_array, src_section) } else { vec![] };
+                let data = if is_root {
+                    self.gather_section(*src_array, src_section)
+                } else {
+                    vec![]
+                };
                 self.flush_charges();
                 let out = self.node.bcast(root, &data);
                 self.scatter_section(*dst_array, dst_section, &out);
@@ -477,7 +540,11 @@ impl<'a> Exec<'a> {
                 // Scalars broadcast this way are integers in practice
                 // (pivot indices); preserve integrality when exact.
                 let v = out[0];
-                let val = if v == v.trunc() { Value::I(v as i64) } else { Value::R(v) };
+                let val = if v == v.trunc() {
+                    Value::I(v as i64)
+                } else {
+                    Value::R(v)
+                };
                 self.frames.last_mut().unwrap().scalars.insert(*var, val);
                 Flow::Normal
             }
@@ -622,7 +689,7 @@ impl<'a> Exec<'a> {
                 Sub => Value::I(x - y),
                 Mul => Value::I(x * y),
                 Div => Value::I(x / y),
-                Pow => Value::I(x.pow(y.max(0).min(62) as u32)),
+                Pow => Value::I(x.pow(y.clamp(0, 62) as u32)),
                 Lt => bool_v(x < y),
                 Le => bool_v(x <= y),
                 Gt => bool_v(x > y),
@@ -671,7 +738,11 @@ impl<'a> Exec<'a> {
                 if vals.iter().all(|v| matches!(v, Value::I(_))) {
                     Value::I(vals.iter().map(|v| v.as_i()).max().unwrap())
                 } else {
-                    Value::R(vals.iter().map(|v| v.as_r()).fold(f64::NEG_INFINITY, f64::max))
+                    Value::R(
+                        vals.iter()
+                            .map(|v| v.as_r())
+                            .fold(f64::NEG_INFINITY, f64::max),
+                    )
                 }
             }
             SIntr::Mod => match (vals[0], vals[1]) {
@@ -816,7 +887,9 @@ impl<'a> Exec<'a> {
     /// authoritative values move from old owners to new owners.
     fn remap_global(&mut self, array: Sym, to_dist: DistId) {
         let id = self.array_id(array);
-        let from = self.heap[id].owner_dist.expect("remap_global on non-rtr array");
+        let from = self.heap[id]
+            .owner_dist
+            .expect("remap_global on non-rtr array");
         self.flush_charges();
         self.node.charge_remap();
         if from == to_dist {
@@ -892,7 +965,10 @@ mod tests {
             &[n],
             &Alignment::identity(1),
             &[n],
-            &Distribution { kinds: vec![DistKind::Block], nprocs: p },
+            &Distribution {
+                kinds: vec![DistKind::Block],
+                nprocs: p,
+            },
         )
     }
 
@@ -901,7 +977,10 @@ mod tests {
             &[n],
             &Alignment::identity(1),
             &[n],
-            &Distribution { kinds: vec![DistKind::Cyclic], nprocs: p },
+            &Distribution {
+                kinds: vec![DistKind::Cyclic],
+                nprocs: p,
+            },
         )
     }
 
@@ -913,23 +992,39 @@ mod tests {
         let main = int.intern("main");
         let a = int.intern("a");
         let i = int.intern("i");
-        let mut prog =
-            SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+        let mut prog = SpmdProgram {
+            interner: int,
+            nprocs: 2,
+            procs: vec![],
+            main: 0,
+            dists: vec![],
+        };
         let did = prog.add_dist(ArrayDist::replicated(&[4]));
         prog.procs.push(SProc {
             name: main,
             formals: vec![],
-            decls: vec![SDecl { name: a, bounds: vec![(1, 4)], dist: did, owner_dist: None }],
+            decls: vec![SDecl {
+                name: a,
+                bounds: vec![(1, 4)],
+                dist: did,
+                owner_dist: None,
+            }],
             body: vec![SStmt::Do {
                 var: i,
                 lo: SExpr::int(1),
                 hi: SExpr::int(4),
                 step: 1,
                 body: vec![SStmt::Assign {
-                    lhs: SLval::Elem { array: a, subs: vec![SExpr::Var(i)] },
+                    lhs: SLval::Elem {
+                        array: a,
+                        subs: vec![SExpr::Var(i)],
+                    },
                     rhs: SExpr::mul(
                         SExpr::Real(2.0),
-                        SExpr::Elem { array: a, subs: vec![SExpr::Var(i)] },
+                        SExpr::Elem {
+                            array: a,
+                            subs: vec![SExpr::Var(i)],
+                        },
                     ),
                 }],
             }],
@@ -950,20 +1045,33 @@ mod tests {
         let main = int.intern("main");
         let a = int.intern("a");
         let i = int.intern("i");
-        let mut prog =
-            SpmdProgram { interner: int, nprocs: 4, procs: vec![], main: 0, dists: vec![] };
+        let mut prog = SpmdProgram {
+            interner: int,
+            nprocs: 4,
+            procs: vec![],
+            main: 0,
+            dists: vec![],
+        };
         let did = prog.add_dist(block_dist(8, 4)); // blocks of 2
         prog.procs.push(SProc {
             name: main,
             formals: vec![],
-            decls: vec![SDecl { name: a, bounds: vec![(1, 2)], dist: did, owner_dist: None }],
+            decls: vec![SDecl {
+                name: a,
+                bounds: vec![(1, 2)],
+                dist: did,
+                owner_dist: None,
+            }],
             body: vec![SStmt::Do {
                 var: i,
                 lo: SExpr::int(1),
                 hi: SExpr::int(2),
                 step: 1,
                 body: vec![SStmt::Assign {
-                    lhs: SLval::Elem { array: a, subs: vec![SExpr::Var(i)] },
+                    lhs: SLval::Elem {
+                        array: a,
+                        subs: vec![SExpr::Var(i)],
+                    },
                     rhs: SExpr::add(SExpr::MyP, SExpr::int(1)),
                 }],
             }],
@@ -979,13 +1087,23 @@ mod tests {
         let mut int = Interner::new();
         let main = int.intern("main");
         let a = int.intern("a");
-        let mut prog =
-            SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+        let mut prog = SpmdProgram {
+            interner: int,
+            nprocs: 2,
+            procs: vec![],
+            main: 0,
+            dists: vec![],
+        };
         let did = prog.add_dist(block_dist(4, 2)); // local 1:2, overlap to 0
         prog.procs.push(SProc {
             name: main,
             formals: vec![],
-            decls: vec![SDecl { name: a, bounds: vec![(0, 2)], dist: did, owner_dist: None }],
+            decls: vec![SDecl {
+                name: a,
+                bounds: vec![(0, 2)],
+                dist: did,
+                owner_dist: None,
+            }],
             body: vec![
                 // if my$p == 0 send A(2:2) to 1; if my$p == 1 recv into A(0:0)
                 SStmt::If {
@@ -1007,9 +1125,15 @@ mod tests {
                 SStmt::If {
                     cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::int(1)),
                     then_body: vec![SStmt::Assign {
-                        lhs: SLval::Elem { array: a, subs: vec![SExpr::int(1)] },
+                        lhs: SLval::Elem {
+                            array: a,
+                            subs: vec![SExpr::int(1)],
+                        },
                         rhs: SExpr::add(
-                            SExpr::Elem { array: a, subs: vec![SExpr::int(0)] },
+                            SExpr::Elem {
+                                array: a,
+                                subs: vec![SExpr::int(0)],
+                            },
                             SExpr::Real(10.0),
                         ),
                     }],
@@ -1032,17 +1156,33 @@ mod tests {
         let mut int = Interner::new();
         let main = int.intern("main");
         let a = int.intern("a");
-        let mut prog =
-            SpmdProgram { interner: int, nprocs: 3, procs: vec![], main: 0, dists: vec![] };
+        let mut prog = SpmdProgram {
+            interner: int,
+            nprocs: 3,
+            procs: vec![],
+            main: 0,
+            dists: vec![],
+        };
         let dblock = prog.add_dist(block_dist(10, 3));
         let dcyc = prog.add_dist(cyclic_dist(10, 3));
         prog.procs.push(SProc {
             name: main,
             formals: vec![],
-            decls: vec![SDecl { name: a, bounds: vec![(1, 4)], dist: dblock, owner_dist: None }],
+            decls: vec![SDecl {
+                name: a,
+                bounds: vec![(1, 4)],
+                dist: dblock,
+                owner_dist: None,
+            }],
             body: vec![
-                SStmt::Remap { array: a, to_dist: dcyc },
-                SStmt::Remap { array: a, to_dist: dblock },
+                SStmt::Remap {
+                    array: a,
+                    to_dist: dcyc,
+                },
+                SStmt::Remap {
+                    array: a,
+                    to_dist: dblock,
+                },
             ],
         });
         let m = Machine::new(3);
@@ -1063,18 +1203,31 @@ mod tests {
         let main = int.intern("main");
         let a = int.intern("a");
         let w = int.intern("w");
-        let mut prog =
-            SpmdProgram { interner: int, nprocs: 4, procs: vec![], main: 0, dists: vec![] };
+        let mut prog = SpmdProgram {
+            interner: int,
+            nprocs: 4,
+            procs: vec![],
+            main: 0,
+            dists: vec![],
+        };
         let did = prog.add_dist(cyclic_dist(8, 4));
         prog.procs.push(SProc {
             name: main,
             formals: vec![],
-            decls: vec![SDecl { name: a, bounds: vec![(1, 2)], dist: did, owner_dist: None }],
+            decls: vec![SDecl {
+                name: a,
+                bounds: vec![(1, 2)],
+                dist: did,
+                owner_dist: None,
+            }],
             body: vec![
                 // w = owner(a(6)): global 6 under cyclic(4) -> rank 1.
                 SStmt::Assign {
                     lhs: SLval::Scalar(w),
-                    rhs: SExpr::Owner { dist: did, subs: vec![SExpr::int(6)] },
+                    rhs: SExpr::Owner {
+                        dist: did,
+                        subs: vec![SExpr::int(6)],
+                    },
                 },
                 // a(local(6)) = w + 1 on the owner only.
                 SStmt::If {
@@ -1097,8 +1250,7 @@ mod tests {
         let m = Machine::new(4);
         let out = run_spmd(&prog, &m, &BTreeMap::new());
         // Global index 6 should be 2.0, everything else 0.
-        let expect: Vec<f64> =
-            (1..=8).map(|g| if g == 6 { 2.0 } else { 0.0 }).collect();
+        let expect: Vec<f64> = (1..=8).map(|g| if g == 6 { 2.0 } else { 0.0 }).collect();
         assert_eq!(out.arrays[&a], expect);
     }
 
@@ -1107,13 +1259,20 @@ mod tests {
     fn print_collected_from_rank0() {
         let mut int = Interner::new();
         let main = int.intern("main");
-        let mut prog =
-            SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+        let mut prog = SpmdProgram {
+            interner: int,
+            nprocs: 2,
+            procs: vec![],
+            main: 0,
+            dists: vec![],
+        };
         prog.procs.push(SProc {
             name: main,
             formals: vec![],
             decls: vec![],
-            body: vec![SStmt::Print { args: vec![SExpr::int(42)] }],
+            body: vec![SStmt::Print {
+                args: vec![SExpr::int(42)],
+            }],
         });
         let m = Machine::with_cost(2, CostModel::comm_only());
         let out = run_spmd(&prog, &m, &BTreeMap::new());
@@ -1129,13 +1288,23 @@ mod tests {
         let a = int.intern("a");
         let z = int.intern("z");
         let v = int.intern("v");
-        let mut prog =
-            SpmdProgram { interner: int, nprocs: 1, procs: vec![], main: 0, dists: vec![] };
+        let mut prog = SpmdProgram {
+            interner: int,
+            nprocs: 1,
+            procs: vec![],
+            main: 0,
+            dists: vec![],
+        };
         let did = prog.add_dist(ArrayDist::replicated(&[3]));
         prog.procs.push(SProc {
             name: main,
             formals: vec![],
-            decls: vec![SDecl { name: a, bounds: vec![(1, 3)], dist: did, owner_dist: None }],
+            decls: vec![SDecl {
+                name: a,
+                bounds: vec![(1, 3)],
+                dist: did,
+                owner_dist: None,
+            }],
             body: vec![SStmt::Call {
                 proc: 1,
                 args: vec![SActual::Array(a), SActual::Scalar(SExpr::Real(7.5))],
@@ -1145,12 +1314,21 @@ mod tests {
         prog.procs.push(SProc {
             name: setv,
             formals: vec![
-                SFormal { name: z, is_array: true },
-                SFormal { name: v, is_array: false },
+                SFormal {
+                    name: z,
+                    is_array: true,
+                },
+                SFormal {
+                    name: v,
+                    is_array: false,
+                },
             ],
             decls: vec![],
             body: vec![SStmt::Assign {
-                lhs: SLval::Elem { array: z, subs: vec![SExpr::int(2)] },
+                lhs: SLval::Elem {
+                    array: z,
+                    subs: vec![SExpr::int(2)],
+                },
                 rhs: SExpr::Var(v),
             }],
         });

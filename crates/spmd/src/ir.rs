@@ -197,7 +197,11 @@ impl SExpr {
     }
     /// Binary helper.
     pub fn bin(op: SBinOp, l: SExpr, r: SExpr) -> SExpr {
-        SExpr::Bin { op, l: Box::new(l), r: Box::new(r) }
+        SExpr::Bin {
+            op,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
     }
     /// `l + r`.
     pub fn add(l: SExpr, r: SExpr) -> SExpr {
@@ -213,11 +217,17 @@ impl SExpr {
     }
     /// `min(a, b)`.
     pub fn min2(a: SExpr, b: SExpr) -> SExpr {
-        SExpr::Intr { name: SIntr::Min, args: vec![a, b] }
+        SExpr::Intr {
+            name: SIntr::Min,
+            args: vec![a, b],
+        }
     }
     /// `max(a, b)`.
     pub fn max2(a: SExpr, b: SExpr) -> SExpr {
-        SExpr::Intr { name: SIntr::Max, args: vec![a, b] }
+        SExpr::Intr {
+            name: SIntr::Max,
+            args: vec![a, b],
+        }
     }
 }
 
@@ -245,7 +255,9 @@ pub struct SRect {
 impl SRect {
     /// A one-dimensional section.
     pub fn one(lo: SExpr, hi: SExpr) -> SRect {
-        SRect { dims: vec![(lo, hi, 1)] }
+        SRect {
+            dims: vec![(lo, hi, 1)],
+        }
     }
 }
 

@@ -22,9 +22,10 @@
 pub mod interp;
 pub mod ir;
 pub mod print;
+pub mod rewrite;
 
 pub use interp::{run_spmd, ExecOutput};
 pub use ir::{
-    DistId, SActual, SDecl, SExpr, SLval, SProc, SRect, SStmt, SpmdProgram, SIntr, SBinOp,
+    DistId, SActual, SBinOp, SDecl, SExpr, SIntr, SLval, SProc, SRect, SStmt, SpmdProgram,
 };
 pub use print::pretty;

@@ -21,11 +21,21 @@ pub fn pretty(prog: &SpmdProgram, proc_idx: usize) -> String {
         let dims: Vec<String> = d
             .bounds
             .iter()
-            .map(|&(lo, hi)| if lo == 1 { format!("{hi}") } else { format!("{lo}:{hi}") })
+            .map(|&(lo, hi)| {
+                if lo == 1 {
+                    format!("{hi}")
+                } else {
+                    format!("{lo}:{hi}")
+                }
+            })
             .collect();
         let _ = writeln!(out, "REAL {}({})", name(d.name), dims.join(","));
     }
-    let mut pr = Printer { prog, out, indent: 0 };
+    let mut pr = Printer {
+        prog,
+        out,
+        indent: 0,
+    };
     pr.block(&p.body);
     pr.out
 }
@@ -34,7 +44,11 @@ pub fn pretty(prog: &SpmdProgram, proc_idx: usize) -> String {
 pub fn pretty_all(prog: &SpmdProgram) -> String {
     let mut order: Vec<usize> = (0..prog.procs.len()).collect();
     order.sort_by_key(|&i| (i != prog.main, i));
-    order.iter().map(|&i| pretty(prog, i)).collect::<Vec<_>>().join("\n")
+    order
+        .iter()
+        .map(|&i| pretty(prog, i))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 struct Printer<'a> {
@@ -70,7 +84,13 @@ impl Printer<'_> {
                 let r = self.expr(rhs, 0);
                 self.line(&format!("{l} = {r}"));
             }
-            SStmt::Do { var, lo, hi, step, body } => {
+            SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let v = self.name(*var);
                 let lo = self.expr(lo, 0);
                 let hi = self.expr(hi, 0);
@@ -85,7 +105,11 @@ impl Printer<'_> {
                 self.indent -= 1;
                 self.line("enddo");
             }
-            SStmt::If { cond, then_body, else_body } => {
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.expr(cond, 0);
                 // Single-statement guard prints on one line, as the paper does.
                 if else_body.is_empty() && then_body.len() == 1 && is_simple(&then_body[0]) {
@@ -114,13 +138,23 @@ impl Printer<'_> {
                         SActual::Scalar(e) => self.expr(e, 0),
                     })
                     .collect();
-                self.line(&format!("call {}({})", self.name(callee).to_uppercase(), args.join(",")));
+                self.line(&format!(
+                    "call {}({})",
+                    self.name(callee).to_uppercase(),
+                    args.join(",")
+                ));
             }
             SStmt::Return => self.line("return"),
-            SStmt::Send { .. } | SStmt::Recv { .. } | SStmt::SendElem { .. }
-            | SStmt::RecvElem { .. } | SStmt::Bcast { .. } | SStmt::BcastScalar { .. }
-            | SStmt::Remap { .. } | SStmt::RemapGlobal { .. }
-            | SStmt::MarkDist { .. } | SStmt::Stop => {
+            SStmt::Send { .. }
+            | SStmt::Recv { .. }
+            | SStmt::SendElem { .. }
+            | SStmt::RecvElem { .. }
+            | SStmt::Bcast { .. }
+            | SStmt::BcastScalar { .. }
+            | SStmt::Remap { .. }
+            | SStmt::RemapGlobal { .. }
+            | SStmt::MarkDist { .. }
+            | SStmt::Stop => {
                 let text = self.render_simple(s);
                 self.line(&text);
             }
@@ -141,7 +175,9 @@ impl Printer<'_> {
             SStmt::Assign { lhs, rhs } => {
                 format!("{} = {}", self.lval(lhs), self.expr(rhs, 0))
             }
-            SStmt::Send { to, array, section, .. } => {
+            SStmt::Send {
+                to, array, section, ..
+            } => {
                 format!(
                     "send {}{} to {}",
                     self.name(*array).to_uppercase(),
@@ -149,7 +185,12 @@ impl Printer<'_> {
                     self.expr(to, 0)
                 )
             }
-            SStmt::Recv { from, array, section, .. } => {
+            SStmt::Recv {
+                from,
+                array,
+                section,
+                ..
+            } => {
                 format!(
                     "recv {}{} from {}",
                     self.name(*array).to_uppercase(),
@@ -163,7 +204,12 @@ impl Printer<'_> {
             SStmt::RecvElem { from, lhs, .. } => {
                 format!("recv {} from {}", self.lval(lhs), self.expr(from, 0))
             }
-            SStmt::Bcast { root, src_array, src_section, .. } => {
+            SStmt::Bcast {
+                root,
+                src_array,
+                src_section,
+                ..
+            } => {
                 format!(
                     "broadcast {}{} from {}",
                     self.name(*src_array).to_uppercase(),
@@ -176,15 +222,27 @@ impl Printer<'_> {
             }
             SStmt::RemapGlobal { array, to_dist } => {
                 let d = &self.prog.dists[to_dist.0 as usize];
-                format!("remap {} to {}", self.name(*array).to_uppercase(), dist_spelling(d))
+                format!(
+                    "remap {} to {}",
+                    self.name(*array).to_uppercase(),
+                    dist_spelling(d)
+                )
             }
             SStmt::Remap { array, to_dist } => {
                 let d = &self.prog.dists[to_dist.0 as usize];
-                format!("remap {} to {}", self.name(*array).to_uppercase(), dist_spelling(d))
+                format!(
+                    "remap {} to {}",
+                    self.name(*array).to_uppercase(),
+                    dist_spelling(d)
+                )
             }
             SStmt::MarkDist { array, to_dist } => {
                 let d = &self.prog.dists[to_dist.0 as usize];
-                format!("mark-as-{} {}", dist_spelling(d), self.name(*array).to_uppercase())
+                format!(
+                    "mark-as-{} {}",
+                    dist_spelling(d),
+                    self.name(*array).to_uppercase()
+                )
             }
             SStmt::Return => "return".into(),
             SStmt::Stop => "stop".into(),
@@ -197,7 +255,11 @@ impl Printer<'_> {
                         SActual::Scalar(e) => self.expr(e, 0),
                     })
                     .collect();
-                format!("call {}({})", self.name(callee).to_uppercase(), args.join(","))
+                format!(
+                    "call {}({})",
+                    self.name(callee).to_uppercase(),
+                    args.join(",")
+                )
             }
             _ => "<block>".into(),
         }
@@ -330,7 +392,11 @@ fn is_simple(s: &SStmt) -> bool {
 }
 
 fn dist_spelling(d: &fortrand_ir::dist::ArrayDist) -> String {
-    let parts: Vec<String> = d.dims.iter().map(|p| p.kind.spelling().to_lowercase()).collect();
+    let parts: Vec<String> = d
+        .dims
+        .iter()
+        .map(|p| p.kind.spelling().to_lowercase())
+        .collect();
     format!("({})", parts.join(","))
 }
 
@@ -348,7 +414,10 @@ mod tests {
         let x = int.intern("x");
         let i = int.intern("i");
         let ub1 = int.intern("ub$1");
-        let dist = Distribution { kinds: vec![DistKind::Block], nprocs: 4 };
+        let dist = Distribution {
+            kinds: vec![DistKind::Block],
+            nprocs: 4,
+        };
         let ad = ArrayDist::new(&[100], &Alignment::identity(1), &[100], &dist);
         let mut prog = SpmdProgram {
             interner: int,
@@ -395,7 +464,10 @@ mod tests {
                 hi: SExpr::Var(ub1),
                 step: 1,
                 body: vec![SStmt::Assign {
-                    lhs: SLval::Elem { array: x, subs: vec![SExpr::Var(i)] },
+                    lhs: SLval::Elem {
+                        array: x,
+                        subs: vec![SExpr::Var(i)],
+                    },
                     rhs: SExpr::mul(
                         SExpr::Real(0.5),
                         SExpr::Elem {
@@ -408,8 +480,16 @@ mod tests {
         ];
         prog.procs.push(SProc {
             name: f1,
-            formals: vec![SFormal { name: x, is_array: true }],
-            decls: vec![SDecl { name: x, bounds: vec![(1, 30)], dist: did, owner_dist: None }],
+            formals: vec![SFormal {
+                name: x,
+                is_array: true,
+            }],
+            decls: vec![SDecl {
+                name: x,
+                bounds: vec![(1, 30)],
+                dist: did,
+                owner_dist: None,
+            }],
             body,
         });
         let text = pretty(&prog, 0);
@@ -429,9 +509,18 @@ enddo
     #[test]
     fn precedence_parens() {
         let int = Interner::new();
-        let prog =
-            SpmdProgram { interner: int, nprocs: 1, procs: vec![], main: usize::MAX, dists: vec![] };
-        let mut pr = Printer { prog: &prog, out: String::new(), indent: 0 };
+        let prog = SpmdProgram {
+            interner: int,
+            nprocs: 1,
+            procs: vec![],
+            main: usize::MAX,
+            dists: vec![],
+        };
+        let mut pr = Printer {
+            prog: &prog,
+            out: String::new(),
+            indent: 0,
+        };
         // (a+b)*c needs parens; a+b*c does not.
         let e1 = SExpr::mul(SExpr::add(SExpr::MyP, SExpr::int(1)), SExpr::int(2));
         assert_eq!(pr.expr(&e1, 0), "(my$p+1)*2");

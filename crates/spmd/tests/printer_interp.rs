@@ -14,7 +14,10 @@ fn block_dist(n: i64, p: usize) -> ArrayDist {
         &[n],
         &Alignment::identity(1),
         &[n],
-        &Distribution { kinds: vec![DistKind::Block], nprocs: p },
+        &Distribution {
+            kinds: vec![DistKind::Block],
+            nprocs: p,
+        },
     )
 }
 
@@ -22,7 +25,13 @@ fn block_dist(n: i64, p: usize) -> ArrayDist {
 fn skeleton(nprocs: usize) -> (SpmdProgram, Interner) {
     let int = Interner::new();
     (
-        SpmdProgram { interner: int.clone(), nprocs, procs: vec![], main: 0, dists: vec![] },
+        SpmdProgram {
+            interner: int.clone(),
+            nprocs,
+            procs: vec![],
+            main: 0,
+            dists: vec![],
+        },
         int,
     )
 }
@@ -39,20 +48,31 @@ fn do_loop_negative_step() {
     prog.procs.push(SProc {
         name: main,
         formals: vec![],
-        decls: vec![SDecl { name: a, bounds: vec![(1, 5)], dist: did, owner_dist: None }],
+        decls: vec![SDecl {
+            name: a,
+            bounds: vec![(1, 5)],
+            dist: did,
+            owner_dist: None,
+        }],
         body: vec![SStmt::Do {
             var: i,
             lo: SExpr::int(5),
             hi: SExpr::int(1),
             step: -1,
             body: vec![SStmt::Assign {
-                lhs: SLval::Elem { array: a, subs: vec![SExpr::Var(i)] },
+                lhs: SLval::Elem {
+                    array: a,
+                    subs: vec![SExpr::Var(i)],
+                },
                 rhs: SExpr::Var(i),
             }],
         }],
     });
     let out = run_spmd(&prog, &Machine::new(1), &BTreeMap::new());
-    assert_eq!(out.arrays.values().next().unwrap(), &vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    assert_eq!(
+        out.arrays.values().next().unwrap(),
+        &vec![1.0, 2.0, 3.0, 4.0, 5.0]
+    );
 }
 
 #[test]
@@ -67,14 +87,22 @@ fn empty_loop_executes_zero_times() {
     prog.procs.push(SProc {
         name: main,
         formals: vec![],
-        decls: vec![SDecl { name: a, bounds: vec![(1, 3)], dist: did, owner_dist: None }],
+        decls: vec![SDecl {
+            name: a,
+            bounds: vec![(1, 3)],
+            dist: did,
+            owner_dist: None,
+        }],
         body: vec![SStmt::Do {
             var: i,
             lo: SExpr::int(5),
             hi: SExpr::int(2),
             step: 1,
             body: vec![SStmt::Assign {
-                lhs: SLval::Elem { array: a, subs: vec![SExpr::int(1)] },
+                lhs: SLval::Elem {
+                    array: a,
+                    subs: vec![SExpr::int(1)],
+                },
                 rhs: SExpr::Real(9.0),
             }],
         }],
@@ -95,9 +123,17 @@ fn out_of_bounds_subscript_is_diagnosed() {
     prog.procs.push(SProc {
         name: main,
         formals: vec![],
-        decls: vec![SDecl { name: a, bounds: vec![(1, 3)], dist: did, owner_dist: None }],
+        decls: vec![SDecl {
+            name: a,
+            bounds: vec![(1, 3)],
+            dist: did,
+            owner_dist: None,
+        }],
         body: vec![SStmt::Assign {
-            lhs: SLval::Elem { array: a, subs: vec![SExpr::int(7)] },
+            lhs: SLval::Elem {
+                array: a,
+                subs: vec![SExpr::int(7)],
+            },
             rhs: SExpr::Real(1.0),
         }],
     });
@@ -111,31 +147,54 @@ fn return_stops_procedure_not_program() {
     let sub = int.intern("sub");
     let a = int.intern("a");
     let z = int.intern("z");
-    let mut prog =
-        SpmdProgram { interner: int, nprocs: 1, procs: vec![], main: 0, dists: vec![] };
+    let mut prog = SpmdProgram {
+        interner: int,
+        nprocs: 1,
+        procs: vec![],
+        main: 0,
+        dists: vec![],
+    };
     let did = prog.add_dist(ArrayDist::replicated(&[2]));
     prog.procs.push(SProc {
         name: main,
         formals: vec![],
-        decls: vec![SDecl { name: a, bounds: vec![(1, 2)], dist: did, owner_dist: None }],
+        decls: vec![SDecl {
+            name: a,
+            bounds: vec![(1, 2)],
+            dist: did,
+            owner_dist: None,
+        }],
         body: vec![
-            SStmt::Call { proc: 1, args: vec![SActual::Array(a)], copy_out: vec![] },
+            SStmt::Call {
+                proc: 1,
+                args: vec![SActual::Array(a)],
+                copy_out: vec![],
+            },
             // Executes after the callee's RETURN.
             SStmt::Assign {
-                lhs: SLval::Elem { array: a, subs: vec![SExpr::int(2)] },
+                lhs: SLval::Elem {
+                    array: a,
+                    subs: vec![SExpr::int(2)],
+                },
                 rhs: SExpr::Real(5.0),
             },
         ],
     });
     prog.procs.push(SProc {
         name: sub,
-        formals: vec![SFormal { name: z, is_array: true }],
+        formals: vec![SFormal {
+            name: z,
+            is_array: true,
+        }],
         decls: vec![],
         body: vec![
             SStmt::Return,
             // Unreachable.
             SStmt::Assign {
-                lhs: SLval::Elem { array: z, subs: vec![SExpr::int(1)] },
+                lhs: SLval::Elem {
+                    array: z,
+                    subs: vec![SExpr::int(1)],
+                },
                 rhs: SExpr::Real(9.0),
             },
         ],
@@ -150,17 +209,30 @@ fn stop_terminates_whole_program() {
     let mut int = Interner::new();
     let main = int.intern("main");
     let a = int.intern("a");
-    let mut prog =
-        SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+    let mut prog = SpmdProgram {
+        interner: int,
+        nprocs: 2,
+        procs: vec![],
+        main: 0,
+        dists: vec![],
+    };
     let did = prog.add_dist(ArrayDist::replicated(&[1]));
     prog.procs.push(SProc {
         name: main,
         formals: vec![],
-        decls: vec![SDecl { name: a, bounds: vec![(1, 1)], dist: did, owner_dist: None }],
+        decls: vec![SDecl {
+            name: a,
+            bounds: vec![(1, 1)],
+            dist: did,
+            owner_dist: None,
+        }],
         body: vec![
             SStmt::Stop,
             SStmt::Assign {
-                lhs: SLval::Elem { array: a, subs: vec![SExpr::int(1)] },
+                lhs: SLval::Elem {
+                    array: a,
+                    subs: vec![SExpr::int(1)],
+                },
                 rhs: SExpr::Real(9.0),
             },
         ],
@@ -176,20 +248,38 @@ fn printer_renders_every_statement_kind() {
     let a = int.intern("a");
     let b = int.intern("buf");
     let v = int.intern("v");
-    let mut prog =
-        SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+    let mut prog = SpmdProgram {
+        interner: int,
+        nprocs: 2,
+        procs: vec![],
+        main: 0,
+        dists: vec![],
+    };
     let did = prog.add_dist(block_dist(8, 2));
     let rep = prog.add_dist(ArrayDist::replicated(&[8]));
     prog.procs.push(SProc {
         name: main,
         formals: vec![],
         decls: vec![
-            SDecl { name: a, bounds: vec![(1, 4)], dist: did, owner_dist: None },
-            SDecl { name: b, bounds: vec![(1, 8)], dist: rep, owner_dist: None },
+            SDecl {
+                name: a,
+                bounds: vec![(1, 4)],
+                dist: did,
+                owner_dist: None,
+            },
+            SDecl {
+                name: b,
+                bounds: vec![(1, 8)],
+                dist: rep,
+                owner_dist: None,
+            },
         ],
         body: vec![
             SStmt::Comment("phase banner".into()),
-            SStmt::Assign { lhs: SLval::Scalar(v), rhs: SExpr::NProcs },
+            SStmt::Assign {
+                lhs: SLval::Scalar(v),
+                rhs: SExpr::NProcs,
+            },
             SStmt::Bcast {
                 root: SExpr::int(0),
                 src_array: a,
@@ -197,18 +287,35 @@ fn printer_renders_every_statement_kind() {
                 dst_array: b,
                 dst_section: SRect::one(SExpr::int(1), SExpr::int(4)),
             },
-            SStmt::BcastScalar { root: SExpr::int(0), var: v },
-            SStmt::Remap { array: a, to_dist: did },
-            SStmt::MarkDist { array: a, to_dist: did },
-            SStmt::Print { args: vec![SExpr::Var(v)] },
+            SStmt::BcastScalar {
+                root: SExpr::int(0),
+                var: v,
+            },
+            SStmt::Remap {
+                array: a,
+                to_dist: did,
+            },
+            SStmt::MarkDist {
+                array: a,
+                to_dist: did,
+            },
+            SStmt::Print {
+                args: vec![SExpr::Var(v)],
+            },
             SStmt::Stop,
         ],
     });
     let text = pretty(&prog, 0);
-    for needle in
-        ["{ phase banner }", "n$proc", "broadcast A(1:4) from 0", "broadcast v from 0",
-         "remap A to (block)", "mark-as-(block) A", "print *, v", "stop"]
-    {
+    for needle in [
+        "{ phase banner }",
+        "n$proc",
+        "broadcast A(1:4) from 0",
+        "broadcast v from 0",
+        "remap A to (block)",
+        "mark-as-(block) A",
+        "print *, v",
+        "stop",
+    ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
 }
@@ -218,13 +325,23 @@ fn comm_only_cost_model_times_messages_exactly() {
     let mut int = Interner::new();
     let main = int.intern("main");
     let a = int.intern("a");
-    let mut prog =
-        SpmdProgram { interner: int, nprocs: 2, procs: vec![], main: 0, dists: vec![] };
+    let mut prog = SpmdProgram {
+        interner: int,
+        nprocs: 2,
+        procs: vec![],
+        main: 0,
+        dists: vec![],
+    };
     let did = prog.add_dist(block_dist(4, 2));
     prog.procs.push(SProc {
         name: main,
         formals: vec![],
-        decls: vec![SDecl { name: a, bounds: vec![(1, 2)], dist: did, owner_dist: None }],
+        decls: vec![SDecl {
+            name: a,
+            bounds: vec![(1, 2)],
+            dist: did,
+            owner_dist: None,
+        }],
         body: vec![SStmt::If {
             cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::int(0)),
             then_body: vec![SStmt::Send {
@@ -241,10 +358,18 @@ fn comm_only_cost_model_times_messages_exactly() {
             }],
         }],
     });
-    let cost = CostModel { alpha_us: 100.0, beta_us_per_byte: 1.0, ..CostModel::comm_only() };
+    let cost = CostModel {
+        alpha_us: 100.0,
+        beta_us_per_byte: 1.0,
+        ..CostModel::comm_only()
+    };
     let m = Machine::with_cost(2, cost);
     let out = run_spmd(&prog, &m, &BTreeMap::new());
     // 2 f64 = 16 bytes: α + 16β = 116 µs exactly (compute is free).
     assert_eq!(out.stats.total_bytes, 16);
-    assert!((out.stats.time_us - 116.0).abs() < 1e-9, "{}", out.stats.time_us);
+    assert!(
+        (out.stats.time_us - 116.0).abs() < 1e-9,
+        "{}",
+        out.stats.time_us
+    );
 }

@@ -24,18 +24,32 @@ fn main() {
     let (prog, info) = fortrand_frontend::load_program(&src).expect("parse");
     let a_seq = prog.interner.get("a").unwrap();
     let mut init = BTreeMap::new();
-    init.insert(a_seq, (0..n * n).map(|i| ((i % 31) as f64) * 0.1).collect::<Vec<_>>());
+    init.insert(
+        a_seq,
+        (0..n * n)
+            .map(|i| ((i % 31) as f64) * 0.1)
+            .collect::<Vec<_>>(),
+    );
     let seq = run_sequential(&prog, &info, &init);
 
     println!("ADI {n}x{n}, {steps} time steps, {nprocs} processors\n");
-    println!("{:<20} {:>12} {:>10} {:>12} {:>8}", "strategy", "time (ms)", "msgs", "bytes", "remaps");
+    println!(
+        "{:<20} {:>12} {:>10} {:>12} {:>8}",
+        "strategy", "time (ms)", "msgs", "bytes", "remaps"
+    );
     for (name, strategy) in [
         ("interprocedural", Strategy::Interprocedural),
         ("immediate", Strategy::Immediate),
         ("runtime-res", Strategy::RuntimeResolution),
     ] {
-        let out = compile(&src, &CompileOptions { strategy, ..Default::default() })
-            .expect("compilation");
+        let out = compile(
+            &src,
+            &CompileOptions {
+                strategy,
+                ..Default::default()
+            },
+        )
+        .expect("compilation");
         let machine = Machine::new(nprocs);
         let a = out.spmd.interner.get("a").unwrap();
         let mut sinit = BTreeMap::new();

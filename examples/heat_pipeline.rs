@@ -30,7 +30,11 @@ fn main() {
     ] {
         let out = compile(
             &src,
-            &CompileOptions { strategy, dyn_opt: DynOptLevel::Kills, ..Default::default() },
+            &CompileOptions {
+                strategy,
+                dyn_opt: DynOptLevel::Kills,
+                ..Default::default()
+            },
         )
         .expect("compilation");
         let machine = Machine::new(nprocs);

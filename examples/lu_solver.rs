@@ -25,14 +25,20 @@ fn main() {
     let reference = &seq.arrays[&prog.interner.get("a").unwrap()];
 
     println!("dgefa, n={n}, columns distributed (:,CYCLIC)\n");
-    println!("{:<6} {:>12} {:>10} {:>12} {:>9}", "procs", "time (ms)", "msgs", "bytes", "maxerr");
+    println!(
+        "{:<6} {:>12} {:>10} {:>12} {:>9}",
+        "procs", "time (ms)", "msgs", "bytes", "maxerr"
+    );
     let mut base = None;
     let mut speedups = Vec::new();
     for p in [1usize, 2, 4, 8, 16] {
         let src = dgefa_source(n, p);
         let out = compile(
             &src,
-            &CompileOptions { strategy: Strategy::Interprocedural, ..Default::default() },
+            &CompileOptions {
+                strategy: Strategy::Interprocedural,
+                ..Default::default()
+            },
         )
         .expect("compilation");
         let machine = Machine::new(p);
@@ -54,7 +60,10 @@ fn main() {
             r.stats.total_bytes,
             maxerr
         );
-        assert!(maxerr < 1e-6, "factorization must match the sequential reference");
+        assert!(
+            maxerr < 1e-6,
+            "factorization must match the sequential reference"
+        );
         let t = r.stats.time_us;
         if p == 1 {
             base = Some(t);

@@ -31,11 +31,17 @@ fn main() {
     // 1. Compile with the full interprocedural pipeline.
     let out = compile(
         PROGRAM,
-        &CompileOptions { strategy: Strategy::Interprocedural, ..Default::default() },
+        &CompileOptions {
+            strategy: Strategy::Interprocedural,
+            ..Default::default()
+        },
     )
     .expect("compilation");
 
-    println!("=== generated SPMD node program ===\n{}", pretty_all(&out.spmd));
+    println!(
+        "=== generated SPMD node program ===\n{}",
+        pretty_all(&out.spmd)
+    );
     println!(
         "clones: {:?}   static sends: {}   static broadcasts: {}",
         out.report.clones, out.report.static_sends, out.report.static_bcasts

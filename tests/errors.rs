@@ -209,7 +209,10 @@ fn rejected_patterns_compile_under_runtime_resolution() {
     ] {
         compile(
             src,
-            &CompileOptions { strategy: Strategy::RuntimeResolution, ..Default::default() },
+            &CompileOptions {
+                strategy: Strategy::RuntimeResolution,
+                ..Default::default()
+            },
         )
         .unwrap_or_else(|e| panic!("runtime resolution must accept: {e}"));
     }
@@ -221,8 +224,15 @@ fn rejected_patterns_compile_under_runtime_resolution() {
 fn cloning_threshold_reported() {
     let out = compile(
         fortrand_analysis::fixtures::FIG4,
-        &CompileOptions { clone_limit: 1, ..Default::default() },
+        &CompileOptions {
+            clone_limit: 1,
+            ..Default::default()
+        },
     )
     .unwrap();
-    assert!(out.report.strategy_used.contains("fallback"), "{}", out.report.strategy_used);
+    assert!(
+        out.report.strategy_used.contains("fallback"),
+        "{}",
+        out.report.strategy_used
+    );
 }

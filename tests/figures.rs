@@ -6,7 +6,14 @@ use fortrand_analysis::fixtures::{FIG1, FIG4};
 use fortrand_spmd::print::{pretty, pretty_all};
 
 fn compiled(src: &str, strategy: Strategy) -> fortrand::CompileOutput {
-    compile(src, &CompileOptions { strategy, ..Default::default() }).unwrap()
+    compile(
+        src,
+        &CompileOptions {
+            strategy,
+            ..Default::default()
+        },
+    )
+    .unwrap()
 }
 
 /// Figure 2: compile-time code for F1 — reduced bounds, overlap-widened
@@ -22,8 +29,14 @@ fn fig2_f1_output_shape() {
     // Paper-style upper bound reduction.
     assert!(text.contains("min((my$p+1)*25,95)-my$p*25"), "{text}");
     // Guarded neighbour exchange, vectorized (whole sections, no loop var).
-    assert!(text.contains("if (my$p .gt. 0) send X(1:5) to my$p-1"), "{text}");
-    assert!(text.contains("if (my$p .lt. 3) recv X(26:30) from my$p+1"), "{text}");
+    assert!(
+        text.contains("if (my$p .gt. 0) send X(1:5) to my$p-1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("if (my$p .lt. 3) recv X(26:30) from my$p+1"),
+        "{text}"
+    );
 }
 
 /// Figure 3: run-time resolution — full-size arrays, per-element ownership
@@ -31,7 +44,10 @@ fn fig2_f1_output_shape() {
 #[test]
 fn fig3_runtime_resolution_shape() {
     let out = compiled(FIG1, Strategy::RuntimeResolution);
-    let f1 = out.spmd.proc_index(out.spmd.interner.get("f1").unwrap()).unwrap();
+    let f1 = out
+        .spmd
+        .proc_index(out.spmd.interner.get("f1").unwrap())
+        .unwrap();
     let text = pretty(&out.spmd, f1);
     // Full global loop bounds (no reduction).
     assert!(text.contains("do i = 1,95"), "{text}");
@@ -57,7 +73,10 @@ fn fig10_interprocedural_shape() {
     let f2c = spmd.interner.get("f2$2").unwrap();
     // Row version of F2: k loop reduced via ub$.
     let f2r_text = pretty(spmd, spmd.proc_index(f2r).unwrap());
-    assert!(f2r_text.contains("min((my$p+1)*25,95)-my$p*25"), "{f2r_text}");
+    assert!(
+        f2r_text.contains("min((my$p+1)*25,95)-my$p*25"),
+        "{f2r_text}"
+    );
     // Column version of F2: full k loop, no messages.
     let f2c_text = pretty(spmd, spmd.proc_index(f2c).unwrap());
     assert!(f2c_text.contains("do k = 1,95"), "{f2c_text}");
@@ -66,13 +85,18 @@ fn fig10_interprocedural_shape() {
     // Main: vectorized exchange of X's boundary rows over all columns,
     // placed once (outside the i loop); the j loop is reduced to 25.
     let main_text = pretty(spmd, spmd.main);
-    assert!(main_text.contains("send X(1:5,1:100) to my$p-1"), "{main_text}");
-    assert!(main_text.contains("recv X(26:30,1:100) from my$p+1"), "{main_text}");
+    assert!(
+        main_text.contains("send X(1:5,1:100) to my$p-1"),
+        "{main_text}"
+    );
+    assert!(
+        main_text.contains("recv X(26:30,1:100) from my$p+1"),
+        "{main_text}"
+    );
     // The j loop is reduced to the 25 local columns (either as a literal
     // or via the paper's min() upper-bound form).
     assert!(
-        main_text.contains("do j = 1,25")
-            || main_text.contains("min((my$p+1)*25,100)-my$p*25"),
+        main_text.contains("do j = 1,25") || main_text.contains("min((my$p+1)*25,100)-my$p*25"),
         "{main_text}"
     );
     assert!(!main_text.contains("do j = 1,100"), "{main_text}");
@@ -93,7 +117,10 @@ fn fig12_immediate_shape() {
     let f2r_text = pretty(spmd, spmd.proc_index(f2r).unwrap());
     // Per-invocation message inside the procedure, single column `i`.
     assert!(f2r_text.contains("send Z(1:5,i) to my$p-1"), "{f2r_text}");
-    assert!(f2r_text.contains("recv Z(26:30,i) from my$p+1"), "{f2r_text}");
+    assert!(
+        f2r_text.contains("recv Z(26:30,i) from my$p+1"),
+        "{f2r_text}"
+    );
     // Column clone: ownership guard inside, caller loop not reduced.
     let f2c = spmd.interner.get("f2$2").unwrap();
     let f2c_text = pretty(spmd, spmd.proc_index(f2c).unwrap());
@@ -117,7 +144,10 @@ fn fig10_vs_fig12_message_counts() {
     let ri = run_spmd(&inter.spmd, &m, &Default::default());
     let rm = run_spmd(&imm.spmd, &m, &Default::default());
     // Paper: 100 messages (per invocation) vs 1; three of four ranks send.
-    assert_eq!(ri.stats.total_msgs, 3, "interprocedural: one vectorized msg per boundary");
+    assert_eq!(
+        ri.stats.total_msgs, 3,
+        "interprocedural: one vectorized msg per boundary"
+    );
     assert_eq!(rm.stats.total_msgs, 300, "immediate: one per invocation");
     assert!(rm.stats.time_us > ri.stats.time_us);
 }

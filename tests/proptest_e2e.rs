@@ -7,8 +7,8 @@
 //! bounds (including partial ranges and uneven blocks), call chains with
 //! scalar threading, and replicated scalars.
 
-use fortrand::{compile, run_sequential, CompileOptions, DynOptLevel};
 use fortrand::Strategy as CompileStrategy;
+use fortrand::{compile, run_sequential, CompileOptions, DynOptLevel};
 use fortrand_machine::Machine;
 use fortrand_spmd::run_spmd;
 use proptest::prelude::*;
@@ -29,7 +29,13 @@ struct Spec {
 const COEFFS: [&str; 4] = ["0.5", "0.25", "1.5", "2.0"];
 
 fn render(spec: &Spec) -> String {
-    let Spec { n, nprocs, dist, sweeps, through_call } = spec;
+    let Spec {
+        n,
+        nprocs,
+        dist,
+        sweeps,
+        through_call,
+    } = spec;
     let mut body = String::new();
     for (si, &(shift, lo_off, hi_off, ci)) in sweeps.iter().enumerate() {
         let c = COEFFS[ci % COEFFS.len()];
@@ -93,7 +99,9 @@ fn check_spec(spec: &Spec, strategy: CompileStrategy) -> Result<(), TestCaseErro
             let len: i64 = vi.dims.iter().product();
             init.insert(
                 name,
-                (0..len).map(|i| ((i * 13 + 7) % 23) as f64 * 0.25 + 1.0).collect::<Vec<f64>>(),
+                (0..len)
+                    .map(|i| ((i * 13 + 7) % 23) as f64 * 0.25 + 1.0)
+                    .collect::<Vec<f64>>(),
             );
         }
     }

@@ -22,15 +22,24 @@ fn check(src: &str, strategy: Strategy, nprocs: usize, dyn_opt: DynOptLevel) {
     for (&name, vi) in &info.unit(main.name).vars {
         if vi.is_array() {
             let len: i64 = vi.dims.iter().product();
-            let data: Vec<f64> =
-                (0..len).map(|i| ((i * 37 + 11) % 101) as f64 * 0.5 + 1.0).collect();
+            let data: Vec<f64> = (0..len)
+                .map(|i| ((i * 37 + 11) % 101) as f64 * 0.5 + 1.0)
+                .collect();
             init.insert(name, data);
         }
     }
     let seq = run_sequential(&prog, &info, &init);
 
-    let out = compile(src, &CompileOptions { strategy, nprocs: Some(nprocs), dyn_opt, ..Default::default() })
-        .unwrap_or_else(|e| panic!("{strategy:?}/{nprocs}: compile failed: {e}"));
+    let out = compile(
+        src,
+        &CompileOptions {
+            strategy,
+            nprocs: Some(nprocs),
+            dyn_opt,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{strategy:?}/{nprocs}: compile failed: {e}"));
     let machine = Machine::new(nprocs);
     // Key init by the SPMD program's interner (names survive cloning).
     let mut spmd_init = BTreeMap::new();
@@ -92,7 +101,12 @@ fn fig4_interprocedural_5_procs_uneven_blocks() {
 
 #[test]
 fn fig15_dynamic_decomposition_every_opt_level() {
-    for lvl in [DynOptLevel::None, DynOptLevel::Live, DynOptLevel::Hoist, DynOptLevel::Kills] {
+    for lvl in [
+        DynOptLevel::None,
+        DynOptLevel::Live,
+        DynOptLevel::Hoist,
+        DynOptLevel::Kills,
+    ] {
         check(FIG15, Strategy::Interprocedural, 4, lvl);
     }
 }
@@ -173,9 +187,15 @@ fn carried_flow_dependence_rejected_with_rtr_fallback() {
       enddo
       END
 ";
-    let err = compile(src, &CompileOptions { nprocs: Some(4), ..Default::default() })
-        .err()
-        .expect("carried flow dep must be rejected");
+    let err = compile(
+        src,
+        &CompileOptions {
+            nprocs: Some(4),
+            ..Default::default()
+        },
+    )
+    .err()
+    .expect("carried flow dep must be rejected");
     assert!(format!("{err}").contains("pipelining"), "{err}");
     check(src, Strategy::RuntimeResolution, 4, DynOptLevel::Kills);
 }
@@ -263,9 +283,15 @@ fn alignment_offset_rejected_then_rtr() {
       enddo
       END
 ";
-    let err = compile(src, &CompileOptions { nprocs: Some(2), ..Default::default() })
-        .err()
-        .expect("offset alignment must be rejected at compile time");
+    let err = compile(
+        src,
+        &CompileOptions {
+            nprocs: Some(2),
+            ..Default::default()
+        },
+    )
+    .err()
+    .expect("offset alignment must be rejected at compile time");
     assert!(format!("{err}").contains("alignment offset"), "{err}");
     check(src, Strategy::RuntimeResolution, 2, DynOptLevel::Kills);
 }

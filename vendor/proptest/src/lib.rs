@@ -1,0 +1,756 @@
+//! Vendored minimal property-testing framework, API-compatible with the
+//! subset of crates.io `proptest` this workspace uses.
+//!
+//! The build environment has no registry access, so the test-only external
+//! dependencies are vendored as small, deterministic re-implementations.
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its generated inputs verbatim.
+//! - **Deterministic seeding.** The RNG is seeded from the test function
+//!   name, so every run (and every machine) explores the same cases.
+//! - **Regex strategies** support the subset actually used here: a sequence
+//!   of char-class / literal atoms, each with an optional `{m,n}` repeat.
+//!
+//! Supported surface: `Strategy` (`prop_map`, `prop_filter`), `Just`,
+//! numeric `Range`/`RangeInclusive` strategies, tuple strategies (arity ≤ 8),
+//! `prop::collection::vec`, `proptest::bool::ANY`, `any::<bool>()`,
+//! `prop_oneof!`, `proptest!` (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `TestCaseError`,
+//! `ProptestConfig`.
+
+pub mod rng {
+    /// Deterministic splitmix64 RNG. Not cryptographic; test-case
+    /// generation only.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Seed from a test name (FNV-1a), so each test gets a stable,
+        /// distinct stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[lo, hi)` (half-open); panics on an empty range.
+        pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+            assert!(lo < hi, "empty strategy range {lo}..{hi}");
+            let span = (hi as i128 - lo as i128) as u128;
+            let off = ((self.next_u64() as u128 * span) >> 64) as i128;
+            (lo as i128 + off) as i64
+        }
+
+        pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty strategy range {lo}..{hi}");
+            lo + self.below((hi - lo) as u64) as usize
+        }
+
+        /// Uniform in `[lo, hi)`.
+        pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            assert!(lo < hi, "empty strategy range {lo}..{hi}");
+            let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + (hi - lo) * unit
+        }
+
+        pub fn gen_bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+        /// Total strategy rejections tolerated before the test aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 65536,
+            }
+        }
+    }
+
+    /// Error produced by a failing property body (via `prop_assert!` or an
+    /// explicit `TestCaseError::fail`).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test values. `None` from [`Strategy::gen_value`] means
+    /// the candidate was rejected (e.g. by `prop_filter`) and the runner
+    /// should retry with fresh randomness.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<W, F>(self, _whence: W, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            W: Into<String>,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// A strategy erased behind a box, as produced by `prop_oneof!`.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// Boxing helper used by `prop_oneof!` so type inference unifies the
+    /// arms' value types.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.gen_value(rng).map(&self.f)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.gen_value(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    /// Uniform choice among boxed alternative strategies (`prop_oneof!`).
+    pub struct OneOf<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> OneOf<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<T: Debug> Strategy for OneOf<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($t:ty, $via:ident) => {
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.$via(self.start as _, self.end as _) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range {lo}..={hi}");
+                    if lo == hi {
+                        return Some(lo);
+                    }
+                    let v = rng.$via(lo as _, hi as _);
+                    // Fold the excluded endpoint back in with one extra draw.
+                    Some(if rng.gen_bool() { hi } else { v as $t })
+                }
+            }
+        };
+    }
+
+    int_range_strategy!(i64, range_i64);
+    int_range_strategy!(i32, range_i64);
+    int_range_strategy!(u32, range_i64);
+    int_range_strategy!(u64, range_i64);
+    int_range_strategy!(usize, range_usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<f64> {
+            Some(rng.range_f64(self.start, self.end))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.gen_value(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+    // ----- regex-subset string strategies ---------------------------------
+
+    /// One parsed regex atom: a set of inclusive char ranges plus a repeat
+    /// count range (inclusive).
+    struct Atom {
+        ranges: Vec<(char, char)>,
+        min: usize,
+        max: usize,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parse the regex subset used by this workspace's tests: a sequence of
+    /// `[class]` or literal-char atoms, each optionally followed by `{m,n}`
+    /// or `{m}`. Panics on anything else, with the offending pattern.
+    fn parse_pattern(pat: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let ranges = if chars[i] == '[' {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let mut c = chars[i];
+                    if c == '\\' {
+                        i += 1;
+                        c = unescape(chars[i]);
+                    }
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let mut hi = chars[i + 2];
+                        i += 2;
+                        if hi == '\\' {
+                            i += 1;
+                            hi = unescape(chars[i]);
+                        }
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                    i += 1;
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated char class in regex strategy {pat:?}"
+                );
+                i += 1; // consume ']'
+                ranges
+            } else {
+                let mut c = chars[i];
+                if c == '\\' {
+                    i += 1;
+                    c = unescape(chars[i]);
+                }
+                assert!(
+                    !"(|)*+?".contains(c),
+                    "unsupported regex construct {c:?} in strategy pattern {pat:?}"
+                );
+                i += 1;
+                vec![(c, c)]
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repeat in regex strategy {pat:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad repeat lower bound"),
+                        n.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let m = body.trim().parse().expect("bad repeat count");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { ranges, min, max });
+        }
+        atoms
+    }
+
+    fn gen_from_atoms(atoms: &[Atom], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in atoms {
+            let n = rng.range_usize(atom.min, atom.max + 1);
+            let total: u64 = atom
+                .ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            for _ in 0..n {
+                let mut k = rng.below(total);
+                for &(lo, hi) in &atom.ranges {
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    if k < span {
+                        out.push(char::from_u32(lo as u32 + k as u32).unwrap());
+                        break;
+                    }
+                    k -= span;
+                }
+            }
+        }
+        out
+    }
+
+    /// String-pattern strategies: `"[a-z][a-z0-9]{0,6}"` etc. The pattern
+    /// is re-parsed per generation; these run in tests where that cost is
+    /// irrelevant.
+    impl Strategy for &str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<String> {
+            Some(gen_from_atoms(&parse_pattern(self), rng))
+        }
+    }
+
+    /// Lazily-constructed strategy wrapper (parity with real proptest's
+    /// `LazyJust`); also handy inside `prop_oneof!`.
+    pub struct LazyJust<T, F: Fn() -> T> {
+        f: F,
+        _marker: PhantomData<T>,
+    }
+
+    impl<T: Debug, F: Fn() -> T> LazyJust<T, F> {
+        pub fn new(f: F) -> Self {
+            LazyJust {
+                f,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T: Debug, F: Fn() -> T> Strategy for LazyJust<T, F> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+            Some((self.f)())
+        }
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec-size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(strategy, len)` — `len` may be an exact
+    /// `usize` or a `Range`/`RangeInclusive`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = rng.range_usize(self.size.lo, self.size.hi + 1);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.gen_value(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod bool {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    /// `proptest::bool::ANY`
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.gen_bool())
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical strategy, reachable via [`crate::any`].
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::BoolStrategy;
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::ANY
+        }
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// The `prop::` module path used by tests (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($a), stringify!($b), __a, __b, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a != __b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __a
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_labels, clippy::redundant_closure_call)]
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut __case: u32 = 0;
+                let mut __rejects: u32 = 0;
+                'outer: while __case < __cfg.cases {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::gen_value(&($strat), &mut __rng) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => {
+                                __rejects += 1;
+                                if __rejects > __cfg.max_global_rejects {
+                                    panic!(
+                                        "proptest {}: too many strategy rejections ({})",
+                                        stringify!($name), __rejects
+                                    );
+                                }
+                                continue 'outer;
+                            }
+                        };
+                    )*
+                    let __inputs: ::std::string::String = {
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));
+                        )*
+                        __s
+                    };
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}:\n{}\ninputs:\n{}",
+                            stringify!($name), __case, __e, __inputs
+                        );
+                    }
+                    __case += 1;
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = crate::rng::TestRng::from_name("x");
+        let mut b = crate::rng::TestRng::from_name("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::rng::TestRng::from_name("pat");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,6}".gen_value(&mut rng).unwrap();
+            assert!(!s.is_empty() && s.len() <= 7, "bad {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+        for _ in 0..50 {
+            let s = "[ -~\n]{0,400}".gen_value(&mut rng).unwrap();
+            assert!(s.len() <= 400);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3i64..9, b in 1usize..4, f in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((1..4).contains(&b));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_filter(kind in prop_oneof![Just(1i64), Just(2), 5i64..8],
+                            even in (0i64..100).prop_filter("odd", |v| v % 2 == 0)) {
+            prop_assert!(kind == 1 || kind == 2 || (5..8).contains(&kind));
+            prop_assert_eq!(even % 2, 0);
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(any::<bool>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+        }
+    }
+}
