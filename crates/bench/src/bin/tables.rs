@@ -16,6 +16,8 @@ use fortrand_spmd::print::{pretty, pretty_all};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--json").collect();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -350,12 +352,81 @@ fn main() {
                 render_rows(&format!("{p} processors"), "strategy", &rows)
             );
         }
+        if json {
+            let doc = fortrand_bench::comm_report(64, &[1, 2, 4, 8]);
+            std::fs::write("BENCH_comm.json", doc.pretty()).expect("write BENCH_comm.json");
+            println!("wrote BENCH_comm.json");
+        }
         banner("SEC 9 — dgefa speedups (interprocedural, n=256)");
         for (p, s) in
             fortrand_bench::dgefa_speedups(256, &[1, 2, 4, 8, 16], Strategy::Interprocedural)
         {
             println!("p={p:<3} speedup {s:.2}");
         }
+    }
+    if want("sec9-gate") {
+        banner("SEC 9 — dgefa communication-optimizer regression gate");
+        let threshold_path = concat!(env!("CARGO_MANIFEST_DIR"), "/comm_threshold.json");
+        let text = std::fs::read_to_string(threshold_path)
+            .unwrap_or_else(|e| panic!("read {threshold_path}: {e}"));
+        let limits = fortrand::json::parse(&text).expect("parse comm_threshold.json");
+        let max_msgs = limits
+            .get("dgefa_n64_p4_full_max_msgs")
+            .and_then(|v| v.as_int())
+            .expect("dgefa_n64_p4_full_max_msgs") as u64;
+        let max_bytes = limits
+            .get("dgefa_n64_p4_full_max_bytes")
+            .and_then(|v| v.as_int())
+            .expect("dgefa_n64_p4_full_max_bytes") as u64;
+        let n = 64;
+        let p = 4;
+        let src = dgefa_source(n, p);
+        let mut init = std::collections::BTreeMap::new();
+        init.insert("a", dgefa_matrix(n));
+        let run = |level: fortrand::CommOpt| {
+            fortrand_bench::simulate_comm(
+                &src,
+                Strategy::Interprocedural,
+                DynOptLevel::Kills,
+                p,
+                &init,
+                level,
+            )
+        };
+        let off = run(fortrand::CommOpt::Off);
+        let full = run(fortrand::CommOpt::Full);
+        println!(
+            "dgefa n={n} p={p}: off {} msgs / {} bytes, full {} msgs / {} bytes              (limits {max_msgs} msgs / {max_bytes} bytes)",
+            off.total_msgs, off.total_bytes, full.total_msgs, full.total_bytes
+        );
+        let mut failed = false;
+        if full.total_msgs > max_msgs {
+            eprintln!(
+                "GATE FAIL: full={} msgs exceeds threshold {max_msgs}",
+                full.total_msgs
+            );
+            failed = true;
+        }
+        if full.total_bytes > max_bytes {
+            eprintln!(
+                "GATE FAIL: full={} bytes exceeds threshold {max_bytes}",
+                full.total_bytes
+            );
+            failed = true;
+        }
+        if full.total_msgs > off.total_msgs || full.total_bytes > off.total_bytes {
+            eprintln!("GATE FAIL: full must never exceed off");
+            failed = true;
+        }
+        if json {
+            let doc = fortrand_bench::comm_report(64, &[4]);
+            std::fs::write("BENCH_comm.json", doc.pretty()).expect("write BENCH_comm.json");
+            println!("wrote BENCH_comm.json");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("gate passed");
     }
     if want("sec9-check") {
         banner("SEC 9 — dgefa residual check vs sequential");

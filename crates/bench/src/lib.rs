@@ -11,8 +11,9 @@
 //! paper-vs-measured record.
 
 use fortrand::corpus::{dgefa_matrix, dgefa_source, fig15_source, fig4_source, relax_source};
-use fortrand::{compile, CompileOptions, DynOptLevel, Strategy};
-use fortrand_machine::{Machine, RunStats};
+use fortrand::json::Json;
+use fortrand::{compile, CommOpt, CompileOptions, DynOptLevel, Strategy};
+use fortrand_machine::{Machine, RunStats, HIST_LABELS};
 use fortrand_spmd::run_spmd;
 use std::collections::BTreeMap;
 
@@ -30,12 +31,26 @@ pub fn simulate_with(
     nprocs: usize,
     init_named: &BTreeMap<&str, Vec<f64>>,
 ) -> RunStats {
+    simulate_comm(src, strategy, dyn_opt, nprocs, init_named, CommOpt::Full)
+}
+
+/// Like [`simulate_with`] with an explicit communication-optimization
+/// level (the driver default is [`CommOpt::Full`]).
+pub fn simulate_comm(
+    src: &str,
+    strategy: Strategy,
+    dyn_opt: DynOptLevel,
+    nprocs: usize,
+    init_named: &BTreeMap<&str, Vec<f64>>,
+    comm_opt: CommOpt,
+) -> RunStats {
     let out = compile(
         src,
         &CompileOptions {
             strategy,
             dyn_opt,
             nprocs: Some(nprocs),
+            comm_opt,
             ..Default::default()
         },
     )
@@ -179,6 +194,17 @@ pub fn exp_dgefa(n: i64, procs: &[usize]) -> Vec<(usize, Vec<Row>)> {
                     ),
                 ),
                 Row::from_stats(
+                    "interproc comm-off",
+                    &simulate_comm(
+                        &src,
+                        Strategy::Interprocedural,
+                        DynOptLevel::Kills,
+                        p,
+                        &init,
+                        CommOpt::Off,
+                    ),
+                ),
+                Row::from_stats(
                     "immediate",
                     &simulate_with(&src, Strategy::Immediate, DynOptLevel::Kills, p, &init),
                 ),
@@ -250,6 +276,88 @@ pub fn ablation_alpha(alphas_us: &[f64], nprocs: usize) -> Vec<(f64, f64, f64)> 
             (alpha, inter, imm)
         })
         .collect()
+}
+
+/// Communication metrics for one simulated run as a JSON object (one
+/// entry of the `BENCH_comm.json` artifact; format documented in
+/// EXPERIMENTS.md).
+fn stats_json(experiment: &str, level: CommOpt, s: &RunStats) -> Json {
+    let hist = Json::Obj(
+        HIST_LABELS
+            .iter()
+            .zip(s.msg_hist.iter())
+            .map(|(l, &c)| (l.to_string(), Json::Int(c as i128)))
+            .collect(),
+    );
+    let by_tag = Json::Obj(
+        s.msgs_by_tag
+            .iter()
+            .map(|(t, (m, b))| {
+                (
+                    format!("{t:#x}"),
+                    Json::Obj(vec![
+                        ("msgs".into(), Json::Int(*m as i128)),
+                        ("bytes".into(), Json::Int(*b as i128)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("experiment".into(), Json::str(experiment)),
+        ("comm_opt".into(), Json::str(level.as_str())),
+        ("msgs".into(), Json::Int(s.total_msgs as i128)),
+        ("bytes".into(), Json::Int(s.total_bytes as i128)),
+        // JSON numbers are integers here (see fortrand::json), so the
+        // LogGP model time travels as a fixed-point string.
+        (
+            "model_time_us".into(),
+            Json::str(format!("{:.3}", s.time_us)),
+        ),
+        ("msg_size_hist".into(), hist),
+        ("msgs_by_tag".into(), by_tag),
+    ])
+}
+
+/// The `BENCH_comm.json` document: message counts, volumes and model
+/// times for the communication-optimizer experiments — dgefa at each
+/// processor count and the Fig. 4 delayed-instantiation program, each at
+/// every [`CommOpt`] level.
+pub fn comm_report(n: i64, procs: &[usize]) -> Json {
+    const LEVELS: [CommOpt; 3] = [CommOpt::Off, CommOpt::Coalesce, CommOpt::Full];
+    let mut experiments = Vec::new();
+    for &p in procs {
+        let src = dgefa_source(n, p);
+        let mut init = BTreeMap::new();
+        init.insert("a", dgefa_matrix(n));
+        for level in LEVELS {
+            let s = simulate_comm(
+                &src,
+                Strategy::Interprocedural,
+                DynOptLevel::Kills,
+                p,
+                &init,
+                level,
+            );
+            experiments.push(stats_json(&format!("dgefa n={n} p={p}"), level, &s));
+        }
+    }
+    let src = fig4_source(100, 4);
+    for level in LEVELS {
+        let s = simulate_comm(
+            &src,
+            Strategy::Interprocedural,
+            DynOptLevel::Kills,
+            4,
+            &BTreeMap::new(),
+            level,
+        );
+        experiments.push(stats_json("fig4 trips=100 p=4", level, &s));
+    }
+    Json::Obj(vec![
+        ("version".into(), Json::Int(1)),
+        ("experiments".into(), Json::Arr(experiments)),
+    ])
 }
 
 /// Hand-written SPMD dgefa against the raw machine API — the paper's

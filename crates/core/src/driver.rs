@@ -28,6 +28,7 @@ use fortrand_frontend::sema::ProgramInfo;
 use fortrand_frontend::SourceProgram;
 use fortrand_ir::{Interner, Sym};
 use fortrand_spmd::ir::{SStmt, SpmdProgram};
+use fortrand_spmd::opt::{self, CommOpt, OptReport};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
@@ -58,6 +59,9 @@ pub struct CompileOptions {
     pub clone_limit: usize,
     /// Code-generation schedule.
     pub mode: CompileMode,
+    /// Communication optimization level (paper §7's message aggregation
+    /// plus interprocedural redundant-communication elimination).
+    pub comm_opt: CommOpt,
 }
 
 impl Default for CompileOptions {
@@ -68,6 +72,7 @@ impl Default for CompileOptions {
             dyn_opt: DynOptLevel::Kills,
             clone_limit: 64,
             mode: CompileMode::Sequential,
+            comm_opt: CommOpt::Full,
         }
     }
 }
@@ -119,6 +124,8 @@ pub struct CompileReport {
     pub source_hashes: BTreeMap<String, u64>,
     /// Per-unit hashes of consumed interprocedural facts.
     pub fact_hashes: BTreeMap<String, u64>,
+    /// What the communication optimizer did.
+    pub comm: OptReport,
 }
 
 /// A compiled program plus its report.
@@ -225,13 +232,16 @@ pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompileOutput, Com
     // Phase 3: reverse-topological code generation, sequential or
     // wavefront-parallel (identical output either way).
     let ctx = an.ctx(opts.dyn_opt);
-    let (spmd, compiled) = match opts.mode {
+    let (mut spmd, compiled) = match opts.mode {
         CompileMode::Sequential => codegen::compile_all(&ctx),
         CompileMode::Parallel(threads) => codegen::compile_all_parallel(&ctx, threads),
     }
     .map_err(CompileError::Codegen)?;
 
-    let report = build_report(&an, &spmd, &compiled);
+    // Between codegen and emit: the communication optimization pass.
+    let comm = opt::optimize(&mut spmd, opts.comm_opt);
+
+    let report = build_report(&an, &spmd, &compiled, comm);
     Ok(CompileOutput { spmd, report })
 }
 
@@ -241,6 +251,7 @@ pub(crate) fn build_report(
     an: &Analysis,
     spmd: &SpmdProgram,
     compiled: &BTreeMap<Sym, CompiledUnit>,
+    comm: OptReport,
 ) -> CompileReport {
     let mut report = CompileReport {
         nprocs: an.nprocs,
@@ -273,6 +284,18 @@ pub(crate) fn build_report(
             stable_hash(&unit_facts(an, u.name, compiled), &an.prog.interner),
         );
     }
+    // Fold the optimizer's per-procedure decisions into the fact hashes:
+    // a unit whose communication was rewritten based on interprocedural
+    // available-data facts must be re-examined when those facts change.
+    for (pname, facts) in &comm.per_proc {
+        let h = hash_of(facts) ^ hash_of(comm.level.as_str());
+        report
+            .fact_hashes
+            .entry(pname.clone())
+            .and_modify(|e| *e ^= h)
+            .or_insert(h);
+    }
+    report.comm = comm;
     report
 }
 
@@ -310,7 +333,9 @@ fn count_static(body: &[SStmt], r: &mut CompileReport) {
     for s in body {
         match s {
             SStmt::Send { .. } => r.static_sends += 1,
-            SStmt::Bcast { .. } | SStmt::BcastScalar { .. } => r.static_bcasts += 1,
+            SStmt::Bcast { .. } | SStmt::BcastScalar { .. } | SStmt::BcastPack { .. } => {
+                r.static_bcasts += 1
+            }
             SStmt::SendElem { .. } => r.static_elem_msgs += 1,
             SStmt::Remap { .. } | SStmt::RemapGlobal { .. } => r.static_remaps += 1,
             SStmt::MarkDist { .. } => r.static_marks += 1,

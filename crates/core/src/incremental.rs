@@ -115,8 +115,12 @@ impl IncrementalEngine {
     ) -> Result<IncrementalOutput, CompileError> {
         let an = analyze(source, opts)?;
         let opts_key = format!(
-            "{:?}|{}|{:?}|{}",
-            an.strategy, an.nprocs, opts.dyn_opt, an.strategy_used
+            "{:?}|{}|{:?}|{}|{}",
+            an.strategy,
+            an.nprocs,
+            opts.dyn_opt,
+            an.strategy_used,
+            opts.comm_opt.as_str()
         );
         if opts_key != self.opts_key {
             self.cache.clear();
@@ -135,6 +139,7 @@ impl IncrementalEngine {
         let mut proc_index: BTreeMap<String, usize> = BTreeMap::new();
         let mut recompiled: BTreeMap<String, Reason> = BTreeMap::new();
         let mut reused: Vec<String> = Vec::new();
+        let mut sweep_hashes: BTreeMap<String, (u64, u64)> = BTreeMap::new();
 
         let ctx = an.ctx(opts.dyn_opt);
         for name in an.acg.reverse_topo() {
@@ -147,6 +152,7 @@ impl IncrementalEngine {
             // Callees were decided earlier in the sweep, so the facts this
             // unit's code would consume are fully known before we choose.
             let facts_hash = stable_hash(&unit_facts(&an, name, &compiled), &an.prog.interner);
+            sweep_hashes.insert(name_str.clone(), (source_hash, facts_hash));
 
             let decision = match self.db.units.get(&name_str) {
                 Some(rec)
@@ -183,22 +189,30 @@ impl IncrementalEngine {
             return Err(CompileError::Graph("no PROGRAM unit".into()));
         }
 
-        let report = build_report(&an, &spmd, &compiled);
-
-        // Refresh the persistent state from this compile.
+        // Refresh the persistent state from this compile — from the RAW
+        // codegen output and the sweep's own hashes. The communication
+        // optimizer runs over the assembled program below; caching
+        // pre-optimization artifacts keeps graft-then-optimize
+        // byte-identical to a clean compile, and the stored facts hashes
+        // must match what the next sweep computes (the report's hashes
+        // additionally fold in optimizer decisions).
         self.opts_key = opts_key;
         self.db = ModuleDb::default();
         for (name, cu) in &compiled {
             let name_str = an.prog.interner.name(*name).to_string();
+            let (source_hash, facts_hash) = sweep_hashes[&name_str];
             self.db.units.insert(
                 name_str.clone(),
                 UnitRecord {
-                    source_hash: report.source_hashes[&name_str],
-                    facts_hash: report.fact_hashes[&name_str],
+                    source_hash,
+                    facts_hash,
                 },
             );
             self.cache.insert(name_str, densify(cu, &spmd, &proc_index));
         }
+
+        let comm = fortrand_spmd::opt::optimize(&mut spmd, opts.comm_opt);
+        let report = build_report(&an, &spmd, &compiled, comm);
 
         Ok(IncrementalOutput {
             spmd,

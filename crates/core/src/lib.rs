@@ -51,6 +51,7 @@ pub mod seq;
 pub use driver::{
     compile, CompileError, CompileMode, CompileOptions, CompileOutput, CompileReport,
 };
+pub use fortrand_spmd::opt::{CommOpt, OptReport};
 pub use incremental::{IncrementalEngine, IncrementalOutput};
 pub use model::{DynOptLevel, Strategy};
 pub use seq::run_sequential;

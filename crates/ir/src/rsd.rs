@@ -150,6 +150,16 @@ impl Triplet {
         Some(Triplet { lo, hi, step: 1 })
     }
 
+    /// Is `other` provably the immediate continuation of `self`
+    /// (`other.lo == self.hi + 1`, both unit stride)? The message
+    /// coalescer merges exchanges whose sections touch this way.
+    pub fn adjacent_before(&self, other: &Triplet, env: &SymEnv) -> Tri {
+        if self.step != 1 || other.step != 1 {
+            return Tri::Maybe;
+        }
+        env.eq(&self.hi.clone().plus_const(1), &other.lo)
+    }
+
     /// Does this triplet provably contain `other`?
     pub fn contains(&self, other: &Triplet, env: &SymEnv) -> Tri {
         if self.step != 1 {
@@ -322,6 +332,48 @@ impl Rsd {
         }
     }
 
+    /// If `self` and `other` are equal in every dimension but one, where
+    /// `other` is the provable immediate continuation of `self`, returns
+    /// that dimension. This is the exact condition under which two
+    /// messages' sections concatenate into one RSD with no padding.
+    pub fn adjacency(&self, other: &Rsd, env: &SymEnv) -> Option<usize> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        let mut touching = None;
+        for d in 0..self.rank() {
+            let same = env.eq(&self.dims[d].lo, &other.dims[d].lo).is_yes()
+                && env.eq(&self.dims[d].hi, &other.dims[d].hi).is_yes()
+                && self.dims[d].step == other.dims[d].step;
+            if same {
+                continue;
+            }
+            if touching.is_some() {
+                return None; // differs in ≥ 2 dims: concatenation not an RSD
+            }
+            if !self.dims[d].adjacent_before(&other.dims[d], env).is_yes() {
+                return None;
+            }
+            touching = Some(d);
+        }
+        touching
+    }
+
+    /// Merges two sections that are provably adjacent ([`Rsd::adjacency`])
+    /// into the single covering RSD. Unlike [`Rsd::union_merge`], this
+    /// refuses overlapping sections — the coalescer must not double-pack
+    /// shared elements.
+    pub fn merge_adjacent(&self, other: &Rsd, env: &SymEnv) -> Option<Rsd> {
+        let d = self.adjacency(other, env)?;
+        let mut dims = self.dims.clone();
+        dims[d] = Triplet {
+            lo: self.dims[d].lo.clone(),
+            hi: other.dims[d].hi.clone(),
+            step: 1,
+        };
+        Some(Rsd { dims })
+    }
+
     /// Provable containment `other ⊆ self`.
     pub fn contains(&self, other: &Rsd, env: &SymEnv) -> Tri {
         if self.rank() != other.rank() {
@@ -475,6 +527,44 @@ mod tests {
     fn subtract_middle_gives_two_pieces() {
         let d = r1(1, 10).subtract(&r1(4, 6), &env()).unwrap();
         assert_eq!(d, vec![r1(1, 3), r1(7, 10)]);
+    }
+
+    #[test]
+    fn adjacency_and_merge() {
+        // [1:5] ++ [6:10] = [1:10]; overlap and gaps refuse.
+        assert_eq!(r1(1, 5).adjacency(&r1(6, 10), &env()), Some(0));
+        assert_eq!(r1(1, 5).merge_adjacent(&r1(6, 10), &env()), Some(r1(1, 10)));
+        assert_eq!(r1(1, 5).merge_adjacent(&r1(5, 10), &env()), None); // overlap
+        assert_eq!(r1(1, 5).merge_adjacent(&r1(7, 10), &env()), None); // gap
+        assert_eq!(r1(6, 10).merge_adjacent(&r1(1, 5), &env()), None); // order matters
+
+        // 2-D: columns concatenate when rows agree…
+        assert_eq!(
+            r2((1, 8), (1, 2)).merge_adjacent(&r2((1, 8), (3, 4)), &env()),
+            Some(r2((1, 8), (1, 4)))
+        );
+        // …but not when both dimensions differ.
+        assert_eq!(
+            r2((1, 4), (1, 2)).adjacency(&r2((5, 8), (3, 4)), &env()),
+            None
+        );
+    }
+
+    #[test]
+    fn adjacency_symbolic_bounds() {
+        // [1:k] ++ [k+1:n] merges with symbolic bounds.
+        let k = Sym(1);
+        let n = Sym(2);
+        let a = Rsd::new(vec![Triplet::new(Affine::konst(1), Affine::sym(k))]);
+        let b = Rsd::new(vec![Triplet::new(
+            Affine::sym(k).plus_const(1),
+            Affine::sym(n),
+        )]);
+        let m = a.merge_adjacent(&b, &env()).unwrap();
+        assert_eq!(
+            m,
+            Rsd::new(vec![Triplet::new(Affine::konst(1), Affine::sym(n))])
+        );
     }
 
     #[test]

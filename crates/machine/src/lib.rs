@@ -26,7 +26,7 @@ mod stats;
 pub use collective::SharedCollectives;
 pub use cost::CostModel;
 pub use node::{Msg, Node};
-pub use stats::{NodeStats, RunStats};
+pub use stats::{size_bucket, NodeStats, RunStats, HIST_BUCKETS, HIST_LABELS};
 
 use std::sync::mpsc::channel as unbounded;
 use std::sync::Arc;

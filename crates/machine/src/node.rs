@@ -111,8 +111,7 @@ impl Node {
         assert_ne!(dst, self.rank, "self-send: rank {dst}");
         let bytes = (data.len() * 8) as u64;
         self.clock_us += self.cost.send_cost(bytes);
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += bytes;
+        self.stats.record_msgs(1, bytes, Some(tag));
         let msg = Msg {
             tag,
             data: data.to_vec(),
@@ -171,6 +170,14 @@ impl Node {
     /// `max(own clock, root clock + ⌈log₂ P⌉·(α + β·bytes))`. The `P−1`
     /// tree messages are attributed to the root for accounting.
     pub fn bcast(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
+        self.bcast_tagged(root, data, None)
+    }
+
+    /// [`Node::bcast`] with an optional accounting tag: the attributed tree
+    /// messages are additionally recorded under `tag` in the per-tag stats,
+    /// so callers can distinguish message classes (e.g. plain vs. coalesced
+    /// broadcasts) after the run.
+    pub fn bcast_tagged(&mut self, root: usize, data: &[f64], tag: Option<u64>) -> Vec<f64> {
         assert!(root < self.nprocs);
         if self.nprocs == 1 {
             return data.to_vec();
@@ -184,8 +191,8 @@ impl Node {
                 root_clock + levels as f64 * self.cost.send_cost(bytes)
             });
         if is_root {
-            self.stats.msgs_sent += (self.nprocs - 1) as u64;
-            self.stats.bytes_sent += (self.nprocs - 1) as u64 * (out.len() * 8) as u64;
+            self.stats
+                .record_msgs((self.nprocs - 1) as u64, (out.len() * 8) as u64, tag);
         }
         let t = t.max(self.clock_us);
         if t > self.clock_us {
@@ -207,8 +214,8 @@ impl Node {
         let extra = 2.0 * levels as f64 * self.cost.send_cost(8);
         let (t, sum) = self.collectives.allreduce(self.clock_us, v, extra);
         if self.rank == 0 {
-            self.stats.msgs_sent += 2 * (self.nprocs - 1) as u64;
-            self.stats.bytes_sent += 2 * (self.nprocs - 1) as u64 * 8;
+            self.stats
+                .record_msgs(2 * (self.nprocs - 1) as u64, 8, None);
         }
         if t > self.clock_us {
             self.stats.wait_us += t - self.clock_us;
@@ -231,8 +238,8 @@ impl Node {
             self.collectives
                 .maxloc(self.clock_us, self.rank, v, payload.to_vec(), extra);
         if self.rank == 0 {
-            self.stats.msgs_sent += 2 * (self.nprocs - 1) as u64;
-            self.stats.bytes_sent += 2 * (self.nprocs - 1) as u64 * bytes;
+            self.stats
+                .record_msgs(2 * (self.nprocs - 1) as u64, bytes, None);
         }
         if t > self.clock_us {
             self.stats.wait_us += t - self.clock_us;

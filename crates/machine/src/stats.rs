@@ -1,5 +1,25 @@
 //! Execution statistics.
 
+use std::collections::BTreeMap;
+
+/// Number of message-size histogram buckets (see [`size_bucket`]).
+pub const HIST_BUCKETS: usize = 5;
+
+/// Human-readable labels for the histogram buckets, aligned with
+/// [`size_bucket`].
+pub const HIST_LABELS: [&str; HIST_BUCKETS] = ["<=64B", "<=512B", "<=4KB", "<=32KB", ">32KB"];
+
+/// Histogram bucket index for a message of `bytes` payload bytes.
+pub fn size_bucket(bytes: u64) -> usize {
+    match bytes {
+        0..=64 => 0,
+        65..=512 => 1,
+        513..=4096 => 2,
+        4097..=32768 => 3,
+        _ => 4,
+    }
+}
+
 /// Statistics for one simulated node.
 #[derive(Clone, Debug, Default)]
 pub struct NodeStats {
@@ -17,6 +37,29 @@ pub struct NodeStats {
     pub remaps: u64,
     /// Time spent blocked waiting for messages (µs) — idle time.
     pub wait_us: f64,
+    /// Message-size histogram over everything this node sent (point-to-point
+    /// sends and the attributed messages of collectives alike).
+    pub msg_hist: [u64; HIST_BUCKETS],
+    /// `(messages, bytes)` per tag, for attributing message classes (e.g.
+    /// plain vs. coalesced broadcasts) in `tables` output. Point-to-point
+    /// sends always record under their tag; collectives only when the
+    /// caller supplies one ([`crate::Node::bcast_tagged`]).
+    pub msgs_by_tag: BTreeMap<u64, (u64, u64)>,
+}
+
+impl NodeStats {
+    /// Records `msgs` messages of `bytes_each` payload bytes, optionally
+    /// attributed to `tag`.
+    pub(crate) fn record_msgs(&mut self, msgs: u64, bytes_each: u64, tag: Option<u64>) {
+        self.msgs_sent += msgs;
+        self.bytes_sent += msgs * bytes_each;
+        self.msg_hist[size_bucket(bytes_each)] += msgs;
+        if let Some(t) = tag {
+            let e = self.msgs_by_tag.entry(t).or_insert((0, 0));
+            e.0 += msgs;
+            e.1 += msgs * bytes_each;
+        }
+    }
 }
 
 /// Aggregated statistics of one program run.
@@ -34,6 +77,10 @@ pub struct RunStats {
     pub total_ops: u64,
     /// Total remap library calls.
     pub total_remaps: u64,
+    /// Message-size histogram summed across nodes.
+    pub msg_hist: [u64; HIST_BUCKETS],
+    /// `(messages, bytes)` per tag summed across nodes.
+    pub msgs_by_tag: BTreeMap<u64, (u64, u64)>,
     /// Per-node detail.
     pub per_node: Vec<NodeStats>,
 }
@@ -52,6 +99,14 @@ impl RunStats {
             s.total_flops += n.flops;
             s.total_ops += n.ops;
             s.total_remaps += n.remaps;
+            for (b, c) in n.msg_hist.iter().enumerate() {
+                s.msg_hist[b] += c;
+            }
+            for (&t, &(m, by)) in &n.msgs_by_tag {
+                let e = s.msgs_by_tag.entry(t).or_insert((0, 0));
+                e.0 += m;
+                e.1 += by;
+            }
         }
         s
     }
@@ -95,5 +150,31 @@ mod tests {
         let s = RunStats::aggregate(vec![]);
         assert_eq!(s.time_us, 0.0);
         assert_eq!(s.total_msgs, 0);
+    }
+
+    #[test]
+    fn size_buckets_partition_sizes() {
+        assert_eq!(size_bucket(0), 0);
+        assert_eq!(size_bucket(64), 0);
+        assert_eq!(size_bucket(65), 1);
+        assert_eq!(size_bucket(512), 1);
+        assert_eq!(size_bucket(4096), 2);
+        assert_eq!(size_bucket(32768), 3);
+        assert_eq!(size_bucket(32769), 4);
+    }
+
+    #[test]
+    fn record_msgs_fills_histogram_and_tags() {
+        let mut n = NodeStats::default();
+        n.record_msgs(3, 8, Some(7));
+        n.record_msgs(1, 1000, None);
+        assert_eq!(n.msgs_sent, 4);
+        assert_eq!(n.bytes_sent, 3 * 8 + 1000);
+        assert_eq!(n.msg_hist[0], 3);
+        assert_eq!(n.msg_hist[2], 1);
+        assert_eq!(n.msgs_by_tag.get(&7), Some(&(3, 24)));
+        let s = RunStats::aggregate(vec![n.clone(), n]);
+        assert_eq!(s.msg_hist[0], 6);
+        assert_eq!(s.msgs_by_tag.get(&7), Some(&(6, 48)));
     }
 }

@@ -19,6 +19,13 @@ use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+/// Accounting tag under which plain broadcasts ([`SStmt::Bcast`],
+/// [`SStmt::BcastScalar`]) are recorded in the machine's per-tag message
+/// stats. High bits keep it clear of compiler-assigned send tags.
+pub const TAG_BCAST: u64 = 1 << 32;
+/// Accounting tag for coalesced broadcasts ([`SStmt::BcastPack`]).
+pub const TAG_BCAST_PACK: u64 = (1 << 32) + 1;
+
 /// Result of running a node program.
 #[derive(Debug)]
 pub struct ExecOutput {
@@ -517,7 +524,7 @@ impl<'a> Exec<'a> {
                     vec![]
                 };
                 self.flush_charges();
-                let out = self.node.bcast(root, &data);
+                let out = self.node.bcast_tagged(root, &data, Some(TAG_BCAST));
                 self.scatter_section(*dst_array, dst_section, &out);
                 Flow::Normal
             }
@@ -536,7 +543,7 @@ impl<'a> Exec<'a> {
                     vec![]
                 };
                 self.flush_charges();
-                let out = self.node.bcast(root, &data);
+                let out = self.node.bcast_tagged(root, &data, Some(TAG_BCAST));
                 // Scalars broadcast this way are integers in practice
                 // (pivot indices); preserve integrality when exact.
                 let v = out[0];
@@ -546,6 +553,57 @@ impl<'a> Exec<'a> {
                     Value::R(v)
                 };
                 self.frames.last_mut().unwrap().scalars.insert(*var, val);
+                Flow::Normal
+            }
+            SStmt::BcastPack { root, parts } => {
+                let root = self.eval(root).as_i() as usize;
+                let is_root = self.node.rank() == root;
+                let mut data = Vec::new();
+                if is_root {
+                    for p in parts {
+                        match p {
+                            BcastPart::Section {
+                                src_array,
+                                src_section,
+                                ..
+                            } => data.extend(self.gather_section(*src_array, src_section)),
+                            BcastPart::Scalar(v) => data.push(
+                                self.frame()
+                                    .scalars
+                                    .get(v)
+                                    .copied()
+                                    .map(|v| v.as_r())
+                                    .unwrap_or(0.0),
+                            ),
+                        }
+                    }
+                }
+                self.flush_charges();
+                let out = self.node.bcast_tagged(root, &data, Some(TAG_BCAST_PACK));
+                let mut off = 0usize;
+                for p in parts {
+                    match p {
+                        BcastPart::Section {
+                            dst_array,
+                            dst_section,
+                            ..
+                        } => {
+                            let n = self.rect_points(dst_section).len();
+                            self.scatter_section(*dst_array, dst_section, &out[off..off + n]);
+                            off += n;
+                        }
+                        BcastPart::Scalar(v) => {
+                            let x = out[off];
+                            let val = if x == x.trunc() {
+                                Value::I(x as i64)
+                            } else {
+                                Value::R(x)
+                            };
+                            self.frames.last_mut().unwrap().scalars.insert(*v, val);
+                            off += 1;
+                        }
+                    }
+                }
                 Flow::Normal
             }
             SStmt::RemapGlobal { array, to_dist } => {

@@ -270,8 +270,28 @@ pub enum SActual {
     Scalar(SExpr),
 }
 
+/// One constituent of a packed broadcast ([`SStmt::BcastPack`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BcastPart {
+    /// A section broadcast: the root gathers `src_array[src_section]`;
+    /// every rank scatters that slice of the payload into
+    /// `dst_array[dst_section]`.
+    Section {
+        /// Source array (root side).
+        src_array: Sym,
+        /// Source section, local index space of the root.
+        src_section: SRect,
+        /// Destination array (all ranks).
+        dst_array: Sym,
+        /// Destination section.
+        dst_section: SRect,
+    },
+    /// A scalar broadcast: one payload element.
+    Scalar(Sym),
+}
+
 /// Statements.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SStmt {
     /// Pretty-printer-visible comment (e.g. `{ phase banners }`).
     Comment(String),
@@ -380,6 +400,16 @@ pub enum SStmt {
         root: SExpr,
         /// The scalar.
         var: Sym,
+    },
+    /// Coalesced broadcast: the payloads of several broadcasts with the same
+    /// root are packed into one message (one α instead of several). Produced
+    /// by the communication optimizer ([`crate::opt`]); never emitted
+    /// directly by codegen.
+    BcastPack {
+        /// Root rank (shared by every part).
+        root: SExpr,
+        /// Constituent broadcasts, packed in order.
+        parts: Vec<BcastPart>,
     },
     /// Dynamic data decomposition: remap `array` to `to_dist`, moving data
     /// between nodes (charged as messages + a remap call).

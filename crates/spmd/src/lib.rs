@@ -21,6 +21,7 @@
 
 pub mod interp;
 pub mod ir;
+pub mod opt;
 pub mod print;
 pub mod rewrite;
 
@@ -28,4 +29,5 @@ pub use interp::{run_spmd, ExecOutput};
 pub use ir::{
     DistId, SActual, SBinOp, SDecl, SExpr, SIntr, SLval, SProc, SRect, SStmt, SpmdProgram,
 };
+pub use opt::{optimize, CommOpt, OptReport};
 pub use print::pretty;

@@ -1,0 +1,3863 @@
+//! Communication optimization over SPMD node programs (the "between codegen
+//! and emit" pass pipeline).
+//!
+//! Three cooperating optimizations, run in this order:
+//!
+//! 1. **Redundant-communication elimination** (level [`CommOpt::Full`] only):
+//!    a forward "available data" dataflow over broadcast sections. A
+//!    broadcast `buf ← A[sec] from root` makes `A[sec]`'s values *available*
+//!    (replicated) in `buf` on every rank. A later broadcast of a contained
+//!    section of the same array from the same root is redundant — every
+//!    receiver already holds the data — *provided* the tracked region of `A`
+//!    on the root has not changed since, or its changes can be **shadowed**:
+//!    re-applied to `buf` locally by every rank (possible exactly when the
+//!    updates are computable from replicated values, e.g. dgefa's pivot swap
+//!    and scale steps). The facts propagate interprocedurally: at each call
+//!    site the caller's facts are mapped through array/scalar actuals onto
+//!    the callee's formals, met over all call sites in reverse-invocation
+//!    (callers-first) order over the call graph.
+//! 2. **Loop-level message aggregation**: leading loop-invariant collectives
+//!    (and tag-paired send/recv couples) are lifted out of loops with
+//!    provably positive constant trip counts.
+//! 3. **Message coalescing**: adjacent broadcasts with the same root fuse
+//!    into one packed message ([`SStmt::BcastPack`]); adjacent send/send and
+//!    recv/recv pairs over adjacent sections of the same array merge via
+//!    [`Rsd::merge_adjacent`] when the pairing is provably symmetric.
+//!
+//! Every transformation preserves bit-identical array results: shadows
+//! perform the same IEEE operations on the same broadcast bytes every rank
+//! already holds, and packing/aggregation only re-batches identical
+//! payloads. See DESIGN.md §"Communication optimization" for the dataflow
+//! equations and the soundness argument.
+
+use crate::ir::{BcastPart, SActual, SBinOp, SExpr, SLval, SProc, SRect, SStmt, SpmdProgram};
+use fortrand_ir::dist::{ArrayDist, DistKind};
+use fortrand_ir::rsd::{Rsd, Triplet};
+use fortrand_ir::symenv::SymEnv;
+use fortrand_ir::{Affine, Interner, Sym};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Communication optimization level (driver flag).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum CommOpt {
+    /// Pass disabled: emit exactly what codegen produced.
+    Off,
+    /// Message coalescing and loop-level aggregation only.
+    Coalesce,
+    /// Everything: redundant-communication elimination + aggregation +
+    /// coalescing (the default).
+    #[default]
+    Full,
+}
+
+impl CommOpt {
+    /// Stable spelling for reports, hashing and CLI parsing.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CommOpt::Off => "off",
+            CommOpt::Coalesce => "coalesce",
+            CommOpt::Full => "full",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<CommOpt> {
+        match s {
+            "off" => Some(CommOpt::Off),
+            "coalesce" => Some(CommOpt::Coalesce),
+            "full" => Some(CommOpt::Full),
+            _ => None,
+        }
+    }
+}
+
+/// What the pass did — used for reporting and for incremental-compilation
+/// fact hashing (the per-procedure strings participate in the recompilation
+/// analysis: a change in optimization decisions must change the hash).
+#[derive(Clone, Debug, Default)]
+pub struct OptReport {
+    /// Level the pass ran at.
+    pub level: CommOpt,
+    /// Broadcasts (or send/recv couples) eliminated as redundant.
+    pub eliminated: usize,
+    /// Messages removed by packing/merging (per merged pair).
+    pub coalesced: usize,
+    /// Communication statements lifted out of loops.
+    pub hoisted: usize,
+    /// Per-procedure summary of decisions, keyed by procedure name.
+    /// Deterministic; hashed into the incremental engine's fact hashes.
+    pub per_proc: BTreeMap<String, String>,
+}
+
+/// Runs the communication optimizer in place at the given level.
+pub fn optimize(prog: &mut SpmdProgram, level: CommOpt) -> OptReport {
+    let mut report = OptReport {
+        level,
+        ..Default::default()
+    };
+    if level == CommOpt::Off {
+        return report;
+    }
+    if level == CommOpt::Full {
+        eliminate(prog, &mut report);
+    }
+    hoist(prog, &mut report);
+    coalesce(prog, &mut report);
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Expression utilities: substitution, linear forms, proofs
+// ---------------------------------------------------------------------------
+
+fn map_expr(e: &SExpr, f: &mut dyn FnMut(&SExpr) -> Option<SExpr>) -> SExpr {
+    if let Some(r) = f(e) {
+        return r;
+    }
+    match e {
+        SExpr::Int(_) | SExpr::Real(_) | SExpr::Var(_) | SExpr::MyP | SExpr::NProcs => e.clone(),
+        SExpr::Elem { array, subs } => SExpr::Elem {
+            array: *array,
+            subs: subs.iter().map(|s| map_expr(s, f)).collect(),
+        },
+        SExpr::Bin { op, l, r } => SExpr::Bin {
+            op: *op,
+            l: Box::new(map_expr(l, f)),
+            r: Box::new(map_expr(r, f)),
+        },
+        SExpr::Neg(x) => SExpr::Neg(Box::new(map_expr(x, f))),
+        SExpr::Not(x) => SExpr::Not(Box::new(map_expr(x, f))),
+        SExpr::Intr { name, args } => SExpr::Intr {
+            name: *name,
+            args: args.iter().map(|a| map_expr(a, f)).collect(),
+        },
+        SExpr::Owner { dist, subs } => SExpr::Owner {
+            dist: *dist,
+            subs: subs.iter().map(|s| map_expr(s, f)).collect(),
+        },
+        SExpr::CurOwner { array, subs } => SExpr::CurOwner {
+            array: *array,
+            subs: subs.iter().map(|s| map_expr(s, f)).collect(),
+        },
+        SExpr::LocalIdx { dist, dim, sub } => SExpr::LocalIdx {
+            dist: *dist,
+            dim: *dim,
+            sub: Box::new(map_expr(sub, f)),
+        },
+    }
+}
+
+fn visit_expr(e: &SExpr, f: &mut dyn FnMut(&SExpr)) {
+    f(e);
+    match e {
+        SExpr::Int(_) | SExpr::Real(_) | SExpr::Var(_) | SExpr::MyP | SExpr::NProcs => {}
+        SExpr::Elem { subs, .. } | SExpr::Owner { subs, .. } | SExpr::CurOwner { subs, .. } => {
+            for s in subs {
+                visit_expr(s, f);
+            }
+        }
+        SExpr::Bin { l, r, .. } => {
+            visit_expr(l, f);
+            visit_expr(r, f);
+        }
+        SExpr::Neg(x) | SExpr::Not(x) => visit_expr(x, f),
+        SExpr::Intr { args, .. } => {
+            for a in args {
+                visit_expr(a, f);
+            }
+        }
+        SExpr::LocalIdx { sub, .. } => visit_expr(sub, f),
+    }
+}
+
+/// True if `e` mentions any of the given scalar symbols.
+fn mentions_any(e: &SExpr, syms: &BTreeSet<Sym>) -> bool {
+    let mut hit = false;
+    visit_expr(e, &mut |x| {
+        if let SExpr::Var(s) = x {
+            if syms.contains(s) {
+                hit = true;
+            }
+        }
+    });
+    hit
+}
+
+/// True if `e` evaluates to the same value on every rank given that the
+/// scalars in `repl` are replicated. `my$p` and array elements are not;
+/// `owner()`/`local()` of replicated subscripts are (they consult the
+/// shared distribution table).
+fn expr_replicated(e: &SExpr, repl: &BTreeSet<Sym>) -> bool {
+    match e {
+        SExpr::Int(_) | SExpr::Real(_) | SExpr::NProcs => true,
+        SExpr::Var(s) => repl.contains(s),
+        SExpr::MyP | SExpr::Elem { .. } | SExpr::CurOwner { .. } => false,
+        SExpr::Bin { l, r, .. } => expr_replicated(l, repl) && expr_replicated(r, repl),
+        SExpr::Neg(x) | SExpr::Not(x) => expr_replicated(x, repl),
+        SExpr::Intr { args, .. } | SExpr::Owner { subs: args, .. } => {
+            args.iter().all(|a| expr_replicated(a, repl))
+        }
+        SExpr::LocalIdx { sub, .. } => expr_replicated(sub, repl),
+    }
+}
+
+/// A linear form: sum of `coeff * atom` plus a constant, where atoms are
+/// arbitrary non-additive subexpressions compared syntactically.
+#[derive(Clone, Debug)]
+struct Lin {
+    terms: Vec<(SExpr, i64)>,
+    konst: i64,
+}
+
+impl Lin {
+    fn konst(c: i64) -> Lin {
+        Lin {
+            terms: vec![],
+            konst: c,
+        }
+    }
+
+    fn add_term(&mut self, atom: SExpr, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        for (a, c) in self.terms.iter_mut() {
+            if *a == atom {
+                *c += coeff;
+                return;
+            }
+        }
+        self.terms.push((atom, coeff));
+    }
+
+    fn add(&mut self, other: Lin, scale: i64) {
+        self.konst += other.konst * scale;
+        for (a, c) in other.terms {
+            self.add_term(a, c * scale);
+        }
+    }
+
+    fn prune(&mut self) {
+        self.terms.retain(|(_, c)| *c != 0);
+    }
+}
+
+/// Linearizes an integer index expression. Non-affine nodes become opaque
+/// atoms; `Real` makes the whole expression non-linearizable.
+fn linearize(e: &SExpr) -> Option<Lin> {
+    match e {
+        SExpr::Int(v) => Some(Lin::konst(*v)),
+        SExpr::Real(_) => None,
+        SExpr::Neg(x) => {
+            let mut l = Lin::konst(0);
+            l.add(linearize(x)?, -1);
+            Some(l)
+        }
+        SExpr::Bin { op, l, r } => match op {
+            SBinOp::Add | SBinOp::Sub => {
+                let mut out = linearize(l)?;
+                out.add(linearize(r)?, if *op == SBinOp::Add { 1 } else { -1 });
+                out.prune();
+                Some(out)
+            }
+            SBinOp::Mul => {
+                let ll = linearize(l)?;
+                let lr = linearize(r)?;
+                let (lin, c) = if ll.terms.is_empty() {
+                    (lr, ll.konst)
+                } else if lr.terms.is_empty() {
+                    (ll, lr.konst)
+                } else {
+                    // Non-linear product: opaque atom.
+                    let mut out = Lin::konst(0);
+                    out.add_term(e.clone(), 1);
+                    return Some(out);
+                };
+                let mut out = Lin::konst(0);
+                out.add(lin, c);
+                out.prune();
+                Some(out)
+            }
+            _ => {
+                let mut out = Lin::konst(0);
+                out.add_term(e.clone(), 1);
+                Some(out)
+            }
+        },
+        _ => {
+            let mut out = Lin::konst(0);
+            out.add_term(e.clone(), 1);
+            Some(out)
+        }
+    }
+}
+
+/// Rebuilds an expression from a linear form (deterministic shape).
+fn delinearize(lin: &Lin) -> SExpr {
+    let mut acc: Option<SExpr> = None;
+    for (a, c) in &lin.terms {
+        let t = if *c == 1 {
+            a.clone()
+        } else if *c == -1 {
+            SExpr::Neg(Box::new(a.clone()))
+        } else {
+            SExpr::mul(SExpr::int(*c), a.clone())
+        };
+        acc = Some(match acc {
+            None => t,
+            Some(p) => SExpr::add(p, t),
+        });
+    }
+    match acc {
+        None => SExpr::int(lin.konst),
+        Some(p) if lin.konst == 0 => p,
+        Some(p) if lin.konst > 0 => SExpr::add(p, SExpr::int(lin.konst)),
+        Some(p) => SExpr::sub(p, SExpr::int(-lin.konst)),
+    }
+}
+
+/// Applies the globalization identity to a linear form in place: the
+/// codegen shapes `(local(G)-1)*P + owner(G) + 1` (CYCLIC) and
+/// `owner(G)*b + local(G)` (BLOCK) collapse back to the global subscript
+/// `G`. Only fires when the consulted distribution has exactly one
+/// distributed dimension (so `owner` depends only on that subscript).
+fn glob_identity(lin: &mut Lin, dists: &[ArrayDist]) {
+    loop {
+        let mut hit: Option<(usize, usize, SExpr, i64, i64)> = None; // (li, wi, g, c, extra)
+        'search: for (li, (la, lc)) in lin.terms.iter().enumerate() {
+            let SExpr::LocalIdx { dist, dim, sub } = la else {
+                continue;
+            };
+            let d = &dists[dist.0 as usize];
+            if d.first_dist_dim() != Some(*dim)
+                || d.dims.iter().filter(|p| p.kind.is_distributed()).count() != 1
+            {
+                continue;
+            }
+            let part = &d.dims[*dim];
+            for (wi, (wa, wc)) in lin.terms.iter().enumerate() {
+                let SExpr::Owner { dist: wd, subs } = wa else {
+                    continue;
+                };
+                if wd != dist || subs.len() <= *dim || !syn_eq_raw(&subs[*dim], sub) {
+                    continue;
+                }
+                // coefficient pattern: lc = c * factor, wc = c
+                let c = *wc;
+                if c == 0 {
+                    continue;
+                }
+                if part.kind == DistKind::Cyclic {
+                    let p = part.nprocs as i64;
+                    if *lc == c * p {
+                        // c*(P*l + w) = c*(G + P - 1)
+                        hit = Some((li, wi, (**sub).clone(), c, c * (p - 1)));
+                        break 'search;
+                    }
+                }
+            }
+            // BLOCK: coeff(l) = c, coeff(w) = c*b
+            if part.kind == DistKind::Block {
+                let b = part.block_size();
+                let c = *lc;
+                for (wi, (wa, wc)) in lin.terms.iter().enumerate() {
+                    let SExpr::Owner { dist: wd, subs } = wa else {
+                        continue;
+                    };
+                    if let SExpr::LocalIdx { dist, dim, sub } = la {
+                        if wd == dist
+                            && subs.len() > *dim
+                            && syn_eq_raw(&subs[*dim], sub)
+                            && *wc == c * b
+                        {
+                            hit = Some((li, wi, (**sub).clone(), c, 0));
+                            break 'search;
+                        }
+                    }
+                }
+            }
+        }
+        let Some((li, wi, g, c, extra)) = hit else {
+            return;
+        };
+        let (hi_i, lo_i) = if li > wi { (li, wi) } else { (wi, li) };
+        lin.terms.remove(hi_i);
+        lin.terms.remove(lo_i);
+        lin.konst += extra;
+        if let Some(gl) = linearize(&g) {
+            lin.add(gl, c);
+        } else {
+            lin.add_term(g, c);
+        }
+        lin.prune();
+    }
+}
+
+/// Raw structural equality (no normalization).
+fn syn_eq_raw(a: &SExpr, b: &SExpr) -> bool {
+    a == b
+}
+
+/// Simplifies an index expression: recursively linearizes additive subtrees,
+/// applies the globalization identity, and rebuilds a canonical shape.
+fn simplify(e: &SExpr, dists: &[ArrayDist]) -> SExpr {
+    match linearize(e) {
+        Some(mut lin) => {
+            // Normalize atoms recursively (their subexpressions may contain
+            // additive islands, e.g. LocalIdx(k+1)).
+            let mut norm = Lin::konst(lin.konst);
+            for (a, c) in lin.terms.drain(..) {
+                let a2 = simplify_children(&a, dists);
+                norm.add_term(a2, c);
+            }
+            norm.prune();
+            glob_identity(&mut norm, dists);
+            delinearize(&norm)
+        }
+        None => simplify_children(e, dists),
+    }
+}
+
+fn simplify_children(e: &SExpr, dists: &[ArrayDist]) -> SExpr {
+    match e {
+        SExpr::Int(_) | SExpr::Real(_) | SExpr::Var(_) | SExpr::MyP | SExpr::NProcs => e.clone(),
+        SExpr::Elem { array, subs } => SExpr::Elem {
+            array: *array,
+            subs: subs.iter().map(|s| simplify(s, dists)).collect(),
+        },
+        SExpr::Bin { op, l, r } => SExpr::bin(*op, simplify(l, dists), simplify(r, dists)),
+        SExpr::Neg(x) => SExpr::Neg(Box::new(simplify(x, dists))),
+        SExpr::Not(x) => SExpr::Not(Box::new(simplify(x, dists))),
+        SExpr::Intr { name, args } => SExpr::Intr {
+            name: *name,
+            args: args.iter().map(|a| simplify(a, dists)).collect(),
+        },
+        SExpr::Owner { dist, subs } => SExpr::Owner {
+            dist: *dist,
+            subs: subs.iter().map(|s| simplify(s, dists)).collect(),
+        },
+        SExpr::CurOwner { array, subs } => SExpr::CurOwner {
+            array: *array,
+            subs: subs.iter().map(|s| simplify(s, dists)).collect(),
+        },
+        SExpr::LocalIdx { dist, dim, sub } => SExpr::LocalIdx {
+            dist: *dist,
+            dim: *dim,
+            sub: Box::new(simplify(sub, dists)),
+        },
+    }
+}
+
+/// Symbolic ranges for scalar values, `sym → (lo, hi)` inclusive, with
+/// bound expressions in the enclosing scope's terms.
+type Ranges = BTreeMap<Sym, (SExpr, SExpr)>;
+
+/// Proves `a >= b` by showing `lin(a - b) >= 0`: substitute ranged symbols
+/// by the favorable bound and recurse (depth-limited).
+fn prove_ge(a: &SExpr, b: &SExpr, ranges: &Ranges, dists: &[ArrayDist]) -> bool {
+    let (Some(la), Some(lb)) = (
+        linearize(&simplify(a, dists)),
+        linearize(&simplify(b, dists)),
+    ) else {
+        return false;
+    };
+    let mut d = la;
+    d.add(lb, -1);
+    d.prune();
+    prove_ge0(d, ranges, dists, 4)
+}
+
+fn prove_ge0(lin: Lin, ranges: &Ranges, dists: &[ArrayDist], depth: usize) -> bool {
+    if lin.terms.is_empty() {
+        return lin.konst >= 0;
+    }
+    if depth == 0 {
+        return false;
+    }
+    // Substitute the first ranged Var atom by its favorable bound.
+    for (i, (a, c)) in lin.terms.iter().enumerate() {
+        let SExpr::Var(s) = a else { continue };
+        let Some((lo, hi)) = ranges.get(s) else {
+            continue;
+        };
+        let bound = if *c > 0 { lo } else { hi };
+        let Some(lb) = linearize(&simplify(bound, dists)) else {
+            continue;
+        };
+        // The bound must not re-mention the symbol being eliminated.
+        if lb
+            .terms
+            .iter()
+            .any(|(x, _)| matches!(x, SExpr::Var(t) if t == s))
+        {
+            continue;
+        }
+        let c = *c;
+        let mut next = lin.clone();
+        next.terms.remove(i);
+        next.add(lb, c);
+        next.prune();
+        if prove_ge0(next, ranges, dists, depth - 1) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Normalized syntactic equality: `a == b` after simplification, or a
+/// provably-zero linear difference.
+fn syn_eq(a: &SExpr, b: &SExpr, dists: &[ArrayDist]) -> bool {
+    let sa = simplify(a, dists);
+    let sb = simplify(b, dists);
+    if sa == sb {
+        return true;
+    }
+    if let (Some(la), Some(lb)) = (linearize(&sa), linearize(&sb)) {
+        let mut d = la;
+        d.add(lb, -1);
+        d.prune();
+        return d.terms.is_empty() && d.konst == 0;
+    }
+    false
+}
+
+/// Constant-folds a simplified expression to an integer if possible.
+fn const_of(e: &SExpr, dists: &[ArrayDist]) -> Option<i64> {
+    let lin = linearize(&simplify(e, dists))?;
+    if lin.terms.is_empty() {
+        Some(lin.konst)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Effect analyses over the pristine (pre-optimization) procedure snapshot
+// ---------------------------------------------------------------------------
+
+/// For each procedure, the set of formal positions whose arrays may be
+/// written (transitively through nested calls). Fixpoint over the call
+/// graph.
+fn written_formals(procs: &[SProc]) -> Vec<BTreeSet<usize>> {
+    let mut wf: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); procs.len()];
+    loop {
+        let mut changed = false;
+        for (i, p) in procs.iter().enumerate() {
+            let mut written: BTreeSet<Sym> = BTreeSet::new();
+            collect_written_arrays(&p.body, &wf, &mut written);
+            for (pos, f) in p.formals.iter().enumerate() {
+                if f.is_array && written.contains(&f.name) && wf[i].insert(pos) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return wf;
+        }
+    }
+}
+
+/// Collects every array symbol that may be written by `stmts` (locals,
+/// formals and, through calls, actual arrays at written formal positions).
+fn collect_written_arrays(stmts: &[SStmt], wf: &[BTreeSet<usize>], out: &mut BTreeSet<Sym>) {
+    for s in stmts {
+        match s {
+            SStmt::Assign {
+                lhs: SLval::Elem { array, .. },
+                ..
+            } => {
+                out.insert(*array);
+            }
+            SStmt::RecvElem {
+                lhs: SLval::Elem { array, .. },
+                ..
+            } => {
+                out.insert(*array);
+            }
+            SStmt::Recv { array, .. } => {
+                out.insert(*array);
+            }
+            SStmt::Bcast { dst_array, .. } => {
+                out.insert(*dst_array);
+            }
+            SStmt::BcastPack { parts, .. } => {
+                for p in parts {
+                    if let BcastPart::Section { dst_array, .. } = p {
+                        out.insert(*dst_array);
+                    }
+                }
+            }
+            SStmt::Remap { array, .. }
+            | SStmt::RemapGlobal { array, .. }
+            | SStmt::MarkDist { array, .. } => {
+                out.insert(*array);
+            }
+            SStmt::Do { body, .. } => collect_written_arrays(body, wf, out),
+            SStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_written_arrays(then_body, wf, out);
+                collect_written_arrays(else_body, wf, out);
+            }
+            SStmt::Call { proc, args, .. } => {
+                for &pos in &wf[*proc] {
+                    if let Some(SActual::Array(a)) = args.get(pos) {
+                        out.insert(*a);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects scalar symbols that may be assigned by `stmts` (including loop
+/// variables, copy-out targets and received/broadcast scalars).
+fn collect_assigned_scalars(stmts: &[SStmt], out: &mut BTreeSet<Sym>) {
+    for s in stmts {
+        match s {
+            SStmt::Assign {
+                lhs: SLval::Scalar(v),
+                ..
+            } => {
+                out.insert(*v);
+            }
+            SStmt::RecvElem {
+                lhs: SLval::Scalar(v),
+                ..
+            } => {
+                out.insert(*v);
+            }
+            SStmt::BcastScalar { var, .. } => {
+                out.insert(*var);
+            }
+            SStmt::BcastPack { parts, .. } => {
+                for p in parts {
+                    if let BcastPart::Scalar(v) = p {
+                        out.insert(*v);
+                    }
+                }
+            }
+            SStmt::Do { var, body, .. } => {
+                out.insert(*var);
+                collect_assigned_scalars(body, out);
+            }
+            SStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_assigned_scalars(then_body, out);
+                collect_assigned_scalars(else_body, out);
+            }
+            SStmt::Call { copy_out, .. } => {
+                for (_, caller) in copy_out {
+                    out.insert(*caller);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Counts textual occurrences of `array` in any array position of `stmts`
+/// (element reads/writes, sections, call actuals). The mention audit of the
+/// elimination pass compares validated mentions against this total.
+fn count_mentions(stmts: &[SStmt], array: Sym) -> usize {
+    fn in_expr(e: &SExpr, array: Sym) -> usize {
+        let mut n = 0;
+        visit_expr(e, &mut |x| {
+            if let SExpr::Elem { array: a, .. } = x {
+                if *a == array {
+                    n += 1;
+                }
+            }
+            if let SExpr::CurOwner { array: a, .. } = x {
+                if *a == array {
+                    n += 1;
+                }
+            }
+        });
+        n
+    }
+    fn in_rect(r: &SRect, array: Sym) -> usize {
+        r.dims
+            .iter()
+            .map(|(lo, hi, _)| in_expr(lo, array) + in_expr(hi, array))
+            .sum()
+    }
+    let mut n = 0;
+    for s in stmts {
+        match s {
+            SStmt::Assign { lhs, rhs } => {
+                n += in_expr(rhs, array);
+                if let SLval::Elem { array: a, subs } = lhs {
+                    if *a == array {
+                        n += 1;
+                    }
+                    n += subs.iter().map(|e| in_expr(e, array)).sum::<usize>();
+                }
+            }
+            SStmt::Do { lo, hi, body, .. } => {
+                n += in_expr(lo, array) + in_expr(hi, array) + count_mentions(body, array);
+            }
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                n += in_expr(cond, array)
+                    + count_mentions(then_body, array)
+                    + count_mentions(else_body, array);
+            }
+            SStmt::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        SActual::Array(s) if *s == array => n += 1,
+                        SActual::Scalar(e) => n += in_expr(e, array),
+                        _ => {}
+                    }
+                }
+            }
+            SStmt::Send {
+                to,
+                array: a,
+                section,
+                ..
+            } => {
+                n += in_expr(to, array) + in_rect(section, array) + usize::from(*a == array);
+            }
+            SStmt::Recv {
+                from,
+                array: a,
+                section,
+                ..
+            } => {
+                n += in_expr(from, array) + in_rect(section, array) + usize::from(*a == array);
+            }
+            SStmt::SendElem { to, value, .. } => n += in_expr(to, array) + in_expr(value, array),
+            SStmt::RecvElem { from, lhs, .. } => {
+                n += in_expr(from, array);
+                if let SLval::Elem { array: a, subs } = lhs {
+                    if *a == array {
+                        n += 1;
+                    }
+                    n += subs.iter().map(|e| in_expr(e, array)).sum::<usize>();
+                }
+            }
+            SStmt::Bcast {
+                root,
+                src_array,
+                src_section,
+                dst_array,
+                dst_section,
+            } => {
+                n += in_expr(root, array)
+                    + in_rect(src_section, array)
+                    + in_rect(dst_section, array)
+                    + usize::from(*src_array == array)
+                    + usize::from(*dst_array == array);
+            }
+            SStmt::BcastScalar { root, .. } => n += in_expr(root, array),
+            SStmt::BcastPack { root, parts } => {
+                n += in_expr(root, array);
+                for p in parts {
+                    if let BcastPart::Section {
+                        src_array,
+                        src_section,
+                        dst_array,
+                        dst_section,
+                    } = p
+                    {
+                        n += in_rect(src_section, array)
+                            + in_rect(dst_section, array)
+                            + usize::from(*src_array == array)
+                            + usize::from(*dst_array == array);
+                    }
+                }
+            }
+            SStmt::Remap { array: a, .. }
+            | SStmt::RemapGlobal { array: a, .. }
+            | SStmt::MarkDist { array: a, .. } => n += usize::from(*a == array),
+            SStmt::Print { args } => {
+                n += args.iter().map(|e| in_expr(e, array)).sum::<usize>();
+            }
+            SStmt::Comment(_) | SStmt::Return | SStmt::Stop => {}
+        }
+    }
+    n
+}
+
+/// Finds the call sites (callee proc indices) anywhere inside `stmts`.
+fn collect_callees(stmts: &[SStmt], out: &mut Vec<usize>) {
+    for s in stmts {
+        match s {
+            SStmt::Call { proc, .. } => out.push(*proc),
+            SStmt::Do { body, .. } => collect_callees(body, out),
+            SStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_callees(then_body, out);
+                collect_callees(else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Orders procedures callers-before-callees (Kahn). Procedures on call
+/// cycles (or called from them) are appended in index order and flagged:
+/// their recorded entry states are discarded (⊥).
+fn topo_callers_first(procs: &[SProc]) -> (Vec<usize>, Vec<bool>) {
+    let n = procs.len();
+    let mut callees: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut indeg = vec![0usize; n];
+    for p in procs {
+        let mut cs = Vec::new();
+        collect_callees(&p.body, &mut cs);
+        cs.sort_unstable();
+        cs.dedup();
+        for &c in &cs {
+            indeg[c] += 1;
+        }
+        callees.push(cs);
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = vec![false; n];
+    while let Some(i) = queue.pop() {
+        if seen[i] {
+            continue;
+        }
+        seen[i] = true;
+        order.push(i);
+        for &c in &callees[i] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                queue.push(c);
+            }
+        }
+        queue.sort_unstable_by(|a, b| b.cmp(a)); // deterministic: lowest index next
+    }
+    let mut cyclic = vec![false; n];
+    for i in 0..n {
+        if !seen[i] {
+            cyclic[i] = true;
+            order.push(i);
+        }
+    }
+    (order, cyclic)
+}
+
+// ---------------------------------------------------------------------------
+// Redundant-communication elimination: available-section facts
+// ---------------------------------------------------------------------------
+
+/// One available-data fact: every rank holds `src[src_sec]` (as seen on
+/// `root`) in `buf[dst_sec]`. `shadows` are pending replicated updates to
+/// `buf` (mirrors of guarded writes to `src`) that must be spliced into the
+/// output before the fact can be used.
+#[derive(Clone, Debug, PartialEq)]
+struct Fact {
+    id: usize,
+    src: Sym,
+    buf: Sym,
+    root: SExpr,
+    /// Source section (simplified); pinned dims have `lo == hi`.
+    src_sec: SRect,
+    /// Buffer section — one dim per non-pinned source dim, same bounds.
+    dst_sec: SRect,
+    /// Indices of the non-pinned dims of `src_sec`, in order.
+    row_dims: Vec<usize>,
+    shadows: Vec<SStmt>,
+    is_entry: bool,
+}
+
+impl Fact {
+    fn mentions(&self, syms: &BTreeSet<Sym>) -> bool {
+        let mut hit = mentions_any(&self.root, syms);
+        for (lo, hi, _) in self.src_sec.dims.iter().chain(self.dst_sec.dims.iter()) {
+            hit |= mentions_any(lo, syms) || mentions_any(hi, syms);
+        }
+        hit
+    }
+
+    fn pinned_dims(&self) -> Vec<usize> {
+        (0..self.src_sec.dims.len())
+            .filter(|d| !self.row_dims.contains(d))
+            .collect()
+    }
+}
+
+/// Dataflow state at a program point.
+#[derive(Clone, Debug, Default)]
+struct State {
+    /// Scalars provably holding the same value on every rank.
+    repl: BTreeSet<Sym>,
+    /// Value ranges for scalars (used by the containment prover).
+    ranges: Ranges,
+    /// Live available-section facts.
+    facts: Vec<Fact>,
+}
+
+/// Callee entry state accumulated over call sites (met pairwise).
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    repl: BTreeSet<Sym>,
+    ranges: Ranges,
+    facts: Vec<Fact>,
+    bounds: BTreeMap<Sym, Vec<(i64, i64)>>,
+}
+
+fn meet_entries(a: Entry, b: &Entry) -> Entry {
+    Entry {
+        repl: a.repl.intersection(&b.repl).copied().collect(),
+        ranges: a
+            .ranges
+            .into_iter()
+            .filter(|(s, r)| b.ranges.get(s) == Some(r))
+            .collect(),
+        facts: a
+            .facts
+            .into_iter()
+            .filter(|f| {
+                b.facts.iter().any(|g| {
+                    f.src == g.src
+                        && f.buf == g.buf
+                        && f.root == g.root
+                        && f.src_sec == g.src_sec
+                        && f.dst_sec == g.dst_sec
+                })
+            })
+            .collect(),
+        bounds: a
+            .bounds
+            .into_iter()
+            .filter(|(s, bs)| b.bounds.get(s) == Some(bs))
+            .collect(),
+    }
+}
+
+/// The elimination scan for one procedure.
+struct Scan<'a> {
+    interner: &'a mut Interner,
+    dists: &'a [ArrayDist],
+    snapshot: &'a [SProc],
+    wf: &'a [BTreeSet<usize>],
+    pending: &'a mut [Option<Entry>],
+    cyclic: &'a [bool],
+    /// Decl bounds for this proc's arrays (own decls + entry-mapped formals).
+    bounds: BTreeMap<Sym, Vec<(i64, i64)>>,
+    /// Array formals of this proc (shadow writes to them are not allowed:
+    /// callers were analyzed against the pristine write sets).
+    formal_arrays: BTreeSet<Sym>,
+    /// Pristine body, kept for mention counting.
+    original: Vec<SStmt>,
+    mention_memo: BTreeMap<Sym, usize>,
+    /// Validated buffer mentions (scan-wide, per buffer array).
+    validated: BTreeMap<Sym, usize>,
+    next_fact_id: usize,
+    eliminated: usize,
+    notes: Vec<String>,
+}
+
+impl<'a> Scan<'a> {
+    fn mention_total(&mut self, buf: Sym) -> usize {
+        if let Some(&n) = self.mention_memo.get(&buf) {
+            return n;
+        }
+        let n = count_mentions(&self.original, buf);
+        self.mention_memo.insert(buf, n);
+        n
+    }
+
+    fn rect_simplify(&self, r: &SRect) -> SRect {
+        SRect {
+            dims: r
+                .dims
+                .iter()
+                .map(|(lo, hi, st)| (simplify(lo, self.dists), simplify(hi, self.dists), *st))
+                .collect(),
+        }
+    }
+
+    fn rect_replicated(&self, r: &SRect, repl: &BTreeSet<Sym>) -> bool {
+        r.dims
+            .iter()
+            .all(|(lo, hi, _)| expr_replicated(lo, repl) && expr_replicated(hi, repl))
+    }
+
+    fn kill_facts_writing(&mut self, st: &mut State, arrays: &BTreeSet<Sym>) {
+        st.facts
+            .retain(|f| !arrays.contains(&f.src) && !arrays.contains(&f.buf));
+    }
+
+    fn kill_facts_mentioning(&mut self, st: &mut State, syms: &BTreeSet<Sym>) {
+        st.facts.retain(|f| !f.mentions(syms));
+    }
+
+    fn drop_ranges_mentioning(&mut self, st: &mut State, syms: &BTreeSet<Sym>) {
+        st.ranges.retain(|s, (lo, hi)| {
+            !syms.contains(s) && !mentions_any(lo, syms) && !mentions_any(hi, syms)
+        });
+    }
+
+    /// Validates element reads of live fact buffers inside `e`: each
+    /// in-region read is accounted toward the mention audit.
+    fn validate_expr(&mut self, e: &SExpr, st: &State) {
+        let mut reads: Vec<(Sym, Vec<SExpr>)> = Vec::new();
+        visit_expr(e, &mut |x| {
+            if let SExpr::Elem { array, subs } = x {
+                reads.push((*array, subs.clone()));
+            }
+        });
+        for (array, subs) in reads {
+            if let Some(f) = st.facts.iter().find(|f| f.buf == array) {
+                if self.subs_in_region(&subs, f, &st.ranges) {
+                    *self.validated.entry(array).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// True if `subs` (one per buffer dim) provably lie inside the fact's
+    /// buffer region.
+    fn subs_in_region(&self, subs: &[SExpr], f: &Fact, ranges: &Ranges) -> bool {
+        subs.len() == f.dst_sec.dims.len()
+            && subs
+                .iter()
+                .zip(f.dst_sec.dims.iter())
+                .all(|(s, (lo, hi, _))| {
+                    prove_ge(s, lo, ranges, self.dists) && prove_ge(hi, s, ranges, self.dists)
+                })
+    }
+
+    /// Validates a section read of a fact buffer (e.g. as a broadcast or
+    /// send source).
+    fn validate_section_read(&mut self, array: Sym, sec: &SRect, st: &State) {
+        if let Some(f) = st.facts.iter().find(|f| f.buf == array) {
+            let inside = sec.dims.len() == f.dst_sec.dims.len()
+                && sec.dims.iter().zip(f.dst_sec.dims.iter()).all(
+                    |((lo, hi, _), (flo, fhi, _))| {
+                        prove_ge(lo, flo, &st.ranges, self.dists)
+                            && prove_ge(fhi, hi, &st.ranges, self.dists)
+                    },
+                );
+            if inside {
+                *self.validated.entry(array).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Attempts to establish a fact for the broadcast `dst ← src[sec]`.
+    fn establish(
+        &mut self,
+        st: &mut State,
+        root: &SExpr,
+        src: Sym,
+        src_sec: &SRect,
+        dst: Sym,
+        dst_sec: &SRect,
+    ) {
+        if src == dst || !expr_replicated(root, &st.repl) {
+            return;
+        }
+        let src_sec = self.rect_simplify(src_sec);
+        let dst_sec = self.rect_simplify(dst_sec);
+        if !self.rect_replicated(&src_sec, &st.repl)
+            || !self.rect_replicated(&dst_sec, &st.repl)
+            || src_sec.dims.iter().any(|d| d.2 != 1)
+            || dst_sec.dims.iter().any(|d| d.2 != 1)
+        {
+            return;
+        }
+        let row_dims: Vec<usize> = (0..src_sec.dims.len())
+            .filter(|&d| !syn_eq(&src_sec.dims[d].0, &src_sec.dims[d].1, self.dists))
+            .collect();
+        if dst_sec.dims.len() != row_dims.len() {
+            return;
+        }
+        for (i, &rd) in row_dims.iter().enumerate() {
+            if !syn_eq(&dst_sec.dims[i].0, &src_sec.dims[rd].0, self.dists)
+                || !syn_eq(&dst_sec.dims[i].1, &src_sec.dims[rd].1, self.dists)
+            {
+                return;
+            }
+        }
+        st.facts.retain(|f| f.buf != dst);
+        *self.validated.entry(dst).or_insert(0) += 1;
+        let id = self.next_fact_id;
+        self.next_fact_id += 1;
+        st.facts.push(Fact {
+            id,
+            src,
+            buf: dst,
+            root: simplify(root, self.dists),
+            src_sec,
+            dst_sec,
+            row_dims,
+            shadows: vec![],
+            is_entry: false,
+        });
+    }
+
+    /// Handles one `Bcast`: tries elimination against the live facts, else
+    /// performs kills and (re-)establishment. Pushes the replacement
+    /// statements onto `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_bcast(
+        &mut self,
+        st: &mut State,
+        out: &mut Vec<SStmt>,
+        root: SExpr,
+        src_array: Sym,
+        src_section: SRect,
+        dst_array: Sym,
+        dst_section: SRect,
+    ) {
+        self.validate_section_read(src_array, &src_section, st);
+        if let Some((rep, buf)) =
+            self.try_eliminate(st, &root, src_array, &src_section, dst_array, &dst_section)
+        {
+            out.extend(rep);
+            self.eliminated += 1;
+            if dst_array == buf {
+                // Nothing was written: the buffer already holds the data.
+                *self.validated.entry(dst_array).or_insert(0) += 1;
+            } else {
+                // The copy writes dst exactly as the broadcast would have.
+                st.facts
+                    .retain(|f| f.buf != dst_array && f.src != dst_array);
+                self.establish(st, &root, src_array, &src_section, dst_array, &dst_section);
+            }
+            return;
+        }
+        let mut w = BTreeSet::new();
+        w.insert(dst_array);
+        self.kill_facts_writing(st, &w);
+        self.establish(st, &root, src_array, &src_section, dst_array, &dst_section);
+        out.push(SStmt::Bcast {
+            root,
+            src_array,
+            src_section,
+            dst_array,
+            dst_section,
+        });
+    }
+
+    /// The elimination check proper: returns the replacement statements
+    /// (spliced shadows + local copy) if the broadcast is redundant.
+    fn try_eliminate(
+        &mut self,
+        st: &mut State,
+        root: &SExpr,
+        src: Sym,
+        src_sec: &SRect,
+        dst: Sym,
+        dst_sec: &SRect,
+    ) -> Option<(Vec<SStmt>, Sym)> {
+        let src_sec = self.rect_simplify(src_sec);
+        let dst_sec = self.rect_simplify(dst_sec);
+        if !self.rect_replicated(&src_sec, &st.repl)
+            || !self.rect_replicated(&dst_sec, &st.repl)
+            || !expr_replicated(root, &st.repl)
+            || src_sec.dims.iter().any(|d| d.2 != 1)
+            || dst_sec.dims.iter().any(|d| d.2 != 1)
+        {
+            return None;
+        }
+        let fidx = (0..st.facts.len()).find(|&i| {
+            let f = &st.facts[i];
+            if f.src != src
+                || !syn_eq(&f.root, &simplify(root, self.dists), self.dists)
+                || f.src_sec.dims.len() != src_sec.dims.len()
+                || dst_sec.dims.len() != f.row_dims.len()
+            {
+                return false;
+            }
+            // Pinned dims must match exactly; row dims must be contained.
+            for d in f.pinned_dims() {
+                let (lo, hi, _) = &src_sec.dims[d];
+                if !syn_eq(lo, hi, self.dists) || !syn_eq(lo, &f.src_sec.dims[d].0, self.dists) {
+                    return false;
+                }
+            }
+            for (i2, &rd) in f.row_dims.iter().enumerate() {
+                let (lo, hi, _) = &src_sec.dims[rd];
+                let (flo, fhi, _) = &f.src_sec.dims[rd];
+                if !prove_ge(lo, flo, &st.ranges, self.dists)
+                    || !prove_ge(fhi, hi, &st.ranges, self.dists)
+                {
+                    return false;
+                }
+                // The new destination must be indexed by the same row
+                // coordinates as the buffer.
+                let (dlo, dhi, _) = &dst_sec.dims[i2];
+                if !syn_eq(dlo, lo, self.dists) || !syn_eq(dhi, hi, self.dists) {
+                    return false;
+                }
+            }
+            true
+        })?;
+        // Mention audit: splicing shadows mutates the buffer, so every
+        // textual mention of it must already be validated (i.e. covered by
+        // an establishment at its execution point).
+        let buf = st.facts[fidx].buf;
+        if !st.facts[fidx].shadows.is_empty() {
+            let total = self.mention_total(buf);
+            if self.validated.get(&buf).copied().unwrap_or(0) != total {
+                return None;
+            }
+        }
+        let mut rep: Vec<SStmt> = Vec::new();
+        rep.append(&mut st.facts[fidx].shadows);
+        if dst != buf {
+            // Nested copy loops: dst[sec] = buf[sec], indexed by the shared
+            // row coordinates.
+            let mut vars = Vec::new();
+            for _ in &dst_sec.dims {
+                vars.push(self.interner.fresh("i$c"));
+            }
+            let subs: Vec<SExpr> = vars.iter().map(|&v| SExpr::Var(v)).collect();
+            let mut stmt = SStmt::Assign {
+                lhs: SLval::Elem {
+                    array: dst,
+                    subs: subs.clone(),
+                },
+                rhs: SExpr::Elem { array: buf, subs },
+            };
+            for (i2, &v) in vars.iter().enumerate().rev() {
+                let (lo, hi, _) = &dst_sec.dims[i2];
+                stmt = SStmt::Do {
+                    var: v,
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    step: 1,
+                    body: vec![stmt],
+                };
+            }
+            rep.push(stmt);
+        }
+        self.notes.push(format!(
+            "elim bcast src={} via buf={}",
+            self.interner.name(src),
+            self.interner.name(buf)
+        ));
+        Some((rep, buf))
+    }
+}
+
+/// Rewrites a caller-term expression into callee formal terms: plain-`Var`
+/// scalar actuals map to their formals, constants and run-time resolution
+/// nodes pass through. Fails (None) on anything rank- or caller-local.
+fn rewrite_to_callee(e: &SExpr, smap: &BTreeMap<Sym, Sym>) -> Option<SExpr> {
+    match e {
+        SExpr::Int(_) | SExpr::Real(_) | SExpr::NProcs => Some(e.clone()),
+        SExpr::Var(s) => smap.get(s).map(|f| SExpr::Var(*f)),
+        SExpr::MyP | SExpr::Elem { .. } | SExpr::CurOwner { .. } => None,
+        SExpr::Bin { op, l, r } => Some(SExpr::bin(
+            *op,
+            rewrite_to_callee(l, smap)?,
+            rewrite_to_callee(r, smap)?,
+        )),
+        SExpr::Neg(x) => Some(SExpr::Neg(Box::new(rewrite_to_callee(x, smap)?))),
+        SExpr::Not(x) => Some(SExpr::Not(Box::new(rewrite_to_callee(x, smap)?))),
+        SExpr::Intr { name, args } => Some(SExpr::Intr {
+            name: *name,
+            args: args
+                .iter()
+                .map(|a| rewrite_to_callee(a, smap))
+                .collect::<Option<Vec<_>>>()?,
+        }),
+        SExpr::Owner { dist, subs } => Some(SExpr::Owner {
+            dist: *dist,
+            subs: subs
+                .iter()
+                .map(|a| rewrite_to_callee(a, smap))
+                .collect::<Option<Vec<_>>>()?,
+        }),
+        SExpr::LocalIdx { dist, dim, sub } => Some(SExpr::LocalIdx {
+            dist: *dist,
+            dim: *dim,
+            sub: Box::new(rewrite_to_callee(sub, smap)?),
+        }),
+    }
+}
+
+fn rewrite_rect_to_callee(r: &SRect, smap: &BTreeMap<Sym, Sym>) -> Option<SRect> {
+    Some(SRect {
+        dims: r
+            .dims
+            .iter()
+            .map(|(lo, hi, st)| {
+                Some((
+                    rewrite_to_callee(lo, smap)?,
+                    rewrite_to_callee(hi, smap)?,
+                    *st,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn expr_rank_dependent_value(e: &SExpr) -> bool {
+    let mut hit = false;
+    visit_expr(e, &mut |x| {
+        if matches!(x, SExpr::MyP | SExpr::Elem { .. } | SExpr::CurOwner { .. }) {
+            hit = true;
+        }
+    });
+    hit
+}
+
+fn mentions_sym(e: &SExpr, s: Sym) -> bool {
+    let mut set = BTreeSet::new();
+    set.insert(s);
+    mentions_any(e, &set)
+}
+
+impl<'a> Scan<'a> {
+    fn record_bottom_calls(&mut self, stmts: &[SStmt]) {
+        let mut cs = Vec::new();
+        collect_callees(stmts, &mut cs);
+        for c in cs {
+            self.merge_entry(c, Entry::default());
+        }
+    }
+
+    fn merge_entry(&mut self, callee: usize, e: Entry) {
+        if self.cyclic[callee] {
+            return;
+        }
+        match &mut self.pending[callee] {
+            slot @ None => *slot = Some(e),
+            Some(prev) => *prev = meet_entries(e, prev),
+        }
+    }
+
+    fn record_entry(&mut self, callee: usize, args: &[SActual], st: &State) {
+        if self.cyclic[callee] {
+            return;
+        }
+        let cal = &self.snapshot[callee];
+        if cal.formals.len() != args.len() {
+            self.merge_entry(callee, Entry::default());
+            return;
+        }
+        let mut smap: BTreeMap<Sym, Sym> = BTreeMap::new();
+        let mut amap: BTreeMap<Sym, Sym> = BTreeMap::new();
+        let mut e = Entry::default();
+        for (f, a) in cal.formals.iter().zip(args) {
+            match a {
+                SActual::Scalar(x) => {
+                    if expr_replicated(x, &st.repl) {
+                        e.repl.insert(f.name);
+                    }
+                    if let SExpr::Var(s) = x {
+                        smap.entry(*s).or_insert(f.name);
+                    }
+                }
+                SActual::Array(s) => {
+                    amap.entry(*s).or_insert(f.name);
+                    if let Some(b) = self.bounds.get(s) {
+                        e.bounds.insert(f.name, b.clone());
+                    }
+                }
+            }
+        }
+        for (f, a) in cal.formals.iter().zip(args) {
+            if let SActual::Scalar(x) = a {
+                let rng = match x {
+                    SExpr::Int(v) => Some((SExpr::int(*v), SExpr::int(*v))),
+                    SExpr::Var(s) => st.ranges.get(s).and_then(|(lo, hi)| {
+                        Some((rewrite_to_callee(lo, &smap)?, rewrite_to_callee(hi, &smap)?))
+                    }),
+                    _ => None,
+                };
+                if let Some(r) = rng {
+                    e.ranges.insert(f.name, r);
+                }
+            }
+        }
+        for f in &st.facts {
+            if !f.shadows.is_empty() {
+                continue;
+            }
+            let (Some(&fs), Some(&fb)) = (amap.get(&f.src), amap.get(&f.buf)) else {
+                continue;
+            };
+            let Some(root) = rewrite_to_callee(&f.root, &smap) else {
+                continue;
+            };
+            let Some(ss) = rewrite_rect_to_callee(&f.src_sec, &smap) else {
+                continue;
+            };
+            let Some(ds) = rewrite_rect_to_callee(&f.dst_sec, &smap) else {
+                continue;
+            };
+            e.facts.push(Fact {
+                id: 0,
+                src: fs,
+                buf: fb,
+                root,
+                src_sec: ss,
+                dst_sec: ds,
+                row_dims: f.row_dims.clone(),
+                shadows: vec![],
+                is_entry: true,
+            });
+        }
+        self.merge_entry(callee, e);
+    }
+
+    /// For every live fact touched by the given write/assign sets, tries to
+    /// absorb the effect as a shadow (a mirror of `to_mirror` with
+    /// `my$p ↦ fact.root`), else kills the fact. `guard_root`, when set,
+    /// additionally requires the fact's root to equal the guarding rank.
+    fn absorb(
+        &mut self,
+        st: &mut State,
+        writes: &BTreeSet<Sym>,
+        assigned: &BTreeSet<Sym>,
+        to_mirror: Option<&[SStmt]>,
+        guard_root: Option<&SExpr>,
+    ) {
+        let mut i = 0;
+        while i < st.facts.len() {
+            let (touched_w, touched_s, can_shadow, root, guard_ok) = {
+                let f = &st.facts[i];
+                let tw = writes.contains(&f.src) || writes.contains(&f.buf);
+                let ts = f.mentions(assigned);
+                let can = tw
+                    && !ts
+                    && !writes.contains(&f.buf)
+                    && !f.is_entry
+                    && !self.formal_arrays.contains(&f.buf);
+                let gok = match guard_root {
+                    None => true,
+                    Some(r) => syn_eq(r, &f.root, self.dists),
+                };
+                (tw, ts, can, f.root.clone(), gok)
+            };
+            if !touched_w && !touched_s {
+                i += 1;
+                continue;
+            }
+            let mut survived = false;
+            if can_shadow && guard_ok {
+                if let Some(stmts) = to_mirror {
+                    let fact = st.facts[i].clone();
+                    let _ = root;
+                    if let Some(sh) = self.mirror_entry(&fact, stmts, &st.repl, &st.ranges) {
+                        st.facts[i].shadows.extend(sh);
+                        survived = true;
+                    }
+                }
+            }
+            if survived {
+                i += 1;
+            } else {
+                st.facts.remove(i);
+            }
+        }
+    }
+
+    fn scan_stmts(&mut self, stmts: Vec<SStmt>, st: &mut State) -> Vec<SStmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            match s {
+                SStmt::Comment(_) | SStmt::Return | SStmt::Stop => out.push(s),
+                SStmt::Print { args } => {
+                    for a in &args {
+                        self.validate_expr(a, st);
+                    }
+                    out.push(SStmt::Print { args });
+                }
+                SStmt::Assign { lhs, rhs } => {
+                    self.validate_expr(&rhs, st);
+                    match lhs {
+                        SLval::Scalar(sy) => {
+                            let new_repl = expr_replicated(&rhs, &st.repl);
+                            let srhs = simplify(&rhs, self.dists);
+                            let range_ok = new_repl
+                                && !expr_rank_dependent_value(&srhs)
+                                && !mentions_sym(&srhs, sy);
+                            let mut killed = BTreeSet::new();
+                            killed.insert(sy);
+                            st.repl.remove(&sy);
+                            self.drop_ranges_mentioning(st, &killed);
+                            self.kill_facts_mentioning(st, &killed);
+                            if new_repl {
+                                st.repl.insert(sy);
+                            }
+                            if range_ok {
+                                st.ranges.insert(sy, (srhs.clone(), srhs));
+                            }
+                            out.push(SStmt::Assign {
+                                lhs: SLval::Scalar(sy),
+                                rhs,
+                            });
+                        }
+                        SLval::Elem { array, subs } => {
+                            for sub in &subs {
+                                self.validate_expr(sub, st);
+                            }
+                            let stmt = SStmt::Assign {
+                                lhs: SLval::Elem { array, subs },
+                                rhs,
+                            };
+                            let mut writes = BTreeSet::new();
+                            writes.insert(array);
+                            let empty = BTreeSet::new();
+                            self.absorb(
+                                st,
+                                &writes,
+                                &empty,
+                                Some(std::slice::from_ref(&stmt)),
+                                None,
+                            );
+                            out.push(stmt);
+                        }
+                    }
+                }
+                SStmt::Bcast {
+                    root,
+                    src_array,
+                    src_section,
+                    dst_array,
+                    dst_section,
+                } => {
+                    self.scan_bcast(
+                        st,
+                        &mut out,
+                        root,
+                        src_array,
+                        src_section,
+                        dst_array,
+                        dst_section,
+                    );
+                }
+                SStmt::BcastScalar { root, var } => {
+                    self.validate_expr(&root, st);
+                    let mut killed = BTreeSet::new();
+                    killed.insert(var);
+                    self.drop_ranges_mentioning(st, &killed);
+                    self.kill_facts_mentioning(st, &killed);
+                    st.repl.insert(var);
+                    out.push(SStmt::BcastScalar { root, var });
+                }
+                SStmt::BcastPack { root, parts } => {
+                    // Conservative: produced only by later passes, but keep
+                    // the state sound if encountered.
+                    let mut writes = BTreeSet::new();
+                    let mut assigned = BTreeSet::new();
+                    for p in &parts {
+                        match p {
+                            BcastPart::Section { dst_array, .. } => {
+                                writes.insert(*dst_array);
+                            }
+                            BcastPart::Scalar(v) => {
+                                assigned.insert(*v);
+                            }
+                        }
+                    }
+                    self.kill_facts_writing(st, &writes);
+                    self.kill_facts_mentioning(st, &assigned);
+                    self.drop_ranges_mentioning(st, &assigned);
+                    for v in assigned {
+                        st.repl.insert(v);
+                    }
+                    out.push(SStmt::BcastPack { root, parts });
+                }
+                SStmt::Send {
+                    to,
+                    tag,
+                    array,
+                    section,
+                } => {
+                    self.validate_expr(&to, st);
+                    self.validate_section_read(array, &section, st);
+                    out.push(SStmt::Send {
+                        to,
+                        tag,
+                        array,
+                        section,
+                    });
+                }
+                SStmt::Recv {
+                    from,
+                    tag,
+                    array,
+                    section,
+                } => {
+                    self.validate_expr(&from, st);
+                    let mut w = BTreeSet::new();
+                    w.insert(array);
+                    self.kill_facts_writing(st, &w);
+                    out.push(SStmt::Recv {
+                        from,
+                        tag,
+                        array,
+                        section,
+                    });
+                }
+                SStmt::SendElem { to, tag, value } => {
+                    self.validate_expr(&to, st);
+                    self.validate_expr(&value, st);
+                    out.push(SStmt::SendElem { to, tag, value });
+                }
+                SStmt::RecvElem { from, tag, lhs } => {
+                    self.validate_expr(&from, st);
+                    match &lhs {
+                        SLval::Scalar(v) => {
+                            let mut killed = BTreeSet::new();
+                            killed.insert(*v);
+                            st.repl.remove(v);
+                            self.drop_ranges_mentioning(st, &killed);
+                            self.kill_facts_mentioning(st, &killed);
+                        }
+                        SLval::Elem { array, .. } => {
+                            let mut w = BTreeSet::new();
+                            w.insert(*array);
+                            self.kill_facts_writing(st, &w);
+                        }
+                    }
+                    out.push(SStmt::RecvElem { from, tag, lhs });
+                }
+                SStmt::Remap { array, to_dist }
+                | SStmt::RemapGlobal { array, to_dist }
+                | SStmt::MarkDist { array, to_dist } => {
+                    let mut w = BTreeSet::new();
+                    w.insert(array);
+                    self.kill_facts_writing(st, &w);
+                    // Re-box the exact variant unchanged.
+                    out.push(match s {
+                        SStmt::Remap { .. } => SStmt::Remap { array, to_dist },
+                        SStmt::RemapGlobal { .. } => SStmt::RemapGlobal { array, to_dist },
+                        _ => SStmt::MarkDist { array, to_dist },
+                    });
+                }
+                SStmt::Do {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                } => {
+                    let stmt = self.scan_do(st, var, lo, hi, step, body);
+                    out.push(stmt);
+                }
+                SStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let stmt = self.scan_if(st, cond, then_body, else_body);
+                    out.push(stmt);
+                }
+                SStmt::Call {
+                    proc,
+                    args,
+                    copy_out,
+                } => {
+                    let stmt = self.scan_call(st, proc, args, copy_out);
+                    out.push(stmt);
+                }
+            }
+        }
+        out
+    }
+
+    fn scan_do(
+        &mut self,
+        st: &mut State,
+        var: Sym,
+        lo: SExpr,
+        hi: SExpr,
+        step: i64,
+        body: Vec<SStmt>,
+    ) -> SStmt {
+        self.validate_expr(&lo, st);
+        self.validate_expr(&hi, st);
+        let mut writes = BTreeSet::new();
+        collect_written_arrays(&body, self.wf, &mut writes);
+        let mut assigned = BTreeSet::new();
+        assigned.insert(var);
+        collect_assigned_scalars(&body, &mut assigned);
+
+        // Partition facts: untouched shadow-free facts flow into the body
+        // (valid at every iteration start); untouched facts with pending
+        // shadows survive the loop but must not enter it (their shadows
+        // would splice per-iteration); touched facts get a whole-loop
+        // mirror or die.
+        let mut passed: Vec<Fact> = vec![];
+        let mut kept: Vec<Fact> = vec![];
+        let mut touched: Vec<Fact> = vec![];
+        for f in std::mem::take(&mut st.facts) {
+            let t = writes.contains(&f.src) || writes.contains(&f.buf) || f.mentions(&assigned);
+            if !t && f.shadows.is_empty() {
+                passed.push(f);
+            } else if !t {
+                kept.push(f);
+            } else {
+                touched.push(f);
+            }
+        }
+        let whole = SStmt::Do {
+            var,
+            lo: lo.clone(),
+            hi: hi.clone(),
+            step,
+            body: body.clone(),
+        };
+        let mut touched_alive: Vec<Fact> = vec![];
+        for mut f in touched {
+            let can = !writes.contains(&f.buf)
+                && !f.mentions(&assigned)
+                && !f.is_entry
+                && !self.formal_arrays.contains(&f.buf);
+            if can {
+                if let Some(sh) =
+                    self.mirror_entry(&f, std::slice::from_ref(&whole), &st.repl, &st.ranges)
+                {
+                    f.shadows.extend(sh);
+                    touched_alive.push(f);
+                }
+            }
+        }
+
+        let passed_ids: BTreeSet<usize> = passed.iter().map(|f| f.id).collect();
+        let bounds_repl = expr_replicated(&lo, &st.repl) && expr_replicated(&hi, &st.repl);
+        let mut inner = State {
+            repl: st.repl.difference(&assigned).copied().collect(),
+            ranges: st
+                .ranges
+                .iter()
+                .filter(|(sy, (l, h))| {
+                    !assigned.contains(sy)
+                        && !mentions_any(l, &assigned)
+                        && !mentions_any(h, &assigned)
+                })
+                .map(|(sy, r)| (*sy, r.clone()))
+                .collect(),
+            facts: passed,
+        };
+        if bounds_repl {
+            inner.repl.insert(var);
+        }
+        let bounds_stable = !mentions_any(&lo, &assigned) && !mentions_any(&hi, &assigned);
+        if bounds_stable {
+            let slo = simplify(&lo, self.dists);
+            let shi = simplify(&hi, self.dists);
+            if step == 1 {
+                inner.ranges.insert(var, (slo, shi));
+            } else if step == -1 {
+                inner.ranges.insert(var, (shi, slo));
+            }
+        }
+        let new_body = self.scan_stmts(body, &mut inner);
+
+        // Post-loop state.
+        let mut candidate = st.repl.clone();
+        if bounds_repl {
+            candidate.insert(var);
+        }
+        st.repl = inner.repl.intersection(&candidate).copied().collect();
+        let mut dropped = assigned.clone();
+        dropped.insert(var);
+        self.drop_ranges_mentioning(st, &dropped);
+        st.facts = inner
+            .facts
+            .into_iter()
+            .filter(|f| passed_ids.contains(&f.id))
+            .chain(kept)
+            .chain(touched_alive)
+            .collect();
+        SStmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body: new_body,
+        }
+    }
+
+    fn scan_if(
+        &mut self,
+        st: &mut State,
+        cond: SExpr,
+        then_body: Vec<SStmt>,
+        else_body: Vec<SStmt>,
+    ) -> SStmt {
+        self.validate_expr(&cond, st);
+        self.record_bottom_calls(&then_body);
+        self.record_bottom_calls(&else_body);
+        let mut writes = BTreeSet::new();
+        collect_written_arrays(&then_body, self.wf, &mut writes);
+        collect_written_arrays(&else_body, self.wf, &mut writes);
+        let mut assigned = BTreeSet::new();
+        collect_assigned_scalars(&then_body, &mut assigned);
+        collect_assigned_scalars(&else_body, &mut assigned);
+
+        if expr_replicated(&cond, &st.repl) {
+            let whole = SStmt::If {
+                cond: cond.clone(),
+                then_body: then_body.clone(),
+                else_body: else_body.clone(),
+            };
+            self.absorb(
+                st,
+                &writes,
+                &assigned,
+                Some(std::slice::from_ref(&whole)),
+                None,
+            );
+        } else {
+            let root_guard = match &cond {
+                SExpr::Bin {
+                    op: SBinOp::Eq,
+                    l,
+                    r,
+                } => {
+                    if matches!(**l, SExpr::MyP) {
+                        Some((**r).clone())
+                    } else if matches!(**r, SExpr::MyP) {
+                        Some((**l).clone())
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            match root_guard {
+                Some(r) if else_body.is_empty() => {
+                    self.absorb(st, &writes, &assigned, Some(&then_body), Some(&r));
+                }
+                _ => self.absorb(st, &writes, &assigned, None, None),
+            }
+        }
+        for a in &assigned {
+            st.repl.remove(a);
+        }
+        self.drop_ranges_mentioning(st, &assigned);
+        SStmt::If {
+            cond,
+            then_body,
+            else_body,
+        }
+    }
+
+    fn scan_call(
+        &mut self,
+        st: &mut State,
+        proc: usize,
+        args: Vec<SActual>,
+        copy_out: Vec<(Sym, Sym)>,
+    ) -> SStmt {
+        for a in &args {
+            if let SActual::Scalar(e) = a {
+                self.validate_expr(e, st);
+            }
+        }
+        let mut writes = BTreeSet::new();
+        for &pos in &self.wf[proc] {
+            if let Some(SActual::Array(a)) = args.get(pos) {
+                writes.insert(*a);
+            }
+        }
+        let summary = self.analyze_call(proc, &args, st);
+        // Account buffer actuals: a read-only pass of a live fact's buffer,
+        // with all callee accesses provably inside the fact region, counts
+        // as a validated mention.
+        if let Some(sm) = &summary {
+            for a in &args {
+                if let SActual::Array(sy) = a {
+                    if !writes.contains(sy)
+                        && sm.validated_bufs.contains(sy)
+                        && st.facts.iter().any(|f| f.buf == *sy)
+                    {
+                        *self.validated.entry(*sy).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        self.record_entry(proc, &args, st);
+        self.kill_facts_writing(st, &writes);
+        let mut outs = BTreeSet::new();
+        for (_, c) in &copy_out {
+            outs.insert(*c);
+        }
+        for c in &outs {
+            st.repl.remove(c);
+        }
+        self.drop_ranges_mentioning(st, &outs);
+        self.kill_facts_mentioning(st, &outs);
+        if let Some(sm) = &summary {
+            for (formal, caller) in &copy_out {
+                if let Some((r, range)) = sm.outputs.get(formal) {
+                    if *r {
+                        st.repl.insert(*caller);
+                    }
+                    if let Some((lo, hi)) = range {
+                        if !mentions_sym(lo, *caller) && !mentions_sym(hi, *caller) {
+                            st.ranges.insert(*caller, (lo.clone(), hi.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        SStmt::Call {
+            proc,
+            args,
+            copy_out,
+        }
+    }
+}
+
+/// Runs the elimination pass over all procedures, callers first.
+fn eliminate(prog: &mut SpmdProgram, report: &mut OptReport) {
+    let snapshot = prog.procs.clone();
+    let wf = written_formals(&snapshot);
+    let (order, cyclic) = topo_callers_first(&snapshot);
+    let mut pending: Vec<Option<Entry>> = vec![None; snapshot.len()];
+    let dists = prog.dists.clone();
+    for idx in order {
+        let entry = if cyclic[idx] {
+            Entry::default()
+        } else {
+            pending[idx].take().unwrap_or_default()
+        };
+        let pname = prog.interner.name(snapshot[idx].name).to_string();
+        let mut bounds = entry.bounds.clone();
+        for d in &prog.procs[idx].decls {
+            bounds.insert(d.name, d.bounds.clone());
+        }
+        let formal_arrays: BTreeSet<Sym> = snapshot[idx]
+            .formals
+            .iter()
+            .filter(|f| f.is_array)
+            .map(|f| f.name)
+            .collect();
+        let body = std::mem::take(&mut prog.procs[idx].body);
+        let mut st = State {
+            repl: entry.repl.clone(),
+            ranges: entry.ranges.clone(),
+            facts: vec![],
+        };
+        let (new_body, elim_here, notes, entry_fact_names) = {
+            let mut scan = Scan {
+                interner: &mut prog.interner,
+                dists: &dists,
+                snapshot: &snapshot,
+                wf: &wf,
+                pending: &mut pending,
+                cyclic: &cyclic,
+                bounds,
+                formal_arrays,
+                original: body.clone(),
+                mention_memo: BTreeMap::new(),
+                validated: BTreeMap::new(),
+                next_fact_id: 0,
+                eliminated: 0,
+                notes: vec![],
+            };
+            let mut entry_fact_names = Vec::new();
+            for mut f in entry.facts.clone() {
+                f.id = scan.next_fact_id;
+                scan.next_fact_id += 1;
+                entry_fact_names.push(format!(
+                    "{}<-{}",
+                    scan.interner.name(f.buf),
+                    scan.interner.name(f.src)
+                ));
+                st.facts.push(f);
+            }
+            let new_body = scan.scan_stmts(body, &mut st);
+            (new_body, scan.eliminated, scan.notes, entry_fact_names)
+        };
+        prog.procs[idx].body = new_body;
+        report.eliminated += elim_here;
+        let repl_names: Vec<String> = entry
+            .repl
+            .iter()
+            .map(|s| prog.interner.name(*s).to_string())
+            .collect();
+        report.per_proc.insert(
+            pname,
+            format!(
+                "entry_repl=[{}] entry_facts=[{}] {}",
+                repl_names.join(","),
+                entry_fact_names.join(","),
+                notes.join("; ")
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mirroring: replaying the root's guarded updates on every rank
+// ---------------------------------------------------------------------------
+
+/// Context for mirroring a statement region: rewrite the root's computation
+/// so every rank can replay it against the fact's buffer.
+struct MCtx {
+    fact: Fact,
+    /// Value substitution: original scalar → mirrored expression (fresh
+    /// `$m` locals, or the pinned index in sweep mode).
+    env: BTreeMap<Sym, SExpr>,
+    /// Scalars whose mirrored value is unknown (divergent assignments).
+    clobbered: BTreeSet<Sym>,
+    /// Replicated scalars at the absorb point.
+    repl: BTreeSet<Sym>,
+    /// Ranges at the absorb point, extended with mirrored loop variables
+    /// and degenerate ranges for pure `$m` locals.
+    ranges: Ranges,
+    /// Call-inlining depth guard.
+    depth: usize,
+    /// Sweep mode: the loop variable currently bound to the pinned index
+    /// (writes to the source must subscript the pinned dim by exactly this
+    /// variable so that exactly one iteration touches the tracked region).
+    sweep_var: Option<Sym>,
+}
+
+impl<'a> Scan<'a> {
+    /// Entry point: mirrors `stmts` for `fact`, returning the shadow
+    /// statements (executable on every rank) or None if not provably
+    /// replayable.
+    fn mirror_entry(
+        &mut self,
+        fact: &Fact,
+        stmts: &[SStmt],
+        repl: &BTreeSet<Sym>,
+        ranges: &Ranges,
+    ) -> Option<Vec<SStmt>> {
+        let mut m = MCtx {
+            fact: fact.clone(),
+            env: BTreeMap::new(),
+            clobbered: BTreeSet::new(),
+            repl: repl.clone(),
+            ranges: ranges.clone(),
+            depth: 0,
+            sweep_var: None,
+        };
+        let out = self.mirror_stmts(stmts, &mut m)?;
+        if !out.is_empty() {
+            self.notes
+                .push(format!("shadow buf={}", self.interner.name(fact.buf)));
+        }
+        Some(out)
+    }
+
+    fn mirror_expr(&self, e: &SExpr, m: &MCtx) -> Option<SExpr> {
+        let out = match e {
+            SExpr::Int(_) | SExpr::Real(_) | SExpr::NProcs => e.clone(),
+            SExpr::MyP => m.fact.root.clone(),
+            SExpr::Var(s) => {
+                if let Some(v) = m.env.get(s) {
+                    v.clone()
+                } else if m.clobbered.contains(s) {
+                    return None;
+                } else if m.repl.contains(s) {
+                    e.clone()
+                } else {
+                    return None;
+                }
+            }
+            SExpr::Elem { array, subs } => {
+                let ms: Vec<SExpr> = subs
+                    .iter()
+                    .map(|x| self.mirror_expr(x, m))
+                    .collect::<Option<_>>()?;
+                if *array == m.fact.src {
+                    self.map_src_subs(&ms, m).and_then(|rs| {
+                        rs.map(|row| SExpr::Elem {
+                            array: m.fact.buf,
+                            subs: row,
+                        })
+                    })?
+                } else if *array == m.fact.buf {
+                    if !self.subs_in_region(&ms, &m.fact, &m.ranges) {
+                        return None;
+                    }
+                    SExpr::Elem {
+                        array: *array,
+                        subs: ms,
+                    }
+                } else {
+                    return None;
+                }
+            }
+            SExpr::CurOwner { .. } => return None,
+            SExpr::Bin { op, l, r } => {
+                SExpr::bin(*op, self.mirror_expr(l, m)?, self.mirror_expr(r, m)?)
+            }
+            SExpr::Neg(x) => SExpr::Neg(Box::new(self.mirror_expr(x, m)?)),
+            SExpr::Not(x) => SExpr::Not(Box::new(self.mirror_expr(x, m)?)),
+            SExpr::Intr { name, args } => SExpr::Intr {
+                name: *name,
+                args: args
+                    .iter()
+                    .map(|a| self.mirror_expr(a, m))
+                    .collect::<Option<Vec<_>>>()?,
+            },
+            SExpr::Owner { dist, subs } => SExpr::Owner {
+                dist: *dist,
+                subs: subs
+                    .iter()
+                    .map(|a| self.mirror_expr(a, m))
+                    .collect::<Option<Vec<_>>>()?,
+            },
+            SExpr::LocalIdx { dist, dim, sub } => SExpr::LocalIdx {
+                dist: *dist,
+                dim: *dim,
+                sub: Box::new(self.mirror_expr(sub, m)?),
+            },
+        };
+        Some(simplify(&out, self.dists))
+    }
+
+    /// Classifies mirrored subscripts of the fact's source array.
+    /// `Some(Some(row))` — inside the tracked region, `row` are the buffer
+    /// subscripts; `Some(None)` — provably outside; `None` — unknown.
+    fn map_src_subs(&self, ms: &[SExpr], m: &MCtx) -> Option<Option<Vec<SExpr>>> {
+        if ms.len() != m.fact.src_sec.dims.len() {
+            return None;
+        }
+        let mut row = Vec::new();
+        for (d, sub) in ms.iter().enumerate() {
+            let (flo, fhi, _) = &m.fact.src_sec.dims[d];
+            if m.fact.row_dims.contains(&d) {
+                if prove_ge(sub, flo, &m.ranges, self.dists)
+                    && prove_ge(fhi, sub, &m.ranges, self.dists)
+                {
+                    row.push(sub.clone());
+                } else if self.provably_outside(sub, flo, fhi, &m.ranges) {
+                    return Some(None);
+                } else {
+                    return None;
+                }
+            } else {
+                // Pinned dim: must hit the tracked index or provably miss.
+                if syn_eq(sub, flo, self.dists) {
+                    continue;
+                }
+                if self.provably_ne(sub, flo, &m.ranges) {
+                    return Some(None);
+                }
+                return None;
+            }
+        }
+        Some(Some(row))
+    }
+
+    fn provably_ne(&self, a: &SExpr, b: &SExpr, ranges: &Ranges) -> bool {
+        if let (Some(la), Some(lb)) = (
+            linearize(&simplify(a, self.dists)),
+            linearize(&simplify(b, self.dists)),
+        ) {
+            let mut d = la;
+            d.add(lb, -1);
+            d.prune();
+            if d.terms.is_empty() && d.konst != 0 {
+                return true;
+            }
+        }
+        let one = SExpr::int(1);
+        prove_ge(&SExpr::sub(a.clone(), b.clone()), &one, ranges, self.dists)
+            || prove_ge(&SExpr::sub(b.clone(), a.clone()), &one, ranges, self.dists)
+    }
+
+    fn provably_outside(&self, s: &SExpr, lo: &SExpr, hi: &SExpr, ranges: &Ranges) -> bool {
+        let one = SExpr::int(1);
+        prove_ge(&SExpr::sub(lo.clone(), s.clone()), &one, ranges, self.dists)
+            || prove_ge(&SExpr::sub(s.clone(), hi.clone()), &one, ranges, self.dists)
+    }
+
+    fn mirror_stmts(&mut self, stmts: &[SStmt], m: &mut MCtx) -> Option<Vec<SStmt>> {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                SStmt::Comment(_) | SStmt::Print { .. } => {}
+                SStmt::Return | SStmt::Stop => return None,
+                SStmt::Assign { lhs, rhs } => match lhs {
+                    SLval::Scalar(sy) => match self.mirror_expr(rhs, m) {
+                        Some(v) => {
+                            let base = self.interner.name(*sy).to_string();
+                            let nm = self.interner.fresh(&format!("{base}$m"));
+                            let pure = linearize(&v).is_some()
+                                && !expr_rank_dependent_value(&v)
+                                && !mentions_sym(&v, nm);
+                            if pure {
+                                m.ranges.insert(nm, (v.clone(), v.clone()));
+                            }
+                            out.push(SStmt::Assign {
+                                lhs: SLval::Scalar(nm),
+                                rhs: v,
+                            });
+                            m.env.insert(*sy, SExpr::Var(nm));
+                            m.clobbered.remove(sy);
+                        }
+                        None => {
+                            m.env.remove(sy);
+                            m.clobbered.insert(*sy);
+                        }
+                    },
+                    SLval::Elem { array, subs } => {
+                        if *array == m.fact.buf {
+                            return None;
+                        }
+                        if *array != m.fact.src {
+                            continue; // other arrays: not replayed
+                        }
+                        let ms: Vec<SExpr> = subs
+                            .iter()
+                            .map(|x| self.mirror_expr(x, m))
+                            .collect::<Option<_>>()?;
+                        // Sweep soundness: the pinned subscript must be the
+                        // swept variable itself, so exactly one iteration
+                        // touches the tracked region.
+                        if let Some(sv) = m.sweep_var {
+                            for &d in &m.fact.pinned_dims() {
+                                let hits = syn_eq(&ms[d], &m.fact.src_sec.dims[d].0, self.dists);
+                                if hits && subs[d] != SExpr::Var(sv) {
+                                    return None;
+                                }
+                            }
+                        }
+                        match self.map_src_subs(&ms, m)? {
+                            None => {} // provably outside the region: skip
+                            Some(row) => {
+                                let rv = self.mirror_expr(rhs, m)?;
+                                out.push(SStmt::Assign {
+                                    lhs: SLval::Elem {
+                                        array: m.fact.buf,
+                                        subs: row,
+                                    },
+                                    rhs: rv,
+                                });
+                            }
+                        }
+                    }
+                },
+                SStmt::Do {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                } => {
+                    if let Some(stmt) = self.mirror_do_generic(*var, lo, hi, *step, body, m) {
+                        out.push(stmt);
+                    } else if let Some(mut sw) = self.mirror_do_sweep(*var, lo, hi, *step, body, m)
+                    {
+                        out.append(&mut sw);
+                    } else {
+                        return None;
+                    }
+                    // Post-loop: body-assigned scalars are control-dependent.
+                    let mut assigned = BTreeSet::new();
+                    assigned.insert(*var);
+                    collect_assigned_scalars(body, &mut assigned);
+                    for a in assigned {
+                        m.env.remove(&a);
+                        m.clobbered.insert(a);
+                    }
+                }
+                SStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let mc = self.mirror_expr(cond, m);
+                    let mut assigned = BTreeSet::new();
+                    collect_assigned_scalars(then_body, &mut assigned);
+                    collect_assigned_scalars(else_body, &mut assigned);
+                    match mc {
+                        Some(c) => {
+                            let save_env = m.env.clone();
+                            let save_clob = m.clobbered.clone();
+                            let tb = self.mirror_stmts(then_body, m)?;
+                            m.env = save_env.clone();
+                            m.clobbered = save_clob.clone();
+                            let eb = self.mirror_stmts(else_body, m)?;
+                            m.env = save_env;
+                            m.clobbered = save_clob;
+                            for a in assigned {
+                                m.env.remove(&a);
+                                m.clobbered.insert(a);
+                            }
+                            if !tb.is_empty() || !eb.is_empty() {
+                                out.push(SStmt::If {
+                                    cond: c,
+                                    then_body: tb,
+                                    else_body: eb,
+                                });
+                            }
+                        }
+                        None => {
+                            // Unmirrorable condition: admissible only if
+                            // neither branch can touch the tracked arrays.
+                            let mut w = BTreeSet::new();
+                            collect_written_arrays(then_body, self.wf, &mut w);
+                            collect_written_arrays(else_body, self.wf, &mut w);
+                            if w.contains(&m.fact.src) || w.contains(&m.fact.buf) {
+                                return None;
+                            }
+                            for a in assigned {
+                                m.env.remove(&a);
+                                m.clobbered.insert(a);
+                            }
+                        }
+                    }
+                }
+                SStmt::Call {
+                    proc,
+                    args,
+                    copy_out,
+                } => {
+                    let mut inl = self.inline_call(*proc, args, copy_out)?;
+                    if m.depth >= 3 {
+                        return None;
+                    }
+                    m.depth += 1;
+                    let r = self.mirror_stmts(&std::mem::take(&mut inl), m);
+                    m.depth -= 1;
+                    out.append(&mut r?);
+                }
+                // Shadows must be communication-free.
+                SStmt::Send { .. }
+                | SStmt::Recv { .. }
+                | SStmt::SendElem { .. }
+                | SStmt::RecvElem { .. }
+                | SStmt::Bcast { .. }
+                | SStmt::BcastScalar { .. }
+                | SStmt::BcastPack { .. }
+                | SStmt::Remap { .. }
+                | SStmt::RemapGlobal { .. }
+                | SStmt::MarkDist { .. } => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Generic loop mirror: mirrored bounds, fresh index, recursed body.
+    fn mirror_do_generic(
+        &mut self,
+        var: Sym,
+        lo: &SExpr,
+        hi: &SExpr,
+        step: i64,
+        body: &[SStmt],
+        m: &mut MCtx,
+    ) -> Option<SStmt> {
+        let mlo = self.mirror_expr(lo, m)?;
+        let mhi = self.mirror_expr(hi, m)?;
+        let base = self.interner.name(var).to_string();
+        let vm = self.interner.fresh(&format!("{base}$m"));
+        let save_env = m.env.clone();
+        let save_clob = m.clobbered.clone();
+        let save_ranges = m.ranges.clone();
+        m.env.insert(var, SExpr::Var(vm));
+        if step == 1 {
+            m.ranges.insert(vm, (mlo.clone(), mhi.clone()));
+        } else if step == -1 {
+            m.ranges.insert(vm, (mhi.clone(), mlo.clone()));
+        }
+        let body_m = self.mirror_stmts(body, m);
+        m.env = save_env;
+        m.clobbered = save_clob;
+        m.ranges = save_ranges;
+        Some(SStmt::Do {
+            var: vm,
+            lo: mlo,
+            hi: mhi,
+            step,
+            body: body_m?,
+        })
+    }
+
+    /// Sweep mirror: a step-1 loop whose bounds equal the declared bounds of
+    /// the source's (single) pinned dimension, iterated by a variable used
+    /// as that dimension's subscript. On the root only the iteration with
+    /// `var == pinned index` touches the tracked region, so the body is
+    /// replayed once with the variable bound to the pinned index.
+    fn mirror_do_sweep(
+        &mut self,
+        var: Sym,
+        lo: &SExpr,
+        hi: &SExpr,
+        step: i64,
+        body: &[SStmt],
+        m: &mut MCtx,
+    ) -> Option<Vec<SStmt>> {
+        if step != 1 || m.sweep_var.is_some() {
+            return None;
+        }
+        let pinned = m.fact.pinned_dims();
+        let [pd] = pinned.as_slice() else {
+            return None;
+        };
+        let pe = m.fact.src_sec.dims[*pd].0.clone();
+        // The pinned index must be a local index of the swept dimension so
+        // it is guaranteed to lie within the declared bounds.
+        let SExpr::LocalIdx { dim, .. } = &pe else {
+            return None;
+        };
+        if dim != pd {
+            return None;
+        }
+        let decl = self.bounds.get(&m.fact.src)?;
+        let (dlo, dhi) = *decl.get(*pd)?;
+        if const_of(lo, self.dists) != Some(dlo) || const_of(hi, self.dists) != Some(dhi) {
+            return None;
+        }
+        let save_env = m.env.clone();
+        let save_clob = m.clobbered.clone();
+        m.env.insert(var, pe);
+        m.sweep_var = Some(var);
+        let body_m = self.mirror_stmts(body, m);
+        m.sweep_var = None;
+        m.env = save_env;
+        m.clobbered = save_clob;
+        body_m
+    }
+
+    /// Inlines a call for mirroring: substitutes actuals into the callee
+    /// body. Refuses callees with local array storage, copy-outs, assigned
+    /// scalar formals, or a non-trailing Return.
+    fn inline_call(
+        &self,
+        proc: usize,
+        args: &[SActual],
+        copy_out: &[(Sym, Sym)],
+    ) -> Option<Vec<SStmt>> {
+        if !copy_out.is_empty() {
+            return None;
+        }
+        let cal = &self.snapshot[proc];
+        if !cal.decls.is_empty() || cal.formals.len() != args.len() {
+            return None;
+        }
+        let mut body = cal.body.clone();
+        while body.last() == Some(&SStmt::Return) {
+            body.pop();
+        }
+        let mut assigned = BTreeSet::new();
+        collect_assigned_scalars(&body, &mut assigned);
+        let mut smap: BTreeMap<Sym, SExpr> = BTreeMap::new();
+        let mut amap: BTreeMap<Sym, Sym> = BTreeMap::new();
+        for (f, a) in cal.formals.iter().zip(args) {
+            match a {
+                SActual::Scalar(x) => {
+                    if assigned.contains(&f.name) {
+                        return None; // by-value formal mutated: no clean subst
+                    }
+                    smap.insert(f.name, x.clone());
+                }
+                SActual::Array(s) => {
+                    amap.insert(f.name, *s);
+                }
+            }
+        }
+        Some(subst_stmts(&body, &smap, &amap))
+    }
+}
+
+/// Substitutes scalar formals by actual expressions and renames arrays,
+/// recursively. Loop variables and callee locals pass through unchanged
+/// (the mirror gives them fresh names anyway).
+fn subst_stmts(
+    stmts: &[SStmt],
+    smap: &BTreeMap<Sym, SExpr>,
+    amap: &BTreeMap<Sym, Sym>,
+) -> Vec<SStmt> {
+    let se = |e: &SExpr| subst_expr(e, smap, amap);
+    let sl = |l: &SLval| match l {
+        SLval::Scalar(s) => SLval::Scalar(*s),
+        SLval::Elem { array, subs } => SLval::Elem {
+            array: *amap.get(array).unwrap_or(array),
+            subs: subs.iter().map(se).collect(),
+        },
+    };
+    let sr = |r: &SRect| SRect {
+        dims: r
+            .dims
+            .iter()
+            .map(|(lo, hi, st)| (se(lo), se(hi), *st))
+            .collect(),
+    };
+    stmts
+        .iter()
+        .map(|s| match s {
+            SStmt::Comment(c) => SStmt::Comment(c.clone()),
+            SStmt::Assign { lhs, rhs } => SStmt::Assign {
+                lhs: sl(lhs),
+                rhs: se(rhs),
+            },
+            SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => SStmt::Do {
+                var: *var,
+                lo: se(lo),
+                hi: se(hi),
+                step: *step,
+                body: subst_stmts(body, smap, amap),
+            },
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => SStmt::If {
+                cond: se(cond),
+                then_body: subst_stmts(then_body, smap, amap),
+                else_body: subst_stmts(else_body, smap, amap),
+            },
+            SStmt::Call {
+                proc,
+                args,
+                copy_out,
+            } => SStmt::Call {
+                proc: *proc,
+                args: args
+                    .iter()
+                    .map(|a| match a {
+                        SActual::Array(s) => SActual::Array(*amap.get(s).unwrap_or(s)),
+                        SActual::Scalar(x) => SActual::Scalar(se(x)),
+                    })
+                    .collect(),
+                copy_out: copy_out.clone(),
+            },
+            SStmt::Return => SStmt::Return,
+            SStmt::Stop => SStmt::Stop,
+            SStmt::Send {
+                to,
+                tag,
+                array,
+                section,
+            } => SStmt::Send {
+                to: se(to),
+                tag: *tag,
+                array: *amap.get(array).unwrap_or(array),
+                section: sr(section),
+            },
+            SStmt::Recv {
+                from,
+                tag,
+                array,
+                section,
+            } => SStmt::Recv {
+                from: se(from),
+                tag: *tag,
+                array: *amap.get(array).unwrap_or(array),
+                section: sr(section),
+            },
+            SStmt::SendElem { to, tag, value } => SStmt::SendElem {
+                to: se(to),
+                tag: *tag,
+                value: se(value),
+            },
+            SStmt::RecvElem { from, tag, lhs } => SStmt::RecvElem {
+                from: se(from),
+                tag: *tag,
+                lhs: sl(lhs),
+            },
+            SStmt::Bcast {
+                root,
+                src_array,
+                src_section,
+                dst_array,
+                dst_section,
+            } => SStmt::Bcast {
+                root: se(root),
+                src_array: *amap.get(src_array).unwrap_or(src_array),
+                src_section: sr(src_section),
+                dst_array: *amap.get(dst_array).unwrap_or(dst_array),
+                dst_section: sr(dst_section),
+            },
+            SStmt::BcastScalar { root, var } => SStmt::BcastScalar {
+                root: se(root),
+                var: *var,
+            },
+            SStmt::BcastPack { root, parts } => SStmt::BcastPack {
+                root: se(root),
+                parts: parts
+                    .iter()
+                    .map(|p| match p {
+                        BcastPart::Scalar(v) => BcastPart::Scalar(*v),
+                        BcastPart::Section {
+                            src_array,
+                            src_section,
+                            dst_array,
+                            dst_section,
+                        } => BcastPart::Section {
+                            src_array: *amap.get(src_array).unwrap_or(src_array),
+                            src_section: sr(src_section),
+                            dst_array: *amap.get(dst_array).unwrap_or(dst_array),
+                            dst_section: sr(dst_section),
+                        },
+                    })
+                    .collect(),
+            },
+            SStmt::Remap { array, to_dist } => SStmt::Remap {
+                array: *amap.get(array).unwrap_or(array),
+                to_dist: *to_dist,
+            },
+            SStmt::RemapGlobal { array, to_dist } => SStmt::RemapGlobal {
+                array: *amap.get(array).unwrap_or(array),
+                to_dist: *to_dist,
+            },
+            SStmt::MarkDist { array, to_dist } => SStmt::MarkDist {
+                array: *amap.get(array).unwrap_or(array),
+                to_dist: *to_dist,
+            },
+            SStmt::Print { args } => SStmt::Print {
+                args: args.iter().map(se).collect(),
+            },
+        })
+        .collect()
+}
+
+fn subst_expr(e: &SExpr, smap: &BTreeMap<Sym, SExpr>, amap: &BTreeMap<Sym, Sym>) -> SExpr {
+    map_expr(e, &mut |x| match x {
+        SExpr::Var(s) => smap.get(s).cloned(),
+        SExpr::Elem { array, subs } => amap.get(array).map(|na| SExpr::Elem {
+            array: *na,
+            subs: subs.iter().map(|q| subst_expr(q, smap, amap)).collect(),
+        }),
+        SExpr::CurOwner { array, subs } => amap.get(array).map(|na| SExpr::CurOwner {
+            array: *na,
+            subs: subs.iter().map(|q| subst_expr(q, smap, amap)).collect(),
+        }),
+        _ => None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Call summaries: a bounded abstract interpretation of the callee
+// ---------------------------------------------------------------------------
+
+/// Abstract value of a callee scalar, expressed in caller terms.
+#[derive(Clone, Debug, PartialEq)]
+struct AbsVal {
+    repl: bool,
+    range: Option<(SExpr, SExpr)>,
+    val: Option<SExpr>,
+}
+
+impl AbsVal {
+    fn bottom() -> AbsVal {
+        AbsVal {
+            repl: false,
+            range: None,
+            val: None,
+        }
+    }
+}
+
+/// What a call does, as seen by the caller's dataflow.
+struct CallSummary {
+    /// Caller arrays that are live fact buffers and whose every callee
+    /// access is a read provably inside the fact region.
+    validated_bufs: BTreeSet<Sym>,
+    /// Scalar formal → (replicated at exit, exit range in caller terms).
+    outputs: BTreeMap<Sym, (bool, Option<(SExpr, SExpr)>)>,
+}
+
+struct AbsWalk<'b> {
+    dists: &'b [ArrayDist],
+    /// Formal array sym → caller array sym.
+    fmap: BTreeMap<Sym, Sym>,
+    /// Formal array sym → caller fact (region in caller terms).
+    mapped: BTreeMap<Sym, Fact>,
+    /// Caller buffer sym → still fully validated.
+    buf_ok: BTreeMap<Sym, bool>,
+    /// Caller-side ranges for the containment prover.
+    caller_ranges: Ranges,
+}
+
+impl<'b> AbsWalk<'b> {
+    /// Caller-term value of a callee expression via `val` substitution.
+    fn to_caller(&self, e: &SExpr, env: &BTreeMap<Sym, AbsVal>) -> Option<SExpr> {
+        match e {
+            SExpr::Int(_) | SExpr::Real(_) | SExpr::NProcs => Some(e.clone()),
+            SExpr::Var(s) => env.get(s).and_then(|v| v.val.clone()),
+            SExpr::MyP | SExpr::Elem { .. } | SExpr::CurOwner { .. } => None,
+            SExpr::Bin { op, l, r } => Some(SExpr::bin(
+                *op,
+                self.to_caller(l, env)?,
+                self.to_caller(r, env)?,
+            )),
+            SExpr::Neg(x) => Some(SExpr::Neg(Box::new(self.to_caller(x, env)?))),
+            SExpr::Not(x) => Some(SExpr::Not(Box::new(self.to_caller(x, env)?))),
+            SExpr::Intr { name, args } => Some(SExpr::Intr {
+                name: *name,
+                args: args
+                    .iter()
+                    .map(|a| self.to_caller(a, env))
+                    .collect::<Option<Vec<_>>>()?,
+            }),
+            SExpr::Owner { dist, subs } => Some(SExpr::Owner {
+                dist: *dist,
+                subs: subs
+                    .iter()
+                    .map(|a| self.to_caller(a, env))
+                    .collect::<Option<Vec<_>>>()?,
+            }),
+            SExpr::LocalIdx { dist, dim, sub } => Some(SExpr::LocalIdx {
+                dist: *dist,
+                dim: *dim,
+                sub: Box::new(self.to_caller(sub, env)?),
+            }),
+        }
+    }
+
+    /// True if the callee subscript provably lies in `[lo, hi]` (caller
+    /// terms): either its caller value substitutes cleanly, or its own range
+    /// is contained.
+    fn sub_in(&self, sub: &SExpr, lo: &SExpr, hi: &SExpr, env: &BTreeMap<Sym, AbsVal>) -> bool {
+        if let Some(cv) = self.to_caller(sub, env) {
+            if prove_ge(&cv, lo, &self.caller_ranges, self.dists)
+                && prove_ge(hi, &cv, &self.caller_ranges, self.dists)
+            {
+                return true;
+            }
+        }
+        if let SExpr::Var(s) = sub {
+            if let Some(Some((slo, shi))) = env.get(s).map(|v| v.range.clone()) {
+                return prove_ge(&slo, lo, &self.caller_ranges, self.dists)
+                    && prove_ge(hi, &shi, &self.caller_ranges, self.dists);
+            }
+        }
+        false
+    }
+
+    /// Checks every mapped-buffer element access in `e`; marks buffers with
+    /// an unprovable access. Returns false if any array access blocks
+    /// replication of the value.
+    fn scan_reads(&mut self, e: &SExpr, env: &BTreeMap<Sym, AbsVal>) {
+        let mut accesses: Vec<(Sym, Vec<SExpr>)> = Vec::new();
+        visit_expr(e, &mut |x| match x {
+            SExpr::Elem { array, subs } => accesses.push((*array, subs.clone())),
+            SExpr::CurOwner { array, .. } => accesses.push((*array, vec![])),
+            _ => {}
+        });
+        for (af, subs) in accesses {
+            let Some(f) = self.mapped.get(&af) else {
+                continue;
+            };
+            let caller = self.fmap[&af];
+            let inside = subs.len() == f.dst_sec.dims.len()
+                && subs
+                    .iter()
+                    .zip(f.dst_sec.dims.clone().iter())
+                    .all(|(s, (lo, hi, _))| self.sub_in(s, lo, hi, env));
+            if !inside {
+                self.buf_ok.insert(caller, false);
+            }
+        }
+    }
+
+    /// Replication of a callee expression: reads of a mapped buffer inside
+    /// the fact region yield replicated values.
+    fn repl_of(&self, e: &SExpr, env: &BTreeMap<Sym, AbsVal>) -> bool {
+        match e {
+            SExpr::Int(_) | SExpr::Real(_) | SExpr::NProcs => true,
+            SExpr::Var(s) => env.get(s).map(|v| v.repl).unwrap_or(false),
+            SExpr::MyP | SExpr::CurOwner { .. } => false,
+            SExpr::Elem { array, subs } => {
+                let Some(f) = self.mapped.get(array) else {
+                    return false;
+                };
+                subs.len() == f.dst_sec.dims.len()
+                    && subs
+                        .iter()
+                        .zip(f.dst_sec.dims.clone().iter())
+                        .all(|(s, (lo, hi, _))| self.repl_of(s, env) && self.sub_in(s, lo, hi, env))
+            }
+            SExpr::Bin { l, r, .. } => self.repl_of(l, env) && self.repl_of(r, env),
+            SExpr::Neg(x) | SExpr::Not(x) => self.repl_of(x, env),
+            SExpr::Intr { args, .. } | SExpr::Owner { subs: args, .. } => {
+                args.iter().all(|a| self.repl_of(a, env))
+            }
+            SExpr::LocalIdx { sub, .. } => self.repl_of(sub, env),
+        }
+    }
+
+    fn join_env(
+        &self,
+        a: &BTreeMap<Sym, AbsVal>,
+        b: &BTreeMap<Sym, AbsVal>,
+    ) -> BTreeMap<Sym, AbsVal> {
+        let mut out = BTreeMap::new();
+        for (s, va) in a {
+            let Some(vb) = b.get(s) else { continue };
+            let val = match (&va.val, &vb.val) {
+                (Some(x), Some(y)) if syn_eq(x, y, self.dists) => Some(x.clone()),
+                _ => None,
+            };
+            let range = match (&va.range, &vb.range) {
+                (Some((alo, ahi)), Some((blo, bhi))) => {
+                    let lo = if prove_ge(blo, alo, &self.caller_ranges, self.dists) {
+                        Some(alo.clone())
+                    } else if prove_ge(alo, blo, &self.caller_ranges, self.dists) {
+                        Some(blo.clone())
+                    } else {
+                        None
+                    };
+                    let hi = if prove_ge(ahi, bhi, &self.caller_ranges, self.dists) {
+                        Some(ahi.clone())
+                    } else if prove_ge(bhi, ahi, &self.caller_ranges, self.dists) {
+                        Some(bhi.clone())
+                    } else {
+                        None
+                    };
+                    match (lo, hi) {
+                        (Some(l), Some(h)) => Some((l, h)),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            out.insert(
+                *s,
+                AbsVal {
+                    repl: va.repl && vb.repl,
+                    range,
+                    val,
+                },
+            );
+        }
+        out
+    }
+
+    fn walk(&mut self, stmts: &[SStmt], env: &mut BTreeMap<Sym, AbsVal>) -> Option<()> {
+        for s in stmts {
+            match s {
+                SStmt::Comment(_) | SStmt::Return | SStmt::Stop => {}
+                SStmt::Print { args } => {
+                    for a in args {
+                        self.scan_reads(a, env);
+                    }
+                }
+                SStmt::Assign { lhs, rhs } => {
+                    self.scan_reads(rhs, env);
+                    match lhs {
+                        SLval::Scalar(sy) => {
+                            let repl = self.repl_of(rhs, env);
+                            let val = self
+                                .to_caller(rhs, env)
+                                .map(|v| simplify(&v, self.dists))
+                                .filter(|v| linearize(v).is_some());
+                            let range = match (&val, rhs) {
+                                (Some(v), _) => Some((v.clone(), v.clone())),
+                                (None, SExpr::Var(t)) => env.get(t).and_then(|x| x.range.clone()),
+                                _ => None,
+                            };
+                            env.insert(*sy, AbsVal { repl, range, val });
+                        }
+                        SLval::Elem { array, subs } => {
+                            for sub in subs {
+                                self.scan_reads(sub, env);
+                            }
+                            if self.mapped.contains_key(array) {
+                                let caller = self.fmap[array];
+                                self.buf_ok.insert(caller, false);
+                            }
+                        }
+                    }
+                }
+                SStmt::Do {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                } => {
+                    self.scan_reads(lo, env);
+                    self.scan_reads(hi, env);
+                    let var_av = AbsVal {
+                        repl: self.repl_of(lo, env) && self.repl_of(hi, env),
+                        range: match (self.to_caller(lo, env), self.to_caller(hi, env), *step) {
+                            (Some(a), Some(b), 1) => Some((a, b)),
+                            (Some(a), Some(b), -1) => Some((b, a)),
+                            _ => None,
+                        },
+                        val: None,
+                    };
+                    let entry = env.clone();
+                    let mut head = entry.clone();
+                    head.insert(*var, var_av.clone());
+                    let mut stable = false;
+                    for _ in 0..4 {
+                        let mut exit = head.clone();
+                        self.walk(body, &mut exit)?;
+                        exit.insert(*var, var_av.clone());
+                        let joined = self.join_env(&head, &exit);
+                        if joined == head {
+                            stable = true;
+                            break;
+                        }
+                        head = joined;
+                    }
+                    if !stable {
+                        // Demote body-assigned scalars to ⊥ and settle.
+                        let mut assigned = BTreeSet::new();
+                        collect_assigned_scalars(body, &mut assigned);
+                        for a in &assigned {
+                            head.insert(*a, AbsVal::bottom());
+                        }
+                        head.insert(*var, var_av.clone());
+                    }
+                    // One final pass from the settled head for buffer checks.
+                    let mut exit = head.clone();
+                    self.walk(body, &mut exit)?;
+                    // Post-loop: join entry (zero trips) with exit.
+                    *env = self.join_env(&entry, &exit);
+                    env.insert(
+                        *var,
+                        AbsVal {
+                            repl: var_av.repl,
+                            range: None,
+                            val: None,
+                        },
+                    );
+                }
+                SStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.scan_reads(cond, env);
+                    let cond_repl = self.repl_of(cond, env);
+                    let mut te = env.clone();
+                    self.walk(then_body, &mut te)?;
+                    let mut ee = env.clone();
+                    self.walk(else_body, &mut ee)?;
+                    let mut joined = self.join_env(&te, &ee);
+                    if !cond_repl {
+                        // Rank-dependent branch: values that differ between
+                        // branches are rank-dependent too.
+                        for v in joined.values_mut() {
+                            if v.val.is_none() {
+                                v.repl = false;
+                            }
+                        }
+                    }
+                    *env = joined;
+                }
+                SStmt::Call { .. } => return None,
+                SStmt::BcastScalar { root, var } => {
+                    self.scan_reads(root, env);
+                    env.insert(
+                        *var,
+                        AbsVal {
+                            repl: true,
+                            range: None,
+                            val: None,
+                        },
+                    );
+                }
+                SStmt::RecvElem { from, lhs, .. } => {
+                    self.scan_reads(from, env);
+                    match lhs {
+                        SLval::Scalar(v) => {
+                            env.insert(*v, AbsVal::bottom());
+                        }
+                        SLval::Elem { array, .. } => {
+                            if self.mapped.contains_key(array) {
+                                let caller = self.fmap[array];
+                                self.buf_ok.insert(caller, false);
+                            }
+                        }
+                    }
+                }
+                SStmt::Send { .. }
+                | SStmt::Recv { .. }
+                | SStmt::SendElem { .. }
+                | SStmt::Bcast { .. }
+                | SStmt::BcastPack { .. }
+                | SStmt::Remap { .. }
+                | SStmt::RemapGlobal { .. }
+                | SStmt::MarkDist { .. } => {
+                    // Any mention of a mapped buffer inside communication is
+                    // beyond the region prover: de-validate bluntly.
+                    let one = std::slice::from_ref(s);
+                    let bufs: Vec<Sym> = self.mapped.keys().copied().collect();
+                    for af in bufs {
+                        if count_mentions(one, af) > 0 {
+                            let caller = self.fmap[&af];
+                            self.buf_ok.insert(caller, false);
+                        }
+                    }
+                    // Scalar effects of packs.
+                    if let SStmt::BcastPack { parts, .. } = s {
+                        for p in parts {
+                            if let BcastPart::Scalar(v) = p {
+                                env.insert(
+                                    *v,
+                                    AbsVal {
+                                        repl: true,
+                                        range: None,
+                                        val: None,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(())
+    }
+}
+
+impl<'a> Scan<'a> {
+    /// Analyzes one call site: maps actuals onto formals, abstractly walks
+    /// the callee, and reports validated buffers plus scalar-formal exit
+    /// states (for copy-out). None = unanalyzable, treat conservatively.
+    fn analyze_call(&self, callee: usize, args: &[SActual], st: &State) -> Option<CallSummary> {
+        if self.cyclic[callee] {
+            return None;
+        }
+        let cal = &self.snapshot[callee];
+        if cal.formals.len() != args.len() {
+            return None;
+        }
+        // Aliased array actuals defeat per-buffer reasoning.
+        let mut seen_arrays = BTreeSet::new();
+        for a in args {
+            if let SActual::Array(s) = a {
+                if !seen_arrays.insert(*s) {
+                    return None;
+                }
+            }
+        }
+        let mut env: BTreeMap<Sym, AbsVal> = BTreeMap::new();
+        let mut fmap: BTreeMap<Sym, Sym> = BTreeMap::new();
+        let mut mapped: BTreeMap<Sym, Fact> = BTreeMap::new();
+        let mut buf_ok: BTreeMap<Sym, bool> = BTreeMap::new();
+        for (f, a) in cal.formals.iter().zip(args) {
+            match a {
+                SActual::Scalar(x) => {
+                    let val = Some(simplify(x, self.dists))
+                        .filter(|v| linearize(v).is_some() && !expr_rank_dependent_value(v));
+                    let range = match (&val, x) {
+                        (Some(v), _) => Some((v.clone(), v.clone())),
+                        (None, SExpr::Var(s)) => st.ranges.get(s).cloned(),
+                        _ => None,
+                    };
+                    env.insert(
+                        f.name,
+                        AbsVal {
+                            repl: expr_replicated(x, &st.repl),
+                            range,
+                            val,
+                        },
+                    );
+                }
+                SActual::Array(s) => {
+                    fmap.insert(f.name, *s);
+                    if let Some(fact) = st.facts.iter().find(|f2| f2.buf == *s) {
+                        mapped.insert(f.name, fact.clone());
+                        buf_ok.insert(*s, true);
+                    }
+                }
+            }
+        }
+        let mut aw = AbsWalk {
+            dists: self.dists,
+            fmap,
+            mapped,
+            buf_ok,
+            caller_ranges: st.ranges.clone(),
+        };
+        aw.walk(&cal.body, &mut env)?;
+        let outputs = cal
+            .formals
+            .iter()
+            .filter(|f| !f.is_array)
+            .filter_map(|f| {
+                env.get(&f.name)
+                    .map(|v| (f.name, (v.repl, v.range.clone())))
+            })
+            .collect();
+        let validated_bufs = aw
+            .buf_ok
+            .into_iter()
+            .filter_map(|(s, ok)| ok.then_some(s))
+            .collect();
+        Some(CallSummary {
+            validated_bufs,
+            outputs,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loop-level aggregation: hoist invariant collectives out of counted loops
+// ---------------------------------------------------------------------------
+
+/// Lifts loop-invariant broadcasts out of `Do` loops: a leading prefix of
+/// `Bcast`/`BcastScalar` statements whose operands are invariant and whose
+/// data is not redefined later in the body executes identically on every
+/// iteration, so one pre-loop transfer suffices. Only loops with a provably
+/// positive constant trip count are touched (hoisting out of a zero-trip
+/// loop would *introduce* communication).
+fn hoist(prog: &mut SpmdProgram, report: &mut OptReport) {
+    let wf = written_formals(&prog.procs);
+    let dists = prog.dists.clone();
+    for p in prog.procs.iter_mut() {
+        let body = std::mem::take(&mut p.body);
+        p.body = hoist_stmts(body, &wf, &dists, &mut report.hoisted);
+    }
+}
+
+fn hoist_stmts(
+    stmts: Vec<SStmt>,
+    wf: &[BTreeSet<usize>],
+    dists: &[ArrayDist],
+    hoisted: &mut usize,
+) -> Vec<SStmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                // Innermost loops first, so an invariant bcast bubbles up
+                // through a whole nest.
+                let body = hoist_stmts(body, wf, dists, hoisted);
+                let trip_ok = match (const_of(&lo, dists), const_of(&hi, dists)) {
+                    (Some(l), Some(h)) => (step == 1 && h >= l) || (step == -1 && l >= h),
+                    _ => false,
+                };
+                let mut callees = Vec::new();
+                collect_callees(&body, &mut callees);
+                if !trip_ok || !callees.is_empty() {
+                    out.push(SStmt::Do {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body,
+                    });
+                    continue;
+                }
+                let mut assigned = BTreeSet::new();
+                assigned.insert(var);
+                collect_assigned_scalars(&body, &mut assigned);
+                let invariant = |e: &SExpr| -> bool {
+                    if mentions_any(e, &assigned) {
+                        return false;
+                    }
+                    let mut memory = false;
+                    visit_expr(e, &mut |x| {
+                        if matches!(x, SExpr::Elem { .. } | SExpr::CurOwner { .. }) {
+                            memory = true;
+                        }
+                    });
+                    !memory
+                };
+                let mut lifted = 0usize;
+                while lifted < body.len() {
+                    let rest = &body[lifted + 1..];
+                    let mut rest_arrays = BTreeSet::new();
+                    collect_written_arrays(rest, wf, &mut rest_arrays);
+                    let mut rest_scalars = BTreeSet::new();
+                    collect_assigned_scalars(rest, &mut rest_scalars);
+                    let ok = match &body[lifted] {
+                        SStmt::Bcast {
+                            root,
+                            src_array,
+                            src_section,
+                            dst_array,
+                            dst_section,
+                        } => {
+                            src_array != dst_array
+                                && invariant(root)
+                                && src_section
+                                    .dims
+                                    .iter()
+                                    .chain(dst_section.dims.iter())
+                                    .all(|(a, b, _)| invariant(a) && invariant(b))
+                                && !rest_arrays.contains(src_array)
+                                && !rest_arrays.contains(dst_array)
+                        }
+                        SStmt::BcastScalar { root, var: v } => {
+                            invariant(root) && !rest_scalars.contains(v)
+                        }
+                        _ => false,
+                    };
+                    if !ok {
+                        break;
+                    }
+                    lifted += 1;
+                }
+                if lifted == 0 {
+                    out.push(SStmt::Do {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body,
+                    });
+                } else {
+                    *hoisted += lifted;
+                    let mut body = body;
+                    let rest = body.split_off(lifted);
+                    out.extend(body);
+                    out.push(SStmt::Do {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body: rest,
+                    });
+                }
+            }
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => out.push(SStmt::If {
+                cond,
+                then_body: hoist_stmts(then_body, wf, dists, hoisted),
+                else_body: hoist_stmts(else_body, wf, dists, hoisted),
+            }),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Message coalescing: pack broadcast runs, merge adjacent section transfers
+// ---------------------------------------------------------------------------
+
+/// True if `e` reads an element (or the current owner) of any array in `w`.
+fn elem_reads_any(e: &SExpr, w: &BTreeSet<Sym>) -> bool {
+    let mut hit = false;
+    visit_expr(e, &mut |x| match x {
+        SExpr::Elem { array, .. } | SExpr::CurOwner { array, .. } if w.contains(array) => {
+            hit = true;
+        }
+        _ => {}
+    });
+    hit
+}
+
+/// Converts a section bound to the RSD bound language (affine over plain
+/// scalar symbols) so [`Rsd::adjacency`] can judge it.
+fn sexpr_to_affine(e: &SExpr) -> Option<Affine> {
+    let lin = linearize(e)?;
+    let mut acc = Affine::konst(lin.konst);
+    for (atom, c) in &lin.terms {
+        match atom {
+            SExpr::Var(s) => acc = acc + Affine::sym(*s).scale(*c),
+            _ => return None,
+        }
+    }
+    Some(acc)
+}
+
+fn rect_to_rsd(r: &SRect) -> Option<Rsd> {
+    let mut dims = Vec::with_capacity(r.dims.len());
+    for (lo, hi, step) in &r.dims {
+        if *step != 1 {
+            return None;
+        }
+        dims.push(Triplet::new(sexpr_to_affine(lo)?, sexpr_to_affine(hi)?));
+    }
+    Some(Rsd::new(dims))
+}
+
+/// Merges two section rectangles that concatenate along one dimension. The
+/// merged payload must equal `payload(a) ++ payload(b)` under the
+/// interpreter's last-dimension-fastest iteration order, which holds exactly
+/// when every dimension slower than the seam is degenerate.
+fn merge_rects(s1: &SRect, s2: &SRect, dists: &[ArrayDist]) -> Option<SRect> {
+    let r1 = rect_to_rsd(s1)?;
+    let r2 = rect_to_rsd(s2)?;
+    let d = r1.adjacency(&r2, &SymEnv::new())?;
+    for k in 0..d {
+        if !syn_eq(&s1.dims[k].0, &s1.dims[k].1, dists) {
+            return None;
+        }
+    }
+    let mut dims = s1.dims.clone();
+    dims[d] = (s1.dims[d].0.clone(), s2.dims[d].1.clone(), 1);
+    Some(SRect { dims })
+}
+
+/// If statement `a` immediately followed by `b` is a mergeable send or
+/// receive pair, returns `(a.tag, b.tag, merged)`. The merged statement
+/// reuses `a`'s tag; committing the merge is gated on tag accounting so the
+/// matching endpoint merges too.
+fn merge_pair(a: &SStmt, b: &SStmt, dists: &[ArrayDist]) -> Option<(u64, u64, SStmt)> {
+    match (a, b) {
+        (
+            SStmt::Send {
+                to: to1,
+                tag: t1,
+                array: a1,
+                section: s1,
+            },
+            SStmt::Send {
+                to: to2,
+                tag: t2,
+                array: a2,
+                section: s2,
+            },
+        ) if a1 == a2 && t1 != t2 && syn_eq(to1, to2, dists) => {
+            let section = merge_rects(s1, s2, dists)?;
+            Some((
+                *t1,
+                *t2,
+                SStmt::Send {
+                    to: to1.clone(),
+                    tag: *t1,
+                    array: *a1,
+                    section,
+                },
+            ))
+        }
+        (
+            SStmt::Recv {
+                from: f1,
+                tag: t1,
+                array: a1,
+                section: s1,
+            },
+            SStmt::Recv {
+                from: f2,
+                tag: t2,
+                array: a2,
+                section: s2,
+            },
+        ) if a1 == a2 && t1 != t2 && syn_eq(f1, f2, dists) => {
+            let section = merge_rects(s1, s2, dists)?;
+            Some((
+                *t1,
+                *t2,
+                SStmt::Recv {
+                    from: f1.clone(),
+                    tag: *t1,
+                    array: *a1,
+                    section,
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn count_tags(stmts: &[SStmt], occ: &mut BTreeMap<u64, usize>) {
+    for s in stmts {
+        match s {
+            SStmt::Send { tag, .. }
+            | SStmt::Recv { tag, .. }
+            | SStmt::SendElem { tag, .. }
+            | SStmt::RecvElem { tag, .. } => *occ.entry(*tag).or_insert(0) += 1,
+            SStmt::Do { body, .. } => count_tags(body, occ),
+            SStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                count_tags(then_body, occ);
+                count_tags(else_body, occ);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One traversal shared by the counting and rewriting passes so both see
+/// identical candidate pairs. `committed = None` counts candidates into
+/// `pair_count`; `Some(set)` replaces committed pairs with their merge.
+fn pair_walk(
+    stmts: Vec<SStmt>,
+    dists: &[ArrayDist],
+    committed: Option<&BTreeSet<(u64, u64)>>,
+    pair_count: &mut BTreeMap<(u64, u64), usize>,
+    merged_msgs: &mut usize,
+) -> Vec<SStmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut it = stmts.into_iter().peekable();
+    while let Some(s) = it.next() {
+        let s = match s {
+            SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body: pair_walk(body, dists, committed, pair_count, merged_msgs),
+            },
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => SStmt::If {
+                cond,
+                then_body: pair_walk(then_body, dists, committed, pair_count, merged_msgs),
+                else_body: pair_walk(else_body, dists, committed, pair_count, merged_msgs),
+            },
+            other => other,
+        };
+        let cand = it.peek().and_then(|nxt| merge_pair(&s, nxt, dists));
+        match cand {
+            Some((t1, t2, m)) => {
+                let nxt = it.next().expect("peeked");
+                match committed {
+                    None => {
+                        *pair_count.entry((t1, t2)).or_insert(0) += 1;
+                        out.push(s);
+                        out.push(nxt);
+                    }
+                    Some(set) if set.contains(&(t1, t2)) => {
+                        *merged_msgs += 1;
+                        out.push(m);
+                    }
+                    Some(_) => {
+                        out.push(s);
+                        out.push(nxt);
+                    }
+                }
+            }
+            None => out.push(s),
+        }
+    }
+    out
+}
+
+/// Packs runs of same-root broadcasts into one [`SStmt::BcastPack`]. A run
+/// member must not read data a previous member of the run wrote (the pack
+/// gathers everything up front), but destination sections are unconstrained
+/// because unpacking is sequential in run order on every rank.
+fn pack_bcasts(stmts: Vec<SStmt>, dists: &[ArrayDist], coalesced: &mut usize) -> Vec<SStmt> {
+    let stmts: Vec<SStmt> = stmts
+        .into_iter()
+        .map(|s| match s {
+            SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body: pack_bcasts(body, dists, coalesced),
+            },
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => SStmt::If {
+                cond,
+                then_body: pack_bcasts(then_body, dists, coalesced),
+                else_body: pack_bcasts(else_body, dists, coalesced),
+            },
+            other => other,
+        })
+        .collect();
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut i = 0;
+    while i < stmts.len() {
+        let root = match &stmts[i] {
+            SStmt::Bcast { root, .. } | SStmt::BcastScalar { root, .. } => root.clone(),
+            _ => {
+                out.push(stmts[i].clone());
+                i += 1;
+                continue;
+            }
+        };
+        let mut w_arrays: BTreeSet<Sym> = BTreeSet::new();
+        let mut w_scalars: BTreeSet<Sym> = BTreeSet::new();
+        let mut parts: Vec<BcastPart> = Vec::new();
+        let mut j = i;
+        while j < stmts.len() {
+            match &stmts[j] {
+                SStmt::Bcast {
+                    root: r2,
+                    src_array,
+                    src_section,
+                    dst_array,
+                    dst_section,
+                } => {
+                    let fresh = !w_arrays.contains(src_array)
+                        && !mentions_any(r2, &w_scalars)
+                        && !elem_reads_any(r2, &w_arrays)
+                        && src_section.dims.iter().all(|(a, b, _)| {
+                            !mentions_any(a, &w_scalars)
+                                && !mentions_any(b, &w_scalars)
+                                && !elem_reads_any(a, &w_arrays)
+                                && !elem_reads_any(b, &w_arrays)
+                        });
+                    if !syn_eq(&root, r2, dists) || !fresh {
+                        break;
+                    }
+                    parts.push(BcastPart::Section {
+                        src_array: *src_array,
+                        src_section: src_section.clone(),
+                        dst_array: *dst_array,
+                        dst_section: dst_section.clone(),
+                    });
+                    w_arrays.insert(*dst_array);
+                    j += 1;
+                }
+                SStmt::BcastScalar { root: r2, var } => {
+                    if !syn_eq(&root, r2, dists) || w_scalars.contains(var) {
+                        break;
+                    }
+                    parts.push(BcastPart::Scalar(*var));
+                    w_scalars.insert(*var);
+                    j += 1;
+                }
+                _ => break,
+            }
+        }
+        if parts.len() >= 2 {
+            *coalesced += parts.len() - 1;
+            out.push(SStmt::BcastPack { root, parts });
+            i = j;
+        } else {
+            out.push(stmts[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The coalescing pass: broadcast packing plus point-to-point pair merging.
+fn coalesce(prog: &mut SpmdProgram, report: &mut OptReport) {
+    let dists = prog.dists.clone();
+    for p in prog.procs.iter_mut() {
+        let body = std::mem::take(&mut p.body);
+        p.body = pack_bcasts(body, &dists, &mut report.coalesced);
+    }
+    // Point-to-point merging changes the wire protocol, so a (t1, t2) merge
+    // is committed only when EVERY occurrence of both tags in the whole
+    // program sits in a candidate pair — then sender and receiver agree.
+    let mut tag_occ: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut pair_count: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    let mut scratch = 0usize;
+    for p in &prog.procs {
+        count_tags(&p.body, &mut tag_occ);
+        pair_walk(p.body.clone(), &dists, None, &mut pair_count, &mut scratch);
+    }
+    let committed: BTreeSet<(u64, u64)> = pair_count
+        .iter()
+        .filter(|((t1, t2), &n)| tag_occ.get(t1) == Some(&n) && tag_occ.get(t2) == Some(&n))
+        .map(|(k, _)| *k)
+        .collect();
+    if committed.is_empty() {
+        return;
+    }
+    let mut ignore = BTreeMap::new();
+    for p in prog.procs.iter_mut() {
+        let body = std::mem::take(&mut p.body);
+        p.body = pair_walk(
+            body,
+            &dists,
+            Some(&committed),
+            &mut ignore,
+            &mut report.coalesced,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(body: Vec<SStmt>) -> (SpmdProgram, Interner) {
+        let mut interner = Interner::new();
+        let name = interner.intern("main");
+        let p = SpmdProgram {
+            interner: interner.clone(),
+            nprocs: 2,
+            procs: vec![SProc {
+                name,
+                formals: vec![],
+                decls: vec![],
+                body,
+            }],
+            main: 0,
+            dists: vec![],
+        };
+        (p, interner)
+    }
+
+    fn rect(lo: i64, hi: i64) -> SRect {
+        SRect::one(SExpr::Int(lo), SExpr::Int(hi))
+    }
+
+    #[test]
+    fn simplify_folds_linear_arithmetic() {
+        let e = SExpr::add(SExpr::Int(1), SExpr::Int(2));
+        assert_eq!(simplify(&e, &[]), SExpr::Int(3));
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        // (x + 1) + 2 and x + 3 normalize to the same linear form.
+        let a = SExpr::add(SExpr::add(SExpr::Var(x), SExpr::Int(1)), SExpr::Int(2));
+        let b = SExpr::add(SExpr::Var(x), SExpr::Int(3));
+        assert!(syn_eq(&a, &b, &[]));
+        assert!(!syn_eq(&a, &SExpr::Var(x), &[]));
+    }
+
+    #[test]
+    fn prove_ge_uses_constants_and_ranges() {
+        let empty = Ranges::new();
+        assert!(prove_ge(&SExpr::Int(5), &SExpr::Int(3), &empty, &[]));
+        assert!(!prove_ge(&SExpr::Int(3), &SExpr::Int(5), &empty, &[]));
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let mut ranges = Ranges::new();
+        ranges.insert(x, (SExpr::Int(2), SExpr::Int(10)));
+        assert!(prove_ge(&SExpr::Var(x), &SExpr::Int(1), &ranges, &[]));
+        assert!(!prove_ge(&SExpr::Var(x), &SExpr::Int(11), &ranges, &[]));
+    }
+
+    #[test]
+    fn merge_rects_requires_exact_adjacency() {
+        assert_eq!(merge_rects(&rect(1, 4), &rect(5, 8), &[]), Some(rect(1, 8)));
+        // A gap or an overlap refuses.
+        assert_eq!(merge_rects(&rect(1, 4), &rect(6, 9), &[]), None);
+        assert_eq!(merge_rects(&rect(1, 4), &rect(4, 8), &[]), None);
+    }
+
+    #[test]
+    fn merge_rects_2d_needs_degenerate_outer_dims() {
+        // Payload order iterates the last dimension fastest, so a seam in
+        // the last dimension concatenates payloads only when every slower
+        // dimension is a single point.
+        let deg = |row: i64, lo: i64, hi: i64| SRect {
+            dims: vec![
+                (SExpr::Int(row), SExpr::Int(row), 1),
+                (SExpr::Int(lo), SExpr::Int(hi), 1),
+            ],
+        };
+        assert_eq!(
+            merge_rects(&deg(2, 1, 4), &deg(2, 5, 8), &[]),
+            Some(deg(2, 1, 8))
+        );
+        let wide = |lo: i64, hi: i64| SRect {
+            dims: vec![
+                (SExpr::Int(1), SExpr::Int(2), 1),
+                (SExpr::Int(lo), SExpr::Int(hi), 1),
+            ],
+        };
+        assert_eq!(merge_rects(&wide(1, 4), &wide(5, 8), &[]), None);
+    }
+
+    #[test]
+    fn hoist_lifts_invariant_scalar_broadcast() {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        let x = i.intern("x");
+        let iv = i.intern("i");
+        let loop_body = vec![
+            SStmt::BcastScalar {
+                root: SExpr::Int(0),
+                var: s,
+            },
+            SStmt::Assign {
+                lhs: SLval::Elem {
+                    array: x,
+                    subs: vec![SExpr::Var(iv)],
+                },
+                rhs: SExpr::Var(s),
+            },
+        ];
+        let (mut p, _) = prog(vec![SStmt::Do {
+            var: iv,
+            lo: SExpr::Int(1),
+            hi: SExpr::Int(4),
+            step: 1,
+            body: loop_body.clone(),
+        }]);
+        let report = optimize(&mut p, CommOpt::Coalesce);
+        assert_eq!(report.hoisted, 1);
+        assert!(matches!(p.procs[0].body[0], SStmt::BcastScalar { .. }));
+        match &p.procs[0].body[1] {
+            SStmt::Do { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("expected Do, got {other:?}"),
+        }
+
+        // Redefining the scalar later in the body pins the broadcast.
+        let mut pinned = loop_body;
+        pinned.push(SStmt::Assign {
+            lhs: SLval::Scalar(s),
+            rhs: SExpr::Int(0),
+        });
+        let (mut p2, _) = prog(vec![SStmt::Do {
+            var: iv,
+            lo: SExpr::Int(1),
+            hi: SExpr::Int(4),
+            step: 1,
+            body: pinned,
+        }]);
+        let report2 = optimize(&mut p2, CommOpt::Coalesce);
+        assert_eq!(report2.hoisted, 0);
+        assert!(matches!(p2.procs[0].body[0], SStmt::Do { .. }));
+    }
+
+    #[test]
+    fn hoist_refuses_possibly_zero_trip_loops() {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        let iv = i.intern("i");
+        let n = i.intern("n");
+        for (lo, hi) in [
+            (SExpr::Int(5), SExpr::Int(4)), // zero trips
+            (SExpr::Int(1), SExpr::Var(n)), // unknown trips
+        ] {
+            let (mut p, _) = prog(vec![SStmt::Do {
+                var: iv,
+                lo,
+                hi,
+                step: 1,
+                body: vec![SStmt::BcastScalar {
+                    root: SExpr::Int(0),
+                    var: s,
+                }],
+            }]);
+            let report = optimize(&mut p, CommOpt::Coalesce);
+            assert_eq!(report.hoisted, 0);
+            assert!(matches!(p.procs[0].body[0], SStmt::Do { .. }));
+        }
+    }
+
+    #[test]
+    fn pack_fuses_same_root_broadcast_runs() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let c = i.intern("c");
+        let bcast = |src: Sym, dst: Sym, lo: i64, hi: i64| SStmt::Bcast {
+            root: SExpr::Int(0),
+            src_array: src,
+            src_section: rect(lo, hi),
+            dst_array: dst,
+            dst_section: rect(1, hi - lo + 1),
+        };
+        let (mut p, _) = prog(vec![bcast(a, b, 1, 2), bcast(a, c, 3, 4)]);
+        let report = optimize(&mut p, CommOpt::Coalesce);
+        assert_eq!(report.coalesced, 1);
+        assert_eq!(p.procs[0].body.len(), 1);
+        match &p.procs[0].body[0] {
+            SStmt::BcastPack { parts, .. } => assert_eq!(parts.len(), 2),
+            other => panic!("expected BcastPack, got {other:?}"),
+        }
+
+        // The second broadcast reads what the first wrote: packing would
+        // gather stale data, so the run must not fuse.
+        let (mut p2, _) = prog(vec![bcast(a, b, 1, 2), bcast(b, c, 1, 2)]);
+        let report2 = optimize(&mut p2, CommOpt::Coalesce);
+        assert_eq!(report2.coalesced, 0);
+        assert_eq!(p2.procs[0].body.len(), 2);
+    }
+
+    fn send(tag: u64, array: Sym, lo: i64, hi: i64) -> SStmt {
+        SStmt::Send {
+            to: SExpr::Int(1),
+            tag,
+            array,
+            section: rect(lo, hi),
+        }
+    }
+
+    fn recv(tag: u64, array: Sym, lo: i64, hi: i64) -> SStmt {
+        SStmt::Recv {
+            from: SExpr::Int(0),
+            tag,
+            array,
+            section: rect(lo, hi),
+        }
+    }
+
+    #[test]
+    fn pair_merge_commits_sender_and_receiver_in_lockstep() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let (mut p, _) = prog(vec![SStmt::If {
+            cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::Int(0)),
+            then_body: vec![send(10, a, 1, 4), send(11, a, 5, 8)],
+            else_body: vec![recv(10, a, 1, 4), recv(11, a, 5, 8)],
+        }]);
+        let report = optimize(&mut p, CommOpt::Coalesce);
+        assert_eq!(report.coalesced, 2);
+        match &p.procs[0].body[0] {
+            SStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(
+                    then_body.as_slice(),
+                    &[send(10, a, 1, 8)],
+                    "sender side must carry the merged section under tag 10"
+                );
+                assert_eq!(else_body.as_slice(), &[recv(10, a, 1, 8)]);
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pair_merge_aborts_when_a_tag_escapes_the_pairing() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        // A third, unpaired use of tag 11 means the endpoints can no longer
+        // agree on the rewritten protocol — nothing may merge.
+        let body = vec![
+            SStmt::If {
+                cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::Int(0)),
+                then_body: vec![send(10, a, 1, 4), send(11, a, 5, 8)],
+                else_body: vec![recv(10, a, 1, 4), recv(11, a, 5, 8)],
+            },
+            SStmt::SendElem {
+                to: SExpr::Int(1),
+                tag: 11,
+                value: SExpr::Int(0),
+            },
+        ];
+        let (mut p, _) = prog(body.clone());
+        let report = optimize(&mut p, CommOpt::Coalesce);
+        assert_eq!(report.coalesced, 0);
+        assert_eq!(p.procs[0].body, body);
+    }
+
+    #[test]
+    fn off_level_is_identity() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let body = vec![send(10, a, 1, 4), send(11, a, 5, 8)];
+        let (mut p, _) = prog(body.clone());
+        let report = optimize(&mut p, CommOpt::Off);
+        assert_eq!(report.level, CommOpt::Off);
+        assert_eq!(report.eliminated + report.coalesced + report.hoisted, 0);
+        assert_eq!(p.procs[0].body, body);
+    }
+}

@@ -151,6 +151,7 @@ impl Printer<'_> {
             | SStmt::RecvElem { .. }
             | SStmt::Bcast { .. }
             | SStmt::BcastScalar { .. }
+            | SStmt::BcastPack { .. }
             | SStmt::Remap { .. }
             | SStmt::RemapGlobal { .. }
             | SStmt::MarkDist { .. }
@@ -219,6 +220,30 @@ impl Printer<'_> {
             }
             SStmt::BcastScalar { root, var } => {
                 format!("broadcast {} from {}", self.name(*var), self.expr(root, 0))
+            }
+            SStmt::BcastPack { root, parts } => {
+                let items: Vec<String> = parts
+                    .iter()
+                    .map(|p| match p {
+                        BcastPart::Section {
+                            src_array,
+                            src_section,
+                            ..
+                        } => {
+                            format!(
+                                "{}{}",
+                                self.name(*src_array).to_uppercase(),
+                                self.rect(src_section)
+                            )
+                        }
+                        BcastPart::Scalar(v) => self.name(*v),
+                    })
+                    .collect();
+                format!(
+                    "broadcast [{}] from {}",
+                    items.join(", "),
+                    self.expr(root, 0)
+                )
             }
             SStmt::RemapGlobal { array, to_dist } => {
                 let d = &self.prog.dists[to_dist.0 as usize];
@@ -382,6 +407,7 @@ fn is_simple(s: &SStmt) -> bool {
             | SStmt::RecvElem { .. }
             | SStmt::Bcast { .. }
             | SStmt::BcastScalar { .. }
+            | SStmt::BcastPack { .. }
             | SStmt::Remap { .. }
             | SStmt::RemapGlobal { .. }
             | SStmt::MarkDist { .. }

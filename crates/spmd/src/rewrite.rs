@@ -140,6 +140,25 @@ fn remap_stmt(s: &mut SStmt, m: &ProcRemap) {
             remap_expr(root, m);
             *var = (m.sym)(*var);
         }
+        SStmt::BcastPack { root, parts } => {
+            remap_expr(root, m);
+            for p in parts {
+                match p {
+                    crate::ir::BcastPart::Section {
+                        src_array,
+                        src_section,
+                        dst_array,
+                        dst_section,
+                    } => {
+                        *src_array = (m.sym)(*src_array);
+                        remap_rect(src_section, m);
+                        *dst_array = (m.sym)(*dst_array);
+                        remap_rect(dst_section, m);
+                    }
+                    crate::ir::BcastPart::Scalar(v) => *v = (m.sym)(*v),
+                }
+            }
+        }
         SStmt::Remap { array, to_dist }
         | SStmt::RemapGlobal { array, to_dist }
         | SStmt::MarkDist { array, to_dist } => {
