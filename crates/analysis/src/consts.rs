@@ -7,11 +7,13 @@
 //! compile-time constant, so loop bounds and overlap offsets stay
 //! analyzable.
 
-use crate::acg::Acg;
+use crate::acg::{Acg, CallEdge};
+use crate::framework::{self, AcgGraph, DataflowProblem, SolveStats};
+use crate::registry::Direction;
 use fortrand_frontend::ast::Expr;
 use fortrand_frontend::sema::{fold_const, ProgramInfo};
 use fortrand_ir::Sym;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Per-unit constant formals discovered interprocedurally.
 #[derive(Clone, Debug, Default)]
@@ -34,41 +36,105 @@ impl InterConsts {
     }
 }
 
-/// Computes interprocedural constants top-down.
-pub fn compute(info: &ProgramInfo, acg: &Acg) -> InterConsts {
-    let mut out = InterConsts::default();
-    // Keys that appeared at some call site with a conflicting or
-    // non-constant actual: permanently not constant.
-    let mut poisoned: BTreeSet<(Sym, Sym)> = BTreeSet::new();
-    for &unit in &acg.topo {
-        let env = out.params_for(unit, info);
-        for edge in acg.calls.get(&unit).into_iter().flatten() {
-            let callee_formals = info.unit(edge.callee).formals.clone();
-            for (i, &f) in callee_formals.iter().enumerate() {
-                let key = (edge.callee, f);
-                if poisoned.contains(&key) {
-                    continue;
+/// Lattice value for one formal: known at every call site, or ⊥ (some
+/// site passed a conflicting or non-constant actual).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CVal {
+    Known(i64),
+    Bottom,
+}
+
+/// The constants problem over the ACG: a node's fact maps each of its
+/// formals to [`CVal`]; call edges translate actuals folded under the
+/// caller's constant environment.
+struct ConstsProblem<'a> {
+    info: &'a ProgramInfo,
+}
+
+impl DataflowProblem<AcgGraph<'_>> for ConstsProblem<'_> {
+    type Fact = BTreeMap<Sym, CVal>;
+
+    fn name(&self) -> &'static str {
+        "Symbolics & constants"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::TopDown
+    }
+
+    fn boundary(&mut self, _g: &AcgGraph, _n: Sym) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn translate(
+        &mut self,
+        _g: &AcgGraph,
+        edge: &CallEdge,
+        _src: Sym,
+        src_fact: &Self::Fact,
+    ) -> Vec<Self::Fact> {
+        // The caller's constant environment: its own PARAMETERs plus its
+        // interprocedurally-known formals (final, since callers precede
+        // callees in the solve order).
+        let mut env = self.info.unit(edge.caller).params.clone();
+        for (&f, v) in src_fact {
+            if let CVal::Known(k) = v {
+                env.insert(f, *k);
+            }
+        }
+        let mut m = BTreeMap::new();
+        for (i, &f) in self.info.unit(edge.callee).formals.iter().enumerate() {
+            let val = edge.actuals.get(i).and_then(|e| match e {
+                Expr::Int(_) | Expr::Var(_) | Expr::Bin { .. } | Expr::Un { .. } => {
+                    fold_const(e, &env)
                 }
-                let val = edge.actuals.get(i).and_then(|e| match e {
-                    Expr::Int(_) | Expr::Var(_) | Expr::Bin { .. } | Expr::Un { .. } => {
-                        fold_const(e, &env)
-                    }
-                    _ => None,
-                });
-                match (out.formals.get(&key).copied(), val) {
-                    (None, Some(v)) => {
-                        out.formals.insert(key, v);
-                    }
-                    (Some(prev), Some(v)) if prev == v => {}
-                    _ => {
-                        out.formals.remove(&key);
-                        poisoned.insert(key);
+                _ => None,
+            });
+            m.insert(f, val.map(CVal::Known).unwrap_or(CVal::Bottom));
+        }
+        vec![m]
+    }
+
+    fn meet(&mut self, acc: &mut Self::Fact, contrib: Self::Fact) {
+        use std::collections::btree_map::Entry;
+        for (f, v) in contrib {
+            match acc.entry(f) {
+                Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+                Entry::Occupied(mut o) => {
+                    let agree = matches!((o.get(), &v), (CVal::Known(a), CVal::Known(b)) if a == b);
+                    if !agree {
+                        o.insert(CVal::Bottom);
                     }
                 }
             }
         }
     }
-    out
+
+    fn transfer(&mut self, _g: &AcgGraph, _n: Sym, input: Self::Fact) -> Self::Fact {
+        input
+    }
+}
+
+/// Computes interprocedural constants top-down.
+pub fn compute(info: &ProgramInfo, acg: &Acg) -> InterConsts {
+    compute_with_stats(info, acg).0
+}
+
+/// [`compute`], also returning the framework solver's statistics.
+pub fn compute_with_stats(info: &ProgramInfo, acg: &Acg) -> (InterConsts, SolveStats) {
+    let g = AcgGraph { acg };
+    let (facts, stats) = framework::solve(&g, &mut ConstsProblem { info });
+    let mut out = InterConsts::default();
+    for (unit, m) in facts {
+        for (f, v) in m {
+            if let CVal::Known(k) = v {
+                out.formals.insert((unit, f), k);
+            }
+        }
+    }
+    (out, stats)
 }
 
 #[cfg(test)]

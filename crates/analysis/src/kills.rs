@@ -9,8 +9,9 @@
 //! unconditional assignment `A(subs) = rhs` whose swept section provably
 //! covers the whole of `A`, with no enclosing IF.
 
+use crate::framework::UnitCtx;
 use crate::refs::{ArrayRef, LoopCtx};
-use fortrand_frontend::ast::{LValue, ProcUnit, Stmt, StmtId, StmtKind};
+use fortrand_frontend::ast::{LValue, Stmt, StmtId, StmtKind};
 use fortrand_frontend::sema::{expr_affine, UnitInfo};
 use fortrand_ir::rsd::Rsd;
 use fortrand_ir::{Affine, Sym, SymEnv};
@@ -39,9 +40,9 @@ impl Kills {
 }
 
 /// Computes kill facts for a unit.
-pub fn compute(unit: &ProcUnit, info: &UnitInfo, env: &SymEnv) -> Kills {
+pub fn compute(ctx: &UnitCtx) -> Kills {
     let mut kills = Kills::default();
-    scan(&unit.body, info, env, &mut vec![], &mut kills);
+    scan(&ctx.unit.body, ctx.info, ctx.env, &mut vec![], &mut kills);
     kills
 }
 
@@ -120,7 +121,8 @@ mod tests {
     fn kills_of(src: &str) -> (fortrand_frontend::SourceProgram, Kills) {
         let (p, info) = load_program(src).unwrap();
         let u = &p.units[0];
-        let k = compute(u, info.unit(u.name), &SymEnv::new());
+        let env = SymEnv::new();
+        let k = compute(&UnitCtx::new(u, info.unit(u.name), &env));
         (p, k)
     }
 

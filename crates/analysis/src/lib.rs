@@ -28,6 +28,7 @@ pub mod acg;
 pub mod consts;
 pub mod depend;
 pub mod fixtures;
+pub mod framework;
 pub mod kills;
 pub mod reaching;
 pub mod refs;

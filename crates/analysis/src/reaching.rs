@@ -12,7 +12,9 @@
 //! The inherited placeholder `⊤` of the paper is [`DecompEntry::Inherited`];
 //! after propagation it is expanded from the callee's `Reaching` set.
 
-use crate::acg::Acg;
+use crate::acg::{Acg, CallEdge};
+use crate::framework::{self, AcgGraph, DataflowProblem, SolveStats};
+use crate::registry::Direction;
 use fortrand_frontend::ast::{SourceProgram, Stmt, StmtId, StmtKind};
 use fortrand_frontend::sema::ProgramInfo;
 use fortrand_ir::dist::{Alignment, ArrayDist, DistKind, Distribution};
@@ -150,26 +152,79 @@ impl State {
     }
 }
 
-/// Runs the full interprocedural analysis (Fig. 6's three phases fused:
-/// the call graph is already built, units are visited in topological order,
-/// and per-statement sets are recorded in the same walk).
-pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> ReachingDecomps {
-    let mut out = ReachingDecomps::default();
+/// The reaching-decompositions problem over the ACG: a node's fact maps
+/// each formal array to the decomposition specs reaching it from call
+/// sites. Top-down and flow-sensitive: the transfer function walks the
+/// unit body (recording per-statement sets and call-site bindings as side
+/// facts), and call edges translate the bindings recorded at each site.
+struct ReachingProblem<'a> {
+    prog: &'a SourceProgram,
+    info: &'a ProgramInfo,
+    out: ReachingDecomps,
+}
 
-    for &unit_name in &acg.topo {
-        let unit = prog.unit(unit_name).expect("unit");
-        let ui = info.unit(unit_name);
+impl DataflowProblem<AcgGraph<'_>> for ReachingProblem<'_> {
+    type Fact = BTreeMap<Sym, BTreeSet<DecompSpec>>;
 
-        // Entry state: formals inherit (expanded immediately from
-        // Reaching, which is complete because callers were processed
-        // first); locals start replicated (empty set).
-        let reaching_here: BTreeMap<Sym, BTreeSet<DecompSpec>> =
-            out.reaching.get(&unit_name).cloned().unwrap_or_default();
+    fn name(&self) -> &'static str {
+        "Reaching decompositions"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::TopDown
+    }
+
+    fn boundary(&mut self, _g: &AcgGraph, _n: Sym) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn translate(
+        &mut self,
+        _g: &AcgGraph,
+        edge: &CallEdge,
+        _src: Sym,
+        _src_fact: &Self::Fact,
+    ) -> Vec<Self::Fact> {
+        // The caller's transfer already ran (callers precede callees in
+        // topological order) and recorded the formal bindings at this
+        // call site.
+        vec![self
+            .out
+            .at_call
+            .get(&edge.site)
+            .cloned()
+            .unwrap_or_default()]
+    }
+
+    fn meet(&mut self, acc: &mut Self::Fact, contrib: Self::Fact) {
+        for (formal, specs) in contrib {
+            acc.entry(formal).or_default().extend(specs);
+        }
+    }
+
+    fn transfer(&mut self, g: &AcgGraph, n: Sym, input: Self::Fact) -> Self::Fact {
+        // `Reaching(n)` exists exactly for called units (even when no
+        // binding translated), matching the pre-framework map shape.
+        let called = g
+            .acg
+            .callers
+            .get(&n)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
+        if called {
+            self.out.reaching.insert(n, input.clone());
+        }
+
+        let unit = self.prog.unit(n).expect("unit");
+        let ui = self.info.unit(n);
+
+        // Entry state: formals inherit (expanded immediately from the
+        // met input); locals start replicated (empty set).
         let mut st = State::default();
         for (&v, vi) in &ui.vars {
             if vi.is_array() {
                 let set = if vi.is_formal {
-                    reaching_here
+                    input
                         .get(&v)
                         .map(|s| s.iter().cloned().map(DecompEntry::Spec).collect())
                         .unwrap_or_default()
@@ -188,23 +243,37 @@ pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> ReachingD
         }
 
         let mut walker = Walker {
-            prog,
-            info,
-            unit_name,
-            out: &mut out,
+            prog: self.prog,
+            info: self.info,
+            unit_name: n,
+            out: &mut self.out,
         };
         walker.exec_body(&unit.body, &mut st);
-
-        // Push LocalReaching to callees: Reaching(callee) ∪= translate(...).
-        for edge in acg.calls.get(&unit_name).into_iter().flatten() {
-            let at = out.at_call.get(&edge.site).cloned().unwrap_or_default();
-            let entry = out.reaching.entry(edge.callee).or_default();
-            for (formal, specs) in at {
-                entry.entry(formal).or_default().extend(specs);
-            }
-        }
+        input
     }
-    out
+}
+
+/// Runs the full interprocedural analysis (Fig. 6's three phases fused:
+/// the call graph is already built, units are visited in topological order,
+/// and per-statement sets are recorded in the same walk).
+pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> ReachingDecomps {
+    compute_with_stats(prog, info, acg).0
+}
+
+/// [`compute`], also returning the framework solver's statistics.
+pub fn compute_with_stats(
+    prog: &SourceProgram,
+    info: &ProgramInfo,
+    acg: &Acg,
+) -> (ReachingDecomps, SolveStats) {
+    let g = AcgGraph { acg };
+    let mut problem = ReachingProblem {
+        prog,
+        info,
+        out: ReachingDecomps::default(),
+    };
+    let (_, stats) = framework::solve(&g, &mut problem);
+    (problem.out, stats)
 }
 
 struct Walker<'a> {

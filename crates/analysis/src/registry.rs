@@ -35,6 +35,23 @@ pub enum Phase {
     CodeGeneration,
 }
 
+/// Handle naming a generic-framework solver for a registry row. Rows
+/// with a handle are solved by a [`crate::framework::DataflowProblem`]
+/// implementation driven through [`crate::framework::solve`]; the driver
+/// dispatches on this id so the set of framework-backed analyses lives
+/// in one place.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolverId {
+    /// `fortrand_analysis::reaching::ReachingProblem`.
+    Reaching,
+    /// `fortrand_analysis::consts::ConstsProblem`.
+    Consts,
+    /// `fortrand_analysis::side_effects::SideEffectsProblem`.
+    SideEffects,
+    /// `fortrand_spmd::opt`'s available-sections problem.
+    AvailSections,
+}
+
 /// One Table 1 row.
 #[derive(Clone, Debug)]
 pub struct Problem {
@@ -46,6 +63,10 @@ pub struct Problem {
     pub phase: Phase,
     /// Module implementing it in this repository.
     pub module: &'static str,
+    /// Generic-framework solver for this row, if it has been ported to
+    /// [`crate::framework`]. `None` means the row is solved by bespoke
+    /// code (or structurally, like the call graph itself).
+    pub solver: Option<SolverId>,
 }
 
 /// The full Table 1 inventory.
@@ -58,72 +79,84 @@ pub fn table1() -> Vec<Problem> {
             direction: TopDown,
             phase: Propagation,
             module: "fortrand_analysis::acg",
+            solver: None,
         },
         Problem {
             name: "Loop structure",
             direction: TopDown,
             phase: Propagation,
             module: "fortrand_analysis::acg",
+            solver: None,
         },
         Problem {
             name: "Array aliasing & reshaping",
             direction: TopDown,
             phase: Propagation,
             module: "fortrand_analysis::side_effects (reshape widening) + frontend alias checks",
+            solver: None,
         },
         Problem {
             name: "Scalar & array side effects",
             direction: Bidirectional,
             phase: Propagation,
             module: "fortrand_analysis::side_effects",
+            solver: Some(SolverId::SideEffects),
         },
         Problem {
             name: "Symbolics & constants",
             direction: Bidirectional,
             phase: Propagation,
             module: "fortrand_analysis::consts",
+            solver: Some(SolverId::Consts),
         },
         Problem {
             name: "Reaching decompositions",
             direction: TopDown,
             phase: Propagation,
             module: "fortrand_analysis::reaching",
+            solver: Some(SolverId::Reaching),
         },
         Problem {
             name: "Local iteration sets",
             direction: BottomUp,
             phase: CodeGeneration,
             module: "fortrand::partition",
+            solver: None,
         },
         Problem {
             name: "Nonlocal index sets",
             direction: BottomUp,
             phase: CodeGeneration,
             module: "fortrand::comm",
+            solver: None,
         },
         Problem {
             name: "Overlaps",
             direction: Bidirectional,
             phase: CodeGeneration,
             module: "fortrand::overlap",
+            solver: None,
         },
         Problem {
             name: "Buffers",
             direction: BottomUp,
             phase: CodeGeneration,
             module: "fortrand::storage",
+            solver: None,
         },
         Problem {
             name: "Live decompositions",
             direction: BottomUp,
             phase: CodeGeneration,
             module: "fortrand::dynamic_decomp",
+            solver: None,
         },
         Problem {
             name: "Loop-invariant decomps",
             direction: BottomUp,
             phase: CodeGeneration,
             module: "fortrand::dynamic_decomp",
+            solver: None,
         },
     ]
 }
@@ -143,6 +176,7 @@ pub fn extensions() -> Vec<Problem> {
         direction: Direction::TopDown,
         phase: Phase::CodeGeneration,
         module: "fortrand_spmd::opt",
+        solver: Some(SolverId::AvailSections),
     }]
 }
 
@@ -154,19 +188,24 @@ pub fn render_table1() -> String {
          ------------------------------------------------------------\n",
     );
     out.push_str(&format!(
-        "{:<28} {:>4}  {:<16} {}\n",
-        "Problem", "Dir", "Phase", "Module"
+        "{:<28} {:>4}  {:<16} {:<10} {}\n",
+        "Problem", "Dir", "Phase", "Solver", "Module"
     ));
     let emit = |out: &mut String, r: &Problem| {
         let phase = match r.phase {
             Phase::Propagation => "propagation",
             Phase::CodeGeneration => "code generation",
         };
+        let solver = match r.solver {
+            Some(_) => "framework",
+            None => "bespoke",
+        };
         out.push_str(&format!(
-            "{:<28} {:>4}  {:<16} {}\n",
+            "{:<28} {:>4}  {:<16} {:<10} {}\n",
             r.name,
             r.direction.glyph(),
             phase,
+            solver,
             r.module
         ));
     };
@@ -210,6 +249,21 @@ mod tests {
         for p in extensions() {
             assert!(text.contains(p.name), "missing extension {}", p.name);
         }
+    }
+
+    #[test]
+    fn exactly_four_rows_carry_framework_solvers() {
+        let all: Vec<Problem> = table1().into_iter().chain(extensions()).collect();
+        let solved: Vec<_> = all.iter().filter_map(|p| p.solver).collect();
+        assert_eq!(
+            solved,
+            vec![
+                SolverId::SideEffects,
+                SolverId::Consts,
+                SolverId::Reaching,
+                SolverId::AvailSections,
+            ]
+        );
     }
 
     #[test]

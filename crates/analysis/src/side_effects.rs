@@ -8,7 +8,9 @@
 //! cloning filter (Fig. 8).
 
 use crate::acg::{Acg, CallEdge};
+use crate::framework::{self, AcgGraph, DataflowProblem, SolveStats};
 use crate::refs::collect_refs;
+use crate::registry::Direction;
 use fortrand_frontend::ast::{Expr, LValue, SourceProgram, StmtKind};
 use fortrand_frontend::sema::{expr_affine, ProgramInfo};
 use fortrand_ir::rsd::Rsd;
@@ -102,13 +104,32 @@ impl SideEffects {
     }
 }
 
-/// Computes GMOD/GREF bottom-up (reverse topological order).
-pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> SideEffects {
-    let env = SymEnv::new();
-    let mut se = SideEffects::default();
-    for name in acg.reverse_topo() {
-        let unit = prog.unit(name).expect("unit in ACG");
-        let ui = info.unit(name);
+/// The GMOD/GREF problem over the ACG: a node's fact is its
+/// [`UnitEffects`] summary (itself + descendants). The boundary value is
+/// the unit's *local* effects; each call edge contributes the callee's
+/// summary translated through the formal/actual bindings, met in call-list
+/// order (section widening is order-sensitive, so the fold order of the
+/// pre-framework pass is preserved exactly).
+struct SideEffectsProblem<'a> {
+    prog: &'a SourceProgram,
+    info: &'a ProgramInfo,
+    env: SymEnv,
+}
+
+impl DataflowProblem<AcgGraph<'_>> for SideEffectsProblem<'_> {
+    type Fact = UnitEffects;
+
+    fn name(&self) -> &'static str {
+        "Scalar & array side effects"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::BottomUp
+    }
+
+    fn boundary(&mut self, _g: &AcgGraph, n: Sym) -> UnitEffects {
+        let unit = self.prog.unit(n).expect("unit in ACG");
+        let ui = self.info.unit(n);
         let mut eff = UnitEffects::default();
 
         // Local array references.
@@ -122,7 +143,7 @@ pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> SideEffec
                 .entry(r.array)
                 .or_insert_with(|| Sections::Some(vec![]));
             match r.swept_rsd() {
-                Some(rsd) => entry.add(rsd, &env),
+                Some(rsd) => entry.add(rsd, &self.env),
                 None => *entry = Sections::Whole,
             }
         }
@@ -160,34 +181,75 @@ pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> SideEffec
                 _ => {}
             }
         }
-
-        // Call effects, translated.
-        for edge in acg.calls.get(&name).into_iter().flatten() {
-            let callee_eff = se.units.get(&edge.callee).cloned().unwrap_or_default();
-            let (tmods, trefs) = translate_effects(&callee_eff, edge, info, &env);
-            for (v, s) in tmods.0 {
-                eff.mod_arrays
-                    .entry(v)
-                    .or_insert_with(|| Sections::Some(vec![]))
-                    .merge(&s, &env);
-            }
-            for v in tmods.1 {
-                eff.mod_scalars.insert(v);
-            }
-            for (v, s) in trefs.0 {
-                eff.ref_arrays
-                    .entry(v)
-                    .or_insert_with(|| Sections::Some(vec![]))
-                    .merge(&s, &env);
-            }
-            for v in trefs.1 {
-                eff.ref_scalars.insert(v);
-            }
-        }
-
-        se.units.insert(name, eff);
+        eff
     }
-    se
+
+    fn translate(
+        &mut self,
+        _g: &AcgGraph,
+        edge: &CallEdge,
+        _src: Sym,
+        callee_eff: &UnitEffects,
+    ) -> Vec<UnitEffects> {
+        let (tmods, trefs) = translate_effects(callee_eff, edge, self.info, &self.env);
+        vec![UnitEffects {
+            mod_arrays: tmods.0,
+            mod_scalars: tmods.1,
+            ref_arrays: trefs.0,
+            ref_scalars: trefs.1,
+        }]
+    }
+
+    fn meet(&mut self, acc: &mut UnitEffects, contrib: UnitEffects) {
+        for (v, s) in contrib.mod_arrays {
+            acc.mod_arrays
+                .entry(v)
+                .or_insert_with(|| Sections::Some(vec![]))
+                .merge(&s, &self.env);
+        }
+        for v in contrib.mod_scalars {
+            acc.mod_scalars.insert(v);
+        }
+        for (v, s) in contrib.ref_arrays {
+            acc.ref_arrays
+                .entry(v)
+                .or_insert_with(|| Sections::Some(vec![]))
+                .merge(&s, &self.env);
+        }
+        for v in contrib.ref_scalars {
+            acc.ref_scalars.insert(v);
+        }
+    }
+
+    fn transfer(&mut self, _g: &AcgGraph, _n: Sym, input: UnitEffects) -> UnitEffects {
+        input
+    }
+}
+
+/// Computes GMOD/GREF bottom-up (reverse topological order).
+pub fn compute(prog: &SourceProgram, info: &ProgramInfo, acg: &Acg) -> SideEffects {
+    compute_with_stats(prog, info, acg).0
+}
+
+/// [`compute`], also returning the framework solver's statistics.
+pub fn compute_with_stats(
+    prog: &SourceProgram,
+    info: &ProgramInfo,
+    acg: &Acg,
+) -> (SideEffects, SolveStats) {
+    let g = AcgGraph { acg };
+    let mut problem = SideEffectsProblem {
+        prog,
+        info,
+        env: SymEnv::new(),
+    };
+    let (facts, stats) = framework::solve(&g, &mut problem);
+    (
+        SideEffects {
+            units: facts.into_iter().collect(),
+        },
+        stats,
+    )
 }
 
 type Translated = (BTreeMap<Sym, Sections>, BTreeSet<Sym>);

@@ -45,6 +45,28 @@ fn main() {
     if want("tab1") {
         banner("TABLE 1 — interprocedural dataflow problems");
         println!("{}", fortrand_analysis::registry::render_table1());
+        // Live solve statistics for the framework-backed rows, from a
+        // compile of Fig. 4 (dynamic — not part of the golden table).
+        let out = compile(FIG4, &CompileOptions::default()).unwrap();
+        println!("framework solver runs (Fig. 4 compile):");
+        for st in &out.report.pass_stats {
+            println!("  {}", st.render());
+        }
+    }
+    if want("passes") {
+        banner("PASSES — framework solver statistics per compile");
+        for (label, src) in [
+            ("fig1", FIG1.to_string()),
+            ("fig4", FIG4.to_string()),
+            ("fig15", FIG15.to_string()),
+            ("dgefa n=64 p=4", dgefa_source(64, 4)),
+        ] {
+            let out = compile(&src, &CompileOptions::default()).unwrap();
+            println!("{label}:");
+            for st in &out.report.pass_stats {
+                println!("  {}", st.render());
+            }
+        }
     }
     if want("fig4") {
         banner("FIG 4 — input program");

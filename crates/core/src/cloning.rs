@@ -18,6 +18,7 @@
 //! threshold program growth has been exceeded").
 
 use fortrand_analysis::acg::build_acg;
+use fortrand_analysis::framework::SolveStats;
 use fortrand_analysis::reaching::{self, DecompSpec};
 use fortrand_analysis::side_effects;
 use fortrand_analysis::{Acg, ReachingDecomps};
@@ -37,6 +38,10 @@ pub struct CloneResult {
     pub acg: Acg,
     /// Fresh reaching decompositions.
     pub reaching: ReachingDecomps,
+    /// Solver statistics for the final reaching solve, with `iterations`
+    /// set to the number of cloning rounds (the analysis is re-solved
+    /// from scratch once per round).
+    pub reaching_stats: SolveStats,
     /// Clones created: original name → clone names in partition order.
     pub clones: BTreeMap<Sym, Vec<Sym>>,
     /// Units that still have multiple reaching decompositions (cloning
@@ -56,11 +61,14 @@ pub fn clone_for_decompositions(
     let mut clones: BTreeMap<Sym, Vec<Sym>> = BTreeMap::new();
     let mut total_clones = 0usize;
     let mut unresolved: Vec<Sym> = Vec::new();
+    let mut rounds = 0usize;
 
     loop {
         let info = analyze(&mut prog).map_err(|e| e.to_string())?;
         let acg = build_acg(&prog, &info)?;
-        let rd = reaching::compute(&prog, &info, &acg);
+        let (rd, mut rd_stats) = reaching::compute_with_stats(&prog, &info, &acg);
+        rounds += 1;
+        rd_stats.iterations = rounds;
         let se = side_effects::compute(&prog, &info, &acg);
 
         // Find the first unit (in topological order) needing cloning.
@@ -107,6 +115,7 @@ pub fn clone_for_decompositions(
                 info,
                 acg,
                 reaching: rd,
+                reaching_stats: rd_stats,
                 clones,
                 unresolved,
             });

@@ -20,18 +20,22 @@ use crate::model::{DynOptLevel, Strategy};
 use crate::overlap::{self, Overlaps};
 use fortrand_analysis::acg::Acg;
 use fortrand_analysis::consts::InterConsts;
+use fortrand_analysis::framework::{FactStore, SolveStats};
 use fortrand_analysis::reaching::ReachingDecomps;
+use fortrand_analysis::registry::{self, SolverId};
 use fortrand_analysis::side_effects::SideEffects;
 use fortrand_analysis::{consts, side_effects};
 use fortrand_frontend::parse_program;
 use fortrand_frontend::sema::ProgramInfo;
 use fortrand_frontend::SourceProgram;
-use fortrand_ir::{Interner, Sym};
+use fortrand_ir::Sym;
 use fortrand_spmd::ir::{SStmt, SpmdProgram};
 use fortrand_spmd::opt::{self, CommOpt, OptReport};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+
+pub(crate) use fortrand_analysis::framework::stable_hash;
 
 /// How the code-generation phase is scheduled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,8 +126,18 @@ pub struct CompileReport {
     pub static_marks: usize,
     /// Per-unit source hashes (recompilation analysis input).
     pub source_hashes: BTreeMap<String, u64>,
-    /// Per-unit hashes of consumed interprocedural facts.
+    /// Per-unit hashes of consumed interprocedural facts — the *monolithic*
+    /// digest (all fact classes concatenated, optimizer decisions folded
+    /// in). Kept for §8 reporting and as the baseline the per-class
+    /// digests in [`CompileReport::facts`] improve on.
     pub fact_hashes: BTreeMap<String, u64>,
+    /// Per-`(problem, unit)` fact digests: the same information as
+    /// [`CompileReport::fact_hashes`] but split by fact class (`reaching`,
+    /// `constants`, `overlaps`, `residuals`, `comm`), so an edit
+    /// perturbing one class invalidates only its consumers.
+    pub facts: FactStore,
+    /// Per-problem solver statistics, in the order the problems ran.
+    pub pass_stats: Vec<SolveStats>,
     /// What the communication optimizer did.
     pub comm: OptReport,
 }
@@ -153,6 +167,7 @@ pub(crate) struct Analysis {
     pub ic: InterConsts,
     pub se: SideEffects,
     pub overlaps: Overlaps,
+    pub pass_stats: Vec<SolveStats>,
 }
 
 impl Analysis {
@@ -182,6 +197,7 @@ pub(crate) fn analyze(source: &str, opts: &CompileOptions) -> Result<Analysis, C
         info,
         acg,
         reaching,
+        reaching_stats,
         clones,
         unresolved,
     } = clone_for_decompositions(parsed, opts.clone_limit).map_err(CompileError::Graph)?;
@@ -200,14 +216,40 @@ pub(crate) fn analyze(source: &str, opts: &CompileOptions) -> Result<Analysis, C
         .unwrap_or(1)
         .max(1);
 
-    // Phase 2b: remaining propagation problems.
+    // Phase 2b: remaining propagation problems, driven through the
+    // registry — each Table 1 row carrying a framework solver handle runs
+    // here, in registry order (available-sections runs post-codegen in
+    // [`compile`]; reaching was already solved as the cloning fixpoint,
+    // so its row just records the stats).
     let mut acg = acg;
-    let ic = consts::compute(&info, &acg);
-    // Interprocedural constants sharpen loop bounds, which in turn sharpen
-    // the ACG's formal-range annotations (needed by the symbolic section
-    // algebra for dgefa-style `k ≤ n-1` facts).
-    fortrand_analysis::acg::refine_formal_ranges(&mut acg, &info, &|u| ic.params_for(u, &info));
-    let se = side_effects::compute(&prog, &info, &acg);
+    let mut pass_stats: Vec<SolveStats> = Vec::new();
+    let mut ic = None;
+    let mut se = None;
+    for row in registry::table1() {
+        match row.solver {
+            Some(SolverId::SideEffects) => {
+                let (r, st) = side_effects::compute_with_stats(&prog, &info, &acg);
+                se = Some(r);
+                pass_stats.push(st);
+            }
+            Some(SolverId::Consts) => {
+                let (r, st) = consts::compute_with_stats(&info, &acg);
+                pass_stats.push(st);
+                // Interprocedural constants sharpen loop bounds, which in
+                // turn sharpen the ACG's formal-range annotations (needed
+                // by the symbolic section algebra for dgefa-style
+                // `k ≤ n-1` facts).
+                fortrand_analysis::acg::refine_formal_ranges(&mut acg, &info, &|u| {
+                    r.params_for(u, &info)
+                });
+                ic = Some(r);
+            }
+            Some(SolverId::Reaching) => pass_stats.push(reaching_stats.clone()),
+            Some(SolverId::AvailSections) | None => {}
+        }
+    }
+    let ic = ic.expect("registry carries the constants row");
+    let se = se.expect("registry carries the side-effects row");
     let overlaps = overlap::compute(&prog, &info, &acg);
 
     Ok(Analysis {
@@ -222,6 +264,7 @@ pub(crate) fn analyze(source: &str, opts: &CompileOptions) -> Result<Analysis, C
         ic,
         se,
         overlaps,
+        pass_stats,
     })
 }
 
@@ -239,9 +282,9 @@ pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompileOutput, Com
     .map_err(CompileError::Codegen)?;
 
     // Between codegen and emit: the communication optimization pass.
-    let comm = opt::optimize(&mut spmd, opts.comm_opt);
+    let (comm, comm_stats) = opt::optimize_with_stats(&mut spmd, opts.comm_opt);
 
-    let report = build_report(&an, &spmd, &compiled, comm);
+    let report = build_report(&an, &spmd, &compiled, comm, comm_stats);
     Ok(CompileOutput { spmd, report })
 }
 
@@ -252,6 +295,7 @@ pub(crate) fn build_report(
     spmd: &SpmdProgram,
     compiled: &BTreeMap<Sym, CompiledUnit>,
     comm: OptReport,
+    comm_stats: Vec<SolveStats>,
 ) -> CompileReport {
     let mut report = CompileReport {
         nprocs: an.nprocs,
@@ -268,8 +312,10 @@ pub(crate) fn build_report(
                 )
             })
             .collect(),
+        pass_stats: an.pass_stats.clone(),
         ..Default::default()
     };
+    report.pass_stats.extend(comm_stats);
     for p in &spmd.procs {
         count_static(&p.body, &mut report);
     }
@@ -280,9 +326,14 @@ pub(crate) fn build_report(
             stable_hash(&unit_fingerprint(u), &an.prog.interner),
         );
         report.fact_hashes.insert(
-            name,
+            name.clone(),
             stable_hash(&unit_facts(an, u.name, compiled), &an.prog.interner),
         );
+        for (class, rendered) in unit_fact_classes(an, u, compiled) {
+            report
+                .facts
+                .record(class, &name, &rendered, &an.prog.interner);
+        }
     }
     // Fold the optimizer's per-procedure decisions into the fact hashes:
     // a unit whose communication was rewritten based on interprocedural
@@ -294,6 +345,7 @@ pub(crate) fn build_report(
             .entry(pname.clone())
             .and_modify(|e| *e ^= h)
             .or_insert(h);
+        report.facts.record_digest("comm", pname, h);
     }
     report.comm = comm;
     report
@@ -301,32 +353,102 @@ pub(crate) fn build_report(
 
 /// Renders the interprocedural facts unit `name`'s compiled code depends
 /// on: its reaching decompositions, the interprocedural constants of its
-/// formals, its overlap widths, and its callees' residuals.
+/// formals, its overlap widths, and its callees' residuals — concatenated
+/// into the monolithic digest input (every formal constant included,
+/// mentioned or not: the baseline the per-class digests improve on).
 pub(crate) fn unit_facts(
     an: &Analysis,
     name: Sym,
     compiled: &BTreeMap<Sym, CompiledUnit>,
 ) -> String {
-    let mut facts = String::new();
-    if let Some(r) = an.reaching.reaching.get(&name) {
-        facts.push_str(&format!("{r:?}"));
-    }
+    let mut facts = facts_reaching(an, name);
     for (&(unit, f), v) in &an.ic.formals {
         if unit == name {
             facts.push_str(&format!("{f:?}={v};"));
         }
     }
+    facts.push_str(&facts_overlaps(an, name));
+    facts.push_str(&facts_residuals(an, name, compiled));
+    facts
+}
+
+/// The reaching-decompositions fact class: the decomposition sets flowing
+/// into the unit.
+fn facts_reaching(an: &Analysis, name: Sym) -> String {
+    an.reaching
+        .reaching
+        .get(&name)
+        .map(|r| format!("{r:?}"))
+        .unwrap_or_default()
+}
+
+/// The interprocedural-constants fact class, restricted to formals the
+/// unit actually *mentions* (in executable statements or declarations —
+/// adjustable array bounds count). A constant propagated into a formal
+/// the unit never reads cannot affect its code, so it is excluded: this
+/// is what lets a constants-only edit skip units that ignore the edited
+/// constant, where the monolithic hash recompiled them.
+fn facts_constants(an: &Analysis, name: Sym, mention_hay: &str) -> String {
+    let mut s = String::new();
+    for (&(unit, f), v) in &an.ic.formals {
+        if unit == name && mention_hay.contains(&format!("{f:?}")) {
+            s.push_str(&format!("{f:?}={v};"));
+        }
+    }
+    s
+}
+
+/// The overlap-widths fact class.
+fn facts_overlaps(an: &Analysis, name: Sym) -> String {
+    let mut s = String::new();
     for ((unit, arr), w) in &an.overlaps.widths {
         if *unit == name {
-            facts.push_str(&format!("{arr:?}:{w:?};"));
+            s.push_str(&format!("{arr:?}:{w:?};"));
         }
     }
+    s
+}
+
+/// The callee-residuals fact class: the delayed-instantiation summaries
+/// of every callee, in call order.
+fn facts_residuals(an: &Analysis, name: Sym, compiled: &BTreeMap<Sym, CompiledUnit>) -> String {
+    let mut s = String::new();
     for edge in an.acg.calls.get(&name).into_iter().flatten() {
         if let Some(cu) = compiled.get(&edge.callee) {
-            facts.push_str(&format!("{:?}{:?}", cu.residual, cu.dyn_summary));
+            s.push_str(&format!("{:?}{:?}", cu.residual, cu.dyn_summary));
         }
     }
-    facts
+    s
+}
+
+/// Everywhere a unit can mention a symbol: its declarations (array bounds
+/// may reference formals) and the debug-rendered kinds of its executable
+/// statements. Deliberately excludes the formal *list* itself — appearing
+/// as a parameter is not a use.
+fn mention_haystack(u: &fortrand_frontend::ProcUnit) -> String {
+    let mut s = format!("{:?}|", u.decls);
+    for st in u.walk() {
+        s.push_str(&kind_tag(&st.kind));
+        s.push(';');
+    }
+    s
+}
+
+/// The per-class fact renderings for one unit, keyed by fact-class name.
+/// Shared by [`build_report`] and the incremental engine's sweep so both
+/// compute identical digests.
+pub(crate) fn unit_fact_classes(
+    an: &Analysis,
+    u: &fortrand_frontend::ProcUnit,
+    compiled: &BTreeMap<Sym, CompiledUnit>,
+) -> Vec<(&'static str, String)> {
+    let hay = mention_haystack(u);
+    vec![
+        ("reaching", facts_reaching(an, u.name)),
+        ("constants", facts_constants(an, u.name, &hay)),
+        ("overlaps", facts_overlaps(an, u.name)),
+        ("residuals", facts_residuals(an, u.name, compiled)),
+    ]
 }
 
 fn count_static(body: &[SStmt], r: &mut CompileReport) {
@@ -353,10 +475,13 @@ fn count_static(body: &[SStmt], r: &mut CompileReport) {
     }
 }
 
-/// A stable structural fingerprint of a unit (names + statement kinds),
-/// independent of statement ids so cloning renumbering doesn't perturb it.
+/// A stable structural fingerprint of a unit (names + declarations +
+/// statement kinds), independent of statement ids so cloning renumbering
+/// doesn't perturb it. Declarations participate because they change
+/// generated code without appearing as statements — a `PARAMETER` value
+/// edit must read as a source change.
 pub(crate) fn unit_fingerprint(u: &fortrand_frontend::ProcUnit) -> String {
-    let mut s = format!("{:?}|{:?}|{:?}|", u.kind, u.name, u.formals);
+    let mut s = format!("{:?}|{:?}|{:?}|{:?}|", u.kind, u.name, u.formals, u.decls);
     for st in u.walk() {
         s.push_str(&format!("{:?};", kind_tag(&st.kind)));
     }
@@ -390,42 +515,6 @@ fn hash_of(s: &str) -> u64 {
     let mut h = DefaultHasher::new();
     s.hash(&mut h);
     h.finish()
-}
-
-/// Hashes a debug-rendered fact string after resolving `Sym(<id>)`
-/// occurrences to `Sym(<name>)`.
-///
-/// Interner ids are assigned in parse order, so an edit that adds or
-/// removes an identifier early in the file shifts the ids of every later
-/// symbol — which would spuriously change the hashes of *unedited* units
-/// and defeat the §8 recompilation analysis. Resolving ids to names makes
-/// the hashes depend only on what the facts actually say.
-pub(crate) fn stable_hash(s: &str, interner: &Interner) -> u64 {
-    hash_of(&resolve_syms(s, interner))
-}
-
-fn resolve_syms(s: &str, interner: &Interner) -> String {
-    let mut out = String::with_capacity(s.len());
-    let mut rest = s;
-    while let Some(pos) = rest.find("Sym(") {
-        let (before, after) = rest.split_at(pos + 4);
-        out.push_str(before);
-        match after.find(')') {
-            Some(end) if after[..end].bytes().all(|b| b.is_ascii_digit()) && end > 0 => {
-                let id: usize = after[..end].parse().expect("digits");
-                if id < interner.len() {
-                    out.push_str(interner.name(Sym(id as u32)));
-                } else {
-                    out.push_str(&after[..end]);
-                }
-                out.push(')');
-                rest = &after[end + 1..];
-            }
-            _ => rest = after,
-        }
-    }
-    out.push_str(rest);
-    out
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //!   before any read becomes an in-place re-marking — Fig. 16c → 16d.
 
 use crate::model::{DynDecompSummary, DynOptLevel};
+use fortrand_analysis::framework::UnitCtx;
 use fortrand_analysis::kills;
 use fortrand_analysis::reaching::{DecompSpec, ReachingDecomps};
 use fortrand_analysis::side_effects::SideEffects;
@@ -65,7 +66,8 @@ pub fn summarize(
     let mut s = DynDecompSummary::default();
     // Arrays whose values are fully killed before any read: killed
     // somewhere and never read by this unit or its descendants.
-    let k = kills::compute(unit, ui, &SymEnv::new());
+    let env = SymEnv::new();
+    let k = kills::compute(&UnitCtx::new(unit, ui, &env));
     let my_eff = se.unit(unit.name);
     for &a in &k.anywhere {
         if !my_eff.ref_arrays.contains_key(&a) {

@@ -27,8 +27,8 @@
 
 use crate::codegen::{self, CompiledUnit};
 use crate::driver::{
-    analyze, build_report, stable_hash, unit_facts, unit_fingerprint, CompileError, CompileOptions,
-    CompileReport,
+    analyze, build_report, stable_hash, unit_fact_classes, unit_fingerprint, CompileError,
+    CompileOptions, CompileReport,
 };
 use crate::model::{CommPattern, DynDecompSummary, Residual};
 use crate::recompile::{ModuleDb, Reason, UnitRecord};
@@ -139,7 +139,8 @@ impl IncrementalEngine {
         let mut proc_index: BTreeMap<String, usize> = BTreeMap::new();
         let mut recompiled: BTreeMap<String, Reason> = BTreeMap::new();
         let mut reused: Vec<String> = Vec::new();
-        let mut sweep_hashes: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        #[allow(clippy::type_complexity)]
+        let mut sweep_hashes: BTreeMap<String, (u64, BTreeMap<String, u64>)> = BTreeMap::new();
 
         let ctx = an.ctx(opts.dyn_opt);
         for name in an.acg.reverse_topo() {
@@ -151,13 +152,21 @@ impl IncrementalEngine {
             let source_hash = stable_hash(&unit_fingerprint(unit), &an.prog.interner);
             // Callees were decided earlier in the sweep, so the facts this
             // unit's code would consume are fully known before we choose.
-            let facts_hash = stable_hash(&unit_facts(&an, name, &compiled), &an.prog.interner);
-            sweep_hashes.insert(name_str.clone(), (source_hash, facts_hash));
+            // Per-class digests: a unit is reusable only when *every* fact
+            // class it consumes is unchanged, and an edit perturbing one
+            // class leaves units that don't consume it untouched.
+            let digests: BTreeMap<String, u64> = unit_fact_classes(&an, unit, &compiled)
+                .into_iter()
+                .map(|(class, rendered)| {
+                    (class.to_string(), stable_hash(&rendered, &an.prog.interner))
+                })
+                .collect();
+            sweep_hashes.insert(name_str.clone(), (source_hash, digests.clone()));
 
             let decision = match self.db.units.get(&name_str) {
                 Some(rec)
                     if rec.source_hash == source_hash
-                        && rec.facts_hash == facts_hash
+                        && rec.digests == digests
                         && self.cache.contains_key(&name_str) =>
                 {
                     None
@@ -200,19 +209,19 @@ impl IncrementalEngine {
         self.db = ModuleDb::default();
         for (name, cu) in &compiled {
             let name_str = an.prog.interner.name(*name).to_string();
-            let (source_hash, facts_hash) = sweep_hashes[&name_str];
+            let (source_hash, digests) = sweep_hashes[&name_str].clone();
             self.db.units.insert(
                 name_str.clone(),
                 UnitRecord {
                     source_hash,
-                    facts_hash,
+                    digests,
                 },
             );
             self.cache.insert(name_str, densify(cu, &spmd, &proc_index));
         }
 
-        let comm = fortrand_spmd::opt::optimize(&mut spmd, opts.comm_opt);
-        let report = build_report(&an, &spmd, &compiled, comm);
+        let (comm, comm_stats) = fortrand_spmd::opt::optimize_with_stats(&mut spmd, opts.comm_opt);
+        let report = build_report(&an, &spmd, &compiled, comm, comm_stats);
 
         Ok(IncrementalOutput {
             spmd,

@@ -27,8 +27,12 @@ pub struct ModuleDb {
 pub struct UnitRecord {
     /// Hash of the unit's own source (structural fingerprint).
     pub source_hash: u64,
-    /// Hash of the interprocedural facts the unit's code consumed.
-    pub facts_hash: u64,
+    /// Per-fact-class digests of the interprocedural facts the unit's
+    /// code consumed, keyed by fact-class name (`reaching`, `constants`,
+    /// `overlaps`, `residuals`, `comm`). Comparing class-by-class is what
+    /// lets an edit that perturbs only one class skip units that don't
+    /// consume it.
+    pub digests: BTreeMap<String, u64>,
 }
 
 impl ModuleDb {
@@ -36,12 +40,11 @@ impl ModuleDb {
     pub fn from_report(report: &CompileReport) -> Self {
         let mut db = ModuleDb::default();
         for (name, &source_hash) in &report.source_hashes {
-            let facts_hash = report.fact_hashes.get(name).copied().unwrap_or(0);
             db.units.insert(
                 name.clone(),
                 UnitRecord {
                     source_hash,
-                    facts_hash,
+                    digests: report.facts.unit_digests(name),
                 },
             );
         }
@@ -55,11 +58,16 @@ impl ModuleDb {
             .units
             .iter()
             .map(|(name, rec)| {
+                let digests = rec
+                    .digests
+                    .iter()
+                    .map(|(class, &d)| (class.clone(), Json::hex_u64(d)))
+                    .collect();
                 (
                     name.clone(),
                     Json::Obj(vec![
                         ("source_hash".into(), Json::hex_u64(rec.source_hash)),
-                        ("facts_hash".into(), Json::hex_u64(rec.facts_hash)),
+                        ("digests".into(), Json::Obj(digests)),
                     ]),
                 )
             })
@@ -80,15 +88,22 @@ impl ModuleDb {
                 .get("source_hash")
                 .and_then(Json::as_hex_u64)
                 .ok_or_else(|| format!("module db: unit {name}: bad source_hash"))?;
-            let facts_hash = rec
-                .get("facts_hash")
-                .and_then(Json::as_hex_u64)
-                .ok_or_else(|| format!("module db: unit {name}: bad facts_hash"))?;
+            let digest_obj = rec
+                .get("digests")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("module db: unit {name}: bad digests"))?;
+            let mut digests = BTreeMap::new();
+            for (class, v) in digest_obj {
+                let d = v
+                    .as_hex_u64()
+                    .ok_or_else(|| format!("module db: unit {name}: bad digest for {class}"))?;
+                digests.insert(class.clone(), d);
+            }
             db.units.insert(
                 name.clone(),
                 UnitRecord {
                     source_hash,
-                    facts_hash,
+                    digests,
                 },
             );
         }
@@ -139,7 +154,7 @@ pub fn plan(old: &ModuleDb, new: &ModuleDb) -> RecompilePlan {
             Some(prev) => {
                 if prev.source_hash != rec.source_hash {
                     out.recompile.insert(name.clone(), Reason::SourceChanged);
-                } else if prev.facts_hash != rec.facts_hash {
+                } else if prev.digests != rec.digests {
                     out.recompile.insert(name.clone(), Reason::FactsChanged);
                 } else {
                     out.skip.push(name.clone());

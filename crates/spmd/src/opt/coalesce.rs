@@ -1,0 +1,354 @@
+use crate::ir::{BcastPart, SExpr, SRect, SStmt, SpmdProgram};
+use fortrand_ir::dist::ArrayDist;
+use fortrand_ir::rsd::{Rsd, Triplet};
+use fortrand_ir::symenv::SymEnv;
+use fortrand_ir::{Affine, Sym};
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::dataflow::{linearize, mentions_any, syn_eq, visit_expr};
+use super::OptReport;
+
+// ---------------------------------------------------------------------------
+// Message coalescing: pack broadcast runs, merge adjacent section transfers
+// ---------------------------------------------------------------------------
+
+/// True if `e` reads an element (or the current owner) of any array in `w`.
+fn elem_reads_any(e: &SExpr, w: &BTreeSet<Sym>) -> bool {
+    let mut hit = false;
+    visit_expr(e, &mut |x| match x {
+        SExpr::Elem { array, .. } | SExpr::CurOwner { array, .. } if w.contains(array) => {
+            hit = true;
+        }
+        _ => {}
+    });
+    hit
+}
+
+/// Converts a section bound to the RSD bound language (affine over plain
+/// scalar symbols) so [`Rsd::adjacency`] can judge it.
+fn sexpr_to_affine(e: &SExpr) -> Option<Affine> {
+    let lin = linearize(e)?;
+    let mut acc = Affine::konst(lin.konst);
+    for (atom, c) in &lin.terms {
+        match atom {
+            SExpr::Var(s) => acc = acc + Affine::sym(*s).scale(*c),
+            _ => return None,
+        }
+    }
+    Some(acc)
+}
+
+fn rect_to_rsd(r: &SRect) -> Option<Rsd> {
+    let mut dims = Vec::with_capacity(r.dims.len());
+    for (lo, hi, step) in &r.dims {
+        if *step != 1 {
+            return None;
+        }
+        dims.push(Triplet::new(sexpr_to_affine(lo)?, sexpr_to_affine(hi)?));
+    }
+    Some(Rsd::new(dims))
+}
+
+/// Merges two section rectangles that concatenate along one dimension. The
+/// merged payload must equal `payload(a) ++ payload(b)` under the
+/// interpreter's last-dimension-fastest iteration order, which holds exactly
+/// when every dimension slower than the seam is degenerate.
+pub(super) fn merge_rects(s1: &SRect, s2: &SRect, dists: &[ArrayDist]) -> Option<SRect> {
+    let r1 = rect_to_rsd(s1)?;
+    let r2 = rect_to_rsd(s2)?;
+    let d = r1.adjacency(&r2, &SymEnv::new())?;
+    for k in 0..d {
+        if !syn_eq(&s1.dims[k].0, &s1.dims[k].1, dists) {
+            return None;
+        }
+    }
+    let mut dims = s1.dims.clone();
+    dims[d] = (s1.dims[d].0.clone(), s2.dims[d].1.clone(), 1);
+    Some(SRect { dims })
+}
+
+/// If statement `a` immediately followed by `b` is a mergeable send or
+/// receive pair, returns `(a.tag, b.tag, merged)`. The merged statement
+/// reuses `a`'s tag; committing the merge is gated on tag accounting so the
+/// matching endpoint merges too.
+fn merge_pair(a: &SStmt, b: &SStmt, dists: &[ArrayDist]) -> Option<(u64, u64, SStmt)> {
+    match (a, b) {
+        (
+            SStmt::Send {
+                to: to1,
+                tag: t1,
+                array: a1,
+                section: s1,
+            },
+            SStmt::Send {
+                to: to2,
+                tag: t2,
+                array: a2,
+                section: s2,
+            },
+        ) if a1 == a2 && t1 != t2 && syn_eq(to1, to2, dists) => {
+            let section = merge_rects(s1, s2, dists)?;
+            Some((
+                *t1,
+                *t2,
+                SStmt::Send {
+                    to: to1.clone(),
+                    tag: *t1,
+                    array: *a1,
+                    section,
+                },
+            ))
+        }
+        (
+            SStmt::Recv {
+                from: f1,
+                tag: t1,
+                array: a1,
+                section: s1,
+            },
+            SStmt::Recv {
+                from: f2,
+                tag: t2,
+                array: a2,
+                section: s2,
+            },
+        ) if a1 == a2 && t1 != t2 && syn_eq(f1, f2, dists) => {
+            let section = merge_rects(s1, s2, dists)?;
+            Some((
+                *t1,
+                *t2,
+                SStmt::Recv {
+                    from: f1.clone(),
+                    tag: *t1,
+                    array: *a1,
+                    section,
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn count_tags(stmts: &[SStmt], occ: &mut BTreeMap<u64, usize>) {
+    for s in stmts {
+        match s {
+            SStmt::Send { tag, .. }
+            | SStmt::Recv { tag, .. }
+            | SStmt::SendElem { tag, .. }
+            | SStmt::RecvElem { tag, .. } => *occ.entry(*tag).or_insert(0) += 1,
+            SStmt::Do { body, .. } => count_tags(body, occ),
+            SStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                count_tags(then_body, occ);
+                count_tags(else_body, occ);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One traversal shared by the counting and rewriting passes so both see
+/// identical candidate pairs. `committed = None` counts candidates into
+/// `pair_count`; `Some(set)` replaces committed pairs with their merge.
+fn pair_walk(
+    stmts: Vec<SStmt>,
+    dists: &[ArrayDist],
+    committed: Option<&BTreeSet<(u64, u64)>>,
+    pair_count: &mut BTreeMap<(u64, u64), usize>,
+    merged_msgs: &mut usize,
+) -> Vec<SStmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut it = stmts.into_iter().peekable();
+    while let Some(s) = it.next() {
+        let s = match s {
+            SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body: pair_walk(body, dists, committed, pair_count, merged_msgs),
+            },
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => SStmt::If {
+                cond,
+                then_body: pair_walk(then_body, dists, committed, pair_count, merged_msgs),
+                else_body: pair_walk(else_body, dists, committed, pair_count, merged_msgs),
+            },
+            other => other,
+        };
+        let cand = it.peek().and_then(|nxt| merge_pair(&s, nxt, dists));
+        match cand {
+            Some((t1, t2, m)) => {
+                let nxt = it.next().expect("peeked");
+                match committed {
+                    None => {
+                        *pair_count.entry((t1, t2)).or_insert(0) += 1;
+                        out.push(s);
+                        out.push(nxt);
+                    }
+                    Some(set) if set.contains(&(t1, t2)) => {
+                        *merged_msgs += 1;
+                        out.push(m);
+                    }
+                    Some(_) => {
+                        out.push(s);
+                        out.push(nxt);
+                    }
+                }
+            }
+            None => out.push(s),
+        }
+    }
+    out
+}
+
+/// Packs runs of same-root broadcasts into one [`SStmt::BcastPack`]. A run
+/// member must not read data a previous member of the run wrote (the pack
+/// gathers everything up front), but destination sections are unconstrained
+/// because unpacking is sequential in run order on every rank.
+fn pack_bcasts(stmts: Vec<SStmt>, dists: &[ArrayDist], coalesced: &mut usize) -> Vec<SStmt> {
+    let stmts: Vec<SStmt> = stmts
+        .into_iter()
+        .map(|s| match s {
+            SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body: pack_bcasts(body, dists, coalesced),
+            },
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => SStmt::If {
+                cond,
+                then_body: pack_bcasts(then_body, dists, coalesced),
+                else_body: pack_bcasts(else_body, dists, coalesced),
+            },
+            other => other,
+        })
+        .collect();
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut i = 0;
+    while i < stmts.len() {
+        let root = match &stmts[i] {
+            SStmt::Bcast { root, .. } | SStmt::BcastScalar { root, .. } => root.clone(),
+            _ => {
+                out.push(stmts[i].clone());
+                i += 1;
+                continue;
+            }
+        };
+        let mut w_arrays: BTreeSet<Sym> = BTreeSet::new();
+        let mut w_scalars: BTreeSet<Sym> = BTreeSet::new();
+        let mut parts: Vec<BcastPart> = Vec::new();
+        let mut j = i;
+        while j < stmts.len() {
+            match &stmts[j] {
+                SStmt::Bcast {
+                    root: r2,
+                    src_array,
+                    src_section,
+                    dst_array,
+                    dst_section,
+                } => {
+                    let fresh = !w_arrays.contains(src_array)
+                        && !mentions_any(r2, &w_scalars)
+                        && !elem_reads_any(r2, &w_arrays)
+                        && src_section.dims.iter().all(|(a, b, _)| {
+                            !mentions_any(a, &w_scalars)
+                                && !mentions_any(b, &w_scalars)
+                                && !elem_reads_any(a, &w_arrays)
+                                && !elem_reads_any(b, &w_arrays)
+                        });
+                    if !syn_eq(&root, r2, dists) || !fresh {
+                        break;
+                    }
+                    parts.push(BcastPart::Section {
+                        src_array: *src_array,
+                        src_section: src_section.clone(),
+                        dst_array: *dst_array,
+                        dst_section: dst_section.clone(),
+                    });
+                    w_arrays.insert(*dst_array);
+                    j += 1;
+                }
+                SStmt::BcastScalar { root: r2, var } => {
+                    if !syn_eq(&root, r2, dists) || w_scalars.contains(var) {
+                        break;
+                    }
+                    parts.push(BcastPart::Scalar(*var));
+                    w_scalars.insert(*var);
+                    j += 1;
+                }
+                _ => break,
+            }
+        }
+        if parts.len() >= 2 {
+            *coalesced += parts.len() - 1;
+            out.push(SStmt::BcastPack { root, parts });
+            i = j;
+        } else {
+            out.push(stmts[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The coalescing pass: broadcast packing plus point-to-point pair merging.
+pub(super) fn coalesce(prog: &mut SpmdProgram, report: &mut OptReport) {
+    let dists = prog.dists.clone();
+    for p in prog.procs.iter_mut() {
+        let body = std::mem::take(&mut p.body);
+        p.body = pack_bcasts(body, &dists, &mut report.coalesced);
+    }
+    // Point-to-point merging changes the wire protocol, so a (t1, t2) merge
+    // is committed only when EVERY occurrence of both tags in the whole
+    // program sits in a candidate pair — then sender and receiver agree.
+    let mut tag_occ: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut pair_count: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    let mut scratch = 0usize;
+    for p in &prog.procs {
+        count_tags(&p.body, &mut tag_occ);
+        pair_walk(p.body.clone(), &dists, None, &mut pair_count, &mut scratch);
+    }
+    let committed: BTreeSet<(u64, u64)> = pair_count
+        .iter()
+        .filter(|((t1, t2), &n)| tag_occ.get(t1) == Some(&n) && tag_occ.get(t2) == Some(&n))
+        .map(|(k, _)| *k)
+        .collect();
+    if committed.is_empty() {
+        return;
+    }
+    let mut ignore = BTreeMap::new();
+    for p in prog.procs.iter_mut() {
+        let body = std::mem::take(&mut p.body);
+        p.body = pair_walk(
+            body,
+            &dists,
+            Some(&committed),
+            &mut ignore,
+            &mut report.coalesced,
+        );
+    }
+}

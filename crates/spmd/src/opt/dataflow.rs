@@ -1,110 +1,12 @@
-//! Communication optimization over SPMD node programs (the "between codegen
-//! and emit" pass pipeline).
-//!
-//! Three cooperating optimizations, run in this order:
-//!
-//! 1. **Redundant-communication elimination** (level [`CommOpt::Full`] only):
-//!    a forward "available data" dataflow over broadcast sections. A
-//!    broadcast `buf ← A[sec] from root` makes `A[sec]`'s values *available*
-//!    (replicated) in `buf` on every rank. A later broadcast of a contained
-//!    section of the same array from the same root is redundant — every
-//!    receiver already holds the data — *provided* the tracked region of `A`
-//!    on the root has not changed since, or its changes can be **shadowed**:
-//!    re-applied to `buf` locally by every rank (possible exactly when the
-//!    updates are computable from replicated values, e.g. dgefa's pivot swap
-//!    and scale steps). The facts propagate interprocedurally: at each call
-//!    site the caller's facts are mapped through array/scalar actuals onto
-//!    the callee's formals, met over all call sites in reverse-invocation
-//!    (callers-first) order over the call graph.
-//! 2. **Loop-level message aggregation**: leading loop-invariant collectives
-//!    (and tag-paired send/recv couples) are lifted out of loops with
-//!    provably positive constant trip counts.
-//! 3. **Message coalescing**: adjacent broadcasts with the same root fuse
-//!    into one packed message ([`SStmt::BcastPack`]); adjacent send/send and
-//!    recv/recv pairs over adjacent sections of the same array merge via
-//!    [`Rsd::merge_adjacent`] when the pairing is provably symmetric.
-//!
-//! Every transformation preserves bit-identical array results: shadows
-//! perform the same IEEE operations on the same broadcast bytes every rank
-//! already holds, and packing/aggregation only re-batches identical
-//! payloads. See DESIGN.md §"Communication optimization" for the dataflow
-//! equations and the soundness argument.
-
 use crate::ir::{BcastPart, SActual, SBinOp, SExpr, SLval, SProc, SRect, SStmt, SpmdProgram};
+use fortrand_analysis::framework::{self, DataflowGraph, DataflowProblem, SolveStats};
+use fortrand_analysis::registry::Direction;
 use fortrand_ir::dist::{ArrayDist, DistKind};
-use fortrand_ir::rsd::{Rsd, Triplet};
-use fortrand_ir::symenv::SymEnv;
-use fortrand_ir::{Affine, Interner, Sym};
+
+use fortrand_ir::{Interner, Sym};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Communication optimization level (driver flag).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
-pub enum CommOpt {
-    /// Pass disabled: emit exactly what codegen produced.
-    Off,
-    /// Message coalescing and loop-level aggregation only.
-    Coalesce,
-    /// Everything: redundant-communication elimination + aggregation +
-    /// coalescing (the default).
-    #[default]
-    Full,
-}
-
-impl CommOpt {
-    /// Stable spelling for reports, hashing and CLI parsing.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            CommOpt::Off => "off",
-            CommOpt::Coalesce => "coalesce",
-            CommOpt::Full => "full",
-        }
-    }
-
-    /// Parses the CLI spelling.
-    pub fn parse(s: &str) -> Option<CommOpt> {
-        match s {
-            "off" => Some(CommOpt::Off),
-            "coalesce" => Some(CommOpt::Coalesce),
-            "full" => Some(CommOpt::Full),
-            _ => None,
-        }
-    }
-}
-
-/// What the pass did — used for reporting and for incremental-compilation
-/// fact hashing (the per-procedure strings participate in the recompilation
-/// analysis: a change in optimization decisions must change the hash).
-#[derive(Clone, Debug, Default)]
-pub struct OptReport {
-    /// Level the pass ran at.
-    pub level: CommOpt,
-    /// Broadcasts (or send/recv couples) eliminated as redundant.
-    pub eliminated: usize,
-    /// Messages removed by packing/merging (per merged pair).
-    pub coalesced: usize,
-    /// Communication statements lifted out of loops.
-    pub hoisted: usize,
-    /// Per-procedure summary of decisions, keyed by procedure name.
-    /// Deterministic; hashed into the incremental engine's fact hashes.
-    pub per_proc: BTreeMap<String, String>,
-}
-
-/// Runs the communication optimizer in place at the given level.
-pub fn optimize(prog: &mut SpmdProgram, level: CommOpt) -> OptReport {
-    let mut report = OptReport {
-        level,
-        ..Default::default()
-    };
-    if level == CommOpt::Off {
-        return report;
-    }
-    if level == CommOpt::Full {
-        eliminate(prog, &mut report);
-    }
-    hoist(prog, &mut report);
-    coalesce(prog, &mut report);
-    report
-}
+use super::OptReport;
 
 // ---------------------------------------------------------------------------
 // Expression utilities: substitution, linear forms, proofs
@@ -147,7 +49,7 @@ fn map_expr(e: &SExpr, f: &mut dyn FnMut(&SExpr) -> Option<SExpr>) -> SExpr {
     }
 }
 
-fn visit_expr(e: &SExpr, f: &mut dyn FnMut(&SExpr)) {
+pub(super) fn visit_expr(e: &SExpr, f: &mut dyn FnMut(&SExpr)) {
     f(e);
     match e {
         SExpr::Int(_) | SExpr::Real(_) | SExpr::Var(_) | SExpr::MyP | SExpr::NProcs => {}
@@ -171,7 +73,7 @@ fn visit_expr(e: &SExpr, f: &mut dyn FnMut(&SExpr)) {
 }
 
 /// True if `e` mentions any of the given scalar symbols.
-fn mentions_any(e: &SExpr, syms: &BTreeSet<Sym>) -> bool {
+pub(super) fn mentions_any(e: &SExpr, syms: &BTreeSet<Sym>) -> bool {
     let mut hit = false;
     visit_expr(e, &mut |x| {
         if let SExpr::Var(s) = x {
@@ -204,9 +106,9 @@ fn expr_replicated(e: &SExpr, repl: &BTreeSet<Sym>) -> bool {
 /// A linear form: sum of `coeff * atom` plus a constant, where atoms are
 /// arbitrary non-additive subexpressions compared syntactically.
 #[derive(Clone, Debug)]
-struct Lin {
-    terms: Vec<(SExpr, i64)>,
-    konst: i64,
+pub(super) struct Lin {
+    pub(super) terms: Vec<(SExpr, i64)>,
+    pub(super) konst: i64,
 }
 
 impl Lin {
@@ -244,7 +146,7 @@ impl Lin {
 
 /// Linearizes an integer index expression. Non-affine nodes become opaque
 /// atoms; `Real` makes the whole expression non-linearizable.
-fn linearize(e: &SExpr) -> Option<Lin> {
+pub(super) fn linearize(e: &SExpr) -> Option<Lin> {
     match e {
         SExpr::Int(v) => Some(Lin::konst(*v)),
         SExpr::Real(_) => None,
@@ -400,7 +302,7 @@ fn syn_eq_raw(a: &SExpr, b: &SExpr) -> bool {
 
 /// Simplifies an index expression: recursively linearizes additive subtrees,
 /// applies the globalization identity, and rebuilds a canonical shape.
-fn simplify(e: &SExpr, dists: &[ArrayDist]) -> SExpr {
+pub(super) fn simplify(e: &SExpr, dists: &[ArrayDist]) -> SExpr {
     match linearize(e) {
         Some(mut lin) => {
             // Normalize atoms recursively (their subexpressions may contain
@@ -450,11 +352,11 @@ fn simplify_children(e: &SExpr, dists: &[ArrayDist]) -> SExpr {
 
 /// Symbolic ranges for scalar values, `sym → (lo, hi)` inclusive, with
 /// bound expressions in the enclosing scope's terms.
-type Ranges = BTreeMap<Sym, (SExpr, SExpr)>;
+pub(super) type Ranges = BTreeMap<Sym, (SExpr, SExpr)>;
 
 /// Proves `a >= b` by showing `lin(a - b) >= 0`: substitute ranged symbols
 /// by the favorable bound and recurse (depth-limited).
-fn prove_ge(a: &SExpr, b: &SExpr, ranges: &Ranges, dists: &[ArrayDist]) -> bool {
+pub(super) fn prove_ge(a: &SExpr, b: &SExpr, ranges: &Ranges, dists: &[ArrayDist]) -> bool {
     let (Some(la), Some(lb)) = (
         linearize(&simplify(a, dists)),
         linearize(&simplify(b, dists)),
@@ -506,7 +408,7 @@ fn prove_ge0(lin: Lin, ranges: &Ranges, dists: &[ArrayDist], depth: usize) -> bo
 
 /// Normalized syntactic equality: `a == b` after simplification, or a
 /// provably-zero linear difference.
-fn syn_eq(a: &SExpr, b: &SExpr, dists: &[ArrayDist]) -> bool {
+pub(super) fn syn_eq(a: &SExpr, b: &SExpr, dists: &[ArrayDist]) -> bool {
     let sa = simplify(a, dists);
     let sb = simplify(b, dists);
     if sa == sb {
@@ -522,7 +424,7 @@ fn syn_eq(a: &SExpr, b: &SExpr, dists: &[ArrayDist]) -> bool {
 }
 
 /// Constant-folds a simplified expression to an integer if possible.
-fn const_of(e: &SExpr, dists: &[ArrayDist]) -> Option<i64> {
+pub(super) fn const_of(e: &SExpr, dists: &[ArrayDist]) -> Option<i64> {
     let lin = linearize(&simplify(e, dists))?;
     if lin.terms.is_empty() {
         Some(lin.konst)
@@ -538,7 +440,7 @@ fn const_of(e: &SExpr, dists: &[ArrayDist]) -> Option<i64> {
 /// For each procedure, the set of formal positions whose arrays may be
 /// written (transitively through nested calls). Fixpoint over the call
 /// graph.
-fn written_formals(procs: &[SProc]) -> Vec<BTreeSet<usize>> {
+pub(super) fn written_formals(procs: &[SProc]) -> Vec<BTreeSet<usize>> {
     let mut wf: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); procs.len()];
     loop {
         let mut changed = false;
@@ -559,7 +461,11 @@ fn written_formals(procs: &[SProc]) -> Vec<BTreeSet<usize>> {
 
 /// Collects every array symbol that may be written by `stmts` (locals,
 /// formals and, through calls, actual arrays at written formal positions).
-fn collect_written_arrays(stmts: &[SStmt], wf: &[BTreeSet<usize>], out: &mut BTreeSet<Sym>) {
+pub(super) fn collect_written_arrays(
+    stmts: &[SStmt],
+    wf: &[BTreeSet<usize>],
+    out: &mut BTreeSet<Sym>,
+) {
     for s in stmts {
         match s {
             SStmt::Assign {
@@ -615,7 +521,7 @@ fn collect_written_arrays(stmts: &[SStmt], wf: &[BTreeSet<usize>], out: &mut BTr
 
 /// Collects scalar symbols that may be assigned by `stmts` (including loop
 /// variables, copy-out targets and received/broadcast scalars).
-fn collect_assigned_scalars(stmts: &[SStmt], out: &mut BTreeSet<Sym>) {
+pub(super) fn collect_assigned_scalars(stmts: &[SStmt], out: &mut BTreeSet<Sym>) {
     for s in stmts {
         match s {
             SStmt::Assign {
@@ -791,7 +697,7 @@ fn count_mentions(stmts: &[SStmt], array: Sym) -> usize {
 }
 
 /// Finds the call sites (callee proc indices) anywhere inside `stmts`.
-fn collect_callees(stmts: &[SStmt], out: &mut Vec<usize>) {
+pub(super) fn collect_callees(stmts: &[SStmt], out: &mut Vec<usize>) {
     for s in stmts {
         match s {
             SStmt::Call { proc, .. } => out.push(*proc),
@@ -948,7 +854,12 @@ struct Scan<'a> {
     dists: &'a [ArrayDist],
     snapshot: &'a [SProc],
     wf: &'a [BTreeSet<usize>],
-    pending: &'a mut [Option<Entry>],
+    /// Index of the procedure being scanned (the dataflow node).
+    caller: usize,
+    /// Callee entry contributions recorded per `(caller, callee)` edge in
+    /// arrival order; the framework solver replays them through
+    /// [`meet_entries`] when the callee's turn comes.
+    contribs: &'a mut BTreeMap<(usize, usize), Vec<Entry>>,
     cyclic: &'a [bool],
     /// Decl bounds for this proc's arrays (own decls + entry-mapped formals).
     bounds: BTreeMap<Sym, Vec<(i64, i64)>>,
@@ -1333,10 +1244,10 @@ impl<'a> Scan<'a> {
         if self.cyclic[callee] {
             return;
         }
-        match &mut self.pending[callee] {
-            slot @ None => *slot = Some(e),
-            Some(prev) => *prev = meet_entries(e, prev),
-        }
+        self.contribs
+            .entry((self.caller, callee))
+            .or_default()
+            .push(e);
     }
 
     fn record_entry(&mut self, callee: usize, args: &[SActual], st: &State) {
@@ -1919,30 +1830,132 @@ impl<'a> Scan<'a> {
 }
 
 /// Runs the elimination pass over all procedures, callers first.
-fn eliminate(prog: &mut SpmdProgram, report: &mut OptReport) {
-    let snapshot = prog.procs.clone();
-    let wf = written_formals(&snapshot);
-    let (order, cyclic) = topo_callers_first(&snapshot);
-    let mut pending: Vec<Option<Entry>> = vec![None; snapshot.len()];
-    let dists = prog.dists.clone();
-    for idx in order {
-        let entry = if cyclic[idx] {
-            Entry::default()
-        } else {
-            pending[idx].take().unwrap_or_default()
-        };
-        let pname = prog.interner.name(snapshot[idx].name).to_string();
+/// [`DataflowGraph`] view of the SPMD program's call graph: nodes are
+/// procedure indices in callers-first order, edges are `(caller, callee)`
+/// pairs, and procedures on call cycles are flagged so the solver pins
+/// them to the boundary value (no entry facts).
+struct SpmdCallGraph {
+    order: Vec<usize>,
+    cyclic: Vec<bool>,
+    edges: Vec<(usize, usize)>,
+    /// For each node, indices into `edges` of its in-edges, callers
+    /// enumerated in solve order (the fold order of the pre-framework
+    /// pass, which matters: `meet_entries` is applied pairwise).
+    in_edges: Vec<Vec<usize>>,
+}
+
+impl SpmdCallGraph {
+    fn build(procs: &[SProc]) -> Self {
+        let (order, cyclic) = topo_callers_first(procs);
+        let mut edges = Vec::new();
+        let mut in_edges = vec![Vec::new(); procs.len()];
+        for &i in &order {
+            let mut cs = Vec::new();
+            collect_callees(&procs[i].body, &mut cs);
+            cs.sort_unstable();
+            cs.dedup();
+            for c in cs {
+                in_edges[c].push(edges.len());
+                edges.push((i, c));
+            }
+        }
+        SpmdCallGraph {
+            order,
+            cyclic,
+            edges,
+            in_edges,
+        }
+    }
+}
+
+impl DataflowGraph for SpmdCallGraph {
+    type Node = usize;
+    type Edge = (usize, usize);
+
+    fn order(&self, _dir: Direction) -> Vec<usize> {
+        self.order.clone()
+    }
+
+    fn on_cycle(&self, n: usize) -> bool {
+        self.cyclic[n]
+    }
+
+    fn deps(&self, n: usize, _dir: Direction) -> Vec<(usize, &(usize, usize))> {
+        self.in_edges[n]
+            .iter()
+            .map(|&i| (self.edges[i].0, &self.edges[i]))
+            .collect()
+    }
+}
+
+/// The available-sections problem: a node's input fact is its callers'
+/// met entry state (`None` = ⊤, no call site seen yet), and the transfer
+/// function is the elimination scan itself, which rewrites the procedure
+/// body and records entry contributions for its callees.
+struct AvailProblem<'a> {
+    prog: &'a mut SpmdProgram,
+    report: &'a mut OptReport,
+    snapshot: Vec<SProc>,
+    wf: Vec<BTreeSet<usize>>,
+    dists: Vec<ArrayDist>,
+    cyclic: Vec<bool>,
+    contribs: BTreeMap<(usize, usize), Vec<Entry>>,
+}
+
+impl DataflowProblem<SpmdCallGraph> for AvailProblem<'_> {
+    type Fact = Option<Entry>;
+
+    fn name(&self) -> &'static str {
+        "Available sections"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::TopDown
+    }
+
+    fn boundary(&mut self, _g: &SpmdCallGraph, _n: usize) -> Option<Entry> {
+        None
+    }
+
+    fn translate(
+        &mut self,
+        _g: &SpmdCallGraph,
+        edge: &(usize, usize),
+        _src: usize,
+        _src_fact: &Option<Entry>,
+    ) -> Vec<Option<Entry>> {
+        // Entries the caller's scan recorded for this edge, in arrival
+        // order (one per call site, plus ⊥ for unscanned branch calls).
+        self.contribs
+            .remove(edge)
+            .unwrap_or_default()
+            .into_iter()
+            .map(Some)
+            .collect()
+    }
+
+    fn meet(&mut self, acc: &mut Option<Entry>, contrib: Option<Entry>) {
+        let e = contrib.expect("translate only produces concrete entries");
+        match acc {
+            None => *acc = Some(e),
+            Some(prev) => *prev = meet_entries(e, prev),
+        }
+    }
+
+    fn transfer(&mut self, _g: &SpmdCallGraph, idx: usize, input: Option<Entry>) -> Option<Entry> {
+        let entry = input.unwrap_or_default();
+        let pname = self.prog.interner.name(self.snapshot[idx].name).to_string();
         let mut bounds = entry.bounds.clone();
-        for d in &prog.procs[idx].decls {
+        for d in &self.prog.procs[idx].decls {
             bounds.insert(d.name, d.bounds.clone());
         }
-        let formal_arrays: BTreeSet<Sym> = snapshot[idx]
+        let formal_arrays: BTreeSet<Sym> = self.snapshot[idx]
             .formals
             .iter()
             .filter(|f| f.is_array)
             .map(|f| f.name)
             .collect();
-        let body = std::mem::take(&mut prog.procs[idx].body);
+        let body = std::mem::take(&mut self.prog.procs[idx].body);
         let mut st = State {
             repl: entry.repl.clone(),
             ranges: entry.ranges.clone(),
@@ -1950,12 +1963,13 @@ fn eliminate(prog: &mut SpmdProgram, report: &mut OptReport) {
         };
         let (new_body, elim_here, notes, entry_fact_names) = {
             let mut scan = Scan {
-                interner: &mut prog.interner,
-                dists: &dists,
-                snapshot: &snapshot,
-                wf: &wf,
-                pending: &mut pending,
-                cyclic: &cyclic,
+                interner: &mut self.prog.interner,
+                dists: &self.dists,
+                snapshot: &self.snapshot,
+                wf: &self.wf,
+                caller: idx,
+                contribs: &mut self.contribs,
+                cyclic: &self.cyclic,
                 bounds,
                 formal_arrays,
                 original: body.clone(),
@@ -1979,14 +1993,14 @@ fn eliminate(prog: &mut SpmdProgram, report: &mut OptReport) {
             let new_body = scan.scan_stmts(body, &mut st);
             (new_body, scan.eliminated, scan.notes, entry_fact_names)
         };
-        prog.procs[idx].body = new_body;
-        report.eliminated += elim_here;
+        self.prog.procs[idx].body = new_body;
+        self.report.eliminated += elim_here;
         let repl_names: Vec<String> = entry
             .repl
             .iter()
-            .map(|s| prog.interner.name(*s).to_string())
+            .map(|s| self.prog.interner.name(*s).to_string())
             .collect();
-        report.per_proc.insert(
+        self.report.per_proc.insert(
             pname,
             format!(
                 "entry_repl=[{}] entry_facts=[{}] {}",
@@ -1995,7 +2009,27 @@ fn eliminate(prog: &mut SpmdProgram, report: &mut OptReport) {
                 notes.join("; ")
             ),
         );
+        Some(entry)
     }
+}
+
+pub(super) fn eliminate(prog: &mut SpmdProgram, report: &mut OptReport) -> SolveStats {
+    let snapshot = prog.procs.clone();
+    let wf = written_formals(&snapshot);
+    let dists = prog.dists.clone();
+    let g = SpmdCallGraph::build(&snapshot);
+    let cyclic = g.cyclic.clone();
+    let mut problem = AvailProblem {
+        prog,
+        report,
+        snapshot,
+        wf,
+        dists,
+        cyclic,
+        contribs: BTreeMap::new(),
+    };
+    let (_, stats) = framework::solve(&g, &mut problem);
+    stats
 }
 
 // ---------------------------------------------------------------------------
@@ -3098,766 +3132,5 @@ impl<'a> Scan<'a> {
             validated_bufs,
             outputs,
         })
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Loop-level aggregation: hoist invariant collectives out of counted loops
-// ---------------------------------------------------------------------------
-
-/// Lifts loop-invariant broadcasts out of `Do` loops: a leading prefix of
-/// `Bcast`/`BcastScalar` statements whose operands are invariant and whose
-/// data is not redefined later in the body executes identically on every
-/// iteration, so one pre-loop transfer suffices. Only loops with a provably
-/// positive constant trip count are touched (hoisting out of a zero-trip
-/// loop would *introduce* communication).
-fn hoist(prog: &mut SpmdProgram, report: &mut OptReport) {
-    let wf = written_formals(&prog.procs);
-    let dists = prog.dists.clone();
-    for p in prog.procs.iter_mut() {
-        let body = std::mem::take(&mut p.body);
-        p.body = hoist_stmts(body, &wf, &dists, &mut report.hoisted);
-    }
-}
-
-fn hoist_stmts(
-    stmts: Vec<SStmt>,
-    wf: &[BTreeSet<usize>],
-    dists: &[ArrayDist],
-    hoisted: &mut usize,
-) -> Vec<SStmt> {
-    let mut out = Vec::with_capacity(stmts.len());
-    for s in stmts {
-        match s {
-            SStmt::Do {
-                var,
-                lo,
-                hi,
-                step,
-                body,
-            } => {
-                // Innermost loops first, so an invariant bcast bubbles up
-                // through a whole nest.
-                let body = hoist_stmts(body, wf, dists, hoisted);
-                let trip_ok = match (const_of(&lo, dists), const_of(&hi, dists)) {
-                    (Some(l), Some(h)) => (step == 1 && h >= l) || (step == -1 && l >= h),
-                    _ => false,
-                };
-                let mut callees = Vec::new();
-                collect_callees(&body, &mut callees);
-                if !trip_ok || !callees.is_empty() {
-                    out.push(SStmt::Do {
-                        var,
-                        lo,
-                        hi,
-                        step,
-                        body,
-                    });
-                    continue;
-                }
-                let mut assigned = BTreeSet::new();
-                assigned.insert(var);
-                collect_assigned_scalars(&body, &mut assigned);
-                let invariant = |e: &SExpr| -> bool {
-                    if mentions_any(e, &assigned) {
-                        return false;
-                    }
-                    let mut memory = false;
-                    visit_expr(e, &mut |x| {
-                        if matches!(x, SExpr::Elem { .. } | SExpr::CurOwner { .. }) {
-                            memory = true;
-                        }
-                    });
-                    !memory
-                };
-                let mut lifted = 0usize;
-                while lifted < body.len() {
-                    let rest = &body[lifted + 1..];
-                    let mut rest_arrays = BTreeSet::new();
-                    collect_written_arrays(rest, wf, &mut rest_arrays);
-                    let mut rest_scalars = BTreeSet::new();
-                    collect_assigned_scalars(rest, &mut rest_scalars);
-                    let ok = match &body[lifted] {
-                        SStmt::Bcast {
-                            root,
-                            src_array,
-                            src_section,
-                            dst_array,
-                            dst_section,
-                        } => {
-                            src_array != dst_array
-                                && invariant(root)
-                                && src_section
-                                    .dims
-                                    .iter()
-                                    .chain(dst_section.dims.iter())
-                                    .all(|(a, b, _)| invariant(a) && invariant(b))
-                                && !rest_arrays.contains(src_array)
-                                && !rest_arrays.contains(dst_array)
-                        }
-                        SStmt::BcastScalar { root, var: v } => {
-                            invariant(root) && !rest_scalars.contains(v)
-                        }
-                        _ => false,
-                    };
-                    if !ok {
-                        break;
-                    }
-                    lifted += 1;
-                }
-                if lifted == 0 {
-                    out.push(SStmt::Do {
-                        var,
-                        lo,
-                        hi,
-                        step,
-                        body,
-                    });
-                } else {
-                    *hoisted += lifted;
-                    let mut body = body;
-                    let rest = body.split_off(lifted);
-                    out.extend(body);
-                    out.push(SStmt::Do {
-                        var,
-                        lo,
-                        hi,
-                        step,
-                        body: rest,
-                    });
-                }
-            }
-            SStmt::If {
-                cond,
-                then_body,
-                else_body,
-            } => out.push(SStmt::If {
-                cond,
-                then_body: hoist_stmts(then_body, wf, dists, hoisted),
-                else_body: hoist_stmts(else_body, wf, dists, hoisted),
-            }),
-            other => out.push(other),
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Message coalescing: pack broadcast runs, merge adjacent section transfers
-// ---------------------------------------------------------------------------
-
-/// True if `e` reads an element (or the current owner) of any array in `w`.
-fn elem_reads_any(e: &SExpr, w: &BTreeSet<Sym>) -> bool {
-    let mut hit = false;
-    visit_expr(e, &mut |x| match x {
-        SExpr::Elem { array, .. } | SExpr::CurOwner { array, .. } if w.contains(array) => {
-            hit = true;
-        }
-        _ => {}
-    });
-    hit
-}
-
-/// Converts a section bound to the RSD bound language (affine over plain
-/// scalar symbols) so [`Rsd::adjacency`] can judge it.
-fn sexpr_to_affine(e: &SExpr) -> Option<Affine> {
-    let lin = linearize(e)?;
-    let mut acc = Affine::konst(lin.konst);
-    for (atom, c) in &lin.terms {
-        match atom {
-            SExpr::Var(s) => acc = acc + Affine::sym(*s).scale(*c),
-            _ => return None,
-        }
-    }
-    Some(acc)
-}
-
-fn rect_to_rsd(r: &SRect) -> Option<Rsd> {
-    let mut dims = Vec::with_capacity(r.dims.len());
-    for (lo, hi, step) in &r.dims {
-        if *step != 1 {
-            return None;
-        }
-        dims.push(Triplet::new(sexpr_to_affine(lo)?, sexpr_to_affine(hi)?));
-    }
-    Some(Rsd::new(dims))
-}
-
-/// Merges two section rectangles that concatenate along one dimension. The
-/// merged payload must equal `payload(a) ++ payload(b)` under the
-/// interpreter's last-dimension-fastest iteration order, which holds exactly
-/// when every dimension slower than the seam is degenerate.
-fn merge_rects(s1: &SRect, s2: &SRect, dists: &[ArrayDist]) -> Option<SRect> {
-    let r1 = rect_to_rsd(s1)?;
-    let r2 = rect_to_rsd(s2)?;
-    let d = r1.adjacency(&r2, &SymEnv::new())?;
-    for k in 0..d {
-        if !syn_eq(&s1.dims[k].0, &s1.dims[k].1, dists) {
-            return None;
-        }
-    }
-    let mut dims = s1.dims.clone();
-    dims[d] = (s1.dims[d].0.clone(), s2.dims[d].1.clone(), 1);
-    Some(SRect { dims })
-}
-
-/// If statement `a` immediately followed by `b` is a mergeable send or
-/// receive pair, returns `(a.tag, b.tag, merged)`. The merged statement
-/// reuses `a`'s tag; committing the merge is gated on tag accounting so the
-/// matching endpoint merges too.
-fn merge_pair(a: &SStmt, b: &SStmt, dists: &[ArrayDist]) -> Option<(u64, u64, SStmt)> {
-    match (a, b) {
-        (
-            SStmt::Send {
-                to: to1,
-                tag: t1,
-                array: a1,
-                section: s1,
-            },
-            SStmt::Send {
-                to: to2,
-                tag: t2,
-                array: a2,
-                section: s2,
-            },
-        ) if a1 == a2 && t1 != t2 && syn_eq(to1, to2, dists) => {
-            let section = merge_rects(s1, s2, dists)?;
-            Some((
-                *t1,
-                *t2,
-                SStmt::Send {
-                    to: to1.clone(),
-                    tag: *t1,
-                    array: *a1,
-                    section,
-                },
-            ))
-        }
-        (
-            SStmt::Recv {
-                from: f1,
-                tag: t1,
-                array: a1,
-                section: s1,
-            },
-            SStmt::Recv {
-                from: f2,
-                tag: t2,
-                array: a2,
-                section: s2,
-            },
-        ) if a1 == a2 && t1 != t2 && syn_eq(f1, f2, dists) => {
-            let section = merge_rects(s1, s2, dists)?;
-            Some((
-                *t1,
-                *t2,
-                SStmt::Recv {
-                    from: f1.clone(),
-                    tag: *t1,
-                    array: *a1,
-                    section,
-                },
-            ))
-        }
-        _ => None,
-    }
-}
-
-fn count_tags(stmts: &[SStmt], occ: &mut BTreeMap<u64, usize>) {
-    for s in stmts {
-        match s {
-            SStmt::Send { tag, .. }
-            | SStmt::Recv { tag, .. }
-            | SStmt::SendElem { tag, .. }
-            | SStmt::RecvElem { tag, .. } => *occ.entry(*tag).or_insert(0) += 1,
-            SStmt::Do { body, .. } => count_tags(body, occ),
-            SStmt::If {
-                then_body,
-                else_body,
-                ..
-            } => {
-                count_tags(then_body, occ);
-                count_tags(else_body, occ);
-            }
-            _ => {}
-        }
-    }
-}
-
-/// One traversal shared by the counting and rewriting passes so both see
-/// identical candidate pairs. `committed = None` counts candidates into
-/// `pair_count`; `Some(set)` replaces committed pairs with their merge.
-fn pair_walk(
-    stmts: Vec<SStmt>,
-    dists: &[ArrayDist],
-    committed: Option<&BTreeSet<(u64, u64)>>,
-    pair_count: &mut BTreeMap<(u64, u64), usize>,
-    merged_msgs: &mut usize,
-) -> Vec<SStmt> {
-    let mut out = Vec::with_capacity(stmts.len());
-    let mut it = stmts.into_iter().peekable();
-    while let Some(s) = it.next() {
-        let s = match s {
-            SStmt::Do {
-                var,
-                lo,
-                hi,
-                step,
-                body,
-            } => SStmt::Do {
-                var,
-                lo,
-                hi,
-                step,
-                body: pair_walk(body, dists, committed, pair_count, merged_msgs),
-            },
-            SStmt::If {
-                cond,
-                then_body,
-                else_body,
-            } => SStmt::If {
-                cond,
-                then_body: pair_walk(then_body, dists, committed, pair_count, merged_msgs),
-                else_body: pair_walk(else_body, dists, committed, pair_count, merged_msgs),
-            },
-            other => other,
-        };
-        let cand = it.peek().and_then(|nxt| merge_pair(&s, nxt, dists));
-        match cand {
-            Some((t1, t2, m)) => {
-                let nxt = it.next().expect("peeked");
-                match committed {
-                    None => {
-                        *pair_count.entry((t1, t2)).or_insert(0) += 1;
-                        out.push(s);
-                        out.push(nxt);
-                    }
-                    Some(set) if set.contains(&(t1, t2)) => {
-                        *merged_msgs += 1;
-                        out.push(m);
-                    }
-                    Some(_) => {
-                        out.push(s);
-                        out.push(nxt);
-                    }
-                }
-            }
-            None => out.push(s),
-        }
-    }
-    out
-}
-
-/// Packs runs of same-root broadcasts into one [`SStmt::BcastPack`]. A run
-/// member must not read data a previous member of the run wrote (the pack
-/// gathers everything up front), but destination sections are unconstrained
-/// because unpacking is sequential in run order on every rank.
-fn pack_bcasts(stmts: Vec<SStmt>, dists: &[ArrayDist], coalesced: &mut usize) -> Vec<SStmt> {
-    let stmts: Vec<SStmt> = stmts
-        .into_iter()
-        .map(|s| match s {
-            SStmt::Do {
-                var,
-                lo,
-                hi,
-                step,
-                body,
-            } => SStmt::Do {
-                var,
-                lo,
-                hi,
-                step,
-                body: pack_bcasts(body, dists, coalesced),
-            },
-            SStmt::If {
-                cond,
-                then_body,
-                else_body,
-            } => SStmt::If {
-                cond,
-                then_body: pack_bcasts(then_body, dists, coalesced),
-                else_body: pack_bcasts(else_body, dists, coalesced),
-            },
-            other => other,
-        })
-        .collect();
-    let mut out = Vec::with_capacity(stmts.len());
-    let mut i = 0;
-    while i < stmts.len() {
-        let root = match &stmts[i] {
-            SStmt::Bcast { root, .. } | SStmt::BcastScalar { root, .. } => root.clone(),
-            _ => {
-                out.push(stmts[i].clone());
-                i += 1;
-                continue;
-            }
-        };
-        let mut w_arrays: BTreeSet<Sym> = BTreeSet::new();
-        let mut w_scalars: BTreeSet<Sym> = BTreeSet::new();
-        let mut parts: Vec<BcastPart> = Vec::new();
-        let mut j = i;
-        while j < stmts.len() {
-            match &stmts[j] {
-                SStmt::Bcast {
-                    root: r2,
-                    src_array,
-                    src_section,
-                    dst_array,
-                    dst_section,
-                } => {
-                    let fresh = !w_arrays.contains(src_array)
-                        && !mentions_any(r2, &w_scalars)
-                        && !elem_reads_any(r2, &w_arrays)
-                        && src_section.dims.iter().all(|(a, b, _)| {
-                            !mentions_any(a, &w_scalars)
-                                && !mentions_any(b, &w_scalars)
-                                && !elem_reads_any(a, &w_arrays)
-                                && !elem_reads_any(b, &w_arrays)
-                        });
-                    if !syn_eq(&root, r2, dists) || !fresh {
-                        break;
-                    }
-                    parts.push(BcastPart::Section {
-                        src_array: *src_array,
-                        src_section: src_section.clone(),
-                        dst_array: *dst_array,
-                        dst_section: dst_section.clone(),
-                    });
-                    w_arrays.insert(*dst_array);
-                    j += 1;
-                }
-                SStmt::BcastScalar { root: r2, var } => {
-                    if !syn_eq(&root, r2, dists) || w_scalars.contains(var) {
-                        break;
-                    }
-                    parts.push(BcastPart::Scalar(*var));
-                    w_scalars.insert(*var);
-                    j += 1;
-                }
-                _ => break,
-            }
-        }
-        if parts.len() >= 2 {
-            *coalesced += parts.len() - 1;
-            out.push(SStmt::BcastPack { root, parts });
-            i = j;
-        } else {
-            out.push(stmts[i].clone());
-            i += 1;
-        }
-    }
-    out
-}
-
-/// The coalescing pass: broadcast packing plus point-to-point pair merging.
-fn coalesce(prog: &mut SpmdProgram, report: &mut OptReport) {
-    let dists = prog.dists.clone();
-    for p in prog.procs.iter_mut() {
-        let body = std::mem::take(&mut p.body);
-        p.body = pack_bcasts(body, &dists, &mut report.coalesced);
-    }
-    // Point-to-point merging changes the wire protocol, so a (t1, t2) merge
-    // is committed only when EVERY occurrence of both tags in the whole
-    // program sits in a candidate pair — then sender and receiver agree.
-    let mut tag_occ: BTreeMap<u64, usize> = BTreeMap::new();
-    let mut pair_count: BTreeMap<(u64, u64), usize> = BTreeMap::new();
-    let mut scratch = 0usize;
-    for p in &prog.procs {
-        count_tags(&p.body, &mut tag_occ);
-        pair_walk(p.body.clone(), &dists, None, &mut pair_count, &mut scratch);
-    }
-    let committed: BTreeSet<(u64, u64)> = pair_count
-        .iter()
-        .filter(|((t1, t2), &n)| tag_occ.get(t1) == Some(&n) && tag_occ.get(t2) == Some(&n))
-        .map(|(k, _)| *k)
-        .collect();
-    if committed.is_empty() {
-        return;
-    }
-    let mut ignore = BTreeMap::new();
-    for p in prog.procs.iter_mut() {
-        let body = std::mem::take(&mut p.body);
-        p.body = pair_walk(
-            body,
-            &dists,
-            Some(&committed),
-            &mut ignore,
-            &mut report.coalesced,
-        );
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn prog(body: Vec<SStmt>) -> (SpmdProgram, Interner) {
-        let mut interner = Interner::new();
-        let name = interner.intern("main");
-        let p = SpmdProgram {
-            interner: interner.clone(),
-            nprocs: 2,
-            procs: vec![SProc {
-                name,
-                formals: vec![],
-                decls: vec![],
-                body,
-            }],
-            main: 0,
-            dists: vec![],
-        };
-        (p, interner)
-    }
-
-    fn rect(lo: i64, hi: i64) -> SRect {
-        SRect::one(SExpr::Int(lo), SExpr::Int(hi))
-    }
-
-    #[test]
-    fn simplify_folds_linear_arithmetic() {
-        let e = SExpr::add(SExpr::Int(1), SExpr::Int(2));
-        assert_eq!(simplify(&e, &[]), SExpr::Int(3));
-        let mut i = Interner::new();
-        let x = i.intern("x");
-        // (x + 1) + 2 and x + 3 normalize to the same linear form.
-        let a = SExpr::add(SExpr::add(SExpr::Var(x), SExpr::Int(1)), SExpr::Int(2));
-        let b = SExpr::add(SExpr::Var(x), SExpr::Int(3));
-        assert!(syn_eq(&a, &b, &[]));
-        assert!(!syn_eq(&a, &SExpr::Var(x), &[]));
-    }
-
-    #[test]
-    fn prove_ge_uses_constants_and_ranges() {
-        let empty = Ranges::new();
-        assert!(prove_ge(&SExpr::Int(5), &SExpr::Int(3), &empty, &[]));
-        assert!(!prove_ge(&SExpr::Int(3), &SExpr::Int(5), &empty, &[]));
-        let mut i = Interner::new();
-        let x = i.intern("x");
-        let mut ranges = Ranges::new();
-        ranges.insert(x, (SExpr::Int(2), SExpr::Int(10)));
-        assert!(prove_ge(&SExpr::Var(x), &SExpr::Int(1), &ranges, &[]));
-        assert!(!prove_ge(&SExpr::Var(x), &SExpr::Int(11), &ranges, &[]));
-    }
-
-    #[test]
-    fn merge_rects_requires_exact_adjacency() {
-        assert_eq!(merge_rects(&rect(1, 4), &rect(5, 8), &[]), Some(rect(1, 8)));
-        // A gap or an overlap refuses.
-        assert_eq!(merge_rects(&rect(1, 4), &rect(6, 9), &[]), None);
-        assert_eq!(merge_rects(&rect(1, 4), &rect(4, 8), &[]), None);
-    }
-
-    #[test]
-    fn merge_rects_2d_needs_degenerate_outer_dims() {
-        // Payload order iterates the last dimension fastest, so a seam in
-        // the last dimension concatenates payloads only when every slower
-        // dimension is a single point.
-        let deg = |row: i64, lo: i64, hi: i64| SRect {
-            dims: vec![
-                (SExpr::Int(row), SExpr::Int(row), 1),
-                (SExpr::Int(lo), SExpr::Int(hi), 1),
-            ],
-        };
-        assert_eq!(
-            merge_rects(&deg(2, 1, 4), &deg(2, 5, 8), &[]),
-            Some(deg(2, 1, 8))
-        );
-        let wide = |lo: i64, hi: i64| SRect {
-            dims: vec![
-                (SExpr::Int(1), SExpr::Int(2), 1),
-                (SExpr::Int(lo), SExpr::Int(hi), 1),
-            ],
-        };
-        assert_eq!(merge_rects(&wide(1, 4), &wide(5, 8), &[]), None);
-    }
-
-    #[test]
-    fn hoist_lifts_invariant_scalar_broadcast() {
-        let mut i = Interner::new();
-        let s = i.intern("s");
-        let x = i.intern("x");
-        let iv = i.intern("i");
-        let loop_body = vec![
-            SStmt::BcastScalar {
-                root: SExpr::Int(0),
-                var: s,
-            },
-            SStmt::Assign {
-                lhs: SLval::Elem {
-                    array: x,
-                    subs: vec![SExpr::Var(iv)],
-                },
-                rhs: SExpr::Var(s),
-            },
-        ];
-        let (mut p, _) = prog(vec![SStmt::Do {
-            var: iv,
-            lo: SExpr::Int(1),
-            hi: SExpr::Int(4),
-            step: 1,
-            body: loop_body.clone(),
-        }]);
-        let report = optimize(&mut p, CommOpt::Coalesce);
-        assert_eq!(report.hoisted, 1);
-        assert!(matches!(p.procs[0].body[0], SStmt::BcastScalar { .. }));
-        match &p.procs[0].body[1] {
-            SStmt::Do { body, .. } => assert_eq!(body.len(), 1),
-            other => panic!("expected Do, got {other:?}"),
-        }
-
-        // Redefining the scalar later in the body pins the broadcast.
-        let mut pinned = loop_body;
-        pinned.push(SStmt::Assign {
-            lhs: SLval::Scalar(s),
-            rhs: SExpr::Int(0),
-        });
-        let (mut p2, _) = prog(vec![SStmt::Do {
-            var: iv,
-            lo: SExpr::Int(1),
-            hi: SExpr::Int(4),
-            step: 1,
-            body: pinned,
-        }]);
-        let report2 = optimize(&mut p2, CommOpt::Coalesce);
-        assert_eq!(report2.hoisted, 0);
-        assert!(matches!(p2.procs[0].body[0], SStmt::Do { .. }));
-    }
-
-    #[test]
-    fn hoist_refuses_possibly_zero_trip_loops() {
-        let mut i = Interner::new();
-        let s = i.intern("s");
-        let iv = i.intern("i");
-        let n = i.intern("n");
-        for (lo, hi) in [
-            (SExpr::Int(5), SExpr::Int(4)), // zero trips
-            (SExpr::Int(1), SExpr::Var(n)), // unknown trips
-        ] {
-            let (mut p, _) = prog(vec![SStmt::Do {
-                var: iv,
-                lo,
-                hi,
-                step: 1,
-                body: vec![SStmt::BcastScalar {
-                    root: SExpr::Int(0),
-                    var: s,
-                }],
-            }]);
-            let report = optimize(&mut p, CommOpt::Coalesce);
-            assert_eq!(report.hoisted, 0);
-            assert!(matches!(p.procs[0].body[0], SStmt::Do { .. }));
-        }
-    }
-
-    #[test]
-    fn pack_fuses_same_root_broadcast_runs() {
-        let mut i = Interner::new();
-        let a = i.intern("a");
-        let b = i.intern("b");
-        let c = i.intern("c");
-        let bcast = |src: Sym, dst: Sym, lo: i64, hi: i64| SStmt::Bcast {
-            root: SExpr::Int(0),
-            src_array: src,
-            src_section: rect(lo, hi),
-            dst_array: dst,
-            dst_section: rect(1, hi - lo + 1),
-        };
-        let (mut p, _) = prog(vec![bcast(a, b, 1, 2), bcast(a, c, 3, 4)]);
-        let report = optimize(&mut p, CommOpt::Coalesce);
-        assert_eq!(report.coalesced, 1);
-        assert_eq!(p.procs[0].body.len(), 1);
-        match &p.procs[0].body[0] {
-            SStmt::BcastPack { parts, .. } => assert_eq!(parts.len(), 2),
-            other => panic!("expected BcastPack, got {other:?}"),
-        }
-
-        // The second broadcast reads what the first wrote: packing would
-        // gather stale data, so the run must not fuse.
-        let (mut p2, _) = prog(vec![bcast(a, b, 1, 2), bcast(b, c, 1, 2)]);
-        let report2 = optimize(&mut p2, CommOpt::Coalesce);
-        assert_eq!(report2.coalesced, 0);
-        assert_eq!(p2.procs[0].body.len(), 2);
-    }
-
-    fn send(tag: u64, array: Sym, lo: i64, hi: i64) -> SStmt {
-        SStmt::Send {
-            to: SExpr::Int(1),
-            tag,
-            array,
-            section: rect(lo, hi),
-        }
-    }
-
-    fn recv(tag: u64, array: Sym, lo: i64, hi: i64) -> SStmt {
-        SStmt::Recv {
-            from: SExpr::Int(0),
-            tag,
-            array,
-            section: rect(lo, hi),
-        }
-    }
-
-    #[test]
-    fn pair_merge_commits_sender_and_receiver_in_lockstep() {
-        let mut i = Interner::new();
-        let a = i.intern("a");
-        let (mut p, _) = prog(vec![SStmt::If {
-            cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::Int(0)),
-            then_body: vec![send(10, a, 1, 4), send(11, a, 5, 8)],
-            else_body: vec![recv(10, a, 1, 4), recv(11, a, 5, 8)],
-        }]);
-        let report = optimize(&mut p, CommOpt::Coalesce);
-        assert_eq!(report.coalesced, 2);
-        match &p.procs[0].body[0] {
-            SStmt::If {
-                then_body,
-                else_body,
-                ..
-            } => {
-                assert_eq!(
-                    then_body.as_slice(),
-                    &[send(10, a, 1, 8)],
-                    "sender side must carry the merged section under tag 10"
-                );
-                assert_eq!(else_body.as_slice(), &[recv(10, a, 1, 8)]);
-            }
-            other => panic!("expected If, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn pair_merge_aborts_when_a_tag_escapes_the_pairing() {
-        let mut i = Interner::new();
-        let a = i.intern("a");
-        // A third, unpaired use of tag 11 means the endpoints can no longer
-        // agree on the rewritten protocol — nothing may merge.
-        let body = vec![
-            SStmt::If {
-                cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::Int(0)),
-                then_body: vec![send(10, a, 1, 4), send(11, a, 5, 8)],
-                else_body: vec![recv(10, a, 1, 4), recv(11, a, 5, 8)],
-            },
-            SStmt::SendElem {
-                to: SExpr::Int(1),
-                tag: 11,
-                value: SExpr::Int(0),
-            },
-        ];
-        let (mut p, _) = prog(body.clone());
-        let report = optimize(&mut p, CommOpt::Coalesce);
-        assert_eq!(report.coalesced, 0);
-        assert_eq!(p.procs[0].body, body);
-    }
-
-    #[test]
-    fn off_level_is_identity() {
-        let mut i = Interner::new();
-        let a = i.intern("a");
-        let body = vec![send(10, a, 1, 4), send(11, a, 5, 8)];
-        let (mut p, _) = prog(body.clone());
-        let report = optimize(&mut p, CommOpt::Off);
-        assert_eq!(report.level, CommOpt::Off);
-        assert_eq!(report.eliminated + report.coalesced + report.hoisted, 0);
-        assert_eq!(p.procs[0].body, body);
     }
 }

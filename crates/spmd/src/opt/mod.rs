@@ -1,0 +1,124 @@
+//! Communication optimization over SPMD node programs (the "between codegen
+//! and emit" pass pipeline).
+//!
+//! Three cooperating optimizations, run in this order:
+//!
+//! 1. **Redundant-communication elimination** (level [`CommOpt::Full`] only):
+//!    a forward "available data" dataflow over broadcast sections. A
+//!    broadcast `buf ← A[sec] from root` makes `A[sec]`'s values *available*
+//!    (replicated) in `buf` on every rank. A later broadcast of a contained
+//!    section of the same array from the same root is redundant — every
+//!    receiver already holds the data — *provided* the tracked region of `A`
+//!    on the root has not changed since, or its changes can be **shadowed**:
+//!    re-applied to `buf` locally by every rank (possible exactly when the
+//!    updates are computable from replicated values, e.g. dgefa's pivot swap
+//!    and scale steps). The facts propagate interprocedurally: at each call
+//!    site the caller's facts are mapped through array/scalar actuals onto
+//!    the callee's formals, met over all call sites in reverse-invocation
+//!    (callers-first) order over the call graph.
+//! 2. **Loop-level message aggregation**: leading loop-invariant collectives
+//!    (and tag-paired send/recv couples) are lifted out of loops with
+//!    provably positive constant trip counts.
+//! 3. **Message coalescing**: adjacent broadcasts with the same root fuse
+//!    into one packed message ([`SStmt::BcastPack`]); adjacent send/send and
+//!    recv/recv pairs over adjacent sections of the same array merge via
+//!    [`Rsd::merge_adjacent`] when the pairing is provably symmetric.
+//!
+//! Every transformation preserves bit-identical array results: shadows
+//! perform the same IEEE operations on the same broadcast bytes every rank
+//! already holds, and packing/aggregation only re-batches identical
+//! payloads. See DESIGN.md §"Communication optimization" for the dataflow
+//! equations and the soundness argument.
+
+use crate::ir::SpmdProgram;
+use std::collections::BTreeMap;
+
+mod coalesce;
+mod dataflow;
+mod hoist;
+#[cfg(test)]
+mod tests;
+
+use coalesce::coalesce;
+use dataflow::eliminate;
+use hoist::hoist;
+
+/// Communication optimization level (driver flag).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum CommOpt {
+    /// Pass disabled: emit exactly what codegen produced.
+    Off,
+    /// Message coalescing and loop-level aggregation only.
+    Coalesce,
+    /// Everything: redundant-communication elimination + aggregation +
+    /// coalescing (the default).
+    #[default]
+    Full,
+}
+
+impl CommOpt {
+    /// Stable spelling for reports, hashing and CLI parsing.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CommOpt::Off => "off",
+            CommOpt::Coalesce => "coalesce",
+            CommOpt::Full => "full",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<CommOpt> {
+        match s {
+            "off" => Some(CommOpt::Off),
+            "coalesce" => Some(CommOpt::Coalesce),
+            "full" => Some(CommOpt::Full),
+            _ => None,
+        }
+    }
+}
+
+/// What the pass did — used for reporting and for incremental-compilation
+/// fact hashing (the per-procedure strings participate in the recompilation
+/// analysis: a change in optimization decisions must change the hash).
+#[derive(Clone, Debug, Default)]
+pub struct OptReport {
+    /// Level the pass ran at.
+    pub level: CommOpt,
+    /// Broadcasts (or send/recv couples) eliminated as redundant.
+    pub eliminated: usize,
+    /// Messages removed by packing/merging (per merged pair).
+    pub coalesced: usize,
+    /// Communication statements lifted out of loops.
+    pub hoisted: usize,
+    /// Per-procedure summary of decisions, keyed by procedure name.
+    /// Deterministic; hashed into the incremental engine's fact hashes.
+    pub per_proc: BTreeMap<String, String>,
+}
+
+/// Runs the communication optimizer in place at the given level.
+pub fn optimize(prog: &mut SpmdProgram, level: CommOpt) -> OptReport {
+    optimize_with_stats(prog, level).0
+}
+
+/// Like [`optimize`], but also returns per-problem solver statistics for
+/// the dataflow passes that ran (currently the available-sections problem
+/// at [`CommOpt::Full`]).
+pub fn optimize_with_stats(
+    prog: &mut SpmdProgram,
+    level: CommOpt,
+) -> (OptReport, Vec<fortrand_analysis::framework::SolveStats>) {
+    let mut report = OptReport {
+        level,
+        ..Default::default()
+    };
+    let mut stats = Vec::new();
+    if level == CommOpt::Off {
+        return (report, stats);
+    }
+    if level == CommOpt::Full {
+        stats.push(eliminate(prog, &mut report));
+    }
+    hoist(prog, &mut report);
+    coalesce(prog, &mut report);
+    (report, stats)
+}

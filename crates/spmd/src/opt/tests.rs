@@ -1,0 +1,275 @@
+use super::coalesce::merge_rects;
+use super::dataflow::{prove_ge, simplify, syn_eq, Ranges};
+use super::*;
+use crate::ir::{SBinOp, SExpr, SLval, SProc, SRect, SStmt};
+use fortrand_ir::{Interner, Sym};
+
+fn prog(body: Vec<SStmt>) -> (SpmdProgram, Interner) {
+    let mut interner = Interner::new();
+    let name = interner.intern("main");
+    let p = SpmdProgram {
+        interner: interner.clone(),
+        nprocs: 2,
+        procs: vec![SProc {
+            name,
+            formals: vec![],
+            decls: vec![],
+            body,
+        }],
+        main: 0,
+        dists: vec![],
+    };
+    (p, interner)
+}
+
+fn rect(lo: i64, hi: i64) -> SRect {
+    SRect::one(SExpr::Int(lo), SExpr::Int(hi))
+}
+
+#[test]
+fn simplify_folds_linear_arithmetic() {
+    let e = SExpr::add(SExpr::Int(1), SExpr::Int(2));
+    assert_eq!(simplify(&e, &[]), SExpr::Int(3));
+    let mut i = Interner::new();
+    let x = i.intern("x");
+    // (x + 1) + 2 and x + 3 normalize to the same linear form.
+    let a = SExpr::add(SExpr::add(SExpr::Var(x), SExpr::Int(1)), SExpr::Int(2));
+    let b = SExpr::add(SExpr::Var(x), SExpr::Int(3));
+    assert!(syn_eq(&a, &b, &[]));
+    assert!(!syn_eq(&a, &SExpr::Var(x), &[]));
+}
+
+#[test]
+fn prove_ge_uses_constants_and_ranges() {
+    let empty = Ranges::new();
+    assert!(prove_ge(&SExpr::Int(5), &SExpr::Int(3), &empty, &[]));
+    assert!(!prove_ge(&SExpr::Int(3), &SExpr::Int(5), &empty, &[]));
+    let mut i = Interner::new();
+    let x = i.intern("x");
+    let mut ranges = Ranges::new();
+    ranges.insert(x, (SExpr::Int(2), SExpr::Int(10)));
+    assert!(prove_ge(&SExpr::Var(x), &SExpr::Int(1), &ranges, &[]));
+    assert!(!prove_ge(&SExpr::Var(x), &SExpr::Int(11), &ranges, &[]));
+}
+
+#[test]
+fn merge_rects_requires_exact_adjacency() {
+    assert_eq!(merge_rects(&rect(1, 4), &rect(5, 8), &[]), Some(rect(1, 8)));
+    // A gap or an overlap refuses.
+    assert_eq!(merge_rects(&rect(1, 4), &rect(6, 9), &[]), None);
+    assert_eq!(merge_rects(&rect(1, 4), &rect(4, 8), &[]), None);
+}
+
+#[test]
+fn merge_rects_2d_needs_degenerate_outer_dims() {
+    // Payload order iterates the last dimension fastest, so a seam in
+    // the last dimension concatenates payloads only when every slower
+    // dimension is a single point.
+    let deg = |row: i64, lo: i64, hi: i64| SRect {
+        dims: vec![
+            (SExpr::Int(row), SExpr::Int(row), 1),
+            (SExpr::Int(lo), SExpr::Int(hi), 1),
+        ],
+    };
+    assert_eq!(
+        merge_rects(&deg(2, 1, 4), &deg(2, 5, 8), &[]),
+        Some(deg(2, 1, 8))
+    );
+    let wide = |lo: i64, hi: i64| SRect {
+        dims: vec![
+            (SExpr::Int(1), SExpr::Int(2), 1),
+            (SExpr::Int(lo), SExpr::Int(hi), 1),
+        ],
+    };
+    assert_eq!(merge_rects(&wide(1, 4), &wide(5, 8), &[]), None);
+}
+
+#[test]
+fn hoist_lifts_invariant_scalar_broadcast() {
+    let mut i = Interner::new();
+    let s = i.intern("s");
+    let x = i.intern("x");
+    let iv = i.intern("i");
+    let loop_body = vec![
+        SStmt::BcastScalar {
+            root: SExpr::Int(0),
+            var: s,
+        },
+        SStmt::Assign {
+            lhs: SLval::Elem {
+                array: x,
+                subs: vec![SExpr::Var(iv)],
+            },
+            rhs: SExpr::Var(s),
+        },
+    ];
+    let (mut p, _) = prog(vec![SStmt::Do {
+        var: iv,
+        lo: SExpr::Int(1),
+        hi: SExpr::Int(4),
+        step: 1,
+        body: loop_body.clone(),
+    }]);
+    let report = optimize(&mut p, CommOpt::Coalesce);
+    assert_eq!(report.hoisted, 1);
+    assert!(matches!(p.procs[0].body[0], SStmt::BcastScalar { .. }));
+    match &p.procs[0].body[1] {
+        SStmt::Do { body, .. } => assert_eq!(body.len(), 1),
+        other => panic!("expected Do, got {other:?}"),
+    }
+
+    // Redefining the scalar later in the body pins the broadcast.
+    let mut pinned = loop_body;
+    pinned.push(SStmt::Assign {
+        lhs: SLval::Scalar(s),
+        rhs: SExpr::Int(0),
+    });
+    let (mut p2, _) = prog(vec![SStmt::Do {
+        var: iv,
+        lo: SExpr::Int(1),
+        hi: SExpr::Int(4),
+        step: 1,
+        body: pinned,
+    }]);
+    let report2 = optimize(&mut p2, CommOpt::Coalesce);
+    assert_eq!(report2.hoisted, 0);
+    assert!(matches!(p2.procs[0].body[0], SStmt::Do { .. }));
+}
+
+#[test]
+fn hoist_refuses_possibly_zero_trip_loops() {
+    let mut i = Interner::new();
+    let s = i.intern("s");
+    let iv = i.intern("i");
+    let n = i.intern("n");
+    for (lo, hi) in [
+        (SExpr::Int(5), SExpr::Int(4)), // zero trips
+        (SExpr::Int(1), SExpr::Var(n)), // unknown trips
+    ] {
+        let (mut p, _) = prog(vec![SStmt::Do {
+            var: iv,
+            lo,
+            hi,
+            step: 1,
+            body: vec![SStmt::BcastScalar {
+                root: SExpr::Int(0),
+                var: s,
+            }],
+        }]);
+        let report = optimize(&mut p, CommOpt::Coalesce);
+        assert_eq!(report.hoisted, 0);
+        assert!(matches!(p.procs[0].body[0], SStmt::Do { .. }));
+    }
+}
+
+#[test]
+fn pack_fuses_same_root_broadcast_runs() {
+    let mut i = Interner::new();
+    let a = i.intern("a");
+    let b = i.intern("b");
+    let c = i.intern("c");
+    let bcast = |src: Sym, dst: Sym, lo: i64, hi: i64| SStmt::Bcast {
+        root: SExpr::Int(0),
+        src_array: src,
+        src_section: rect(lo, hi),
+        dst_array: dst,
+        dst_section: rect(1, hi - lo + 1),
+    };
+    let (mut p, _) = prog(vec![bcast(a, b, 1, 2), bcast(a, c, 3, 4)]);
+    let report = optimize(&mut p, CommOpt::Coalesce);
+    assert_eq!(report.coalesced, 1);
+    assert_eq!(p.procs[0].body.len(), 1);
+    match &p.procs[0].body[0] {
+        SStmt::BcastPack { parts, .. } => assert_eq!(parts.len(), 2),
+        other => panic!("expected BcastPack, got {other:?}"),
+    }
+
+    // The second broadcast reads what the first wrote: packing would
+    // gather stale data, so the run must not fuse.
+    let (mut p2, _) = prog(vec![bcast(a, b, 1, 2), bcast(b, c, 1, 2)]);
+    let report2 = optimize(&mut p2, CommOpt::Coalesce);
+    assert_eq!(report2.coalesced, 0);
+    assert_eq!(p2.procs[0].body.len(), 2);
+}
+
+fn send(tag: u64, array: Sym, lo: i64, hi: i64) -> SStmt {
+    SStmt::Send {
+        to: SExpr::Int(1),
+        tag,
+        array,
+        section: rect(lo, hi),
+    }
+}
+
+fn recv(tag: u64, array: Sym, lo: i64, hi: i64) -> SStmt {
+    SStmt::Recv {
+        from: SExpr::Int(0),
+        tag,
+        array,
+        section: rect(lo, hi),
+    }
+}
+
+#[test]
+fn pair_merge_commits_sender_and_receiver_in_lockstep() {
+    let mut i = Interner::new();
+    let a = i.intern("a");
+    let (mut p, _) = prog(vec![SStmt::If {
+        cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::Int(0)),
+        then_body: vec![send(10, a, 1, 4), send(11, a, 5, 8)],
+        else_body: vec![recv(10, a, 1, 4), recv(11, a, 5, 8)],
+    }]);
+    let report = optimize(&mut p, CommOpt::Coalesce);
+    assert_eq!(report.coalesced, 2);
+    match &p.procs[0].body[0] {
+        SStmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            assert_eq!(
+                then_body.as_slice(),
+                &[send(10, a, 1, 8)],
+                "sender side must carry the merged section under tag 10"
+            );
+            assert_eq!(else_body.as_slice(), &[recv(10, a, 1, 8)]);
+        }
+        other => panic!("expected If, got {other:?}"),
+    }
+}
+
+#[test]
+fn pair_merge_aborts_when_a_tag_escapes_the_pairing() {
+    let mut i = Interner::new();
+    let a = i.intern("a");
+    // A third, unpaired use of tag 11 means the endpoints can no longer
+    // agree on the rewritten protocol — nothing may merge.
+    let body = vec![
+        SStmt::If {
+            cond: SExpr::bin(SBinOp::Eq, SExpr::MyP, SExpr::Int(0)),
+            then_body: vec![send(10, a, 1, 4), send(11, a, 5, 8)],
+            else_body: vec![recv(10, a, 1, 4), recv(11, a, 5, 8)],
+        },
+        SStmt::SendElem {
+            to: SExpr::Int(1),
+            tag: 11,
+            value: SExpr::Int(0),
+        },
+    ];
+    let (mut p, _) = prog(body.clone());
+    let report = optimize(&mut p, CommOpt::Coalesce);
+    assert_eq!(report.coalesced, 0);
+    assert_eq!(p.procs[0].body, body);
+}
+
+#[test]
+fn off_level_is_identity() {
+    let mut i = Interner::new();
+    let a = i.intern("a");
+    let body = vec![send(10, a, 1, 4), send(11, a, 5, 8)];
+    let (mut p, _) = prog(body.clone());
+    let report = optimize(&mut p, CommOpt::Off);
+    assert_eq!(report.level, CommOpt::Off);
+    assert_eq!(report.eliminated + report.coalesced + report.hoisted, 0);
+    assert_eq!(p.procs[0].body, body);
+}

@@ -91,6 +91,92 @@ fn local_edit_recompiles_strictly_fewer_units_than_a_clean_build() {
     assert!(inc.recompiled.len() + inc.reused.len() == total);
 }
 
+/// Two-callee program for the per-fact-class digest scenarios: `a`
+/// ignores its `m` formal entirely, `b` uses it as a loop bound, and the
+/// constant flows into both from `main`'s PARAMETER.
+const CONSTS_CORPUS: &str = "
+      PROGRAM MAIN
+      REAL X(100)
+      PARAMETER (n$proc = 4)
+      PARAMETER (c = 8)
+      DISTRIBUTE X(BLOCK)
+      call A(X, c)
+      call B(X, c)
+      END
+      SUBROUTINE A(X, m)
+      REAL X(100)
+      do i = 1, 100
+        X(i) = 1.0
+      enddo
+      END
+      SUBROUTINE B(X, m)
+      REAL X(100)
+      do i = 1, m
+        X(i) = 2.0
+      enddo
+      END
+";
+
+#[test]
+fn constants_only_edit_recompiles_fewer_units_than_decomposition_edit() {
+    let const_edit = CONSTS_CORPUS.replace("(c = 8)", "(c = 9)");
+    let decomp_edit = CONSTS_CORPUS.replace("DISTRIBUTE X(BLOCK)", "DISTRIBUTE X(CYCLIC)");
+    let opts = CompileOptions::default();
+
+    let recompiled = |edit: &str| {
+        let mut eng = IncrementalEngine::new();
+        eng.compile(CONSTS_CORPUS, &opts).unwrap();
+        let inc = eng.compile(edit, &opts).unwrap();
+        assert_eq!(
+            pretty_all(&inc.spmd),
+            pretty_all(&compile(edit, &opts).unwrap().spmd),
+            "incremental output must stay byte-identical"
+        );
+        inc.recompiled
+    };
+
+    // The constants-only edit recompiles `main` (its own source changed —
+    // PARAMETER lives in the declarations, covered by the fingerprint) and
+    // `b` (the constant reaches its loop bound), but *reuses* `a`, whose
+    // code never reads the `m` formal the constant lands in.
+    let const_rec = recompiled(&const_edit);
+    assert!(const_rec.contains_key("main"), "{const_rec:?}");
+    assert_eq!(
+        const_rec.get("b"),
+        Some(&Reason::FactsChanged),
+        "{const_rec:?}"
+    );
+    assert!(!const_rec.contains_key("a"), "{const_rec:?}");
+
+    // The decomposition edit changes the reaching class of every callee.
+    let decomp_rec = recompiled(&decomp_edit);
+    assert!(
+        const_rec.len() < decomp_rec.len(),
+        "{const_rec:?} vs {decomp_rec:?}"
+    );
+
+    // Monolithic baseline: with one all-classes hash per unit (plus the
+    // source hashes), the same constants edit would have invalidated `a`
+    // too — the constant sits in its concatenated fact string even though
+    // nothing consumes it. The per-class engine recompiles strictly fewer.
+    let clean0 = compile(CONSTS_CORPUS, &opts).unwrap();
+    let clean1 = compile(&const_edit, &opts).unwrap();
+    let monolithic = clean1
+        .report
+        .fact_hashes
+        .iter()
+        .filter(|(name, h)| {
+            clean0.report.fact_hashes.get(*name) != Some(h)
+                || clean0.report.source_hashes.get(*name) != clean1.report.source_hashes.get(*name)
+        })
+        .count();
+    assert!(
+        const_rec.len() < monolithic,
+        "per-class {} vs monolithic {monolithic}",
+        const_rec.len()
+    );
+}
+
 #[test]
 fn chained_edits_keep_converging() {
     // Edit, edit back, edit again: each round's decisions must be based on
