@@ -1,0 +1,47 @@
+//! Execution-engine wall-clock: the bytecode VM vs the reference
+//! tree-walker on the dgefa case study (n=64, p=4). The `sim-gate`
+//! tables subcommand enforces the speedup on the larger n=256 instance;
+//! this bench tracks the small instance with Criterion statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fortrand::corpus::{dgefa_matrix, dgefa_source};
+use fortrand::{compile, CompileOptions, ExecEngine, Strategy};
+use fortrand_machine::Machine;
+use fortrand_spmd::run_spmd_engine;
+use std::collections::BTreeMap;
+
+fn bench_engines(c: &mut Criterion) {
+    let n = 64;
+    let p = 4;
+    let out = compile(
+        &dgefa_source(n, p),
+        &CompileOptions {
+            strategy: Strategy::Interprocedural,
+            nprocs: Some(p),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut init = BTreeMap::new();
+    init.insert(out.spmd.interner.get("a").unwrap(), dgefa_matrix(n));
+
+    let mut g = c.benchmark_group("sim_time");
+    g.sample_size(10);
+    for (name, engine) in [
+        ("dgefa_n64_p4_tree", ExecEngine::Tree),
+        ("dgefa_n64_p4_bytecode", ExecEngine::Bytecode),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let machine = Machine::new(p);
+                run_spmd_engine(&out.spmd, &machine, &init, engine)
+                    .stats
+                    .time_us
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -7,7 +7,9 @@
 
 use fortrand::corpus::{dgefa_matrix, dgefa_source};
 use fortrand::recompile::{self, ModuleDb};
-use fortrand::{compile, CompileOptions, DynOptLevel, Strategy};
+use fortrand::{
+    compile, record_exec_stats, run_spmd_engine, CompileOptions, DynOptLevel, ExecEngine, Strategy,
+};
 use fortrand_analysis::acg::build_acg;
 use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
 use fortrand_analysis::reaching;
@@ -55,13 +57,28 @@ fn main() {
     }
     if want("passes") {
         banner("PASSES — framework solver statistics per compile");
-        for (label, src) in [
-            ("fig1", FIG1.to_string()),
-            ("fig4", FIG4.to_string()),
-            ("fig15", FIG15.to_string()),
-            ("dgefa n=64 p=4", dgefa_source(64, 4)),
+        for (label, src, with_matrix) in [
+            ("fig1", FIG1.to_string(), false),
+            ("fig4", FIG4.to_string(), false),
+            ("fig15", FIG15.to_string(), false),
+            ("dgefa n=64 p=4", dgefa_source(64, 4), true),
         ] {
-            let out = compile(&src, &CompileOptions::default()).unwrap();
+            let mut out = compile(&src, &CompileOptions::default()).unwrap();
+            // Execution cost rides along with the solver rows: one
+            // simulated run per engine, folded into pass_stats.
+            let mut init = std::collections::BTreeMap::new();
+            if with_matrix {
+                init.insert(out.spmd.interner.get("a").unwrap(), dgefa_matrix(64));
+            }
+            for engine in [ExecEngine::Tree, ExecEngine::Bytecode] {
+                let machine = fortrand_machine::Machine::new(out.spmd.nprocs);
+                let res = run_spmd_engine(&out.spmd, &machine, &init, engine);
+                record_exec_stats(
+                    &mut out.report,
+                    &format!("{engine:?}").to_lowercase(),
+                    &res.stats,
+                );
+            }
             println!("{label}:");
             for st in &out.report.pass_stats {
                 println!("  {}", st.render());
@@ -450,6 +467,66 @@ fn main() {
         }
         println!("gate passed");
     }
+    if want("simtime") {
+        banner("SIM TIME — bytecode VM vs tree-walker wall-clock");
+        let timings = fortrand_bench::sim_experiments(3);
+        print_timings(&timings);
+        if json {
+            let doc = fortrand_bench::sim_report_of(&timings);
+            std::fs::write("BENCH_sim.json", doc.pretty()).expect("write BENCH_sim.json");
+            println!("wrote BENCH_sim.json");
+        }
+    }
+    if want("sim-gate") {
+        banner("SIM TIME — bytecode engine speedup regression gate");
+        let threshold_path = concat!(env!("CARGO_MANIFEST_DIR"), "/sim_threshold.json");
+        let text = std::fs::read_to_string(threshold_path)
+            .unwrap_or_else(|e| panic!("read {threshold_path}: {e}"));
+        let limits = fortrand::json::parse(&text).expect("parse sim_threshold.json");
+        let min_x100 = limits
+            .get("dgefa_n256_p8_min_speedup_x100")
+            .and_then(|v| v.as_int())
+            .expect("dgefa_n256_p8_min_speedup_x100");
+        let timings = fortrand_bench::sim_experiments(3);
+        print_timings(&timings);
+        let mut failed = false;
+        for t in &timings {
+            if !t.identical {
+                eprintln!(
+                    "GATE FAIL: {}: engines disagree on simulated output",
+                    t.label
+                );
+                failed = true;
+            }
+        }
+        let gate = timings
+            .iter()
+            .find(|t| t.label == "dgefa n=256 p=8")
+            .expect("gate experiment");
+        let x100 = (gate.speedup() * 100.0) as i128;
+        println!(
+            "dgefa n=256 p=8: bytecode speedup {:.2}x              (threshold {:.2}x)",
+            gate.speedup(),
+            min_x100 as f64 / 100.0
+        );
+        if x100 < min_x100 {
+            eprintln!(
+                "GATE FAIL: speedup {:.2}x below threshold {:.2}x",
+                gate.speedup(),
+                min_x100 as f64 / 100.0
+            );
+            failed = true;
+        }
+        if json {
+            let doc = fortrand_bench::sim_report_of(&timings);
+            std::fs::write("BENCH_sim.json", doc.pretty()).expect("write BENCH_sim.json");
+            println!("wrote BENCH_sim.json");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("gate passed");
+    }
     if want("sec9-check") {
         banner("SEC 9 — dgefa residual check vs sequential");
         let n = 32;
@@ -471,4 +548,22 @@ fn main() {
 
 fn banner(title: &str) {
     println!("\n==== {title} ====");
+}
+
+fn print_timings(timings: &[fortrand_bench::EngineTiming]) {
+    println!(
+        "{:<22} {:>14} {:>14} {:>9} {:>14}  outputs",
+        "experiment", "tree (us)", "bytecode (us)", "speedup", "vm instrs"
+    );
+    for t in timings {
+        println!(
+            "{:<22} {:>14} {:>14} {:>8.2}x {:>14}  {}",
+            t.label,
+            t.tree_wall_us,
+            t.bytecode_wall_us,
+            t.speedup(),
+            t.bytecode_instrs,
+            if t.identical { "identical" } else { "DIVERGED" }
+        );
+    }
 }

@@ -14,8 +14,9 @@ use fortrand::corpus::{dgefa_matrix, dgefa_source, fig15_source, fig4_source, re
 use fortrand::json::Json;
 use fortrand::{compile, CommOpt, CompileOptions, DynOptLevel, Strategy};
 use fortrand_machine::{Machine, RunStats, HIST_LABELS};
-use fortrand_spmd::run_spmd;
+use fortrand_spmd::{run_spmd, run_spmd_engine, ExecEngine, ExecOutput};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Compiles and simulates one program; panics on compile errors (the
 /// corpus is known-good).
@@ -276,6 +277,204 @@ pub fn ablation_alpha(alphas_us: &[f64], nprocs: usize) -> Vec<(f64, f64, f64)> 
             (alpha, inter, imm)
         })
         .collect()
+}
+
+/// Host wall-clock comparison of the two execution engines on one
+/// program, plus the shared simulated metrics (identical by construction
+/// — [`EngineTiming::identical`] records whether they actually were).
+#[derive(Debug, Clone)]
+pub struct EngineTiming {
+    /// Experiment label.
+    pub label: String,
+    /// Tree-walker wall-clock, min over reps (µs, host time).
+    pub tree_wall_us: u64,
+    /// Bytecode-VM wall-clock, min over reps (µs, host time, includes
+    /// lowering — charged against the VM to keep the comparison honest).
+    pub bytecode_wall_us: u64,
+    /// Simulated LogGP time (identical across engines).
+    pub model_time_us: f64,
+    /// Total simulated messages.
+    pub msgs: u64,
+    /// Total simulated bytes.
+    pub bytes: u64,
+    /// VM instructions dispatched across all ranks.
+    pub bytecode_instrs: u64,
+    /// Pooled message buffers reused (from the bytecode run; varies with
+    /// thread interleaving).
+    pub pool_reuses: u64,
+    /// Pooled message buffers allocated fresh (bytecode run).
+    pub pool_allocs: u64,
+    /// Whether every simulated observable (model time, message totals,
+    /// histograms, per-tag counts, final arrays, printed output) was
+    /// bit-identical between the engines.
+    pub identical: bool,
+}
+
+impl EngineTiming {
+    /// Wall-clock speedup of the bytecode engine over the tree-walker.
+    pub fn speedup(&self) -> f64 {
+        self.tree_wall_us as f64 / self.bytecode_wall_us.max(1) as f64
+    }
+}
+
+/// True iff two runs agree on every *simulated* observable. Host-side
+/// measurements (`wall_us`, pool counters, `engine_instrs`) are excluded:
+/// they are nondeterministic or engine-specific by design.
+pub fn outputs_identical(a: &ExecOutput, b: &ExecOutput) -> bool {
+    a.stats.time_us == b.stats.time_us
+        && a.stats.total_msgs == b.stats.total_msgs
+        && a.stats.total_bytes == b.stats.total_bytes
+        && a.stats.total_flops == b.stats.total_flops
+        && a.stats.total_ops == b.stats.total_ops
+        && a.stats.total_remaps == b.stats.total_remaps
+        && a.stats.msg_hist == b.stats.msg_hist
+        && a.stats.msgs_by_tag == b.stats.msgs_by_tag
+        && a.arrays == b.arrays
+        && a.printed == b.printed
+}
+
+/// Compiles `src` once, then runs it `reps` times under each engine,
+/// timing each run with host wall-clock and keeping the minimum (the
+/// usual benchmarking guard against scheduler noise).
+pub fn engine_experiment(
+    label: &str,
+    src: &str,
+    strategy: Strategy,
+    dyn_opt: DynOptLevel,
+    nprocs: usize,
+    init_named: &BTreeMap<&str, Vec<f64>>,
+    reps: usize,
+) -> EngineTiming {
+    let out = compile(
+        src,
+        &CompileOptions {
+            strategy,
+            dyn_opt,
+            nprocs: Some(nprocs),
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("compile ({strategy:?}): {e}"));
+    let mut init = BTreeMap::new();
+    for (name, data) in init_named {
+        if let Some(s) = out.spmd.interner.get(name) {
+            init.insert(s, data.clone());
+        }
+    }
+    let run = |engine: ExecEngine| -> (ExecOutput, u64) {
+        let mut best = u64::MAX;
+        let mut result = None;
+        for _ in 0..reps.max(1) {
+            let machine = Machine::new(nprocs);
+            let t0 = Instant::now();
+            let r = run_spmd_engine(&out.spmd, &machine, &init, engine);
+            best = best.min(t0.elapsed().as_micros() as u64);
+            result = Some(r);
+        }
+        (result.unwrap(), best.max(1))
+    };
+    let (tree, tree_wall_us) = run(ExecEngine::Tree);
+    let (vm, bytecode_wall_us) = run(ExecEngine::Bytecode);
+    EngineTiming {
+        label: label.into(),
+        tree_wall_us,
+        bytecode_wall_us,
+        model_time_us: vm.stats.time_us,
+        msgs: vm.stats.total_msgs,
+        bytes: vm.stats.total_bytes,
+        bytecode_instrs: vm.stats.engine_instrs,
+        pool_reuses: vm.stats.pool_reuses,
+        pool_allocs: vm.stats.pool_allocs,
+        identical: outputs_identical(&tree, &vm),
+    }
+}
+
+/// One [`EngineTiming`] as a JSON object (one entry of the
+/// `BENCH_sim.json` artifact; format documented in EXPERIMENTS.md).
+fn timing_json(t: &EngineTiming) -> Json {
+    Json::Obj(vec![
+        ("experiment".into(), Json::str(&t.label)),
+        ("tree_wall_us".into(), Json::Int(t.tree_wall_us as i128)),
+        (
+            "bytecode_wall_us".into(),
+            Json::Int(t.bytecode_wall_us as i128),
+        ),
+        (
+            "speedup_x100".into(),
+            Json::Int((t.speedup() * 100.0) as i128),
+        ),
+        ("speedup".into(), Json::str(format!("{:.2}", t.speedup()))),
+        (
+            "model_time_us".into(),
+            Json::str(format!("{:.3}", t.model_time_us)),
+        ),
+        ("msgs".into(), Json::Int(t.msgs as i128)),
+        ("bytes".into(), Json::Int(t.bytes as i128)),
+        (
+            "bytecode_instrs".into(),
+            Json::Int(t.bytecode_instrs as i128),
+        ),
+        ("pool_reuses".into(), Json::Int(t.pool_reuses as i128)),
+        ("pool_allocs".into(), Json::Int(t.pool_allocs as i128)),
+        ("identical".into(), Json::Bool(t.identical)),
+    ])
+}
+
+/// The experiments behind `BENCH_sim.json`: the dgefa case study at two
+/// scales plus the Fig. 4 delayed-instantiation program (call-heavy, so
+/// it stresses frame push/pop rather than array loops).
+pub fn sim_experiments(reps: usize) -> Vec<EngineTiming> {
+    let mut init = BTreeMap::new();
+    init.insert("a", dgefa_matrix(64));
+    let mut init256 = BTreeMap::new();
+    init256.insert("a", dgefa_matrix(256));
+    vec![
+        engine_experiment(
+            "dgefa n=64 p=4",
+            &dgefa_source(64, 4),
+            Strategy::Interprocedural,
+            DynOptLevel::Kills,
+            4,
+            &init,
+            reps,
+        ),
+        engine_experiment(
+            "dgefa n=256 p=8",
+            &dgefa_source(256, 8),
+            Strategy::Interprocedural,
+            DynOptLevel::Kills,
+            8,
+            &init256,
+            reps,
+        ),
+        engine_experiment(
+            "fig4 trips=100 p=4",
+            &fig4_source(100, 4),
+            Strategy::Interprocedural,
+            DynOptLevel::Kills,
+            4,
+            &BTreeMap::new(),
+            reps,
+        ),
+    ]
+}
+
+/// The `BENCH_sim.json` document: wall-clock of both execution engines,
+/// the speedup of the bytecode VM, and the shared simulated metrics.
+pub fn sim_report(reps: usize) -> Json {
+    sim_report_of(&sim_experiments(reps))
+}
+
+/// [`sim_report`] over already-measured timings (so callers that need the
+/// timings for gating don't run the experiments twice).
+pub fn sim_report_of(timings: &[EngineTiming]) -> Json {
+    Json::Obj(vec![
+        ("version".into(), Json::Int(1)),
+        (
+            "experiments".into(),
+            Json::Arr(timings.iter().map(timing_json).collect()),
+        ),
+    ])
 }
 
 /// Communication metrics for one simulated run as a JSON object (one

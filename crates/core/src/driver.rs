@@ -142,6 +142,27 @@ pub struct CompileReport {
     pub comm: OptReport,
 }
 
+/// Folds one simulated run's execution-engine cost into a report's
+/// `pass_stats`, so `tables passes` shows what running the program cost
+/// next to what compiling it cost. `units` carries the processor count,
+/// `contributions` the instructions the engine dispatched (0 for the tree
+/// engine, which does not count dispatches), and `wall_ns` the host
+/// wall-clock of the simulated run.
+pub fn record_exec_stats(
+    report: &mut CompileReport,
+    label: &str,
+    stats: &fortrand_machine::RunStats,
+) {
+    report.pass_stats.push(SolveStats {
+        problem: format!("exec {label}"),
+        direction: "run".into(),
+        units: stats.per_node.len(),
+        contributions: stats.engine_instrs as usize,
+        iterations: 1,
+        wall_ns: (stats.wall_us * 1e3) as u64,
+    });
+}
+
 /// A compiled program plus its report.
 pub struct CompileOutput {
     /// The SPMD node program.

@@ -49,9 +49,11 @@ pub mod recompile;
 pub mod seq;
 
 pub use driver::{
-    compile, CompileError, CompileMode, CompileOptions, CompileOutput, CompileReport,
+    compile, record_exec_stats, CompileError, CompileMode, CompileOptions, CompileOutput,
+    CompileReport,
 };
 pub use fortrand_spmd::opt::{CommOpt, OptReport};
+pub use fortrand_spmd::{run_spmd_engine, ExecEngine};
 pub use incremental::{IncrementalEngine, IncrementalOutput};
 pub use model::{DynOptLevel, Strategy};
 pub use seq::run_sequential;

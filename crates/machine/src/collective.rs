@@ -8,6 +8,7 @@
 //! parity so a fast node entering the *next* collective cannot clobber a
 //! result a slow node has not yet read.
 
+use crate::node::{Payload, PayloadBuf};
 use std::sync::{Condvar, Mutex};
 
 #[derive(Default)]
@@ -15,7 +16,7 @@ struct CollState {
     generation: u64,
     arrived: usize,
     clocks: Vec<f64>,
-    payload: Option<Vec<f64>>,
+    payload: Option<Payload>,
     payload_clock: f64,
     sum: f64,
     best_val: f64,
@@ -24,10 +25,12 @@ struct CollState {
     results: [Option<CollOut>; 2],
 }
 
+/// Rendezvous result. `data` is a shared [`Payload`]: every waiter clones
+/// the `Arc`, not the buffer.
 #[derive(Clone, Default)]
 struct CollOut {
     time: f64,
-    data: Vec<f64>,
+    data: Option<Payload>,
     sum: f64,
 }
 
@@ -117,13 +120,14 @@ impl SharedCollectives {
 
     /// Broadcast: the root passes `Some(data)`; everyone receives
     /// `(arrival_time, data)` where `arrival_time = finish(root_clock,
-    /// bytes)`. Callers clamp with their own clock.
+    /// bytes)`. Callers clamp with their own clock. The payload is shared:
+    /// each participant gets a clone of the root's `Arc`.
     pub fn bcast(
         &self,
         my_clock: f64,
-        payload: Option<Vec<f64>>,
+        payload: Option<Payload>,
         finish: impl FnOnce(f64, u64) -> f64,
-    ) -> (f64, Vec<f64>) {
+    ) -> (f64, Payload) {
         let out = self.rendezvous(
             |g| {
                 if let Some(p) = payload {
@@ -137,12 +141,12 @@ impl SharedCollectives {
                 let bytes = (data.len() * 8) as u64;
                 CollOut {
                     time: finish(g.payload_clock, bytes),
-                    data,
+                    data: Some(data),
                     sum: 0.0,
                 }
             },
         );
-        (out.time, out.data)
+        (out.time, out.data.expect("bcast result payload"))
     }
 
     /// Sum all-reduce: returns `(completion_time, sum)` where completion is
@@ -155,7 +159,7 @@ impl SharedCollectives {
             },
             |g| CollOut {
                 time: g.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + extra_cost,
-                data: vec![],
+                data: None,
                 sum: g.sum,
             },
         );
@@ -186,11 +190,12 @@ impl SharedCollectives {
             },
             |g| CollOut {
                 time: g.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + extra_cost,
-                data: std::mem::take(&mut g.best_payload),
+                data: Some(PayloadBuf::unpooled(std::mem::take(&mut g.best_payload))),
                 sum: g.best_val,
             },
         );
-        (out.time, out.sum, out.data)
+        let data = out.data.expect("maxloc result payload").to_vec();
+        (out.time, out.sum, data)
     }
 }
 

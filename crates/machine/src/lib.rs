@@ -25,7 +25,7 @@ mod stats;
 
 pub use collective::SharedCollectives;
 pub use cost::CostModel;
-pub use node::{Msg, Node};
+pub use node::{BufferPool, Msg, Node, Payload, PayloadBuf};
 pub use stats::{size_bucket, NodeStats, RunStats, HIST_BUCKETS, HIST_LABELS};
 
 use std::sync::mpsc::channel as unbounded;
@@ -84,6 +84,7 @@ impl Machine {
     {
         let p = self.nprocs;
         assert!(p >= 1, "machine needs at least one processor");
+        let wall_t0 = std::time::Instant::now();
         // Pairwise FIFO channels: index [src * p + dst].
         let mut senders = Vec::with_capacity(p * p);
         let mut receivers: Vec<Vec<_>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -96,6 +97,7 @@ impl Machine {
         }
         let senders = Arc::new(senders);
         let collectives = Arc::new(SharedCollectives::new(p));
+        let pool = BufferPool::new();
         let mut node_stats: Vec<Option<NodeStats>> = (0..p).map(|_| None).collect();
 
         std::thread::scope(|scope| {
@@ -103,12 +105,21 @@ impl Machine {
             for (rank, my_receivers) in receivers.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
                 let collectives = Arc::clone(&collectives);
+                let pool = Arc::clone(&pool);
                 let cost = self.cost.clone();
                 let timeout = self.deadlock_timeout;
                 let body = &body;
                 handles.push(scope.spawn(move || {
-                    let mut node =
-                        Node::new(rank, p, cost, senders, my_receivers, collectives, timeout);
+                    let mut node = Node::new(
+                        rank,
+                        p,
+                        cost,
+                        senders,
+                        my_receivers,
+                        collectives,
+                        pool,
+                        timeout,
+                    );
                     body(&mut node);
                     node.into_stats()
                 }));
@@ -121,7 +132,13 @@ impl Machine {
             }
         });
 
-        RunStats::aggregate(node_stats.into_iter().map(Option::unwrap).collect())
+        let mut stats = RunStats::aggregate(node_stats.into_iter().map(Option::unwrap).collect());
+        let (reuses, allocs, bytes_reused) = pool.counters();
+        stats.pool_reuses = reuses;
+        stats.pool_allocs = allocs;
+        stats.pool_bytes_reused = bytes_reused;
+        stats.wall_us = wall_t0.elapsed().as_secs_f64() * 1e6;
+        stats
     }
 }
 

@@ -3,8 +3,9 @@
 use crate::collective::SharedCollectives;
 use crate::cost::CostModel;
 use crate::stats::NodeStats;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How long a real thread may block on a simulated receive before the run
@@ -13,14 +14,116 @@ use std::time::Duration;
 /// deadlock path can be exercised without a 30-second stall.
 pub(crate) const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Machine-wide free list of `Vec<f64>` message buffers. Senders acquire a
+/// buffer instead of allocating, and a [`Payload`] returns its buffer here
+/// when the last reference drops (usually on the receiving rank), so steady
+/// states — a loop sending the same-shaped message every iteration — stop
+/// allocating entirely. Counters are aggregated into
+/// [`crate::RunStats::pool_reuses`] after a run.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<f64>>>,
+    reuses: AtomicU64,
+    allocs: AtomicU64,
+    bytes_reused: AtomicU64,
+}
+
+impl BufferPool {
+    /// A fresh, shareable pool.
+    pub fn new() -> Arc<BufferPool> {
+        Arc::new(BufferPool::default())
+    }
+
+    /// Takes a cleared buffer from the free list, or allocates one.
+    pub fn acquire(&self) -> Vec<f64> {
+        if let Some(mut v) = self.free.lock().expect("buffer pool poisoned").pop() {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            self.bytes_reused
+                .fetch_add((v.capacity() * 8) as u64, Ordering::Relaxed);
+            v.clear();
+            v
+        } else {
+            self.allocs.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        }
+    }
+
+    fn recycle(&self, v: Vec<f64>) {
+        if v.capacity() > 0 {
+            self.free.lock().expect("buffer pool poisoned").push(v);
+        }
+    }
+
+    /// Wraps a buffer into a refcounted payload that recycles itself here
+    /// on last drop.
+    pub fn wrap(self: &Arc<Self>, data: Vec<f64>) -> Payload {
+        Arc::new(PayloadBuf {
+            data: Some(data),
+            pool: Some(Arc::clone(self)),
+        })
+    }
+
+    /// `(reuses, allocs, bytes_reused)` counters so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.reuses.load(Ordering::Relaxed),
+            self.allocs.load(Ordering::Relaxed),
+            self.bytes_reused.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Refcounted message payload. Cloning a `Payload` shares the underlying
+/// buffer (broadcast hands every waiter the same `Arc`); when the last
+/// reference drops, a pooled buffer goes back to its [`BufferPool`].
+pub type Payload = Arc<PayloadBuf>;
+
+/// The buffer behind a [`Payload`]; derefs to `[f64]`.
+#[derive(Debug)]
+pub struct PayloadBuf {
+    data: Option<Vec<f64>>,
+    pool: Option<Arc<BufferPool>>,
+}
+
+impl PayloadBuf {
+    /// A payload that frees (rather than recycles) its buffer.
+    pub fn unpooled(data: Vec<f64>) -> Payload {
+        Arc::new(PayloadBuf {
+            data: Some(data),
+            pool: None,
+        })
+    }
+
+    fn take_data(&mut self) -> Vec<f64> {
+        self.pool = None; // the caller owns the buffer now
+        self.data.take().unwrap_or_default()
+    }
+}
+
+impl std::ops::Deref for PayloadBuf {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.data.as_deref().unwrap_or(&[])
+    }
+}
+
+impl Drop for PayloadBuf {
+    fn drop(&mut self) {
+        if let (Some(v), Some(pool)) = (self.data.take(), self.pool.take()) {
+            pool.recycle(v);
+        }
+    }
+}
+
 /// One simulated message: a tag, a payload of f64 words, and the virtual
 /// time at which it becomes available to the receiver.
 #[derive(Clone, Debug)]
 pub struct Msg {
     /// User tag; receives assert on it to catch compiler bugs early.
     pub tag: u64,
-    /// Payload (Fortran REALs are simulated as f64 throughout).
-    pub data: Vec<f64>,
+    /// Payload (Fortran REALs are simulated as f64 throughout). Shared,
+    /// not copied: the channel moves one `Arc`.
+    pub data: Payload,
     /// Virtual time at which the receiver may consume the message.
     pub avail_at_us: f64,
 }
@@ -36,11 +139,13 @@ pub struct Node {
     senders: Arc<Vec<Sender<Msg>>>,
     receivers: Vec<Receiver<Msg>>,
     collectives: Arc<SharedCollectives>,
+    pool: Arc<BufferPool>,
     stats: NodeStats,
     deadlock_timeout: Duration,
 }
 
 impl Node {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         nprocs: usize,
@@ -48,6 +153,7 @@ impl Node {
         senders: Arc<Vec<Sender<Msg>>>,
         receivers: Vec<Receiver<Msg>>,
         collectives: Arc<SharedCollectives>,
+        pool: Arc<BufferPool>,
         deadlock_timeout: Duration,
     ) -> Self {
         Node {
@@ -58,6 +164,7 @@ impl Node {
             senders,
             receivers,
             collectives,
+            pool,
             stats: NodeStats::default(),
             deadlock_timeout,
         }
@@ -103,10 +210,33 @@ impl Node {
         self.clock_us += self.cost.remap_call_us;
     }
 
+    /// The machine-wide message [`BufferPool`].
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Takes a cleared message buffer from the pool (see [`Node::send_buf`]).
+    pub fn acquire_buf(&self) -> Vec<f64> {
+        self.pool.acquire()
+    }
+
     /// Sends `data` to `dst` with `tag`. Non-blocking in real time; charges
     /// the sender `α + β·bytes` of virtual time. The message becomes
     /// available to the receiver at the sender's post-send clock.
+    ///
+    /// Copies `data` into a pooled buffer; hot paths that build the payload
+    /// themselves should fill an [`Node::acquire_buf`] buffer and hand it to
+    /// [`Node::send_buf`] instead.
     pub fn send(&mut self, dst: usize, tag: u64, data: &[f64]) {
+        let mut buf = self.acquire_buf();
+        buf.extend_from_slice(data);
+        self.send_buf(dst, tag, buf);
+    }
+
+    /// [`Node::send`] taking ownership of the payload buffer — zero-copy:
+    /// the buffer travels as a refcounted [`Payload`] and returns to the
+    /// pool when the receiver drops it.
+    pub fn send_buf(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
         assert_ne!(dst, self.rank, "self-send: rank {dst}");
         let bytes = (data.len() * 8) as u64;
@@ -114,7 +244,7 @@ impl Node {
         self.stats.record_msgs(1, bytes, Some(tag));
         let msg = Msg {
             tag,
-            data: data.to_vec(),
+            data: self.pool.wrap(data),
             avail_at_us: self.clock_us,
         };
         self.senders[self.rank * self.nprocs + dst]
@@ -130,6 +260,18 @@ impl Node {
     /// Panics on tag mismatch or if no message arrives within the deadlock
     /// timeout.
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        let p = self.recv_payload(src, tag);
+        match Arc::try_unwrap(p) {
+            // Sole owner (the common point-to-point case): hand the buffer
+            // to the caller without copying (it leaves pool custody).
+            Ok(mut buf) => buf.take_data(),
+            Err(shared) => shared.to_vec(),
+        }
+    }
+
+    /// [`Node::recv`] returning the shared [`Payload`] — zero-copy: the
+    /// buffer is recycled into the pool when the caller drops it.
+    pub fn recv_payload(&mut self, src: usize, tag: u64) -> Payload {
         assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
         let msg = self.receivers[src]
             .recv_timeout(self.deadlock_timeout)
@@ -178,13 +320,33 @@ impl Node {
     /// so callers can distinguish message classes (e.g. plain vs. coalesced
     /// broadcasts) after the run.
     pub fn bcast_tagged(&mut self, root: usize, data: &[f64], tag: Option<u64>) -> Vec<f64> {
+        let buf = if self.rank == root {
+            let mut b = self.acquire_buf();
+            b.extend_from_slice(data);
+            Some(b)
+        } else {
+            None
+        };
+        self.bcast_payload(root, buf, tag).to_vec()
+    }
+
+    /// [`Node::bcast_tagged`] taking (on the root) an owned payload buffer
+    /// and returning the shared [`Payload`] — zero-copy: every rank clones
+    /// one `Arc` instead of the buffer, and the pool reclaims it after the
+    /// last rank drops its reference.
+    pub fn bcast_payload(
+        &mut self,
+        root: usize,
+        data: Option<Vec<f64>>,
+        tag: Option<u64>,
+    ) -> Payload {
         assert!(root < self.nprocs);
         if self.nprocs == 1 {
-            return data.to_vec();
+            return self.pool.wrap(data.expect("bcast: no root payload"));
         }
         let is_root = self.rank == root;
+        let payload = data.map(|d| self.pool.wrap(d));
         let levels = log2_ceil(self.nprocs);
-        let payload = if is_root { Some(data.to_vec()) } else { None };
         let (t, out) = self
             .collectives
             .bcast(self.clock_us, payload, |root_clock, bytes| {

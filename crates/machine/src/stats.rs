@@ -83,6 +83,21 @@ pub struct RunStats {
     pub msgs_by_tag: BTreeMap<u64, (u64, u64)>,
     /// Per-node detail.
     pub per_node: Vec<NodeStats>,
+    /// Real (host) wall-clock time of `Machine::run`, in µs. Unlike the
+    /// simulated metrics above this is *not* deterministic; it measures the
+    /// execution engine itself, not the modeled machine.
+    pub wall_us: f64,
+    /// Bytecode-engine instructions retired across all ranks (0 for the
+    /// tree engine and for raw `Machine::run` bodies).
+    pub engine_instrs: u64,
+    /// Message buffers taken from the [`crate::BufferPool`] free list
+    /// instead of allocated. Thread-interleaving dependent: which rank's
+    /// drop races which rank's acquire varies run to run.
+    pub pool_reuses: u64,
+    /// Message buffers that had to be allocated (pool misses).
+    pub pool_allocs: u64,
+    /// Bytes of buffer capacity served from the pool free list.
+    pub pool_bytes_reused: u64,
 }
 
 impl RunStats {

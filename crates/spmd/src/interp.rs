@@ -1,9 +1,16 @@
-//! SPMD interpreter.
+//! Reference tree-walking SPMD engine.
 //!
-//! Executes a node program on every rank of a [`Machine`], charging
-//! computation to the virtual clocks (1 flop per REAL arithmetic node,
-//! 1 op per integer/logical node, subscript, guard and loop-step) and
-//! communication through the machine's send/recv/collective primitives.
+//! Executes a node program by walking the [`SStmt`]/[`SExpr`] trees on
+//! every rank of a [`Machine`], charging computation to the virtual clocks
+//! (1 flop per REAL arithmetic node, 1 op per integer/logical node,
+//! subscript, guard and loop-step) and communication through the machine's
+//! send/recv/collective primitives.
+//!
+//! This engine is the semantic reference: the bytecode VM ([`crate::vm`])
+//! must match it bit-for-bit on every simulated observable. Production runs
+//! default to the VM ([`ExecEngine::Bytecode`]); the tree-walker stays for
+//! differential testing and as executable documentation of the charging
+//! model.
 //!
 //! Distributed arrays are scattered from the caller-supplied global initial
 //! values before execution and gathered back after, using each array's
@@ -12,211 +19,30 @@
 //! compilation strategy.
 
 use crate::ir::*;
-use fortrand_ir::dist::ArrayDist;
+use crate::runtime::{
+    apply_bin, apply_intr, mark_dist_store, remap_global_store, remap_store, run_harness,
+    scalar_from_wire, scatter_init_store, ArrayStore, FinalArray, Value,
+};
+pub use crate::runtime::{
+    global_extents, run_spmd, run_spmd_engine, ExecEngine, ExecOutput, TAG_BCAST, TAG_BCAST_PACK,
+};
 use fortrand_ir::Sym;
-use fortrand_machine::{Machine, Node, RunStats};
+use fortrand_machine::{Machine, Node};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
-/// Accounting tag under which plain broadcasts ([`SStmt::Bcast`],
-/// [`SStmt::BcastScalar`]) are recorded in the machine's per-tag message
-/// stats. High bits keep it clear of compiler-assigned send tags.
-pub const TAG_BCAST: u64 = 1 << 32;
-/// Accounting tag for coalesced broadcasts ([`SStmt::BcastPack`]).
-pub const TAG_BCAST_PACK: u64 = (1 << 32) + 1;
-
-/// Result of running a node program.
-#[derive(Debug)]
-pub struct ExecOutput {
-    /// Machine statistics (time, messages, bytes, flops…).
-    pub stats: RunStats,
-    /// Final global contents of every array declared in the entry
-    /// procedure, row-major over the array's global extents.
-    pub arrays: BTreeMap<Sym, Vec<f64>>,
-    /// Lines printed by rank 0 (`print *` statements).
-    pub printed: Vec<String>,
-}
-
-/// Runs `prog` on `machine`. `init` supplies initial global values for
-/// arrays declared in the entry procedure (missing arrays start at zero).
-pub fn run_spmd(
+/// Runs `prog` under the tree-walking reference engine.
+pub(crate) fn run_tree(
     prog: &SpmdProgram,
     machine: &Machine,
     init: &BTreeMap<Sym, Vec<f64>>,
 ) -> ExecOutput {
-    assert_eq!(
-        machine.nprocs, prog.nprocs,
-        "program compiled for {} procs, machine has {}",
-        prog.nprocs, machine.nprocs
-    );
-    let finals: Mutex<Vec<Option<Vec<FinalArray>>>> =
-        Mutex::new((0..machine.nprocs).map(|_| None).collect());
-    let printed: Mutex<Vec<String>> = Mutex::new(Vec::new());
-
-    let stats = machine.run(|node| {
+    run_harness(prog, machine, |node| {
         let mut exec = Exec::new(prog, node);
         exec.enter_main(init);
-        let rank = exec.node.rank();
         let fin = exec.finish();
-        if rank == 0 {
-            printed.lock().unwrap().extend(exec.printed.drain(..));
-        }
-        finals.lock().unwrap()[rank] = Some(fin);
-    });
-
-    // Assemble global arrays from per-rank finals.
-    let finals = finals.into_inner().unwrap();
-    let per_rank: Vec<Vec<FinalArray>> = finals.into_iter().map(Option::unwrap).collect();
-    let mut arrays = BTreeMap::new();
-    if let Some(rank0) = per_rank.first() {
-        for fa in rank0 {
-            let dist = &prog.dists[fa.owner_dist.unwrap_or(fa.dist).0 as usize];
-            let extents: Vec<i64> = global_extents(dist);
-            let total: i64 = extents.iter().product();
-            let mut global = vec![0.0f64; total as usize];
-            let mut pt = vec![1i64; extents.len()];
-            for flat in 0..total {
-                // Decode row-major point.
-                let mut rem = flat;
-                for (d, &e) in extents.iter().enumerate() {
-                    let stride: i64 = extents[d + 1..].iter().product();
-                    pt[d] = rem / stride + 1;
-                    rem %= stride;
-                    let _ = e;
-                }
-                let owner = dist.owner_of(&pt);
-                let fa_owner = per_rank[owner]
-                    .iter()
-                    .find(|x| x.name == fa.name)
-                    .expect("array missing on owner rank");
-                // Run-time resolution storage is global-indexed.
-                let local = if fa.owner_dist.is_some() {
-                    pt.clone()
-                } else {
-                    dist.local_of_global(&pt)
-                };
-                if let Some(v) = fa_owner.read(&local) {
-                    global[flat as usize] = v;
-                }
-            }
-            arrays.insert(fa.name, global);
-        }
-    }
-    ExecOutput {
-        stats,
-        arrays,
-        printed: printed.into_inner().unwrap(),
-    }
-}
-
-/// Global (pre-partitioning) extents implied by a distribution, in array
-/// index space.
-pub fn global_extents(dist: &ArrayDist) -> Vec<i64> {
-    dist.dims
-        .iter()
-        .enumerate()
-        .map(|(d, p)| p.extent - dist.offsets[d])
-        .collect()
-}
-
-/// One array's final state on one rank.
-struct FinalArray {
-    name: Sym,
-    bounds: Vec<(i64, i64)>,
-    data: Vec<f64>,
-    dist: DistId,
-    owner_dist: Option<DistId>,
-}
-
-impl FinalArray {
-    fn read(&self, local: &[i64]) -> Option<f64> {
-        let mut flat = 0usize;
-        for (d, &x) in local.iter().enumerate() {
-            let (lo, hi) = self.bounds[d];
-            if x < lo || x > hi {
-                return None;
-            }
-            let width = (hi - lo + 1) as usize;
-            flat = flat * width + (x - lo) as usize;
-        }
-        self.data.get(flat).copied()
-    }
-}
-
-/// Runtime value.
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum Value {
-    I(i64),
-    R(f64),
-}
-
-impl Value {
-    fn as_i(self) -> i64 {
-        match self {
-            Value::I(v) => v,
-            Value::R(v) => v as i64,
-        }
-    }
-    fn as_r(self) -> f64 {
-        match self {
-            Value::I(v) => v as f64,
-            Value::R(v) => v,
-        }
-    }
-    fn truthy(self) -> bool {
-        self.as_i() != 0
-    }
-}
-
-/// Array storage on one rank.
-struct ArrayStore {
-    name: Sym,
-    bounds: Vec<(i64, i64)>,
-    data: Vec<f64>,
-    dist: DistId,
-    owner_dist: Option<DistId>,
-}
-
-impl ArrayStore {
-    fn alloc(name: Sym, bounds: Vec<(i64, i64)>, dist: DistId) -> Self {
-        let len: i64 = bounds
-            .iter()
-            .map(|&(lo, hi)| (hi - lo + 1).max(0))
-            .product();
-        ArrayStore {
-            name,
-            bounds,
-            data: vec![0.0; len as usize],
-            dist,
-            owner_dist: None,
-        }
-    }
-    fn flat(&self, subs: &[i64]) -> usize {
-        debug_assert_eq!(subs.len(), self.bounds.len());
-        let mut flat = 0usize;
-        for (d, &x) in subs.iter().enumerate() {
-            let (lo, hi) = self.bounds[d];
-            assert!(
-                x >= lo && x <= hi,
-                "subscript {} out of local bounds {}:{} (dim {}) of array",
-                x,
-                lo,
-                hi,
-                d
-            );
-            let width = (hi - lo + 1) as usize;
-            flat = flat * width + (x - lo) as usize;
-        }
-        flat
-    }
-    fn get(&self, subs: &[i64]) -> f64 {
-        self.data[self.flat(subs)]
-    }
-    fn set(&mut self, subs: &[i64], v: f64) {
-        let f = self.flat(subs);
-        self.data[f] = v;
-    }
+        (fin, std::mem::take(&mut exec.printed))
+    })
 }
 
 struct Frame {
@@ -240,9 +66,6 @@ struct Exec<'a> {
     pending_ops: u64,
     main_arrays: Vec<usize>,
 }
-
-/// Tag space reserved for remap traffic (compiler tags stay below this).
-const REMAP_TAG_BASE: u64 = 1 << 40;
 
 impl<'a> Exec<'a> {
     fn new(prog: &'a SpmdProgram, node: &'a mut Node) -> Self {
@@ -300,37 +123,10 @@ impl<'a> Exec<'a> {
             self.heap[id].data.copy_from_slice(global);
             return;
         }
-        let dist = self.prog.dists[self.heap[id].dist.0 as usize].clone();
-        let extents = global_extents(&dist);
-        let total: i64 = extents.iter().product();
-        assert_eq!(total as usize, global.len(), "initial data size mismatch");
+        let prog = self.prog;
+        let dist = &prog.dists[self.heap[id].dist.0 as usize];
         let my = self.node.rank();
-        let mut pt = vec![1i64; extents.len()];
-        for flat in 0..total {
-            let mut rem = flat;
-            for d in 0..extents.len() {
-                let stride: i64 = extents[d + 1..].iter().product();
-                pt[d] = rem / stride + 1;
-                rem %= stride;
-            }
-            // Replicated (serial) dims: every rank stores the value; for
-            // distributed dims only the owner does.
-            let owner = dist.owner_of(&pt);
-            let replicated = dist.is_replicated();
-            if replicated || owner == my {
-                let local = dist.local_of_global(&pt);
-                let store = &mut self.heap[id];
-                // Guard against overlap bounds excluding the point (cannot
-                // happen for owned points, but stay defensive).
-                let ok = local
-                    .iter()
-                    .zip(&store.bounds)
-                    .all(|(&x, &(lo, hi))| x >= lo && x <= hi);
-                if ok {
-                    store.set(&local, global[flat as usize]);
-                }
-            }
-        }
+        scatter_init_store(&mut self.heap[id], dist, global, my);
     }
 
     fn finish(&mut self) -> Vec<FinalArray> {
@@ -479,7 +275,7 @@ impl<'a> Exec<'a> {
                 assert!(dst >= 0, "negative send destination");
                 let data = self.gather_section(*array, section);
                 self.flush_charges();
-                self.node.send(dst as usize, *tag, &data);
+                self.node.send_buf(dst as usize, *tag, data);
                 Flow::Normal
             }
             SStmt::Recv {
@@ -519,12 +315,12 @@ impl<'a> Exec<'a> {
                 let root = self.eval(root).as_i() as usize;
                 let is_root = self.node.rank() == root;
                 let data = if is_root {
-                    self.gather_section(*src_array, src_section)
+                    Some(self.gather_section(*src_array, src_section))
                 } else {
-                    vec![]
+                    None
                 };
                 self.flush_charges();
-                let out = self.node.bcast_tagged(root, &data, Some(TAG_BCAST));
+                let out = self.node.bcast_payload(root, data, Some(TAG_BCAST));
                 self.scatter_section(*dst_array, dst_section, &out);
                 Flow::Normal
             }
@@ -532,42 +328,43 @@ impl<'a> Exec<'a> {
                 let root = self.eval(root).as_i() as usize;
                 let is_root = self.node.rank() == root;
                 let data = if is_root {
-                    vec![self
-                        .frame()
-                        .scalars
-                        .get(var)
-                        .copied()
-                        .map(|v| v.as_r())
-                        .unwrap_or(0.0)]
+                    let mut buf = self.node.acquire_buf();
+                    buf.push(
+                        self.frame()
+                            .scalars
+                            .get(var)
+                            .copied()
+                            .map(|v| v.as_r())
+                            .unwrap_or(0.0),
+                    );
+                    Some(buf)
                 } else {
-                    vec![]
+                    None
                 };
                 self.flush_charges();
-                let out = self.node.bcast_tagged(root, &data, Some(TAG_BCAST));
+                let out = self.node.bcast_payload(root, data, Some(TAG_BCAST));
                 // Scalars broadcast this way are integers in practice
                 // (pivot indices); preserve integrality when exact.
-                let v = out[0];
-                let val = if v == v.trunc() {
-                    Value::I(v as i64)
-                } else {
-                    Value::R(v)
-                };
+                let val = scalar_from_wire(out[0]);
                 self.frames.last_mut().unwrap().scalars.insert(*var, val);
                 Flow::Normal
             }
             SStmt::BcastPack { root, parts } => {
                 let root = self.eval(root).as_i() as usize;
                 let is_root = self.node.rank() == root;
-                let mut data = Vec::new();
-                if is_root {
+                let data = if is_root {
+                    let mut buf = self.node.acquire_buf();
                     for p in parts {
                         match p {
                             BcastPart::Section {
                                 src_array,
                                 src_section,
                                 ..
-                            } => data.extend(self.gather_section(*src_array, src_section)),
-                            BcastPart::Scalar(v) => data.push(
+                            } => {
+                                let part = self.gather_section(*src_array, src_section);
+                                buf.extend_from_slice(&part);
+                            }
+                            BcastPart::Scalar(v) => buf.push(
                                 self.frame()
                                     .scalars
                                     .get(v)
@@ -577,9 +374,12 @@ impl<'a> Exec<'a> {
                             ),
                         }
                     }
-                }
+                    Some(buf)
+                } else {
+                    None
+                };
                 self.flush_charges();
-                let out = self.node.bcast_tagged(root, &data, Some(TAG_BCAST_PACK));
+                let out = self.node.bcast_payload(root, data, Some(TAG_BCAST_PACK));
                 let mut off = 0usize;
                 for p in parts {
                     match p {
@@ -593,12 +393,7 @@ impl<'a> Exec<'a> {
                             off += n;
                         }
                         BcastPart::Scalar(v) => {
-                            let x = out[off];
-                            let val = if x == x.trunc() {
-                                Value::I(x as i64)
-                            } else {
-                                Value::R(x)
-                            };
+                            let val = scalar_from_wire(out[off]);
                             self.frames.last_mut().unwrap().scalars.insert(*v, val);
                             off += 1;
                         }
@@ -615,13 +410,10 @@ impl<'a> Exec<'a> {
                 Flow::Normal
             }
             SStmt::MarkDist { array, to_dist } => {
-                // §6.3: values are dead — swap descriptors, no data motion.
                 let id = self.array_id(*array);
-                let new_dist = &self.prog.dists[to_dist.0 as usize];
-                let bounds: Vec<(i64, i64)> =
-                    new_dist.local_extents().iter().map(|&e| (1, e)).collect();
-                let name = self.heap[id].name;
-                self.heap[id] = ArrayStore::alloc(name, bounds, *to_dist);
+                let prog = self.prog;
+                let new_dist = &prog.dists[to_dist.0 as usize];
+                mark_dist_store(&mut self.heap[id], new_dist, *to_dist);
                 self.pending_ops += 1;
                 Flow::Normal
             }
@@ -674,7 +466,7 @@ impl<'a> Exec<'a> {
                 let a = self.eval(l);
                 let b = self.eval(r);
                 self.charge_bin(a, b);
-                self.apply_bin(*op, a, b)
+                apply_bin(*op, a, b)
             }
             SExpr::Neg(x) => {
                 let v = self.eval(x);
@@ -697,7 +489,7 @@ impl<'a> Exec<'a> {
             SExpr::Intr { name, args } => {
                 let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect();
                 self.pending_flops += 1;
-                self.apply_intr(*name, &vals)
+                apply_intr(*name, &vals)
             }
             SExpr::Owner { dist, subs } => {
                 let pt: Vec<i64> = subs.iter().map(|x| self.eval(x).as_i()).collect();
@@ -738,83 +530,6 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn apply_bin(&self, op: SBinOp, a: Value, b: Value) -> Value {
-        use SBinOp::*;
-        let bool_v = |c: bool| Value::I(c as i64);
-        match (a, b) {
-            (Value::I(x), Value::I(y)) => match op {
-                Add => Value::I(x + y),
-                Sub => Value::I(x - y),
-                Mul => Value::I(x * y),
-                Div => Value::I(x / y),
-                Pow => Value::I(x.pow(y.clamp(0, 62) as u32)),
-                Lt => bool_v(x < y),
-                Le => bool_v(x <= y),
-                Gt => bool_v(x > y),
-                Ge => bool_v(x >= y),
-                Eq => bool_v(x == y),
-                Ne => bool_v(x != y),
-                And => bool_v(x != 0 && y != 0),
-                Or => bool_v(x != 0 || y != 0),
-            },
-            _ => {
-                let x = a.as_r();
-                let y = b.as_r();
-                match op {
-                    Add => Value::R(x + y),
-                    Sub => Value::R(x - y),
-                    Mul => Value::R(x * y),
-                    Div => Value::R(x / y),
-                    Pow => Value::R(x.powf(y)),
-                    Lt => bool_v(x < y),
-                    Le => bool_v(x <= y),
-                    Gt => bool_v(x > y),
-                    Ge => bool_v(x >= y),
-                    Eq => bool_v(x == y),
-                    Ne => bool_v(x != y),
-                    And => bool_v(x != 0.0 && y != 0.0),
-                    Or => bool_v(x != 0.0 || y != 0.0),
-                }
-            }
-        }
-    }
-
-    fn apply_intr(&self, name: SIntr, vals: &[Value]) -> Value {
-        match name {
-            SIntr::Abs => match vals[0] {
-                Value::I(v) => Value::I(v.abs()),
-                Value::R(v) => Value::R(v.abs()),
-            },
-            SIntr::Min => {
-                if vals.iter().all(|v| matches!(v, Value::I(_))) {
-                    Value::I(vals.iter().map(|v| v.as_i()).min().unwrap())
-                } else {
-                    Value::R(vals.iter().map(|v| v.as_r()).fold(f64::INFINITY, f64::min))
-                }
-            }
-            SIntr::Max => {
-                if vals.iter().all(|v| matches!(v, Value::I(_))) {
-                    Value::I(vals.iter().map(|v| v.as_i()).max().unwrap())
-                } else {
-                    Value::R(
-                        vals.iter()
-                            .map(|v| v.as_r())
-                            .fold(f64::NEG_INFINITY, f64::max),
-                    )
-                }
-            }
-            SIntr::Mod => match (vals[0], vals[1]) {
-                (Value::I(a), Value::I(b)) => Value::I(a % b),
-                (a, b) => Value::R(a.as_r() % b.as_r()),
-            },
-            SIntr::Sqrt => Value::R(vals[0].as_r().sqrt()),
-            SIntr::Sign => {
-                let (a, b) = (vals[0].as_r(), vals[1].as_r());
-                Value::R(if b >= 0.0 { a.abs() } else { -a.abs() })
-            }
-        }
-    }
-
     /// Enumerates a rect's points (local index space) in row-major order.
     fn rect_points(&mut self, section: &SRect) -> Vec<Vec<i64>> {
         let dims: Vec<(i64, i64, i64)> = section
@@ -845,11 +560,14 @@ impl<'a> Exec<'a> {
         }
     }
 
+    /// Gathers a section into a pooled message buffer.
     fn gather_section(&mut self, array: Sym, section: &SRect) -> Vec<f64> {
         let pts = self.rect_points(section);
         let id = self.array_id(array);
         self.pending_ops += pts.len() as u64; // pack cost
-        pts.iter().map(|p| self.heap[id].get(p)).collect()
+        let mut buf = self.node.acquire_buf();
+        buf.extend(pts.iter().map(|p| self.heap[id].get(p)));
+        buf
     }
 
     fn scatter_section(&mut self, array: Sym, section: &SRect, data: &[f64]) {
@@ -871,74 +589,10 @@ impl<'a> Exec<'a> {
         if from_dist_id == to_dist {
             return;
         }
-        let d0 = self.prog.dists[from_dist_id.0 as usize].clone();
-        let d1 = self.prog.dists[to_dist.0 as usize].clone();
-        let extents = global_extents(&d0);
-        assert_eq!(extents, global_extents(&d1), "remap changes array shape");
-        let my = self.node.rank();
-        let p = self.node.nprocs();
-        let total: i64 = extents.iter().product();
-
-        let decode = |flat: i64| -> Vec<i64> {
-            let mut pt = vec![1i64; extents.len()];
-            let mut rem = flat;
-            for d in 0..extents.len() {
-                let stride: i64 = extents[d + 1..].iter().product();
-                pt[d] = rem / stride + 1;
-                rem %= stride;
-            }
-            pt
-        };
-
-        // New local storage.
-        let bounds: Vec<(i64, i64)> = d1.local_extents().iter().map(|&e| (1, e)).collect();
-        let name = self.heap[id].name;
-        let mut new_store = ArrayStore::alloc(name, bounds, to_dist);
-
-        // Outgoing: group my old elements by new owner, row-major order.
-        let mut outgoing: Vec<Vec<f64>> = vec![Vec::new(); p];
-        for flat in 0..total {
-            let pt = decode(flat);
-            if d0.owner_of(&pt) != my {
-                continue;
-            }
-            let v = self.heap[id].get(&d0.local_of_global(&pt));
-            let dst = d1.owner_of(&pt);
-            if dst == my {
-                new_store.set(&d1.local_of_global(&pt), v);
-            } else {
-                outgoing[dst].push(v);
-            }
-        }
-        for (dst, buf) in outgoing.iter().enumerate() {
-            if dst != my && !buf.is_empty() {
-                self.node.send(dst, REMAP_TAG_BASE + dst as u64, buf);
-            }
-        }
-        // Incoming: my new elements whose old owner differs, in the sender's
-        // row-major order (same global order, so a simple fill works).
-        let mut incoming_pts: Vec<Vec<Vec<i64>>> = vec![Vec::new(); p];
-        for flat in 0..total {
-            let pt = decode(flat);
-            if d1.owner_of(&pt) != my {
-                continue;
-            }
-            let src = d0.owner_of(&pt);
-            if src != my {
-                incoming_pts[src].push(pt);
-            }
-        }
-        for (src, pts) in incoming_pts.iter().enumerate() {
-            if src == my || pts.is_empty() {
-                continue;
-            }
-            let data = self.node.recv(src, REMAP_TAG_BASE + my as u64);
-            assert_eq!(data.len(), pts.len(), "remap message size mismatch");
-            for (pt, &v) in pts.iter().zip(&data) {
-                new_store.set(&d1.local_of_global(pt), v);
-            }
-        }
-        self.heap[id] = new_store;
+        let prog = self.prog;
+        let d0 = &prog.dists[from_dist_id.0 as usize];
+        let d1 = &prog.dists[to_dist.0 as usize];
+        self.heap[id] = remap_store(self.node, &self.heap[id], d0, d1, to_dist);
     }
 
     /// Run-time resolution remap: storage stays global-shaped; the
@@ -953,60 +607,10 @@ impl<'a> Exec<'a> {
         if from == to_dist {
             return;
         }
-        let d0 = self.prog.dists[from.0 as usize].clone();
-        let d1 = self.prog.dists[to_dist.0 as usize].clone();
-        let extents = global_extents(&d0);
-        let my = self.node.rank();
-        let p = self.node.nprocs();
-        let total: i64 = extents.iter().product();
-        let decode = |flat: i64| -> Vec<i64> {
-            let mut pt = vec![1i64; extents.len()];
-            let mut rem = flat;
-            for d in 0..extents.len() {
-                let stride: i64 = extents[d + 1..].iter().product();
-                pt[d] = rem / stride + 1;
-                rem %= stride;
-            }
-            pt
-        };
-        let mut outgoing: Vec<Vec<f64>> = vec![Vec::new(); p];
-        for flat in 0..total {
-            let pt = decode(flat);
-            if d0.owner_of(&pt) != my {
-                continue;
-            }
-            let dst = d1.owner_of(&pt);
-            if dst != my {
-                let v = self.heap[id].get(&pt);
-                outgoing[dst].push(v);
-            }
-        }
-        for (dst, buf) in outgoing.iter().enumerate() {
-            if dst != my && !buf.is_empty() {
-                self.node.send(dst, REMAP_TAG_BASE + dst as u64, buf);
-            }
-        }
-        let mut incoming_pts: Vec<Vec<Vec<i64>>> = vec![Vec::new(); p];
-        for flat in 0..total {
-            let pt = decode(flat);
-            if d1.owner_of(&pt) != my {
-                continue;
-            }
-            let src = d0.owner_of(&pt);
-            if src != my {
-                incoming_pts[src].push(pt);
-            }
-        }
-        for (src, pts) in incoming_pts.iter().enumerate() {
-            if src == my || pts.is_empty() {
-                continue;
-            }
-            let data = self.node.recv(src, REMAP_TAG_BASE + my as u64);
-            assert_eq!(data.len(), pts.len(), "remap_global size mismatch");
-            for (pt, &v) in pts.iter().zip(&data) {
-                self.heap[id].set(pt, v);
-            }
-        }
+        let prog = self.prog;
+        let d0 = &prog.dists[from.0 as usize];
+        let d1 = &prog.dists[to_dist.0 as usize];
+        remap_global_store(self.node, &mut self.heap[id], d0, d1);
         self.heap[id].owner_dist = Some(to_dist);
     }
 }
@@ -1040,6 +644,26 @@ mod tests {
                 nprocs: p,
             },
         )
+    }
+
+    /// Runs under both engines, asserting the simulated observables are
+    /// bit-identical, and returns the (default) bytecode output.
+    fn run_both(
+        prog: &SpmdProgram,
+        machine: &Machine,
+        init: &BTreeMap<Sym, Vec<f64>>,
+    ) -> ExecOutput {
+        let tree = run_spmd_engine(prog, machine, init, ExecEngine::Tree);
+        let vm = run_spmd_engine(prog, machine, init, ExecEngine::Bytecode);
+        assert_eq!(tree.stats.time_us, vm.stats.time_us, "time diverged");
+        assert_eq!(tree.stats.total_msgs, vm.stats.total_msgs);
+        assert_eq!(tree.stats.total_bytes, vm.stats.total_bytes);
+        assert_eq!(tree.stats.total_flops, vm.stats.total_flops);
+        assert_eq!(tree.stats.total_ops, vm.stats.total_ops);
+        assert_eq!(tree.stats.total_remaps, vm.stats.total_remaps);
+        assert_eq!(tree.arrays, vm.arrays);
+        assert_eq!(tree.printed, vm.printed);
+        vm
     }
 
     /// Replicated scalar-ish program: every rank doubles each element of a
@@ -1090,7 +714,7 @@ mod tests {
         let m = Machine::new(2);
         let mut init = BTreeMap::new();
         init.insert(a, vec![1.0, 2.0, 3.0, 4.0]);
-        let out = run_spmd(&prog, &m, &init);
+        let out = run_both(&prog, &m, &init);
         assert_eq!(out.arrays[&a], vec![2.0, 4.0, 6.0, 8.0]);
         assert!(out.stats.total_flops > 0);
     }
@@ -1135,7 +759,7 @@ mod tests {
             }],
         });
         let m = Machine::new(4);
-        let out = run_spmd(&prog, &m, &BTreeMap::new());
+        let out = run_both(&prog, &m, &BTreeMap::new());
         assert_eq!(out.arrays[&a], vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]);
     }
 
@@ -1202,7 +826,7 @@ mod tests {
         let m = Machine::new(2);
         let mut init = BTreeMap::new();
         init.insert(a, vec![1.0, 2.0, 3.0, 4.0]);
-        let out = run_spmd(&prog, &m, &init);
+        let out = run_both(&prog, &m, &init);
         // Global element 3 (rank 1 local 1) = old global 2 (=2.0) + 10.
         assert_eq!(out.arrays[&a], vec![1.0, 2.0, 12.0, 4.0]);
         assert_eq!(out.stats.total_msgs, 1);
@@ -1247,7 +871,7 @@ mod tests {
         let mut init = BTreeMap::new();
         let vals: Vec<f64> = (1..=10).map(|v| v as f64 * 1.5).collect();
         init.insert(a, vals.clone());
-        let out = run_spmd(&prog, &m, &init);
+        let out = run_both(&prog, &m, &init);
         assert_eq!(out.arrays[&a], vals);
         assert_eq!(out.stats.total_remaps, 3 * 2);
         assert!(out.stats.total_msgs > 0);
@@ -1306,7 +930,7 @@ mod tests {
             ],
         });
         let m = Machine::new(4);
-        let out = run_spmd(&prog, &m, &BTreeMap::new());
+        let out = run_both(&prog, &m, &BTreeMap::new());
         // Global index 6 should be 2.0, everything else 0.
         let expect: Vec<f64> = (1..=8).map(|g| if g == 6 { 2.0 } else { 0.0 }).collect();
         assert_eq!(out.arrays[&a], expect);
@@ -1333,7 +957,7 @@ mod tests {
             }],
         });
         let m = Machine::with_cost(2, CostModel::comm_only());
-        let out = run_spmd(&prog, &m, &BTreeMap::new());
+        let out = run_both(&prog, &m, &BTreeMap::new());
         assert_eq!(out.printed, vec!["42".to_string()]);
     }
 
@@ -1391,7 +1015,7 @@ mod tests {
             }],
         });
         let m = Machine::new(1);
-        let out = run_spmd(&prog, &m, &BTreeMap::new());
+        let out = run_both(&prog, &m, &BTreeMap::new());
         assert_eq!(out.arrays[&a], vec![0.0, 7.5, 0.0]);
     }
 }

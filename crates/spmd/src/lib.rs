@@ -18,16 +18,24 @@
 //! machine's virtual clocks, so `Machine::run` of an interpreted program
 //! yields the execution time, message count and volume that the benchmark
 //! harness reports.
+//!
+//! Two engines execute node programs — the bytecode VM (default; programs
+//! are flattened by [`lower`] and run by [`vm`]) and the reference
+//! tree-walker ([`interp`]). Both produce bit-identical simulated results;
+//! pick explicitly with [`run_spmd_engine`].
 
 pub mod interp;
 pub mod ir;
+mod lower;
 pub mod opt;
 pub mod print;
 pub mod rewrite;
+mod runtime;
+mod vm;
 
-pub use interp::{run_spmd, ExecOutput};
 pub use ir::{
     DistId, SActual, SBinOp, SDecl, SExpr, SIntr, SLval, SProc, SRect, SStmt, SpmdProgram,
 };
 pub use opt::{optimize, CommOpt, OptReport};
 pub use print::pretty;
+pub use runtime::{run_spmd, run_spmd_engine, ExecEngine, ExecOutput};

@@ -1,0 +1,1262 @@
+//! Lowering of SPMD node programs to dense bytecode.
+//!
+//! The tree IR re-dispatches on enum variants and hashes symbol names on
+//! every access. Lowering flattens each procedure once, ahead of the run:
+//!
+//! * **Slot resolution** — every scalar gets a dense frame slot and every
+//!   array a dense frame-table index, computed per procedure in a first
+//!   pass over all procedures (so call sites can name callee slots).
+//! * **Guards to jumps** — `IF` becomes `BrFalse`, root-only gather code
+//!   becomes `BrNotRank`, `print` becomes `BrNotRank0`; loops become a
+//!   `LoopHead` entry test plus a rotated `LoopNext` back-edge with pinned
+//!   index/bound registers.
+//! * **Register file** — expressions evaluate into a per-frame register
+//!   stack with a simple watermark allocator; subexpression temporaries
+//!   are freed structurally, so argument/subscript lists always occupy
+//!   consecutive registers.
+//!
+//! The VM ([`crate::vm`]) executes the result, replicating the tree
+//! engine's cost-charging model instruction by instruction. Since charges
+//! only become observable when flushed at communication points, the VM is
+//! free to reorder charge accumulation *within* a flush window — totals
+//! per window are identical, which is the determinism argument for
+//! bit-identical simulated clocks (DESIGN.md).
+
+use crate::ir::*;
+use crate::runtime::{TAG_BCAST, TAG_BCAST_PACK};
+use fortrand_ir::Sym;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Frame-relative register index.
+pub(crate) type Reg = u16;
+/// Frame-relative scalar slot index.
+pub(crate) type Slot = u16;
+
+/// Section operand: per-dimension `(lo, hi)` bound registers and the
+/// static step. `site` indexes the VM's per-site enumeration cache.
+#[derive(Debug)]
+pub(crate) struct SecInstr {
+    pub site: u32,
+    pub dims: Vec<(Reg, Reg, i64)>,
+}
+
+/// A folded subscript: `scalars[slot].as_i() + off`, or the constant
+/// `off` alone when `slot == NO_SLOT`. Offsets are folded only for slots
+/// that provably always hold integers (loop variables never otherwise
+/// assigned), so the integer add matches the tree engine's `I + I`
+/// evaluation and its 1-op charge exactly.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SubIdx {
+    pub slot: Slot,
+    pub off: i32,
+}
+
+/// Sentinel slot marking a [`SubIdx`] as a pure constant.
+pub(crate) const NO_SLOT: Slot = Slot::MAX;
+
+/// Fused-instruction operand: a register, or a scalar slot read at
+/// execution time when `slot != NO_SLOT`. Deferring the slot read past
+/// the rest of the operand lowering is safe because expression
+/// evaluation never writes scalars, so the slot still holds the value a
+/// `LdVar` at the original position would have loaded.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Opnd {
+    pub slot: Slot,
+    pub reg: Reg,
+}
+
+/// Call operand: pre-resolved argument and copy-out plumbing.
+#[derive(Debug)]
+pub(crate) struct CallArgs {
+    pub callee: usize,
+    /// `(callee scalar slot, caller register)` for by-value scalars.
+    pub scalars: Vec<(Slot, Reg)>,
+    /// Caller array-table index per array formal, in formal order.
+    pub arrays: Vec<u16>,
+    /// `(callee slot, caller slot)` scalar copy-out pairs.
+    pub copy_out: Vec<(Slot, Slot)>,
+}
+
+/// One bytecode instruction. Register/slot/table operands are
+/// frame-relative; jump targets are absolute instruction indices within
+/// the procedure.
+#[derive(Debug)]
+pub(crate) enum Instr {
+    LdI {
+        dst: Reg,
+        v: i64,
+    },
+    LdR {
+        dst: Reg,
+        v: f64,
+    },
+    LdVar {
+        dst: Reg,
+        slot: Slot,
+    },
+    StVar {
+        slot: Slot,
+        src: Reg,
+    },
+    /// `dst = I(src.as_i())` — loop-bound normalization.
+    MovI {
+        dst: Reg,
+        src: Reg,
+    },
+    MyP {
+        dst: Reg,
+    },
+    NProcs {
+        dst: Reg,
+    },
+    Bin {
+        op: SBinOp,
+        dst: Reg,
+        l: Reg,
+        r: Reg,
+    },
+    /// Fused multiply-accumulate `dst = acc op (ml * mr)` (`op` is Add
+    /// or Sub, the multiply on the right as in the source expression).
+    /// Charges exactly what the `Bin(Mul)` + `Bin(op)` pair it replaces
+    /// would: one flop-or-op per constituent operation, decided by the
+    /// runtime operand types.
+    Fma {
+        op: SBinOp,
+        dst: Reg,
+        acc: Opnd,
+        ml: Opnd,
+        mr: Opnd,
+    },
+    Neg {
+        dst: Reg,
+        src: Reg,
+    },
+    Not {
+        dst: Reg,
+        src: Reg,
+    },
+    /// Arguments live in `n` consecutive registers from `first`.
+    Intr {
+        name: SIntr,
+        dst: Reg,
+        first: Reg,
+        n: u16,
+    },
+    /// Array element read; subscripts in `n` consecutive registers.
+    Load {
+        dst: Reg,
+        arr: u16,
+        first: Reg,
+        n: u16,
+    },
+    /// Array element write of register `src`.
+    Store {
+        arr: u16,
+        first: Reg,
+        n: u16,
+        src: Reg,
+    },
+    /// Element read with all subscripts folded to `slot±off`/const forms
+    /// (the dominant case), skipping the per-subscript register traffic.
+    /// `extra_ops` charges the folded integer adds.
+    LoadS {
+        dst: Reg,
+        arr: u16,
+        n: u16,
+        extra_ops: u16,
+        subs: [SubIdx; 3],
+    },
+    /// Element write of register `src` with folded subscripts.
+    StoreS {
+        arr: u16,
+        n: u16,
+        extra_ops: u16,
+        subs: [SubIdx; 3],
+        src: Reg,
+    },
+    Owner {
+        dst: Reg,
+        dist: DistId,
+        first: Reg,
+        n: u16,
+    },
+    CurOwner {
+        dst: Reg,
+        arr: u16,
+        first: Reg,
+        n: u16,
+    },
+    LocalIdx {
+        dst: Reg,
+        dist: DistId,
+        dim: u16,
+        src: Reg,
+    },
+    Jmp {
+        to: u32,
+    },
+    /// `IF` guard: charges 1 op, falls through when truthy.
+    BrFalse {
+        cond: Reg,
+        to: u32,
+    },
+    /// Skip when this rank is not the one named by `root` (uncharged).
+    BrNotRank {
+        root: Reg,
+        to: u32,
+    },
+    /// Skip when this rank is not rank 0 (uncharged; `print` guard).
+    BrNotRank0 {
+        to: u32,
+    },
+    /// Loop test: enters the body (setting `var`, charging 1 op) while the
+    /// pinned index register is within the bound register, else exits.
+    LoopHead {
+        i: Reg,
+        var: Slot,
+        hi: Reg,
+        step: i64,
+        exit: u32,
+    },
+    /// Rotated back-edge: increments the pinned index, re-tests the bound,
+    /// and on success sets `var`, charges 1 op and jumps to `body` (the
+    /// instruction after the loop head); on failure falls through to the
+    /// loop exit. Fuses the former increment + head re-test dispatches.
+    LoopNext {
+        i: Reg,
+        var: Slot,
+        hi: Reg,
+        step: i64,
+        body: u32,
+    },
+    Call(Box<CallArgs>),
+    Return,
+    Stop,
+    /// Appends section elements to the outgoing message buffer.
+    Gather {
+        arr: u16,
+        sec: Box<SecInstr>,
+    },
+    /// Consumes section elements from the incoming message. `exact`
+    /// asserts the section spans the whole message (point-to-point and
+    /// plain broadcast; packed broadcasts slice).
+    Scatter {
+        arr: u16,
+        sec: Box<SecInstr>,
+        exact: bool,
+    },
+    /// Appends one scalar slot (as f64) to the outgoing buffer.
+    PackVar {
+        slot: Slot,
+    },
+    /// Pops one f64 from the incoming message into a scalar slot.
+    UnpackVar {
+        slot: Slot,
+    },
+    SendMsg {
+        to: Reg,
+        tag: u64,
+    },
+    RecvMsg {
+        from: Reg,
+        tag: u64,
+    },
+    SendElem {
+        to: Reg,
+        val: Reg,
+        tag: u64,
+    },
+    RecvElem {
+        from: Reg,
+        dst: Reg,
+        tag: u64,
+    },
+    /// Collective broadcast of the outgoing buffer (root) into the
+    /// incoming message (all ranks).
+    Bcast {
+        root: Reg,
+        tag: u64,
+    },
+    Remap {
+        arr: u16,
+        to: DistId,
+    },
+    RemapGlobal {
+        arr: u16,
+        to: DistId,
+    },
+    MarkDist {
+        arr: u16,
+        to: DistId,
+    },
+    Print {
+        first: Reg,
+        n: u16,
+    },
+}
+
+/// A lowered procedure.
+pub(crate) struct LProc {
+    pub code: Vec<Instr>,
+    /// Scalar frame size.
+    pub n_slots: u16,
+    /// Register frame size (peak watermark).
+    pub n_regs: u16,
+    /// Local array declarations, instantiated at frame entry.
+    pub decls: Vec<SDecl>,
+    /// True per formal if it is an array (arity/kind checking happens at
+    /// lower time; kept for the VM's main-entry assertion).
+    pub array_formals: usize,
+}
+
+/// A lowered program.
+pub(crate) struct Lowered {
+    pub procs: Vec<LProc>,
+    /// Number of distinct section sites (sizes the VM's per-site cache).
+    pub n_sites: usize,
+}
+
+/// Per-procedure symbol layout (phase A).
+struct Layout {
+    scalar_slots: FxHashMap<Sym, Slot>,
+    n_slots: u16,
+    array_idx: FxHashMap<Sym, u16>,
+}
+
+impl Layout {
+    fn slot_of(&self, s: Sym, prog: &SpmdProgram) -> Slot {
+        *self
+            .scalar_slots
+            .get(&s)
+            .unwrap_or_else(|| panic!("unbound scalar `{}`", prog.interner.name(s)))
+    }
+    fn arr_of(&self, s: Sym, prog: &SpmdProgram) -> u16 {
+        *self
+            .array_idx
+            .get(&s)
+            .unwrap_or_else(|| panic!("unbound array `{}`", prog.interner.name(s)))
+    }
+}
+
+fn add_scalar(l: &mut Layout, s: Sym) {
+    if !l.scalar_slots.contains_key(&s) {
+        let slot = Slot::try_from(l.scalar_slots.len()).expect("scalar slot overflow");
+        l.scalar_slots.insert(s, slot);
+    }
+}
+
+/// Phase A: assign scalar slots (formals first, in formal order, then
+/// body symbols in first-occurrence order) and array table indices
+/// (array formals in formal order, then decls).
+fn layout_proc(p: &SProc) -> Layout {
+    let mut l = Layout {
+        scalar_slots: FxHashMap::default(),
+        n_slots: 0,
+        array_idx: FxHashMap::default(),
+    };
+    let mut next_arr = 0u16;
+    for f in &p.formals {
+        if f.is_array {
+            l.array_idx.insert(f.name, next_arr);
+            next_arr += 1;
+        } else {
+            add_scalar(&mut l, f.name);
+        }
+    }
+    for d in &p.decls {
+        // A decl sharing a formal's name shadows it (matching the tree
+        // engine's frame-construction order).
+        l.array_idx.insert(d.name, next_arr);
+        next_arr += 1;
+    }
+    collect_scalars_body(&p.body, &mut l);
+    l.n_slots = Slot::try_from(l.scalar_slots.len()).expect("scalar slot overflow");
+    l
+}
+
+fn collect_scalars_expr(e: &SExpr, l: &mut Layout) {
+    match e {
+        SExpr::Var(s) => add_scalar(l, *s),
+        SExpr::Int(_) | SExpr::Real(_) | SExpr::MyP | SExpr::NProcs => {}
+        SExpr::Elem { subs, .. } | SExpr::Owner { subs, .. } | SExpr::CurOwner { subs, .. } => {
+            for s in subs {
+                collect_scalars_expr(s, l);
+            }
+        }
+        SExpr::Bin { l: a, r: b, .. } => {
+            collect_scalars_expr(a, l);
+            collect_scalars_expr(b, l);
+        }
+        SExpr::Neg(x) | SExpr::Not(x) | SExpr::LocalIdx { sub: x, .. } => {
+            collect_scalars_expr(x, l)
+        }
+        SExpr::Intr { args, .. } => {
+            for a in args {
+                collect_scalars_expr(a, l);
+            }
+        }
+    }
+}
+
+fn collect_scalars_rect(r: &SRect, l: &mut Layout) {
+    for (lo, hi, _) in &r.dims {
+        collect_scalars_expr(lo, l);
+        collect_scalars_expr(hi, l);
+    }
+}
+
+fn collect_scalars_lval(lv: &SLval, l: &mut Layout) {
+    match lv {
+        SLval::Scalar(s) => add_scalar(l, *s),
+        SLval::Elem { subs, .. } => {
+            for s in subs {
+                collect_scalars_expr(s, l);
+            }
+        }
+    }
+}
+
+fn collect_scalars_body(body: &[SStmt], l: &mut Layout) {
+    for s in body {
+        match s {
+            SStmt::Comment(_) | SStmt::Return | SStmt::Stop => {}
+            SStmt::Assign { lhs, rhs } => {
+                collect_scalars_expr(rhs, l);
+                collect_scalars_lval(lhs, l);
+            }
+            SStmt::Do {
+                var, lo, hi, body, ..
+            } => {
+                add_scalar(l, *var);
+                collect_scalars_expr(lo, l);
+                collect_scalars_expr(hi, l);
+                collect_scalars_body(body, l);
+            }
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                collect_scalars_expr(cond, l);
+                collect_scalars_body(then_body, l);
+                collect_scalars_body(else_body, l);
+            }
+            SStmt::Call { args, copy_out, .. } => {
+                for a in args {
+                    if let SActual::Scalar(e) = a {
+                        collect_scalars_expr(e, l);
+                    }
+                }
+                for (_, caller_var) in copy_out {
+                    add_scalar(l, *caller_var);
+                }
+            }
+            SStmt::Send { to, section, .. } => {
+                collect_scalars_expr(to, l);
+                collect_scalars_rect(section, l);
+            }
+            SStmt::Recv { from, section, .. } => {
+                collect_scalars_expr(from, l);
+                collect_scalars_rect(section, l);
+            }
+            SStmt::SendElem { to, value, .. } => {
+                collect_scalars_expr(to, l);
+                collect_scalars_expr(value, l);
+            }
+            SStmt::RecvElem { from, lhs, .. } => {
+                collect_scalars_expr(from, l);
+                collect_scalars_lval(lhs, l);
+            }
+            SStmt::Bcast {
+                root,
+                src_section,
+                dst_section,
+                ..
+            } => {
+                collect_scalars_expr(root, l);
+                collect_scalars_rect(src_section, l);
+                collect_scalars_rect(dst_section, l);
+            }
+            SStmt::BcastScalar { root, var } => {
+                collect_scalars_expr(root, l);
+                add_scalar(l, *var);
+            }
+            SStmt::BcastPack { root, parts } => {
+                collect_scalars_expr(root, l);
+                for p in parts {
+                    match p {
+                        BcastPart::Section {
+                            src_section,
+                            dst_section,
+                            ..
+                        } => {
+                            collect_scalars_rect(src_section, l);
+                            collect_scalars_rect(dst_section, l);
+                        }
+                        BcastPart::Scalar(v) => add_scalar(l, *v),
+                    }
+                }
+            }
+            SStmt::Remap { .. } | SStmt::RemapGlobal { .. } | SStmt::MarkDist { .. } => {}
+            SStmt::Print { args } => {
+                for a in args {
+                    collect_scalars_expr(a, l);
+                }
+            }
+        }
+    }
+}
+
+/// Do-loop variables of `body`, transitively.
+fn collect_do_vars(body: &[SStmt], out: &mut FxHashSet<Sym>) {
+    for s in body {
+        match s {
+            SStmt::Do { var, body, .. } => {
+                out.insert(*var);
+                collect_do_vars(body, out);
+            }
+            SStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_do_vars(then_body, out);
+                collect_do_vars(else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Scalars written by anything other than a loop head: assignments,
+/// call copy-outs, element receives, and broadcast unpacks.
+fn collect_scalar_writes(body: &[SStmt], w: &mut FxHashSet<Sym>) {
+    for s in body {
+        match s {
+            SStmt::Assign {
+                lhs: SLval::Scalar(v),
+                ..
+            } => {
+                w.insert(*v);
+            }
+            SStmt::Do { body, .. } => collect_scalar_writes(body, w),
+            SStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_scalar_writes(then_body, w);
+                collect_scalar_writes(else_body, w);
+            }
+            SStmt::Call { copy_out, .. } => {
+                for (_, caller_var) in copy_out {
+                    w.insert(*caller_var);
+                }
+            }
+            SStmt::RecvElem {
+                lhs: SLval::Scalar(v),
+                ..
+            } => {
+                w.insert(*v);
+            }
+            SStmt::BcastScalar { var, .. } => {
+                w.insert(*var);
+            }
+            SStmt::BcastPack { parts, .. } => {
+                for p in parts {
+                    if let BcastPart::Scalar(v) = p {
+                        w.insert(*v);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Lowers a whole program: phase A computes every procedure's layout,
+/// phase B flattens each body against its own layout (and callees').
+pub(crate) fn lower(prog: &SpmdProgram) -> Lowered {
+    let layouts: Vec<Layout> = prog.procs.iter().map(layout_proc).collect();
+    let mut n_sites = 0u32;
+    let procs = prog
+        .procs
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            // Slots guaranteed to always hold integers: loop variables
+            // whose only writer is the loop head (formals and any other
+            // write could introduce an R).
+            let mut do_vars = FxHashSet::default();
+            let mut written = FxHashSet::default();
+            collect_do_vars(&p.body, &mut do_vars);
+            collect_scalar_writes(&p.body, &mut written);
+            for f in &p.formals {
+                if !f.is_array {
+                    written.insert(f.name);
+                }
+            }
+            let int_slots: FxHashSet<Slot> = do_vars
+                .difference(&written)
+                .filter_map(|s| layouts[pi].scalar_slots.get(s).copied())
+                .collect();
+            let mut lw = ProcLowerer {
+                prog,
+                layouts: &layouts,
+                layout: &layouts[pi],
+                int_slots,
+                code: Vec::new(),
+                next_reg: 0,
+                max_reg: 0,
+                n_sites: &mut n_sites,
+            };
+            lw.lower_body(&p.body);
+            lw.code.push(Instr::Return);
+            LProc {
+                code: lw.code,
+                n_slots: layouts[pi].n_slots,
+                n_regs: lw.max_reg,
+                decls: p.decls.clone(),
+                array_formals: p.formals.iter().filter(|f| f.is_array).count(),
+            }
+        })
+        .collect();
+    Lowered {
+        procs,
+        n_sites: n_sites as usize,
+    }
+}
+
+struct ProcLowerer<'p> {
+    prog: &'p SpmdProgram,
+    layouts: &'p [Layout],
+    layout: &'p Layout,
+    /// Slots that always hold `Value::I` (see [`lower`]); offsets may be
+    /// folded into subscripts on these.
+    int_slots: FxHashSet<Slot>,
+    code: Vec<Instr>,
+    next_reg: u16,
+    max_reg: u16,
+    n_sites: &'p mut u32,
+}
+
+impl ProcLowerer<'_> {
+    fn alloc(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg = self.next_reg.checked_add(1).expect("register overflow");
+        self.max_reg = self.max_reg.max(self.next_reg);
+        r
+    }
+
+    fn free_to(&mut self, mark: u16) {
+        self.next_reg = mark;
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, to: u32) {
+        match &mut self.code[at] {
+            Instr::Jmp { to: t }
+            | Instr::BrFalse { to: t, .. }
+            | Instr::BrNotRank { to: t, .. }
+            | Instr::BrNotRank0 { to: t }
+            | Instr::LoopHead { exit: t, .. } => *t = to,
+            other => panic!("patching non-branch {other:?}"),
+        }
+    }
+
+    /// Tries to fold one subscript expression into a [`SubIdx`]. Charges:
+    /// a folded `var ± const` carries the 1-op charge of the integer add
+    /// it replaces; plain vars and constants charge nothing, exactly like
+    /// their register-path evaluation.
+    fn fold_sub(&self, e: &SExpr) -> Option<(SubIdx, u16)> {
+        match e {
+            SExpr::Int(v) => i32::try_from(*v)
+                .ok()
+                .map(|off| (SubIdx { slot: NO_SLOT, off }, 0)),
+            SExpr::Var(s) => Some((
+                SubIdx {
+                    slot: self.layout.slot_of(*s, self.prog),
+                    off: 0,
+                },
+                0,
+            )),
+            SExpr::Bin { op, l, r } => {
+                let (s, c) = match (op, &**l, &**r) {
+                    (SBinOp::Add, SExpr::Var(s), SExpr::Int(c)) => (*s, *c),
+                    (SBinOp::Add, SExpr::Int(c), SExpr::Var(s)) => (*s, *c),
+                    (SBinOp::Sub, SExpr::Var(s), SExpr::Int(c)) => (*s, c.checked_neg()?),
+                    _ => return None,
+                };
+                let slot = self.layout.slot_of(s, self.prog);
+                if !self.int_slots.contains(&slot) {
+                    return None;
+                }
+                let off = i32::try_from(c).ok()?;
+                Some((SubIdx { slot, off }, 1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Folds a whole subscript list, or gives up (falling back to the
+    /// register path) if any subscript is non-simple or rank > 3.
+    fn try_fold_subs(&self, subs: &[SExpr]) -> Option<([SubIdx; 3], u16, u16)> {
+        if subs.len() > 3 {
+            return None;
+        }
+        let mut out = [SubIdx {
+            slot: NO_SLOT,
+            off: 0,
+        }; 3];
+        let mut extra = 0u16;
+        for (k, e) in subs.iter().enumerate() {
+            let (si, c) = self.fold_sub(e)?;
+            out[k] = si;
+            extra += c;
+        }
+        Some((out, subs.len() as u16, extra))
+    }
+
+    /// Lowers a fused-instruction operand: plain scalar reads become a
+    /// deferred slot access (no register, no dispatch); anything else
+    /// goes through [`Self::lower_expr`] into a register.
+    fn lower_opnd(&mut self, e: &SExpr) -> Opnd {
+        if let SExpr::Var(s) = e {
+            Opnd {
+                slot: self.layout.slot_of(*s, self.prog),
+                reg: 0,
+            }
+        } else {
+            Opnd {
+                slot: NO_SLOT,
+                reg: self.lower_expr(e),
+            }
+        }
+    }
+
+    /// Lowers `e`, leaving the result in the returned register. Net effect
+    /// on the allocator is exactly one register (the result, at the lowest
+    /// position); temporaries above it are freed.
+    fn lower_expr(&mut self, e: &SExpr) -> Reg {
+        match e {
+            SExpr::Int(v) => {
+                let d = self.alloc();
+                self.code.push(Instr::LdI { dst: d, v: *v });
+                d
+            }
+            SExpr::Real(v) => {
+                let d = self.alloc();
+                self.code.push(Instr::LdR { dst: d, v: *v });
+                d
+            }
+            SExpr::Var(s) => {
+                let d = self.alloc();
+                let slot = self.layout.slot_of(*s, self.prog);
+                self.code.push(Instr::LdVar { dst: d, slot });
+                d
+            }
+            SExpr::MyP => {
+                let d = self.alloc();
+                self.code.push(Instr::MyP { dst: d });
+                d
+            }
+            SExpr::NProcs => {
+                let d = self.alloc();
+                self.code.push(Instr::NProcs { dst: d });
+                d
+            }
+            SExpr::Elem { array, subs } => {
+                let arr = self.layout.arr_of(*array, self.prog);
+                if let Some((sx, n, extra_ops)) = self.try_fold_subs(subs) {
+                    let d = self.alloc();
+                    self.code.push(Instr::LoadS {
+                        dst: d,
+                        arr,
+                        n,
+                        extra_ops,
+                        subs: sx,
+                    });
+                    return d;
+                }
+                let d = self.alloc();
+                let first = self.next_reg;
+                for s in subs {
+                    self.lower_expr(s);
+                }
+                self.code.push(Instr::Load {
+                    dst: d,
+                    arr,
+                    first,
+                    n: subs.len() as u16,
+                });
+                self.free_to(d + 1);
+                d
+            }
+            SExpr::Bin { op, l, r } => {
+                if matches!(op, SBinOp::Add | SBinOp::Sub) {
+                    if let SExpr::Bin {
+                        op: SBinOp::Mul,
+                        l: ml,
+                        r: mr,
+                    } = &**r
+                    {
+                        let d = self.alloc();
+                        let acc = self.lower_opnd(l);
+                        let x = self.lower_opnd(ml);
+                        let y = self.lower_opnd(mr);
+                        self.code.push(Instr::Fma {
+                            op: *op,
+                            dst: d,
+                            acc,
+                            ml: x,
+                            mr: y,
+                        });
+                        self.free_to(d + 1);
+                        return d;
+                    }
+                }
+                let a = self.lower_expr(l);
+                let b = self.lower_expr(r);
+                self.code.push(Instr::Bin {
+                    op: *op,
+                    dst: a,
+                    l: a,
+                    r: b,
+                });
+                self.free_to(a + 1);
+                a
+            }
+            SExpr::Neg(x) => {
+                let s = self.lower_expr(x);
+                self.code.push(Instr::Neg { dst: s, src: s });
+                s
+            }
+            SExpr::Not(x) => {
+                let s = self.lower_expr(x);
+                self.code.push(Instr::Not { dst: s, src: s });
+                s
+            }
+            SExpr::Intr { name, args } => {
+                let d = self.alloc();
+                let first = self.next_reg;
+                for a in args {
+                    self.lower_expr(a);
+                }
+                self.code.push(Instr::Intr {
+                    name: *name,
+                    dst: d,
+                    first,
+                    n: args.len() as u16,
+                });
+                self.free_to(d + 1);
+                d
+            }
+            SExpr::Owner { dist, subs } => {
+                let d = self.alloc();
+                let first = self.next_reg;
+                for s in subs {
+                    self.lower_expr(s);
+                }
+                self.code.push(Instr::Owner {
+                    dst: d,
+                    dist: *dist,
+                    first,
+                    n: subs.len() as u16,
+                });
+                self.free_to(d + 1);
+                d
+            }
+            SExpr::CurOwner { array, subs } => {
+                let d = self.alloc();
+                let arr = self.layout.arr_of(*array, self.prog);
+                let first = self.next_reg;
+                for s in subs {
+                    self.lower_expr(s);
+                }
+                self.code.push(Instr::CurOwner {
+                    dst: d,
+                    arr,
+                    first,
+                    n: subs.len() as u16,
+                });
+                self.free_to(d + 1);
+                d
+            }
+            SExpr::LocalIdx { dist, dim, sub } => {
+                let s = self.lower_expr(sub);
+                self.code.push(Instr::LocalIdx {
+                    dst: s,
+                    dist: *dist,
+                    dim: *dim as u16,
+                    src: s,
+                });
+                s
+            }
+        }
+    }
+
+    /// Lowers a section's bound expressions (kept live until the consuming
+    /// Gather/Scatter executes) into a [`SecInstr`] with a fresh site id.
+    fn lower_section(&mut self, r: &SRect) -> Box<SecInstr> {
+        let site = *self.n_sites;
+        *self.n_sites += 1;
+        let dims = r
+            .dims
+            .iter()
+            .map(|(lo, hi, step)| {
+                let lr = self.lower_expr(lo);
+                let hr = self.lower_expr(hi);
+                (lr, hr, *step)
+            })
+            .collect();
+        Box::new(SecInstr { site, dims })
+    }
+
+    fn lower_body(&mut self, body: &[SStmt]) {
+        for s in body {
+            self.lower_stmt(s);
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &SStmt) {
+        let mark = self.next_reg;
+        match s {
+            SStmt::Comment(_) => {}
+            SStmt::Assign { lhs, rhs } => {
+                let r = self.lower_expr(rhs);
+                match lhs {
+                    SLval::Scalar(sym) => {
+                        let slot = self.layout.slot_of(*sym, self.prog);
+                        self.code.push(Instr::StVar { slot, src: r });
+                    }
+                    SLval::Elem { array, subs } => {
+                        let arr = self.layout.arr_of(*array, self.prog);
+                        if let Some((sx, n, extra_ops)) = self.try_fold_subs(subs) {
+                            self.code.push(Instr::StoreS {
+                                arr,
+                                n,
+                                extra_ops,
+                                subs: sx,
+                                src: r,
+                            });
+                        } else {
+                            let first = self.next_reg;
+                            for e in subs {
+                                self.lower_expr(e);
+                            }
+                            self.code.push(Instr::Store {
+                                arr,
+                                first,
+                                n: subs.len() as u16,
+                                src: r,
+                            });
+                        }
+                    }
+                }
+            }
+            SStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                assert!(*step != 0, "zero DO step");
+                let var_slot = self.layout.slot_of(*var, self.prog);
+                let i_reg = self.lower_expr(lo);
+                self.code.push(Instr::MovI {
+                    dst: i_reg,
+                    src: i_reg,
+                });
+                let hi_reg = self.lower_expr(hi);
+                self.code.push(Instr::MovI {
+                    dst: hi_reg,
+                    src: hi_reg,
+                });
+                let head = self.code.len();
+                self.code.push(Instr::LoopHead {
+                    i: i_reg,
+                    var: var_slot,
+                    hi: hi_reg,
+                    step: *step,
+                    exit: 0,
+                });
+                self.lower_body(body);
+                self.code.push(Instr::LoopNext {
+                    i: i_reg,
+                    var: var_slot,
+                    hi: hi_reg,
+                    step: *step,
+                    body: head as u32 + 1,
+                });
+                let exit = self.here();
+                self.patch(head, exit);
+            }
+            SStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.lower_expr(cond);
+                let br = self.code.len();
+                self.code.push(Instr::BrFalse { cond: c, to: 0 });
+                self.free_to(mark);
+                self.lower_body(then_body);
+                if else_body.is_empty() {
+                    let end = self.here();
+                    self.patch(br, end);
+                } else {
+                    let j = self.code.len();
+                    self.code.push(Instr::Jmp { to: 0 });
+                    let else_at = self.here();
+                    self.patch(br, else_at);
+                    self.lower_body(else_body);
+                    let end = self.here();
+                    self.patch(j, end);
+                }
+            }
+            SStmt::Call {
+                proc,
+                args,
+                copy_out,
+            } => {
+                let callee = &self.prog.procs[*proc];
+                let callee_layout = &self.layouts[*proc];
+                assert_eq!(callee.formals.len(), args.len(), "call arity");
+                let mut scalars = Vec::new();
+                let mut arrays = Vec::new();
+                for (f, a) in callee.formals.iter().zip(args) {
+                    match (f.is_array, a) {
+                        (true, SActual::Array(name)) => {
+                            arrays.push(self.layout.arr_of(*name, self.prog));
+                        }
+                        (false, SActual::Scalar(e)) => {
+                            let r = self.lower_expr(e);
+                            scalars.push((callee_layout.slot_of(f.name, self.prog), r));
+                        }
+                        _ => panic!("actual/formal kind mismatch"),
+                    }
+                }
+                // Copy-out entries whose formal the callee never binds are
+                // dropped, matching the tree engine's runtime skip.
+                let copy_out = copy_out
+                    .iter()
+                    .filter_map(|(f, caller_var)| {
+                        callee_layout
+                            .scalar_slots
+                            .get(f)
+                            .map(|&fs| (fs, self.layout.slot_of(*caller_var, self.prog)))
+                    })
+                    .collect();
+                self.code.push(Instr::Call(Box::new(CallArgs {
+                    callee: *proc,
+                    scalars,
+                    arrays,
+                    copy_out,
+                })));
+            }
+            SStmt::Return => self.code.push(Instr::Return),
+            SStmt::Stop => self.code.push(Instr::Stop),
+            SStmt::Send {
+                to,
+                tag,
+                array,
+                section,
+            } => {
+                let t = self.lower_expr(to);
+                let arr = self.layout.arr_of(*array, self.prog);
+                let sec = self.lower_section(section);
+                self.code.push(Instr::Gather { arr, sec });
+                self.code.push(Instr::SendMsg { to: t, tag: *tag });
+            }
+            SStmt::Recv {
+                from,
+                tag,
+                array,
+                section,
+            } => {
+                let f = self.lower_expr(from);
+                self.code.push(Instr::RecvMsg { from: f, tag: *tag });
+                // Destination bounds are evaluated after the receive,
+                // matching the tree engine's charge windows.
+                let arr = self.layout.arr_of(*array, self.prog);
+                let sec = self.lower_section(section);
+                self.code.push(Instr::Scatter {
+                    arr,
+                    sec,
+                    exact: true,
+                });
+            }
+            SStmt::SendElem { to, tag, value } => {
+                let t = self.lower_expr(to);
+                let v = self.lower_expr(value);
+                self.code.push(Instr::SendElem {
+                    to: t,
+                    val: v,
+                    tag: *tag,
+                });
+            }
+            SStmt::RecvElem { from, tag, lhs } => {
+                let f = self.lower_expr(from);
+                let d = self.alloc();
+                self.code.push(Instr::RecvElem {
+                    from: f,
+                    dst: d,
+                    tag: *tag,
+                });
+                match lhs {
+                    SLval::Scalar(sym) => {
+                        let slot = self.layout.slot_of(*sym, self.prog);
+                        self.code.push(Instr::StVar { slot, src: d });
+                    }
+                    SLval::Elem { array, subs } => {
+                        let arr = self.layout.arr_of(*array, self.prog);
+                        let first = self.next_reg;
+                        for e in subs {
+                            self.lower_expr(e);
+                        }
+                        self.code.push(Instr::Store {
+                            arr,
+                            first,
+                            n: subs.len() as u16,
+                            src: d,
+                        });
+                    }
+                }
+            }
+            SStmt::Bcast {
+                root,
+                src_array,
+                src_section,
+                dst_array,
+                dst_section,
+            } => {
+                let r = self.lower_expr(root);
+                let br = self.code.len();
+                self.code.push(Instr::BrNotRank { root: r, to: 0 });
+                let gather_mark = self.next_reg;
+                let src_arr = self.layout.arr_of(*src_array, self.prog);
+                let sec = self.lower_section(src_section);
+                self.code.push(Instr::Gather { arr: src_arr, sec });
+                self.free_to(gather_mark);
+                let after = self.here();
+                self.patch(br, after);
+                self.code.push(Instr::Bcast {
+                    root: r,
+                    tag: TAG_BCAST,
+                });
+                let dst_arr = self.layout.arr_of(*dst_array, self.prog);
+                let sec = self.lower_section(dst_section);
+                self.code.push(Instr::Scatter {
+                    arr: dst_arr,
+                    sec,
+                    exact: true,
+                });
+            }
+            SStmt::BcastScalar { root, var } => {
+                let r = self.lower_expr(root);
+                let slot = self.layout.slot_of(*var, self.prog);
+                let br = self.code.len();
+                self.code.push(Instr::BrNotRank { root: r, to: 0 });
+                self.code.push(Instr::PackVar { slot });
+                let after = self.here();
+                self.patch(br, after);
+                self.code.push(Instr::Bcast {
+                    root: r,
+                    tag: TAG_BCAST,
+                });
+                self.code.push(Instr::UnpackVar { slot });
+            }
+            SStmt::BcastPack { root, parts } => {
+                let r = self.lower_expr(root);
+                let br = self.code.len();
+                self.code.push(Instr::BrNotRank { root: r, to: 0 });
+                for p in parts {
+                    let pmark = self.next_reg;
+                    match p {
+                        BcastPart::Section {
+                            src_array,
+                            src_section,
+                            ..
+                        } => {
+                            let arr = self.layout.arr_of(*src_array, self.prog);
+                            let sec = self.lower_section(src_section);
+                            self.code.push(Instr::Gather { arr, sec });
+                        }
+                        BcastPart::Scalar(v) => {
+                            let slot = self.layout.slot_of(*v, self.prog);
+                            self.code.push(Instr::PackVar { slot });
+                        }
+                    }
+                    self.free_to(pmark);
+                }
+                let after = self.here();
+                self.patch(br, after);
+                self.code.push(Instr::Bcast {
+                    root: r,
+                    tag: TAG_BCAST_PACK,
+                });
+                for p in parts {
+                    let pmark = self.next_reg;
+                    match p {
+                        BcastPart::Section {
+                            dst_array,
+                            dst_section,
+                            ..
+                        } => {
+                            // The tree engine enumerates the destination
+                            // section once to size the slice and again to
+                            // scatter; evaluate the bounds twice so charge
+                            // totals match (the first set is dead).
+                            let dead = self.lower_section(dst_section);
+                            drop(dead);
+                            self.free_to(pmark);
+                            let arr = self.layout.arr_of(*dst_array, self.prog);
+                            let sec = self.lower_section(dst_section);
+                            self.code.push(Instr::Scatter {
+                                arr,
+                                sec,
+                                exact: false,
+                            });
+                        }
+                        BcastPart::Scalar(v) => {
+                            let slot = self.layout.slot_of(*v, self.prog);
+                            self.code.push(Instr::UnpackVar { slot });
+                        }
+                    }
+                    self.free_to(pmark);
+                }
+            }
+            SStmt::Remap { array, to_dist } => {
+                let arr = self.layout.arr_of(*array, self.prog);
+                self.code.push(Instr::Remap { arr, to: *to_dist });
+            }
+            SStmt::RemapGlobal { array, to_dist } => {
+                let arr = self.layout.arr_of(*array, self.prog);
+                self.code.push(Instr::RemapGlobal { arr, to: *to_dist });
+            }
+            SStmt::MarkDist { array, to_dist } => {
+                let arr = self.layout.arr_of(*array, self.prog);
+                self.code.push(Instr::MarkDist { arr, to: *to_dist });
+            }
+            SStmt::Print { args } => {
+                let br = self.code.len();
+                self.code.push(Instr::BrNotRank0 { to: 0 });
+                let first = self.next_reg;
+                for a in args {
+                    self.lower_expr(a);
+                }
+                self.code.push(Instr::Print {
+                    first,
+                    n: args.len() as u16,
+                });
+                let end = self.here();
+                self.patch(br, end);
+            }
+        }
+        self.free_to(mark);
+    }
+}

@@ -1,0 +1,546 @@
+//! Shared execution runtime for the SPMD engines.
+//!
+//! Both engines — the reference tree-walker ([`crate::interp`]) and the
+//! bytecode VM ([`crate::vm`]) — run node programs against the same
+//! [`Machine`] and must produce bit-identical simulated results
+//! (`model_time_us`, message counts/volumes, final arrays, printed lines).
+//! Everything observable lives here so the engines cannot drift: runtime
+//! values, per-rank array storage, the initial scatter / final gather,
+//! the remap library routines, and the run harness that assembles global
+//! arrays from per-rank finals.
+
+use crate::ir::*;
+use fortrand_ir::dist::ArrayDist;
+use fortrand_ir::Sym;
+use fortrand_machine::{Machine, Node, RunStats};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Accounting tag under which plain broadcasts ([`SStmt::Bcast`],
+/// [`SStmt::BcastScalar`]) are recorded in the machine's per-tag message
+/// stats. High bits keep it clear of compiler-assigned send tags.
+pub const TAG_BCAST: u64 = 1 << 32;
+/// Accounting tag for coalesced broadcasts ([`SStmt::BcastPack`]).
+pub const TAG_BCAST_PACK: u64 = (1 << 32) + 1;
+/// Tag space reserved for remap traffic (compiler tags stay below this).
+pub(crate) const REMAP_TAG_BASE: u64 = 1 << 40;
+
+/// Which execution engine runs the node program.
+///
+/// Both engines charge identical costs to the simulated machine; they
+/// differ only in host wall-clock. The bytecode VM is the default; the
+/// tree-walker is kept as the reference for differential testing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecEngine {
+    /// Reference tree-walking interpreter over the [`SStmt`]/[`SExpr`] IR.
+    Tree,
+    /// Lowered engine: programs are flattened to dense bytecode
+    /// ([`crate::lower`]) and run by a dispatch loop ([`crate::vm`]).
+    #[default]
+    Bytecode,
+}
+
+/// Result of running a node program.
+#[derive(Debug)]
+pub struct ExecOutput {
+    /// Machine statistics (time, messages, bytes, flops…).
+    pub stats: RunStats,
+    /// Final global contents of every array declared in the entry
+    /// procedure, row-major over the array's global extents.
+    pub arrays: BTreeMap<Sym, Vec<f64>>,
+    /// Lines printed by rank 0 (`print *` statements).
+    pub printed: Vec<String>,
+}
+
+/// Runs `prog` on `machine` under the default engine ([`ExecEngine::Bytecode`]).
+/// `init` supplies initial global values for arrays declared in the entry
+/// procedure (missing arrays start at zero).
+pub fn run_spmd(
+    prog: &SpmdProgram,
+    machine: &Machine,
+    init: &BTreeMap<Sym, Vec<f64>>,
+) -> ExecOutput {
+    run_spmd_engine(prog, machine, init, ExecEngine::default())
+}
+
+/// [`run_spmd`] with an explicit engine choice.
+pub fn run_spmd_engine(
+    prog: &SpmdProgram,
+    machine: &Machine,
+    init: &BTreeMap<Sym, Vec<f64>>,
+    engine: ExecEngine,
+) -> ExecOutput {
+    assert_eq!(
+        machine.nprocs, prog.nprocs,
+        "program compiled for {} procs, machine has {}",
+        prog.nprocs, machine.nprocs
+    );
+    match engine {
+        ExecEngine::Tree => crate::interp::run_tree(prog, machine, init),
+        ExecEngine::Bytecode => crate::vm::run_bytecode(prog, machine, init),
+    }
+}
+
+/// Engine-independent run harness: executes `body` once per rank, collects
+/// each rank's final arrays (and rank 0's printed lines), then assembles
+/// the global arrays.
+pub(crate) fn run_harness(
+    prog: &SpmdProgram,
+    machine: &Machine,
+    body: impl Fn(&mut Node) -> (Vec<FinalArray>, Vec<String>) + Sync,
+) -> ExecOutput {
+    let finals: Mutex<Vec<Option<Vec<FinalArray>>>> =
+        Mutex::new((0..machine.nprocs).map(|_| None).collect());
+    let printed: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    let stats = machine.run(|node| {
+        let rank = node.rank();
+        let (fin, pr) = body(node);
+        if rank == 0 {
+            printed.lock().unwrap().extend(pr);
+        }
+        finals.lock().unwrap()[rank] = Some(fin);
+    });
+
+    let finals = finals.into_inner().unwrap();
+    let per_rank: Vec<Vec<FinalArray>> = finals.into_iter().map(Option::unwrap).collect();
+    ExecOutput {
+        stats,
+        arrays: assemble_arrays(prog, &per_rank),
+        printed: printed.into_inner().unwrap(),
+    }
+}
+
+/// Assembles global arrays from per-rank finals, reading each element from
+/// its owner under the array's final distribution.
+fn assemble_arrays(prog: &SpmdProgram, per_rank: &[Vec<FinalArray>]) -> BTreeMap<Sym, Vec<f64>> {
+    let mut arrays = BTreeMap::new();
+    if let Some(rank0) = per_rank.first() {
+        for fa in rank0 {
+            let dist = &prog.dists[fa.owner_dist.unwrap_or(fa.dist).0 as usize];
+            let shape = RowMajor::new(global_extents(dist));
+            let mut global = vec![0.0f64; shape.total as usize];
+            let mut pt = vec![1i64; shape.extents.len()];
+            for flat in 0..shape.total {
+                shape.decode_into(flat, &mut pt);
+                let owner = dist.owner_of(&pt);
+                let fa_owner = per_rank[owner]
+                    .iter()
+                    .find(|x| x.name == fa.name)
+                    .expect("array missing on owner rank");
+                // Run-time resolution storage is global-indexed.
+                let local = if fa.owner_dist.is_some() {
+                    pt.clone()
+                } else {
+                    dist.local_of_global(&pt)
+                };
+                if let Some(v) = fa_owner.read(&local) {
+                    global[flat as usize] = v;
+                }
+            }
+            arrays.insert(fa.name, global);
+        }
+    }
+    arrays
+}
+
+/// Global (pre-partitioning) extents implied by a distribution, in array
+/// index space.
+pub fn global_extents(dist: &ArrayDist) -> Vec<i64> {
+    dist.dims
+        .iter()
+        .enumerate()
+        .map(|(d, p)| p.extent - dist.offsets[d])
+        .collect()
+}
+
+/// Row-major index space over `extents` with strides precomputed once, so
+/// decoding a flat index is O(d) multiplies instead of O(d²) products.
+pub(crate) struct RowMajor {
+    pub extents: Vec<i64>,
+    strides: Vec<i64>,
+    pub total: i64,
+}
+
+impl RowMajor {
+    pub fn new(extents: Vec<i64>) -> Self {
+        let n = extents.len();
+        let mut strides = vec![1i64; n];
+        for d in (0..n.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * extents[d + 1];
+        }
+        let total = extents.iter().product();
+        RowMajor {
+            extents,
+            strides,
+            total,
+        }
+    }
+
+    /// Decodes `flat` into 1-based point coordinates.
+    pub fn decode_into(&self, flat: i64, pt: &mut [i64]) {
+        let mut rem = flat;
+        for (p, stride) in pt.iter_mut().zip(&self.strides) {
+            *p = rem / stride + 1;
+            rem %= stride;
+        }
+    }
+}
+
+/// One array's final state on one rank.
+pub(crate) struct FinalArray {
+    pub name: Sym,
+    pub bounds: Vec<(i64, i64)>,
+    pub data: Vec<f64>,
+    pub dist: DistId,
+    pub owner_dist: Option<DistId>,
+}
+
+impl FinalArray {
+    fn read(&self, local: &[i64]) -> Option<f64> {
+        let mut flat = 0usize;
+        for (d, &x) in local.iter().enumerate() {
+            let (lo, hi) = self.bounds[d];
+            if x < lo || x > hi {
+                return None;
+            }
+            let width = (hi - lo + 1) as usize;
+            flat = flat * width + (x - lo) as usize;
+        }
+        self.data.get(flat).copied()
+    }
+}
+
+/// Runtime value. The distinction between `I` and `R` is semantic, not just
+/// representational: binary operations charge a flop when either operand is
+/// `R` and an integer op otherwise, so both engines must carry it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum Value {
+    I(i64),
+    R(f64),
+}
+
+impl Value {
+    pub fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::R(v) => v as i64,
+        }
+    }
+    pub fn as_r(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::R(v) => v,
+        }
+    }
+    pub fn truthy(self) -> bool {
+        self.as_i() != 0
+    }
+}
+
+/// Converts a scalar that traveled over the wire as `f64` back to a
+/// [`Value`]: integrality is preserved when exact (broadcast scalars are
+/// pivot indices in practice).
+pub(crate) fn scalar_from_wire(v: f64) -> Value {
+    if v == v.trunc() {
+        Value::I(v as i64)
+    } else {
+        Value::R(v)
+    }
+}
+
+/// Array storage on one rank.
+pub(crate) struct ArrayStore {
+    pub name: Sym,
+    pub bounds: Vec<(i64, i64)>,
+    pub data: Vec<f64>,
+    pub dist: DistId,
+    pub owner_dist: Option<DistId>,
+}
+
+impl ArrayStore {
+    pub fn alloc(name: Sym, bounds: Vec<(i64, i64)>, dist: DistId) -> Self {
+        let len: i64 = bounds
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1).max(0))
+            .product();
+        ArrayStore {
+            name,
+            bounds,
+            data: vec![0.0; len as usize],
+            dist,
+            owner_dist: None,
+        }
+    }
+    pub fn flat(&self, subs: &[i64]) -> usize {
+        debug_assert_eq!(subs.len(), self.bounds.len());
+        let mut flat = 0usize;
+        for (d, &x) in subs.iter().enumerate() {
+            let (lo, hi) = self.bounds[d];
+            assert!(
+                x >= lo && x <= hi,
+                "subscript {} out of local bounds {}:{} (dim {}) of array",
+                x,
+                lo,
+                hi,
+                d
+            );
+            let width = (hi - lo + 1) as usize;
+            flat = flat * width + (x - lo) as usize;
+        }
+        flat
+    }
+    pub fn get(&self, subs: &[i64]) -> f64 {
+        self.data[self.flat(subs)]
+    }
+    pub fn set(&mut self, subs: &[i64], v: f64) {
+        let f = self.flat(subs);
+        self.data[f] = v;
+    }
+}
+
+/// Applies a binary operator. Integer op when both operands are `I`;
+/// otherwise both promote to `f64`. Comparisons and logicals yield `I(0|1)`.
+pub(crate) fn apply_bin(op: SBinOp, a: Value, b: Value) -> Value {
+    use SBinOp::*;
+    let bool_v = |c: bool| Value::I(c as i64);
+    match (a, b) {
+        (Value::I(x), Value::I(y)) => match op {
+            Add => Value::I(x + y),
+            Sub => Value::I(x - y),
+            Mul => Value::I(x * y),
+            Div => Value::I(x / y),
+            Pow => Value::I(x.pow(y.clamp(0, 62) as u32)),
+            Lt => bool_v(x < y),
+            Le => bool_v(x <= y),
+            Gt => bool_v(x > y),
+            Ge => bool_v(x >= y),
+            Eq => bool_v(x == y),
+            Ne => bool_v(x != y),
+            And => bool_v(x != 0 && y != 0),
+            Or => bool_v(x != 0 || y != 0),
+        },
+        _ => {
+            let x = a.as_r();
+            let y = b.as_r();
+            match op {
+                Add => Value::R(x + y),
+                Sub => Value::R(x - y),
+                Mul => Value::R(x * y),
+                Div => Value::R(x / y),
+                Pow => Value::R(x.powf(y)),
+                Lt => bool_v(x < y),
+                Le => bool_v(x <= y),
+                Gt => bool_v(x > y),
+                Ge => bool_v(x >= y),
+                Eq => bool_v(x == y),
+                Ne => bool_v(x != y),
+                And => bool_v(x != 0.0 && y != 0.0),
+                Or => bool_v(x != 0.0 || y != 0.0),
+            }
+        }
+    }
+}
+
+/// Applies an intrinsic to already-evaluated arguments.
+pub(crate) fn apply_intr(name: SIntr, vals: &[Value]) -> Value {
+    match name {
+        SIntr::Abs => match vals[0] {
+            Value::I(v) => Value::I(v.abs()),
+            Value::R(v) => Value::R(v.abs()),
+        },
+        SIntr::Min => {
+            if vals.iter().all(|v| matches!(v, Value::I(_))) {
+                Value::I(vals.iter().map(|v| v.as_i()).min().unwrap())
+            } else {
+                Value::R(vals.iter().map(|v| v.as_r()).fold(f64::INFINITY, f64::min))
+            }
+        }
+        SIntr::Max => {
+            if vals.iter().all(|v| matches!(v, Value::I(_))) {
+                Value::I(vals.iter().map(|v| v.as_i()).max().unwrap())
+            } else {
+                Value::R(
+                    vals.iter()
+                        .map(|v| v.as_r())
+                        .fold(f64::NEG_INFINITY, f64::max),
+                )
+            }
+        }
+        SIntr::Mod => match (vals[0], vals[1]) {
+            (Value::I(a), Value::I(b)) => Value::I(a % b),
+            (a, b) => Value::R(a.as_r() % b.as_r()),
+        },
+        SIntr::Sqrt => Value::R(vals[0].as_r().sqrt()),
+        SIntr::Sign => {
+            let (a, b) = (vals[0].as_r(), vals[1].as_r());
+            Value::R(if b >= 0.0 { a.abs() } else { -a.abs() })
+        }
+    }
+}
+
+/// Fills the local part of `store` from a row-major global buffer.
+/// Replicated (serial) dims store on every rank; distributed dims only on
+/// the owner. Run-time resolution storage is handled by the caller (full
+/// copy).
+pub(crate) fn scatter_init_store(
+    store: &mut ArrayStore,
+    dist: &ArrayDist,
+    global: &[f64],
+    my: usize,
+) {
+    let shape = RowMajor::new(global_extents(dist));
+    assert_eq!(
+        shape.total as usize,
+        global.len(),
+        "initial data size mismatch"
+    );
+    let replicated = dist.is_replicated();
+    let mut pt = vec![1i64; shape.extents.len()];
+    for flat in 0..shape.total {
+        shape.decode_into(flat, &mut pt);
+        let owner = dist.owner_of(&pt);
+        if replicated || owner == my {
+            let local = dist.local_of_global(&pt);
+            // Guard against overlap bounds excluding the point (cannot
+            // happen for owned points, but stay defensive).
+            let ok = local
+                .iter()
+                .zip(&store.bounds)
+                .all(|(&x, &(lo, hi))| x >= lo && x <= hi);
+            if ok {
+                store.set(&local, global[flat as usize]);
+            }
+        }
+    }
+}
+
+/// Full dynamic remap with data motion (library routine of §6): moves the
+/// contents of `old` (distributed as `d0`) into a fresh store distributed
+/// as `d1`. The caller has already flushed charges and charged the remap
+/// call; this routine only moves data (charged as messages).
+pub(crate) fn remap_store(
+    node: &mut Node,
+    old: &ArrayStore,
+    d0: &ArrayDist,
+    d1: &ArrayDist,
+    to_dist: DistId,
+) -> ArrayStore {
+    let shape = RowMajor::new(global_extents(d0));
+    assert_eq!(
+        shape.extents,
+        global_extents(d1),
+        "remap changes array shape"
+    );
+    let my = node.rank();
+    let p = node.nprocs();
+
+    let bounds: Vec<(i64, i64)> = d1.local_extents().iter().map(|&e| (1, e)).collect();
+    let mut new_store = ArrayStore::alloc(old.name, bounds, to_dist);
+
+    // Outgoing: group my old elements by new owner, row-major order.
+    let mut outgoing: Vec<Vec<f64>> = vec![Vec::new(); p];
+    let mut pt = vec![1i64; shape.extents.len()];
+    for flat in 0..shape.total {
+        shape.decode_into(flat, &mut pt);
+        if d0.owner_of(&pt) != my {
+            continue;
+        }
+        let v = old.get(&d0.local_of_global(&pt));
+        let dst = d1.owner_of(&pt);
+        if dst == my {
+            new_store.set(&d1.local_of_global(&pt), v);
+        } else {
+            outgoing[dst].push(v);
+        }
+    }
+    for (dst, buf) in outgoing.iter().enumerate() {
+        if dst != my && !buf.is_empty() {
+            node.send(dst, REMAP_TAG_BASE + dst as u64, buf);
+        }
+    }
+    // Incoming: my new elements whose old owner differs, in the sender's
+    // row-major order (same global order, so a simple fill works).
+    let mut incoming_pts: Vec<Vec<Vec<i64>>> = vec![Vec::new(); p];
+    for flat in 0..shape.total {
+        shape.decode_into(flat, &mut pt);
+        if d1.owner_of(&pt) != my {
+            continue;
+        }
+        let src = d0.owner_of(&pt);
+        if src != my {
+            incoming_pts[src].push(pt.clone());
+        }
+    }
+    for (src, pts) in incoming_pts.iter().enumerate() {
+        if src == my || pts.is_empty() {
+            continue;
+        }
+        let data = node.recv(src, REMAP_TAG_BASE + my as u64);
+        assert_eq!(data.len(), pts.len(), "remap message size mismatch");
+        for (pt, &v) in pts.iter().zip(&data) {
+            new_store.set(&d1.local_of_global(pt), v);
+        }
+    }
+    new_store
+}
+
+/// Run-time resolution remap: storage stays global-shaped; the
+/// authoritative values move from old owners (`d0`) to new owners (`d1`)
+/// in place. The caller updates `owner_dist` afterwards.
+pub(crate) fn remap_global_store(
+    node: &mut Node,
+    store: &mut ArrayStore,
+    d0: &ArrayDist,
+    d1: &ArrayDist,
+) {
+    let shape = RowMajor::new(global_extents(d0));
+    let my = node.rank();
+    let p = node.nprocs();
+    let mut outgoing: Vec<Vec<f64>> = vec![Vec::new(); p];
+    let mut pt = vec![1i64; shape.extents.len()];
+    for flat in 0..shape.total {
+        shape.decode_into(flat, &mut pt);
+        if d0.owner_of(&pt) != my {
+            continue;
+        }
+        let dst = d1.owner_of(&pt);
+        if dst != my {
+            let v = store.get(&pt);
+            outgoing[dst].push(v);
+        }
+    }
+    for (dst, buf) in outgoing.iter().enumerate() {
+        if dst != my && !buf.is_empty() {
+            node.send(dst, REMAP_TAG_BASE + dst as u64, buf);
+        }
+    }
+    let mut incoming_pts: Vec<Vec<Vec<i64>>> = vec![Vec::new(); p];
+    for flat in 0..shape.total {
+        shape.decode_into(flat, &mut pt);
+        if d1.owner_of(&pt) != my {
+            continue;
+        }
+        let src = d0.owner_of(&pt);
+        if src != my {
+            incoming_pts[src].push(pt.clone());
+        }
+    }
+    for (src, pts) in incoming_pts.iter().enumerate() {
+        if src == my || pts.is_empty() {
+            continue;
+        }
+        let data = node.recv(src, REMAP_TAG_BASE + my as u64);
+        assert_eq!(data.len(), pts.len(), "remap_global size mismatch");
+        for (pt, &v) in pts.iter().zip(&data) {
+            store.set(pt, v);
+        }
+    }
+}
+
+/// Array-kill optimized remap (§6.3): values are dead — swap descriptors,
+/// no data motion. Contents become undefined (zeroed).
+pub(crate) fn mark_dist_store(store: &mut ArrayStore, new_dist: &ArrayDist, to_dist: DistId) {
+    let bounds: Vec<(i64, i64)> = new_dist.local_extents().iter().map(|&e| (1, e)).collect();
+    *store = ArrayStore::alloc(store.name, bounds, to_dist);
+}

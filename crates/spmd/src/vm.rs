@@ -1,0 +1,784 @@
+//! Bytecode VM: the default SPMD execution engine.
+//!
+//! Executes programs lowered by [`crate::lower`] with a tight dispatch
+//! loop over dense instructions. All state lives in contiguous stacks
+//! shared across frames (scalar slots, array table, registers) indexed by
+//! per-frame bases, so there is no per-statement hashing or allocation on
+//! the hot path. Section enumerations are cached per lowering site
+//! ([`SecEntry`]) keyed by the evaluated bounds and the target array's
+//! current local bounds (remaps invalidate naturally).
+//!
+//! The VM charges the exact same flop/op inventory as the tree engine
+//! ([`crate::interp`]) and flushes it at the same communication points, so
+//! every simulated observable — virtual clocks, message counts, bytes,
+//! final arrays, printed lines — is bit-identical between engines.
+
+use crate::ir::{SBinOp, SpmdProgram};
+use crate::lower::{lower, CallArgs, Instr, Lowered, SecInstr, NO_SLOT};
+use crate::runtime::{
+    apply_bin, apply_intr, mark_dist_store, remap_global_store, remap_store, run_harness,
+    scalar_from_wire, scatter_init_store, ArrayStore, ExecOutput, FinalArray, Value,
+};
+use fortrand_ir::Sym;
+use fortrand_machine::{Machine, Node, Payload};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Runs `prog` under the bytecode engine. Lowering happens once; the
+/// resulting program is shared read-only by every rank's VM.
+pub(crate) fn run_bytecode(
+    prog: &SpmdProgram,
+    machine: &Machine,
+    init: &BTreeMap<Sym, Vec<f64>>,
+) -> ExecOutput {
+    let lowered = lower(prog);
+    let instr_total = AtomicU64::new(0);
+    let mut out = run_harness(prog, machine, |node| {
+        let mut vm = Vm::new(prog, &lowered, node);
+        vm.enter_main(init);
+        exec(&mut vm);
+        instr_total.fetch_add(vm.instrs, Ordering::Relaxed);
+        (vm.finish(), std::mem::take(&mut vm.printed))
+    });
+    out.stats.engine_instrs = instr_total.load(Ordering::Relaxed);
+    out
+}
+
+/// Cached enumeration of one section site: the evaluated bounds it was
+/// built for and the flattened storage offsets of its points in row-major
+/// (last dimension fastest) order.
+struct SecEntry {
+    dims: Vec<(i64, i64, i64)>,
+    bounds: Vec<(i64, i64)>,
+    flats: Vec<u32>,
+}
+
+/// Activation record. `ret_pc` resumes the caller after the `Call` at
+/// `call_pc` (whose operand also carries the copy-out plan read on return).
+struct FrameMark {
+    proc: usize,
+    ret_pc: usize,
+    call_pc: usize,
+    s_base: usize,
+    a_base: usize,
+    r_base: usize,
+    heap_mark: usize,
+}
+
+struct Vm<'a, 'n> {
+    prog: &'a SpmdProgram,
+    lowered: &'a Lowered,
+    node: &'n mut Node,
+    /// Scalar slots of every live frame, contiguous.
+    scalars: Vec<Value>,
+    /// Array table: heap id per frame-local array index.
+    atab: Vec<usize>,
+    /// Expression registers of every live frame, contiguous.
+    regs: Vec<Value>,
+    frames: Vec<FrameMark>,
+    heap: Vec<ArrayStore>,
+    /// Outgoing message under construction (pooled buffer).
+    msg: Option<Vec<f64>>,
+    /// Last received/broadcast payload, consumed via `in_off`.
+    incoming: Option<Payload>,
+    in_off: usize,
+    sec_cache: Vec<Option<SecEntry>>,
+    /// Scratch for subscript evaluation (avoids per-access allocation).
+    subs_buf: Vec<i64>,
+    /// Scratch for section bound evaluation.
+    dims_buf: Vec<(i64, i64, i64)>,
+    printed: Vec<String>,
+    pending_flops: u64,
+    pending_ops: u64,
+    /// Instructions dispatched (diagnostic; summed into
+    /// `RunStats::engine_instrs`).
+    instrs: u64,
+    main_arrays: Vec<usize>,
+}
+
+impl<'a, 'n> Vm<'a, 'n> {
+    fn new(prog: &'a SpmdProgram, lowered: &'a Lowered, node: &'n mut Node) -> Self {
+        Vm {
+            prog,
+            lowered,
+            node,
+            scalars: Vec::new(),
+            atab: Vec::new(),
+            regs: Vec::new(),
+            frames: Vec::new(),
+            heap: Vec::new(),
+            msg: None,
+            incoming: None,
+            in_off: 0,
+            sec_cache: (0..lowered.n_sites).map(|_| None).collect(),
+            subs_buf: Vec::new(),
+            dims_buf: Vec::new(),
+            printed: Vec::new(),
+            pending_flops: 0,
+            pending_ops: 0,
+            instrs: 0,
+            main_arrays: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.pending_flops > 0 {
+            self.node.charge_flops(self.pending_flops);
+            self.pending_flops = 0;
+        }
+        if self.pending_ops > 0 {
+            self.node.charge_ops(self.pending_ops);
+            self.pending_ops = 0;
+        }
+    }
+
+    fn enter_main(&mut self, init: &BTreeMap<Sym, Vec<f64>>) {
+        let lowered = self.lowered;
+        let main = self.prog.main;
+        let lp = &lowered.procs[main];
+        assert_eq!(lp.array_formals, 0, "main procedure takes array formals");
+        self.scalars.resize(lp.n_slots as usize, Value::I(0));
+        self.regs.resize(lp.n_regs as usize, Value::I(0));
+        for d in &lp.decls {
+            let id = self.heap.len();
+            let mut store = ArrayStore::alloc(d.name, d.bounds.clone(), d.dist);
+            store.owner_dist = d.owner_dist;
+            self.heap.push(store);
+            self.atab.push(id);
+            self.main_arrays.push(id);
+            if let Some(global) = init.get(&d.name) {
+                self.scatter_init(id, global);
+            }
+        }
+        self.frames.push(FrameMark {
+            proc: main,
+            ret_pc: 0,
+            call_pc: 0,
+            s_base: 0,
+            a_base: 0,
+            r_base: 0,
+            heap_mark: 0,
+        });
+    }
+
+    fn scatter_init(&mut self, id: usize, global: &[f64]) {
+        if self.heap[id].owner_dist.is_some() {
+            assert_eq!(self.heap[id].data.len(), global.len(), "rtr init size");
+            self.heap[id].data.copy_from_slice(global);
+            return;
+        }
+        let prog = self.prog;
+        let dist = &prog.dists[self.heap[id].dist.0 as usize];
+        let my = self.node.rank();
+        scatter_init_store(&mut self.heap[id], dist, global, my);
+    }
+
+    fn finish(&mut self) -> Vec<FinalArray> {
+        self.main_arrays
+            .iter()
+            .map(|&id| {
+                let s = &self.heap[id];
+                FinalArray {
+                    name: s.name,
+                    bounds: s.bounds.clone(),
+                    data: s.data.clone(),
+                    dist: s.dist,
+                    owner_dist: s.owner_dist,
+                }
+            })
+            .collect()
+    }
+
+    fn do_call(
+        &mut self,
+        ca: &CallArgs,
+        caller_r_base: usize,
+        caller_a_base: usize,
+        ret_pc: usize,
+    ) {
+        let lowered = self.lowered;
+        let lp = &lowered.procs[ca.callee];
+        let s_base = self.scalars.len();
+        let a_base = self.atab.len();
+        let r_base = self.regs.len();
+        let heap_mark = self.heap.len();
+        self.scalars
+            .resize(s_base + lp.n_slots as usize, Value::I(0));
+        for &(slot, reg) in &ca.scalars {
+            self.scalars[s_base + slot as usize] = self.regs[caller_r_base + reg as usize];
+        }
+        for &tidx in &ca.arrays {
+            let id = self.atab[caller_a_base + tidx as usize];
+            self.atab.push(id);
+        }
+        for d in &lp.decls {
+            let id = self.heap.len();
+            let mut store = ArrayStore::alloc(d.name, d.bounds.clone(), d.dist);
+            store.owner_dist = d.owner_dist;
+            self.heap.push(store);
+            self.atab.push(id);
+        }
+        self.regs.resize(r_base + lp.n_regs as usize, Value::I(0));
+        self.pending_ops += 2; // call overhead
+        self.frames.push(FrameMark {
+            proc: ca.callee,
+            ret_pc,
+            call_pc: ret_pc - 1,
+            s_base,
+            a_base,
+            r_base,
+            heap_mark,
+        });
+    }
+
+    /// Pops the current frame, applies scalar copy-out, and returns the
+    /// caller's resume pc. Frame storage (including callee-local arrays)
+    /// is reclaimed.
+    fn do_return(&mut self) -> usize {
+        let fr = self.frames.pop().unwrap();
+        let caller = self.frames.last().unwrap();
+        let caller_s_base = caller.s_base;
+        let lowered = self.lowered;
+        let Instr::Call(ca) = &lowered.procs[caller.proc].code[fr.call_pc] else {
+            unreachable!("return without matching call")
+        };
+        for &(fslot, cslot) in &ca.copy_out {
+            self.scalars[caller_s_base + cslot as usize] = self.scalars[fr.s_base + fslot as usize];
+        }
+        self.scalars.truncate(fr.s_base);
+        self.atab.truncate(fr.a_base);
+        self.regs.truncate(fr.r_base);
+        self.heap.truncate(fr.heap_mark);
+        fr.ret_pc
+    }
+
+    /// Evaluates a section's bounds from registers and returns its point
+    /// count, (re)building the site's cached enumeration when the bounds
+    /// or the target array's local bounds changed.
+    fn ensure_section(&mut self, sec: &SecInstr, store_id: usize, r_base: usize) -> usize {
+        self.dims_buf.clear();
+        for &(lo, hi, step) in &sec.dims {
+            let l = self.regs[r_base + lo as usize].as_i();
+            let h = self.regs[r_base + hi as usize].as_i();
+            self.dims_buf.push((l, h, step));
+        }
+        let store = &self.heap[store_id];
+        if let Some(e) = &self.sec_cache[sec.site as usize] {
+            if e.dims == self.dims_buf && e.bounds == store.bounds {
+                return e.flats.len();
+            }
+        }
+        let dims = &self.dims_buf;
+        let mut flats: Vec<u32> = Vec::new();
+        if !dims.iter().any(|&(lo, hi, _)| hi < lo) {
+            let mut pt: Vec<i64> = dims.iter().map(|&(lo, _, _)| lo).collect();
+            'points: loop {
+                flats.push(store.flat(&pt) as u32);
+                // Increment last dimension first (row-major order).
+                let mut d = dims.len();
+                loop {
+                    if d == 0 {
+                        break 'points;
+                    }
+                    d -= 1;
+                    pt[d] += dims[d].2;
+                    if pt[d] <= dims[d].1 {
+                        break;
+                    }
+                    pt[d] = dims[d].0;
+                }
+            }
+        }
+        let n = flats.len();
+        self.sec_cache[sec.site as usize] = Some(SecEntry {
+            dims: self.dims_buf.clone(),
+            bounds: store.bounds.clone(),
+            flats,
+        });
+        n
+    }
+}
+
+/// The dispatch loop. The outer loop re-fetches the current procedure's
+/// code and frame bases after every call/return; the inner loop dispatches
+/// until the frame changes or the program halts.
+///
+/// Hot arms access the register and scalar files through unchecked raw
+/// pointers: lowering guarantees every operand index is below the frame's
+/// `n_regs`/`n_slots`, and the stacks are resized to exactly
+/// `base + n_regs`/`base + n_slots` on frame entry, so `base + idx` is
+/// always in bounds (debug builds assert it). The pointers are re-derived
+/// at each use, so frame switches and arms that call `&mut Vm` methods
+/// never hold a stale pointer.
+fn exec(vm: &mut Vm) {
+    let lowered = vm.lowered;
+    let prog = vm.prog;
+    let mut pc = 0usize;
+    loop {
+        let fr = vm.frames.last().unwrap();
+        let (s_base, a_base, r_base) = (fr.s_base, fr.a_base, fr.r_base);
+        let code = &lowered.procs[fr.proc].code;
+        /// Reads register `$i` of the current frame (unchecked).
+        macro_rules! reg {
+            ($i:expr) => {{
+                let idx = r_base + $i as usize;
+                debug_assert!(idx < vm.regs.len());
+                unsafe { *vm.regs.as_ptr().add(idx) }
+            }};
+        }
+        /// Writes register `$i` of the current frame (unchecked).
+        macro_rules! reg_set {
+            ($i:expr, $v:expr) => {{
+                let idx = r_base + $i as usize;
+                debug_assert!(idx < vm.regs.len());
+                let v = $v;
+                unsafe { *vm.regs.as_mut_ptr().add(idx) = v }
+            }};
+        }
+        /// Computes the flat storage offset of an element access on
+        /// `$store` whose subscripts sit in registers `$first..+$n`,
+        /// with the same per-dimension bounds panic as
+        /// [`ArrayStore::flat`]. In-bounds subscripts imply
+        /// `flat < data.len()` (storage is the product of the widths).
+        macro_rules! flat_of {
+            ($store:expr, $first:expr, $n:expr) => {{
+                let mut flat = 0usize;
+                for k in 0..$n as usize {
+                    let x = reg!($first as usize + k).as_i();
+                    let (lo, hi) = $store.bounds[k];
+                    assert!(
+                        x >= lo && x <= hi,
+                        "subscript {} out of local bounds {}:{} (dim {}) of array",
+                        x,
+                        lo,
+                        hi,
+                        k
+                    );
+                    flat = flat * (hi - lo + 1) as usize + (x - lo) as usize;
+                }
+                flat
+            }};
+        }
+        /// Like `flat_of!` for folded [`SubIdx`] subscript lists.
+        macro_rules! flat_of_sub {
+            ($store:expr, $subs:expr, $n:expr) => {{
+                let mut flat = 0usize;
+                for k in 0..$n as usize {
+                    let s = $subs[k];
+                    let x = if s.slot == NO_SLOT {
+                        s.off as i64
+                    } else {
+                        let idx = s_base + s.slot as usize;
+                        debug_assert!(idx < vm.scalars.len());
+                        (unsafe { *vm.scalars.as_ptr().add(idx) }).as_i() + s.off as i64
+                    };
+                    let (lo, hi) = $store.bounds[k];
+                    assert!(
+                        x >= lo && x <= hi,
+                        "subscript {} out of local bounds {}:{} (dim {}) of array",
+                        x,
+                        lo,
+                        hi,
+                        k
+                    );
+                    flat = flat * (hi - lo + 1) as usize + (x - lo) as usize;
+                }
+                flat
+            }};
+        }
+        /// Reads a fused-instruction [`Opnd`]: a register, or a scalar
+        /// slot of the current frame when `slot != NO_SLOT`.
+        macro_rules! opnd {
+            ($o:expr) => {{
+                let o = $o;
+                if o.slot == NO_SLOT {
+                    reg!(o.reg)
+                } else {
+                    let idx = s_base + o.slot as usize;
+                    debug_assert!(idx < vm.scalars.len());
+                    unsafe { *vm.scalars.as_ptr().add(idx) }
+                }
+            }};
+        }
+        let switched = 'frame: loop {
+            let instr = &code[pc];
+            vm.instrs += 1;
+            pc += 1;
+            match instr {
+                Instr::LdI { dst, v } => {
+                    reg_set!(*dst, Value::I(*v));
+                }
+                Instr::LdR { dst, v } => {
+                    reg_set!(*dst, Value::R(*v));
+                }
+                Instr::LdVar { dst, slot } => {
+                    let idx = s_base + *slot as usize;
+                    debug_assert!(idx < vm.scalars.len());
+                    reg_set!(*dst, unsafe { *vm.scalars.as_ptr().add(idx) });
+                }
+                Instr::StVar { slot, src } => {
+                    let idx = s_base + *slot as usize;
+                    debug_assert!(idx < vm.scalars.len());
+                    let v = reg!(*src);
+                    unsafe { *vm.scalars.as_mut_ptr().add(idx) = v };
+                }
+                Instr::MovI { dst, src } => {
+                    reg_set!(*dst, Value::I(reg!(*src).as_i()));
+                }
+                Instr::MyP { dst } => {
+                    reg_set!(*dst, Value::I(vm.node.rank() as i64));
+                }
+                Instr::NProcs { dst } => {
+                    reg_set!(*dst, Value::I(vm.node.nprocs() as i64));
+                }
+                Instr::Bin { op, dst, l, r } => {
+                    let a = reg!(*l);
+                    let b = reg!(*r);
+                    if matches!(a, Value::R(_)) || matches!(b, Value::R(_)) {
+                        vm.pending_flops += 1;
+                    } else {
+                        vm.pending_ops += 1;
+                    }
+                    reg_set!(*dst, apply_bin(*op, a, b));
+                }
+                Instr::Fma {
+                    op,
+                    dst,
+                    acc,
+                    ml,
+                    mr,
+                } => {
+                    let x = opnd!(*ml);
+                    let y = opnd!(*mr);
+                    if matches!(x, Value::R(_)) || matches!(y, Value::R(_)) {
+                        vm.pending_flops += 1;
+                    } else {
+                        vm.pending_ops += 1;
+                    }
+                    let m = apply_bin(SBinOp::Mul, x, y);
+                    let a = opnd!(*acc);
+                    if matches!(a, Value::R(_)) || matches!(m, Value::R(_)) {
+                        vm.pending_flops += 1;
+                    } else {
+                        vm.pending_ops += 1;
+                    }
+                    reg_set!(*dst, apply_bin(*op, a, m));
+                }
+                Instr::Neg { dst, src } => {
+                    let v = match reg!(*src) {
+                        Value::I(i) => {
+                            vm.pending_ops += 1;
+                            Value::I(-i)
+                        }
+                        Value::R(r) => {
+                            vm.pending_flops += 1;
+                            Value::R(-r)
+                        }
+                    };
+                    reg_set!(*dst, v);
+                }
+                Instr::Not { dst, src } => {
+                    vm.pending_ops += 1;
+                    let v = reg!(*src);
+                    reg_set!(*dst, Value::I(if v.truthy() { 0 } else { 1 }));
+                }
+                Instr::Intr {
+                    name,
+                    dst,
+                    first,
+                    n,
+                } => {
+                    vm.pending_flops += 1;
+                    let lo = r_base + *first as usize;
+                    let out = apply_intr(*name, &vm.regs[lo..lo + *n as usize]);
+                    vm.regs[r_base + *dst as usize] = out;
+                }
+                Instr::Load { dst, arr, first, n } => {
+                    let id = vm.atab[a_base + *arr as usize];
+                    vm.pending_ops += *n as u64;
+                    let store = &vm.heap[id];
+                    let flat = flat_of!(store, *first, *n);
+                    reg_set!(*dst, Value::R(unsafe { *store.data.as_ptr().add(flat) }));
+                }
+                Instr::Store { arr, first, n, src } => {
+                    let id = vm.atab[a_base + *arr as usize];
+                    vm.pending_ops += *n as u64;
+                    let v = reg!(*src).as_r();
+                    let store = &mut vm.heap[id];
+                    let flat = flat_of!(store, *first, *n);
+                    unsafe { *store.data.as_mut_ptr().add(flat) = v };
+                }
+                Instr::LoadS {
+                    dst,
+                    arr,
+                    n,
+                    extra_ops,
+                    subs,
+                } => {
+                    let id = vm.atab[a_base + *arr as usize];
+                    vm.pending_ops += (*n + *extra_ops) as u64;
+                    let store = &vm.heap[id];
+                    let flat = flat_of_sub!(store, subs, *n);
+                    reg_set!(*dst, Value::R(unsafe { *store.data.as_ptr().add(flat) }));
+                }
+                Instr::StoreS {
+                    arr,
+                    n,
+                    extra_ops,
+                    subs,
+                    src,
+                } => {
+                    let id = vm.atab[a_base + *arr as usize];
+                    vm.pending_ops += (*n + *extra_ops) as u64;
+                    let v = reg!(*src).as_r();
+                    let store = &mut vm.heap[id];
+                    let flat = flat_of_sub!(store, subs, *n);
+                    unsafe { *store.data.as_mut_ptr().add(flat) = v };
+                }
+                Instr::Owner {
+                    dst,
+                    dist,
+                    first,
+                    n,
+                } => {
+                    let lo = r_base + *first as usize;
+                    vm.subs_buf.clear();
+                    for k in 0..*n as usize {
+                        vm.subs_buf.push(vm.regs[lo + k].as_i());
+                    }
+                    vm.pending_ops += 3;
+                    let d = &prog.dists[dist.0 as usize];
+                    vm.regs[r_base + *dst as usize] = Value::I(d.owner_of(&vm.subs_buf) as i64);
+                }
+                Instr::CurOwner { dst, arr, first, n } => {
+                    let lo = r_base + *first as usize;
+                    vm.subs_buf.clear();
+                    for k in 0..*n as usize {
+                        vm.subs_buf.push(vm.regs[lo + k].as_i());
+                    }
+                    vm.pending_ops += 3;
+                    let id = vm.atab[a_base + *arr as usize];
+                    let did = vm.heap[id].owner_dist.unwrap_or(vm.heap[id].dist);
+                    let d = &prog.dists[did.0 as usize];
+                    vm.regs[r_base + *dst as usize] = Value::I(d.owner_of(&vm.subs_buf) as i64);
+                }
+                Instr::LocalIdx {
+                    dst,
+                    dist,
+                    dim,
+                    src,
+                } => {
+                    let g = reg!(*src).as_i();
+                    vm.pending_ops += 2;
+                    let dim = *dim as usize;
+                    let d = &prog.dists[dist.0 as usize];
+                    let off = d.offsets[dim];
+                    reg_set!(
+                        *dst,
+                        Value::I(if d.grid_axis[dim].is_some() {
+                            d.dims[dim].local_of_global(g + off)
+                        } else {
+                            g
+                        })
+                    );
+                }
+                Instr::Jmp { to } => {
+                    pc = *to as usize;
+                }
+                Instr::BrFalse { cond, to } => {
+                    vm.pending_ops += 1; // guard evaluation
+                    if !reg!(*cond).truthy() {
+                        pc = *to as usize;
+                    }
+                }
+                Instr::BrNotRank { root, to } => {
+                    if vm.node.rank() as i64 != reg!(*root).as_i() {
+                        pc = *to as usize;
+                    }
+                }
+                Instr::BrNotRank0 { to } => {
+                    if vm.node.rank() != 0 {
+                        pc = *to as usize;
+                    }
+                }
+                Instr::LoopHead {
+                    i,
+                    var,
+                    hi,
+                    step,
+                    exit,
+                } => {
+                    let iv = reg!(*i).as_i();
+                    let hv = reg!(*hi).as_i();
+                    if (*step > 0 && iv <= hv) || (*step < 0 && iv >= hv) {
+                        let idx = s_base + *var as usize;
+                        debug_assert!(idx < vm.scalars.len());
+                        unsafe { *vm.scalars.as_mut_ptr().add(idx) = Value::I(iv) };
+                        vm.pending_ops += 1; // loop bookkeeping
+                    } else {
+                        pc = *exit as usize;
+                    }
+                }
+                Instr::LoopNext {
+                    i,
+                    var,
+                    hi,
+                    step,
+                    body,
+                } => {
+                    let v = reg!(*i).as_i() + *step;
+                    reg_set!(*i, Value::I(v));
+                    let hv = reg!(*hi).as_i();
+                    if (*step > 0 && v <= hv) || (*step < 0 && v >= hv) {
+                        let idx = s_base + *var as usize;
+                        debug_assert!(idx < vm.scalars.len());
+                        unsafe { *vm.scalars.as_mut_ptr().add(idx) = Value::I(v) };
+                        vm.pending_ops += 1; // loop bookkeeping
+                        pc = *body as usize;
+                    }
+                }
+                Instr::Call(ca) => {
+                    vm.do_call(ca, r_base, a_base, pc);
+                    pc = 0;
+                    break 'frame true;
+                }
+                Instr::Return => {
+                    if vm.frames.len() == 1 {
+                        vm.flush();
+                        break 'frame false;
+                    }
+                    pc = vm.do_return();
+                    break 'frame true;
+                }
+                Instr::Stop => {
+                    vm.flush();
+                    break 'frame false;
+                }
+                Instr::Gather { arr, sec } => {
+                    let id = vm.atab[a_base + *arr as usize];
+                    let n = vm.ensure_section(sec, id, r_base);
+                    vm.pending_ops += n as u64; // pack cost
+                    let node = &mut *vm.node;
+                    let msg = vm.msg.get_or_insert_with(|| node.acquire_buf());
+                    let entry = vm.sec_cache[sec.site as usize].as_ref().unwrap();
+                    let store = &vm.heap[id];
+                    msg.extend(entry.flats.iter().map(|&f| store.data[f as usize]));
+                }
+                Instr::Scatter { arr, sec, exact } => {
+                    let id = vm.atab[a_base + *arr as usize];
+                    let n = vm.ensure_section(sec, id, r_base);
+                    vm.pending_ops += n as u64; // unpack cost
+                    let inc = vm.incoming.as_ref().expect("scatter without message");
+                    if *exact {
+                        assert_eq!(n, inc.len(), "section/message size mismatch");
+                    }
+                    let data = &inc[vm.in_off..];
+                    let entry = vm.sec_cache[sec.site as usize].as_ref().unwrap();
+                    let store = &mut vm.heap[id];
+                    for (k, &f) in entry.flats.iter().enumerate() {
+                        store.data[f as usize] = data[k];
+                    }
+                    vm.in_off += n;
+                }
+                Instr::PackVar { slot } => {
+                    let v = vm.scalars[s_base + *slot as usize].as_r();
+                    let node = &mut *vm.node;
+                    vm.msg.get_or_insert_with(|| node.acquire_buf()).push(v);
+                }
+                Instr::UnpackVar { slot } => {
+                    let inc = vm.incoming.as_ref().expect("unpack without message");
+                    let v = inc[vm.in_off];
+                    vm.in_off += 1;
+                    vm.scalars[s_base + *slot as usize] = scalar_from_wire(v);
+                }
+                Instr::SendMsg { to, tag } => {
+                    let dst = vm.regs[r_base + *to as usize].as_i();
+                    assert!(dst >= 0, "negative send destination");
+                    vm.flush();
+                    let data = vm.msg.take().expect("send without gathered message");
+                    vm.node.send_buf(dst as usize, *tag, data);
+                }
+                Instr::RecvMsg { from, tag } => {
+                    let src = vm.regs[r_base + *from as usize].as_i();
+                    assert!(src >= 0, "negative recv source");
+                    vm.flush();
+                    vm.incoming = Some(vm.node.recv_payload(src as usize, *tag));
+                    vm.in_off = 0;
+                }
+                Instr::SendElem { to, val, tag } => {
+                    let dst = vm.regs[r_base + *to as usize].as_i() as usize;
+                    let v = vm.regs[r_base + *val as usize].as_r();
+                    vm.flush();
+                    let mut buf = vm.node.acquire_buf();
+                    buf.push(v);
+                    vm.node.send_buf(dst, *tag, buf);
+                }
+                Instr::RecvElem { from, dst, tag } => {
+                    let src = vm.regs[r_base + *from as usize].as_i() as usize;
+                    vm.flush();
+                    let p = vm.node.recv_payload(src, *tag);
+                    vm.regs[r_base + *dst as usize] = Value::R(p[0]);
+                }
+                Instr::Bcast { root, tag } => {
+                    let root = vm.regs[r_base + *root as usize].as_i() as usize;
+                    vm.flush();
+                    let data = if vm.node.rank() == root {
+                        // The guarded gather/pack ran; an empty section
+                        // still acquired a buffer.
+                        Some(vm.msg.take().expect("bcast root without payload"))
+                    } else {
+                        None
+                    };
+                    let out = vm.node.bcast_payload(root, data, Some(*tag));
+                    vm.incoming = Some(out);
+                    vm.in_off = 0;
+                }
+                Instr::Remap { arr, to } => {
+                    let id = vm.atab[a_base + *arr as usize];
+                    let from = vm.heap[id].dist;
+                    vm.flush();
+                    vm.node.charge_remap();
+                    if from != *to {
+                        let d0 = &prog.dists[from.0 as usize];
+                        let d1 = &prog.dists[to.0 as usize];
+                        vm.heap[id] = remap_store(vm.node, &vm.heap[id], d0, d1, *to);
+                    }
+                }
+                Instr::RemapGlobal { arr, to } => {
+                    let id = vm.atab[a_base + *arr as usize];
+                    let from = vm.heap[id]
+                        .owner_dist
+                        .expect("remap_global on non-rtr array");
+                    vm.flush();
+                    vm.node.charge_remap();
+                    if from != *to {
+                        let d0 = &prog.dists[from.0 as usize];
+                        let d1 = &prog.dists[to.0 as usize];
+                        remap_global_store(vm.node, &mut vm.heap[id], d0, d1);
+                        vm.heap[id].owner_dist = Some(*to);
+                    }
+                }
+                Instr::MarkDist { arr, to } => {
+                    let id = vm.atab[a_base + *arr as usize];
+                    let new_dist = &prog.dists[to.0 as usize];
+                    mark_dist_store(&mut vm.heap[id], new_dist, *to);
+                    vm.pending_ops += 1;
+                }
+                Instr::Print { first, n } => {
+                    let lo = r_base + *first as usize;
+                    let parts: Vec<String> = vm.regs[lo..lo + *n as usize]
+                        .iter()
+                        .map(|v| match v {
+                            Value::I(x) => format!("{x}"),
+                            Value::R(x) => format!("{x}"),
+                        })
+                        .collect();
+                    vm.printed.push(parts.join(" "));
+                }
+            }
+        };
+        if !switched {
+            return;
+        }
+    }
+}

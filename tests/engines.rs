@@ -1,0 +1,276 @@
+//! Differential testing of the two SPMD execution engines.
+//!
+//! The bytecode VM ([`ExecEngine::Bytecode`]) must be observationally
+//! indistinguishable from the reference tree-walker
+//! ([`ExecEngine::Tree`]): identical virtual clock, message counts and
+//! volumes, size histogram, per-tag traffic, bit-exact final arrays,
+//! and printed output — across every strategy, dynamic-decomposition
+//! level, communication-optimizer level, and fixture, plus a sampled
+//! space of generated programs. Host wall-clock, buffer-pool counters,
+//! and the VM's dispatched-instruction count are engine-specific
+//! diagnostics and are deliberately excluded.
+
+use fortrand::corpus::{dgefa_matrix, dgefa_source};
+use fortrand::{compile, CommOpt, CompileOptions, DynOptLevel, Strategy};
+use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
+use fortrand_machine::Machine;
+use fortrand_spmd::{run_spmd_engine, ExecEngine, ExecOutput};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Asserts every simulated observable matches between the two outputs.
+fn assert_identical(t: &ExecOutput, b: &ExecOutput, ctx: &str) {
+    assert_eq!(
+        t.stats.time_us.to_bits(),
+        b.stats.time_us.to_bits(),
+        "{ctx}: simulated clock: tree {} vs bytecode {}",
+        t.stats.time_us,
+        b.stats.time_us
+    );
+    assert_eq!(t.stats.total_msgs, b.stats.total_msgs, "{ctx}: total_msgs");
+    assert_eq!(
+        t.stats.total_bytes, b.stats.total_bytes,
+        "{ctx}: total_bytes"
+    );
+    assert_eq!(
+        t.stats.total_flops, b.stats.total_flops,
+        "{ctx}: total_flops"
+    );
+    assert_eq!(t.stats.total_ops, b.stats.total_ops, "{ctx}: total_ops");
+    assert_eq!(
+        t.stats.total_remaps, b.stats.total_remaps,
+        "{ctx}: total_remaps"
+    );
+    assert_eq!(
+        t.stats.msg_hist, b.stats.msg_hist,
+        "{ctx}: message size histogram"
+    );
+    assert_eq!(
+        t.stats.msgs_by_tag, b.stats.msgs_by_tag,
+        "{ctx}: per-tag traffic"
+    );
+    assert_eq!(t.printed, b.printed, "{ctx}: printed output");
+    assert_eq!(
+        t.arrays.keys().collect::<Vec<_>>(),
+        b.arrays.keys().collect::<Vec<_>>(),
+        "{ctx}: final array set"
+    );
+    for (name, tv) in &t.arrays {
+        let bv = &b.arrays[name];
+        assert_eq!(tv.len(), bv.len(), "{ctx}: array length");
+        for (i, (x, y)) in tv.iter().zip(bv).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{ctx}: array element {i}: tree {x} vs bytecode {y}"
+            );
+        }
+    }
+}
+
+/// Compiles `src` once and runs it under both engines on fresh
+/// machines, with `named` as the initial array contents.
+fn engines_agree(src: &str, opts: &CompileOptions, named: &[(String, Vec<f64>)], ctx: &str) {
+    let out = compile(src, opts).unwrap_or_else(|e| panic!("{ctx}: compile failed: {e}"));
+    let mut init = BTreeMap::new();
+    for (name, data) in named {
+        init.insert(out.spmd.interner.get(name).unwrap(), data.clone());
+    }
+    let run = |engine| {
+        let machine = Machine::new(out.spmd.nprocs);
+        run_spmd_engine(&out.spmd, &machine, &init, engine)
+    };
+    let t = run(ExecEngine::Tree);
+    let b = run(ExecEngine::Bytecode);
+    assert_identical(&t, &b, ctx);
+}
+
+/// Deterministic non-trivial contents for every main-program array
+/// (same pattern as `tests/semantics.rs`).
+fn default_init(src: &str) -> Vec<(String, Vec<f64>)> {
+    let (prog, info) = {
+        let mut p = fortrand_frontend::parse_program(src).unwrap();
+        let i = fortrand_frontend::analyze(&mut p).unwrap();
+        (p, i)
+    };
+    let main = prog.main_unit().unwrap();
+    let mut named = Vec::new();
+    for (&name, vi) in &info.unit(main.name).vars {
+        if vi.is_array() {
+            let len: i64 = vi.dims.iter().product();
+            let data: Vec<f64> = (0..len)
+                .map(|i| ((i * 37 + 11) % 101) as f64 * 0.5 + 1.0)
+                .collect();
+            named.push((prog.interner.name(name).to_string(), data));
+        }
+    }
+    named
+}
+
+fn check(src: &str, strategy: Strategy, nprocs: usize, dyn_opt: DynOptLevel, comm_opt: CommOpt) {
+    let ctx = format!("{strategy:?}/{dyn_opt:?}/{comm_opt:?}/{nprocs}p");
+    let opts = CompileOptions {
+        strategy,
+        nprocs: Some(nprocs),
+        dyn_opt,
+        comm_opt,
+        ..Default::default()
+    };
+    engines_agree(src, &opts, &default_init(src), &ctx);
+}
+
+const STRATEGIES: [Strategy; 3] = [
+    Strategy::Interprocedural,
+    Strategy::Immediate,
+    Strategy::RuntimeResolution,
+];
+
+#[test]
+fn fig1_and_fig4_every_strategy() {
+    for src in [FIG1, FIG4] {
+        for strategy in STRATEGIES {
+            check(src, strategy, 4, DynOptLevel::Kills, CommOpt::Full);
+        }
+    }
+}
+
+#[test]
+fn fig4_uneven_blocks() {
+    check(
+        FIG4,
+        Strategy::Interprocedural,
+        5,
+        DynOptLevel::Kills,
+        CommOpt::Full,
+    );
+}
+
+/// FIG15's dynamic decomposition exercises `RemapGlobal`/remap traffic
+/// at every optimization level.
+#[test]
+fn fig15_every_dyn_opt_level() {
+    for lvl in [
+        DynOptLevel::None,
+        DynOptLevel::Live,
+        DynOptLevel::Hoist,
+        DynOptLevel::Kills,
+    ] {
+        check(FIG15, Strategy::Interprocedural, 4, lvl, CommOpt::Full);
+    }
+    check(
+        FIG15,
+        Strategy::Immediate,
+        4,
+        DynOptLevel::None,
+        CommOpt::Full,
+    );
+    check(
+        FIG15,
+        Strategy::RuntimeResolution,
+        4,
+        DynOptLevel::None,
+        CommOpt::Full,
+    );
+}
+
+/// The communication optimizer reshapes message traffic (coalescing,
+/// aggregation, redundancy elimination); both engines must agree on the
+/// reshaped program too.
+#[test]
+fn every_comm_opt_level() {
+    for comm_opt in [CommOpt::Off, CommOpt::Coalesce, CommOpt::Full] {
+        check(
+            FIG4,
+            Strategy::Interprocedural,
+            4,
+            DynOptLevel::Kills,
+            comm_opt,
+        );
+        check(
+            FIG15,
+            Strategy::Interprocedural,
+            4,
+            DynOptLevel::None,
+            comm_opt,
+        );
+    }
+}
+
+/// dgefa's pivoting broadcasts (`BcastPack`) and triangular loop nests
+/// on a real matrix, under every strategy.
+#[test]
+fn dgefa_every_strategy() {
+    for strategy in STRATEGIES {
+        let ctx = format!("dgefa n=32 p=4 {strategy:?}");
+        let opts = CompileOptions {
+            strategy,
+            nprocs: Some(4),
+            ..Default::default()
+        };
+        let named = vec![("a".to_string(), dgefa_matrix(32))];
+        engines_agree(&dgefa_source(32, 4), &opts, &named, &ctx);
+    }
+}
+
+/// Renders a compact stencil-sweep program (a reduced version of the
+/// `proptest_e2e` generator's space: distribution, shifts, partial
+/// bounds, optional call indirection).
+fn render(
+    n: i64,
+    nprocs: usize,
+    dist: &str,
+    sweeps: &[(i64, i64, usize)],
+    through_call: bool,
+) -> String {
+    const COEFFS: [&str; 4] = ["0.5", "0.25", "1.5", "2.0"];
+    let mut body = String::new();
+    let mut subs = String::new();
+    for (si, &(shift, lo_off, ci)) in sweeps.iter().enumerate() {
+        let c = COEFFS[ci % COEFFS.len()];
+        let lo = 1 + lo_off;
+        let hi = n - shift;
+        if through_call {
+            body.push_str(&format!("      call sweep{si}(x, y)\n"));
+            subs.push_str(&format!(
+                "      SUBROUTINE sweep{si}(u, v)\n      REAL u({n}), v({n})\n      do i = {lo}, {hi}\n        v(i) = {c} * u(i+{shift}) + v(i)\n      enddo\n      END\n"
+            ));
+        } else {
+            body.push_str(&format!(
+                "      do i = {lo}, {hi}\n        y(i) = {c} * x(i+{shift}) + y(i)\n      enddo\n"
+            ));
+        }
+    }
+    format!(
+        "      PROGRAM main\n      PARAMETER (n$proc = {nprocs})\n      REAL x({n}), y({n})\n      DISTRIBUTE x({dist})\n      DISTRIBUTE y({dist})\n{body}      END\n{subs}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn engines_agree_on_generated_programs(
+        n in 16i64..64,
+        nprocs in 1usize..5,
+        cyclic in any::<bool>(),
+        sweeps in prop::collection::vec((0i64..4, 0i64..3, 0usize..4), 1..3),
+        through_call in any::<bool>(),
+        strategy_idx in 0usize..3,
+    ) {
+        let dist = if cyclic { "CYCLIC" } else { "BLOCK" };
+        // CYCLIC distributions only support shift-0 sweeps in the
+        // compile-time strategies.
+        let sweeps: Vec<_> = sweeps
+            .iter()
+            .map(|&(sh, lo, ci)| (if cyclic { 0 } else { sh }, lo, ci))
+            .collect();
+        let src = render(n, nprocs, dist, &sweeps, through_call);
+        check(
+            &src,
+            STRATEGIES[strategy_idx],
+            nprocs,
+            DynOptLevel::Kills,
+            CommOpt::Full,
+        );
+    }
+}
