@@ -185,6 +185,47 @@ where
     (facts, stats)
 }
 
+/// Records a finished solve on the compile timeline as a complete span
+/// ending "now", with the solve's counters as span arguments. Because
+/// [`SolveStats::wall_ns`] measures the solve itself, emitting after the
+/// fact reconstructs the span without threading the trace handle through
+/// every analysis entry point. No-op when the trace is off.
+pub fn record_solve(trace: &fortrand_trace::Trace, stats: &SolveStats) {
+    if trace.on() {
+        let dur_us = stats.wall_ns as f64 / 1e3;
+        let end = trace.now_us();
+        trace.complete(
+            fortrand_trace::PID_COMPILE,
+            0,
+            "solve",
+            &stats.problem,
+            (end - dur_us).max(0.0),
+            dur_us,
+            vec![
+                ("direction", stats.direction.as_str().into()),
+                ("units", stats.units.into()),
+                ("contributions", stats.contributions.into()),
+                ("iterations", stats.iterations.into()),
+            ],
+        );
+    }
+}
+
+/// [`solve`] that also records the run on `trace` (see [`record_solve`]).
+pub fn solve_traced<G, P>(
+    g: &G,
+    problem: &mut P,
+    trace: &fortrand_trace::Trace,
+) -> (BTreeMap<G::Node, P::Fact>, SolveStats)
+where
+    G: DataflowGraph,
+    P: DataflowProblem<G>,
+{
+    let out = solve(g, problem);
+    record_solve(trace, &out.1);
+    out
+}
+
 /// The per-unit context shared by intraprocedural analyses: the unit,
 /// its semantic summary, and the symbolic environment the caller wants
 /// expressions folded under. Normalizes the calling convention so every

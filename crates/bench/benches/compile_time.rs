@@ -29,10 +29,9 @@ fn bench_compile_time(c: &mut Criterion) {
         b.iter(|| {
             compile(
                 src,
-                &CompileOptions {
-                    mode: CompileMode::Parallel(threads),
-                    ..Default::default()
-                },
+                &CompileOptions::builder()
+                    .mode(CompileMode::Parallel(threads))
+                    .build(),
             )
             .unwrap()
         })

@@ -23,10 +23,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 compile(
                     src,
-                    &CompileOptions {
-                        strategy: Strategy::RuntimeResolution,
-                        ..Default::default()
-                    },
+                    &CompileOptions::builder()
+                        .strategy(Strategy::RuntimeResolution)
+                        .build(),
                 )
                 .unwrap()
             });

@@ -15,11 +15,10 @@ fn bench_engines(c: &mut Criterion) {
     let p = 4;
     let out = compile(
         &dgefa_source(n, p),
-        &CompileOptions {
-            strategy: Strategy::Interprocedural,
-            nprocs: Some(p),
-            ..Default::default()
-        },
+        &CompileOptions::builder()
+            .strategy(Strategy::Interprocedural)
+            .nprocs(p)
+            .build(),
     )
     .unwrap();
     let mut init = BTreeMap::new();

@@ -4,11 +4,18 @@
 //! cargo run -p fortrand-bench --bin tables -- all
 //! cargo run -p fortrand-bench --bin tables -- fig2 fig3 tab1 sec9
 //! ```
+//!
+//! `--trace out.json` additionally runs a traced dgefa n=256 p=8
+//! compile-and-run and writes a Chrome trace-event file (load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>) with the compile-phase
+//! spans and the per-rank simulated message timeline; the file is
+//! self-validated before exit.
 
 use fortrand::corpus::{dgefa_matrix, dgefa_source};
 use fortrand::recompile::{self, ModuleDb};
 use fortrand::{
-    compile, record_exec_stats, run_spmd_engine, CompileOptions, DynOptLevel, ExecEngine, Strategy,
+    compile, record_exec_stats, run_spmd_engine, CompileOptions, DynOptLevel, ExecEngine, Session,
+    Strategy,
 };
 use fortrand_analysis::acg::build_acg;
 use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
@@ -20,6 +27,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let args: Vec<String> = args.into_iter().filter(|a| a != "--json").collect();
+    let mut trace_path: Option<String> = None;
+    let args: Vec<String> = {
+        let mut filtered = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if a == "--trace" {
+                trace_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace requires a file path");
+                    std::process::exit(2);
+                }));
+            } else {
+                filtered.push(a);
+            }
+        }
+        filtered
+    };
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -29,19 +52,16 @@ fn main() {
     }
     if want("fig2") {
         banner("FIG 2 — Fortran D compiler output (interprocedural)");
-        let out = compile(FIG1, &CompileOptions::default()).unwrap();
+        let out = Session::new(FIG1).compile().unwrap().into_output();
         println!("{}", pretty_all(&out.spmd));
     }
     if want("fig3") {
         banner("FIG 3 — run-time resolution output");
-        let out = compile(
-            FIG1,
-            &CompileOptions {
-                strategy: Strategy::RuntimeResolution,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let out = Session::new(FIG1)
+            .strategy(Strategy::RuntimeResolution)
+            .compile()
+            .unwrap()
+            .into_output();
         println!("{}", pretty_all(&out.spmd));
     }
     if want("tab1") {
@@ -49,7 +69,7 @@ fn main() {
         println!("{}", fortrand_analysis::registry::render_table1());
         // Live solve statistics for the framework-backed rows, from a
         // compile of Fig. 4 (dynamic — not part of the golden table).
-        let out = compile(FIG4, &CompileOptions::default()).unwrap();
+        let out = Session::new(FIG4).compile().unwrap().into_output();
         println!("framework solver runs (Fig. 4 compile):");
         for st in &out.report.pass_stats {
             println!("  {}", st.render());
@@ -63,7 +83,7 @@ fn main() {
             ("fig15", FIG15.to_string(), false),
             ("dgefa n=64 p=4", dgefa_source(64, 4), true),
         ] {
-            let mut out = compile(&src, &CompileOptions::default()).unwrap();
+            let mut out = Session::new(src.as_str()).compile().unwrap().into_output();
             // Execution cost rides along with the solver rows: one
             // simulated run per engine, folded into pass_stats.
             let mut init = std::collections::BTreeMap::new();
@@ -141,19 +161,19 @@ fn main() {
     }
     if want("fig8") {
         banner("FIG 8 — procedure cloning for Fig. 4");
-        let out = compile(FIG4, &CompileOptions::default()).unwrap();
+        let out = Session::new(FIG4).compile().unwrap().into_output();
         for (orig, clones) in &out.report.clones {
             println!("{orig} -> {}", clones.join(", "));
         }
     }
     if want("fig10") {
         banner("FIG 10 — interprocedural compiler output for Fig. 4");
-        let out = compile(FIG4, &CompileOptions::default()).unwrap();
+        let out = Session::new(FIG4).compile().unwrap().into_output();
         println!("{}", pretty_all(&out.spmd));
     }
     if want("fig11") {
         banner("FIG 11 — communication plan (static counts)");
-        let out = compile(FIG4, &CompileOptions::default()).unwrap();
+        let out = Session::new(FIG4).compile().unwrap().into_output();
         println!(
             "vectorized section sends: {}   broadcasts: {}   element messages: {}",
             out.report.static_sends, out.report.static_bcasts, out.report.static_elem_msgs
@@ -161,14 +181,11 @@ fn main() {
     }
     if want("fig12") {
         banner("FIG 12 — immediate instantiation output for Fig. 4");
-        let out = compile(
-            FIG4,
-            &CompileOptions {
-                strategy: Strategy::Immediate,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let out = Session::new(FIG4)
+            .strategy(Strategy::Immediate)
+            .compile()
+            .unwrap()
+            .into_output();
         println!("{}", pretty_all(&out.spmd));
     }
     if want("fig13") {
@@ -230,14 +247,11 @@ fn main() {
             ("16c loop-invariant", DynOptLevel::Hoist),
             ("16d array kills", DynOptLevel::Kills),
         ] {
-            let out = compile(
-                FIG15,
-                &CompileOptions {
-                    dyn_opt: lvl,
-                    ..Default::default()
-                },
-            )
-            .unwrap();
+            let out = Session::new(FIG15)
+                .dyn_opt(lvl)
+                .compile()
+                .unwrap()
+                .into_output();
             println!(
                 "{label:<26} remap stmts: {}  mark-only: {}",
                 out.report.static_remaps, out.report.static_marks
@@ -287,7 +301,7 @@ fn main() {
     }
     if want("sec8") {
         banner("SEC 8 — recompilation analysis scenarios");
-        let base = compile(FIG4, &CompileOptions::default()).unwrap();
+        let base = Session::new(FIG4).compile().unwrap().into_output();
         let db0 = ModuleDb::from_report(&base.report);
         let scenarios = [
             ("no edit", FIG4.to_string()),
@@ -303,7 +317,7 @@ fn main() {
             ),
         ];
         for (label, src) in scenarios {
-            let out = compile(&src, &CompileOptions::default()).unwrap();
+            let out = Session::new(src.as_str()).compile().unwrap().into_output();
             let db1 = ModuleDb::from_report(&out.report);
             let plan = recompile::plan(&db0, &db1);
             println!(
@@ -343,10 +357,9 @@ fn main() {
             let t0 = std::time::Instant::now();
             compile(
                 &src,
-                &CompileOptions {
-                    mode: CompileMode::Parallel(threads),
-                    ..Default::default()
-                },
+                &CompileOptions::builder()
+                    .mode(CompileMode::Parallel(threads))
+                    .build(),
             )
             .unwrap();
             t0.elapsed()
@@ -531,7 +544,7 @@ fn main() {
         banner("SEC 9 — dgefa residual check vs sequential");
         let n = 32;
         let src = dgefa_source(n, 4);
-        let out = compile(&src, &CompileOptions::default()).unwrap();
+        let out = Session::new(src.as_str()).compile().unwrap().into_output();
         let machine = fortrand_machine::Machine::new(4);
         let mut init = std::collections::BTreeMap::new();
         init.insert(out.spmd.interner.get("a").unwrap(), dgefa_matrix(n));
@@ -543,6 +556,60 @@ fn main() {
             res.stats.total_bytes
         );
         let _ = Row::from_stats("x", &res.stats);
+    }
+    if let Some(path) = trace_path {
+        write_trace_artifact(&path);
+    }
+}
+
+/// Compiles and runs dgefa n=256 p=8 with tracing on, streams the Chrome
+/// trace to `path`, and self-validates the file (nonzero exit when the
+/// export is malformed — this is the CI check for the trace artifact).
+fn write_trace_artifact(path: &str) {
+    banner("TRACE — dgefa n=256 p=8, Chrome trace-event export");
+    let n = 256;
+    let p = 8;
+    let src = dgefa_source(n, p);
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("create {path}: {e}");
+        std::process::exit(1);
+    });
+    let compiled = fortrand::Session::new(src.as_str())
+        .strategy(Strategy::Interprocedural)
+        .trace(fortrand::ChromeTraceSink::new(std::io::BufWriter::new(
+            file,
+        )))
+        .compile()
+        .expect("traced compile");
+    let mut init = std::collections::BTreeMap::new();
+    init.insert(compiled.spmd().interner.get("a").unwrap(), dgefa_matrix(n));
+    let res = compiled.run(&init).expect("traced run");
+    println!(
+        "traced run: simulated {:.3} ms, {} msgs, {} bytes",
+        res.stats.time_ms(),
+        res.stats.total_msgs,
+        res.stats.total_bytes
+    );
+    compiled.finish_trace().expect("flush trace");
+    let text = std::fs::read_to_string(path).expect("re-read trace file");
+    match fortrand_trace::chrome::validate(&text) {
+        Ok(s) => {
+            let compile_tracks = s.tracks.iter().filter(|t| t.0 == 1).count();
+            let machine_tracks = s.tracks.iter().filter(|t| t.0 == 2).count();
+            println!(
+                "trace OK: {} events ({} spans, {} instants, {} counters) on \
+                 {} compile + {} machine tracks -> {path}",
+                s.events, s.spans, s.instants, s.counters, compile_tracks, machine_tracks
+            );
+            if compile_tracks == 0 || machine_tracks == 0 {
+                eprintln!("TRACE INVALID: missing compile or machine timeline");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("TRACE INVALID: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -47,13 +47,12 @@ pub fn simulate_comm(
 ) -> RunStats {
     let out = compile(
         src,
-        &CompileOptions {
-            strategy,
-            dyn_opt,
-            nprocs: Some(nprocs),
-            comm_opt,
-            ..Default::default()
-        },
+        &CompileOptions::builder()
+            .strategy(strategy)
+            .dyn_opt(dyn_opt)
+            .nprocs(nprocs)
+            .comm_opt(comm_opt)
+            .build(),
     )
     .unwrap_or_else(|e| panic!("compile ({strategy:?}): {e}"));
     let machine = Machine::new(nprocs);
@@ -256,11 +255,10 @@ pub fn ablation_alpha(alphas_us: &[f64], nprocs: usize) -> Vec<(f64, f64, f64)> 
             let run = |strategy: Strategy| -> f64 {
                 let out = compile(
                     &src,
-                    &CompileOptions {
-                        strategy,
-                        nprocs: Some(nprocs),
-                        ..Default::default()
-                    },
+                    &CompileOptions::builder()
+                        .strategy(strategy)
+                        .nprocs(nprocs)
+                        .build(),
                 )
                 .unwrap();
                 let cost = CostModel {
@@ -347,12 +345,11 @@ pub fn engine_experiment(
 ) -> EngineTiming {
     let out = compile(
         src,
-        &CompileOptions {
-            strategy,
-            dyn_opt,
-            nprocs: Some(nprocs),
-            ..Default::default()
-        },
+        &CompileOptions::builder()
+            .strategy(strategy)
+            .dyn_opt(dyn_opt)
+            .nprocs(nprocs)
+            .build(),
     )
     .unwrap_or_else(|e| panic!("compile ({strategy:?}): {e}"));
     let mut init = BTreeMap::new();

@@ -107,7 +107,12 @@ pub struct CompiledUnit {
 }
 
 /// Compiles every unit, returning the program and per-unit records.
-pub fn compile_all(ctx: &Ctx) -> R<(SpmdProgram, BTreeMap<Sym, CompiledUnit>)> {
+/// With an enabled `trace`, each unit's compilation is a complete span on
+/// the driver track.
+pub fn compile_all(
+    ctx: &Ctx,
+    trace: &fortrand_trace::Trace,
+) -> R<(SpmdProgram, BTreeMap<Sym, CompiledUnit>)> {
     let mut spmd = SpmdProgram {
         interner: ctx.prog.interner.clone(),
         nprocs: ctx.nprocs,
@@ -118,7 +123,20 @@ pub fn compile_all(ctx: &Ctx) -> R<(SpmdProgram, BTreeMap<Sym, CompiledUnit>)> {
     let mut compiled: BTreeMap<Sym, CompiledUnit> = BTreeMap::new();
     let mut dyn_summaries: BTreeMap<Sym, DynDecompSummary> = BTreeMap::new();
     for name in ctx.acg.reverse_topo() {
+        let t0 = trace.now_us();
         let cu = compile_one(ctx, name, &mut spmd, &compiled, &dyn_summaries)?;
+        if trace.on() {
+            let t1 = trace.now_us();
+            trace.complete(
+                fortrand_trace::PID_COMPILE,
+                0,
+                "codegen",
+                ctx.prog.interner.name(name),
+                t0,
+                t1 - t0,
+                Vec::new(),
+            );
+        }
         dyn_summaries.insert(name, cu.dyn_summary.clone());
         if ctx.prog.unit(name).map(|u| u.kind) == Some(UnitKind::Program) {
             spmd.main = cu.proc;
@@ -194,6 +212,7 @@ fn compile_unit_scratch(
 pub fn compile_all_parallel(
     ctx: &Ctx,
     threads: usize,
+    trace: &fortrand_trace::Trace,
 ) -> R<(SpmdProgram, BTreeMap<Sym, CompiledUnit>)> {
     let threads = threads.max(1);
     let mut spmd = SpmdProgram {
@@ -205,7 +224,13 @@ pub fn compile_all_parallel(
     };
     let mut compiled: BTreeMap<Sym, CompiledUnit> = BTreeMap::new();
     let mut dyn_summaries: BTreeMap<Sym, DynDecompSummary> = BTreeMap::new();
-    for level in ctx.acg.wavefront_levels() {
+    for (level_idx, level) in ctx.acg.wavefront_levels().into_iter().enumerate() {
+        let _level_span = trace.span(
+            fortrand_trace::PID_COMPILE,
+            0,
+            "codegen",
+            &format!("wavefront level {level_idx}"),
+        );
         // Snapshot the merged state: every unit in this level compiles
         // against the same base, so scratch-local ids start at (l0, d0).
         let base_interner = spmd.interner.clone();
@@ -216,21 +241,41 @@ pub fn compile_all_parallel(
         let results: Vec<R<(SpmdProgram, CompiledUnit)>> = std::thread::scope(|s| {
             let handles: Vec<_> = level
                 .chunks(chunk)
-                .map(|units| {
+                .enumerate()
+                .map(|(worker, units)| {
                     let (base_interner, base_dists) = (&base_interner, &base_dists);
                     let (compiled, dyn_summaries) = (&compiled, &dyn_summaries);
                     s.spawn(move || {
                         units
                             .iter()
                             .map(|&name| {
-                                compile_unit_scratch(
+                                let t0 = trace.now_us();
+                                let r = compile_unit_scratch(
                                     ctx,
                                     name,
                                     base_interner,
                                     base_dists,
                                     compiled,
                                     dyn_summaries,
-                                )
+                                );
+                                if trace.on() {
+                                    // Worker tracks are tid 1..=threads;
+                                    // tid 0 is the driver thread.
+                                    let t1 = trace.now_us();
+                                    trace.complete(
+                                        fortrand_trace::PID_COMPILE,
+                                        worker as u32 + 1,
+                                        "codegen",
+                                        ctx.prog.interner.name(name),
+                                        t0,
+                                        t1 - t0,
+                                        vec![
+                                            ("level", level_idx.into()),
+                                            ("worker", worker.into()),
+                                        ],
+                                    );
+                                }
+                                r
                             })
                             .collect::<Vec<_>>()
                     })

@@ -31,6 +31,7 @@ use fortrand_frontend::SourceProgram;
 use fortrand_ir::Sym;
 use fortrand_spmd::ir::{SStmt, SpmdProgram};
 use fortrand_spmd::opt::{self, CommOpt, OptReport};
+use fortrand_trace::{Trace, PID_COMPILE};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
@@ -49,7 +50,12 @@ pub enum CompileMode {
 }
 
 /// Compilation options.
+///
+/// Non-exhaustive: construct with [`CompileOptions::default`] or
+/// [`CompileOptions::builder`] and adjust fields/setters from there —
+/// new knobs can then be added without breaking downstream code.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct CompileOptions {
     /// Strategy (interprocedural / immediate / run-time resolution).
     pub strategy: Strategy,
@@ -81,6 +87,66 @@ impl Default for CompileOptions {
     }
 }
 
+impl CompileOptions {
+    /// Starts a builder mirroring `fortrand::Session`'s setters.
+    pub fn builder() -> CompileOptionsBuilder {
+        CompileOptionsBuilder {
+            opts: CompileOptions::default(),
+        }
+    }
+}
+
+/// Chained-setter builder for [`CompileOptions`] (see
+/// [`CompileOptions::builder`]). Every setter has the same name and
+/// meaning as the corresponding `fortrand::Session` method.
+#[derive(Clone, Debug, Default)]
+pub struct CompileOptionsBuilder {
+    opts: CompileOptions,
+}
+
+impl CompileOptionsBuilder {
+    /// Compilation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.opts.strategy = strategy;
+        self
+    }
+
+    /// Processor-count override.
+    pub fn nprocs(mut self, nprocs: usize) -> Self {
+        self.opts.nprocs = Some(nprocs);
+        self
+    }
+
+    /// Dynamic-decomposition optimization level.
+    pub fn dyn_opt(mut self, dyn_opt: DynOptLevel) -> Self {
+        self.opts.dyn_opt = dyn_opt;
+        self
+    }
+
+    /// Cloning growth threshold.
+    pub fn clone_limit(mut self, clone_limit: usize) -> Self {
+        self.opts.clone_limit = clone_limit;
+        self
+    }
+
+    /// Code-generation schedule.
+    pub fn mode(mut self, mode: CompileMode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Communication optimization level.
+    pub fn comm_opt(mut self, comm_opt: CommOpt) -> Self {
+        self.opts.comm_opt = comm_opt;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> CompileOptions {
+        self.opts
+    }
+}
+
 /// Compilation failure.
 #[derive(Debug)]
 pub enum CompileError {
@@ -105,7 +171,11 @@ impl std::fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 /// Compilation statistics and recompilation bookkeeping.
+///
+/// Non-exhaustive: read fields freely, but construct only through the
+/// driver (new statistics fields may be added in any release).
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct CompileReport {
     /// Processors compiled for.
     pub nprocs: usize,
@@ -164,6 +234,7 @@ pub fn record_exec_stats(
 }
 
 /// A compiled program plus its report.
+#[derive(Debug)]
 pub struct CompileOutput {
     /// The SPMD node program.
     pub spmd: SpmdProgram,
@@ -210,9 +281,17 @@ impl Analysis {
 }
 
 /// Phases 1 and 2: parse, clone, and solve the interprocedural problems.
-pub(crate) fn analyze(source: &str, opts: &CompileOptions) -> Result<Analysis, CompileError> {
+pub(crate) fn analyze(
+    source: &str,
+    opts: &CompileOptions,
+    trace: &Trace,
+) -> Result<Analysis, CompileError> {
     // Phase 1+2a: parse, then clone to unique reaching decompositions.
-    let parsed = parse_program(source).map_err(CompileError::Frontend)?;
+    let parsed = {
+        let _span = trace.span(PID_COMPILE, 0, "driver", "parse");
+        parse_program(source).map_err(CompileError::Frontend)?
+    };
+    let clone_span = trace.span(PID_COMPILE, 0, "driver", "clone for decompositions");
     let CloneResult {
         prog,
         info,
@@ -222,6 +301,7 @@ pub(crate) fn analyze(source: &str, opts: &CompileOptions) -> Result<Analysis, C
         clones,
         unresolved,
     } = clone_for_decompositions(parsed, opts.clone_limit).map_err(CompileError::Graph)?;
+    drop(clone_span);
 
     let mut strategy = opts.strategy;
     let mut strategy_used = format!("{strategy:?}");
@@ -250,11 +330,13 @@ pub(crate) fn analyze(source: &str, opts: &CompileOptions) -> Result<Analysis, C
         match row.solver {
             Some(SolverId::SideEffects) => {
                 let (r, st) = side_effects::compute_with_stats(&prog, &info, &acg);
+                fortrand_analysis::framework::record_solve(trace, &st);
                 se = Some(r);
                 pass_stats.push(st);
             }
             Some(SolverId::Consts) => {
                 let (r, st) = consts::compute_with_stats(&info, &acg);
+                fortrand_analysis::framework::record_solve(trace, &st);
                 pass_stats.push(st);
                 // Interprocedural constants sharpen loop bounds, which in
                 // turn sharpen the ACG's formal-range annotations (needed
@@ -265,13 +347,19 @@ pub(crate) fn analyze(source: &str, opts: &CompileOptions) -> Result<Analysis, C
                 });
                 ic = Some(r);
             }
-            Some(SolverId::Reaching) => pass_stats.push(reaching_stats.clone()),
+            Some(SolverId::Reaching) => {
+                fortrand_analysis::framework::record_solve(trace, &reaching_stats);
+                pass_stats.push(reaching_stats.clone());
+            }
             Some(SolverId::AvailSections) | None => {}
         }
     }
     let ic = ic.expect("registry carries the constants row");
     let se = se.expect("registry carries the side-effects row");
-    let overlaps = overlap::compute(&prog, &info, &acg);
+    let overlaps = {
+        let _span = trace.span(PID_COMPILE, 0, "driver", "overlap offsets");
+        overlap::compute(&prog, &info, &acg)
+    };
 
     Ok(Analysis {
         prog,
@@ -290,22 +378,48 @@ pub(crate) fn analyze(source: &str, opts: &CompileOptions) -> Result<Analysis, C
 }
 
 /// Compiles Fortran D source to an SPMD node program.
+///
+/// Note: thin wrapper kept for compatibility — prefer the
+/// `fortrand::Session` facade, which also carries tracing and run
+/// options. Equivalent to [`compile_with_trace`] with tracing off.
 pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompileOutput, CompileError> {
-    let an = analyze(source, opts)?;
+    compile_with_trace(source, opts, &Trace::off())
+}
+
+/// [`compile`] recording every driver phase — parse, cloning, each
+/// dataflow solve, per-unit code generation (with wavefront worker/level
+/// attribution under [`CompileMode::Parallel`]), and the communication
+/// optimizer passes — on `trace`'s compile timeline.
+pub fn compile_with_trace(
+    source: &str,
+    opts: &CompileOptions,
+    trace: &Trace,
+) -> Result<CompileOutput, CompileError> {
+    let root = trace.span(PID_COMPILE, 0, "driver", "compile");
+    if trace.on() {
+        trace.name_track(PID_COMPILE, 0, "driver");
+    }
+    let an = analyze(source, opts, trace)?;
 
     // Phase 3: reverse-topological code generation, sequential or
     // wavefront-parallel (identical output either way).
     let ctx = an.ctx(opts.dyn_opt);
+    let codegen_span = trace.span(PID_COMPILE, 0, "driver", "codegen");
     let (mut spmd, compiled) = match opts.mode {
-        CompileMode::Sequential => codegen::compile_all(&ctx),
-        CompileMode::Parallel(threads) => codegen::compile_all_parallel(&ctx, threads),
+        CompileMode::Sequential => codegen::compile_all(&ctx, trace),
+        CompileMode::Parallel(threads) => codegen::compile_all_parallel(&ctx, threads, trace),
     }
     .map_err(CompileError::Codegen)?;
+    drop(codegen_span);
 
     // Between codegen and emit: the communication optimization pass.
-    let (comm, comm_stats) = opt::optimize_with_stats(&mut spmd, opts.comm_opt);
+    let (comm, comm_stats) = opt::optimize_traced(&mut spmd, opts.comm_opt, trace);
 
-    let report = build_report(&an, &spmd, &compiled, comm, comm_stats);
+    let report = {
+        let _span = trace.span(PID_COMPILE, 0, "driver", "build report");
+        build_report(&an, &spmd, &compiled, comm, comm_stats)
+    };
+    drop(root);
     Ok(CompileOutput { spmd, report })
 }
 

@@ -81,12 +81,22 @@ pub struct IncrementalEngine {
     /// Options fingerprint of the cached compile; a change invalidates
     /// everything (the facts hashes don't cover driver options).
     opts_key: String,
+    /// Trace handle: cache hit/miss events ride the compile timeline.
+    trace: fortrand_trace::Trace,
 }
 
 impl IncrementalEngine {
     /// Fresh engine with no history (first compile recompiles everything).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a trace handle: every sweep decision (reuse vs recompile,
+    /// with the §8 reason) becomes an instant event, and each compile ends
+    /// with cache hit/miss counter samples.
+    pub fn with_trace(mut self, trace: fortrand_trace::Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Seeds the hash database from persisted JSON (see
@@ -113,7 +123,10 @@ impl IncrementalEngine {
         source: &str,
         opts: &CompileOptions,
     ) -> Result<IncrementalOutput, CompileError> {
-        let an = analyze(source, opts)?;
+        use fortrand_trace::PID_COMPILE;
+        let trace = self.trace.clone();
+        let root = trace.span(PID_COMPILE, 0, "incremental", "incremental compile");
+        let an = analyze(source, opts, &trace)?;
         let opts_key = format!(
             "{:?}|{}|{:?}|{}|{}",
             an.strategy,
@@ -178,10 +191,35 @@ impl IncrementalEngine {
 
             let cu = match decision {
                 None => {
+                    if trace.on() {
+                        let ts = trace.now_us();
+                        trace.instant(
+                            PID_COMPILE,
+                            0,
+                            "incremental",
+                            "cache hit",
+                            ts,
+                            vec![("unit", name_str.as_str().into())],
+                        );
+                    }
                     reused.push(name_str.clone());
                     graft(&self.cache[&name_str], &mut spmd, &proc_index)
                 }
                 Some(reason) => {
+                    if trace.on() {
+                        let ts = trace.now_us();
+                        trace.instant(
+                            PID_COMPILE,
+                            0,
+                            "incremental",
+                            "cache miss",
+                            ts,
+                            vec![
+                                ("unit", name_str.as_str().into()),
+                                ("reason", format!("{reason:?}").into()),
+                            ],
+                        );
+                    }
                     recompiled.insert(name_str.clone(), reason);
                     codegen::compile_one(&ctx, name, &mut spmd, &compiled, &dyn_summaries)
                         .map_err(CompileError::Codegen)?
@@ -220,8 +258,16 @@ impl IncrementalEngine {
             self.cache.insert(name_str, densify(cu, &spmd, &proc_index));
         }
 
-        let (comm, comm_stats) = fortrand_spmd::opt::optimize_with_stats(&mut spmd, opts.comm_opt);
+        let (comm, comm_stats) =
+            fortrand_spmd::opt::optimize_traced(&mut spmd, opts.comm_opt, &trace);
         let report = build_report(&an, &spmd, &compiled, comm, comm_stats);
+
+        if trace.on() {
+            let ts = trace.now_us();
+            trace.counter(PID_COMPILE, 0, "cache_hits", ts, reused.len() as f64);
+            trace.counter(PID_COMPILE, 0, "cache_misses", ts, recompiled.len() as f64);
+        }
+        drop(root);
 
         Ok(IncrementalOutput {
             spmd,

@@ -24,17 +24,20 @@
 //! ## Quick start
 //!
 //! ```
-//! use fortrand::{compile, CompileOptions, Strategy};
-//! use fortrand_machine::Machine;
-//! use fortrand_spmd::run_spmd;
+//! use fortrand::{Session, Strategy};
 //!
-//! let out = compile(fortrand_analysis::fixtures::FIG1,
-//!                   &CompileOptions { strategy: Strategy::Interprocedural,
-//!                                     ..Default::default() }).unwrap();
-//! let machine = Machine::new(out.spmd.nprocs);
-//! let result = run_spmd(&out.spmd, &machine, &Default::default());
+//! let result = Session::new(fortrand_analysis::fixtures::FIG1)
+//!     .strategy(Strategy::Interprocedural)
+//!     .compile()
+//!     .unwrap()
+//!     .run(&Default::default())
+//!     .unwrap();
 //! assert!(result.stats.time_us > 0.0);
 //! ```
+//!
+//! Pass a [`fortrand_trace::TraceSink`] to [`Session::trace`] — e.g. a
+//! [`ChromeTraceSink`] over a file — and the same run additionally yields
+//! a timeline of compile phases and simulated per-rank messages.
 
 pub mod cloning;
 pub mod codegen;
@@ -47,13 +50,18 @@ pub mod model;
 pub mod overlap;
 pub mod recompile;
 pub mod seq;
+pub mod session;
 
 pub use driver::{
-    compile, record_exec_stats, CompileError, CompileMode, CompileOptions, CompileOutput,
-    CompileReport,
+    compile, compile_with_trace, record_exec_stats, CompileError, CompileMode, CompileOptions,
+    CompileOptionsBuilder, CompileOutput, CompileReport,
 };
 pub use fortrand_spmd::opt::{CommOpt, OptReport};
-pub use fortrand_spmd::{run_spmd_engine, ExecEngine};
+pub use fortrand_spmd::{run_spmd_engine, try_run_spmd, ExecEngine, ExecOptions, RankFailure};
+pub use fortrand_trace::{
+    ChromeTraceSink, JsonLinesSink, MemorySink, Trace, TraceSink, PID_COMPILE, PID_MACHINE,
+};
 pub use incremental::{IncrementalEngine, IncrementalOutput};
 pub use model::{DynOptLevel, Strategy};
 pub use seq::run_sequential;
+pub use session::{Compiled, Error, Session};

@@ -1,0 +1,270 @@
+//! The `Session` facade: one fluent entry point for the whole pipeline.
+//!
+//! A [`Session`] bundles the three things every driver invocation needs —
+//! the source text, the [`CompileOptions`], and an (optional)
+//! [`fortrand_trace::Trace`] — behind a builder, compiles to a
+//! [`Compiled`] program, and lets the caller inspect the report, emit the
+//! pretty-printed node program, or run it on the simulated machine:
+//!
+//! ```
+//! use fortrand::{Session, Strategy};
+//!
+//! let compiled = Session::new(fortrand_analysis::fixtures::FIG1)
+//!     .strategy(Strategy::Interprocedural)
+//!     .nprocs(4)
+//!     .compile()
+//!     .unwrap();
+//! let out = compiled.run(&Default::default()).unwrap();
+//! assert!(out.stats.time_us > 0.0);
+//! ```
+//!
+//! Attach a [`fortrand_trace::TraceSink`] with [`Session::trace`] and the
+//! same handle follows the program onto the simulated machine, so compile
+//! phases and per-rank message events land in one timeline. The legacy
+//! free functions ([`crate::compile`], [`fortrand_spmd::run_spmd`]) remain
+//! as thin wrappers over the same machinery.
+
+use crate::driver::{
+    compile_with_trace, CompileError, CompileMode, CompileOptions, CompileOutput, CompileReport,
+};
+use crate::model::{DynOptLevel, Strategy};
+use fortrand_ir::Sym;
+use fortrand_machine::{Machine, RankFailure};
+use fortrand_spmd::ir::SpmdProgram;
+use fortrand_spmd::opt::CommOpt;
+use fortrand_spmd::print::pretty_all;
+use fortrand_spmd::{try_run_spmd, ExecOptions, ExecOutput};
+use fortrand_trace::{Trace, TraceSink};
+use std::collections::BTreeMap;
+
+/// Any failure the facade can produce, with [`std::error::Error`] sources.
+///
+/// Non-exhaustive: new variants may appear as the pipeline grows; match
+/// with a `_` arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Compilation failed (front end, interprocedural analysis, codegen).
+    Compile(CompileError),
+    /// A simulated rank panicked during execution.
+    Exec(RankFailure),
+    /// Trace sink I/O failed on flush.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile: {e}"),
+            Error::Exec(e) => write!(f, "execution: {e}"),
+            Error::Io(e) => write!(f, "trace output: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Exec(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Error {
+        Error::Compile(e)
+    }
+}
+
+impl From<RankFailure> for Error {
+    fn from(e: RankFailure) -> Error {
+        Error::Exec(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+/// Builder for one compile-and-run pipeline over a source text.
+#[derive(Debug)]
+pub struct Session {
+    source: String,
+    opts: CompileOptions,
+    trace: Trace,
+}
+
+impl Session {
+    /// Starts a session over `source` with default options and no tracing.
+    pub fn new(source: impl Into<String>) -> Session {
+        Session {
+            source: source.into(),
+            opts: CompileOptions::default(),
+            trace: Trace::off(),
+        }
+    }
+
+    /// Replaces the whole option set at once.
+    pub fn options(mut self, opts: CompileOptions) -> Session {
+        self.opts = opts;
+        self
+    }
+
+    /// Selects the compilation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Session {
+        self.opts.strategy = strategy;
+        self
+    }
+
+    /// Sets the processor count (defaults to the machine description's).
+    pub fn nprocs(mut self, nprocs: usize) -> Session {
+        self.opts.nprocs = Some(nprocs);
+        self
+    }
+
+    /// Sets the dynamic-decomposition optimization level.
+    pub fn dyn_opt(mut self, dyn_opt: DynOptLevel) -> Session {
+        self.opts.dyn_opt = dyn_opt;
+        self
+    }
+
+    /// Caps procedure cloning (paper §5's goal-directed clone limit).
+    pub fn clone_limit(mut self, clone_limit: usize) -> Session {
+        self.opts.clone_limit = clone_limit;
+        self
+    }
+
+    /// Sequential vs parallel codegen sweep.
+    pub fn mode(mut self, mode: CompileMode) -> Session {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Sets the communication-optimization level.
+    pub fn comm_opt(mut self, comm_opt: CommOpt) -> Session {
+        self.opts.comm_opt = comm_opt;
+        self
+    }
+
+    /// Attaches a trace sink: every later phase of this session — compile
+    /// and simulated execution — emits structured events into it.
+    pub fn trace(mut self, sink: impl TraceSink + Send + 'static) -> Session {
+        self.trace = Trace::new(sink);
+        self
+    }
+
+    /// The session's trace handle (shareable; `Trace(off)` unless
+    /// [`Session::trace`] was called).
+    pub fn trace_handle(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs the compiler. The returned [`Compiled`] keeps the trace handle
+    /// so subsequent [`Compiled::run`] calls land in the same timeline.
+    pub fn compile(self) -> Result<Compiled, Error> {
+        let out = compile_with_trace(&self.source, &self.opts, &self.trace)?;
+        Ok(Compiled {
+            out,
+            trace: self.trace,
+        })
+    }
+}
+
+/// A compiled program: report access, emission, and simulated execution.
+#[derive(Debug)]
+pub struct Compiled {
+    out: CompileOutput,
+    trace: Trace,
+}
+
+impl Compiled {
+    /// Compilation statistics and recompilation bookkeeping.
+    pub fn report(&self) -> &CompileReport {
+        &self.out.report
+    }
+
+    /// The SPMD node program.
+    pub fn spmd(&self) -> &SpmdProgram {
+        &self.out.spmd
+    }
+
+    /// Pretty-prints every procedure of the node program (the paper-figure
+    /// renderer).
+    pub fn emit(&self) -> String {
+        pretty_all(&self.out.spmd)
+    }
+
+    /// The trace handle threaded through compilation and execution.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs the program on a simulated machine with default execution
+    /// options. `init` supplies initial global values for arrays declared
+    /// in the entry unit.
+    pub fn run(&self, init: &BTreeMap<Sym, Vec<f64>>) -> Result<ExecOutput, Error> {
+        self.run_with(init, &ExecOptions::new())
+    }
+
+    /// Like [`Compiled::run`], with explicit execution options (engine
+    /// selection). The session's trace handle rides along onto the
+    /// machine, so per-rank message events join the compile timeline.
+    pub fn run_with(
+        &self,
+        init: &BTreeMap<Sym, Vec<f64>>,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutput, Error> {
+        let machine = Machine::new(self.out.spmd.nprocs).with_trace(self.trace.clone());
+        Ok(try_run_spmd(&self.out.spmd, &machine, init, opts)?)
+    }
+
+    /// Flushes the trace sink (writes the Chrome-trace closing bracket,
+    /// reports deferred I/O errors). Idempotent; a no-op when tracing is
+    /// off.
+    pub fn finish_trace(&self) -> Result<(), Error> {
+        Ok(self.trace.finish()?)
+    }
+
+    /// Unwraps into the raw [`CompileOutput`] for legacy call sites.
+    pub fn into_output(self) -> CompileOutput {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortrand_analysis::fixtures::FIG1;
+
+    #[test]
+    fn session_matches_legacy_compile() {
+        let legacy = crate::driver::compile(FIG1, &CompileOptions::default()).unwrap();
+        let compiled = Session::new(FIG1).compile().unwrap();
+        assert_eq!(compiled.emit(), pretty_all(&legacy.spmd));
+        assert_eq!(compiled.report().nprocs, legacy.report.nprocs);
+    }
+
+    #[test]
+    fn session_run_produces_time() {
+        let out = Session::new(FIG1)
+            .nprocs(4)
+            .compile()
+            .unwrap()
+            .run(&BTreeMap::new())
+            .unwrap();
+        assert!(out.stats.time_us > 0.0);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let err = Session::new("garbage ( not fortran").compile().unwrap_err();
+        assert!(matches!(err, Error::Compile(_)));
+        let msg = format!("{err}");
+        assert!(msg.starts_with("compile:"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

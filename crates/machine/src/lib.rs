@@ -28,8 +28,37 @@ pub use cost::CostModel;
 pub use node::{BufferPool, Msg, Node, Payload, PayloadBuf};
 pub use stats::{size_bucket, NodeStats, RunStats, HIST_BUCKETS, HIST_LABELS};
 
+use fortrand_trace::{Trace, PID_MACHINE};
 use std::sync::mpsc::channel as unbounded;
 use std::sync::Arc;
+
+/// One simulated processor's body panicked during a [`Machine::try_run`].
+/// Carries the lowest failing rank and that rank's panic message.
+#[derive(Clone, Debug)]
+pub struct RankFailure {
+    /// The lowest-numbered rank whose body panicked.
+    pub rank: usize,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A simulated distributed-memory machine with `nprocs` nodes.
 #[derive(Clone, Debug)]
@@ -41,6 +70,8 @@ pub struct Machine {
     /// Real-time budget a node may block on a receive before the run is
     /// declared deadlocked (default 30 s; see [`Node::recv`]).
     deadlock_timeout: std::time::Duration,
+    /// Trace handle shared with every node (off by default).
+    trace: Trace,
 }
 
 impl Machine {
@@ -50,6 +81,7 @@ impl Machine {
             nprocs,
             cost: CostModel::ipsc860(),
             deadlock_timeout: node::DEADLOCK_TIMEOUT,
+            trace: Trace::off(),
         }
     }
 
@@ -59,6 +91,7 @@ impl Machine {
             nprocs,
             cost,
             deadlock_timeout: node::DEADLOCK_TIMEOUT,
+            trace: Trace::off(),
         }
     }
 
@@ -70,6 +103,20 @@ impl Machine {
         self
     }
 
+    /// Attaches a trace handle: every node records its message traffic and
+    /// execution slices (simulated time, pid [`PID_MACHINE`], tid = rank),
+    /// and runs end with buffer-pool counter samples.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The machine's trace handle (off unless [`Machine::with_trace`] was
+    /// used).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
     /// Runs one SPMD program: `body` is executed once per node, in parallel,
     /// each invocation receiving that node's [`Node`] handle. Returns the
     /// aggregated [`RunStats`] (program time = max over nodes of the final
@@ -77,8 +124,36 @@ impl Machine {
     ///
     /// # Panics
     /// Propagates panics from node bodies (e.g. a receive that would
-    /// deadlock times out and panics with a diagnostic).
+    /// deadlock times out and panics with a diagnostic). Use
+    /// [`Machine::try_run`] to get the failure as a value instead.
     pub fn run<F>(&self, body: F) -> RunStats
+    where
+        F: Fn(&mut Node) + Send + Sync,
+    {
+        match self.run_inner(body) {
+            Ok(stats) => stats,
+            Err(mut failures) => std::panic::resume_unwind(failures.remove(0).1),
+        }
+    }
+
+    /// [`Machine::run`] that surfaces a rank panic as a [`RankFailure`]
+    /// (lowest failing rank wins, deterministically) instead of unwinding.
+    /// All ranks are joined either way, so no simulated state leaks.
+    pub fn try_run<F>(&self, body: F) -> Result<RunStats, RankFailure>
+    where
+        F: Fn(&mut Node) + Send + Sync,
+    {
+        self.run_inner(body).map_err(|failures| {
+            let (rank, payload) = &failures[0];
+            RankFailure {
+                rank: *rank,
+                message: panic_message(payload.as_ref()),
+            }
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_inner<F>(&self, body: F) -> Result<RunStats, Vec<(usize, Box<dyn std::any::Any + Send>)>>
     where
         F: Fn(&mut Node) + Send + Sync,
     {
@@ -99,6 +174,7 @@ impl Machine {
         let collectives = Arc::new(SharedCollectives::new(p));
         let pool = BufferPool::new();
         let mut node_stats: Vec<Option<NodeStats>> = (0..p).map(|_| None).collect();
+        let mut failures: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
@@ -108,6 +184,7 @@ impl Machine {
                 let pool = Arc::clone(&pool);
                 let cost = self.cost.clone();
                 let timeout = self.deadlock_timeout;
+                let trace = self.trace.clone();
                 let body = &body;
                 handles.push(scope.spawn(move || {
                     let mut node = Node::new(
@@ -119,26 +196,43 @@ impl Machine {
                         collectives,
                         pool,
                         timeout,
+                        trace,
                     );
-                    body(&mut node);
-                    node.into_stats()
+                    // Catch here (not at join) so the panic payload is
+                    // carried out as a value; `run` re-raises it verbatim.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                        body(&mut node);
+                        node.into_stats()
+                    }))
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
-                match h.join() {
+                match h.join().expect("machine worker thread died outside body") {
                     Ok(s) => node_stats[rank] = Some(s),
-                    Err(e) => std::panic::resume_unwind(e),
+                    Err(payload) => failures.push((rank, payload)),
                 }
             }
         });
 
+        if !failures.is_empty() {
+            return Err(failures);
+        }
         let mut stats = RunStats::aggregate(node_stats.into_iter().map(Option::unwrap).collect());
         let (reuses, allocs, bytes_reused) = pool.counters();
         stats.pool_reuses = reuses;
         stats.pool_allocs = allocs;
         stats.pool_bytes_reused = bytes_reused;
         stats.wall_us = wall_t0.elapsed().as_secs_f64() * 1e6;
-        stats
+        if self.trace.on() {
+            let t = stats.time_us;
+            self.trace
+                .counter(PID_MACHINE, 0, "pool_reuses", t, reuses as f64);
+            self.trace
+                .counter(PID_MACHINE, 0, "pool_allocs", t, allocs as f64);
+            self.trace
+                .counter(PID_MACHINE, 0, "pool_bytes_reused", t, bytes_reused as f64);
+        }
+        Ok(stats)
     }
 }
 

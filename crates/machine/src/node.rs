@@ -3,6 +3,7 @@
 use crate::collective::SharedCollectives;
 use crate::cost::CostModel;
 use crate::stats::NodeStats;
+use fortrand_trace::{Trace, PID_MACHINE};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -142,6 +143,7 @@ pub struct Node {
     pool: Arc<BufferPool>,
     stats: NodeStats,
     deadlock_timeout: Duration,
+    trace: Trace,
 }
 
 impl Node {
@@ -155,7 +157,11 @@ impl Node {
         collectives: Arc<SharedCollectives>,
         pool: Arc<BufferPool>,
         deadlock_timeout: Duration,
+        trace: Trace,
     ) -> Self {
+        if trace.on() {
+            trace.name_track(PID_MACHINE, rank as u32, &format!("rank {rank}"));
+        }
         Node {
             rank,
             nprocs,
@@ -167,7 +173,15 @@ impl Node {
             pool,
             stats: NodeStats::default(),
             deadlock_timeout,
+            trace,
         }
+    }
+
+    /// The trace handle shared with the machine; engines use it to record
+    /// execution slices on this rank's track (pid [`PID_MACHINE`],
+    /// tid = rank) in *simulated* time.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// This node's rank, `0 ≤ rank < nprocs` (the paper's `my$p`).
@@ -240,8 +254,24 @@ impl Node {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
         assert_ne!(dst, self.rank, "self-send: rank {dst}");
         let bytes = (data.len() * 8) as u64;
+        let t0 = self.clock_us;
         self.clock_us += self.cost.send_cost(bytes);
         self.stats.record_msgs(1, bytes, Some(tag));
+        if self.trace.on() {
+            self.trace.complete(
+                PID_MACHINE,
+                self.rank as u32,
+                "msg",
+                "send",
+                t0,
+                self.clock_us - t0,
+                vec![
+                    ("dst", (dst as i64).into()),
+                    ("tag", (tag as i64).into()),
+                    ("bytes", (bytes as i64).into()),
+                ],
+            );
+        }
         let msg = Msg {
             tag,
             data: self.pool.wrap(data),
@@ -286,9 +316,25 @@ impl Node {
             "tag mismatch on rank {} receiving from {}: expected {}, got {}",
             self.rank, src, tag, msg.tag
         );
+        let t0 = self.clock_us;
         if msg.avail_at_us > self.clock_us {
             self.stats.wait_us += msg.avail_at_us - self.clock_us;
             self.clock_us = msg.avail_at_us;
+        }
+        if self.trace.on() {
+            self.trace.complete(
+                PID_MACHINE,
+                self.rank as u32,
+                "msg",
+                "recv",
+                t0,
+                self.clock_us - t0,
+                vec![
+                    ("src", (src as i64).into()),
+                    ("tag", (tag as i64).into()),
+                    ("bytes", ((msg.data.len() * 8) as i64).into()),
+                ],
+            );
         }
         msg.data
     }
@@ -297,6 +343,7 @@ impl Node {
     /// `max(entry clocks) + α·⌈log₂ P⌉`.
     pub fn barrier(&mut self) {
         let levels = log2_ceil(self.nprocs);
+        let t0 = self.clock_us;
         let t = self
             .collectives
             .barrier(self.clock_us, self.cost.alpha_us * levels as f64);
@@ -304,6 +351,17 @@ impl Node {
             self.stats.wait_us += t - self.clock_us;
         }
         self.clock_us = t;
+        if self.trace.on() {
+            self.trace.complete(
+                PID_MACHINE,
+                self.rank as u32,
+                "coll",
+                "barrier",
+                t0,
+                self.clock_us - t0,
+                Vec::new(),
+            );
+        }
     }
 
     /// Broadcast from `root`: every node returns the root's `data`.
@@ -347,6 +405,7 @@ impl Node {
         let is_root = self.rank == root;
         let payload = data.map(|d| self.pool.wrap(d));
         let levels = log2_ceil(self.nprocs);
+        let t0 = self.clock_us;
         let (t, out) = self
             .collectives
             .bcast(self.clock_us, payload, |root_clock, bytes| {
@@ -361,6 +420,24 @@ impl Node {
             self.stats.wait_us += t - self.clock_us;
         }
         self.clock_us = t;
+        if self.trace.on() {
+            let mut args: fortrand_trace::Args = vec![
+                ("root", (root as i64).into()),
+                ("bytes", ((out.len() * 8) as i64).into()),
+            ];
+            if let Some(tag) = tag {
+                args.push(("tag", (tag as i64).into()));
+            }
+            self.trace.complete(
+                PID_MACHINE,
+                self.rank as u32,
+                "coll",
+                "bcast",
+                t0,
+                self.clock_us - t0,
+                args,
+            );
+        }
         out
     }
 
@@ -374,6 +451,7 @@ impl Node {
         }
         let levels = log2_ceil(self.nprocs);
         let extra = 2.0 * levels as f64 * self.cost.send_cost(8);
+        let t0 = self.clock_us;
         let (t, sum) = self.collectives.allreduce(self.clock_us, v, extra);
         if self.rank == 0 {
             self.stats
@@ -383,6 +461,17 @@ impl Node {
             self.stats.wait_us += t - self.clock_us;
         }
         self.clock_us = t;
+        if self.trace.on() {
+            self.trace.complete(
+                PID_MACHINE,
+                self.rank as u32,
+                "coll",
+                "allreduce_sum",
+                t0,
+                self.clock_us - t0,
+                Vec::new(),
+            );
+        }
         sum
     }
 
@@ -396,6 +485,7 @@ impl Node {
         let levels = log2_ceil(self.nprocs);
         let bytes = (payload.len() * 8 + 8) as u64;
         let extra = 2.0 * levels as f64 * self.cost.send_cost(bytes);
+        let t0 = self.clock_us;
         let (t, value, data) =
             self.collectives
                 .maxloc(self.clock_us, self.rank, v, payload.to_vec(), extra);
@@ -407,12 +497,37 @@ impl Node {
             self.stats.wait_us += t - self.clock_us;
         }
         self.clock_us = t;
+        if self.trace.on() {
+            self.trace.complete(
+                PID_MACHINE,
+                self.rank as u32,
+                "coll",
+                "allreduce_maxloc",
+                t0,
+                self.clock_us - t0,
+                vec![("bytes", (bytes as i64).into())],
+            );
+        }
         (value, data)
     }
 
     /// Final per-node statistics (consumes the node at the end of a run).
     pub(crate) fn into_stats(mut self) -> NodeStats {
         self.stats.time_us = self.clock_us;
+        if self.trace.on() {
+            self.trace.instant(
+                PID_MACHINE,
+                self.rank as u32,
+                "vm",
+                "rank done",
+                self.clock_us,
+                vec![
+                    ("flops", (self.stats.flops as i64).into()),
+                    ("ops", (self.stats.ops as i64).into()),
+                    ("wait_us", self.stats.wait_us.into()),
+                ],
+            );
+        }
         self.stats
     }
 }

@@ -1,0 +1,82 @@
+//! `Machine::try_run` surfaces a rank panic as a value with the failing
+//! rank id instead of unwinding (or cascading `Option::unwrap`s).
+
+use fortrand_machine::Machine;
+use std::time::Duration;
+
+#[test]
+fn try_run_reports_failing_rank() {
+    // Rank 2 panics; the others finish (no blocking receives involved).
+    let m = Machine::new(4);
+    let err = m
+        .try_run(|node| {
+            if node.rank() == 2 {
+                panic!("boom on rank 2");
+            }
+            node.charge_flops(10);
+        })
+        .unwrap_err();
+    assert_eq!(err.rank, 2);
+    assert!(err.message.contains("boom on rank 2"), "{}", err.message);
+    assert!(err.to_string().contains("rank 2 panicked"), "{err}");
+}
+
+#[test]
+fn try_run_picks_lowest_failing_rank() {
+    let m = Machine::new(4);
+    let err = m
+        .try_run(|node| {
+            if node.rank() >= 1 {
+                panic!("rank {} down", node.rank());
+            }
+        })
+        .unwrap_err();
+    assert_eq!(err.rank, 1);
+}
+
+#[test]
+fn try_run_with_blocked_peer_still_returns() {
+    // Rank 0 panics before sending; rank 1 blocks on the receive until the
+    // (shrunk) deadlock timeout, then panics too. try_run must join both
+    // and report the root cause deterministically (lowest rank).
+    let m = Machine::new(2).with_deadlock_timeout(Duration::from_millis(50));
+    let err = m
+        .try_run(|node| {
+            if node.rank() == 0 {
+                panic!("sender died");
+            } else {
+                node.recv(0, 7);
+            }
+        })
+        .unwrap_err();
+    assert_eq!(err.rank, 0);
+    assert!(err.message.contains("sender died"), "{}", err.message);
+}
+
+#[test]
+fn try_run_ok_matches_run() {
+    let m = Machine::new(3);
+    let body = |node: &mut fortrand_machine::Node| {
+        if node.rank() == 0 {
+            node.send(1, 5, &[1.0, 2.0]);
+        } else if node.rank() == 1 {
+            node.recv(0, 5);
+        }
+        node.barrier();
+    };
+    let a = m.try_run(body).unwrap();
+    let b = m.run(body);
+    assert_eq!(a.time_us, b.time_us);
+    assert_eq!(a.total_msgs, b.total_msgs);
+}
+
+#[test]
+#[should_panic(expected = "original diagnostic")]
+fn run_preserves_panic_payload() {
+    let m = Machine::new(2);
+    m.run(|node| {
+        if node.rank() == 1 {
+            panic!("the original diagnostic text");
+        }
+    });
+}

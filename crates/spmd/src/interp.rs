@@ -24,7 +24,8 @@ use crate::runtime::{
     scalar_from_wire, scatter_init_store, ArrayStore, FinalArray, Value,
 };
 pub use crate::runtime::{
-    global_extents, run_spmd, run_spmd_engine, ExecEngine, ExecOutput, TAG_BCAST, TAG_BCAST_PACK,
+    global_extents, run_spmd, run_spmd_engine, try_run_spmd, ExecEngine, ExecOptions, ExecOutput,
+    RankFailure, TAG_BCAST, TAG_BCAST_PACK,
 };
 use fortrand_ir::Sym;
 use fortrand_machine::{Machine, Node};
@@ -36,7 +37,7 @@ pub(crate) fn run_tree(
     prog: &SpmdProgram,
     machine: &Machine,
     init: &BTreeMap<Sym, Vec<f64>>,
-) -> ExecOutput {
+) -> Result<ExecOutput, RankFailure> {
     run_harness(prog, machine, |node| {
         let mut exec = Exec::new(prog, node);
         exec.enter_main(init);

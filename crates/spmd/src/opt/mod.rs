@@ -107,6 +107,18 @@ pub fn optimize_with_stats(
     prog: &mut SpmdProgram,
     level: CommOpt,
 ) -> (OptReport, Vec<fortrand_analysis::framework::SolveStats>) {
+    optimize_traced(prog, level, &fortrand_trace::Trace::off())
+}
+
+/// [`optimize_with_stats`] recording one compile-timeline span per
+/// optimizer pass (eliminate / hoist / coalesce) plus the embedded
+/// available-sections dataflow solve.
+pub fn optimize_traced(
+    prog: &mut SpmdProgram,
+    level: CommOpt,
+    trace: &fortrand_trace::Trace,
+) -> (OptReport, Vec<fortrand_analysis::framework::SolveStats>) {
+    use fortrand_trace::PID_COMPILE;
     let mut report = OptReport {
         level,
         ..Default::default()
@@ -116,9 +128,35 @@ pub fn optimize_with_stats(
         return (report, stats);
     }
     if level == CommOpt::Full {
-        stats.push(eliminate(prog, &mut report));
+        let span = trace.span(PID_COMPILE, 0, "comm-opt", "eliminate");
+        let solve = eliminate(prog, &mut report);
+        fortrand_analysis::framework::record_solve(trace, &solve);
+        stats.push(solve);
+        drop(span);
     }
-    hoist(prog, &mut report);
-    coalesce(prog, &mut report);
+    {
+        let _span = trace.span(PID_COMPILE, 0, "comm-opt", "hoist");
+        hoist(prog, &mut report);
+    }
+    {
+        let _span = trace.span(PID_COMPILE, 0, "comm-opt", "coalesce");
+        coalesce(prog, &mut report);
+    }
+    if trace.on() {
+        let ts = trace.now_us();
+        trace.instant(
+            PID_COMPILE,
+            0,
+            "comm-opt",
+            "comm-opt done",
+            ts,
+            vec![
+                ("level", report.level.as_str().into()),
+                ("eliminated", report.eliminated.into()),
+                ("hoisted", report.hoisted.into()),
+                ("coalesced", report.coalesced.into()),
+            ],
+        );
+    }
     (report, stats)
 }

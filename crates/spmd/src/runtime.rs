@@ -12,6 +12,7 @@
 use crate::ir::*;
 use fortrand_ir::dist::ArrayDist;
 use fortrand_ir::Sym;
+pub use fortrand_machine::RankFailure;
 use fortrand_machine::{Machine, Node, RunStats};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -42,6 +43,7 @@ pub enum ExecEngine {
 
 /// Result of running a node program.
 #[derive(Debug)]
+#[non_exhaustive]
 pub struct ExecOutput {
     /// Machine statistics (time, messages, bytes, flops…).
     pub stats: RunStats,
@@ -52,9 +54,60 @@ pub struct ExecOutput {
     pub printed: Vec<String>,
 }
 
+/// Execution knobs for running a compiled node program. Built with
+/// chained setters so new knobs never grow a positional-argument list:
+///
+/// ```ignore
+/// let opts = ExecOptions::new().engine(ExecEngine::Tree);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ExecOptions {
+    /// Which engine interprets the node program
+    /// ([`ExecEngine::Bytecode`] by default).
+    pub engine: ExecEngine,
+}
+
+impl ExecOptions {
+    /// Default options (bytecode engine).
+    pub fn new() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Selects the execution engine.
+    pub fn engine(mut self, engine: ExecEngine) -> ExecOptions {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Runs `prog` on `machine`, surfacing a rank panic (e.g. a deadlock
+/// diagnostic) as a [`RankFailure`] value instead of unwinding. This is
+/// the primary entry point; `fortrand::Session::run` builds on it.
+pub fn try_run_spmd(
+    prog: &SpmdProgram,
+    machine: &Machine,
+    init: &BTreeMap<Sym, Vec<f64>>,
+    opts: &ExecOptions,
+) -> Result<ExecOutput, RankFailure> {
+    assert_eq!(
+        machine.nprocs, prog.nprocs,
+        "program compiled for {} procs, machine has {}",
+        prog.nprocs, machine.nprocs
+    );
+    match opts.engine {
+        ExecEngine::Tree => crate::interp::run_tree(prog, machine, init),
+        ExecEngine::Bytecode => crate::vm::run_bytecode(prog, machine, init),
+    }
+}
+
 /// Runs `prog` on `machine` under the default engine ([`ExecEngine::Bytecode`]).
 /// `init` supplies initial global values for arrays declared in the entry
 /// procedure (missing arrays start at zero).
+///
+/// Note: thin wrapper kept for compatibility — prefer
+/// [`try_run_spmd`] (panic-safe) or the `fortrand::Session` facade.
+/// Panics if a rank panics.
 pub fn run_spmd(
     prog: &SpmdProgram,
     machine: &Machine,
@@ -64,51 +117,55 @@ pub fn run_spmd(
 }
 
 /// [`run_spmd`] with an explicit engine choice.
+///
+/// Note: thin wrapper kept for compatibility — prefer
+/// [`try_run_spmd`] with [`ExecOptions`], or the `fortrand::Session`
+/// facade. Panics if a rank panics.
 pub fn run_spmd_engine(
     prog: &SpmdProgram,
     machine: &Machine,
     init: &BTreeMap<Sym, Vec<f64>>,
     engine: ExecEngine,
 ) -> ExecOutput {
-    assert_eq!(
-        machine.nprocs, prog.nprocs,
-        "program compiled for {} procs, machine has {}",
-        prog.nprocs, machine.nprocs
-    );
-    match engine {
-        ExecEngine::Tree => crate::interp::run_tree(prog, machine, init),
-        ExecEngine::Bytecode => crate::vm::run_bytecode(prog, machine, init),
+    match try_run_spmd(prog, machine, init, &ExecOptions::new().engine(engine)) {
+        Ok(out) => out,
+        Err(f) => panic!("{f}"),
     }
 }
 
 /// Engine-independent run harness: executes `body` once per rank, collects
 /// each rank's final arrays (and rank 0's printed lines), then assembles
-/// the global arrays.
+/// the global arrays. A rank panic comes back as a [`RankFailure`] with
+/// the failing rank id; shared state uses poison-proof lock access so one
+/// rank's death cannot cascade into mutex-poison unwraps.
 pub(crate) fn run_harness(
     prog: &SpmdProgram,
     machine: &Machine,
     body: impl Fn(&mut Node) -> (Vec<FinalArray>, Vec<String>) + Sync,
-) -> ExecOutput {
+) -> Result<ExecOutput, RankFailure> {
     let finals: Mutex<Vec<Option<Vec<FinalArray>>>> =
         Mutex::new((0..machine.nprocs).map(|_| None).collect());
     let printed: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
-    let stats = machine.run(|node| {
+    let stats = machine.try_run(|node| {
         let rank = node.rank();
         let (fin, pr) = body(node);
         if rank == 0 {
-            printed.lock().unwrap().extend(pr);
+            printed.lock().unwrap_or_else(|p| p.into_inner()).extend(pr);
         }
-        finals.lock().unwrap()[rank] = Some(fin);
-    });
+        finals.lock().unwrap_or_else(|p| p.into_inner())[rank] = Some(fin);
+    })?;
 
-    let finals = finals.into_inner().unwrap();
-    let per_rank: Vec<Vec<FinalArray>> = finals.into_iter().map(Option::unwrap).collect();
-    ExecOutput {
+    let finals = finals.into_inner().unwrap_or_else(|p| p.into_inner());
+    let per_rank: Vec<Vec<FinalArray>> = finals
+        .into_iter()
+        .map(|f| f.expect("rank finished without recording finals"))
+        .collect();
+    Ok(ExecOutput {
         stats,
         arrays: assemble_arrays(prog, &per_rank),
-        printed: printed.into_inner().unwrap(),
-    }
+        printed: printed.into_inner().unwrap_or_else(|p| p.into_inner()),
+    })
 }
 
 /// Assembles global arrays from per-rank finals, reading each element from

@@ -30,18 +30,29 @@ pub(crate) fn run_bytecode(
     prog: &SpmdProgram,
     machine: &Machine,
     init: &BTreeMap<Sym, Vec<f64>>,
-) -> ExecOutput {
+) -> Result<ExecOutput, crate::runtime::RankFailure> {
     let lowered = lower(prog);
     let instr_total = AtomicU64::new(0);
+    // Resolved once per run, only when tracing: per-call spans need
+    // procedure names and the hot path must not touch the interner.
+    let proc_names: Vec<String> = if machine.trace().on() {
+        prog.procs
+            .iter()
+            .map(|p| prog.interner.name(p.name).to_string())
+            .collect()
+    } else {
+        Vec::new()
+    };
     let mut out = run_harness(prog, machine, |node| {
-        let mut vm = Vm::new(prog, &lowered, node);
+        let mut vm = Vm::new(prog, &lowered, node, &proc_names);
         vm.enter_main(init);
         exec(&mut vm);
+        vm.close_open_spans();
         instr_total.fetch_add(vm.instrs, Ordering::Relaxed);
         (vm.finish(), std::mem::take(&mut vm.printed))
-    });
+    })?;
     out.stats.engine_instrs = instr_total.load(Ordering::Relaxed);
-    out
+    Ok(out)
 }
 
 /// Cached enumeration of one section site: the evaluated bounds it was
@@ -94,10 +105,20 @@ struct Vm<'a, 'n> {
     /// `RunStats::engine_instrs`).
     instrs: u64,
     main_arrays: Vec<usize>,
+    /// Cached `node.trace().on()` so the dispatch loop pays one bool test.
+    trace_on: bool,
+    /// Procedure names for per-call spans (empty unless tracing).
+    proc_names: &'a [String],
 }
 
 impl<'a, 'n> Vm<'a, 'n> {
-    fn new(prog: &'a SpmdProgram, lowered: &'a Lowered, node: &'n mut Node) -> Self {
+    fn new(
+        prog: &'a SpmdProgram,
+        lowered: &'a Lowered,
+        node: &'n mut Node,
+        proc_names: &'a [String],
+    ) -> Self {
+        let trace_on = node.trace().on();
         Vm {
             prog,
             lowered,
@@ -118,6 +139,51 @@ impl<'a, 'n> Vm<'a, 'n> {
             pending_ops: 0,
             instrs: 0,
             main_arrays: Vec::new(),
+            trace_on,
+            proc_names,
+        }
+    }
+
+    /// Opens an execution-slice span for `proc` on this rank's track at
+    /// the current simulated clock.
+    fn trace_enter(&mut self, proc: usize) {
+        if self.trace_on {
+            let rank = self.node.rank() as u32;
+            let ts = self.node.clock();
+            self.node.trace().begin_at(
+                fortrand_trace::PID_MACHINE,
+                rank,
+                "vm",
+                &self.proc_names[proc],
+                ts,
+                Vec::new(),
+            );
+        }
+    }
+
+    /// Closes the innermost execution-slice span at the current clock.
+    fn trace_exit(&mut self, proc: usize) {
+        if self.trace_on {
+            let rank = self.node.rank() as u32;
+            let ts = self.node.clock();
+            self.node.trace().end_at(
+                fortrand_trace::PID_MACHINE,
+                rank,
+                "vm",
+                &self.proc_names[proc],
+                ts,
+            );
+        }
+    }
+
+    /// Closes spans for frames still live after execution stops (a `STOP`
+    /// inside a callee leaves the stack deep), keeping B/E balanced.
+    fn close_open_spans(&mut self) {
+        if self.trace_on {
+            for i in (0..self.frames.len()).rev() {
+                let proc = self.frames[i].proc;
+                self.trace_exit(proc);
+            }
         }
     }
 
@@ -159,6 +225,7 @@ impl<'a, 'n> Vm<'a, 'n> {
             r_base: 0,
             heap_mark: 0,
         });
+        self.trace_enter(main);
     }
 
     fn scatter_init(&mut self, id: usize, global: &[f64]) {
@@ -229,12 +296,17 @@ impl<'a, 'n> Vm<'a, 'n> {
             r_base,
             heap_mark,
         });
+        self.trace_enter(ca.callee);
     }
 
     /// Pops the current frame, applies scalar copy-out, and returns the
     /// caller's resume pc. Frame storage (including callee-local arrays)
     /// is reclaimed.
     fn do_return(&mut self) -> usize {
+        if self.trace_on {
+            let proc = self.frames.last().unwrap().proc;
+            self.trace_exit(proc);
+        }
         let fr = self.frames.pop().unwrap();
         let caller = self.frames.last().unwrap();
         let caller_s_base = caller.s_base;

@@ -9,9 +9,7 @@
 //! ```
 
 use fortrand::corpus::adi_source;
-use fortrand::{compile, run_sequential, CompileOptions, Strategy};
-use fortrand_machine::Machine;
-use fortrand_spmd::run_spmd;
+use fortrand::{run_sequential, Session, Strategy};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -42,19 +40,14 @@ fn main() {
         ("immediate", Strategy::Immediate),
         ("runtime-res", Strategy::RuntimeResolution),
     ] {
-        let out = compile(
-            &src,
-            &CompileOptions {
-                strategy,
-                ..Default::default()
-            },
-        )
-        .expect("compilation");
-        let machine = Machine::new(nprocs);
-        let a = out.spmd.interner.get("a").unwrap();
+        let compiled = Session::new(src.as_str())
+            .strategy(strategy)
+            .compile()
+            .expect("compilation");
+        let a = compiled.spmd().interner.get("a").unwrap();
         let mut sinit = BTreeMap::new();
         sinit.insert(a, init[&a_seq].clone());
-        let r = run_spmd(&out.spmd, &machine, &sinit);
+        let r = compiled.run(&sinit).expect("execution");
         // Verify against the sequential run.
         let maxerr = r.arrays[&a]
             .iter()

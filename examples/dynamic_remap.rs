@@ -8,10 +8,8 @@
 //! ```
 
 use fortrand::corpus::fig15_source;
-use fortrand::{compile, CompileOptions, DynOptLevel, Strategy};
-use fortrand_machine::Machine;
+use fortrand::{DynOptLevel, Session, Strategy};
 use fortrand_spmd::print::pretty;
-use fortrand_spmd::run_spmd;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -30,17 +28,12 @@ fn main() {
         ("16c + loop-invariant", DynOptLevel::Hoist),
         ("16d + array kills", DynOptLevel::Kills),
     ] {
-        let out = compile(
-            &src,
-            &CompileOptions {
-                strategy: Strategy::Interprocedural,
-                dyn_opt: lvl,
-                ..Default::default()
-            },
-        )
-        .expect("compilation");
-        let machine = Machine::new(nprocs);
-        let r = run_spmd(&out.spmd, &machine, &BTreeMap::new());
+        let compiled = Session::new(src.as_str())
+            .strategy(Strategy::Interprocedural)
+            .dyn_opt(lvl)
+            .compile()
+            .expect("compilation");
+        let r = compiled.run(&BTreeMap::new()).expect("execution");
         println!(
             "{:<26} {:>8} {:>12.3} {:>10} {:>12}",
             label,
@@ -51,7 +44,7 @@ fn main() {
         );
         if lvl == DynOptLevel::Kills {
             println!("\n--- main program at level 16d ---");
-            for line in pretty(&out.spmd, out.spmd.main).lines() {
+            for line in pretty(compiled.spmd(), compiled.spmd().main).lines() {
                 println!("  {line}");
             }
         }

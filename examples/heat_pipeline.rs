@@ -7,9 +7,7 @@
 //! ```
 
 use fortrand::corpus::relax_source;
-use fortrand::{compile, CompileOptions, DynOptLevel, Strategy};
-use fortrand_machine::Machine;
-use fortrand_spmd::run_spmd;
+use fortrand::{DynOptLevel, Session, Strategy};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -28,20 +26,15 @@ fn main() {
         ("immediate", Strategy::Immediate),
         ("runtime-res", Strategy::RuntimeResolution),
     ] {
-        let out = compile(
-            &src,
-            &CompileOptions {
-                strategy,
-                dyn_opt: DynOptLevel::Kills,
-                ..Default::default()
-            },
-        )
-        .expect("compilation");
-        let machine = Machine::new(nprocs);
+        let compiled = Session::new(src.as_str())
+            .strategy(strategy)
+            .dyn_opt(DynOptLevel::Kills)
+            .compile()
+            .expect("compilation");
         let mut init = BTreeMap::new();
-        let x = out.spmd.interner.get("x").unwrap();
+        let x = compiled.spmd().interner.get("x").unwrap();
         init.insert(x, (0..n).map(|i| (i % 17) as f64).collect::<Vec<_>>());
-        let r = run_spmd(&out.spmd, &machine, &init);
+        let r = compiled.run(&init).expect("execution");
         println!(
             "{:<20} {:>12.3} {:>10} {:>12} {:>10}",
             name,

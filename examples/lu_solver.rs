@@ -8,9 +8,7 @@
 //! ```
 
 use fortrand::corpus::{dgefa_matrix, dgefa_source};
-use fortrand::{compile, run_sequential, CompileOptions, Strategy};
-use fortrand_machine::Machine;
-use fortrand_spmd::run_spmd;
+use fortrand::{run_sequential, Session, Strategy};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -33,19 +31,14 @@ fn main() {
     let mut speedups = Vec::new();
     for p in [1usize, 2, 4, 8, 16] {
         let src = dgefa_source(n, p);
-        let out = compile(
-            &src,
-            &CompileOptions {
-                strategy: Strategy::Interprocedural,
-                ..Default::default()
-            },
-        )
-        .expect("compilation");
-        let machine = Machine::new(p);
+        let compiled = Session::new(src.as_str())
+            .strategy(Strategy::Interprocedural)
+            .compile()
+            .expect("compilation");
         let mut init = BTreeMap::new();
-        let a = out.spmd.interner.get("a").unwrap();
+        let a = compiled.spmd().interner.get("a").unwrap();
         init.insert(a, dgefa_matrix(n));
-        let r = run_spmd(&out.spmd, &machine, &init);
+        let r = compiled.run(&init).expect("execution");
         let got = &r.arrays[&a];
         let maxerr = got
             .iter()

@@ -1,14 +1,12 @@
 //! Quickstart: compile a Fortran D program, look at the generated SPMD
-//! message-passing code, and execute it on the simulated machine.
+//! message-passing code, and execute it on the simulated machine — all
+//! through the [`fortrand::Session`] facade.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use fortrand::{compile, CompileOptions, Strategy};
-use fortrand_machine::Machine;
-use fortrand_spmd::print::pretty_all;
-use fortrand_spmd::run_spmd;
+use fortrand::{Session, Strategy};
 use std::collections::BTreeMap;
 
 const PROGRAM: &str = "
@@ -29,30 +27,23 @@ const PROGRAM: &str = "
 
 fn main() {
     // 1. Compile with the full interprocedural pipeline.
-    let out = compile(
-        PROGRAM,
-        &CompileOptions {
-            strategy: Strategy::Interprocedural,
-            ..Default::default()
-        },
-    )
-    .expect("compilation");
+    let compiled = Session::new(PROGRAM)
+        .strategy(Strategy::Interprocedural)
+        .compile()
+        .expect("compilation");
 
-    println!(
-        "=== generated SPMD node program ===\n{}",
-        pretty_all(&out.spmd)
-    );
+    println!("=== generated SPMD node program ===\n{}", compiled.emit());
+    let report = compiled.report();
     println!(
         "clones: {:?}   static sends: {}   static broadcasts: {}",
-        out.report.clones, out.report.static_sends, out.report.static_bcasts
+        report.clones, report.static_sends, report.static_bcasts
     );
 
     // 2. Execute on a 4-processor simulated distributed-memory machine.
-    let machine = Machine::new(out.spmd.nprocs);
     let mut init = BTreeMap::new();
-    let x = out.spmd.interner.get("x").unwrap();
+    let x = compiled.spmd().interner.get("x").unwrap();
     init.insert(x, (1..=100).map(|v| v as f64).collect::<Vec<_>>());
-    let result = run_spmd(&out.spmd, &machine, &init);
+    let result = compiled.run(&init).expect("execution");
 
     println!("\n=== simulated execution ===");
     println!(

@@ -24,14 +24,8 @@ fn run_level(
     init_named: &BTreeMap<&str, Vec<f64>>,
     level: CommOpt,
 ) -> (BTreeMap<String, Vec<f64>>, RunStats) {
-    let out = compile(
-        src,
-        &CompileOptions {
-            comm_opt: level,
-            ..Default::default()
-        },
-    )
-    .unwrap_or_else(|e| panic!("compile at {level:?}: {e}"));
+    let out = compile(src, &CompileOptions::builder().comm_opt(level).build())
+        .unwrap_or_else(|e| panic!("compile at {level:?}: {e}"));
     let machine = Machine::new(nprocs);
     let mut init = BTreeMap::new();
     for (name, data) in init_named {
@@ -180,10 +174,7 @@ fn opt_report_reflects_elimination() {
     );
     let off = compile(
         &src,
-        &CompileOptions {
-            comm_opt: CommOpt::Off,
-            ..Default::default()
-        },
+        &CompileOptions::builder().comm_opt(CommOpt::Off).build(),
     )
     .unwrap();
     assert_eq!(off.report.comm.eliminated, 0);

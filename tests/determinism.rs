@@ -13,14 +13,8 @@ use fortrand_spmd::print::pretty_all;
 use proptest::prelude::*;
 
 fn compiled_text(src: &str, mode: CompileMode) -> String {
-    let out = compile(
-        src,
-        &CompileOptions {
-            mode,
-            ..Default::default()
-        },
-    )
-    .expect("corpus programs compile");
+    let out = compile(src, &CompileOptions::builder().mode(mode).build())
+        .expect("corpus programs compile");
     pretty_all(&out.spmd)
 }
 

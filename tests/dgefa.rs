@@ -19,14 +19,8 @@ fn run_strategy_full(
     strategy: Strategy,
 ) -> (Vec<f64>, Vec<f64>, fortrand_machine::RunStats) {
     let src = dgefa_source(n, p);
-    let out = compile(
-        &src,
-        &CompileOptions {
-            strategy,
-            ..Default::default()
-        },
-    )
-    .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+    let out = compile(&src, &CompileOptions::builder().strategy(strategy).build())
+        .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
     let machine = Machine::new(p);
     let mut init = BTreeMap::new();
     init.insert(out.spmd.interner.get("a").unwrap(), dgefa_matrix(n));

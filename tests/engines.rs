@@ -109,13 +109,12 @@ fn default_init(src: &str) -> Vec<(String, Vec<f64>)> {
 
 fn check(src: &str, strategy: Strategy, nprocs: usize, dyn_opt: DynOptLevel, comm_opt: CommOpt) {
     let ctx = format!("{strategy:?}/{dyn_opt:?}/{comm_opt:?}/{nprocs}p");
-    let opts = CompileOptions {
-        strategy,
-        nprocs: Some(nprocs),
-        dyn_opt,
-        comm_opt,
-        ..Default::default()
-    };
+    let opts = CompileOptions::builder()
+        .strategy(strategy)
+        .nprocs(nprocs)
+        .dyn_opt(dyn_opt)
+        .comm_opt(comm_opt)
+        .build();
     engines_agree(src, &opts, &default_init(src), &ctx);
 }
 
@@ -202,11 +201,10 @@ fn every_comm_opt_level() {
 fn dgefa_every_strategy() {
     for strategy in STRATEGIES {
         let ctx = format!("dgefa n=32 p=4 {strategy:?}");
-        let opts = CompileOptions {
-            strategy,
-            nprocs: Some(4),
-            ..Default::default()
-        };
+        let opts = CompileOptions::builder()
+            .strategy(strategy)
+            .nprocs(4)
+            .build();
         let named = vec![("a".to_string(), dgefa_matrix(32))];
         engines_agree(&dgefa_source(32, 4), &opts, &named, &ctx);
     }

@@ -209,10 +209,9 @@ fn rejected_patterns_compile_under_runtime_resolution() {
     ] {
         compile(
             src,
-            &CompileOptions {
-                strategy: Strategy::RuntimeResolution,
-                ..Default::default()
-            },
+            &CompileOptions::builder()
+                .strategy(Strategy::RuntimeResolution)
+                .build(),
         )
         .unwrap_or_else(|e| panic!("runtime resolution must accept: {e}"));
     }
@@ -224,10 +223,7 @@ fn rejected_patterns_compile_under_runtime_resolution() {
 fn cloning_threshold_reported() {
     let out = compile(
         fortrand_analysis::fixtures::FIG4,
-        &CompileOptions {
-            clone_limit: 1,
-            ..Default::default()
-        },
+        &CompileOptions::builder().clone_limit(1).build(),
     )
     .unwrap();
     assert!(

@@ -6,14 +6,7 @@ use fortrand_analysis::fixtures::{FIG1, FIG4};
 use fortrand_spmd::print::{pretty, pretty_all};
 
 fn compiled(src: &str, strategy: Strategy) -> fortrand::CompileOutput {
-    compile(
-        src,
-        &CompileOptions {
-            strategy,
-            ..Default::default()
-        },
-    )
-    .unwrap()
+    compile(src, &CompileOptions::builder().strategy(strategy).build()).unwrap()
 }
 
 /// Figure 2: compile-time code for F1 — reduced bounds, overlap-widened

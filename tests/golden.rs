@@ -60,10 +60,9 @@ fn fig10_interprocedural_clones_output() {
 fn fig12_immediate_instantiation_output() {
     let out = compile(
         FIG4,
-        &CompileOptions {
-            strategy: Strategy::Immediate,
-            ..Default::default()
-        },
+        &CompileOptions::builder()
+            .strategy(Strategy::Immediate)
+            .build(),
     )
     .unwrap();
     check("fig12.txt", &pretty_all(&out.spmd));

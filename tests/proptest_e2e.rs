@@ -108,12 +108,11 @@ fn check_spec(spec: &Spec, strategy: CompileStrategy) -> Result<(), TestCaseErro
     let seq = run_sequential(&prog, &info, &init);
     let out = compile(
         &src,
-        &CompileOptions {
-            strategy,
-            nprocs: Some(spec.nprocs),
-            dyn_opt: DynOptLevel::Kills,
-            ..Default::default()
-        },
+        &CompileOptions::builder()
+            .strategy(strategy)
+            .nprocs(spec.nprocs)
+            .dyn_opt(DynOptLevel::Kills)
+            .build(),
     )
     .map_err(|e| TestCaseError::fail(format!("compile {strategy:?}: {e}\n{src}")))?;
     let machine = Machine::new(spec.nprocs);

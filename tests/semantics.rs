@@ -32,12 +32,11 @@ fn check(src: &str, strategy: Strategy, nprocs: usize, dyn_opt: DynOptLevel) {
 
     let out = compile(
         src,
-        &CompileOptions {
-            strategy,
-            nprocs: Some(nprocs),
-            dyn_opt,
-            ..Default::default()
-        },
+        &CompileOptions::builder()
+            .strategy(strategy)
+            .nprocs(nprocs)
+            .dyn_opt(dyn_opt)
+            .build(),
     )
     .unwrap_or_else(|e| panic!("{strategy:?}/{nprocs}: compile failed: {e}"));
     let machine = Machine::new(nprocs);
@@ -187,15 +186,8 @@ fn carried_flow_dependence_rejected_with_rtr_fallback() {
       enddo
       END
 ";
-    let err = compile(
-        src,
-        &CompileOptions {
-            nprocs: Some(4),
-            ..Default::default()
-        },
-    )
-    .err()
-    .expect("carried flow dep must be rejected");
+    let err = compile(src, &CompileOptions::builder().nprocs(4).build())
+        .expect_err("carried flow dep must be rejected");
     assert!(format!("{err}").contains("pipelining"), "{err}");
     check(src, Strategy::RuntimeResolution, 4, DynOptLevel::Kills);
 }
@@ -283,15 +275,8 @@ fn alignment_offset_rejected_then_rtr() {
       enddo
       END
 ";
-    let err = compile(
-        src,
-        &CompileOptions {
-            nprocs: Some(2),
-            ..Default::default()
-        },
-    )
-    .err()
-    .expect("offset alignment must be rejected at compile time");
+    let err = compile(src, &CompileOptions::builder().nprocs(2).build())
+        .expect_err("offset alignment must be rejected at compile time");
     assert!(format!("{err}").contains("alignment offset"), "{err}");
     check(src, Strategy::RuntimeResolution, 2, DynOptLevel::Kills);
 }
