@@ -540,6 +540,103 @@ fn main() {
         }
         println!("gate passed");
     }
+    if want("weakscale") {
+        banner("WEAK SCALING — event machine, p=128..4096");
+        let dgefa = fortrand_bench::weakscale_dgefa(&fortrand_bench::SCALE_DGEFA_PROCS);
+        let relax = fortrand_bench::weakscale_relax(&fortrand_bench::SCALE_RELAX_PROCS);
+        println!(
+            "{}",
+            fortrand_bench::render_scale("dgefa n=p (one cyclic column per rank)", &dgefa)
+        );
+        println!(
+            "{}",
+            fortrand_bench::render_scale("relax n=16p (16 block points per rank)", &relax)
+        );
+        if json {
+            let doc = fortrand_bench::scale_report(&dgefa, &relax);
+            std::fs::write("BENCH_scale.json", doc.pretty()).expect("write BENCH_scale.json");
+            println!("wrote BENCH_scale.json");
+        }
+    }
+    if want("scale-gate") {
+        banner("WEAK SCALING — event-machine wall-clock regression gate");
+        let threshold_path = concat!(env!("CARGO_MANIFEST_DIR"), "/scale_threshold.json");
+        let text = std::fs::read_to_string(threshold_path)
+            .unwrap_or_else(|e| panic!("read {threshold_path}: {e}"));
+        let limits = fortrand::json::parse(&text).expect("parse scale_threshold.json");
+        let limit = |key: &str| limits.get(key).and_then(|v| v.as_int()).expect(key) as u64;
+        let dgefa_max_wall = limit("dgefa_p1024_max_wall_ms");
+        let relax_max_wall = limit("relax_p4096_max_wall_ms");
+        let dgefa = fortrand_bench::weakscale_dgefa(&fortrand_bench::SCALE_DGEFA_PROCS);
+        let relax = fortrand_bench::weakscale_relax(&fortrand_bench::SCALE_RELAX_PROCS);
+        println!(
+            "{}",
+            fortrand_bench::render_scale("dgefa n=p (one cyclic column per rank)", &dgefa)
+        );
+        println!(
+            "{}",
+            fortrand_bench::render_scale("relax n=16p (16 block points per rank)", &relax)
+        );
+        let mut failed = false;
+        let d1024 = dgefa
+            .iter()
+            .find(|pt| pt.nprocs == 1024)
+            .expect("dgefa p=1024 point");
+        println!(
+            "dgefa p=1024: wall {} ms              (budget {dgefa_max_wall} ms)",
+            d1024.wall_ms
+        );
+        if d1024.wall_ms > dgefa_max_wall {
+            eprintln!(
+                "GATE FAIL: dgefa p=1024 wall {} ms exceeds budget {dgefa_max_wall} ms",
+                d1024.wall_ms
+            );
+            failed = true;
+        }
+        let r4096 = relax
+            .iter()
+            .find(|pt| pt.nprocs == 4096)
+            .expect("relax p=4096 point");
+        println!(
+            "relax p=4096: wall {} ms              (budget {relax_max_wall} ms)",
+            r4096.wall_ms
+        );
+        if r4096.wall_ms > relax_max_wall {
+            eprintln!(
+                "GATE FAIL: relax p=4096 wall {} ms exceeds budget {relax_max_wall} ms",
+                r4096.wall_ms
+            );
+            failed = true;
+        }
+        // Sanity on the curves themselves: every point must actually
+        // communicate, and the stencil's per-rank traffic must stay flat
+        // (weak scaling: messages grow linearly with p, not faster).
+        for pt in dgefa.iter().chain(&relax) {
+            if pt.msgs == 0 {
+                eprintln!("GATE FAIL: p={} ran without communication", pt.nprocs);
+                failed = true;
+            }
+        }
+        let (r0, rn) = (&relax[0], &relax[relax.len() - 1]);
+        let per_rank0 = r0.msgs as f64 / r0.nprocs as f64;
+        let per_rankn = rn.msgs as f64 / rn.nprocs as f64;
+        if per_rankn > 2.0 * per_rank0 {
+            eprintln!(
+                "GATE FAIL: relax per-rank messages grew {per_rank0:.2} -> {per_rankn:.2} \
+                 (weak scaling must keep them flat)"
+            );
+            failed = true;
+        }
+        if json {
+            let doc = fortrand_bench::scale_report(&dgefa, &relax);
+            std::fs::write("BENCH_scale.json", doc.pretty()).expect("write BENCH_scale.json");
+            println!("wrote BENCH_scale.json");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("gate passed");
+    }
     if want("sec9-check") {
         banner("SEC 9 — dgefa residual check vs sequential");
         let n = 32;

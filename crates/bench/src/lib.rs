@@ -556,6 +556,166 @@ pub fn comm_report(n: i64, procs: &[usize]) -> Json {
     ])
 }
 
+/// One point of a weak-scaling curve under the event-driven machine.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Simulated processor count.
+    pub nprocs: usize,
+    /// Problem size at this point.
+    pub n: i64,
+    /// Simulated LogGP time (µs).
+    pub model_time_us: f64,
+    /// Total simulated messages.
+    pub msgs: u64,
+    /// Total simulated bytes.
+    pub bytes: u64,
+    /// Event-scheduler task dispatches.
+    pub sched_switches: u64,
+    /// Peak undelivered messages across all mailboxes.
+    pub sched_queue_peak: u64,
+    /// Host wall-clock of the simulated run (ms; compile excluded). The
+    /// only nondeterministic field — it is what the scale gate budgets.
+    pub wall_ms: u64,
+}
+
+/// Compiles `src` and runs it once on the event-driven machine.
+fn scale_point(
+    src: &str,
+    n: i64,
+    nprocs: usize,
+    init_named: &BTreeMap<&str, Vec<f64>>,
+) -> ScalePoint {
+    let out = compile(
+        src,
+        &CompileOptions::builder()
+            .strategy(Strategy::Interprocedural)
+            .dyn_opt(DynOptLevel::Kills)
+            .nprocs(nprocs)
+            .build(),
+    )
+    .unwrap_or_else(|e| panic!("compile (p={nprocs}): {e}"));
+    let mut init = BTreeMap::new();
+    for (name, data) in init_named {
+        if let Some(s) = out.spmd.interner.get(name) {
+            init.insert(s, data.clone());
+        }
+    }
+    let machine = Machine::new(nprocs); // event-driven by default
+    let s = run_spmd(&out.spmd, &machine, &init).stats;
+    assert!(
+        s.sched_switches > 0,
+        "scale experiments must run on the event machine"
+    );
+    ScalePoint {
+        nprocs,
+        n,
+        model_time_us: s.time_us,
+        msgs: s.total_msgs,
+        bytes: s.total_bytes,
+        sched_switches: s.sched_switches,
+        sched_queue_peak: s.sched_queue_peak,
+        wall_ms: (s.wall_us / 1000.0) as u64,
+    }
+}
+
+/// Default processor counts for the dgefa weak-scaling curve. dgefa at
+/// n=p keeps one cyclic column per rank, so total simulated work grows
+/// as p³ — the curve stops at 1024 to stay inside CI budgets.
+pub const SCALE_DGEFA_PROCS: [usize; 4] = [128, 256, 512, 1024];
+
+/// Default processor counts for the stencil weak-scaling curve
+/// (constant 16 points per rank, so it reaches 4096 cheaply).
+pub const SCALE_RELAX_PROCS: [usize; 6] = [128, 256, 512, 1024, 2048, 4096];
+
+/// Experiment `weakscale/dgefa`: LU factorization with one cyclic
+/// column per rank (n = p), far past the threaded machine's p=8
+/// ceiling.
+pub fn weakscale_dgefa(procs: &[usize]) -> Vec<ScalePoint> {
+    procs
+        .iter()
+        .map(|&p| {
+            let n = p as i64;
+            let mut init = BTreeMap::new();
+            init.insert("a", dgefa_matrix(n));
+            scale_point(&dgefa_source(n, p), n, p, &init)
+        })
+        .collect()
+}
+
+/// Experiment `weakscale/relax`: the Fig. 1-style relaxation stencil at
+/// a constant 16 points per rank (n = 16·p, BLOCK distributed) — true
+/// weak scaling, two sweeps through a subroutine call per step.
+pub fn weakscale_relax(procs: &[usize]) -> Vec<ScalePoint> {
+    procs
+        .iter()
+        .map(|&p| {
+            let n = 16 * p as i64;
+            scale_point(&relax_source(n, 1, 2, p), n, p, &BTreeMap::new())
+        })
+        .collect()
+}
+
+/// One [`ScalePoint`] as a JSON object (one entry of the
+/// `BENCH_scale.json` artifact; format documented in EXPERIMENTS.md).
+fn scale_json(experiment: &str, pt: &ScalePoint) -> Json {
+    Json::Obj(vec![
+        ("experiment".into(), Json::str(experiment)),
+        ("nprocs".into(), Json::Int(pt.nprocs as i128)),
+        ("n".into(), Json::Int(pt.n as i128)),
+        (
+            "model_time_us".into(),
+            Json::str(format!("{:.3}", pt.model_time_us)),
+        ),
+        ("msgs".into(), Json::Int(pt.msgs as i128)),
+        ("bytes".into(), Json::Int(pt.bytes as i128)),
+        (
+            "sched_switches".into(),
+            Json::Int(pt.sched_switches as i128),
+        ),
+        (
+            "sched_queue_peak".into(),
+            Json::Int(pt.sched_queue_peak as i128),
+        ),
+        ("wall_ms".into(), Json::Int(pt.wall_ms as i128)),
+    ])
+}
+
+/// The `BENCH_scale.json` document: both weak-scaling curves under the
+/// event-driven machine.
+pub fn scale_report(dgefa: &[ScalePoint], relax: &[ScalePoint]) -> Json {
+    let mut experiments = Vec::new();
+    experiments.extend(dgefa.iter().map(|pt| scale_json("dgefa n=p cyclic", pt)));
+    experiments.extend(relax.iter().map(|pt| scale_json("relax n=16p block", pt)));
+    Json::Obj(vec![
+        ("version".into(), Json::Int(1)),
+        ("machine".into(), Json::str("event")),
+        ("experiments".into(), Json::Arr(experiments)),
+    ])
+}
+
+/// Renders a weak-scaling curve as a fixed-width table.
+pub fn render_scale(title: &str, points: &[ScalePoint]) -> String {
+    let mut out = format!("{title}\n{}\n", "-".repeat(title.len()));
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>14} {:>10} {:>12} {:>12} {:>10} {:>9}\n",
+        "p", "n", "model (ms)", "msgs", "bytes", "switches", "queue pk", "wall(ms)"
+    ));
+    for pt in points {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>14.3} {:>10} {:>12} {:>12} {:>10} {:>9}\n",
+            pt.nprocs,
+            pt.n,
+            pt.model_time_us / 1000.0,
+            pt.msgs,
+            pt.bytes,
+            pt.sched_switches,
+            pt.sched_queue_peak,
+            pt.wall_ms
+        ));
+    }
+    out
+}
+
 /// Hand-written SPMD dgefa against the raw machine API — the paper's
 /// hand-coded comparison point, the upper bound the compiler should
 /// approach. One fused broadcast per elimination step (pivot index +

@@ -57,7 +57,9 @@ pub use driver::{
     CompileOptionsBuilder, CompileOutput, CompileReport,
 };
 pub use fortrand_spmd::opt::{CommOpt, OptReport};
-pub use fortrand_spmd::{run_spmd_engine, try_run_spmd, ExecEngine, ExecOptions, RankFailure};
+pub use fortrand_spmd::{
+    run_spmd_engine, try_run_spmd, ExecEngine, ExecOptions, MachineKind, RankFailure,
+};
 pub use fortrand_trace::{
     ChromeTraceSink, JsonLinesSink, MemorySink, Trace, TraceSink, PID_COMPILE, PID_MACHINE,
 };

@@ -210,15 +210,20 @@ impl Compiled {
         self.run_with(init, &ExecOptions::new())
     }
 
-    /// Like [`Compiled::run`], with explicit execution options (engine
-    /// selection). The session's trace handle rides along onto the
-    /// machine, so per-rank message events join the compile timeline.
+    /// Like [`Compiled::run`], with explicit execution options (engine and
+    /// execution-substrate selection — `ExecOptions::machine` picks the
+    /// event scheduler or the thread-per-rank reference). The session's
+    /// trace handle rides along onto the machine, so per-rank message
+    /// events join the compile timeline.
     pub fn run_with(
         &self,
         init: &BTreeMap<Sym, Vec<f64>>,
         opts: &ExecOptions,
     ) -> Result<ExecOutput, Error> {
-        let machine = Machine::new(self.out.spmd.nprocs).with_trace(self.trace.clone());
+        let mut machine = Machine::new(self.out.spmd.nprocs).with_trace(self.trace.clone());
+        if let Some(kind) = opts.machine {
+            machine = machine.with_kind(kind);
+        }
         Ok(try_run_spmd(&self.out.spmd, &machine, init, opts)?)
     }
 

@@ -7,162 +7,298 @@
 //! generation and wakes the rest; results are double-buffered by generation
 //! parity so a fast node entering the *next* collective cannot clobber a
 //! result a slow node has not yet read.
+//!
+//! The accounting core ([`CollCore`]) is machine-agnostic: the threaded
+//! machine wraps it in a `Mutex`/`Condvar` rendezvous
+//! ([`SharedCollectives`]), and the event-driven scheduler
+//! ([`crate::sched`]) drives the same core under its own lock, which is
+//! what keeps collective completion times bit-identical between the two
+//! machines.
 
+use crate::cost::CostModel;
 use crate::node::{Payload, PayloadBuf};
 use std::sync::{Condvar, Mutex};
 
-#[derive(Default)]
-struct CollState {
+/// One rank's input to the current collective. Every variant carries the
+/// contributor's entry clock; completion is computed from the *maximum*
+/// over contributions (and the maximum of the per-rank cost terms), so the
+/// result is independent of arrival order.
+pub(crate) enum Contribution {
+    /// Barrier entry; `sync_cost` is the tree-synchronization charge.
+    Barrier { clock: f64, sync_cost: f64 },
+    /// Broadcast entry; the root passes `Some(payload)` and the binomial
+    /// tree depth in `levels`.
+    Bcast {
+        clock: f64,
+        payload: Option<Payload>,
+        levels: u32,
+    },
+    /// Sum all-reduce entry. `rank` fixes the summation order so the
+    /// floating-point result is independent of arrival order.
+    Sum {
+        clock: f64,
+        rank: usize,
+        value: f64,
+        extra_cost: f64,
+    },
+    /// Maxloc all-reduce entry (dgefa's pivot search).
+    MaxLoc {
+        clock: f64,
+        rank: usize,
+        value: f64,
+        payload: Vec<f64>,
+        extra_cost: f64,
+    },
+}
+
+/// Rendezvous result. `data` is a shared [`Payload`]: every waiter clones
+/// the `Arc`, not the buffer.
+#[derive(Clone, Default)]
+pub(crate) struct CollOut {
+    pub(crate) time: f64,
+    pub(crate) data: Option<Payload>,
+    pub(crate) sum: f64,
+}
+
+/// Machine-agnostic collective accounting: accumulates [`Contribution`]s,
+/// computes the shared [`CollOut`] when the last participant arrives, and
+/// double-buffers results by generation parity.
+pub(crate) struct CollCore {
+    nprocs: usize,
+    cost: CostModel,
     generation: u64,
     arrived: usize,
-    clocks: Vec<f64>,
+    max_clock: f64,
+    extra: f64,
+    levels: u32,
     payload: Option<Payload>,
     payload_clock: f64,
-    sum: f64,
+    addends: Vec<(usize, f64)>,
     best_val: f64,
     best_rank: usize,
     best_payload: Vec<f64>,
     results: [Option<CollOut>; 2],
 }
 
-/// Rendezvous result. `data` is a shared [`Payload`]: every waiter clones
-/// the `Arc`, not the buffer.
-#[derive(Clone, Default)]
-struct CollOut {
-    time: f64,
-    data: Option<Payload>,
-    sum: f64,
+impl CollCore {
+    pub(crate) fn new(nprocs: usize, cost: CostModel) -> Self {
+        CollCore {
+            nprocs,
+            cost,
+            generation: 0,
+            arrived: 0,
+            max_clock: f64::NEG_INFINITY,
+            extra: f64::NEG_INFINITY,
+            levels: 0,
+            payload: None,
+            payload_clock: 0.0,
+            addends: Vec::new(),
+            best_val: f64::NEG_INFINITY,
+            best_rank: usize::MAX,
+            best_payload: Vec::new(),
+            results: [None, None],
+        }
+    }
+
+    /// Current collective generation (increments when one completes).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Folds one rank's contribution in. Returns `true` when this was the
+    /// last participant — the caller must then invoke [`CollCore::finish`].
+    pub(crate) fn contribute(&mut self, c: Contribution) -> bool {
+        match c {
+            Contribution::Barrier { clock, sync_cost } => {
+                self.max_clock = self.max_clock.max(clock);
+                self.extra = self.extra.max(sync_cost);
+            }
+            Contribution::Bcast {
+                clock,
+                payload,
+                levels,
+            } => {
+                self.max_clock = self.max_clock.max(clock);
+                self.levels = levels;
+                if let Some(p) = payload {
+                    self.payload = Some(p);
+                    self.payload_clock = clock;
+                }
+            }
+            Contribution::Sum {
+                clock,
+                rank,
+                value,
+                extra_cost,
+            } => {
+                self.max_clock = self.max_clock.max(clock);
+                self.extra = self.extra.max(extra_cost);
+                self.addends.push((rank, value));
+            }
+            Contribution::MaxLoc {
+                clock,
+                rank,
+                value,
+                payload,
+                extra_cost,
+            } => {
+                self.max_clock = self.max_clock.max(clock);
+                self.extra = self.extra.max(extra_cost);
+                if self.best_rank == usize::MAX
+                    || value > self.best_val
+                    || (value == self.best_val && rank < self.best_rank)
+                {
+                    self.best_val = value;
+                    self.best_rank = rank;
+                    self.best_payload = payload;
+                }
+            }
+        }
+        self.arrived += 1;
+        self.arrived == self.nprocs
+    }
+
+    /// Computes the collective's result, stores it in the parity slot,
+    /// resets the accumulator, and bumps the generation. Call exactly once
+    /// per collective, when [`CollCore::contribute`] returns `true`.
+    pub(crate) fn finish(&mut self) -> CollOut {
+        let out = if self.payload.is_some() {
+            // Broadcast: completion is pinned to the *root's* clock plus
+            // the tree depth, independent of the other entry clocks.
+            let data = self.payload.take().expect("bcast: no root payload");
+            let bytes = (data.len() * 8) as u64;
+            CollOut {
+                time: self.payload_clock + self.levels as f64 * self.cost.send_cost(bytes),
+                data: Some(data),
+                sum: 0.0,
+            }
+        } else if !self.addends.is_empty() {
+            // Sum in rank order: bit-exact regardless of arrival order.
+            self.addends.sort_unstable_by_key(|&(r, _)| r);
+            let sum = self.addends.drain(..).map(|(_, v)| v).sum();
+            CollOut {
+                time: self.max_clock + self.extra,
+                data: None,
+                sum,
+            }
+        } else if self.best_rank != usize::MAX {
+            CollOut {
+                time: self.max_clock + self.extra,
+                data: Some(PayloadBuf::unpooled(std::mem::take(&mut self.best_payload))),
+                sum: self.best_val,
+            }
+        } else {
+            CollOut {
+                time: self.max_clock + self.extra,
+                data: None,
+                sum: 0.0,
+            }
+        };
+        self.results[(self.generation % 2) as usize] = Some(out.clone());
+        self.arrived = 0;
+        self.max_clock = f64::NEG_INFINITY;
+        self.extra = f64::NEG_INFINITY;
+        self.levels = 0;
+        self.payload = None;
+        self.addends.clear();
+        self.best_val = f64::NEG_INFINITY;
+        self.best_rank = usize::MAX;
+        self.best_payload.clear();
+        self.generation += 1;
+        out
+    }
+
+    /// The stored result of generation `gen` (must be one of the two most
+    /// recent completed generations).
+    pub(crate) fn result(&self, gen: u64) -> CollOut {
+        self.results[(gen % 2) as usize]
+            .clone()
+            .expect("collective result missing")
+    }
 }
 
-/// Shared state for all collectives of one machine run.
+/// Shared state for all collectives of one threaded machine run.
 pub struct SharedCollectives {
     nprocs: usize,
-    state: Mutex<CollState>,
+    state: Mutex<CollCore>,
     cv: Condvar,
 }
 
 impl SharedCollectives {
-    /// Creates rendezvous state for `nprocs` participants.
-    pub fn new(nprocs: usize) -> Self {
-        let state = CollState {
-            best_val: f64::NEG_INFINITY,
-            best_rank: usize::MAX,
-            ..CollState::default()
-        };
+    /// Creates rendezvous state for `nprocs` participants under `cost`.
+    pub fn new(nprocs: usize, cost: CostModel) -> Self {
         SharedCollectives {
             nprocs,
-            state: Mutex::new(state),
+            state: Mutex::new(CollCore::new(nprocs, cost)),
             cv: Condvar::new(),
         }
     }
 
-    /// Generic rendezvous: `contribute` runs under the lock for every
-    /// participant; `compute` runs once, when the last participant arrives,
-    /// and produces the shared result.
-    fn rendezvous(
-        &self,
-        contribute: impl FnOnce(&mut CollState),
-        compute: impl FnOnce(&mut CollState) -> CollOut,
-    ) -> CollOut {
+    /// Blocking rendezvous: folds this rank's contribution in, and either
+    /// completes the collective (last arriver) or waits for a peer to.
+    pub(crate) fn rendezvous(&self, c: Contribution) -> CollOut {
         let mut g = self.state.lock().expect("collective lock poisoned");
-        let gen = g.generation;
-        contribute(&mut g);
-        g.arrived += 1;
-        if g.arrived == self.nprocs {
-            let out = compute(&mut g);
-            g.results[(gen % 2) as usize] = Some(out);
-            g.arrived = 0;
-            g.clocks.clear();
-            g.payload = None;
-            g.sum = 0.0;
-            g.best_val = f64::NEG_INFINITY;
-            g.best_rank = usize::MAX;
-            g.best_payload.clear();
-            g.generation += 1;
+        let gen = g.generation();
+        if g.contribute(c) {
+            let out = g.finish();
             self.cv.notify_all();
-        } else {
-            // A bounded wait turns a peer's crash (which would otherwise
-            // strand this thread in the rendezvous forever) into a
-            // diagnosable panic.
-            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-            while g.generation == gen {
-                let now = std::time::Instant::now();
-                if now >= deadline {
-                    panic!("collective timeout: a peer never arrived (crashed rank?)");
-                }
-                let (g2, res) = self
-                    .cv
-                    .wait_timeout(g, deadline - now)
-                    .expect("collective lock poisoned");
-                g = g2;
-                if res.timed_out() && g.generation == gen {
-                    panic!("collective timeout: a peer never arrived (crashed rank?)");
-                }
+            return out;
+        }
+        // A bounded wait turns a peer's crash (which would otherwise
+        // strand this thread in the rendezvous forever) into a
+        // diagnosable panic.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while g.generation() == gen {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                panic!("collective timeout: a peer never arrived (crashed rank?)");
+            }
+            let (g2, res) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .expect("collective lock poisoned");
+            g = g2;
+            if res.timed_out() && g.generation() == gen {
+                panic!("collective timeout: a peer never arrived (crashed rank?)");
             }
         }
-        g.results[(gen % 2) as usize]
-            .clone()
-            .expect("collective result missing")
+        g.result(gen)
     }
 
     /// Barrier: returns the common exit clock
     /// `max(entry clocks) + sync_cost`.
     pub fn barrier(&self, my_clock: f64, sync_cost: f64) -> f64 {
-        let out = self.rendezvous(
-            |g| g.clocks.push(my_clock),
-            |g| CollOut {
-                time: g.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + sync_cost,
-                ..Default::default()
-            },
-        );
-        out.time
+        self.rendezvous(Contribution::Barrier {
+            clock: my_clock,
+            sync_cost,
+        })
+        .time
     }
 
     /// Broadcast: the root passes `Some(data)`; everyone receives
-    /// `(arrival_time, data)` where `arrival_time = finish(root_clock,
-    /// bytes)`. Callers clamp with their own clock. The payload is shared:
-    /// each participant gets a clone of the root's `Arc`.
-    pub fn bcast(
-        &self,
-        my_clock: f64,
-        payload: Option<Payload>,
-        finish: impl FnOnce(f64, u64) -> f64,
-    ) -> (f64, Payload) {
-        let out = self.rendezvous(
-            |g| {
-                if let Some(p) = payload {
-                    g.payload = Some(p);
-                    g.payload_clock = my_clock;
-                }
-                g.clocks.push(my_clock);
-            },
-            |g| {
-                let data = g.payload.take().expect("bcast: no root payload");
-                let bytes = (data.len() * 8) as u64;
-                CollOut {
-                    time: finish(g.payload_clock, bytes),
-                    data: Some(data),
-                    sum: 0.0,
-                }
-            },
-        );
+    /// `(arrival_time, data)` where arrival is the root's entry clock plus
+    /// `levels` tree hops of `α + β·bytes`. Callers clamp with their own
+    /// clock. The payload is shared: each participant gets a clone of the
+    /// root's `Arc`.
+    pub fn bcast(&self, my_clock: f64, payload: Option<Payload>, levels: u32) -> (f64, Payload) {
+        let out = self.rendezvous(Contribution::Bcast {
+            clock: my_clock,
+            payload,
+            levels,
+        });
         (out.time, out.data.expect("bcast result payload"))
     }
 
     /// Sum all-reduce: returns `(completion_time, sum)` where completion is
-    /// `max(entry clocks) + extra_cost`.
-    pub fn allreduce(&self, my_clock: f64, v: f64, extra_cost: f64) -> (f64, f64) {
-        let out = self.rendezvous(
-            |g| {
-                g.clocks.push(my_clock);
-                g.sum += v;
-            },
-            |g| CollOut {
-                time: g.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + extra_cost,
-                data: None,
-                sum: g.sum,
-            },
-        );
+    /// `max(entry clocks) + max(extra_cost)`. The sum is folded in rank
+    /// order, so it is bit-exact regardless of arrival order.
+    pub fn allreduce(&self, my_clock: f64, rank: usize, v: f64, extra_cost: f64) -> (f64, f64) {
+        let out = self.rendezvous(Contribution::Sum {
+            clock: my_clock,
+            rank,
+            value: v,
+            extra_cost,
+        });
         (out.time, out.sum)
     }
 
@@ -176,26 +312,20 @@ impl SharedCollectives {
         payload: Vec<f64>,
         extra_cost: f64,
     ) -> (f64, f64, Vec<f64>) {
-        let out = self.rendezvous(
-            |g| {
-                g.clocks.push(my_clock);
-                if g.best_rank == usize::MAX
-                    || v > g.best_val
-                    || (v == g.best_val && rank < g.best_rank)
-                {
-                    g.best_val = v;
-                    g.best_rank = rank;
-                    g.best_payload = payload;
-                }
-            },
-            |g| CollOut {
-                time: g.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + extra_cost,
-                data: Some(PayloadBuf::unpooled(std::mem::take(&mut g.best_payload))),
-                sum: g.best_val,
-            },
-        );
+        let out = self.rendezvous(Contribution::MaxLoc {
+            clock: my_clock,
+            rank,
+            value: v,
+            payload,
+            extra_cost,
+        });
         let data = out.data.expect("maxloc result payload").to_vec();
         (out.time, out.sum, data)
+    }
+
+    /// Participant count this rendezvous was built for.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
     }
 }
 
@@ -208,7 +338,7 @@ mod tests {
     fn barrier_twice_in_a_row() {
         // Reusability across generations: two consecutive barriers from
         // multiple threads must not hang or cross-talk.
-        let c = Arc::new(SharedCollectives::new(4));
+        let c = Arc::new(SharedCollectives::new(4, CostModel::ipsc860()));
         std::thread::scope(|s| {
             for r in 0..4 {
                 let c = Arc::clone(&c);
@@ -224,7 +354,7 @@ mod tests {
 
     #[test]
     fn maxloc_tie_breaks_low_rank() {
-        let c = Arc::new(SharedCollectives::new(3));
+        let c = Arc::new(SharedCollectives::new(3, CostModel::ipsc860()));
         std::thread::scope(|s| {
             for r in 0..3 {
                 let c = Arc::clone(&c);
@@ -232,6 +362,24 @@ mod tests {
                     let (_, v, p) = c.maxloc(0.0, r, 5.0, vec![r as f64], 0.0);
                     assert_eq!(v, 5.0);
                     assert_eq!(p, vec![0.0]); // rank 0 wins ties
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sum_is_rank_ordered_not_arrival_ordered() {
+        // Values chosen so that summation order changes the rounded
+        // result; every thread must see the rank-order sum.
+        let vals = [1.0e16, 1.0, -1.0e16];
+        let expect: f64 = vals.iter().sum(); // ((1e16 + 1) - 1e16) = 0.0
+        let c = Arc::new(SharedCollectives::new(3, CostModel::ipsc860()));
+        std::thread::scope(|s| {
+            for (r, &v) in vals.iter().enumerate() {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let (_, sum) = c.allreduce(0.0, r, v, 0.0);
+                    assert_eq!(sum.to_bits(), expect.to_bits());
                 });
             }
         });

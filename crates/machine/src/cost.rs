@@ -59,6 +59,128 @@ impl Default for CostModel {
     }
 }
 
+/// Pluggable interconnect topology model.
+///
+/// The [`CostModel`] charges the *sender* `α + β·bytes` regardless of
+/// topology; a `NetworkModel` adds the *in-flight* latency a message pays
+/// before the receiver may consume it, on top of the sender's post-send
+/// clock. The default [`DirectNet`] adds nothing, matching the paper's
+/// iPSC/860 measurements (whose α already folds in the circuit-switched
+/// routing overhead); [`HypercubeNet`] and [`TorusNet`] charge per-link
+/// store-and-forward hops so topology experiments can be layered on the
+/// same α/β parameters.
+pub trait NetworkModel: Send + Sync {
+    /// Short topology name for reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// Extra in-flight latency (µs) for a `bytes`-byte message from `src`
+    /// to `dst`, beyond the sender-side `α + β·bytes` charge. The first
+    /// hop is considered part of α, so single-hop routes cost 0 extra.
+    fn extra_latency_us(&self, src: usize, dst: usize, bytes: u64, cost: &CostModel) -> f64;
+}
+
+/// Fully-connected network: every message arrives at the sender's
+/// post-send clock, exactly as the paper's α/β model assumes. This is the
+/// default and the configuration under which the event-driven and
+/// threaded machines are differentially tested.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DirectNet;
+
+impl NetworkModel for DirectNet {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn extra_latency_us(&self, _src: usize, _dst: usize, _bytes: u64, _cost: &CostModel) -> f64 {
+        0.0
+    }
+}
+
+/// Binary hypercube (the iPSC/860's physical topology): ranks are cube
+/// corners, the route length is the Hamming distance of the rank labels,
+/// and each hop past the first costs `per_hop_us`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HypercubeNet {
+    /// Per-link forwarding cost (µs) for every hop after the first.
+    pub per_hop_us: f64,
+}
+
+impl HypercubeNet {
+    /// A hypercube with the given per-link hop cost.
+    pub fn new(per_hop_us: f64) -> Self {
+        HypercubeNet { per_hop_us }
+    }
+
+    /// Number of links on the route between two ranks (Hamming distance).
+    pub fn hops(src: usize, dst: usize) -> u32 {
+        (src ^ dst).count_ones()
+    }
+}
+
+impl NetworkModel for HypercubeNet {
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+
+    fn extra_latency_us(&self, src: usize, dst: usize, _bytes: u64, _cost: &CostModel) -> f64 {
+        let hops = Self::hops(src, dst);
+        self.per_hop_us * hops.saturating_sub(1) as f64
+    }
+}
+
+/// 2-D torus of `rows × cols` nodes with wraparound links; ranks map
+/// row-major onto the grid and messages take the Manhattan shortest path,
+/// paying `per_hop_us` for every link after the first.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TorusNet {
+    /// Grid height.
+    pub rows: usize,
+    /// Grid width.
+    pub cols: usize,
+    /// Per-link forwarding cost (µs) for every hop after the first.
+    pub per_hop_us: f64,
+}
+
+impl TorusNet {
+    /// A torus with the given shape and per-link hop cost.
+    pub fn new(rows: usize, cols: usize, per_hop_us: f64) -> Self {
+        assert!(rows >= 1 && cols >= 1, "torus needs a non-empty grid");
+        TorusNet {
+            rows,
+            cols,
+            per_hop_us,
+        }
+    }
+
+    /// Wraparound Manhattan distance between two row-major ranks.
+    pub fn hops(&self, src: usize, dst: usize) -> u32 {
+        let ring = |a: usize, b: usize, n: usize| {
+            let d = a.abs_diff(b) % n;
+            d.min(n - d)
+        };
+        let (sr, sc) = (src / self.cols, src % self.cols);
+        let (dr, dc) = (dst / self.cols, dst % self.cols);
+        (ring(sr, dr, self.rows) + ring(sc, dc, self.cols)) as u32
+    }
+}
+
+impl NetworkModel for TorusNet {
+    fn name(&self) -> &'static str {
+        "torus"
+    }
+
+    fn extra_latency_us(&self, src: usize, dst: usize, _bytes: u64, _cost: &CostModel) -> f64 {
+        assert!(
+            src < self.rows * self.cols && dst < self.rows * self.cols,
+            "rank outside the {}x{} torus",
+            self.rows,
+            self.cols
+        );
+        let hops = self.hops(src, dst);
+        self.per_hop_us * hops.saturating_sub(1) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +200,37 @@ mod tests {
         assert_eq!(c.flop_us, 0.0);
         assert_eq!(c.op_us, 0.0);
         assert!(c.alpha_us > 0.0);
+    }
+
+    #[test]
+    fn direct_net_adds_nothing() {
+        let c = CostModel::ipsc860();
+        assert_eq!(DirectNet.extra_latency_us(0, 7, 4096, &c), 0.0);
+    }
+
+    #[test]
+    fn hypercube_hops_are_hamming_distance() {
+        assert_eq!(HypercubeNet::hops(0, 0), 0);
+        assert_eq!(HypercubeNet::hops(0, 1), 1);
+        assert_eq!(HypercubeNet::hops(0, 3), 2);
+        assert_eq!(HypercubeNet::hops(5, 2), 3); // 101 ^ 010 = 111
+        let net = HypercubeNet::new(5.0);
+        let c = CostModel::ipsc860();
+        // Neighbours (1 hop) pay nothing extra; 3 hops pay 2 forwards.
+        assert_eq!(net.extra_latency_us(0, 1, 8, &c), 0.0);
+        assert_eq!(net.extra_latency_us(5, 2, 8, &c), 10.0);
+    }
+
+    #[test]
+    fn torus_wraps_both_axes() {
+        let net = TorusNet::new(4, 4, 2.0);
+        // (0,0) -> (3,3) wraps to 1+1 = 2 hops.
+        assert_eq!(net.hops(0, 15), 2);
+        // (0,0) -> (2,2) has no shortcut: 2+2 = 4 hops.
+        assert_eq!(net.hops(0, 10), 4);
+        let c = CostModel::ipsc860();
+        assert_eq!(net.extra_latency_us(0, 10, 8, &c), 6.0);
+        assert_eq!(net.extra_latency_us(0, 1, 8, &c), 0.0);
+        assert_eq!(net.extra_latency_us(3, 3, 8, &c), 0.0);
     }
 }

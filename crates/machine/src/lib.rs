@@ -21,16 +21,37 @@
 mod collective;
 mod cost;
 mod node;
+mod sched;
 mod stats;
 
 pub use collective::SharedCollectives;
-pub use cost::CostModel;
+pub use cost::{CostModel, DirectNet, HypercubeNet, NetworkModel, TorusNet};
 pub use node::{BufferPool, Msg, Node, Payload, PayloadBuf};
 pub use stats::{size_bucket, NodeStats, RunStats, HIST_BUCKETS, HIST_LABELS};
 
 use fortrand_trace::{Trace, PID_MACHINE};
 use std::sync::mpsc::channel as unbounded;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Which execution substrate simulates the ranks.
+///
+/// Both machines charge identical costs through the same [`Node`] code, so
+/// final arrays, message counts and `time_us` are bit-identical between
+/// them (`tests/machines.rs` enforces this); they differ only in how rank
+/// bodies are interleaved on the host.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// One free-running OS thread per rank over pairwise channels — the
+    /// original substrate, kept as a differential reference. O(p²) channel
+    /// state and real thread contention make it impractical past tens of
+    /// ranks.
+    Threaded,
+    /// Deterministic discrete-event scheduler: ranks are cooperatively
+    /// scheduled tasks advanced by a central virtual-clock event loop
+    /// (see [`sched`]); scales to thousands of ranks.
+    #[default]
+    Event,
+}
 
 /// One simulated processor's body panicked during a [`Machine::try_run`].
 /// Carries the lowest failing rank and that rank's panic message.
@@ -61,28 +82,42 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// A simulated distributed-memory machine with `nprocs` nodes.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Machine {
     /// Number of processors.
     pub nprocs: usize,
     /// Communication/computation cost model.
     pub cost: CostModel,
+    /// Execution substrate (default [`MachineKind::Event`]).
+    pub kind: MachineKind,
+    /// Interconnect topology model (default [`DirectNet`]).
+    net: Arc<dyn NetworkModel>,
     /// Real-time budget a node may block on a receive before the run is
-    /// declared deadlocked (default 30 s; see [`Node::recv`]).
+    /// declared deadlocked (default 30 s; see [`Node::recv`]). Only the
+    /// threaded machine needs it — the event scheduler *detects* deadlock
+    /// instead of timing out.
     deadlock_timeout: std::time::Duration,
     /// Trace handle shared with every node (off by default).
     trace: Trace,
 }
 
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("nprocs", &self.nprocs)
+            .field("cost", &self.cost)
+            .field("kind", &self.kind)
+            .field("net", &self.net.name())
+            .field("deadlock_timeout", &self.deadlock_timeout)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Machine {
-    /// Creates a machine with the default (iPSC/860-flavoured) cost model.
+    /// Creates a machine with the default (iPSC/860-flavoured) cost model
+    /// on the event-driven substrate.
     pub fn new(nprocs: usize) -> Self {
-        Machine {
-            nprocs,
-            cost: CostModel::ipsc860(),
-            deadlock_timeout: node::DEADLOCK_TIMEOUT,
-            trace: Trace::off(),
-        }
+        Self::with_cost(nprocs, CostModel::ipsc860())
     }
 
     /// Creates a machine with an explicit cost model.
@@ -90,14 +125,42 @@ impl Machine {
         Machine {
             nprocs,
             cost,
+            kind: MachineKind::default(),
+            net: Arc::new(DirectNet),
             deadlock_timeout: node::DEADLOCK_TIMEOUT,
             trace: Trace::off(),
         }
     }
 
+    /// [`Machine::new`] on the thread-per-rank substrate — the
+    /// differential reference implementation.
+    pub fn threaded(nprocs: usize) -> Self {
+        Self::new(nprocs).with_kind(MachineKind::Threaded)
+    }
+
+    /// Selects the execution substrate.
+    pub fn with_kind(mut self, kind: MachineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Overrides the interconnect topology model. Messages then become
+    /// available to receivers at the sender's post-send clock *plus* the
+    /// model's route latency; both substrates honor it identically.
+    pub fn with_network(mut self, net: impl NetworkModel + 'static) -> Self {
+        self.net = Arc::new(net);
+        self
+    }
+
+    /// The interconnect topology model in effect.
+    pub fn network(&self) -> &Arc<dyn NetworkModel> {
+        &self.net
+    }
+
     /// Overrides the receive deadlock timeout. Intended for tests that
     /// exercise the deadlock diagnostic without the 30-second stall; the
     /// default is generous because simulation work is microseconds.
+    /// No-op for the event machine, which detects deadlock structurally.
     pub fn with_deadlock_timeout(mut self, timeout: std::time::Duration) -> Self {
         self.deadlock_timeout = timeout;
         self
@@ -132,7 +195,7 @@ impl Machine {
     {
         match self.run_inner(body) {
             Ok(stats) => stats,
-            Err(mut failures) => std::panic::resume_unwind(failures.remove(0).1),
+            Err(mut failures) => std::panic::resume_unwind(failures.remove(0).payload),
         }
     }
 
@@ -144,22 +207,98 @@ impl Machine {
         F: Fn(&mut Node) + Send + Sync,
     {
         self.run_inner(body).map_err(|failures| {
-            let (rank, payload) = &failures[0];
+            let first = &failures[0];
             RankFailure {
-                rank: *rank,
-                message: panic_message(payload.as_ref()),
+                rank: first.rank,
+                message: panic_message(first.payload.as_ref()),
             }
         })
     }
 
+    fn run_inner<F>(&self, body: F) -> Result<RunStats, Vec<Failure>>
+    where
+        F: Fn(&mut Node) + Send + Sync,
+    {
+        assert!(self.nprocs >= 1, "machine needs at least one processor");
+        let wall_t0 = std::time::Instant::now();
+        let pool = BufferPool::new();
+        let result = match self.kind {
+            MachineKind::Threaded => self.run_threaded(&body, &pool),
+            MachineKind::Event => self.run_event(&body, &pool),
+        };
+        match result {
+            Ok((node_stats, sched)) => {
+                let mut stats = RunStats::aggregate(node_stats);
+                if let Some(shared) = sched {
+                    shared.export_counters(&mut stats);
+                }
+                let (reuses, allocs, bytes_reused) = pool.counters();
+                stats.pool_reuses = reuses;
+                stats.pool_allocs = allocs;
+                stats.pool_bytes_reused = bytes_reused;
+                stats.wall_us = wall_t0.elapsed().as_secs_f64() * 1e6;
+                if self.trace.on() {
+                    let t = stats.time_us;
+                    self.trace
+                        .counter(PID_MACHINE, 0, "pool_reuses", t, reuses as f64);
+                    self.trace
+                        .counter(PID_MACHINE, 0, "pool_allocs", t, allocs as f64);
+                    self.trace
+                        .counter(PID_MACHINE, 0, "pool_bytes_reused", t, bytes_reused as f64);
+                    if stats.sched_switches > 0 {
+                        self.trace.counter(
+                            PID_MACHINE,
+                            0,
+                            "sched_switches",
+                            t,
+                            stats.sched_switches as f64,
+                        );
+                        self.trace.counter(
+                            PID_MACHINE,
+                            0,
+                            "sched_msgs",
+                            t,
+                            stats.sched_msgs as f64,
+                        );
+                        self.trace.counter(
+                            PID_MACHINE,
+                            0,
+                            "sched_ready_peak",
+                            t,
+                            stats.sched_ready_peak as f64,
+                        );
+                        self.trace.counter(
+                            PID_MACHINE,
+                            0,
+                            "sched_queue_peak",
+                            t,
+                            stats.sched_queue_peak as f64,
+                        );
+                    }
+                }
+                Ok(stats)
+            }
+            Err(mut failures) => {
+                // Genuine body panics outrank scheduler-induced unwinds
+                // (a peer blocked on a crashed rank), lowest rank first —
+                // so the reported failure is the root cause.
+                failures.sort_by_key(|f| (f.induced, f.rank));
+                Err(failures)
+            }
+        }
+    }
+
+    /// Thread-per-rank substrate: pairwise channels, free-running threads.
     #[allow(clippy::type_complexity)]
-    fn run_inner<F>(&self, body: F) -> Result<RunStats, Vec<(usize, Box<dyn std::any::Any + Send>)>>
+    fn run_threaded<F>(
+        &self,
+        body: &F,
+        pool: &Arc<BufferPool>,
+    ) -> Result<(Vec<NodeStats>, Option<Arc<sched::EventShared>>), Vec<Failure>>
     where
         F: Fn(&mut Node) + Send + Sync,
     {
         let p = self.nprocs;
-        assert!(p >= 1, "machine needs at least one processor");
-        let wall_t0 = std::time::Instant::now();
         // Pairwise FIFO channels: index [src * p + dst].
         let mut senders = Vec::with_capacity(p * p);
         let mut receivers: Vec<Vec<_>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -171,33 +310,28 @@ impl Machine {
             }
         }
         let senders = Arc::new(senders);
-        let collectives = Arc::new(SharedCollectives::new(p));
-        let pool = BufferPool::new();
+        let collectives = Arc::new(SharedCollectives::new(p, self.cost.clone()));
         let mut node_stats: Vec<Option<NodeStats>> = (0..p).map(|_| None).collect();
-        let mut failures: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+        let mut failures: Vec<Failure> = Vec::new();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (rank, my_receivers) in receivers.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
                 let collectives = Arc::clone(&collectives);
-                let pool = Arc::clone(&pool);
+                let pool = Arc::clone(pool);
                 let cost = self.cost.clone();
+                let net = Arc::clone(&self.net);
                 let timeout = self.deadlock_timeout;
                 let trace = self.trace.clone();
-                let body = &body;
                 handles.push(scope.spawn(move || {
-                    let mut node = Node::new(
-                        rank,
-                        p,
-                        cost,
+                    let comm = node::CommBackend::Threaded {
                         senders,
-                        my_receivers,
+                        receivers: my_receivers,
                         collectives,
-                        pool,
-                        timeout,
-                        trace,
-                    );
+                        deadlock_timeout: timeout,
+                    };
+                    let mut node = Node::new(rank, p, cost, net, comm, pool, trace);
                     // Catch here (not at join) so the panic payload is
                     // carried out as a value; `run` re-raises it verbatim.
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
@@ -209,7 +343,11 @@ impl Machine {
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join().expect("machine worker thread died outside body") {
                     Ok(s) => node_stats[rank] = Some(s),
-                    Err(payload) => failures.push((rank, payload)),
+                    Err(payload) => failures.push(Failure {
+                        induced: false,
+                        rank,
+                        payload,
+                    }),
                 }
             }
         });
@@ -217,23 +355,79 @@ impl Machine {
         if !failures.is_empty() {
             return Err(failures);
         }
-        let mut stats = RunStats::aggregate(node_stats.into_iter().map(Option::unwrap).collect());
-        let (reuses, allocs, bytes_reused) = pool.counters();
-        stats.pool_reuses = reuses;
-        stats.pool_allocs = allocs;
-        stats.pool_bytes_reused = bytes_reused;
-        stats.wall_us = wall_t0.elapsed().as_secs_f64() * 1e6;
-        if self.trace.on() {
-            let t = stats.time_us;
-            self.trace
-                .counter(PID_MACHINE, 0, "pool_reuses", t, reuses as f64);
-            self.trace
-                .counter(PID_MACHINE, 0, "pool_allocs", t, allocs as f64);
-            self.trace
-                .counter(PID_MACHINE, 0, "pool_bytes_reused", t, bytes_reused as f64);
-        }
-        Ok(stats)
+        Ok((node_stats.into_iter().map(Option::unwrap).collect(), None))
     }
+
+    /// Event-driven substrate: cooperatively scheduled rank tasks under a
+    /// central deterministic event loop (see [`sched`]).
+    #[allow(clippy::type_complexity)]
+    fn run_event<F>(
+        &self,
+        body: &F,
+        pool: &Arc<BufferPool>,
+    ) -> Result<(Vec<NodeStats>, Option<Arc<sched::EventShared>>), Vec<Failure>>
+    where
+        F: Fn(&mut Node) + Send + Sync,
+    {
+        let p = self.nprocs;
+        let shared = Arc::new(sched::EventShared::new(p, self.cost.clone()));
+        let node_stats: Mutex<Vec<Option<NodeStats>>> = Mutex::new((0..p).map(|_| None).collect());
+        let failures: Mutex<Vec<Failure>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            let carriers = sched::spawn_tasks(scope, p, |rank| {
+                let shared = Arc::clone(&shared);
+                let pool = Arc::clone(pool);
+                let cost = self.cost.clone();
+                let net = Arc::clone(&self.net);
+                let trace = self.trace.clone();
+                let node_stats = &node_stats;
+                let failures = &failures;
+                move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        shared.wait_for_start(rank);
+                        let comm = node::CommBackend::Event(Arc::clone(&shared));
+                        let mut node = Node::new(rank, p, cost, net, comm, pool, trace);
+                        body(&mut node);
+                        node.into_stats()
+                    }));
+                    match result {
+                        Ok(stats) => {
+                            node_stats.lock().expect("stats lock")[rank] = Some(stats);
+                            shared.finish_task(rank, None);
+                        }
+                        Err(payload) => {
+                            let induced = shared.finish_task(rank, Some(payload.as_ref()));
+                            failures.lock().expect("failures lock").push(Failure {
+                                induced,
+                                rank,
+                                payload,
+                            });
+                        }
+                    }
+                }
+            });
+            shared.run_scheduler(carriers);
+        });
+
+        let failures = failures.into_inner().expect("failures lock");
+        if !failures.is_empty() {
+            return Err(failures);
+        }
+        let node_stats = node_stats.into_inner().expect("stats lock");
+        Ok((
+            node_stats.into_iter().map(Option::unwrap).collect(),
+            Some(shared),
+        ))
+    }
+}
+
+/// One rank's panic, tagged with whether the scheduler induced it (a
+/// deadlock-poison unwind) or the body failed on its own.
+struct Failure {
+    induced: bool,
+    rank: usize,
+    payload: Box<dyn std::any::Any + Send>,
 }
 
 #[cfg(test)]

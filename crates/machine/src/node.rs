@@ -1,7 +1,8 @@
 //! Per-processor execution handle.
 
-use crate::collective::SharedCollectives;
-use crate::cost::CostModel;
+use crate::collective::{CollOut, Contribution, SharedCollectives};
+use crate::cost::{CostModel, NetworkModel};
+use crate::sched::EventShared;
 use crate::stats::NodeStats;
 use fortrand_trace::{Trace, PID_MACHINE};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,10 +117,13 @@ impl Drop for PayloadBuf {
     }
 }
 
-/// One simulated message: a tag, a payload of f64 words, and the virtual
-/// time at which it becomes available to the receiver.
+/// One simulated message: a source, a tag, a payload of f64 words, and
+/// the virtual time at which it becomes available to the receiver.
 #[derive(Clone, Debug)]
 pub struct Msg {
+    /// Sending rank. The event machine's per-destination mailboxes
+    /// dispatch on it; the threaded machine's pairwise channels imply it.
+    pub src: usize,
     /// User tag; receives assert on it to catch compiler bugs early.
     pub tag: u64,
     /// Payload (Fortran REALs are simulated as f64 throughout). Shared,
@@ -129,6 +133,23 @@ pub struct Msg {
     pub avail_at_us: f64,
 }
 
+/// How a [`Node`] talks to its peers: free-running threads over pairwise
+/// channels, or cooperatively scheduled tasks over the event scheduler's
+/// mailboxes. All cost accounting lives in [`Node`] itself, outside this
+/// enum — which is what makes the two machines' observables identical by
+/// construction.
+pub(crate) enum CommBackend {
+    Threaded {
+        /// Pairwise FIFO channels, indexed `[src * nprocs + dst]`.
+        senders: Arc<Vec<Sender<Msg>>>,
+        /// This rank's receive ends, indexed by source.
+        receivers: Vec<Receiver<Msg>>,
+        collectives: Arc<SharedCollectives>,
+        deadlock_timeout: Duration,
+    },
+    Event(Arc<EventShared>),
+}
+
 /// Handle given to each node of an SPMD program run under
 /// [`crate::Machine::run`]. Provides message passing, collectives, and
 /// explicit cost charging, all against this node's virtual clock.
@@ -136,13 +157,11 @@ pub struct Node {
     rank: usize,
     nprocs: usize,
     cost: CostModel,
+    net: Arc<dyn NetworkModel>,
     clock_us: f64,
-    senders: Arc<Vec<Sender<Msg>>>,
-    receivers: Vec<Receiver<Msg>>,
-    collectives: Arc<SharedCollectives>,
+    comm: CommBackend,
     pool: Arc<BufferPool>,
     stats: NodeStats,
-    deadlock_timeout: Duration,
     trace: Trace,
 }
 
@@ -152,11 +171,9 @@ impl Node {
         rank: usize,
         nprocs: usize,
         cost: CostModel,
-        senders: Arc<Vec<Sender<Msg>>>,
-        receivers: Vec<Receiver<Msg>>,
-        collectives: Arc<SharedCollectives>,
+        net: Arc<dyn NetworkModel>,
+        comm: CommBackend,
         pool: Arc<BufferPool>,
-        deadlock_timeout: Duration,
         trace: Trace,
     ) -> Self {
         if trace.on() {
@@ -166,14 +183,22 @@ impl Node {
             rank,
             nprocs,
             cost,
+            net,
             clock_us: 0.0,
-            senders,
-            receivers,
-            collectives,
+            comm,
             pool,
             stats: NodeStats::default(),
-            deadlock_timeout,
             trace,
+        }
+    }
+
+    /// Runs this rank's collective contribution through whichever backend
+    /// is in effect; both paths share [`crate::collective::CollCore`], so
+    /// completion times agree bit-for-bit.
+    fn coll(&self, c: Contribution) -> CollOut {
+        match &self.comm {
+            CommBackend::Threaded { collectives, .. } => collectives.rendezvous(c),
+            CommBackend::Event(shared) => shared.collective(self.rank, self.clock_us, c),
         }
     }
 
@@ -273,13 +298,18 @@ impl Node {
             );
         }
         let msg = Msg {
+            src: self.rank,
             tag,
             data: self.pool.wrap(data),
-            avail_at_us: self.clock_us,
+            avail_at_us: self.clock_us
+                + self.net.extra_latency_us(self.rank, dst, bytes, &self.cost),
         };
-        self.senders[self.rank * self.nprocs + dst]
-            .send(msg)
-            .expect("machine channel closed while sending");
+        match &self.comm {
+            CommBackend::Threaded { senders, .. } => senders[self.rank * self.nprocs + dst]
+                .send(msg)
+                .expect("machine channel closed while sending"),
+            CommBackend::Event(shared) => shared.send_msg(dst, msg),
+        }
     }
 
     /// Receives the next message from `src`, asserting its tag. Blocks (in
@@ -303,14 +333,21 @@ impl Node {
     /// buffer is recycled into the pool when the caller drops it.
     pub fn recv_payload(&mut self, src: usize, tag: u64) -> Payload {
         assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
-        let msg = self.receivers[src]
-            .recv_timeout(self.deadlock_timeout)
-            .unwrap_or_else(|_| {
-                panic!(
-                    "deadlock: rank {} waited >{:?} for a message from {} (tag {})",
-                    self.rank, self.deadlock_timeout, src, tag
-                )
-            });
+        let msg = match &self.comm {
+            CommBackend::Threaded {
+                receivers,
+                deadlock_timeout,
+                ..
+            } => receivers[src]
+                .recv_timeout(*deadlock_timeout)
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "deadlock: rank {} waited >{:?} for a message from {} (tag {})",
+                        self.rank, deadlock_timeout, src, tag
+                    )
+                }),
+            CommBackend::Event(shared) => shared.recv_msg(self.rank, src, tag, self.clock_us),
+        };
         assert_eq!(
             msg.tag, tag,
             "tag mismatch on rank {} receiving from {}: expected {}, got {}",
@@ -345,8 +382,11 @@ impl Node {
         let levels = log2_ceil(self.nprocs);
         let t0 = self.clock_us;
         let t = self
-            .collectives
-            .barrier(self.clock_us, self.cost.alpha_us * levels as f64);
+            .coll(Contribution::Barrier {
+                clock: self.clock_us,
+                sync_cost: self.cost.alpha_us * levels as f64,
+            })
+            .time;
         if t > self.clock_us {
             self.stats.wait_us += t - self.clock_us;
         }
@@ -406,11 +446,12 @@ impl Node {
         let payload = data.map(|d| self.pool.wrap(d));
         let levels = log2_ceil(self.nprocs);
         let t0 = self.clock_us;
-        let (t, out) = self
-            .collectives
-            .bcast(self.clock_us, payload, |root_clock, bytes| {
-                root_clock + levels as f64 * self.cost.send_cost(bytes)
-            });
+        let res = self.coll(Contribution::Bcast {
+            clock: self.clock_us,
+            payload,
+            levels,
+        });
+        let (t, out) = (res.time, res.data.expect("bcast result payload"));
         if is_root {
             self.stats
                 .record_msgs((self.nprocs - 1) as u64, (out.len() * 8) as u64, tag);
@@ -452,7 +493,13 @@ impl Node {
         let levels = log2_ceil(self.nprocs);
         let extra = 2.0 * levels as f64 * self.cost.send_cost(8);
         let t0 = self.clock_us;
-        let (t, sum) = self.collectives.allreduce(self.clock_us, v, extra);
+        let res = self.coll(Contribution::Sum {
+            clock: self.clock_us,
+            rank: self.rank,
+            value: v,
+            extra_cost: extra,
+        });
+        let (t, sum) = (res.time, res.sum);
         if self.rank == 0 {
             self.stats
                 .record_msgs(2 * (self.nprocs - 1) as u64, 8, None);
@@ -486,9 +533,18 @@ impl Node {
         let bytes = (payload.len() * 8 + 8) as u64;
         let extra = 2.0 * levels as f64 * self.cost.send_cost(bytes);
         let t0 = self.clock_us;
-        let (t, value, data) =
-            self.collectives
-                .maxloc(self.clock_us, self.rank, v, payload.to_vec(), extra);
+        let res = self.coll(Contribution::MaxLoc {
+            clock: self.clock_us,
+            rank: self.rank,
+            value: v,
+            payload: payload.to_vec(),
+            extra_cost: extra,
+        });
+        let (t, value, data) = (
+            res.time,
+            res.sum,
+            res.data.expect("maxloc result payload").to_vec(),
+        );
         if self.rank == 0 {
             self.stats
                 .record_msgs(2 * (self.nprocs - 1) as u64, bytes, None);

@@ -1,0 +1,440 @@
+//! Deterministic discrete-event scheduler for the event-driven machine.
+//!
+//! Instead of one free-running OS thread per rank racing over channels,
+//! the event machine runs rank bodies as *cooperatively scheduled tasks*:
+//! exactly one task executes at a time, and a central scheduler picks the
+//! next runnable task by least `(virtual ready time, rank)`. Tasks run
+//! until their next communication point — a receive with no matching
+//! message queued, or a collective they are not the last to enter — then
+//! yield back to the scheduler. Message delivery goes through per-rank
+//! mailboxes rather than O(p²) channel pairs, so the machine scales to
+//! thousands of ranks.
+//!
+//! Rank bodies are arbitrary re-entrant Rust closures (the tree walker
+//! and the bytecode VM), so each task needs a real call stack. Tasks are
+//! therefore carried by parked OS threads handing a baton around: at any
+//! instant either the scheduler or exactly one task is running, and
+//! everyone else is parked. The OS never makes a scheduling decision that
+//! matters — order is fixed by the ready queue alone, which is what makes
+//! runs bit-for-bit reproducible (see `tests/machines.rs`).
+//!
+//! Deadlock needs no wall-clock timeout here: if no task is runnable and
+//! some are still blocked, the scheduler *proves* the deadlock, reports
+//! every waiting rank and what it waits for, and poisons the run so all
+//! blocked tasks unwind.
+
+use crate::collective::{CollCore, CollOut, Contribution};
+use crate::node::Msg;
+use crate::stats::RunStats;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::Thread;
+
+/// Stack size for rank task threads. Rank bodies are interpreter loops
+/// with shallow recursion; 2 MiB keeps thousands of ranks affordable.
+const TASK_STACK: usize = 2 << 20;
+
+/// `EvState::current` value meaning "the scheduler holds the baton".
+const SCHED: isize = -1;
+
+/// Why a task is not runnable.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Wait {
+    /// Blocked in `recv` for a message from `src` with `tag`.
+    Recv { src: usize, tag: u64 },
+    /// Blocked in a collective, waiting for the last participant.
+    Coll,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Status {
+    /// In the ready queue (or about to be dispatched for the first time).
+    Ready,
+    /// Holds the baton.
+    Running,
+    /// Parked at a communication point.
+    Blocked(Wait),
+    /// Body returned normally.
+    Done,
+    /// Body panicked.
+    Failed,
+}
+
+struct Task {
+    /// Parked carrier thread; registered right after spawn.
+    thread: Option<Thread>,
+    status: Status,
+    /// Virtual clock at the task's last yield.
+    clock: f64,
+    /// Lazy-deletion stamp: heap entries with a stale epoch are skipped.
+    epoch: u64,
+}
+
+/// Ready-queue key: earliest virtual time first, rank breaking ties, so
+/// the dispatch order is a deterministic function of the simulation state.
+struct ReadyKey {
+    at: f64,
+    rank: usize,
+    epoch: u64,
+}
+
+impl PartialEq for ReadyKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for ReadyKey {}
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then(self.rank.cmp(&other.rank))
+            .then(self.epoch.cmp(&other.epoch))
+    }
+}
+
+struct EvState {
+    /// Baton holder: a rank, or [`SCHED`].
+    current: isize,
+    tasks: Vec<Task>,
+    /// Per-destination message queues; FIFO per (src, dst) pair.
+    mailbox: Vec<VecDeque<Msg>>,
+    ready: BinaryHeap<Reverse<ReadyKey>>,
+    /// Tasks currently in `Ready` state (the heap may hold stale extras).
+    ready_count: usize,
+    coll: CollCore,
+    /// Set when the scheduler proves a deadlock; blocked tasks observe it
+    /// and unwind with the diagnostic.
+    poison: Option<Arc<String>>,
+    /// Tasks not yet Done/Failed.
+    live: usize,
+    /// The scheduler's own thread handle, for handing the baton back.
+    sched: Thread,
+    // Scheduler counters, surfaced as `RunStats::sched_*`.
+    switches: u64,
+    msgs: u64,
+    ready_peak: u64,
+    queued: usize,
+    queue_peak: u64,
+}
+
+/// Shared state of one event-machine run; every [`crate::Node`] of the
+/// run holds an `Arc` to it.
+pub(crate) struct EventShared {
+    nprocs: usize,
+    state: Mutex<EvState>,
+}
+
+impl EventShared {
+    pub(crate) fn new(nprocs: usize, cost: crate::cost::CostModel) -> Self {
+        let tasks = (0..nprocs)
+            .map(|_| Task {
+                thread: None,
+                status: Status::Ready,
+                clock: 0.0,
+                epoch: 0,
+            })
+            .collect();
+        let mut ready = BinaryHeap::with_capacity(nprocs);
+        for rank in 0..nprocs {
+            ready.push(Reverse(ReadyKey {
+                at: 0.0,
+                rank,
+                epoch: 0,
+            }));
+        }
+        EventShared {
+            nprocs,
+            state: Mutex::new(EvState {
+                current: SCHED,
+                tasks,
+                mailbox: (0..nprocs).map(|_| VecDeque::new()).collect(),
+                ready,
+                ready_count: nprocs,
+                coll: CollCore::new(nprocs, cost),
+                poison: None,
+                live: nprocs,
+                sched: std::thread::current(),
+                switches: 0,
+                msgs: 0,
+                ready_peak: nprocs as u64,
+                queued: 0,
+                queue_peak: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EvState> {
+        self.state.lock().expect("event scheduler lock poisoned")
+    }
+
+    /// Marks `rank` runnable at virtual time `at`.
+    fn make_ready(st: &mut EvState, rank: usize, at: f64) {
+        let t = &mut st.tasks[rank];
+        t.status = Status::Ready;
+        t.epoch += 1;
+        let epoch = t.epoch;
+        st.ready.push(Reverse(ReadyKey { at, rank, epoch }));
+        st.ready_count += 1;
+        st.ready_peak = st.ready_peak.max(st.ready_count as u64);
+    }
+
+    /// Hands the baton to the scheduler and wakes it. Consumes the guard:
+    /// the handoff must be the lock's last action.
+    fn yield_to_sched(st: MutexGuard<'_, EvState>) {
+        let mut st = st;
+        st.current = SCHED;
+        let sched = st.sched.clone();
+        drop(st);
+        sched.unpark();
+    }
+
+    /// Parks until this task holds the baton (or the run is poisoned, in
+    /// which case it unwinds with the deadlock diagnostic).
+    fn wait_for_baton(&self, me: usize) -> MutexGuard<'_, EvState> {
+        loop {
+            let st = self.lock();
+            if st.current == me as isize {
+                return st;
+            }
+            if let Some(p) = &st.poison {
+                let diag = String::clone(p);
+                drop(st);
+                panic!("{diag}");
+            }
+            drop(st);
+            std::thread::park();
+        }
+    }
+
+    /// First dispatch: parks until the scheduler hands this task the
+    /// baton for the first time.
+    pub(crate) fn wait_for_start(&self, me: usize) {
+        let st = self.wait_for_baton(me);
+        drop(st);
+    }
+
+    /// Queues `msg` for `dst`, waking `dst` if it is blocked on exactly
+    /// this source. Called by the sending task (which holds the baton).
+    pub(crate) fn send_msg(&self, dst: usize, msg: Msg) {
+        let mut st = self.lock();
+        if let Status::Blocked(Wait::Recv { src, .. }) = st.tasks[dst].status {
+            if src == msg.src {
+                let at = st.tasks[dst].clock.max(msg.avail_at_us);
+                Self::make_ready(&mut st, dst, at);
+            }
+        }
+        st.mailbox[dst].push_back(msg);
+        st.msgs += 1;
+        st.queued += 1;
+        st.queue_peak = st.queue_peak.max(st.queued as u64);
+    }
+
+    /// Takes the next message from `src`, yielding to the scheduler until
+    /// one is queued. Per-(src, dst) FIFO order is preserved because the
+    /// mailbox scan takes the *first* match.
+    pub(crate) fn recv_msg(&self, me: usize, src: usize, tag: u64, my_clock: f64) -> Msg {
+        let mut st = self.lock();
+        loop {
+            if let Some(pos) = st.mailbox[me].iter().position(|m| m.src == src) {
+                let msg = st.mailbox[me].remove(pos).expect("scanned position");
+                st.queued -= 1;
+                return msg;
+            }
+            st.tasks[me].status = Status::Blocked(Wait::Recv { src, tag });
+            st.tasks[me].clock = my_clock;
+            Self::yield_to_sched(st);
+            st = self.wait_for_baton(me);
+        }
+    }
+
+    /// Enters a collective. The last arriver computes the result and
+    /// makes every waiter runnable at `max(result time, its own clock)`;
+    /// earlier arrivers yield and read the stored result on wake.
+    pub(crate) fn collective(&self, me: usize, my_clock: f64, c: Contribution) -> CollOut {
+        let mut st = self.lock();
+        let gen = st.coll.generation();
+        if st.coll.contribute(c) {
+            let out = st.coll.finish();
+            for rank in 0..self.nprocs {
+                if matches!(st.tasks[rank].status, Status::Blocked(Wait::Coll)) {
+                    let at = st.tasks[rank].clock.max(out.time);
+                    Self::make_ready(&mut st, rank, at);
+                }
+            }
+            return out;
+        }
+        st.tasks[me].status = Status::Blocked(Wait::Coll);
+        st.tasks[me].clock = my_clock;
+        Self::yield_to_sched(st);
+        let st = self.wait_for_baton(me);
+        st.coll.result(gen)
+    }
+
+    /// Records the task's terminal state and hands the baton back if this
+    /// task held it. `induced` is true when the panic payload *is* the
+    /// scheduler's own deadlock diagnostic (as opposed to a genuine body
+    /// panic).
+    pub(crate) fn finish_task(
+        &self,
+        me: usize,
+        payload: Option<&(dyn std::any::Any + Send)>,
+    ) -> bool {
+        let mut st = self.lock();
+        let induced = match (payload, &st.poison) {
+            (Some(p), Some(diag)) => p
+                .downcast_ref::<String>()
+                .is_some_and(|s| s == diag.as_ref()),
+            _ => false,
+        };
+        st.tasks[me].status = if payload.is_some() {
+            Status::Failed
+        } else {
+            Status::Done
+        };
+        st.live -= 1;
+        if st.current == me as isize {
+            Self::yield_to_sched(st);
+        }
+        induced
+    }
+
+    /// Registers the carrier threads, then runs the event loop until every
+    /// task is Done or Failed (possibly via deadlock poisoning). Must be
+    /// called from the thread that created this `EventShared`.
+    pub(crate) fn run_scheduler(&self, carriers: Vec<Thread>) {
+        {
+            let mut st = self.lock();
+            for (task, th) in st.tasks.iter_mut().zip(carriers) {
+                task.thread = Some(th);
+            }
+        }
+        loop {
+            // Wait for the baton.
+            let mut st = loop {
+                let st = self.lock();
+                if st.current == SCHED {
+                    break st;
+                }
+                drop(st);
+                std::thread::park();
+            };
+            if st.live == 0 {
+                return;
+            }
+            // Next runnable task: least (ready_at, rank), skipping stale
+            // heap entries.
+            let next = loop {
+                match st.ready.pop() {
+                    Some(Reverse(key)) => {
+                        let t = &st.tasks[key.rank];
+                        if t.epoch == key.epoch && matches!(t.status, Status::Ready) {
+                            break Some(key.rank);
+                        }
+                    }
+                    None => break None,
+                }
+            };
+            match next {
+                Some(rank) => {
+                    st.ready_count -= 1;
+                    st.switches += 1;
+                    st.tasks[rank].status = Status::Running;
+                    st.current = rank as isize;
+                    let th = st.tasks[rank]
+                        .thread
+                        .clone()
+                        .expect("carrier thread registered");
+                    drop(st);
+                    th.unpark();
+                }
+                None => {
+                    // Nothing runnable but tasks remain: a true deadlock.
+                    let diag = deadlock_diag(&st);
+                    st.poison = Some(Arc::new(diag));
+                    let blocked: Vec<Thread> = st
+                        .tasks
+                        .iter()
+                        .filter(|t| matches!(t.status, Status::Blocked(_)))
+                        .filter_map(|t| t.thread.clone())
+                        .collect();
+                    drop(st);
+                    for th in blocked {
+                        th.unpark();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Copies the scheduler counters into `stats`.
+    pub(crate) fn export_counters(&self, stats: &mut RunStats) {
+        let st = self.lock();
+        stats.sched_switches = st.switches;
+        stats.sched_msgs = st.msgs;
+        stats.sched_ready_peak = st.ready_peak;
+        stats.sched_queue_peak = st.queue_peak;
+    }
+}
+
+/// Renders the deadlock diagnostic: one clause per waiting rank, then the
+/// waiting rank set. The per-rank clause matches the threaded machine's
+/// timeout message closely enough that diagnostics stay grep-compatible.
+fn deadlock_diag(st: &EvState) -> String {
+    let mut clauses = Vec::new();
+    let mut waiting = Vec::new();
+    let mut failed = Vec::new();
+    for (rank, task) in st.tasks.iter().enumerate() {
+        match task.status {
+            Status::Blocked(Wait::Recv { src, tag }) => {
+                waiting.push(rank);
+                clauses.push(format!(
+                    "rank {rank} waited for a message from {src} (tag {tag})"
+                ));
+            }
+            Status::Blocked(Wait::Coll) => {
+                waiting.push(rank);
+                clauses.push(format!("rank {rank} waited in a collective"));
+            }
+            Status::Failed => failed.push(rank),
+            _ => {}
+        }
+    }
+    let mut diag = format!(
+        "deadlock: {}; event queue empty with blocked ranks {waiting:?}",
+        clauses.join("; ")
+    );
+    if !failed.is_empty() {
+        diag.push_str(&format!(" (ranks {failed:?} previously panicked)"));
+    }
+    diag
+}
+
+/// Spawns one carrier thread per rank with a task-sized stack.
+pub(crate) fn spawn_tasks<'scope, 'env, F>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    nprocs: usize,
+    mut task: impl FnMut(usize) -> F,
+) -> Vec<Thread>
+where
+    F: FnOnce() + Send + 'scope,
+{
+    let mut carriers = Vec::with_capacity(nprocs);
+    for rank in 0..nprocs {
+        let body = task(rank);
+        let handle = std::thread::Builder::new()
+            .name(format!("ev-rank{rank}"))
+            .stack_size(TASK_STACK)
+            .spawn_scoped(scope, body)
+            .expect("spawn event-machine task");
+        carriers.push(handle.thread().clone());
+    }
+    carriers
+}

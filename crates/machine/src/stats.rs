@@ -98,6 +98,17 @@ pub struct RunStats {
     pub pool_allocs: u64,
     /// Bytes of buffer capacity served from the pool free list.
     pub pool_bytes_reused: u64,
+    /// Event-machine scheduler: task dispatches (baton handoffs). 0 under
+    /// the threaded machine.
+    pub sched_switches: u64,
+    /// Event-machine scheduler: point-to-point messages routed through
+    /// the mailboxes. 0 under the threaded machine.
+    pub sched_msgs: u64,
+    /// Event-machine scheduler: peak simultaneously-runnable ranks.
+    pub sched_ready_peak: u64,
+    /// Event-machine scheduler: peak undelivered messages queued across
+    /// all mailboxes.
+    pub sched_queue_peak: u64,
 }
 
 impl RunStats {

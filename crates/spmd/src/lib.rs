@@ -39,5 +39,6 @@ pub use ir::{
 pub use opt::{optimize, CommOpt, OptReport};
 pub use print::pretty;
 pub use runtime::{
-    run_spmd, run_spmd_engine, try_run_spmd, ExecEngine, ExecOptions, ExecOutput, RankFailure,
+    run_spmd, run_spmd_engine, try_run_spmd, ExecEngine, ExecOptions, ExecOutput, MachineKind,
+    RankFailure,
 };

@@ -12,8 +12,8 @@
 use crate::ir::*;
 use fortrand_ir::dist::ArrayDist;
 use fortrand_ir::Sym;
-pub use fortrand_machine::RankFailure;
 use fortrand_machine::{Machine, Node, RunStats};
+pub use fortrand_machine::{MachineKind, RankFailure};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -66,6 +66,11 @@ pub struct ExecOptions {
     /// Which engine interprets the node program
     /// ([`ExecEngine::Bytecode`] by default).
     pub engine: ExecEngine,
+    /// Execution-substrate override. `None` (the default) respects the
+    /// [`Machine`]'s own kind; `Some(kind)` re-keys the run onto that
+    /// substrate (event-driven scheduler or thread-per-rank). Observables
+    /// are bit-identical either way — this selects host mechanics only.
+    pub machine: Option<MachineKind>,
 }
 
 impl ExecOptions {
@@ -77,6 +82,13 @@ impl ExecOptions {
     /// Selects the execution engine.
     pub fn engine(mut self, engine: ExecEngine) -> ExecOptions {
         self.engine = engine;
+        self
+    }
+
+    /// Forces the run onto the given execution substrate, overriding the
+    /// kind of whatever [`Machine`] is passed in.
+    pub fn machine(mut self, kind: MachineKind) -> ExecOptions {
+        self.machine = Some(kind);
         self
     }
 }
@@ -95,6 +107,14 @@ pub fn try_run_spmd(
         "program compiled for {} procs, machine has {}",
         prog.nprocs, machine.nprocs
     );
+    let rekeyed;
+    let machine = match opts.machine {
+        Some(kind) if kind != machine.kind => {
+            rekeyed = machine.clone().with_kind(kind);
+            &rekeyed
+        }
+        _ => machine,
+    };
     match opts.engine {
         ExecEngine::Tree => crate::interp::run_tree(prog, machine, init),
         ExecEngine::Bytecode => crate::vm::run_bytecode(prog, machine, init),
@@ -241,6 +261,14 @@ impl RowMajor {
             *p = rem / stride + 1;
             rem %= stride;
         }
+    }
+
+    /// Encodes 1-based point coordinates into a flat index.
+    pub fn encode(&self, pt: &[i64]) -> i64 {
+        pt.iter()
+            .zip(&self.strides)
+            .map(|(&x, &s)| (x - 1) * s)
+            .sum()
     }
 }
 
@@ -453,6 +481,9 @@ pub(crate) fn scatter_init_store(
         "initial data size mismatch"
     );
     let replicated = dist.is_replicated();
+    if !replicated && scatter_owned_fast(store, dist, global, &shape, my) {
+        return;
+    }
     let mut pt = vec![1i64; shape.extents.len()];
     for flat in 0..shape.total {
         shape.decode_into(flat, &mut pt);
@@ -468,6 +499,65 @@ pub(crate) fn scatter_init_store(
             if ok {
                 store.set(&local, global[flat as usize]);
             }
+        }
+    }
+}
+
+/// O(local) scatter: iterates only this rank's owned index set, via the
+/// distribution's owned-region triplets, instead of scanning the whole
+/// global array and ownership-testing every point (which costs
+/// O(p · global) aggregate — prohibitive at p ≥ 1024). Returns `false`
+/// when the owned set is not expressible as exact constant triplets
+/// (multi-processor `BLOCK_CYCLIC`), leaving the caller on the full scan.
+fn scatter_owned_fast(
+    store: &mut ArrayStore,
+    dist: &ArrayDist,
+    global: &[f64],
+    shape: &RowMajor,
+    my: usize,
+) -> bool {
+    if dist.dims.iter().any(|dp| !dp.owned_triplet_exact()) {
+        return false;
+    }
+    let rsd = dist.owned_rsd(my);
+    let mut ranges = Vec::with_capacity(rsd.dims.len());
+    for (t, &extent) in rsd.dims.iter().zip(&shape.extents) {
+        let (Some(lo), Some(hi)) = (t.lo.as_const(), t.hi.as_const()) else {
+            return false;
+        };
+        // Alignment offsets can push the owned triplet past the array
+        // bounds; clamp to [1, extent] staying on the stride lattice.
+        let mut lo = lo;
+        if lo < 1 {
+            lo += (1 - lo + t.step - 1) / t.step * t.step;
+        }
+        ranges.push((lo, hi.min(extent), t.step));
+    }
+    if ranges.iter().any(|&(lo, hi, _)| hi < lo) {
+        return true; // owns nothing
+    }
+    let mut pt: Vec<i64> = ranges.iter().map(|&(lo, _, _)| lo).collect();
+    loop {
+        let local = dist.local_of_global(&pt);
+        let ok = local
+            .iter()
+            .zip(&store.bounds)
+            .all(|(&x, &(lo, hi))| x >= lo && x <= hi);
+        if ok {
+            store.set(&local, global[shape.encode(&pt) as usize]);
+        }
+        // Odometer step, rightmost dimension fastest.
+        let mut d = ranges.len();
+        loop {
+            if d == 0 {
+                return true;
+            }
+            d -= 1;
+            pt[d] += ranges[d].2;
+            if pt[d] <= ranges[d].1 {
+                break;
+            }
+            pt[d] = ranges[d].0;
         }
     }
 }
