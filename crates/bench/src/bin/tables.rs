@@ -77,13 +77,28 @@ fn main() {
     }
     if want("passes") {
         banner("PASSES — framework solver statistics per compile");
-        for (label, src, with_matrix) in [
-            ("fig1", FIG1.to_string(), false),
-            ("fig4", FIG4.to_string(), false),
-            ("fig15", FIG15.to_string(), false),
-            ("dgefa n=64 p=4", dgefa_source(64, 4), true),
+        for (label, src, with_matrix, comm_opt) in [
+            ("fig1", FIG1.to_string(), false, fortrand::CommOpt::Full),
+            ("fig4", FIG4.to_string(), false, fortrand::CommOpt::Full),
+            ("fig15", FIG15.to_string(), false, fortrand::CommOpt::Full),
+            (
+                "dgefa n=64 p=4",
+                dgefa_source(64, 4),
+                true,
+                fortrand::CommOpt::Full,
+            ),
+            (
+                "dgefa n=64 p=4 overlap",
+                dgefa_source(64, 4),
+                true,
+                fortrand::CommOpt::Overlap,
+            ),
         ] {
-            let mut out = Session::new(src.as_str()).compile().unwrap().into_output();
+            let mut out = Session::new(src.as_str())
+                .comm_opt(comm_opt)
+                .compile()
+                .unwrap()
+                .into_output();
             // Execution cost rides along with the solver rows: one
             // simulated run per engine, folded into pass_stats.
             let mut init = std::collections::BTreeMap::new();
@@ -430,6 +445,10 @@ fn main() {
             .get("dgefa_n64_p4_full_max_bytes")
             .and_then(|v| v.as_int())
             .expect("dgefa_n64_p4_full_max_bytes") as u64;
+        let min_improve_x100 = limits
+            .get("dgefa_n256_p8_overlap_min_improve_pct_x100")
+            .and_then(|v| v.as_int())
+            .expect("dgefa_n256_p8_overlap_min_improve_pct_x100");
         let n = 64;
         let p = 4;
         let src = dgefa_source(n, p);
@@ -468,6 +487,31 @@ fn main() {
         }
         if full.total_msgs > off.total_msgs || full.total_bytes > off.total_bytes {
             eprintln!("GATE FAIL: full must never exceed off");
+            failed = true;
+        }
+        // Overlap gate, at benchmark scale: splitting operations into
+        // post/wait pairs and pipelining the pivot broadcast must shave a
+        // healthy fraction off the modeled time without touching traffic.
+        let (ov_full, ov) = fortrand_bench::overlap_comparison(256, 8);
+        let pct = fortrand_bench::overlap_improve_pct(&ov_full, &ov);
+        println!(
+            "dgefa n=256 p=8: full {:.1} us, overlap {:.1} us — {pct:.2}% faster              (minimum {:.2}%)",
+            ov_full.time_us,
+            ov.time_us,
+            min_improve_x100 as f64 / 100.0
+        );
+        if ((pct * 100.0) as i128) < min_improve_x100 {
+            eprintln!(
+                "GATE FAIL: overlap improvement {pct:.2}% below threshold {:.2}%",
+                min_improve_x100 as f64 / 100.0
+            );
+            failed = true;
+        }
+        if ov.total_msgs != ov_full.total_msgs || ov.total_bytes != ov_full.total_bytes {
+            eprintln!(
+                "GATE FAIL: overlap changed traffic ({} msgs / {} bytes vs full's {} / {})",
+                ov.total_msgs, ov.total_bytes, ov_full.total_msgs, ov_full.total_bytes
+            );
             failed = true;
         }
         if json {

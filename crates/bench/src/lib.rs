@@ -205,6 +205,17 @@ pub fn exp_dgefa(n: i64, procs: &[usize]) -> Vec<(usize, Vec<Row>)> {
                     ),
                 ),
                 Row::from_stats(
+                    "interproc overlap",
+                    &simulate_comm(
+                        &src,
+                        Strategy::Interprocedural,
+                        DynOptLevel::Kills,
+                        p,
+                        &init,
+                        CommOpt::Overlap,
+                    ),
+                ),
+                Row::from_stats(
                     "immediate",
                     &simulate_with(&src, Strategy::Immediate, DynOptLevel::Kills, p, &init),
                 ),
@@ -334,11 +345,13 @@ pub fn outputs_identical(a: &ExecOutput, b: &ExecOutput) -> bool {
 /// Compiles `src` once, then runs it `reps` times under each engine,
 /// timing each run with host wall-clock and keeping the minimum (the
 /// usual benchmarking guard against scheduler noise).
+#[allow(clippy::too_many_arguments)]
 pub fn engine_experiment(
     label: &str,
     src: &str,
     strategy: Strategy,
     dyn_opt: DynOptLevel,
+    comm_opt: CommOpt,
     nprocs: usize,
     init_named: &BTreeMap<&str, Vec<f64>>,
     reps: usize,
@@ -348,6 +361,7 @@ pub fn engine_experiment(
         &CompileOptions::builder()
             .strategy(strategy)
             .dyn_opt(dyn_opt)
+            .comm_opt(comm_opt)
             .nprocs(nprocs)
             .build(),
     )
@@ -418,8 +432,10 @@ fn timing_json(t: &EngineTiming) -> Json {
 }
 
 /// The experiments behind `BENCH_sim.json`: the dgefa case study at two
-/// scales plus the Fig. 4 delayed-instantiation program (call-heavy, so
-/// it stresses frame push/pop rather than array loops).
+/// scales (the large one both blocking and overlapped, so the engines'
+/// agreement is also checked on posted operations) plus the Fig. 4
+/// delayed-instantiation program (call-heavy, so it stresses frame
+/// push/pop rather than array loops).
 pub fn sim_experiments(reps: usize) -> Vec<EngineTiming> {
     let mut init = BTreeMap::new();
     init.insert("a", dgefa_matrix(64));
@@ -431,6 +447,7 @@ pub fn sim_experiments(reps: usize) -> Vec<EngineTiming> {
             &dgefa_source(64, 4),
             Strategy::Interprocedural,
             DynOptLevel::Kills,
+            CommOpt::Full,
             4,
             &init,
             reps,
@@ -440,6 +457,17 @@ pub fn sim_experiments(reps: usize) -> Vec<EngineTiming> {
             &dgefa_source(256, 8),
             Strategy::Interprocedural,
             DynOptLevel::Kills,
+            CommOpt::Full,
+            8,
+            &init256,
+            reps,
+        ),
+        engine_experiment(
+            "dgefa n=256 p=8 overlap",
+            &dgefa_source(256, 8),
+            Strategy::Interprocedural,
+            DynOptLevel::Kills,
+            CommOpt::Overlap,
             8,
             &init256,
             reps,
@@ -449,6 +477,7 @@ pub fn sim_experiments(reps: usize) -> Vec<EngineTiming> {
             &fig4_source(100, 4),
             Strategy::Interprocedural,
             DynOptLevel::Kills,
+            CommOpt::Full,
             4,
             &BTreeMap::new(),
             reps,
@@ -510,17 +539,78 @@ fn stats_json(experiment: &str, level: CommOpt, s: &RunStats) -> Json {
             "model_time_us".into(),
             Json::str(format!("{:.3}", s.time_us)),
         ),
+        ("overlap_posts".into(), Json::Int(s.overlap_posts as i128)),
+        ("overlap_waits".into(), Json::Int(s.overlap_waits as i128)),
+        (
+            "overlap_hidden_us".into(),
+            Json::str(format!("{:.3}", s.overlap_hidden_us)),
+        ),
         ("msg_size_hist".into(), hist),
         ("msgs_by_tag".into(), by_tag),
+    ])
+}
+
+/// Runs dgefa at `Full` and `Overlap` and returns both stat sets — the
+/// input of the overlap-ratio entry in `BENCH_comm.json` and of the CI
+/// `sec9-gate` improvement check.
+pub fn overlap_comparison(n: i64, p: usize) -> (RunStats, RunStats) {
+    let src = dgefa_source(n, p);
+    let mut init = BTreeMap::new();
+    init.insert("a", dgefa_matrix(n));
+    let run = |level| {
+        simulate_comm(
+            &src,
+            Strategy::Interprocedural,
+            DynOptLevel::Kills,
+            p,
+            &init,
+            level,
+        )
+    };
+    (run(CommOpt::Full), run(CommOpt::Overlap))
+}
+
+/// Percentage of `Full`'s modeled time that `Overlap` shaves off.
+pub fn overlap_improve_pct(full: &RunStats, ov: &RunStats) -> f64 {
+    100.0 * (full.time_us - ov.time_us) / full.time_us
+}
+
+/// The overlap-ratio entry of `BENCH_comm.json` (integer fields are
+/// fixed-point ×100 like the sim report's `speedup_x100`).
+fn overlap_json(experiment: &str, full: &RunStats, ov: &RunStats) -> Json {
+    let pct = overlap_improve_pct(full, ov);
+    Json::Obj(vec![
+        ("experiment".into(), Json::str(experiment)),
+        (
+            "full_time_us".into(),
+            Json::str(format!("{:.3}", full.time_us)),
+        ),
+        (
+            "overlap_time_us".into(),
+            Json::str(format!("{:.3}", ov.time_us)),
+        ),
+        ("improve_pct_x100".into(), Json::Int((pct * 100.0) as i128)),
+        ("improve_pct".into(), Json::str(format!("{pct:.2}"))),
+        (
+            "traffic_identical".into(),
+            Json::Bool(full.total_msgs == ov.total_msgs && full.total_bytes == ov.total_bytes),
+        ),
     ])
 }
 
 /// The `BENCH_comm.json` document: message counts, volumes and model
 /// times for the communication-optimizer experiments — dgefa at each
 /// processor count and the Fig. 4 delayed-instantiation program, each at
-/// every [`CommOpt`] level.
+/// every [`CommOpt`] level — plus the `Overlap`-vs-`Full` modeled-time
+/// ratio at the benchmark scale (dgefa n=256 p=8), the figure CI's
+/// `sec9-gate` enforces.
 pub fn comm_report(n: i64, procs: &[usize]) -> Json {
-    const LEVELS: [CommOpt; 3] = [CommOpt::Off, CommOpt::Coalesce, CommOpt::Full];
+    const LEVELS: [CommOpt; 4] = [
+        CommOpt::Off,
+        CommOpt::Coalesce,
+        CommOpt::Full,
+        CommOpt::Overlap,
+    ];
     let mut experiments = Vec::new();
     for &p in procs {
         let src = dgefa_source(n, p);
@@ -550,9 +640,14 @@ pub fn comm_report(n: i64, procs: &[usize]) -> Json {
         );
         experiments.push(stats_json("fig4 trips=100 p=4", level, &s));
     }
+    let (full, ov) = overlap_comparison(256, 8);
     Json::Obj(vec![
-        ("version".into(), Json::Int(1)),
+        ("version".into(), Json::Int(2)),
         ("experiments".into(), Json::Arr(experiments)),
+        (
+            "overlap".into(),
+            Json::Arr(vec![overlap_json("dgefa n=256 p=8", &full, &ov)]),
+        ),
     ])
 }
 

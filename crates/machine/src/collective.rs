@@ -217,6 +217,115 @@ impl CollCore {
     }
 }
 
+/// One posted (nonblocking) broadcast in flight: its virtual completion
+/// time and the shared payload. Retired once every rank has taken its copy.
+pub(crate) struct PostedEntry {
+    pub(crate) time: f64,
+    pub(crate) data: Payload,
+    reads: usize,
+}
+
+/// Machine-agnostic in-flight table for posted broadcasts.
+///
+/// Unlike the synchronous rendezvous above, a posted broadcast never blocks
+/// the root: completion time depends only on the root's clock at the post
+/// (the same pinning [`CollCore::finish`] applies to synchronous
+/// broadcasts), so the root computes it up front and deposits the payload
+/// here. Entries are keyed by the SPMD-uniform per-rank posted-sequence
+/// number — every rank executes the same posts in the same order, so the
+/// sequence numbers agree across ranks without any rendezvous.
+pub(crate) struct PostedCore {
+    nprocs: usize,
+    map: std::collections::BTreeMap<u64, PostedEntry>,
+}
+
+impl PostedCore {
+    pub(crate) fn new(nprocs: usize) -> Self {
+        PostedCore {
+            nprocs,
+            map: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Root deposits the payload of posted broadcast `seq`, complete at
+    /// virtual time `time`.
+    pub(crate) fn insert(&mut self, seq: u64, time: f64, data: Payload) {
+        let prev = self.map.insert(
+            seq,
+            PostedEntry {
+                time,
+                data,
+                reads: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "posted bcast #{seq} inserted twice");
+    }
+
+    /// One rank takes its copy of posted broadcast `seq`; `None` while the
+    /// root has not deposited it yet. The entry is retired after the
+    /// `nprocs`-th take.
+    pub(crate) fn try_take(&mut self, seq: u64) -> Option<(f64, Payload)> {
+        let e = self.map.get_mut(&seq)?;
+        e.reads += 1;
+        let out = (e.time, e.data.clone());
+        if e.reads >= self.nprocs {
+            self.map.remove(&seq);
+        }
+        Some(out)
+    }
+}
+
+/// Threaded-machine wrapper for [`PostedCore`]: a `Mutex`/`Condvar` pair so
+/// a rank reaching the wait before the root has posted can sleep. The
+/// event-driven scheduler drives the same core under its own lock
+/// ([`crate::sched`]), keeping posted completion times bit-identical
+/// between the two machines.
+pub struct SharedPosted {
+    state: Mutex<PostedCore>,
+    cv: Condvar,
+}
+
+impl SharedPosted {
+    /// Creates the in-flight table for `nprocs` participants.
+    pub fn new(nprocs: usize) -> Self {
+        SharedPosted {
+            state: Mutex::new(PostedCore::new(nprocs)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Root-side deposit (never blocks).
+    pub(crate) fn insert(&self, seq: u64, time: f64, data: Payload) {
+        let mut g = self.state.lock().expect("posted lock poisoned");
+        g.insert(seq, time, data);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until posted broadcast `seq` is available, then takes this
+    /// rank's copy. The bounded wait turns a crashed root into a
+    /// diagnosable panic (mirrors [`SharedCollectives::rendezvous`]).
+    pub(crate) fn wait(&self, seq: u64) -> (f64, Payload) {
+        let mut g = self.state.lock().expect("posted lock poisoned");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if let Some(out) = g.try_take(seq) {
+                return out;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                panic!("posted-bcast timeout: root never posted #{seq} (crashed rank?)");
+            }
+            // On timeout the next iteration re-checks the table and then
+            // hits the deadline panic above if the entry is still absent.
+            let (g2, _res) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .expect("posted lock poisoned");
+            g = g2;
+        }
+    }
+}
+
 /// Shared state for all collectives of one threaded machine run.
 pub struct SharedCollectives {
     nprocs: usize,

@@ -24,7 +24,7 @@ mod node;
 mod sched;
 mod stats;
 
-pub use collective::SharedCollectives;
+pub use collective::{SharedCollectives, SharedPosted};
 pub use cost::{CostModel, DirectNet, HypercubeNet, NetworkModel, TorusNet};
 pub use node::{BufferPool, Msg, Node, Payload, PayloadBuf};
 pub use stats::{size_bucket, NodeStats, RunStats, HIST_BUCKETS, HIST_LABELS};
@@ -311,6 +311,7 @@ impl Machine {
         }
         let senders = Arc::new(senders);
         let collectives = Arc::new(SharedCollectives::new(p, self.cost.clone()));
+        let posted = Arc::new(SharedPosted::new(p));
         let mut node_stats: Vec<Option<NodeStats>> = (0..p).map(|_| None).collect();
         let mut failures: Vec<Failure> = Vec::new();
 
@@ -319,6 +320,7 @@ impl Machine {
             for (rank, my_receivers) in receivers.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
                 let collectives = Arc::clone(&collectives);
+                let posted = Arc::clone(&posted);
                 let pool = Arc::clone(pool);
                 let cost = self.cost.clone();
                 let net = Arc::clone(&self.net);
@@ -329,6 +331,7 @@ impl Machine {
                         senders,
                         receivers: my_receivers,
                         collectives,
+                        posted,
                         deadlock_timeout: timeout,
                     };
                     let mut node = Node::new(rank, p, cost, net, comm, pool, trace);

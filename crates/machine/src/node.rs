@@ -1,6 +1,6 @@
 //! Per-processor execution handle.
 
-use crate::collective::{CollOut, Contribution, SharedCollectives};
+use crate::collective::{CollOut, Contribution, SharedCollectives, SharedPosted};
 use crate::cost::{CostModel, NetworkModel};
 use crate::sched::EventShared;
 use crate::stats::NodeStats;
@@ -145,6 +145,7 @@ pub(crate) enum CommBackend {
         /// This rank's receive ends, indexed by source.
         receivers: Vec<Receiver<Msg>>,
         collectives: Arc<SharedCollectives>,
+        posted: Arc<SharedPosted>,
         deadlock_timeout: Duration,
     },
     Event(Arc<EventShared>),
@@ -163,6 +164,11 @@ pub struct Node {
     pool: Arc<BufferPool>,
     stats: NodeStats,
     trace: Trace,
+    /// Posted-broadcast sequence counter. Every rank executes the same
+    /// posts in the same order (the overlap optimizer only emits them
+    /// under replicated guards), so these agree across ranks and key the
+    /// shared in-flight table without a rendezvous.
+    posted_seq: u64,
 }
 
 impl Node {
@@ -189,6 +195,7 @@ impl Node {
             pool,
             stats: NodeStats::default(),
             trace,
+            posted_seq: 0,
         }
     }
 
@@ -565,6 +572,194 @@ impl Node {
             );
         }
         (value, data)
+    }
+
+    /// Nonblocking send (overlap comm level): the payload leaves now, but
+    /// the sender is charged only the message startup α — the per-byte
+    /// transfer overlaps with subsequent compute. The message's
+    /// availability time at the receiver is identical to a blocking
+    /// [`Node::send_buf`] issued at the same point, so the receiver cannot
+    /// observe the difference; only the sender's stall shrinks.
+    pub fn post_send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        assert_ne!(dst, self.rank, "self-send: rank {dst}");
+        let bytes = (data.len() * 8) as u64;
+        let full = self.cost.send_cost(bytes);
+        let t0 = self.clock_us;
+        self.clock_us += self.cost.alpha_us;
+        self.stats.record_msgs(1, bytes, Some(tag));
+        self.stats.overlap_posts += 1;
+        self.stats.overlap_hidden_us += full - self.cost.alpha_us;
+        if self.trace.on() {
+            self.trace.complete(
+                PID_MACHINE,
+                self.rank as u32,
+                "msg",
+                "post_send",
+                t0,
+                self.clock_us - t0,
+                vec![
+                    ("dst", (dst as i64).into()),
+                    ("tag", (tag as i64).into()),
+                    ("bytes", (bytes as i64).into()),
+                ],
+            );
+        }
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            data: self.pool.wrap(data),
+            avail_at_us: t0 + full + self.net.extra_latency_us(self.rank, dst, bytes, &self.cost),
+        };
+        match &self.comm {
+            CommBackend::Threaded { senders, .. } => senders[self.rank * self.nprocs + dst]
+                .send(msg)
+                .expect("machine channel closed while sending"),
+            CommBackend::Event(shared) => shared.send_msg(dst, msg),
+        }
+    }
+
+    /// Completion point of a [`Node::post_send`]. The payload was captured
+    /// and shipped at the post, so this is pure bookkeeping.
+    pub fn wait_send(&mut self) {
+        self.stats.overlap_waits += 1;
+        if self.trace.on() {
+            self.trace.instant(
+                PID_MACHINE,
+                self.rank as u32,
+                "msg",
+                "wait_send",
+                self.clock_us,
+                Vec::new(),
+            );
+        }
+    }
+
+    /// Bookkeeping for a nonblocking receive post. The receive itself
+    /// costs nothing until its wait; posting just records the intent (the
+    /// engine captures the matched source/tag at the post point).
+    pub fn post_recv(&mut self, src: usize, tag: u64) {
+        self.stats.overlap_posts += 1;
+        if self.trace.on() {
+            self.trace.instant(
+                PID_MACHINE,
+                self.rank as u32,
+                "msg",
+                "post_recv",
+                self.clock_us,
+                vec![("src", (src as i64).into()), ("tag", (tag as i64).into())],
+            );
+        }
+    }
+
+    /// Completion point of a posted receive: identical to
+    /// [`Node::recv_payload`] except for the overlap accounting.
+    pub fn wait_recv(&mut self, src: usize, tag: u64) -> Payload {
+        self.stats.overlap_waits += 1;
+        self.recv_payload(src, tag)
+    }
+
+    /// Nonblocking broadcast post (overlap comm level). The root gathers
+    /// the payload now, is charged the startup α, and deposits the payload
+    /// in the in-flight table with the same completion time a blocking
+    /// [`Node::bcast_payload`] issued here would have pinned
+    /// (`root clock + ⌈log₂ P⌉·(α + β·bytes)` — blocking broadcasts pin
+    /// completion to the root's entry clock alone, which is exactly what
+    /// lets posted ones skip the rendezvous). Non-roots only advance their
+    /// posted-sequence counter. Returns the sequence number the matching
+    /// [`Node::wait_bcast`] must pass back.
+    pub fn post_bcast(&mut self, root: usize, data: Option<Vec<f64>>, tag: Option<u64>) -> u64 {
+        assert!(root < self.nprocs);
+        let seq = self.posted_seq;
+        self.posted_seq += 1;
+        self.stats.overlap_posts += 1;
+        let is_root = self.rank == root;
+        let t0 = self.clock_us;
+        if is_root {
+            let data = data.expect("post_bcast: no root payload");
+            let bytes = (data.len() * 8) as u64;
+            let levels = log2_ceil(self.nprocs);
+            // Blocking broadcasts at P == 1 short-circuit without charges
+            // or attributed messages; posted ones mirror that exactly.
+            let completion = if self.nprocs > 1 {
+                self.clock_us += self.cost.alpha_us;
+                self.stats.record_msgs((self.nprocs - 1) as u64, bytes, tag);
+                t0 + levels as f64 * self.cost.send_cost(bytes)
+            } else {
+                t0
+            };
+            let payload = self.pool.wrap(data);
+            match &self.comm {
+                CommBackend::Threaded { posted, .. } => posted.insert(seq, completion, payload),
+                CommBackend::Event(shared) => shared.post_insert(seq, completion, payload),
+            }
+            if self.trace.on() {
+                let mut args: fortrand_trace::Args = vec![
+                    ("root", (root as i64).into()),
+                    ("seq", (seq as i64).into()),
+                    ("bytes", (bytes as i64).into()),
+                ];
+                if let Some(tag) = tag {
+                    args.push(("tag", (tag as i64).into()));
+                }
+                self.trace.complete(
+                    PID_MACHINE,
+                    self.rank as u32,
+                    "coll",
+                    "post_bcast",
+                    t0,
+                    self.clock_us - t0,
+                    args,
+                );
+            }
+        } else if self.trace.on() {
+            self.trace.instant(
+                PID_MACHINE,
+                self.rank as u32,
+                "coll",
+                "post_bcast",
+                t0,
+                vec![("root", (root as i64).into()), ("seq", (seq as i64).into())],
+            );
+        }
+        seq
+    }
+
+    /// Completion point of a [`Node::post_bcast`]: blocks until the posted
+    /// payload is available, advances the clock to
+    /// `max(own clock, completion)`, and credits the latency that compute
+    /// since `posted_at` hid. Every rank — root included — takes its copy
+    /// here.
+    pub fn wait_bcast(&mut self, seq: u64, posted_at: f64) -> Payload {
+        self.stats.overlap_waits += 1;
+        let (time, data) = match &self.comm {
+            CommBackend::Threaded { posted, .. } => posted.wait(seq),
+            CommBackend::Event(shared) => shared.posted_wait(self.rank, seq, self.clock_us),
+        };
+        let t0 = self.clock_us;
+        // Latency hidden: the part of the in-flight window covered by this
+        // rank's compute since the post (a blocking broadcast would have
+        // stalled it at the post point instead).
+        self.stats.overlap_hidden_us += (self.clock_us.min(time) - posted_at).max(0.0);
+        if time > self.clock_us {
+            self.stats.wait_us += time - self.clock_us;
+            self.clock_us = time;
+        }
+        if self.trace.on() {
+            self.trace.complete(
+                PID_MACHINE,
+                self.rank as u32,
+                "coll",
+                "wait_bcast",
+                t0,
+                self.clock_us - t0,
+                vec![
+                    ("seq", (seq as i64).into()),
+                    ("bytes", ((data.len() * 8) as i64).into()),
+                ],
+            );
+        }
+        data
     }
 
     /// Final per-node statistics (consumes the node at the end of a run).

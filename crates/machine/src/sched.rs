@@ -23,8 +23,8 @@
 //! every waiting rank and what it waits for, and poisons the run so all
 //! blocked tasks unwind.
 
-use crate::collective::{CollCore, CollOut, Contribution};
-use crate::node::Msg;
+use crate::collective::{CollCore, CollOut, Contribution, PostedCore};
+use crate::node::{Msg, Payload};
 use crate::stats::RunStats;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -45,6 +45,9 @@ pub(crate) enum Wait {
     Recv { src: usize, tag: u64 },
     /// Blocked in a collective, waiting for the last participant.
     Coll,
+    /// Blocked waiting for posted broadcast `seq` (the root has not
+    /// deposited it yet).
+    Posted { seq: u64 },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -109,6 +112,8 @@ struct EvState {
     /// Tasks currently in `Ready` state (the heap may hold stale extras).
     ready_count: usize,
     coll: CollCore,
+    /// In-flight posted broadcasts (overlap comm level).
+    posted: PostedCore,
     /// Set when the scheduler proves a deadlock; blocked tasks observe it
     /// and unwind with the diagnostic.
     poison: Option<Arc<String>>,
@@ -158,6 +163,7 @@ impl EventShared {
                 ready,
                 ready_count: nprocs,
                 coll: CollCore::new(nprocs, cost),
+                posted: PostedCore::new(nprocs),
                 poison: None,
                 live: nprocs,
                 sched: std::thread::current(),
@@ -275,6 +281,37 @@ impl EventShared {
         Self::yield_to_sched(st);
         let st = self.wait_for_baton(me);
         st.coll.result(gen)
+    }
+
+    /// Root-side deposit of posted broadcast `seq`, complete at virtual
+    /// time `time`. Wakes any rank already blocked on it (runnable at
+    /// `max(completion, its own clock)`). Called by the posting task,
+    /// which holds the baton and never blocks here.
+    pub(crate) fn post_insert(&self, seq: u64, time: f64, data: Payload) {
+        let mut st = self.lock();
+        st.posted.insert(seq, time, data);
+        for rank in 0..self.nprocs {
+            if matches!(st.tasks[rank].status, Status::Blocked(Wait::Posted { seq: s }) if s == seq)
+            {
+                let at = st.tasks[rank].clock.max(time);
+                Self::make_ready(&mut st, rank, at);
+            }
+        }
+    }
+
+    /// Takes this rank's copy of posted broadcast `seq`, yielding to the
+    /// scheduler until the root deposits it.
+    pub(crate) fn posted_wait(&self, me: usize, seq: u64, my_clock: f64) -> (f64, Payload) {
+        let mut st = self.lock();
+        loop {
+            if let Some(out) = st.posted.try_take(seq) {
+                return out;
+            }
+            st.tasks[me].status = Status::Blocked(Wait::Posted { seq });
+            st.tasks[me].clock = my_clock;
+            Self::yield_to_sched(st);
+            st = self.wait_for_baton(me);
+        }
     }
 
     /// Records the task's terminal state and hands the baton back if this
@@ -402,6 +439,12 @@ fn deadlock_diag(st: &EvState) -> String {
             Status::Blocked(Wait::Coll) => {
                 waiting.push(rank);
                 clauses.push(format!("rank {rank} waited in a collective"));
+            }
+            Status::Blocked(Wait::Posted { seq }) => {
+                waiting.push(rank);
+                clauses.push(format!(
+                    "rank {rank} waited for posted broadcast #{seq} (never posted)"
+                ));
             }
             Status::Failed => failed.push(rank),
             _ => {}

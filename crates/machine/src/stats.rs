@@ -45,6 +45,14 @@ pub struct NodeStats {
     /// sends always record under their tag; collectives only when the
     /// caller supplies one ([`crate::Node::bcast_tagged`]).
     pub msgs_by_tag: BTreeMap<u64, (u64, u64)>,
+    /// Nonblocking operations posted by this node (sends + broadcasts).
+    pub overlap_posts: u64,
+    /// Completion waits executed by this node.
+    pub overlap_waits: u64,
+    /// µs of communication latency overlapped with compute: time the
+    /// matching *blocking* operation would have stalled this node beyond
+    /// what the posted form did.
+    pub overlap_hidden_us: f64,
 }
 
 impl NodeStats {
@@ -81,6 +89,13 @@ pub struct RunStats {
     pub msg_hist: [u64; HIST_BUCKETS],
     /// `(messages, bytes)` per tag summed across nodes.
     pub msgs_by_tag: BTreeMap<u64, (u64, u64)>,
+    /// Nonblocking operations posted, summed across nodes.
+    pub overlap_posts: u64,
+    /// Completion waits executed, summed across nodes.
+    pub overlap_waits: u64,
+    /// µs of communication latency hidden behind compute, summed across
+    /// nodes (see [`NodeStats::overlap_hidden_us`]).
+    pub overlap_hidden_us: f64,
     /// Per-node detail.
     pub per_node: Vec<NodeStats>,
     /// Real (host) wall-clock time of `Machine::run`, in µs. Unlike the
@@ -133,6 +148,9 @@ impl RunStats {
                 e.0 += m;
                 e.1 += by;
             }
+            s.overlap_posts += n.overlap_posts;
+            s.overlap_waits += n.overlap_waits;
+            s.overlap_hidden_us += n.overlap_hidden_us;
         }
         s
     }

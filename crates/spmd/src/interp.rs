@@ -66,6 +66,21 @@ struct Exec<'a> {
     pending_flops: u64,
     pending_ops: u64,
     main_arrays: Vec<usize>,
+    /// Posted-receive handle slots (overlap comm level): `(src, tag)`
+    /// captured at the post, consumed by the matching wait.
+    posted_recv: Vec<Option<(usize, u64)>>,
+    /// Posted-broadcast handle slots: `(sequence number, clock at post)`.
+    posted_bcast: Vec<Option<(u64, f64)>>,
+}
+
+/// Grow-on-demand handle slot access (handles are dense small integers
+/// assigned program-wide by the overlap pass).
+pub(crate) fn slot<T>(v: &mut Vec<Option<T>>, h: u32) -> &mut Option<T> {
+    let h = h as usize;
+    if v.len() <= h {
+        v.resize_with(h + 1, || None);
+    }
+    &mut v[h]
 }
 
 impl<'a> Exec<'a> {
@@ -79,6 +94,8 @@ impl<'a> Exec<'a> {
             pending_flops: 0,
             pending_ops: 0,
             main_arrays: Vec::new(),
+            posted_recv: Vec::new(),
+            posted_bcast: Vec::new(),
         }
     }
 
@@ -304,6 +321,143 @@ impl<'a> Exec<'a> {
                 self.flush_charges();
                 let data = self.node.recv(src as usize, *tag);
                 self.assign(lhs, Value::R(data[0]));
+                Flow::Normal
+            }
+            SStmt::PostSend {
+                handle: _,
+                to,
+                tag,
+                array,
+                section,
+            } => {
+                let dst = self.eval(to).as_i();
+                assert!(dst >= 0, "negative send destination");
+                let data = self.gather_section(*array, section);
+                self.flush_charges();
+                self.node.post_send(dst as usize, *tag, data);
+                Flow::Normal
+            }
+            SStmt::WaitSend { handle: _ } => {
+                // The payload left at the post; completion is bookkeeping.
+                self.flush_charges();
+                self.node.wait_send();
+                Flow::Normal
+            }
+            SStmt::PostRecv { handle, from, tag } => {
+                let src = self.eval(from).as_i();
+                assert!(src >= 0, "negative recv source");
+                self.flush_charges();
+                self.node.post_recv(src as usize, *tag);
+                *slot(&mut self.posted_recv, *handle) = Some((src as usize, *tag));
+                Flow::Normal
+            }
+            SStmt::WaitRecv {
+                handle,
+                array,
+                section,
+            } => {
+                let (src, tag) = slot(&mut self.posted_recv, *handle)
+                    .take()
+                    .expect("wait_recv without matching post");
+                self.flush_charges();
+                let data = self.node.wait_recv(src, tag);
+                self.scatter_section(*array, section, &data);
+                Flow::Normal
+            }
+            SStmt::PostBcast {
+                handle,
+                root,
+                src_array,
+                src_section,
+            } => {
+                let root = self.eval(root).as_i() as usize;
+                let is_root = self.node.rank() == root;
+                let data = if is_root {
+                    Some(self.gather_section(*src_array, src_section))
+                } else {
+                    None
+                };
+                self.flush_charges();
+                let seq = self.node.post_bcast(root, data, Some(TAG_BCAST));
+                *slot(&mut self.posted_bcast, *handle) = Some((seq, self.node.clock()));
+                Flow::Normal
+            }
+            SStmt::WaitBcast {
+                handle,
+                dst_array,
+                dst_section,
+            } => {
+                let (seq, posted_at) = slot(&mut self.posted_bcast, *handle)
+                    .take()
+                    .expect("wait_bcast without matching post");
+                self.flush_charges();
+                let out = self.node.wait_bcast(seq, posted_at);
+                self.scatter_section(*dst_array, dst_section, &out);
+                Flow::Normal
+            }
+            SStmt::PostBcastPack {
+                handle,
+                root,
+                parts,
+            } => {
+                let root = self.eval(root).as_i() as usize;
+                let is_root = self.node.rank() == root;
+                let data = if is_root {
+                    let mut buf = self.node.acquire_buf();
+                    for p in parts {
+                        match p {
+                            BcastPart::Section {
+                                src_array,
+                                src_section,
+                                ..
+                            } => {
+                                let part = self.gather_section(*src_array, src_section);
+                                buf.extend_from_slice(&part);
+                            }
+                            BcastPart::Scalar(v) => buf.push(
+                                self.frame()
+                                    .scalars
+                                    .get(v)
+                                    .copied()
+                                    .map(|v| v.as_r())
+                                    .unwrap_or(0.0),
+                            ),
+                        }
+                    }
+                    Some(buf)
+                } else {
+                    None
+                };
+                self.flush_charges();
+                let seq = self.node.post_bcast(root, data, Some(TAG_BCAST_PACK));
+                *slot(&mut self.posted_bcast, *handle) = Some((seq, self.node.clock()));
+                Flow::Normal
+            }
+            SStmt::WaitBcastPack { handle, parts } => {
+                let (seq, posted_at) = slot(&mut self.posted_bcast, *handle)
+                    .take()
+                    .expect("wait_bcast without matching post");
+                self.flush_charges();
+                let out = self.node.wait_bcast(seq, posted_at);
+                let mut off = 0usize;
+                for p in parts {
+                    match p {
+                        BcastPart::Section {
+                            dst_array,
+                            dst_section,
+                            ..
+                        } => {
+                            let n = self.rect_points(dst_section).len();
+                            self.scatter_section(*dst_array, dst_section, &out[off..off + n]);
+                            off += n;
+                        }
+                        BcastPart::Scalar(v) => {
+                            let val = scalar_from_wire(out[off]);
+                            self.frames.last_mut().unwrap().scalars.insert(*v, val);
+                            off += 1;
+                        }
+                    }
+                }
                 Flow::Normal
             }
             SStmt::Bcast {

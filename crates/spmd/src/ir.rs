@@ -411,6 +411,98 @@ pub enum SStmt {
         /// Constituent broadcasts, packed in order.
         parts: Vec<BcastPart>,
     },
+    /// Nonblocking half of [`SStmt::Send`]: gathers `array[section]` and
+    /// posts the message immediately (the sender is charged the message
+    /// startup α only; the per-byte cost overlaps with subsequent compute).
+    /// Produced by the `overlap` communication-optimizer level; every
+    /// `PostSend` is paired with exactly one later [`SStmt::WaitSend`] with
+    /// the same handle, and at most one post per handle is outstanding.
+    PostSend {
+        /// Static handle pairing this post with its wait.
+        handle: u32,
+        /// Destination rank.
+        to: SExpr,
+        /// Message tag.
+        tag: u64,
+        /// Source array.
+        array: Sym,
+        /// Section (local index space).
+        section: SRect,
+    },
+    /// Completion point of a [`SStmt::PostSend`]. The payload was captured
+    /// at the post, so this is pure bookkeeping (frees the handle).
+    WaitSend {
+        /// Handle of the matching post.
+        handle: u32,
+    },
+    /// Nonblocking half of [`SStmt::Recv`]: records the (rank, tag) to
+    /// match, evaluated at the post point. The message is consumed at the
+    /// matching [`SStmt::WaitRecv`].
+    PostRecv {
+        /// Static handle pairing this post with its wait.
+        handle: u32,
+        /// Source rank.
+        from: SExpr,
+        /// Message tag.
+        tag: u64,
+    },
+    /// Completion point of a [`SStmt::PostRecv`]: blocks until the posted
+    /// message is available and scatters it into `array[section]`.
+    WaitRecv {
+        /// Handle of the matching post.
+        handle: u32,
+        /// Destination array.
+        array: Sym,
+        /// Section (local index space).
+        section: SRect,
+    },
+    /// Nonblocking half of [`SStmt::Bcast`]: the root gathers
+    /// `src_array[src_section]` and posts the broadcast (charged α on the
+    /// root; the tree latency overlaps with compute on every rank). The
+    /// matching [`SStmt::WaitBcast`] scatters on all ranks. Executed by
+    /// every rank (the post advances each rank's collective sequence
+    /// number), so the optimizer only emits it under replicated guards.
+    PostBcast {
+        /// Static handle pairing this post with its wait.
+        handle: u32,
+        /// Root rank.
+        root: SExpr,
+        /// Source array (root side).
+        src_array: Sym,
+        /// Source section, local index space of the root.
+        src_section: SRect,
+    },
+    /// Completion point of a [`SStmt::PostBcast`]: every rank blocks until
+    /// the posted payload is complete, then scatters it into
+    /// `dst_array[dst_section]`.
+    WaitBcast {
+        /// Handle of the matching post.
+        handle: u32,
+        /// Destination array (all ranks).
+        dst_array: Sym,
+        /// Destination section.
+        dst_section: SRect,
+    },
+    /// Nonblocking half of [`SStmt::BcastPack`]: the root packs every
+    /// part's source payload and posts one message. `parts` is shared with
+    /// the matching wait (the post reads the `src_*` fields only).
+    PostBcastPack {
+        /// Static handle pairing this post with its wait.
+        handle: u32,
+        /// Root rank (shared by every part).
+        root: SExpr,
+        /// Constituent broadcasts, packed in order.
+        parts: Vec<BcastPart>,
+    },
+    /// Completion point of a [`SStmt::PostBcastPack`]: every rank blocks
+    /// for the packed payload and unpacks each part into its destination
+    /// (the wait reads the `dst_*` fields only).
+    WaitBcastPack {
+        /// Handle of the matching post.
+        handle: u32,
+        /// Constituent broadcasts, unpacked in order.
+        parts: Vec<BcastPart>,
+    },
     /// Dynamic data decomposition: remap `array` to `to_dist`, moving data
     /// between nodes (charged as messages + a remap call).
     Remap {

@@ -277,6 +277,35 @@ pub(crate) enum Instr {
         root: Reg,
         tag: u64,
     },
+    /// Nonblocking send of the outgoing buffer. Send completion needs no
+    /// handle state in the engine: the wait is pure bookkeeping.
+    PostSendMsg {
+        to: Reg,
+        tag: u64,
+    },
+    WaitSendMsg,
+    /// Posts a receive: latches `(from, tag)` into the handle slot. The
+    /// matching `WaitRecvMsg` performs the actual blocking receive.
+    PostRecvMsg {
+        from: Reg,
+        tag: u64,
+        handle: u32,
+    },
+    /// Completes a posted receive into the incoming message.
+    WaitRecvMsg {
+        handle: u32,
+    },
+    /// Posts a broadcast of the outgoing buffer (root); every rank
+    /// advances its posted-collective sequence number.
+    PostBcastMsg {
+        root: Reg,
+        tag: u64,
+        handle: u32,
+    },
+    /// Completes a posted broadcast into the incoming message.
+    WaitBcastMsg {
+        handle: u32,
+    },
     Remap {
         arr: u16,
         to: DistId,
@@ -497,6 +526,41 @@ fn collect_scalars_body(body: &[SStmt], l: &mut Layout) {
                     }
                 }
             }
+            SStmt::PostSend { to, section, .. } => {
+                collect_scalars_expr(to, l);
+                collect_scalars_rect(section, l);
+            }
+            SStmt::WaitSend { .. } => {}
+            SStmt::PostRecv { from, .. } => collect_scalars_expr(from, l),
+            SStmt::WaitRecv { section, .. } => collect_scalars_rect(section, l),
+            SStmt::PostBcast {
+                root, src_section, ..
+            } => {
+                collect_scalars_expr(root, l);
+                collect_scalars_rect(src_section, l);
+            }
+            SStmt::WaitBcast { dst_section, .. } => collect_scalars_rect(dst_section, l),
+            SStmt::PostBcastPack { root, parts, .. } => {
+                collect_scalars_expr(root, l);
+                for p in parts {
+                    match p {
+                        BcastPart::Section { src_section, .. } => {
+                            collect_scalars_rect(src_section, l)
+                        }
+                        BcastPart::Scalar(v) => add_scalar(l, *v),
+                    }
+                }
+            }
+            SStmt::WaitBcastPack { parts, .. } => {
+                for p in parts {
+                    match p {
+                        BcastPart::Section { dst_section, .. } => {
+                            collect_scalars_rect(dst_section, l)
+                        }
+                        BcastPart::Scalar(v) => add_scalar(l, *v),
+                    }
+                }
+            }
             SStmt::Remap { .. } | SStmt::RemapGlobal { .. } | SStmt::MarkDist { .. } => {}
             SStmt::Print { args } => {
                 for a in args {
@@ -562,7 +626,7 @@ fn collect_scalar_writes(body: &[SStmt], w: &mut FxHashSet<Sym>) {
             SStmt::BcastScalar { var, .. } => {
                 w.insert(*var);
             }
-            SStmt::BcastPack { parts, .. } => {
+            SStmt::BcastPack { parts, .. } | SStmt::WaitBcastPack { parts, .. } => {
                 for p in parts {
                     if let BcastPart::Scalar(v) = p {
                         w.insert(*v);
@@ -1211,6 +1275,149 @@ impl ProcLowerer<'_> {
                             // section once to size the slice and again to
                             // scatter; evaluate the bounds twice so charge
                             // totals match (the first set is dead).
+                            let dead = self.lower_section(dst_section);
+                            drop(dead);
+                            self.free_to(pmark);
+                            let arr = self.layout.arr_of(*dst_array, self.prog);
+                            let sec = self.lower_section(dst_section);
+                            self.code.push(Instr::Scatter {
+                                arr,
+                                sec,
+                                exact: false,
+                            });
+                        }
+                        BcastPart::Scalar(v) => {
+                            let slot = self.layout.slot_of(*v, self.prog);
+                            self.code.push(Instr::UnpackVar { slot });
+                        }
+                    }
+                    self.free_to(pmark);
+                }
+            }
+            SStmt::PostSend {
+                handle: _,
+                to,
+                tag,
+                array,
+                section,
+            } => {
+                let t = self.lower_expr(to);
+                let arr = self.layout.arr_of(*array, self.prog);
+                let sec = self.lower_section(section);
+                self.code.push(Instr::Gather { arr, sec });
+                self.code.push(Instr::PostSendMsg { to: t, tag: *tag });
+            }
+            SStmt::WaitSend { handle: _ } => {
+                self.code.push(Instr::WaitSendMsg);
+            }
+            SStmt::PostRecv { handle, from, tag } => {
+                let f = self.lower_expr(from);
+                self.code.push(Instr::PostRecvMsg {
+                    from: f,
+                    tag: *tag,
+                    handle: *handle,
+                });
+            }
+            SStmt::WaitRecv {
+                handle,
+                array,
+                section,
+            } => {
+                self.code.push(Instr::WaitRecvMsg { handle: *handle });
+                // Destination bounds are evaluated after the receive
+                // completes, matching `Recv` (and the tree engine).
+                let arr = self.layout.arr_of(*array, self.prog);
+                let sec = self.lower_section(section);
+                self.code.push(Instr::Scatter {
+                    arr,
+                    sec,
+                    exact: true,
+                });
+            }
+            SStmt::PostBcast {
+                handle,
+                root,
+                src_array,
+                src_section,
+            } => {
+                let r = self.lower_expr(root);
+                let br = self.code.len();
+                self.code.push(Instr::BrNotRank { root: r, to: 0 });
+                let gather_mark = self.next_reg;
+                let src_arr = self.layout.arr_of(*src_array, self.prog);
+                let sec = self.lower_section(src_section);
+                self.code.push(Instr::Gather { arr: src_arr, sec });
+                self.free_to(gather_mark);
+                let after = self.here();
+                self.patch(br, after);
+                self.code.push(Instr::PostBcastMsg {
+                    root: r,
+                    tag: TAG_BCAST,
+                    handle: *handle,
+                });
+            }
+            SStmt::WaitBcast {
+                handle,
+                dst_array,
+                dst_section,
+            } => {
+                self.code.push(Instr::WaitBcastMsg { handle: *handle });
+                let dst_arr = self.layout.arr_of(*dst_array, self.prog);
+                let sec = self.lower_section(dst_section);
+                self.code.push(Instr::Scatter {
+                    arr: dst_arr,
+                    sec,
+                    exact: true,
+                });
+            }
+            SStmt::PostBcastPack {
+                handle,
+                root,
+                parts,
+            } => {
+                let r = self.lower_expr(root);
+                let br = self.code.len();
+                self.code.push(Instr::BrNotRank { root: r, to: 0 });
+                for p in parts {
+                    let pmark = self.next_reg;
+                    match p {
+                        BcastPart::Section {
+                            src_array,
+                            src_section,
+                            ..
+                        } => {
+                            let arr = self.layout.arr_of(*src_array, self.prog);
+                            let sec = self.lower_section(src_section);
+                            self.code.push(Instr::Gather { arr, sec });
+                        }
+                        BcastPart::Scalar(v) => {
+                            let slot = self.layout.slot_of(*v, self.prog);
+                            self.code.push(Instr::PackVar { slot });
+                        }
+                    }
+                    self.free_to(pmark);
+                }
+                let after = self.here();
+                self.patch(br, after);
+                self.code.push(Instr::PostBcastMsg {
+                    root: r,
+                    tag: TAG_BCAST_PACK,
+                    handle: *handle,
+                });
+            }
+            SStmt::WaitBcastPack { handle, parts } => {
+                self.code.push(Instr::WaitBcastMsg { handle: *handle });
+                for p in parts {
+                    let pmark = self.next_reg;
+                    match p {
+                        BcastPart::Section {
+                            dst_array,
+                            dst_section,
+                            ..
+                        } => {
+                            // Same dead-evaluation as `BcastPack`: the tree
+                            // engine sizes the slice and then scatters, so
+                            // the bounds charge twice.
                             let dead = self.lower_section(dst_section);
                             drop(dead);
                             self.free_to(pmark);

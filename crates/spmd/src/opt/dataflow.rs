@@ -12,7 +12,7 @@ use super::OptReport;
 // Expression utilities: substitution, linear forms, proofs
 // ---------------------------------------------------------------------------
 
-fn map_expr(e: &SExpr, f: &mut dyn FnMut(&SExpr) -> Option<SExpr>) -> SExpr {
+pub(super) fn map_expr(e: &SExpr, f: &mut dyn FnMut(&SExpr) -> Option<SExpr>) -> SExpr {
     if let Some(r) = f(e) {
         return r;
     }
@@ -486,12 +486,18 @@ pub(super) fn collect_written_arrays(
             SStmt::Bcast { dst_array, .. } => {
                 out.insert(*dst_array);
             }
-            SStmt::BcastPack { parts, .. } => {
+            SStmt::BcastPack { parts, .. } | SStmt::WaitBcastPack { parts, .. } => {
                 for p in parts {
                     if let BcastPart::Section { dst_array, .. } = p {
                         out.insert(*dst_array);
                     }
                 }
+            }
+            SStmt::WaitRecv { array, .. } => {
+                out.insert(*array);
+            }
+            SStmt::WaitBcast { dst_array, .. } => {
+                out.insert(*dst_array);
             }
             SStmt::Remap { array, .. }
             | SStmt::RemapGlobal { array, .. }
@@ -539,7 +545,7 @@ pub(super) fn collect_assigned_scalars(stmts: &[SStmt], out: &mut BTreeSet<Sym>)
             SStmt::BcastScalar { var, .. } => {
                 out.insert(*var);
             }
-            SStmt::BcastPack { parts, .. } => {
+            SStmt::BcastPack { parts, .. } | SStmt::WaitBcastPack { parts, .. } => {
                 for p in parts {
                     if let BcastPart::Scalar(v) = p {
                         out.insert(*v);
@@ -681,6 +687,63 @@ fn count_mentions(stmts: &[SStmt], array: Sym) -> usize {
                             + in_rect(dst_section, array)
                             + usize::from(*src_array == array)
                             + usize::from(*dst_array == array);
+                    }
+                }
+            }
+            SStmt::PostSend {
+                to,
+                array: a,
+                section,
+                ..
+            } => {
+                n += in_expr(to, array) + in_rect(section, array) + usize::from(*a == array);
+            }
+            SStmt::WaitSend { .. } => {}
+            SStmt::PostRecv { from, .. } => n += in_expr(from, array),
+            SStmt::WaitRecv {
+                array: a, section, ..
+            } => {
+                n += in_rect(section, array) + usize::from(*a == array);
+            }
+            SStmt::PostBcast {
+                root,
+                src_array,
+                src_section,
+                ..
+            } => {
+                n += in_expr(root, array)
+                    + in_rect(src_section, array)
+                    + usize::from(*src_array == array);
+            }
+            SStmt::WaitBcast {
+                dst_array,
+                dst_section,
+                ..
+            } => {
+                n += in_rect(dst_section, array) + usize::from(*dst_array == array);
+            }
+            SStmt::PostBcastPack { root, parts, .. } => {
+                n += in_expr(root, array);
+                for p in parts {
+                    if let BcastPart::Section {
+                        src_array,
+                        src_section,
+                        ..
+                    } = p
+                    {
+                        n += in_rect(src_section, array) + usize::from(*src_array == array);
+                    }
+                }
+            }
+            SStmt::WaitBcastPack { parts, .. } => {
+                for p in parts {
+                    if let BcastPart::Section {
+                        dst_array,
+                        dst_section,
+                        ..
+                    } = p
+                    {
+                        n += in_rect(dst_section, array) + usize::from(*dst_array == array);
                     }
                 }
             }
@@ -1552,6 +1615,48 @@ impl<'a> Scan<'a> {
                         _ => SStmt::MarkDist { array, to_dist },
                     });
                 }
+                s @ (SStmt::PostSend { .. }
+                | SStmt::WaitSend { .. }
+                | SStmt::PostRecv { .. }
+                | SStmt::WaitRecv { .. }
+                | SStmt::PostBcast { .. }
+                | SStmt::WaitBcast { .. }
+                | SStmt::PostBcastPack { .. }
+                | SStmt::WaitBcastPack { .. }) => {
+                    // Post/wait forms are produced only by the overlap pass,
+                    // which runs after elimination; keep the state sound if
+                    // ever encountered by killing everything they write.
+                    let mut writes = BTreeSet::new();
+                    let mut assigned = BTreeSet::new();
+                    match &s {
+                        SStmt::WaitRecv { array, .. } => {
+                            writes.insert(*array);
+                        }
+                        SStmt::WaitBcast { dst_array, .. } => {
+                            writes.insert(*dst_array);
+                        }
+                        SStmt::WaitBcastPack { parts, .. } => {
+                            for p in parts {
+                                match p {
+                                    BcastPart::Section { dst_array, .. } => {
+                                        writes.insert(*dst_array);
+                                    }
+                                    BcastPart::Scalar(v) => {
+                                        assigned.insert(*v);
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    self.kill_facts_writing(st, &writes);
+                    self.kill_facts_mentioning(st, &assigned);
+                    self.drop_ranges_mentioning(st, &assigned);
+                    for v in assigned {
+                        st.repl.insert(v);
+                    }
+                    out.push(s);
+                }
                 SStmt::Do {
                     var,
                     lo,
@@ -2370,6 +2475,14 @@ impl<'a> Scan<'a> {
                 | SStmt::Bcast { .. }
                 | SStmt::BcastScalar { .. }
                 | SStmt::BcastPack { .. }
+                | SStmt::PostSend { .. }
+                | SStmt::WaitSend { .. }
+                | SStmt::PostRecv { .. }
+                | SStmt::WaitRecv { .. }
+                | SStmt::PostBcast { .. }
+                | SStmt::WaitBcast { .. }
+                | SStmt::PostBcastPack { .. }
+                | SStmt::WaitBcastPack { .. }
                 | SStmt::Remap { .. }
                 | SStmt::RemapGlobal { .. }
                 | SStmt::MarkDist { .. } => return None,
@@ -2640,6 +2753,73 @@ fn subst_stmts(
                     })
                     .collect(),
             },
+            SStmt::PostSend {
+                handle,
+                to,
+                tag,
+                array,
+                section,
+            } => SStmt::PostSend {
+                handle: *handle,
+                to: se(to),
+                tag: *tag,
+                array: *amap.get(array).unwrap_or(array),
+                section: sr(section),
+            },
+            SStmt::WaitSend { handle } => SStmt::WaitSend { handle: *handle },
+            SStmt::PostRecv { handle, from, tag } => SStmt::PostRecv {
+                handle: *handle,
+                from: se(from),
+                tag: *tag,
+            },
+            SStmt::WaitRecv {
+                handle,
+                array,
+                section,
+            } => SStmt::WaitRecv {
+                handle: *handle,
+                array: *amap.get(array).unwrap_or(array),
+                section: sr(section),
+            },
+            SStmt::PostBcast {
+                handle,
+                root,
+                src_array,
+                src_section,
+            } => SStmt::PostBcast {
+                handle: *handle,
+                root: se(root),
+                src_array: *amap.get(src_array).unwrap_or(src_array),
+                src_section: sr(src_section),
+            },
+            SStmt::WaitBcast {
+                handle,
+                dst_array,
+                dst_section,
+            } => SStmt::WaitBcast {
+                handle: *handle,
+                dst_array: *amap.get(dst_array).unwrap_or(dst_array),
+                dst_section: sr(dst_section),
+            },
+            SStmt::PostBcastPack {
+                handle,
+                root,
+                parts,
+            } => SStmt::PostBcastPack {
+                handle: *handle,
+                root: se(root),
+                parts: parts
+                    .iter()
+                    .map(|p| subst_part(p, smap, amap, &sr))
+                    .collect(),
+            },
+            SStmt::WaitBcastPack { handle, parts } => SStmt::WaitBcastPack {
+                handle: *handle,
+                parts: parts
+                    .iter()
+                    .map(|p| subst_part(p, smap, amap, &sr))
+                    .collect(),
+            },
             SStmt::Remap { array, to_dist } => SStmt::Remap {
                 array: *amap.get(array).unwrap_or(array),
                 to_dist: *to_dist,
@@ -2657,6 +2837,28 @@ fn subst_stmts(
             },
         })
         .collect()
+}
+
+fn subst_part(
+    p: &BcastPart,
+    _smap: &BTreeMap<Sym, SExpr>,
+    amap: &BTreeMap<Sym, Sym>,
+    sr: &dyn Fn(&SRect) -> SRect,
+) -> BcastPart {
+    match p {
+        BcastPart::Scalar(v) => BcastPart::Scalar(*v),
+        BcastPart::Section {
+            src_array,
+            src_section,
+            dst_array,
+            dst_section,
+        } => BcastPart::Section {
+            src_array: *amap.get(src_array).unwrap_or(src_array),
+            src_section: sr(src_section),
+            dst_array: *amap.get(dst_array).unwrap_or(dst_array),
+            dst_section: sr(dst_section),
+        },
+    }
 }
 
 fn subst_expr(e: &SExpr, smap: &BTreeMap<Sym, SExpr>, amap: &BTreeMap<Sym, Sym>) -> SExpr {
@@ -3018,6 +3220,14 @@ impl<'b> AbsWalk<'b> {
                 | SStmt::SendElem { .. }
                 | SStmt::Bcast { .. }
                 | SStmt::BcastPack { .. }
+                | SStmt::PostSend { .. }
+                | SStmt::WaitSend { .. }
+                | SStmt::PostRecv { .. }
+                | SStmt::WaitRecv { .. }
+                | SStmt::PostBcast { .. }
+                | SStmt::WaitBcast { .. }
+                | SStmt::PostBcastPack { .. }
+                | SStmt::WaitBcastPack { .. }
                 | SStmt::Remap { .. }
                 | SStmt::RemapGlobal { .. }
                 | SStmt::MarkDist { .. } => {
@@ -3031,8 +3241,8 @@ impl<'b> AbsWalk<'b> {
                             self.buf_ok.insert(caller, false);
                         }
                     }
-                    // Scalar effects of packs.
-                    if let SStmt::BcastPack { parts, .. } = s {
+                    // Scalar effects of packs (blocking and posted forms).
+                    if let SStmt::BcastPack { parts, .. } | SStmt::WaitBcastPack { parts, .. } = s {
                         for p in parts {
                             if let BcastPart::Scalar(v) = p {
                                 env.insert(

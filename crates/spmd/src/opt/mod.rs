@@ -36,12 +36,14 @@ use std::collections::BTreeMap;
 mod coalesce;
 mod dataflow;
 mod hoist;
+mod overlap;
 #[cfg(test)]
 mod tests;
 
 use coalesce::coalesce;
 use dataflow::eliminate;
 use hoist::hoist;
+use overlap::overlap;
 
 /// Communication optimization level (driver flag).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
@@ -54,6 +56,12 @@ pub enum CommOpt {
     /// coalescing (the default).
     #[default]
     Full,
+    /// [`CommOpt::Full`] plus communication/computation overlap: blocking
+    /// sends, receives and broadcasts split into nonblocking post/wait
+    /// pairs, posts hoisted backward (interprocedurally) and waits sunk
+    /// forward, and eligible loops coarse-grain pipelined so the next
+    /// iteration's broadcast is in flight during this iteration's update.
+    Overlap,
 }
 
 impl CommOpt {
@@ -63,6 +71,7 @@ impl CommOpt {
             CommOpt::Off => "off",
             CommOpt::Coalesce => "coalesce",
             CommOpt::Full => "full",
+            CommOpt::Overlap => "overlap",
         }
     }
 
@@ -72,6 +81,7 @@ impl CommOpt {
             "off" => Some(CommOpt::Off),
             "coalesce" => Some(CommOpt::Coalesce),
             "full" => Some(CommOpt::Full),
+            "overlap" => Some(CommOpt::Overlap),
             _ => None,
         }
     }
@@ -90,6 +100,16 @@ pub struct OptReport {
     pub coalesced: usize,
     /// Communication statements lifted out of loops.
     pub hoisted: usize,
+    /// Blocking operations split into post/wait pairs
+    /// ([`CommOpt::Overlap`] only).
+    pub overlapped: usize,
+    /// Posts moved backward past at least one statement.
+    pub posts_hoisted: usize,
+    /// Receive waits moved forward past at least one statement.
+    pub waits_sunk: usize,
+    /// Loops coarse-grain pipelined (next iteration's broadcast posted
+    /// before this iteration's trailing update).
+    pub pipelined_loops: usize,
     /// Per-procedure summary of decisions, keyed by procedure name.
     /// Deterministic; hashed into the incremental engine's fact hashes.
     pub per_proc: BTreeMap<String, String>,
@@ -127,7 +147,7 @@ pub fn optimize_traced(
     if level == CommOpt::Off {
         return (report, stats);
     }
-    if level == CommOpt::Full {
+    if matches!(level, CommOpt::Full | CommOpt::Overlap) {
         let span = trace.span(PID_COMPILE, 0, "comm-opt", "eliminate");
         let solve = eliminate(prog, &mut report);
         fortrand_analysis::framework::record_solve(trace, &solve);
@@ -142,6 +162,26 @@ pub fn optimize_traced(
         let _span = trace.span(PID_COMPILE, 0, "comm-opt", "coalesce");
         coalesce(prog, &mut report);
     }
+    if level == CommOpt::Overlap {
+        let _span = trace.span(PID_COMPILE, 0, "comm-opt", "overlap");
+        let t0 = std::time::Instant::now();
+        let units = overlap(prog, &mut report);
+        // The overlap pass is a code-motion transformation, not a lattice
+        // solve, but it reports through the same per-pass channel so
+        // `tables passes` shows its motion counts: contributions = ops
+        // split + posts hoisted + waits sunk + loops pipelined.
+        stats.push(fortrand_analysis::framework::SolveStats {
+            problem: "comm overlap".into(),
+            direction: "<>".into(),
+            units,
+            contributions: report.overlapped
+                + report.posts_hoisted
+                + report.waits_sunk
+                + report.pipelined_loops,
+            iterations: 1,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        });
+    }
     if trace.on() {
         let ts = trace.now_us();
         trace.instant(
@@ -155,6 +195,10 @@ pub fn optimize_traced(
                 ("eliminated", report.eliminated.into()),
                 ("hoisted", report.hoisted.into()),
                 ("coalesced", report.coalesced.into()),
+                ("overlapped", report.overlapped.into()),
+                ("posts_hoisted", report.posts_hoisted.into()),
+                ("waits_sunk", report.waits_sunk.into()),
+                ("pipelined_loops", report.pipelined_loops.into()),
             ],
         );
     }

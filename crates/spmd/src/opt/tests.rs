@@ -273,3 +273,129 @@ fn off_level_is_identity() {
     assert_eq!(report.eliminated + report.coalesced + report.hoisted, 0);
     assert_eq!(p.procs[0].body, body);
 }
+
+/// `Overlap` splits a blocking broadcast into a post/wait pair and bubbles
+/// the post backward past compute that touches neither the source array
+/// nor the root expression — the in-flight window covers the compute.
+#[test]
+fn overlap_splits_bcast_and_hoists_post() {
+    let mut i = Interner::new();
+    let a = i.intern("a");
+    let b = i.intern("b");
+    let c = i.intern("c");
+    let (mut p, _) = prog(vec![
+        SStmt::Assign {
+            lhs: SLval::Elem {
+                array: c,
+                subs: vec![SExpr::Int(1)],
+            },
+            rhs: SExpr::Real(1.0),
+        },
+        SStmt::Bcast {
+            root: SExpr::Int(0),
+            src_array: a,
+            src_section: rect(1, 4),
+            dst_array: b,
+            dst_section: rect(1, 4),
+        },
+    ]);
+    let report = optimize(&mut p, CommOpt::Overlap);
+    assert_eq!(report.overlapped, 1, "{report:?}");
+    assert_eq!(report.posts_hoisted, 1, "{report:?}");
+    let body = &p.procs[0].body;
+    assert!(matches!(body[0], SStmt::PostBcast { .. }), "{body:#?}");
+    assert!(matches!(body[1], SStmt::Assign { .. }), "{body:#?}");
+    assert!(matches!(body[2], SStmt::WaitBcast { .. }), "{body:#?}");
+}
+
+/// A receive's wait sinks forward past compute that does not mention the
+/// received array, but pins itself before the first statement that does.
+#[test]
+fn overlap_sinks_recv_wait_only_past_independent_compute() {
+    let mut i = Interner::new();
+    let b = i.intern("b");
+    let c = i.intern("c");
+    let recv = SStmt::Recv {
+        from: SExpr::Int(1),
+        tag: 7,
+        array: b,
+        section: rect(1, 2),
+    };
+    let indep = SStmt::Assign {
+        lhs: SLval::Elem {
+            array: c,
+            subs: vec![SExpr::Int(1)],
+        },
+        rhs: SExpr::Real(2.0),
+    };
+    let (mut p, _) = prog(vec![recv.clone(), indep.clone()]);
+    let report = optimize(&mut p, CommOpt::Overlap);
+    assert_eq!(report.waits_sunk, 1, "{report:?}");
+    let body = &p.procs[0].body;
+    assert!(matches!(body[0], SStmt::PostRecv { .. }), "{body:#?}");
+    assert!(matches!(body[1], SStmt::Assign { .. }), "{body:#?}");
+    assert!(matches!(body[2], SStmt::WaitRecv { .. }), "{body:#?}");
+
+    // Reading the received array pins the wait in place.
+    let dependent = SStmt::Assign {
+        lhs: SLval::Elem {
+            array: c,
+            subs: vec![SExpr::Int(1)],
+        },
+        rhs: SExpr::Elem {
+            array: b,
+            subs: vec![SExpr::Int(1)],
+        },
+    };
+    let (mut p2, _) = prog(vec![recv, dependent]);
+    let report2 = optimize(&mut p2, CommOpt::Overlap);
+    assert_eq!(report2.waits_sunk, 0, "{report2:?}");
+    let body2 = &p2.procs[0].body;
+    assert!(matches!(body2[0], SStmt::PostRecv { .. }), "{body2:#?}");
+    assert!(matches!(body2[1], SStmt::WaitRecv { .. }), "{body2:#?}");
+    assert!(matches!(body2[2], SStmt::Assign { .. }), "{body2:#?}");
+}
+
+/// Below `Overlap` the program keeps its blocking operations: no post or
+/// wait forms may leak out of a `Full` compile.
+#[test]
+fn full_level_emits_no_posted_operations() {
+    let mut i = Interner::new();
+    let a = i.intern("a");
+    let b = i.intern("b");
+    let (mut p, _) = prog(vec![SStmt::Bcast {
+        root: SExpr::Int(0),
+        src_array: a,
+        src_section: rect(1, 4),
+        dst_array: b,
+        dst_section: rect(1, 4),
+    }]);
+    let report = optimize(&mut p, CommOpt::Full);
+    assert_eq!(report.overlapped, 0);
+    assert_eq!(report.pipelined_loops, 0);
+    fn no_posts(stmts: &[SStmt]) {
+        for s in stmts {
+            match s {
+                SStmt::PostSend { .. }
+                | SStmt::WaitSend { .. }
+                | SStmt::PostRecv { .. }
+                | SStmt::WaitRecv { .. }
+                | SStmt::PostBcast { .. }
+                | SStmt::WaitBcast { .. }
+                | SStmt::PostBcastPack { .. }
+                | SStmt::WaitBcastPack { .. } => panic!("posted op at Full: {s:?}"),
+                SStmt::Do { body, .. } => no_posts(body),
+                SStmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    no_posts(then_body);
+                    no_posts(else_body);
+                }
+                _ => {}
+            }
+        }
+    }
+    no_posts(&p.procs[0].body);
+}

@@ -152,6 +152,14 @@ impl Printer<'_> {
             | SStmt::Bcast { .. }
             | SStmt::BcastScalar { .. }
             | SStmt::BcastPack { .. }
+            | SStmt::PostSend { .. }
+            | SStmt::WaitSend { .. }
+            | SStmt::PostRecv { .. }
+            | SStmt::WaitRecv { .. }
+            | SStmt::PostBcast { .. }
+            | SStmt::WaitBcast { .. }
+            | SStmt::PostBcastPack { .. }
+            | SStmt::WaitBcastPack { .. }
             | SStmt::Remap { .. }
             | SStmt::RemapGlobal { .. }
             | SStmt::MarkDist { .. }
@@ -220,6 +228,95 @@ impl Printer<'_> {
             }
             SStmt::BcastScalar { root, var } => {
                 format!("broadcast {} from {}", self.name(*var), self.expr(root, 0))
+            }
+            SStmt::PostSend {
+                to, array, section, ..
+            } => {
+                format!(
+                    "post send {}{} to {}",
+                    self.name(*array).to_uppercase(),
+                    self.rect(section),
+                    self.expr(to, 0)
+                )
+            }
+            SStmt::WaitSend { .. } => "wait send".into(),
+            SStmt::PostRecv { from, .. } => {
+                format!("post recv from {}", self.expr(from, 0))
+            }
+            SStmt::WaitRecv { array, section, .. } => {
+                format!(
+                    "wait recv {}{}",
+                    self.name(*array).to_uppercase(),
+                    self.rect(section)
+                )
+            }
+            SStmt::PostBcast {
+                root,
+                src_array,
+                src_section,
+                ..
+            } => {
+                format!(
+                    "post broadcast {}{} from {}",
+                    self.name(*src_array).to_uppercase(),
+                    self.rect(src_section),
+                    self.expr(root, 0)
+                )
+            }
+            SStmt::WaitBcast {
+                dst_array,
+                dst_section,
+                ..
+            } => {
+                format!(
+                    "wait broadcast {}{}",
+                    self.name(*dst_array).to_uppercase(),
+                    self.rect(dst_section)
+                )
+            }
+            SStmt::PostBcastPack { root, parts, .. } => {
+                let items: Vec<String> = parts
+                    .iter()
+                    .map(|p| match p {
+                        BcastPart::Section {
+                            src_array,
+                            src_section,
+                            ..
+                        } => {
+                            format!(
+                                "{}{}",
+                                self.name(*src_array).to_uppercase(),
+                                self.rect(src_section)
+                            )
+                        }
+                        BcastPart::Scalar(v) => self.name(*v),
+                    })
+                    .collect();
+                format!(
+                    "post broadcast [{}] from {}",
+                    items.join(", "),
+                    self.expr(root, 0)
+                )
+            }
+            SStmt::WaitBcastPack { parts, .. } => {
+                let items: Vec<String> = parts
+                    .iter()
+                    .map(|p| match p {
+                        BcastPart::Section {
+                            dst_array,
+                            dst_section,
+                            ..
+                        } => {
+                            format!(
+                                "{}{}",
+                                self.name(*dst_array).to_uppercase(),
+                                self.rect(dst_section)
+                            )
+                        }
+                        BcastPart::Scalar(v) => self.name(*v),
+                    })
+                    .collect();
+                format!("wait broadcast [{}]", items.join(", "))
             }
             SStmt::BcastPack { root, parts } => {
                 let items: Vec<String> = parts
@@ -408,6 +505,14 @@ fn is_simple(s: &SStmt) -> bool {
             | SStmt::Bcast { .. }
             | SStmt::BcastScalar { .. }
             | SStmt::BcastPack { .. }
+            | SStmt::PostSend { .. }
+            | SStmt::WaitSend { .. }
+            | SStmt::PostRecv { .. }
+            | SStmt::WaitRecv { .. }
+            | SStmt::PostBcast { .. }
+            | SStmt::WaitBcast { .. }
+            | SStmt::PostBcastPack { .. }
+            | SStmt::WaitBcastPack { .. }
             | SStmt::Remap { .. }
             | SStmt::RemapGlobal { .. }
             | SStmt::MarkDist { .. }

@@ -159,6 +159,86 @@ fn remap_stmt(s: &mut SStmt, m: &ProcRemap) {
                 }
             }
         }
+        SStmt::PostSend {
+            to,
+            tag: _,
+            array,
+            section,
+            handle: _,
+        } => {
+            remap_expr(to, m);
+            *array = (m.sym)(*array);
+            remap_rect(section, m);
+        }
+        SStmt::WaitSend { .. } => {}
+        SStmt::PostRecv {
+            from,
+            tag: _,
+            handle: _,
+        } => remap_expr(from, m),
+        SStmt::WaitRecv {
+            array,
+            section,
+            handle: _,
+        } => {
+            *array = (m.sym)(*array);
+            remap_rect(section, m);
+        }
+        SStmt::PostBcast {
+            root,
+            src_array,
+            src_section,
+            handle: _,
+        } => {
+            remap_expr(root, m);
+            *src_array = (m.sym)(*src_array);
+            remap_rect(src_section, m);
+        }
+        SStmt::WaitBcast {
+            dst_array,
+            dst_section,
+            handle: _,
+        } => {
+            *dst_array = (m.sym)(*dst_array);
+            remap_rect(dst_section, m);
+        }
+        SStmt::PostBcastPack { root, parts, .. } => {
+            remap_expr(root, m);
+            for p in parts {
+                match p {
+                    crate::ir::BcastPart::Section {
+                        src_array,
+                        src_section,
+                        dst_array,
+                        dst_section,
+                    } => {
+                        *src_array = (m.sym)(*src_array);
+                        remap_rect(src_section, m);
+                        *dst_array = (m.sym)(*dst_array);
+                        remap_rect(dst_section, m);
+                    }
+                    crate::ir::BcastPart::Scalar(v) => *v = (m.sym)(*v),
+                }
+            }
+        }
+        SStmt::WaitBcastPack { parts, .. } => {
+            for p in parts {
+                match p {
+                    crate::ir::BcastPart::Section {
+                        src_array,
+                        src_section,
+                        dst_array,
+                        dst_section,
+                    } => {
+                        *src_array = (m.sym)(*src_array);
+                        remap_rect(src_section, m);
+                        *dst_array = (m.sym)(*dst_array);
+                        remap_rect(dst_section, m);
+                    }
+                    crate::ir::BcastPart::Scalar(v) => *v = (m.sym)(*v),
+                }
+            }
+        }
         SStmt::Remap { array, to_dist }
         | SStmt::RemapGlobal { array, to_dist }
         | SStmt::MarkDist { array, to_dist } => {

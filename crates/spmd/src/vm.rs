@@ -13,6 +13,7 @@
 //! every simulated observable — virtual clocks, message counts, bytes,
 //! final arrays, printed lines — is bit-identical between engines.
 
+use crate::interp::slot;
 use crate::ir::{SBinOp, SpmdProgram};
 use crate::lower::{lower, CallArgs, Instr, Lowered, SecInstr, NO_SLOT};
 use crate::runtime::{
@@ -93,6 +94,10 @@ struct Vm<'a, 'n> {
     /// Last received/broadcast payload, consumed via `in_off`.
     incoming: Option<Payload>,
     in_off: usize,
+    /// `(src, tag)` latched by `PostRecvMsg`, keyed by handle.
+    posted_recv: Vec<Option<(usize, u64)>>,
+    /// `(seq, posted_at)` latched by `PostBcastMsg`, keyed by handle.
+    posted_bcast: Vec<Option<(u64, f64)>>,
     sec_cache: Vec<Option<SecEntry>>,
     /// Scratch for subscript evaluation (avoids per-access allocation).
     subs_buf: Vec<i64>,
@@ -131,6 +136,8 @@ impl<'a, 'n> Vm<'a, 'n> {
             msg: None,
             incoming: None,
             in_off: 0,
+            posted_recv: Vec::new(),
+            posted_bcast: Vec::new(),
             sec_cache: (0..lowered.n_sites).map(|_| None).collect(),
             subs_buf: Vec::new(),
             dims_buf: Vec::new(),
@@ -803,6 +810,52 @@ fn exec(vm: &mut Vm) {
                     };
                     let out = vm.node.bcast_payload(root, data, Some(*tag));
                     vm.incoming = Some(out);
+                    vm.in_off = 0;
+                }
+                Instr::PostSendMsg { to, tag } => {
+                    let dst = vm.regs[r_base + *to as usize].as_i();
+                    assert!(dst >= 0, "negative send destination");
+                    vm.flush();
+                    let data = vm.msg.take().expect("post-send without gathered message");
+                    vm.node.post_send(dst as usize, *tag, data);
+                }
+                Instr::WaitSendMsg => {
+                    vm.flush();
+                    vm.node.wait_send();
+                }
+                Instr::PostRecvMsg { from, tag, handle } => {
+                    let src = vm.regs[r_base + *from as usize].as_i();
+                    assert!(src >= 0, "negative recv source");
+                    vm.flush();
+                    vm.node.post_recv(src as usize, *tag);
+                    *slot(&mut vm.posted_recv, *handle) = Some((src as usize, *tag));
+                }
+                Instr::WaitRecvMsg { handle } => {
+                    let (src, tag) = slot(&mut vm.posted_recv, *handle)
+                        .take()
+                        .expect("wait-recv without matching post");
+                    vm.flush();
+                    vm.incoming = Some(vm.node.wait_recv(src, tag));
+                    vm.in_off = 0;
+                }
+                Instr::PostBcastMsg { root, tag, handle } => {
+                    let root = vm.regs[r_base + *root as usize].as_i() as usize;
+                    vm.flush();
+                    let data = if vm.node.rank() == root {
+                        Some(vm.msg.take().expect("posted bcast root without payload"))
+                    } else {
+                        None
+                    };
+                    let seq = vm.node.post_bcast(root, data, Some(*tag));
+                    let at = vm.node.clock();
+                    *slot(&mut vm.posted_bcast, *handle) = Some((seq, at));
+                }
+                Instr::WaitBcastMsg { handle } => {
+                    let (seq, posted_at) = slot(&mut vm.posted_bcast, *handle)
+                        .take()
+                        .expect("wait-bcast without matching post");
+                    vm.flush();
+                    vm.incoming = Some(vm.node.wait_bcast(seq, posted_at));
                     vm.in_off = 0;
                 }
                 Instr::Remap { arr, to } => {

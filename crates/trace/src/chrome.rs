@@ -279,12 +279,23 @@ pub struct TraceSummary {
     /// Distinct `(pid, tid)` tracks carrying non-metadata events, in
     /// order of first appearance.
     pub tracks: Vec<(i64, i64)>,
+    /// Nonblocking post events (`post_send`/`post_recv`/`post_bcast`).
+    pub posts: usize,
+    /// Nonblocking completion events (`wait_send`/`wait_recv`/`wait_bcast`).
+    pub waits: usize,
 }
 
 /// Validates `text` as a Chrome trace-event document and returns a
 /// summary. Checks JSON well-formedness, the `traceEvents` envelope,
 /// per-event required fields and types, known phases, `dur` on "X"
 /// events, and that every "B" has a matching "E" per `(pid, tid)` track.
+///
+/// Nonblocking-communication events are checked for pairing discipline
+/// per track: a `wait_send`/`wait_bcast` may never appear before its
+/// matching post on the same track (events per track are in emission
+/// order), and every posted send/broadcast must be waited for by the end
+/// of the trace — an in-flight operation left open at exit is a bug in
+/// the overlap transformation, not a rendering choice.
 pub fn validate(text: &str) -> Result<TraceSummary, String> {
     let root = parse_json(text)?;
     let obj = match root {
@@ -312,6 +323,8 @@ pub fn validate(text: &str) -> Result<TraceSummary, String> {
     };
     let mut open: HashMap<(i64, i64), Vec<String>> = HashMap::new();
     let mut tracks: Vec<(i64, i64)> = Vec::new();
+    // Outstanding posted sends / broadcasts per track (post − wait).
+    let mut in_flight: HashMap<(i64, i64), (i64, i64)> = HashMap::new();
     for (idx, ev) in events.iter().enumerate() {
         let e = match ev {
             Json::Obj(o) => o,
@@ -331,6 +344,41 @@ pub fn validate(text: &str) -> Result<TraceSummary, String> {
         let pid = num(get(e, "pid", idx)?, "pid", idx)? as i64;
         let tid = num(get(e, "tid", idx)?, "tid", idx)? as i64;
         let track = (pid, tid);
+        if ph != "M" && ph != "E" {
+            match name.as_str() {
+                "post_send" | "post_recv" | "post_bcast" => {
+                    summary.posts += 1;
+                    let fl = in_flight.entry(track).or_default();
+                    match name.as_str() {
+                        "post_send" => fl.0 += 1,
+                        "post_bcast" => fl.1 += 1,
+                        _ => {}
+                    }
+                }
+                "wait_send" | "wait_recv" | "wait_bcast" => {
+                    summary.waits += 1;
+                    let fl = in_flight.entry(track).or_default();
+                    let outstanding = match name.as_str() {
+                        "wait_send" => {
+                            fl.0 -= 1;
+                            fl.0
+                        }
+                        "wait_bcast" => {
+                            fl.1 -= 1;
+                            fl.1
+                        }
+                        _ => 0,
+                    };
+                    if outstanding < 0 {
+                        return Err(format!(
+                            "event {idx}: track {pid}.{tid} has \"{name}\" with no \
+                             matching post"
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
         match ph {
             "B" => {
                 open.entry(track).or_default().push(name);
@@ -386,6 +434,14 @@ pub fn validate(text: &str) -> Result<TraceSummary, String> {
     for ((pid, tid), stack) in &open {
         if let Some(name) = stack.last() {
             return Err(format!("track {pid}.{tid}: span \"{name}\" never closed"));
+        }
+    }
+    for ((pid, tid), (sends, bcasts)) in &in_flight {
+        if *sends != 0 || *bcasts != 0 {
+            return Err(format!(
+                "track {pid}.{tid}: {sends} posted send(s) and {bcasts} posted \
+                 broadcast(s) still in flight at end of trace"
+            ));
         }
     }
     summary.tracks = tracks;
@@ -448,6 +504,46 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("closes"), "{err}");
+    }
+
+    #[test]
+    fn counts_and_pairs_post_wait_events() {
+        let s = validate(
+            r#"{"traceEvents":[
+                {"name":"post_send","cat":"msg","ph":"X","ts":0,"dur":1,"pid":2,"tid":0},
+                {"name":"wait_send","cat":"msg","ph":"i","ts":5,"pid":2,"tid":0},
+                {"name":"post_bcast","cat":"coll","ph":"i","ts":6,"pid":2,"tid":1},
+                {"name":"wait_bcast","cat":"coll","ph":"X","ts":9,"dur":2,"pid":2,"tid":1}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(s.posts, 2);
+        assert_eq!(s.waits, 2);
+    }
+
+    #[test]
+    fn rejects_wait_before_post() {
+        let err = validate(
+            r#"{"traceEvents":[
+                {"name":"wait_bcast","cat":"coll","ph":"X","ts":0,"dur":1,"pid":2,"tid":0}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("no \u{22}wait_bcast\u{22}") || err.contains("matching post"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_unwaited_post() {
+        let err = validate(
+            r#"{"traceEvents":[
+                {"name":"post_send","cat":"msg","ph":"X","ts":0,"dur":1,"pid":2,"tid":0}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("in flight"), "{err}");
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn run_level(
 /// `Off`, and `Full` never sends more messages or bytes than `Off`.
 fn assert_levels_agree(what: &str, src: &str, nprocs: usize, init: &BTreeMap<&str, Vec<f64>>) {
     let (base_arrays, base_stats) = run_level(src, nprocs, init, CommOpt::Off);
-    for level in [CommOpt::Coalesce, CommOpt::Full] {
+    for level in [CommOpt::Coalesce, CommOpt::Full, CommOpt::Overlap] {
         let (arrays, stats) = run_level(src, nprocs, init, level);
         assert_eq!(
             arrays.len(),
@@ -158,6 +158,62 @@ fn dgefa_benchmark_scale_message_count() {
         "dgefa n=64 p=4 Full sends {} msgs, above the 208 ceiling",
         full.total_msgs
     );
+}
+
+/// `Overlap` is purely a latency optimization on top of `Full`: the same
+/// messages carry the same bytes (posts record traffic exactly where the
+/// blocking operations did), every array stays bit-identical, and the
+/// modeled time never regresses. On dgefa the pipelined pivot broadcast
+/// must show a strict improvement.
+#[test]
+fn overlap_same_traffic_less_time() {
+    let dgefa_init: BTreeMap<&str, Vec<f64>> = BTreeMap::from([("a", dgefa_matrix(16))]);
+    let cases = vec![
+        ("relax", 4, BTreeMap::new()),
+        ("adi", 4, BTreeMap::new()),
+        ("dgefa", 4, dgefa_init),
+    ];
+    for (what, p, init) in cases {
+        let src = match what {
+            "relax" => relax_source(32, 2, 3, 4),
+            "adi" => adi_source(12, 2, 4),
+            _ => dgefa_source(16, p),
+        };
+        let (full_arrays, full) = run_level(&src, p, &init, CommOpt::Full);
+        let (ov_arrays, ov) = run_level(&src, p, &init, CommOpt::Overlap);
+        assert_eq!(
+            ov.total_msgs, full.total_msgs,
+            "{what}: Overlap changed the message count"
+        );
+        assert_eq!(
+            ov.total_bytes, full.total_bytes,
+            "{what}: Overlap changed the byte count"
+        );
+        for (name, base) in &full_arrays {
+            let got = &ov_arrays[name];
+            for (i, (g, b)) in got.iter().zip(base).enumerate() {
+                assert!(
+                    g.to_bits() == b.to_bits(),
+                    "{what}: {name}[{i}] differs between Full and Overlap"
+                );
+            }
+        }
+        assert!(
+            ov.time_us <= full.time_us,
+            "{what}: Overlap time {} exceeds Full's {}",
+            ov.time_us,
+            full.time_us
+        );
+        if what == "dgefa" {
+            assert!(
+                ov.time_us < full.time_us,
+                "dgefa: pipelining must strictly improve modeled time \
+                 ({} vs {})",
+                ov.time_us,
+                full.time_us
+            );
+        }
+    }
 }
 
 /// The optimizer must report what it did: on dgefa the `Full` report

@@ -209,3 +209,56 @@ fn chained_edits_keep_converging() {
     let clean = compile(FIG4, &opts).unwrap();
     assert_eq!(pretty_all(&back.spmd), pretty_all(&clean.spmd));
 }
+
+/// The communication-optimizer level is part of the compilation contract:
+/// switching to `CommOpt::Overlap` must drop every cached artifact (the
+/// emitted bodies change shape — post/wait pairs, pipelined loops), the
+/// per-unit `comm` fact digest must distinguish the levels wherever the
+/// overlap pass made decisions, and steady-state incremental compiles at
+/// `Overlap` must behave exactly like `Full` ones: full reuse on no-edit,
+/// byte-identical output on an edit.
+#[test]
+fn comm_opt_level_participates_in_caching() {
+    use fortrand::corpus::dgefa_source;
+    use fortrand::CommOpt;
+    let src = dgefa_source(8, 2);
+    let full_opts = CompileOptions::builder().comm_opt(CommOpt::Full).build();
+    let ov_opts = CompileOptions::builder().comm_opt(CommOpt::Overlap).build();
+
+    // The comm digest class separates the levels on the procedure the
+    // overlap pass rewrote (dgefa carries the pipelined broadcast).
+    let full = compile(&src, &full_opts).unwrap();
+    let ov = compile(&src, &ov_opts).unwrap();
+    assert!(ov.report.comm.pipelined_loops >= 1, "{:?}", ov.report.comm);
+    let (df, do_) = (
+        full.report.facts.digest("comm", "dgefa"),
+        ov.report.facts.digest("comm", "dgefa"),
+    );
+    assert!(df.is_some() && do_.is_some(), "comm digests must exist");
+    assert_ne!(df, do_, "comm digest must fold in the overlap decisions");
+
+    // Switching levels invalidates everything; staying put reuses all.
+    let mut eng = IncrementalEngine::new();
+    eng.compile(&src, &full_opts).unwrap();
+    let switched = eng.compile(&src, &ov_opts).unwrap();
+    assert!(
+        switched.reused.is_empty(),
+        "level switch must clear the cache, reused {:?}",
+        switched.reused
+    );
+    assert!(switched
+        .recompiled
+        .values()
+        .all(|r| matches!(r, Reason::New)));
+    let steady = eng.compile(&src, &ov_opts).unwrap();
+    assert!(steady.recompiled.is_empty(), "{:?}", steady.recompiled);
+
+    // An edit under Overlap converges to the clean compile byte for byte.
+    let edited = src.replace("a(i,j) - t * a(i,k)", "a(i,j) - a(i,k) * t");
+    assert_ne!(src, edited, "the edit must change the source");
+    let inc = eng.compile(&edited, &ov_opts).unwrap();
+    let clean = compile(&edited, &ov_opts).unwrap();
+    assert!(!inc.recompiled.is_empty());
+    assert_eq!(pretty_all(&inc.spmd), pretty_all(&clean.spmd));
+    assert_eq!(inc.report.fact_hashes, clean.report.fact_hashes);
+}

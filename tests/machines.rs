@@ -206,7 +206,12 @@ fn fig15_every_dyn_opt_level() {
 /// must agree on the reshaped program too.
 #[test]
 fn every_comm_opt_level() {
-    for comm_opt in [CommOpt::Off, CommOpt::Coalesce, CommOpt::Full] {
+    for comm_opt in [
+        CommOpt::Off,
+        CommOpt::Coalesce,
+        CommOpt::Full,
+        CommOpt::Overlap,
+    ] {
         check(
             FIG4,
             Strategy::Interprocedural,
@@ -241,36 +246,77 @@ fn dgefa_every_strategy() {
 
 /// Both substrates must agree under non-trivial network topologies too:
 /// the per-hop latency is applied at send time on the sender's clock, so
-/// it is substrate-independent by construction — this pins that down.
+/// it is substrate-independent by construction — this pins that down,
+/// at `Full` and with posted (in-flight) operations at `Overlap`.
 #[test]
 fn network_models_are_substrate_independent() {
-    let opts = CompileOptions::builder()
-        .strategy(Strategy::Interprocedural)
-        .nprocs(4)
-        .build();
-    let out = compile(FIG4, &opts).unwrap();
-    let mut init = BTreeMap::new();
-    for (name, data) in default_init(FIG4) {
-        init.insert(out.spmd.interner.get(&name).unwrap(), data);
-    }
-    enum Net {
-        Hypercube,
-        Torus,
-    }
-    for (name, net) in [("hypercube", Net::Hypercube), ("torus", Net::Torus)] {
-        let run = |kind| {
-            let machine = Machine::new(4).with_kind(kind);
-            let machine = match net {
-                Net::Hypercube => machine.with_network(HypercubeNet::new(5.0)),
-                Net::Torus => machine.with_network(TorusNet::new(2, 2, 3.0)),
+    for comm_opt in [CommOpt::Full, CommOpt::Overlap] {
+        let opts = CompileOptions::builder()
+            .strategy(Strategy::Interprocedural)
+            .nprocs(4)
+            .comm_opt(comm_opt)
+            .build();
+        let out = compile(FIG4, &opts).unwrap();
+        let mut init = BTreeMap::new();
+        for (name, data) in default_init(FIG4) {
+            init.insert(out.spmd.interner.get(&name).unwrap(), data);
+        }
+        enum Net {
+            Hypercube,
+            Torus,
+        }
+        for (name, net) in [("hypercube", Net::Hypercube), ("torus", Net::Torus)] {
+            let run = |kind| {
+                let machine = Machine::new(4).with_kind(kind);
+                let machine = match net {
+                    Net::Hypercube => machine.with_network(HypercubeNet::new(5.0)),
+                    Net::Torus => machine.with_network(TorusNet::new(2, 2, 3.0)),
+                };
+                try_run_spmd(&out.spmd, &machine, &init, &ExecOptions::new()).unwrap()
             };
-            try_run_spmd(&out.spmd, &machine, &init, &ExecOptions::new()).unwrap()
-        };
-        let th = run(MachineKind::Threaded);
-        let ev = run(MachineKind::Event);
-        assert_identical(&th, &ev, &format!("FIG4 on {name}"));
-        assert!(ev.stats.time_us > 0.0);
+            let th = run(MachineKind::Threaded);
+            let ev = run(MachineKind::Event);
+            assert_identical(&th, &ev, &format!("FIG4 on {name} at {comm_opt:?}"));
+            assert!(ev.stats.time_us > 0.0);
+        }
     }
+}
+
+/// The coarse-grain pipelined dgefa is the most schedule-sensitive
+/// program the optimizer emits (a broadcast is in flight across the
+/// loop back-edge on every rank). Both substrates and both engines must
+/// agree bit-for-bit on it, and `Overlap` must beat `Full` on the
+/// simulated clock while leaving traffic untouched.
+#[test]
+fn dgefa_overlap_identical_across_substrates_and_faster() {
+    let named = vec![("a".to_string(), dgefa_matrix(32))];
+    let run_at = |comm_opt: CommOpt| {
+        let opts = CompileOptions::builder()
+            .strategy(Strategy::Interprocedural)
+            .nprocs(4)
+            .comm_opt(comm_opt)
+            .build();
+        let ctx = format!("dgefa n=32 p=4 {comm_opt:?}");
+        machines_agree(&dgefa_source(32, 4), &opts, &named, &ctx);
+        let out = compile(&dgefa_source(32, 4), &opts).unwrap();
+        let mut init = BTreeMap::new();
+        init.insert(out.spmd.interner.get("a").unwrap(), dgefa_matrix(32));
+        let machine = Machine::new(4);
+        try_run_spmd(&out.spmd, &machine, &init, &ExecOptions::new()).unwrap()
+    };
+    let full = run_at(CommOpt::Full);
+    let ov = run_at(CommOpt::Overlap);
+    assert_eq!(ov.stats.total_msgs, full.stats.total_msgs);
+    assert_eq!(ov.stats.total_bytes, full.stats.total_bytes);
+    assert!(
+        ov.stats.time_us < full.stats.time_us,
+        "Overlap {} µs must beat Full {} µs",
+        ov.stats.time_us,
+        full.stats.time_us
+    );
+    assert!(ov.stats.overlap_posts > 0, "posted operations must appear");
+    assert_eq!(ov.stats.overlap_posts, ov.stats.overlap_waits);
+    assert!(ov.stats.overlap_hidden_us > 0.0, "latency must be hidden");
 }
 
 /// `ExecOptions::machine` re-keys a run onto the other substrate without
@@ -437,6 +483,7 @@ proptest! {
         sweeps in prop::collection::vec((0i64..4, 0i64..3, 0usize..4), 1..3),
         through_call in any::<bool>(),
         strategy_idx in 0usize..3,
+        overlap in any::<bool>(),
     ) {
         let dist = if cyclic { "CYCLIC" } else { "BLOCK" };
         // CYCLIC distributions only support shift-0 sweeps in the
@@ -451,7 +498,7 @@ proptest! {
             STRATEGIES[strategy_idx],
             nprocs,
             DynOptLevel::Kills,
-            CommOpt::Full,
+            if overlap { CommOpt::Overlap } else { CommOpt::Full },
         );
     }
 }

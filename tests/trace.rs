@@ -118,6 +118,46 @@ fn chrome_export_validates_with_compile_and_machine_events() {
     );
 }
 
+/// At [`fortrand::CommOpt::Overlap`] the machine timeline carries the
+/// nonblocking post/wait events, the validator's pairing discipline holds
+/// (no wait before its post, nothing in flight at exit), and the compile
+/// track shows the `overlap` optimizer span. dgefa is the program whose
+/// pivot broadcast actually pipelines across the loop back-edge.
+#[test]
+fn chrome_export_carries_overlap_events() {
+    use fortrand::corpus::{dgefa_matrix, dgefa_source};
+    let src = dgefa_source(16, 4);
+    let buf = SharedBuf::default();
+    let compiled = Session::new(src.as_str())
+        .strategy(Strategy::Interprocedural)
+        .comm_opt(fortrand::CommOpt::Overlap)
+        .trace(ChromeTraceSink::new(buf.clone()))
+        .compile()
+        .unwrap();
+    let mut init = BTreeMap::new();
+    init.insert(compiled.spmd().interner.get("a").unwrap(), dgefa_matrix(16));
+    let out = compiled.run(&init).unwrap();
+    assert!(out.stats.overlap_posts > 0, "run must post operations");
+    compiled.finish_trace().unwrap();
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let summary = validate(&text).unwrap_or_else(|e| panic!("invalid Chrome trace: {e}"));
+    assert!(
+        summary.posts > 0 && summary.waits > 0,
+        "expected post/wait events on the machine tracks, got {} posts / {} waits",
+        summary.posts,
+        summary.waits
+    );
+    assert!(
+        text.contains("\"post_bcast\"") && text.contains("\"wait_bcast\""),
+        "expected the pipelined broadcast's post/wait pair in the trace"
+    );
+    assert!(
+        text.contains("\"overlap\""),
+        "expected the overlap optimizer span on the compile track"
+    );
+}
+
 /// Attaching a sink must not change what the compiler produces or what
 /// the simulated machine computes — tracing is observation only.
 #[test]
