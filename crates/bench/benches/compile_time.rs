@@ -9,7 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fortrand::corpus::{wide_corpus, wide_corpus_edited};
-use fortrand::{compile, CompileMode, CompileOptions, IncrementalEngine};
+use fortrand::{CompileMode, CompileOptions, IncrementalEngine};
+use fortrand_bench::compile;
 
 fn bench_compile_time(c: &mut Criterion) {
     let mut g = c.benchmark_group("compile-time");

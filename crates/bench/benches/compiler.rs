@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fortrand::corpus::dgefa_source;
-use fortrand::{compile, CompileOptions, Strategy};
+use fortrand::{CompileOptions, Strategy};
 use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
+use fortrand_bench::compile;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("compile");

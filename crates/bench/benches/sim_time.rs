@@ -5,9 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fortrand::corpus::{dgefa_matrix, dgefa_source};
-use fortrand::{compile, CompileOptions, ExecEngine, Strategy};
+use fortrand::{CompileOptions, ExecEngine, Strategy};
+use fortrand_bench::{compile, run_spmd_engine};
 use fortrand_machine::Machine;
-use fortrand_spmd::run_spmd_engine;
 use std::collections::BTreeMap;
 
 fn bench_engines(c: &mut Criterion) {

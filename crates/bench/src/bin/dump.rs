@@ -5,7 +5,8 @@
 //! ```
 
 use fortrand::corpus::dgefa_source;
-use fortrand::{compile, CompileOptions};
+use fortrand::CompileOptions;
+use fortrand_bench::compile;
 use fortrand_spmd::print::pretty_all;
 
 fn main() {

@@ -13,14 +13,13 @@
 
 use fortrand::corpus::{dgefa_matrix, dgefa_source};
 use fortrand::recompile::{self, ModuleDb};
-use fortrand::{
-    compile, record_exec_stats, run_spmd_engine, CompileOptions, DynOptLevel, ExecEngine, Session,
-    Strategy,
-};
+use fortrand::{record_exec_stats, CompileOptions, DynOptLevel, ExecEngine, Session, Strategy};
 use fortrand_analysis::acg::build_acg;
 use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
 use fortrand_analysis::reaching;
-use fortrand_bench::{exp_delayed, exp_dgefa, exp_remap, exp_resolution, render_rows, Row};
+use fortrand_bench::{
+    compile, exp_delayed, exp_dgefa, exp_remap, exp_resolution, render_rows, run_spmd_engine, Row,
+};
 use fortrand_spmd::print::{pretty, pretty_all};
 
 fn main() {
@@ -689,7 +688,7 @@ fn main() {
         let machine = fortrand_machine::Machine::new(4);
         let mut init = std::collections::BTreeMap::new();
         init.insert(out.spmd.interner.get("a").unwrap(), dgefa_matrix(n));
-        let res = fortrand_spmd::run_spmd(&out.spmd, &machine, &init);
+        let res = fortrand_bench::run_spmd(&out.spmd, &machine, &init);
         println!(
             "simulated LU (n={n}, p=4): time {:.3} ms, {} msgs, {} bytes",
             res.stats.time_ms(),
@@ -698,9 +697,116 @@ fn main() {
         );
         let _ = Row::from_stats("x", &res.stats);
     }
+    if want("serve") {
+        banner("SERVE — compile-as-a-service load test (1000 clients)");
+        let cfg = fortrand_serve::LoadConfig::default();
+        let report = fortrand_serve::run_load(&cfg);
+        print_serve_report(&report);
+        if json {
+            std::fs::write("BENCH_serve.json", report.to_json().pretty())
+                .expect("write BENCH_serve.json");
+            println!("wrote BENCH_serve.json");
+        }
+        if report.failures > 0 {
+            eprintln!("SERVE FAIL: {} failed requests", report.failures);
+            std::process::exit(1);
+        }
+    }
+    if want("serve-gate") {
+        banner("SERVE — daemon throughput/latency regression gate (64 clients)");
+        let threshold_path = concat!(env!("CARGO_MANIFEST_DIR"), "/serve_threshold.json");
+        let text = std::fs::read_to_string(threshold_path)
+            .unwrap_or_else(|e| panic!("read {threshold_path}: {e}"));
+        let limits = fortrand::json::parse(&text).expect("parse serve_threshold.json");
+        let limit = |key: &str| limits.get(key).and_then(|v| v.as_int()).expect(key) as u64;
+        let cfg = fortrand_serve::LoadConfig {
+            clients: 64,
+            concurrency: 16,
+            ..fortrand_serve::LoadConfig::default()
+        };
+        let report = fortrand_serve::run_load(&cfg);
+        print_serve_report(&report);
+        let mut failed = false;
+        if report.failures > 0 {
+            eprintln!("GATE FAIL: {} failed requests (must be 0)", report.failures);
+            failed = true;
+        }
+        let min_tp = limit("min_throughput_x100");
+        if report.throughput_x100 < min_tp {
+            eprintln!(
+                "GATE FAIL: throughput {}.{:02} compiles/s below threshold {}.{:02}",
+                report.throughput_x100 / 100,
+                report.throughput_x100 % 100,
+                min_tp / 100,
+                min_tp % 100
+            );
+            failed = true;
+        }
+        let max_p99 = limit("max_p99_us");
+        if report.p99_us > max_p99 {
+            eprintln!(
+                "GATE FAIL: p99 compile latency {} us exceeds budget {max_p99} us",
+                report.p99_us
+            );
+            failed = true;
+        }
+        let min_hit = limit("min_hit_rate_x100");
+        if report.hit_rate_x100 < min_hit {
+            eprintln!(
+                "GATE FAIL: cross-session hit rate {}% below threshold {}%",
+                report.hit_rate_x100, min_hit
+            );
+            failed = true;
+        }
+        let min_speedup = limit("min_speedup_x100");
+        if report.speedup_x100 < min_speedup {
+            eprintln!(
+                "GATE FAIL: multi-client speedup {:.2}x below threshold {:.2}x",
+                report.speedup_x100 as f64 / 100.0,
+                min_speedup as f64 / 100.0
+            );
+            failed = true;
+        }
+        if json {
+            std::fs::write("BENCH_serve.json", report.to_json().pretty())
+                .expect("write BENCH_serve.json");
+            println!("wrote BENCH_serve.json");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("gate passed");
+    }
     if let Some(path) = trace_path {
         write_trace_artifact(&path);
     }
+}
+
+fn print_serve_report(report: &fortrand_serve::LoadReport) {
+    println!(
+        "{} clients, {} compiles: {} failures",
+        report.clients, report.compiles, report.failures
+    );
+    println!(
+        "multi    : wall {:>9} us, throughput {:>8}.{:02} compiles/s, hit rate {}%",
+        report.wall_us,
+        report.throughput_x100 / 100,
+        report.throughput_x100 % 100,
+        report.hit_rate_x100
+    );
+    println!(
+        "baseline : wall {:>9} us, throughput {:>8}.{:02} compiles/s",
+        report.baseline_wall_us,
+        report.baseline_throughput_x100 / 100,
+        report.baseline_throughput_x100 % 100
+    );
+    println!(
+        "latency  : p50 {} us, p95 {} us, p99 {} us; speedup {:.2}x over sequential",
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+        report.speedup_x100 as f64 / 100.0
+    );
 }
 
 /// Compiles and runs dgefa n=256 p=8 with tracing on, streams the Chrome

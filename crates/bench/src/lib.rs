@@ -12,11 +12,50 @@
 
 use fortrand::corpus::{dgefa_matrix, dgefa_source, fig15_source, fig4_source, relax_source};
 use fortrand::json::Json;
-use fortrand::{compile, CommOpt, CompileOptions, DynOptLevel, Strategy};
+use fortrand::{CommOpt, CompileOptions, DynOptLevel, Strategy};
 use fortrand_machine::{Machine, RunStats, HIST_LABELS};
-use fortrand_spmd::{run_spmd, run_spmd_engine, ExecEngine, ExecOutput};
+use fortrand_spmd::{try_run_spmd, ExecEngine, ExecOptions, ExecOutput, SpmdProgram};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Clean compile through the `Session` facade — the harness-wide
+/// replacement for the retired `fortrand::compile` wrapper (now gated
+/// behind the `legacy` cargo feature). The corpus is known-good, so any
+/// non-compile session error is a harness bug and panics.
+pub fn compile(
+    source: &str,
+    opts: &CompileOptions,
+) -> Result<fortrand::CompileOutput, fortrand::CompileError> {
+    match fortrand::Session::new(source)
+        .options(opts.clone())
+        .compile()
+    {
+        Ok(compiled) => Ok(compiled.into_output()),
+        Err(fortrand::Error::Compile(e)) => Err(e),
+        Err(e) => panic!("compile-only session hit a non-compile error: {e}"),
+    }
+}
+
+/// Panic-on-failure runner on the default engine (replaces the retired
+/// `fortrand_spmd::run_spmd` wrapper for the harness).
+pub fn run_spmd(
+    prog: &SpmdProgram,
+    machine: &Machine,
+    init: &BTreeMap<fortrand_ir::Sym, Vec<f64>>,
+) -> ExecOutput {
+    run_spmd_engine(prog, machine, init, ExecEngine::default())
+}
+
+/// [`run_spmd`] with an explicit execution engine.
+pub fn run_spmd_engine(
+    prog: &SpmdProgram,
+    machine: &Machine,
+    init: &BTreeMap<fortrand_ir::Sym, Vec<f64>>,
+    engine: ExecEngine,
+) -> ExecOutput {
+    try_run_spmd(prog, machine, init, &ExecOptions::new().engine(engine))
+        .unwrap_or_else(|f| panic!("{f}"))
+}
 
 /// Compiles and simulates one program; panics on compile errors (the
 /// corpus is known-good).

@@ -72,6 +72,10 @@ impl std::fmt::Display for CodegenError {
 
 type R<T> = Result<T, CodegenError>;
 
+/// One wavefront level's output slots, filled in (by index) from pool
+/// worker threads.
+type LevelSlots = std::sync::Arc<std::sync::Mutex<Vec<Option<R<(SpmdProgram, CompiledUnit)>>>>>;
+
 /// Everything the per-unit compilers need.
 pub struct Ctx<'a> {
     /// Cloned program.
@@ -97,6 +101,7 @@ pub struct Ctx<'a> {
 }
 
 /// A compiled unit's public record.
+#[derive(Clone)]
 pub struct CompiledUnit {
     /// Index into `SpmdProgram::procs`.
     pub proc: usize,
@@ -179,7 +184,7 @@ pub(crate) fn compile_one(
 
 /// Compiles one unit into a private scratch program seeded with the merged
 /// program's interner and distribution table.
-fn compile_unit_scratch(
+pub(crate) fn compile_unit_scratch(
     ctx: &Ctx,
     name: Sym,
     base_interner: &Interner,
@@ -198,33 +203,92 @@ fn compile_unit_scratch(
     Ok((scratch, cu))
 }
 
-/// Compiles every unit on a wavefront-parallel schedule over the ACG.
+/// Merges one scratch-compiled unit into the growing program: scratch-local
+/// symbols (ids ≥ `l0`) and distributions (ids ≥ `d0`) are re-interned /
+/// deduplicated into `spmd`, and the procedure is appended. Returns the
+/// unit's record with its final procedure index. Shared by the pooled
+/// wavefront sweep and the incremental engine; merging in flattened
+/// reverse-topo order makes the result identical — not just equivalent —
+/// to the sequential sweep's.
+pub(crate) fn merge_scratch_unit(
+    spmd: &mut SpmdProgram,
+    scratch: SpmdProgram,
+    mut cu: CompiledUnit,
+    l0: usize,
+    d0: usize,
+) -> R<CompiledUnit> {
+    let sym_map: Vec<Sym> = (0..scratch.interner.len() as u32)
+        .map(|i| {
+            if (i as usize) < l0 {
+                Sym(i)
+            } else {
+                spmd.interner.intern(scratch.interner.name(Sym(i)))
+            }
+        })
+        .collect();
+    let dist_map: Vec<DistId> = scratch
+        .dists
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            if i < d0 {
+                DistId(i as u32)
+            } else {
+                spmd.add_dist(d.clone())
+            }
+        })
+        .collect();
+    let mut proc = scratch
+        .procs
+        .into_iter()
+        .next()
+        .ok_or_else(|| CodegenError::at(0, "unit produced no procedure"))?;
+    let sym_f = |s: Sym| sym_map[s.0 as usize];
+    let dist_f = |d: DistId| dist_map[d.0 as usize];
+    // Call targets were merged in earlier levels, so their indices are
+    // already final.
+    let proc_f = |p: usize| p;
+    fortrand_spmd::rewrite::remap_proc(
+        &mut proc,
+        &fortrand_spmd::rewrite::ProcRemap {
+            sym: &sym_f,
+            dist: &dist_f,
+            proc: &proc_f,
+        },
+    );
+    cu.proc = spmd.procs.len();
+    spmd.procs.push(proc);
+    Ok(cu)
+}
+
+/// Compiles every unit on a wavefront-parallel schedule over the ACG,
+/// with per-unit jobs scheduled on a (possibly shared) [`CompilePool`].
 ///
 /// Units in the same wavefront level have no call edges between them
-/// (every call edge crosses levels), so they are compiled concurrently on
-/// up to `threads` scoped threads, each into a scratch program seeded with
-/// the merged program's state at the start of the level. Scratch results
-/// are then merged serially in the exact order [`compile_all`] visits
-/// units, remapping scratch-local symbols and distribution ids into the
-/// merged program. Fresh names collide and dedup across units exactly as
-/// they do sequentially, so the merged program is identical — not just
-/// equivalent — to the sequential one.
-pub fn compile_all_parallel(
-    ctx: &Ctx,
-    threads: usize,
+/// (every call edge crosses levels), so each is submitted as one pool job
+/// compiling into a scratch program seeded with the merged program's state
+/// at the start of the level. Scratch results are then merged serially in
+/// the exact order [`compile_all`] visits units, so the merged program is
+/// identical — not just equivalent — to the sequential one. Because the
+/// pool is externally owned, batches from concurrent compilations (other
+/// sessions, a compile server) interleave on the same workers.
+pub(crate) fn compile_all_pooled(
+    an: &std::sync::Arc<crate::driver::Analysis>,
+    dyn_opt: DynOptLevel,
+    pool: &crate::pool::CompilePool,
     trace: &fortrand_trace::Trace,
 ) -> R<(SpmdProgram, BTreeMap<Sym, CompiledUnit>)> {
-    let threads = threads.max(1);
+    use std::sync::{Arc, Mutex};
     let mut spmd = SpmdProgram {
-        interner: ctx.prog.interner.clone(),
-        nprocs: ctx.nprocs,
+        interner: an.prog.interner.clone(),
+        nprocs: an.nprocs,
         procs: Vec::new(),
         main: usize::MAX,
         dists: Vec::new(),
     };
     let mut compiled: BTreeMap<Sym, CompiledUnit> = BTreeMap::new();
     let mut dyn_summaries: BTreeMap<Sym, DynDecompSummary> = BTreeMap::new();
-    for (level_idx, level) in ctx.acg.wavefront_levels().into_iter().enumerate() {
+    for (level_idx, level) in an.acg.wavefront_levels().into_iter().enumerate() {
         let _level_span = trace.span(
             fortrand_trace::PID_COMPILE,
             0,
@@ -233,105 +297,65 @@ pub fn compile_all_parallel(
         );
         // Snapshot the merged state: every unit in this level compiles
         // against the same base, so scratch-local ids start at (l0, d0).
-        let base_interner = spmd.interner.clone();
-        let base_dists = spmd.dists.clone();
+        // The snapshots are Arc'd because pool jobs must be 'static —
+        // the pool outlives this compilation.
+        let base_interner = Arc::new(spmd.interner.clone());
+        let base_dists = Arc::new(spmd.dists.clone());
         let l0 = base_interner.len();
         let d0 = base_dists.len();
-        let chunk = level.len().div_ceil(threads).max(1);
-        let results: Vec<R<(SpmdProgram, CompiledUnit)>> = std::thread::scope(|s| {
-            let handles: Vec<_> = level
-                .chunks(chunk)
-                .enumerate()
-                .map(|(worker, units)| {
-                    let (base_interner, base_dists) = (&base_interner, &base_dists);
-                    let (compiled, dyn_summaries) = (&compiled, &dyn_summaries);
-                    s.spawn(move || {
-                        units
-                            .iter()
-                            .map(|&name| {
-                                let t0 = trace.now_us();
-                                let r = compile_unit_scratch(
-                                    ctx,
-                                    name,
-                                    base_interner,
-                                    base_dists,
-                                    compiled,
-                                    dyn_summaries,
-                                );
-                                if trace.on() {
-                                    // Worker tracks are tid 1..=threads;
-                                    // tid 0 is the driver thread.
-                                    let t1 = trace.now_us();
-                                    trace.complete(
-                                        fortrand_trace::PID_COMPILE,
-                                        worker as u32 + 1,
-                                        "codegen",
-                                        ctx.prog.interner.name(name),
-                                        t0,
-                                        t1 - t0,
-                                        vec![
-                                            ("level", level_idx.into()),
-                                            ("worker", worker.into()),
-                                        ],
-                                    );
-                                }
-                                r
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("codegen worker panicked"))
-                .collect()
-        });
+        let callees = Arc::new(std::mem::take(&mut compiled));
+        let summaries = Arc::new(std::mem::take(&mut dyn_summaries));
+        let slots: LevelSlots = Arc::new(Mutex::new((0..level.len()).map(|_| None).collect()));
+        let jobs = level
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| {
+                let an = Arc::clone(an);
+                let base_interner = Arc::clone(&base_interner);
+                let base_dists = Arc::clone(&base_dists);
+                let callees = Arc::clone(&callees);
+                let summaries = Arc::clone(&summaries);
+                let slots = Arc::clone(&slots);
+                let trace = trace.clone();
+                Box::new(move |worker: usize| {
+                    let t0 = trace.now_us();
+                    let ctx = an.ctx(dyn_opt);
+                    let r = compile_unit_scratch(
+                        &ctx,
+                        name,
+                        &base_interner,
+                        &base_dists,
+                        &callees,
+                        &summaries,
+                    );
+                    if trace.on() {
+                        // Worker tracks are tid 1..=threads; tid 0 is the
+                        // driver thread.
+                        let t1 = trace.now_us();
+                        trace.complete(
+                            fortrand_trace::PID_COMPILE,
+                            worker as u32 + 1,
+                            "codegen",
+                            an.prog.interner.name(name),
+                            t0,
+                            t1 - t0,
+                            vec![("level", level_idx.into()), ("worker", worker.into())],
+                        );
+                    }
+                    slots.lock().expect("codegen slots poisoned")[i] = Some(r);
+                }) as Box<dyn FnOnce(usize) + Send>
+            })
+            .collect();
+        pool.run_batch(jobs);
+        compiled = Arc::try_unwrap(callees).unwrap_or_else(|a| (*a).clone());
+        dyn_summaries = Arc::try_unwrap(summaries).unwrap_or_else(|a| (*a).clone());
+        let results = std::mem::take(&mut *slots.lock().expect("codegen slots poisoned"));
         // Merge serially in level order (= flattened reverse-topo order).
         // `?` surfaces the first error in that order, matching sequential.
         for (&name, result) in level.iter().zip(results) {
-            let (scratch, mut cu) = result?;
-            let sym_map: Vec<Sym> = (0..scratch.interner.len() as u32)
-                .map(|i| {
-                    if (i as usize) < l0 {
-                        Sym(i)
-                    } else {
-                        spmd.interner.intern(scratch.interner.name(Sym(i)))
-                    }
-                })
-                .collect();
-            let dist_map: Vec<DistId> = scratch
-                .dists
-                .iter()
-                .enumerate()
-                .map(|(i, d)| {
-                    if i < d0 {
-                        DistId(i as u32)
-                    } else {
-                        spmd.add_dist(d.clone())
-                    }
-                })
-                .collect();
-            let mut proc = scratch
-                .procs
-                .into_iter()
-                .next()
-                .ok_or_else(|| CodegenError::at(0, "unit produced no procedure"))?;
-            let sym_f = |s: Sym| sym_map[s.0 as usize];
-            let dist_f = |d: DistId| dist_map[d.0 as usize];
-            // Call targets were merged in earlier levels, so their indices
-            // are already final.
-            let proc_f = |p: usize| p;
-            fortrand_spmd::rewrite::remap_proc(
-                &mut proc,
-                &fortrand_spmd::rewrite::ProcRemap {
-                    sym: &sym_f,
-                    dist: &dist_f,
-                    proc: &proc_f,
-                },
-            );
-            cu.proc = spmd.procs.len();
-            spmd.procs.push(proc);
-            let unit = ctx.prog.unit(name).expect("unit checked during compile");
+            let (scratch, cu) = result.expect("pool ran every job")?;
+            let cu = merge_scratch_unit(&mut spmd, scratch, cu, l0, d0)?;
+            let unit = an.prog.unit(name).expect("unit checked during compile");
             if unit.kind == UnitKind::Program {
                 spmd.main = cu.proc;
             }

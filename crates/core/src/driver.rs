@@ -72,6 +72,11 @@ pub struct CompileOptions {
     /// Communication optimization level (paper §7's message aggregation
     /// plus interprocedural redundant-communication elimination).
     pub comm_opt: CommOpt,
+    /// Externally owned codegen worker pool. When set, the wavefront sweep
+    /// submits its per-unit batches here instead of spawning threads, so
+    /// concurrent compiles from different sessions interleave on one pool;
+    /// this takes precedence over [`CompileOptions::mode`].
+    pub pool: Option<crate::pool::CompilePool>,
 }
 
 impl Default for CompileOptions {
@@ -83,6 +88,7 @@ impl Default for CompileOptions {
             clone_limit: 64,
             mode: CompileMode::Sequential,
             comm_opt: CommOpt::Full,
+            pool: None,
         }
     }
 }
@@ -138,6 +144,12 @@ impl CompileOptionsBuilder {
     /// Communication optimization level.
     pub fn comm_opt(mut self, comm_opt: CommOpt) -> Self {
         self.opts.comm_opt = comm_opt;
+        self
+    }
+
+    /// Shared codegen worker pool (see [`CompileOptions::pool`]).
+    pub fn pool(mut self, pool: crate::pool::CompilePool) -> Self {
+        self.opts.pool = Some(pool);
         self
     }
 
@@ -210,6 +222,10 @@ pub struct CompileReport {
     pub pass_stats: Vec<SolveStats>,
     /// What the communication optimizer did.
     pub comm: OptReport,
+    /// Artifact-store counters at the end of the compile, when the compile
+    /// went through an [`crate::IncrementalEngine`] (shared-store path);
+    /// `None` for one-shot clean compiles.
+    pub store: Option<crate::store::StoreStats>,
 }
 
 /// Folds one simulated run's execution-engine cost into a report's
@@ -379,9 +395,11 @@ pub(crate) fn analyze(
 
 /// Compiles Fortran D source to an SPMD node program.
 ///
-/// Note: thin wrapper kept for compatibility — prefer the
-/// `fortrand::Session` facade, which also carries tracing and run
-/// options. Equivalent to [`compile_with_trace`] with tracing off.
+/// Retired wrapper, available only with the `legacy` cargo feature (and
+/// to this crate's own unit tests) — prefer the `fortrand::Session`
+/// facade, which also carries tracing and run options. Equivalent to
+/// [`compile_with_trace`] with tracing off.
+#[cfg(any(test, feature = "legacy"))]
 pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompileOutput, CompileError> {
     compile_with_trace(source, opts, &Trace::off())
 }
@@ -399,15 +417,19 @@ pub fn compile_with_trace(
     if trace.on() {
         trace.name_track(PID_COMPILE, 0, "driver");
     }
-    let an = analyze(source, opts, trace)?;
+    let an = std::sync::Arc::new(analyze(source, opts, trace)?);
 
-    // Phase 3: reverse-topological code generation, sequential or
-    // wavefront-parallel (identical output either way).
-    let ctx = an.ctx(opts.dyn_opt);
+    // Phase 3: reverse-topological code generation — sequential, on a
+    // caller-provided shared pool, or on a transient pool for
+    // `CompileMode::Parallel` (identical output all three ways).
     let codegen_span = trace.span(PID_COMPILE, 0, "driver", "codegen");
-    let (mut spmd, compiled) = match opts.mode {
-        CompileMode::Sequential => codegen::compile_all(&ctx, trace),
-        CompileMode::Parallel(threads) => codegen::compile_all_parallel(&ctx, threads, trace),
+    let (mut spmd, compiled) = match (&opts.pool, opts.mode) {
+        (Some(pool), _) => codegen::compile_all_pooled(&an, opts.dyn_opt, pool, trace),
+        (None, CompileMode::Sequential) => codegen::compile_all(&an.ctx(opts.dyn_opt), trace),
+        (None, CompileMode::Parallel(threads)) => {
+            let pool = crate::pool::CompilePool::new(threads);
+            codegen::compile_all_pooled(&an, opts.dyn_opt, &pool, trace)
+        }
     }
     .map_err(CompileError::Codegen)?;
     drop(codegen_span);
@@ -616,11 +638,28 @@ fn count_static(body: &[SStmt], r: &mut CompileReport) {
 /// generated code without appearing as statements — a `PARAMETER` value
 /// edit must read as a source change.
 pub(crate) fn unit_fingerprint(u: &fortrand_frontend::ProcUnit) -> String {
-    let mut s = format!("{:?}|{:?}|{:?}|{:?}|", u.kind, u.name, u.formals, u.decls);
+    let mut s = format!("{:?}|{:?}|{:?}|", u.kind, u.name, u.formals);
+    for d in &u.decls {
+        s.push_str(&decl_tag(d));
+    }
+    s.push('|');
     for st in u.walk() {
         s.push_str(&format!("{:?};", kind_tag(&st.kind)));
     }
     s
+}
+
+/// Renders a declaration without its source line: the fingerprint must be
+/// a *structural* address, stable under whitespace-only edits and under
+/// reordering whole units in the file (both shift line numbers), so the
+/// shared artifact store can recognise already-compiled content.
+fn decl_tag(d: &fortrand_frontend::Decl) -> String {
+    use fortrand_frontend::Decl::*;
+    match d {
+        Var { ty, name, dims, .. } => format!("V{ty:?}{name:?}{dims:?};"),
+        Parameter { name, value, .. } => format!("P{name:?}{value:?};"),
+        Decomposition { name, dims, .. } => format!("D{name:?}{dims:?};"),
+    }
 }
 
 fn kind_tag(k: &fortrand_frontend::StmtKind) -> String {
@@ -646,7 +685,7 @@ fn kind_tag(k: &fortrand_frontend::StmtKind) -> String {
     }
 }
 
-fn hash_of(s: &str) -> u64 {
+pub(crate) fn hash_of(s: &str) -> u64 {
     let mut h = DefaultHasher::new();
     s.hash(&mut h);
     h.finish()

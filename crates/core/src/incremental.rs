@@ -6,60 +6,52 @@
 //!
 //! * the per-unit source/facts hash database ([`ModuleDb`], persistable as
 //!   JSON), and
-//! * an **artifact cache**: each unit's emitted [`SProc`], its
-//!   [`Residual`], and its [`DynDecompSummary`], stored in a dense
-//!   unit-local id space alongside the name/distribution tables needed to
-//!   graft them into any later compilation.
+//! * a handle to an **artifact store** ([`ArtifactStore`]): each unit's
+//!   emitted [`SProc`], its [`Residual`], and its [`DynDecompSummary`],
+//!   stored in a dense unit-local id space alongside the
+//!   name/distribution tables needed to graft them into any later
+//!   compilation. The store is *content-addressed* — keyed by (driver
+//!   options, unit source hash, consumed-facts digests) — and may be
+//!   shared by any number of engines: a unit compiled by one session is a
+//!   cache hit for every other session whose key matches.
 //!
 //! A recompile runs the (cheap) analysis phases in full — local analysis
 //! and interprocedural propagation are what produce the facts the §8 test
-//! compares — then sweeps units in reverse topological order. A unit whose
-//! own source hash *and* consumed-facts hash both match the previous
-//! compilation is **reused**: its cached procedure is remapped by name
-//! into the new program, skipping code generation entirely. Everything
-//! else is recompiled. Because callees are decided before callers, a
-//! changed residual in a leaf transparently flips its callers to
-//! "facts changed" in the same sweep.
+//! compares — then sweeps units level by level along the ACG's wavefront
+//! order (whose flattening *is* reverse topological order). A unit whose
+//! content key is present in the store is **reused**: its cached
+//! procedure is remapped by name into the new program, skipping code
+//! generation entirely. Everything else is recompiled — inline when the
+//! engine has no worker pool, or as a batch of per-unit scratch jobs on a
+//! (possibly shared) [`CompilePool`] when it does, so concurrent compiles
+//! from different sessions interleave on the same workers. Because
+//! callees are decided before callers, a changed residual in a leaf
+//! transparently flips its callers to "facts changed" in the same sweep.
 //!
 //! Reused output is identical to what recompiling would produce: codegen
 //! is a deterministic function of (unit source, consumed facts), and both
-//! are covered by the hashes.
+//! are covered by the content key.
 
 use crate::codegen::{self, CompiledUnit};
 use crate::driver::{
-    analyze, build_report, stable_hash, unit_fact_classes, unit_fingerprint, CompileError,
+    analyze, build_report, hash_of, stable_hash, unit_fact_classes, unit_fingerprint, CompileError,
     CompileOptions, CompileReport,
 };
 use crate::model::{CommPattern, DynDecompSummary, Residual};
+use crate::pool::CompilePool;
 use crate::recompile::{ModuleDb, Reason, UnitRecord};
+use crate::store::{ArtifactKey, ArtifactStore, CachedUnit, StoreStats};
+use fortrand_analysis::framework::SolveStats;
 use fortrand_frontend::ast::UnitKind;
 use fortrand_ir::dist::ArrayDist;
 use fortrand_ir::rsd::{Rsd, Triplet};
 use fortrand_ir::{Affine, Sym};
-use fortrand_spmd::ir::{DistId, SProc, SpmdProgram};
+use fortrand_spmd::ir::{DistId, SpmdProgram};
 use fortrand_spmd::rewrite::{remap_proc, ProcRemap};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-
-/// One unit's cached compilation artifacts, self-contained: all symbol,
-/// distribution and callee references are dense unit-local indices into
-/// the tables stored here, so the artifact can be grafted into a program
-/// whose interner assigns different ids.
-#[derive(Clone, Debug)]
-struct CachedUnit {
-    /// The emitted procedure (dense ids).
-    proc: SProc,
-    /// Residual handed to callers (dense syms).
-    residual: Residual,
-    /// Dynamic-decomposition summary (dense syms).
-    dyn_summary: DynDecompSummary,
-    /// Dense symbol id → name.
-    names: Vec<String>,
-    /// Dense distribution id → distribution.
-    dists: Vec<ArrayDist>,
-    /// Dense callee reference → callee procedure name.
-    callees: Vec<String>,
-}
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// What one incremental compilation did.
 pub struct IncrementalOutput {
@@ -71,22 +63,42 @@ pub struct IncrementalOutput {
     pub recompiled: BTreeMap<String, Reason>,
     /// Units whose cached code was reused.
     pub reused: Vec<String>,
+    /// Artifact-store counters after this compile (cumulative for the
+    /// store, which other sessions may share).
+    pub store: StoreStats,
 }
 
-/// Persistent compilation state: hash database + artifact cache.
-#[derive(Default)]
+/// Persistent compilation state: a session-local hash database over a
+/// (possibly shared) content-addressed artifact store.
 pub struct IncrementalEngine {
     db: ModuleDb,
-    cache: BTreeMap<String, CachedUnit>,
-    /// Options fingerprint of the cached compile; a change invalidates
-    /// everything (the facts hashes don't cover driver options).
+    store: Arc<ArtifactStore>,
+    /// Shared codegen worker pool for recompile batches; `None` compiles
+    /// misses inline on the calling thread.
+    pool: Option<CompilePool>,
+    /// Options fingerprint of the previous compile; a change resets the
+    /// session's §8 decision database (the *store* needs no flush — its
+    /// keys already fold the options in).
     opts_key: String,
     /// Trace handle: cache hit/miss events ride the compile timeline.
     trace: fortrand_trace::Trace,
 }
 
+impl Default for IncrementalEngine {
+    fn default() -> Self {
+        IncrementalEngine {
+            db: ModuleDb::default(),
+            store: Arc::new(ArtifactStore::new()),
+            pool: None,
+            opts_key: String::new(),
+            trace: fortrand_trace::Trace::off(),
+        }
+    }
+}
+
 impl IncrementalEngine {
-    /// Fresh engine with no history (first compile recompiles everything).
+    /// Fresh engine over a private store (first compile recompiles
+    /// everything).
     pub fn new() -> Self {
         Self::default()
     }
@@ -99,10 +111,25 @@ impl IncrementalEngine {
         self
     }
 
+    /// Rebinds the engine onto a shared artifact store, making this
+    /// session a cheap handle over cross-session state: units compiled by
+    /// any other session bound to `store` are cache hits here.
+    pub fn with_store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Attaches a shared codegen worker pool: each wavefront level's cache
+    /// misses are recompiled as one batch of per-unit jobs on it.
+    pub fn with_pool(mut self, pool: CompilePool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Seeds the hash database from persisted JSON (see
     /// [`ModuleDb::to_json`]). Artifacts are not persisted, so units
     /// matching the database still recompile until the first in-memory
-    /// compile repopulates the cache; the database alone still yields
+    /// compile repopulates the store; the database alone still yields
     /// correct §8 recompile *decisions* for reporting.
     pub fn with_db(db: ModuleDb) -> Self {
         IncrementalEngine {
@@ -116,8 +143,15 @@ impl IncrementalEngine {
         &self.db
     }
 
-    /// Compiles `source`, reusing cached artifacts for every unit whose
-    /// source and consumed facts are unchanged since the previous call.
+    /// The artifact store this engine compiles against.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// Compiles `source`, reusing stored artifacts for every unit whose
+    /// content key — options, source structure, consumed facts — matches
+    /// one already in the store (from this session or any other sharing
+    /// it).
     pub fn compile(
         &mut self,
         source: &str,
@@ -126,7 +160,8 @@ impl IncrementalEngine {
         use fortrand_trace::PID_COMPILE;
         let trace = self.trace.clone();
         let root = trace.span(PID_COMPILE, 0, "incremental", "incremental compile");
-        let an = analyze(source, opts, &trace)?;
+        let stats0 = self.store.stats();
+        let an = Arc::new(analyze(source, opts, &trace)?);
         let opts_key = format!(
             "{:?}|{}|{:?}|{}|{}",
             an.strategy,
@@ -136,9 +171,12 @@ impl IncrementalEngine {
             opts.comm_opt.as_str()
         );
         if opts_key != self.opts_key {
-            self.cache.clear();
+            // The §8 reason bookkeeping restarts; stored artifacts keyed
+            // under other options stay put (and stay valid) for whichever
+            // session compiles with those options next.
             self.db = ModuleDb::default();
         }
+        let opts_hash = hash_of(&opts_key);
 
         let mut spmd = SpmdProgram {
             interner: an.prog.interner.clone(),
@@ -154,83 +192,165 @@ impl IncrementalEngine {
         let mut reused: Vec<String> = Vec::new();
         #[allow(clippy::type_complexity)]
         let mut sweep_hashes: BTreeMap<String, (u64, BTreeMap<String, u64>)> = BTreeMap::new();
+        let mut store_keys: BTreeMap<String, ArtifactKey> = BTreeMap::new();
 
-        let ctx = an.ctx(opts.dyn_opt);
-        for name in an.acg.reverse_topo() {
-            let unit = an
-                .prog
-                .unit(name)
-                .ok_or_else(|| CompileError::Graph("unit missing from program".into()))?;
-            let name_str = an.prog.interner.name(name).to_string();
-            let source_hash = stable_hash(&unit_fingerprint(unit), &an.prog.interner);
-            // Callees were decided earlier in the sweep, so the facts this
-            // unit's code would consume are fully known before we choose.
-            // Per-class digests: a unit is reusable only when *every* fact
-            // class it consumes is unchanged, and an edit perturbing one
-            // class leaves units that don't consume it untouched.
-            let digests: BTreeMap<String, u64> = unit_fact_classes(&an, unit, &compiled)
-                .into_iter()
-                .map(|(class, rendered)| {
-                    (class.to_string(), stable_hash(&rendered, &an.prog.interner))
-                })
-                .collect();
-            sweep_hashes.insert(name_str.clone(), (source_hash, digests.clone()));
+        // Sweep by wavefront level; the flattened level order *is*
+        // reverse-topo order, so decisions, grafts and merges all happen
+        // in exactly the sequence the sequential driver uses, and the
+        // assembled program is byte-identical to a clean compile's.
+        for level in an.acg.wavefront_levels() {
+            // Decide every unit of the level first. Callees belong to
+            // earlier levels, so the facts each unit consumes are fully
+            // known before any of the level's code generation runs.
+            let mut plans: Vec<(Sym, String, Option<CachedUnit>)> = Vec::new();
+            for &name in &level {
+                let unit = an
+                    .prog
+                    .unit(name)
+                    .ok_or_else(|| CompileError::Graph("unit missing from program".into()))?;
+                let name_str = an.prog.interner.name(name).to_string();
+                let source_hash = stable_hash(&unit_fingerprint(unit), &an.prog.interner);
+                // Per-class digests: a unit is reusable only when *every*
+                // fact class it consumes is unchanged, and an edit
+                // perturbing one class leaves units that don't consume it
+                // untouched.
+                let digests: BTreeMap<String, u64> = unit_fact_classes(&an, unit, &compiled)
+                    .into_iter()
+                    .map(|(class, rendered)| {
+                        (class.to_string(), stable_hash(&rendered, &an.prog.interner))
+                    })
+                    .collect();
+                let key = ArtifactKey::new(opts_hash, source_hash, {
+                    let mut h = std::collections::hash_map::DefaultHasher::new();
+                    digests.hash(&mut h);
+                    h.finish()
+                });
+                sweep_hashes.insert(name_str.clone(), (source_hash, digests.clone()));
+                store_keys.insert(name_str.clone(), key);
 
-            let decision = match self.db.units.get(&name_str) {
-                Some(rec)
-                    if rec.source_hash == source_hash
-                        && rec.digests == digests
-                        && self.cache.contains_key(&name_str) =>
-                {
-                    None
-                }
-                Some(rec) if rec.source_hash != source_hash => Some(Reason::SourceChanged),
-                Some(_) => Some(Reason::FactsChanged),
-                None => Some(Reason::New),
-            };
-
-            let cu = match decision {
-                None => {
-                    if trace.on() {
-                        let ts = trace.now_us();
-                        trace.instant(
-                            PID_COMPILE,
-                            0,
-                            "incremental",
-                            "cache hit",
-                            ts,
-                            vec![("unit", name_str.as_str().into())],
-                        );
+                let cached = self.store.get(&key);
+                match &cached {
+                    Some(_) => {
+                        if trace.on() {
+                            let ts = trace.now_us();
+                            trace.instant(
+                                PID_COMPILE,
+                                0,
+                                "incremental",
+                                "cache hit",
+                                ts,
+                                vec![("unit", name_str.as_str().into())],
+                            );
+                        }
+                        reused.push(name_str.clone());
                     }
-                    reused.push(name_str.clone());
-                    graft(&self.cache[&name_str], &mut spmd, &proc_index)
-                }
-                Some(reason) => {
-                    if trace.on() {
-                        let ts = trace.now_us();
-                        trace.instant(
-                            PID_COMPILE,
-                            0,
-                            "incremental",
-                            "cache miss",
-                            ts,
-                            vec![
-                                ("unit", name_str.as_str().into()),
-                                ("reason", format!("{reason:?}").into()),
-                            ],
-                        );
+                    None => {
+                        // The §8 reason comes from the session database:
+                        // the store can't distinguish "new" from "evicted"
+                        // from "another session's edit".
+                        let reason = match self.db.units.get(&name_str) {
+                            None => Reason::New,
+                            Some(rec) if rec.source_hash != source_hash => Reason::SourceChanged,
+                            Some(_) => Reason::FactsChanged,
+                        };
+                        if trace.on() {
+                            let ts = trace.now_us();
+                            trace.instant(
+                                PID_COMPILE,
+                                0,
+                                "incremental",
+                                "cache miss",
+                                ts,
+                                vec![
+                                    ("unit", name_str.as_str().into()),
+                                    ("reason", format!("{reason:?}").into()),
+                                ],
+                            );
+                        }
+                        recompiled.insert(name_str.clone(), reason);
                     }
-                    recompiled.insert(name_str.clone(), reason);
-                    codegen::compile_one(&ctx, name, &mut spmd, &compiled, &dyn_summaries)
-                        .map_err(CompileError::Codegen)?
                 }
-            };
-            proc_index.insert(name_str, cu.proc);
-            if unit.kind == UnitKind::Program {
-                spmd.main = cu.proc;
+                plans.push((name, name_str, cached));
             }
-            dyn_summaries.insert(name, cu.dyn_summary.clone());
-            compiled.insert(name, cu);
+
+            // Recompile the level's misses: batched onto the worker pool
+            // when one is attached (scratch programs seeded at the level
+            // base, merged in order below — the wavefront-driver scheme),
+            // inline otherwise.
+            let misses: Vec<usize> = (0..plans.len()).filter(|&i| plans[i].2.is_none()).collect();
+            let mut scratch_results: BTreeMap<usize, (SpmdProgram, CompiledUnit)> = BTreeMap::new();
+            let (l0, d0) = (spmd.interner.len(), spmd.dists.len());
+            if let Some(pool) = self.pool.clone().filter(|_| misses.len() > 1) {
+                let base_interner = Arc::new(spmd.interner.clone());
+                let base_dists = Arc::new(spmd.dists.clone());
+                let callees = Arc::new(std::mem::take(&mut compiled));
+                let summaries = Arc::new(std::mem::take(&mut dyn_summaries));
+                type Slot = Option<Result<(SpmdProgram, CompiledUnit), codegen::CodegenError>>;
+                let slots: Arc<Mutex<BTreeMap<usize, Slot>>> =
+                    Arc::new(Mutex::new(misses.iter().map(|&i| (i, None)).collect()));
+                let jobs = misses
+                    .iter()
+                    .map(|&i| {
+                        let name = plans[i].0;
+                        let an = Arc::clone(&an);
+                        let dyn_opt = opts.dyn_opt;
+                        let base_interner = Arc::clone(&base_interner);
+                        let base_dists = Arc::clone(&base_dists);
+                        let callees = Arc::clone(&callees);
+                        let summaries = Arc::clone(&summaries);
+                        let slots = Arc::clone(&slots);
+                        Box::new(move |_worker: usize| {
+                            let ctx = an.ctx(dyn_opt);
+                            let r = codegen::compile_unit_scratch(
+                                &ctx,
+                                name,
+                                &base_interner,
+                                &base_dists,
+                                &callees,
+                                &summaries,
+                            );
+                            slots
+                                .lock()
+                                .expect("recompile slots poisoned")
+                                .insert(i, Some(r));
+                        }) as Box<dyn FnOnce(usize) + Send>
+                    })
+                    .collect();
+                pool.run_batch(jobs);
+                compiled = Arc::try_unwrap(callees).unwrap_or_else(|a| (*a).clone());
+                dyn_summaries = Arc::try_unwrap(summaries).unwrap_or_else(|a| (*a).clone());
+                let slots = std::mem::take(&mut *slots.lock().expect("recompile slots poisoned"));
+                for (i, slot) in slots {
+                    let r = slot.expect("pool ran every job");
+                    scratch_results.insert(i, r.map_err(CompileError::Codegen)?);
+                }
+            }
+
+            // Assemble the level in order: grafts for hits, merges (or
+            // inline compiles) for misses.
+            for (i, (name, name_str, cached)) in plans.into_iter().enumerate() {
+                let unit = an.prog.unit(name).expect("unit resolved above");
+                let cu = match cached {
+                    Some(c) => graft(&c, &mut spmd, &proc_index),
+                    None => match scratch_results.remove(&i) {
+                        Some((scratch, cu)) => {
+                            codegen::merge_scratch_unit(&mut spmd, scratch, cu, l0, d0)
+                                .map_err(CompileError::Codegen)?
+                        }
+                        None => {
+                            let ctx = an.ctx(opts.dyn_opt);
+                            codegen::compile_one(&ctx, name, &mut spmd, &compiled, &dyn_summaries)
+                                .map_err(CompileError::Codegen)?
+                        }
+                    },
+                };
+                proc_index.insert(name_str, cu.proc);
+                if unit.kind == UnitKind::Program {
+                    spmd.main = cu.proc;
+                }
+                dyn_summaries.insert(name, cu.dyn_summary.clone());
+                compiled.insert(name, cu);
+            }
         }
         if spmd.main == usize::MAX {
             return Err(CompileError::Graph("no PROGRAM unit".into()));
@@ -238,7 +358,7 @@ impl IncrementalEngine {
 
         // Refresh the persistent state from this compile — from the RAW
         // codegen output and the sweep's own hashes. The communication
-        // optimizer runs over the assembled program below; caching
+        // optimizer runs over the assembled program below; storing
         // pre-optimization artifacts keeps graft-then-optimize
         // byte-identical to a clean compile, and the stored facts hashes
         // must match what the next sweep computes (the report's hashes
@@ -255,17 +375,49 @@ impl IncrementalEngine {
                     digests,
                 },
             );
-            self.cache.insert(name_str, densify(cu, &spmd, &proc_index));
+            if recompiled.contains_key(&name_str) {
+                // Hits are already stored (and their recency was bumped by
+                // the lookup); only freshly compiled artifacts are new.
+                self.store
+                    .put(store_keys[&name_str], densify(cu, &spmd, &proc_index));
+            }
         }
 
         let (comm, comm_stats) =
             fortrand_spmd::opt::optimize_traced(&mut spmd, opts.comm_opt, &trace);
-        let report = build_report(&an, &spmd, &compiled, comm, comm_stats);
+        let mut report = build_report(&an, &spmd, &compiled, comm, comm_stats);
+        let stats = self.store.stats();
+        report.store = Some(stats);
+        for (label, delta) in [
+            ("store hits", stats.hits - stats0.hits),
+            ("store misses", stats.misses - stats0.misses),
+            ("store evictions", stats.evictions - stats0.evictions),
+        ] {
+            report.pass_stats.push(SolveStats {
+                problem: label.into(),
+                direction: "shared".into(),
+                units: stats.entries,
+                contributions: delta as usize,
+                iterations: 1,
+                wall_ns: 0,
+            });
+        }
 
         if trace.on() {
             let ts = trace.now_us();
             trace.counter(PID_COMPILE, 0, "cache_hits", ts, reused.len() as f64);
             trace.counter(PID_COMPILE, 0, "cache_misses", ts, recompiled.len() as f64);
+            trace.counter(PID_COMPILE, 0, "store_hits", ts, stats.hits as f64);
+            trace.counter(PID_COMPILE, 0, "store_misses", ts, stats.misses as f64);
+            trace.counter(
+                PID_COMPILE,
+                0,
+                "store_evictions",
+                ts,
+                stats.evictions as f64,
+            );
+            trace.counter(PID_COMPILE, 0, "store_entries", ts, stats.entries as f64);
+            trace.counter(PID_COMPILE, 0, "store_cost_bytes", ts, stats.cost as f64);
         }
         drop(root);
 
@@ -274,6 +426,7 @@ impl IncrementalEngine {
             report,
             recompiled,
             reused,
+            store: stats,
         })
     }
 }

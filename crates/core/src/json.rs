@@ -84,6 +84,47 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the wire form of
+    /// the `fortrand-serve` line-delimited protocol.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.emit_compact(&mut out);
+        out
+    }
+
+    fn emit_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => emit_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    emit_string(out, k);
+                    out.push(':');
+                    v.emit_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn emit(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),

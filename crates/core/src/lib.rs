@@ -48,22 +48,43 @@ pub mod incremental;
 pub mod json;
 pub mod model;
 pub mod overlap;
+pub mod pool;
 pub mod recompile;
 pub mod seq;
 pub mod session;
+pub mod store;
 
+#[cfg(feature = "legacy")]
+pub use driver::compile;
 pub use driver::{
-    compile, compile_with_trace, record_exec_stats, CompileError, CompileMode, CompileOptions,
+    compile_with_trace, record_exec_stats, CompileError, CompileMode, CompileOptions,
     CompileOptionsBuilder, CompileOutput, CompileReport,
 };
 pub use fortrand_spmd::opt::{CommOpt, OptReport};
-pub use fortrand_spmd::{
-    run_spmd_engine, try_run_spmd, ExecEngine, ExecOptions, MachineKind, RankFailure,
-};
+#[cfg(feature = "legacy")]
+pub use fortrand_spmd::{run_spmd, run_spmd_engine};
+pub use fortrand_spmd::{try_run_spmd, ExecEngine, ExecOptions, MachineKind, RankFailure};
 pub use fortrand_trace::{
     ChromeTraceSink, JsonLinesSink, MemorySink, Trace, TraceSink, PID_COMPILE, PID_MACHINE,
 };
 pub use incremental::{IncrementalEngine, IncrementalOutput};
 pub use model::{DynOptLevel, Strategy};
+pub use pool::CompilePool;
 pub use seq::run_sequential;
 pub use session::{Compiled, Error, Session};
+pub use store::{ArtifactKey, ArtifactStore, StoreStats};
+
+// Compile-time thread-safety audit: the compile-as-a-service stack hands
+// these types across threads (server sessions, pooled codegen workers,
+// shared artifact store), so losing Send/Sync on any of them is an API
+// break. A `!Send` field added by accident fails the build right here
+// instead of at some distant spawn site.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<session::Session>();
+const _: () = assert_send_sync::<session::Compiled>();
+const _: () = assert_send_sync::<store::ArtifactStore>();
+const _: () = assert_send_sync::<store::StoreStats>();
+const _: () = assert_send_sync::<pool::CompilePool>();
+const _: () = assert_send_sync::<incremental::IncrementalEngine>();
+const _: () = assert_send_sync::<driver::CompileOptions>();
+const _: () = assert_send_sync::<driver::CompileReport>();

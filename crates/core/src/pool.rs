@@ -1,0 +1,253 @@
+//! Shared compile worker pool.
+//!
+//! A [`CompilePool`] owns a fixed set of worker threads executing queued
+//! codegen jobs. Unlike the scoped threads the wavefront driver used
+//! before, the pool outlives any single compilation: several sessions (or
+//! a compile server's request handlers) hand their wavefront batches to
+//! one pool, and units from different compilations interleave on the same
+//! workers. Each job receives the index of the worker running it, which
+//! the codegen layer uses for trace-track attribution (worker `w` emits on
+//! tid `w + 1`; tid 0 is the driver).
+//!
+//! Batches are synchronous from the submitter's point of view:
+//! [`CompilePool::run_batch`] enqueues every job and blocks until all of
+//! them have run. Jobs from concurrently submitted batches are drained
+//! FIFO, so no batch can starve another. The handle is cheaply cloneable;
+//! the worker threads shut down when the last clone drops.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A queued unit of work. The argument is the index of the worker
+/// executing the job, in `0..threads`.
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Joins the workers when the last [`CompilePool`] handle drops.
+struct PoolHandle {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl Drop for PoolHandle {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.shutdown = true;
+        }
+        self.available.notify_all();
+        for h in self
+            .workers
+            .lock()
+            .expect("pool workers poisoned")
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::ops::Deref for PoolHandle {
+    type Target = Shared;
+    fn deref(&self) -> &Shared {
+        &self.shared
+    }
+}
+
+/// A shared, cloneable worker pool for codegen batches (see the module
+/// docs). Dropping the last clone joins the workers.
+#[derive(Clone)]
+pub struct CompilePool {
+    handle: Arc<PoolHandle>,
+}
+
+impl std::fmt::Debug for CompilePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompilePool")
+            .field("threads", &self.handle.threads)
+            .finish()
+    }
+}
+
+impl CompilePool {
+    /// Spawns a pool with `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> CompilePool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("compile-pool-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker))
+                    .expect("spawn compile pool worker")
+            })
+            .collect();
+        CompilePool {
+            handle: Arc::new(PoolHandle {
+                shared,
+                workers: Mutex::new(workers),
+                threads,
+            }),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handle.threads
+    }
+
+    /// Enqueues every job and blocks until all of them have executed.
+    /// Jobs may run on any worker, interleaved with jobs from other
+    /// batches submitted concurrently. A panicking job does not wedge the
+    /// batch: the panic is caught on the worker, the batch completes, and
+    /// this call re-panics on the submitting thread.
+    pub fn run_batch(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch::new(jobs.len()));
+        {
+            let mut q = self.handle.queue.lock().expect("pool queue poisoned");
+            for job in jobs {
+                let latch = Arc::clone(&latch);
+                q.jobs.push_back(Box::new(move |worker| {
+                    let panicked = catch_unwind(AssertUnwindSafe(|| job(worker))).is_err();
+                    latch.complete_one(panicked);
+                }));
+            }
+        }
+        self.handle.available.notify_all();
+        if latch.wait() {
+            panic!("codegen worker panicked");
+        }
+    }
+}
+
+/// Counts outstanding jobs of one batch; `wait` returns whether any job
+/// panicked.
+struct Latch {
+    state: Mutex<(usize, bool)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Latch {
+        Latch {
+            state: Mutex::new((n, false)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self, panicked: bool) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        st.0 -= 1;
+        st.1 |= panicked;
+        if st.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock().expect("latch poisoned");
+        while st.0 > 0 {
+            st = self.done.wait(st).expect("latch poisoned");
+        }
+        st.1
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.available.wait(q).expect("pool queue poisoned");
+            }
+        };
+        job(worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn batch_runs_every_job_and_blocks_until_done() {
+        let pool = CompilePool::new(3);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..32)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                Box::new(move |worker: usize| {
+                    assert!(worker < 3);
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        pool.run_batch(jobs);
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn concurrent_batches_from_clones_interleave_without_loss() {
+        let pool = CompilePool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                let hits = Arc::clone(&hits);
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        let hits = Arc::clone(&hits);
+                        pool.run_batch(vec![Box::new(move |_| {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        }) as Job]);
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn panicking_job_surfaces_on_the_submitter_not_the_pool() {
+        let pool = CompilePool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(vec![Box::new(|_| panic!("boom")) as Job]);
+        }));
+        assert!(r.is_err());
+        // The pool survives: workers caught the panic and keep draining.
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        pool.run_batch(vec![Box::new(move |_| {
+            hits2.fetch_add(1, Ordering::SeqCst);
+        }) as Job]);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

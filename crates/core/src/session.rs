@@ -27,7 +27,10 @@
 use crate::driver::{
     compile_with_trace, CompileError, CompileMode, CompileOptions, CompileOutput, CompileReport,
 };
+use crate::incremental::IncrementalEngine;
 use crate::model::{DynOptLevel, Strategy};
+use crate::pool::CompilePool;
+use crate::store::ArtifactStore;
 use fortrand_ir::Sym;
 use fortrand_machine::{Machine, RankFailure};
 use fortrand_spmd::ir::SpmdProgram;
@@ -91,11 +94,18 @@ impl From<std::io::Error> for Error {
 }
 
 /// Builder for one compile-and-run pipeline over a source text.
+///
+/// A session is a *cheap handle*: attach a shared [`ArtifactStore`] with
+/// [`Session::store`] and this compile reuses any unit — by content — that
+/// any other session bound to the same store already compiled; attach a
+/// shared [`CompilePool`] with [`Session::pool`] and its codegen batches
+/// interleave with other sessions' on the same workers.
 #[derive(Debug)]
 pub struct Session {
     source: String,
     opts: CompileOptions,
     trace: Trace,
+    store: Option<std::sync::Arc<ArtifactStore>>,
 }
 
 impl Session {
@@ -105,6 +115,7 @@ impl Session {
             source: source.into(),
             opts: CompileOptions::default(),
             trace: Trace::off(),
+            store: None,
         }
     }
 
@@ -150,6 +161,25 @@ impl Session {
         self
     }
 
+    /// Binds this session to a shared content-addressed artifact store:
+    /// the compile routes through an [`IncrementalEngine`] over `store`,
+    /// so units already compiled by any session sharing it are grafted
+    /// instead of recompiled, and this compile's artifacts become hits
+    /// for everyone else. The resulting report carries the store counters
+    /// in [`CompileReport::store`] and `pass_stats`.
+    pub fn store(mut self, store: std::sync::Arc<ArtifactStore>) -> Session {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches a shared codegen worker pool (see [`CompileOptions::pool`]):
+    /// wavefront batches from this session interleave with other sessions'
+    /// batches on the same workers.
+    pub fn pool(mut self, pool: CompilePool) -> Session {
+        self.opts.pool = Some(pool);
+        self
+    }
+
     /// Attaches a trace sink: every later phase of this session — compile
     /// and simulated execution — emits structured events into it.
     pub fn trace(mut self, sink: impl TraceSink + Send + 'static) -> Session {
@@ -166,7 +196,22 @@ impl Session {
     /// Runs the compiler. The returned [`Compiled`] keeps the trace handle
     /// so subsequent [`Compiled::run`] calls land in the same timeline.
     pub fn compile(self) -> Result<Compiled, Error> {
-        let out = compile_with_trace(&self.source, &self.opts, &self.trace)?;
+        let out = match self.store {
+            Some(store) => {
+                let mut eng = IncrementalEngine::new()
+                    .with_store(store)
+                    .with_trace(self.trace.clone());
+                if let Some(pool) = self.opts.pool.clone() {
+                    eng = eng.with_pool(pool);
+                }
+                let inc = eng.compile(&self.source, &self.opts)?;
+                CompileOutput {
+                    spmd: inc.spmd,
+                    report: inc.report,
+                }
+            }
+            None => compile_with_trace(&self.source, &self.opts, &self.trace)?,
+        };
         Ok(Compiled {
             out,
             trace: self.trace,
@@ -262,6 +307,21 @@ mod tests {
             .run(&BTreeMap::new())
             .unwrap();
         assert!(out.stats.time_us > 0.0);
+    }
+
+    #[test]
+    fn shared_store_sessions_reuse_each_others_artifacts() {
+        let store = ArtifactStore::shared();
+        let a = Session::new(FIG1).store(store.clone()).compile().unwrap();
+        let b = Session::new(FIG1).store(store.clone()).compile().unwrap();
+        assert_eq!(a.emit(), b.emit());
+        // The second session never compiled anything before, yet every
+        // unit was a content hit from the first session's work.
+        let st = b.report().store.expect("store-backed compile");
+        assert!(st.hits > 0, "{st:?}");
+        // And the store-backed output matches a plain compile.
+        let plain = Session::new(FIG1).compile().unwrap();
+        assert_eq!(b.emit(), plain.emit());
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Shared, content-addressed artifact store.
+//!
+//! The [`crate::incremental`] engine used to keep each session's compiled
+//! artifacts in a private per-engine map, so two sessions compiling the
+//! same program recompiled everything twice. An [`ArtifactStore`] factors
+//! that state into one thread-safe substrate shared by any number of
+//! sessions (and by the `fortrand-serve` daemon): artifacts are keyed by
+//! **content** — the driver-options fingerprint, the unit's structural
+//! source hash, and the combined per-class fact digests (reaching /
+//! constants / overlaps / residuals / comm) that PR 3 introduced — so a
+//! unit compiled by *any* session is reusable by *every* session whose
+//! key matches, and a stale entry can never be returned (an edit changes
+//! the key, it does not overwrite the slot).
+//!
+//! The store is bounded: each entry is charged an approximate cost,
+//! least-recently-used entries are evicted once the total exceeds the
+//! capacity, and hit/miss/eviction/insertion counters are exposed via
+//! [`ArtifactStore::stats`] — the incremental engine surfaces them on the
+//! trace and in `CompileReport::pass_stats`.
+
+use crate::model::{DynDecompSummary, Residual};
+use fortrand_ir::dist::ArrayDist;
+use fortrand_spmd::ir::{SProc, SStmt};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One unit's cached compilation artifacts, self-contained: all symbol,
+/// distribution and callee references are dense unit-local indices into
+/// the tables stored here, so the artifact can be grafted into a program
+/// whose interner assigns different ids.
+#[derive(Clone, Debug)]
+pub struct CachedUnit {
+    /// The emitted procedure (dense ids).
+    pub(crate) proc: SProc,
+    /// Residual handed to callers (dense syms).
+    pub(crate) residual: Residual,
+    /// Dynamic-decomposition summary (dense syms).
+    pub(crate) dyn_summary: DynDecompSummary,
+    /// Dense symbol id → name.
+    pub(crate) names: Vec<String>,
+    /// Dense distribution id → distribution.
+    pub(crate) dists: Vec<ArrayDist>,
+    /// Dense callee reference → callee procedure name.
+    pub(crate) callees: Vec<String>,
+}
+
+impl CachedUnit {
+    /// Approximate heap footprint in bytes, charged against the store's
+    /// capacity. An estimate (statement count × a per-statement constant
+    /// plus the side tables), not an exact measurement: eviction only
+    /// needs relative sizes to be sane.
+    pub(crate) fn approx_cost(&self) -> usize {
+        fn stmts(body: &[SStmt]) -> usize {
+            body.iter()
+                .map(|s| match s {
+                    SStmt::Do { body, .. } => 1 + stmts(body),
+                    SStmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => 1 + stmts(then_body) + stmts(else_body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        let names: usize = self.names.iter().map(|n| n.len() + 24).sum();
+        let callees: usize = self.callees.iter().map(|n| n.len() + 24).sum();
+        stmts(&self.proc.body) * 96
+            + self.proc.decls.len() * 48
+            + self.proc.formals.len() * 8
+            + self.dists.len() * 64
+            + names
+            + callees
+            + 256
+    }
+}
+
+/// Content address of one cached artifact. Equal keys mean "same driver
+/// options, same unit source structure, same consumed interprocedural
+/// facts" — which is exactly the precondition under which codegen is a
+/// pure function and its output reusable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArtifactKey {
+    opts: u64,
+    source: u64,
+    facts: u64,
+}
+
+impl ArtifactKey {
+    /// Builds a key from the options fingerprint, the unit's stable
+    /// source hash, and a combined digest of its per-class fact hashes.
+    pub fn new(opts: u64, source: u64, facts: u64) -> ArtifactKey {
+        ArtifactKey {
+            opts,
+            source,
+            facts,
+        }
+    }
+}
+
+/// Counter snapshot of an [`ArtifactStore`] (cumulative since creation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StoreStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that missed (the unit was then recompiled).
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Approximate bytes currently held.
+    pub cost: usize,
+    /// Capacity in approximate bytes.
+    pub capacity: usize,
+}
+
+impl StoreStats {
+    /// Hits per lookup, in hundredths of a percent-free unit — i.e.
+    /// `50` means half the lookups hit. Integer so it can ride the
+    /// float-free JSON layer: the true ratio × 100, rounded down.
+    pub fn hit_rate_x100(&self) -> u64 {
+        (self.hits * 100)
+            .checked_div(self.hits + self.misses)
+            .unwrap_or(0)
+    }
+}
+
+struct Entry {
+    unit: CachedUnit,
+    cost: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: BTreeMap<ArtifactKey, Entry>,
+    tick: u64,
+    cost: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+/// Thread-safe content-addressed artifact cache with LRU eviction (see
+/// the module docs). Cheap to share: wrap in an [`Arc`] and hand clones
+/// to every session.
+pub struct ArtifactStore {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Default capacity: 256 MiB of approximate artifact cost.
+const DEFAULT_CAPACITY: usize = 256 << 20;
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        ArtifactStore::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl ArtifactStore {
+    /// A store with the default capacity.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// A store bounded at `bytes` of approximate artifact cost.
+    pub fn with_capacity(bytes: usize) -> ArtifactStore {
+        ArtifactStore {
+            inner: Mutex::new(Inner {
+                capacity: bytes.max(1),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Convenience: a fresh shared handle.
+    pub fn shared() -> Arc<ArtifactStore> {
+        Arc::new(ArtifactStore::new())
+    }
+
+    /// Looks up an artifact, bumping its recency. Every call is counted
+    /// as a hit or a miss.
+    pub(crate) fn get(&self, key: &ArtifactKey) -> Option<CachedUnit> {
+        let mut inner = self.inner.lock().expect("artifact store poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                let unit = e.unit.clone();
+                inner.hits += 1;
+                Some(unit)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an artifact, then evicts least-recently-used
+    /// entries until the total cost fits the capacity again. The entry
+    /// just inserted is the most recent, so it is evicted only if it
+    /// exceeds the capacity all by itself — and even then one entry is
+    /// always allowed to remain.
+    pub(crate) fn put(&self, key: ArtifactKey, unit: CachedUnit) {
+        let cost = unit.approx_cost();
+        let mut inner = self.inner.lock().expect("artifact store poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            key,
+            Entry {
+                unit,
+                cost,
+                last_used: tick,
+            },
+        ) {
+            inner.cost -= old.cost;
+        } else {
+            inner.insertions += 1;
+        }
+        inner.cost += cost;
+        while inner.cost > inner.capacity && inner.map.len() > 1 {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("map non-empty");
+            let e = inner.map.remove(&lru).expect("lru key present");
+            inner.cost -= e.cost;
+            inner.evictions += 1;
+        }
+    }
+
+    /// Cumulative counters plus current occupancy.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("artifact store poisoned");
+        StoreStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            insertions: inner.insertions,
+            entries: inner.map.len(),
+            cost: inner.cost,
+            capacity: inner.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(tag: &str, pad: usize) -> CachedUnit {
+        CachedUnit {
+            proc: SProc {
+                name: fortrand_ir::Sym(0),
+                formals: Vec::new(),
+                decls: Vec::new(),
+                body: Vec::new(),
+            },
+            residual: Residual::default(),
+            dyn_summary: DynDecompSummary::default(),
+            names: vec![tag.repeat(pad.max(1))],
+            dists: Vec::new(),
+            callees: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn get_put_counts_hits_and_misses() {
+        let store = ArtifactStore::new();
+        let k = ArtifactKey::new(1, 2, 3);
+        assert!(store.get(&k).is_none());
+        store.put(k, unit("a", 1));
+        assert!(store.get(&k).is_some());
+        let st = store.stats();
+        assert_eq!((st.hits, st.misses, st.insertions), (1, 1, 1));
+        assert_eq!(st.entries, 1);
+        assert!(st.cost > 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_capacity() {
+        // Three entries of ~equal cost into a store that fits two.
+        let one_cost = unit("x", 64).approx_cost();
+        let store = ArtifactStore::with_capacity(one_cost * 2 + 64);
+        let (ka, kb, kc) = (
+            ArtifactKey::new(0, 0, 1),
+            ArtifactKey::new(0, 0, 2),
+            ArtifactKey::new(0, 0, 3),
+        );
+        store.put(ka, unit("x", 64));
+        store.put(kb, unit("y", 64));
+        assert!(store.get(&ka).is_some(), "touch a: b becomes LRU");
+        store.put(kc, unit("z", 64));
+        let st = store.stats();
+        assert_eq!(st.evictions, 1, "{st:?}");
+        assert!(store.get(&kb).is_none(), "b was evicted");
+        assert!(store.get(&ka).is_some() && store.get(&kc).is_some());
+        assert!(st.cost <= st.capacity);
+    }
+
+    #[test]
+    fn refreshing_a_key_does_not_double_charge() {
+        let store = ArtifactStore::new();
+        let k = ArtifactKey::new(9, 9, 9);
+        store.put(k, unit("a", 4));
+        let c1 = store.stats().cost;
+        store.put(k, unit("a", 4));
+        assert_eq!(store.stats().cost, c1);
+        assert_eq!(store.stats().entries, 1);
+        assert_eq!(store.stats().insertions, 1);
+    }
+}

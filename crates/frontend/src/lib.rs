@@ -23,7 +23,7 @@ pub mod lexer;
 pub mod parser;
 pub mod sema;
 
-pub use ast::{Expr, LValue, ProcUnit, SourceProgram, Stmt, StmtId, StmtKind, UnitKind};
+pub use ast::{Decl, Expr, LValue, ProcUnit, SourceProgram, Stmt, StmtId, StmtKind, UnitKind};
 pub use error::{FrontendError, Result};
 pub use parser::parse_program;
 pub use sema::{analyze, ProgramInfo};

@@ -433,6 +433,15 @@ struct Failure {
     payload: Box<dyn std::any::Any + Send>,
 }
 
+// Compile-time thread-safety audit: the threaded substrate shares the
+// machine, its network model, and the pooled message buffers across one
+// OS thread per rank — none of these may silently lose Send/Sync.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<Machine>();
+const _: () = assert_send_sync::<node::BufferPool>();
+const _: () = assert_send_sync::<CostModel>();
+const _: () = assert_send_sync::<RunStats>();
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,162 @@
+//! Wire protocol: line-delimited JSON requests and responses.
+//!
+//! Built on the zero-dependency [`fortrand::json`] tree. The parser is
+//! strict about shape (unknown commands and missing fields are errors)
+//! but every error is a *response*, never a dropped connection.
+
+use fortrand::json::{self, Json};
+
+/// One parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Creates (or replaces) session `session` with `source`.
+    Open {
+        /// Session id (any non-empty string, client-chosen).
+        session: String,
+        /// Full Fortran D source text.
+        source: String,
+    },
+    /// Edits the session's source: either a full replacement (`source`)
+    /// or a textual find/replace over the current text.
+    Edit {
+        /// Session id.
+        session: String,
+        /// Full replacement text, when present.
+        source: Option<String>,
+        /// Substring to find (with `replace`).
+        find: Option<String>,
+        /// Replacement for every occurrence of `find`.
+        replace: Option<String>,
+    },
+    /// Compiles the session's current source.
+    Compile {
+        /// Session id.
+        session: String,
+    },
+    /// Runs the session's last compiled program on the simulated machine.
+    Run {
+        /// Session id.
+        session: String,
+    },
+    /// Server-wide counters (store, sessions, requests).
+    Stats,
+    /// Discards a session (its artifacts stay in the shared store).
+    Close {
+        /// Session id.
+        session: String,
+    },
+}
+
+fn field<'j>(obj: &'j Json, key: &str) -> Result<&'j str, String> {
+    obj.get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+/// Parses one request line. Every failure is a client-visible message.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let obj = json::parse(line).map_err(|e| format!("bad json: {e}"))?;
+    let cmd = field(&obj, "cmd")?;
+    match cmd {
+        "open" => Ok(Request::Open {
+            session: field(&obj, "session")?.to_string(),
+            source: field(&obj, "source")?.to_string(),
+        }),
+        "edit" => {
+            let session = field(&obj, "session")?.to_string();
+            let source = obj.get("source").and_then(|v| v.as_str()).map(String::from);
+            let find = obj.get("find").and_then(|v| v.as_str()).map(String::from);
+            let replace = obj
+                .get("replace")
+                .and_then(|v| v.as_str())
+                .map(String::from);
+            if source.is_none() && (find.is_none() || replace.is_none()) {
+                return Err("edit needs either source or find+replace".into());
+            }
+            Ok(Request::Edit {
+                session,
+                source,
+                find,
+                replace,
+            })
+        }
+        "compile" => Ok(Request::Compile {
+            session: field(&obj, "session")?.to_string(),
+        }),
+        "run" => Ok(Request::Run {
+            session: field(&obj, "session")?.to_string(),
+        }),
+        "stats" => Ok(Request::Stats),
+        "close" => Ok(Request::Close {
+            session: field(&obj, "session")?.to_string(),
+        }),
+        other => Err(format!("unknown cmd {other:?}")),
+    }
+}
+
+/// A success response: `{"ok":true, ...fields}` on one line.
+pub fn ok_response(fields: Vec<(String, Json)>) -> String {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(fields);
+    Json::Obj(all).compact()
+}
+
+/// A failure response: `{"ok":false,"error":...}` on one line.
+pub fn err_response(error: &str) -> String {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::str(error)),
+    ])
+    .compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        let r = parse_request(r#"{"cmd":"open","session":"s","source":"X"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Open {
+                session: "s".into(),
+                source: "X".into()
+            }
+        );
+        assert!(matches!(
+            parse_request(r#"{"cmd":"edit","session":"s","find":"a","replace":"b"}"#).unwrap(),
+            Request::Edit { .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"compile","session":"s"}"#).unwrap(),
+            Request::Compile { .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"run","session":"s"}"#).unwrap(),
+            Request::Run { .. }
+        ));
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert!(matches!(
+            parse_request(r#"{"cmd":"close","session":"s"}"#).unwrap(),
+            Request::Close { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_messages() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"cmd":"zap"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"open","session":"s"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"edit","session":"s","find":"a"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let ok = ok_response(vec![("n".into(), Json::Int(3))]);
+        assert_eq!(ok, r#"{"ok":true,"n":3}"#);
+        let err = err_response("boom \"quoted\"");
+        assert!(!err.contains('\n'));
+        assert!(json::parse(&err).is_ok());
+    }
+}

@@ -1,0 +1,443 @@
+//! The daemon: shared compile state plus a TCP accept loop.
+//!
+//! One [`Server`] owns the shared [`ArtifactStore`] and [`CompilePool`];
+//! each client session is a cheap handle (source text + an
+//! [`IncrementalEngine`] bound to the shared store). Requests mutate only
+//! their own session under its own lock, so sessions compile concurrently
+//! and interleave on the one worker pool.
+
+use crate::protocol::{err_response, ok_response, parse_request, Request};
+use fortrand::json::Json;
+use fortrand::{
+    try_run_spmd, ArtifactStore, CompileOptions, CompilePool, ExecOptions, IncrementalEngine,
+};
+use fortrand_machine::Machine;
+use fortrand_spmd::SpmdProgram;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Artifact-store capacity in approximate bytes.
+    pub capacity: usize,
+    /// Codegen worker threads in the shared pool.
+    pub threads: usize,
+    /// Compile options applied to every session.
+    pub opts: CompileOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            capacity: 256 << 20,
+            threads: 4,
+            opts: CompileOptions::default(),
+        }
+    }
+}
+
+/// One client session: its current source, its incremental engine (whose
+/// artifacts live in the *shared* store), and its last compiled program.
+struct SessionState {
+    source: String,
+    engine: IncrementalEngine,
+    spmd: Option<SpmdProgram>,
+}
+
+/// The daemon state. Wrap in an [`Arc`]; every connection thread holds a
+/// clone.
+pub struct Server {
+    store: Arc<ArtifactStore>,
+    pool: CompilePool,
+    opts: CompileOptions,
+    sessions: Mutex<HashMap<String, Arc<Mutex<SessionState>>>>,
+    requests: AtomicU64,
+    failures: AtomicU64,
+    shutdown: AtomicBool,
+    /// Live connection handles (keyed by an accept counter, pruned when
+    /// the handler exits), so shutdown can sever clients parked in a
+    /// blocking read.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+/// Recovers a usable guard from a poisoned mutex: a panic in one request
+/// must not brick the session (or the session table) for everyone else.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Server {
+    /// Builds the shared state (no sockets yet — see [`Server::spawn`]).
+    pub fn new(config: ServerConfig) -> Arc<Server> {
+        Arc::new(Server {
+            store: Arc::new(ArtifactStore::with_capacity(config.capacity)),
+            pool: CompilePool::new(config.threads),
+            opts: config.opts,
+            sessions: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The shared artifact store (for external stats inspection).
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    fn fresh_session(&self, source: String) -> SessionState {
+        SessionState {
+            source,
+            engine: IncrementalEngine::new()
+                .with_store(Arc::clone(&self.store))
+                .with_pool(self.pool.clone()),
+            spmd: None,
+        }
+    }
+
+    fn session(&self, id: &str) -> Result<Arc<Mutex<SessionState>>, String> {
+        relock(&self.sessions)
+            .get(id)
+            .cloned()
+            .ok_or_else(|| format!("no such session {id:?}"))
+    }
+
+    /// Handles one request line, returning one response line (no `\n`).
+    /// Never panics: pipeline panics become `{"ok":false}` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(e) => return self.fail(e),
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(req)));
+        match outcome {
+            Ok(Ok(resp)) => resp,
+            Ok(Err(e)) => self.fail(e),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                self.fail(format!("internal panic: {msg}"))
+            }
+        }
+    }
+
+    fn fail(&self, error: String) -> String {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        err_response(&error)
+    }
+
+    fn dispatch(&self, req: Request) -> Result<String, String> {
+        match req {
+            Request::Open { session, source } => {
+                let state = Arc::new(Mutex::new(self.fresh_session(source)));
+                relock(&self.sessions).insert(session, state);
+                Ok(ok_response(Vec::new()))
+            }
+            Request::Edit {
+                session,
+                source,
+                find,
+                replace,
+            } => {
+                let state = self.session(&session)?;
+                let mut state = relock(&state);
+                match (source, find, replace) {
+                    (Some(text), _, _) => state.source = text,
+                    (None, Some(find), Some(replace)) => {
+                        if !state.source.contains(&find) {
+                            return Err(format!("find text {find:?} not present"));
+                        }
+                        state.source = state.source.replace(&find, &replace);
+                    }
+                    _ => return Err("edit needs either source or find+replace".into()),
+                }
+                Ok(ok_response(Vec::new()))
+            }
+            Request::Compile { session } => {
+                let state = self.session(&session)?;
+                let mut state = relock(&state);
+                let source = state.source.clone();
+                let out = state
+                    .engine
+                    .compile(&source, &self.opts)
+                    .map_err(|e| e.to_string())?;
+                let fields = vec![
+                    ("procs".into(), Json::Int(out.spmd.procs.len() as i128)),
+                    ("recompiled".into(), Json::Int(out.recompiled.len() as i128)),
+                    ("reused".into(), Json::Int(out.reused.len() as i128)),
+                    ("store_hits".into(), Json::Int(out.store.hits as i128)),
+                    ("store_misses".into(), Json::Int(out.store.misses as i128)),
+                    (
+                        "hit_rate_x100".into(),
+                        Json::Int(out.store.hit_rate_x100() as i128),
+                    ),
+                ];
+                state.spmd = Some(out.spmd);
+                Ok(ok_response(fields))
+            }
+            Request::Run { session } => {
+                let state = self.session(&session)?;
+                let state = relock(&state);
+                let spmd = state
+                    .spmd
+                    .as_ref()
+                    .ok_or_else(|| format!("session {session:?} has no compiled program"))?;
+                let machine = Machine::new(spmd.nprocs);
+                let out = try_run_spmd(spmd, &machine, &BTreeMap::new(), &ExecOptions::default())
+                    .map_err(|e| e.to_string())?;
+                Ok(ok_response(vec![
+                    (
+                        "time_us_x100".into(),
+                        Json::Int((out.stats.time_us * 100.0) as i128),
+                    ),
+                    ("msgs".into(), Json::Int(out.stats.total_msgs as i128)),
+                    ("bytes".into(), Json::Int(out.stats.total_bytes as i128)),
+                ]))
+            }
+            Request::Stats => {
+                let st = self.store.stats();
+                Ok(ok_response(vec![
+                    (
+                        "sessions".into(),
+                        Json::Int(relock(&self.sessions).len() as i128),
+                    ),
+                    (
+                        "requests".into(),
+                        Json::Int(self.requests.load(Ordering::Relaxed) as i128),
+                    ),
+                    (
+                        "failures".into(),
+                        Json::Int(self.failures.load(Ordering::Relaxed) as i128),
+                    ),
+                    ("store_hits".into(), Json::Int(st.hits as i128)),
+                    ("store_misses".into(), Json::Int(st.misses as i128)),
+                    ("store_evictions".into(), Json::Int(st.evictions as i128)),
+                    ("store_entries".into(), Json::Int(st.entries as i128)),
+                    ("store_cost".into(), Json::Int(st.cost as i128)),
+                    (
+                        "hit_rate_x100".into(),
+                        Json::Int(st.hit_rate_x100() as i128),
+                    ),
+                ]))
+            }
+            Request::Close { session } => {
+                relock(&self.sessions)
+                    .remove(&session)
+                    .ok_or_else(|| format!("no such session {session:?}"))?;
+                Ok(ok_response(Vec::new()))
+            }
+        }
+    }
+}
+
+/// A running server: its listening address plus the shutdown plumbing.
+pub struct ServerHandle {
+    /// The shared daemon state.
+    pub server: Arc<Server>,
+    /// The bound listening address (an ephemeral port unless configured).
+    pub addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signals the accept loop to stop, unblocks it with a throwaway
+    /// connection, and joins every connection thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.server.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag on its next wakeup.
+        let _ = TcpStream::connect(self.addr);
+        // Sever clients parked in a blocking read so their handler
+        // threads unwind and the accept thread can join them.
+        for (_, s) in relock(&self.server.conns).drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn handle_connection(server: &Server, stream: TcpStream, conn_id: u64) {
+    if let Ok(w) = stream.try_clone() {
+        let mut writer = w;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut resp = server.handle_line(&line);
+            resp.push('\n');
+            if writer.write_all(resp.as_bytes()).is_err() {
+                break;
+            }
+        }
+    }
+    relock(&server.conns).retain(|(id, _)| *id != conn_id);
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serves connections on a background thread, one thread per client.
+    pub fn spawn(self: &Arc<Server>, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let server = Arc::clone(self);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || {
+                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                let mut next_id: u64 = 0;
+                for stream in listener.incoming() {
+                    if server.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_id = next_id;
+                    next_id += 1;
+                    if let Ok(clone) = stream.try_clone() {
+                        relock(&server.conns).push((conn_id, clone));
+                    }
+                    let server = Arc::clone(&server);
+                    if let Ok(t) = std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || handle_connection(&server, stream, conn_id))
+                    {
+                        handlers.push(t);
+                    }
+                }
+                for t in handlers {
+                    let _ = t.join();
+                }
+            })?;
+        Ok(ServerHandle {
+            server: Arc::clone(self),
+            addr: bound,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Serves `addr` on the calling thread until the process exits. Used
+    /// by the `fortrand-serve` binary.
+    pub fn serve_forever(self: &Arc<Server>, addr: &str) -> std::io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        eprintln!("fortrand-serve listening on {}", listener.local_addr()?);
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let server = Arc::clone(self);
+            // No conn registry here: this loop never shuts down, so
+            // there is nothing to sever (id 0 prunes nothing).
+            std::thread::Builder::new()
+                .name("serve-conn".into())
+                .spawn(move || handle_connection(&server, stream, 0))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortrand::json;
+
+    fn source() -> String {
+        fortrand::corpus::wide_corpus(4, 64, 4)
+    }
+
+    fn open(server: &Server, sid: &str, source: &str) {
+        let req = Json::Obj(vec![
+            ("cmd".into(), Json::str("open")),
+            ("session".into(), Json::str(sid)),
+            ("source".into(), Json::str(source)),
+        ])
+        .compact();
+        let resp = server.handle_line(&req);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+
+    #[test]
+    fn compile_reports_store_counters_and_shares_across_sessions() {
+        let server = Server::new(ServerConfig::default());
+        open(&server, "s1", &source());
+        let resp = server.handle_line(r#"{"cmd":"compile","session":"s1"}"#);
+        let obj = json::parse(&resp).unwrap();
+        assert!(obj.get("recompiled").and_then(Json::as_int).unwrap() > 0);
+        // A second session over identical source hits the shared store.
+        open(&server, "s2", &source());
+        let resp = server.handle_line(r#"{"cmd":"compile","session":"s2"}"#);
+        let obj = json::parse(&resp).unwrap();
+        assert_eq!(
+            obj.get("recompiled").and_then(Json::as_int),
+            Some(0),
+            "{resp}"
+        );
+        assert!(obj.get("reused").and_then(Json::as_int).unwrap() > 0);
+        assert!(obj.get("hit_rate_x100").and_then(Json::as_int).unwrap() >= 50);
+    }
+
+    #[test]
+    fn bad_requests_fail_without_killing_the_session() {
+        let server = Server::new(ServerConfig::default());
+        open(&server, "s", &source());
+        let resp =
+            server.handle_line(r#"{"cmd":"edit","session":"s","find":"NOPE","replace":"x"}"#);
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        let resp = server.handle_line(r#"{"cmd":"compile","session":"s"}"#);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+
+    #[test]
+    fn tcp_round_trip_on_ephemeral_port() {
+        let server = Server::new(ServerConfig::default());
+        let handle = server.spawn("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(handle.addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let open = Json::Obj(vec![
+            ("cmd".into(), Json::str("open")),
+            ("session".into(), Json::str("t")),
+            ("source".into(), Json::str(source())),
+        ])
+        .compact();
+        for req in [
+            open.as_str(),
+            r#"{"cmd":"compile","session":"t"}"#,
+            r#"{"cmd":"run","session":"t"}"#,
+            r#"{"cmd":"stats"}"#,
+            r#"{"cmd":"close","session":"t"}"#,
+        ] {
+            writer.write_all(req.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"ok\":true"), "{req} -> {line}");
+        }
+        handle.shutdown();
+    }
+}

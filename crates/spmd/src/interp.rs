@@ -24,8 +24,8 @@ use crate::runtime::{
     scalar_from_wire, scatter_init_store, ArrayStore, FinalArray, Value,
 };
 pub use crate::runtime::{
-    global_extents, run_spmd, run_spmd_engine, try_run_spmd, ExecEngine, ExecOptions, ExecOutput,
-    RankFailure, TAG_BCAST, TAG_BCAST_PACK,
+    global_extents, try_run_spmd, ExecEngine, ExecOptions, ExecOutput, RankFailure, TAG_BCAST,
+    TAG_BCAST_PACK,
 };
 use fortrand_ir::Sym;
 use fortrand_machine::{Machine, Node};
@@ -808,8 +808,12 @@ mod tests {
         machine: &Machine,
         init: &BTreeMap<Sym, Vec<f64>>,
     ) -> ExecOutput {
-        let tree = run_spmd_engine(prog, machine, init, ExecEngine::Tree);
-        let vm = run_spmd_engine(prog, machine, init, ExecEngine::Bytecode);
+        let run = |engine| {
+            try_run_spmd(prog, machine, init, &ExecOptions::new().engine(engine))
+                .unwrap_or_else(|f| panic!("{f}"))
+        };
+        let tree = run(ExecEngine::Tree);
+        let vm = run(ExecEngine::Bytecode);
         assert_eq!(tree.stats.time_us, vm.stats.time_us, "time diverged");
         assert_eq!(tree.stats.total_msgs, vm.stats.total_msgs);
         assert_eq!(tree.stats.total_bytes, vm.stats.total_bytes);

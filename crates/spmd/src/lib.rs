@@ -38,7 +38,14 @@ pub use ir::{
 };
 pub use opt::{optimize, CommOpt, OptReport};
 pub use print::pretty;
-pub use runtime::{
-    run_spmd, run_spmd_engine, try_run_spmd, ExecEngine, ExecOptions, ExecOutput, MachineKind,
-    RankFailure,
-};
+#[cfg(feature = "legacy")]
+pub use runtime::{run_spmd, run_spmd_engine};
+pub use runtime::{try_run_spmd, ExecEngine, ExecOptions, ExecOutput, MachineKind, RankFailure};
+
+// Compile-time thread-safety audit: compiled node programs are cached in
+// the shared artifact store and executed from server threads, so the IR
+// (and a rank failure carried across a join) must stay Send + Sync.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<ir::SpmdProgram>();
+const _: () = assert_send_sync::<runtime::ExecOutput>();
+const _: () = assert_send_sync::<runtime::RankFailure>();

@@ -125,9 +125,10 @@ pub fn try_run_spmd(
 /// `init` supplies initial global values for arrays declared in the entry
 /// procedure (missing arrays start at zero).
 ///
-/// Note: thin wrapper kept for compatibility — prefer
-/// [`try_run_spmd`] (panic-safe) or the `fortrand::Session` facade.
-/// Panics if a rank panics.
+/// Retired wrapper, available only with the `legacy` cargo feature —
+/// prefer [`try_run_spmd`] (panic-safe) or the `fortrand::Session`
+/// facade. Panics if a rank panics.
+#[cfg(feature = "legacy")]
 pub fn run_spmd(
     prog: &SpmdProgram,
     machine: &Machine,
@@ -138,9 +139,10 @@ pub fn run_spmd(
 
 /// [`run_spmd`] with an explicit engine choice.
 ///
-/// Note: thin wrapper kept for compatibility — prefer
-/// [`try_run_spmd`] with [`ExecOptions`], or the `fortrand::Session`
-/// facade. Panics if a rank panics.
+/// Retired wrapper, available only with the `legacy` cargo feature —
+/// prefer [`try_run_spmd`] with [`ExecOptions`], or the
+/// `fortrand::Session` facade. Panics if a rank panics.
+#[cfg(feature = "legacy")]
 pub fn run_spmd_engine(
     prog: &SpmdProgram,
     machine: &Machine,

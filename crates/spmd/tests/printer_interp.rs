@@ -6,8 +6,22 @@ use fortrand_ir::Interner;
 use fortrand_machine::{CostModel, Machine};
 use fortrand_spmd::ir::*;
 use fortrand_spmd::print::pretty;
-use fortrand_spmd::run_spmd;
+use fortrand_spmd::ExecOptions;
+use fortrand_spmd::{try_run_spmd, ExecOutput, SpmdProgram};
 use std::collections::BTreeMap;
+
+/// Panic-on-failure runner (the retired `run_spmd` wrapper, local to
+/// these tests: they construct IR by hand and want failures loud).
+fn run_spmd(
+    prog: &SpmdProgram,
+    machine: &Machine,
+    init: &BTreeMap<fortrand_ir::Sym, Vec<f64>>,
+) -> ExecOutput {
+    match try_run_spmd(prog, machine, init, &ExecOptions::default()) {
+        Ok(out) => out,
+        Err(f) => panic!("{f}"),
+    }
+}
 
 fn block_dist(n: i64, p: usize) -> ArrayDist {
     ArrayDist::new(

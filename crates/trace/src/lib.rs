@@ -424,6 +424,15 @@ pub fn span_tree(events: &[Event]) -> String {
     out
 }
 
+// Compile-time thread-safety audit: traces are cloned into codegen pool
+// workers and simulated ranks, and sinks aggregate events from all of
+// them, so `Trace` and the bundled sinks must stay Send + Sync.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<Trace>();
+const _: () = assert_send_sync::<sink::MemorySink>();
+const _: () = assert_send_sync::<sink::JsonLinesSink<std::io::Sink>>();
+const _: () = assert_send_sync::<sink::ChromeTraceSink<std::io::Sink>>();
+
 #[cfg(test)]
 mod tests {
     use super::*;

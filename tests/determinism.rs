@@ -8,9 +8,26 @@
 //! nondeterminism leaks into the output).
 
 use fortrand::corpus::{adi_source, dgefa_source, relax_source, wide_corpus};
-use fortrand::{compile, CompileMode, CompileOptions};
+use fortrand::{CompileMode, CompileOptions};
 use fortrand_spmd::print::pretty_all;
 use proptest::prelude::*;
+
+/// Clean compile through the `Session` facade (replaces the retired
+/// `fortrand::compile` wrapper, which is now gated behind the `legacy`
+/// cargo feature).
+fn compile(
+    source: &str,
+    opts: &fortrand::CompileOptions,
+) -> Result<fortrand::CompileOutput, fortrand::CompileError> {
+    match fortrand::Session::new(source)
+        .options(opts.clone())
+        .compile()
+    {
+        Ok(compiled) => Ok(compiled.into_output()),
+        Err(fortrand::Error::Compile(e)) => Err(e),
+        Err(e) => panic!("compile-only session hit a non-compile error: {e}"),
+    }
+}
 
 fn compiled_text(src: &str, mode: CompileMode) -> String {
     let out = compile(src, &CompileOptions::builder().mode(mode).build())

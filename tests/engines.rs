@@ -11,12 +11,29 @@
 //! diagnostics and are deliberately excluded.
 
 use fortrand::corpus::{dgefa_matrix, dgefa_source};
-use fortrand::{compile, CommOpt, CompileOptions, DynOptLevel, Strategy};
+use fortrand::{CommOpt, CompileOptions, DynOptLevel, Strategy};
 use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
 use fortrand_machine::Machine;
-use fortrand_spmd::{run_spmd_engine, ExecEngine, ExecOutput};
+use fortrand_spmd::{try_run_spmd, ExecEngine, ExecOptions, ExecOutput};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+/// Clean compile through the `Session` facade (replaces the retired
+/// `fortrand::compile` wrapper, which is now gated behind the `legacy`
+/// cargo feature).
+fn compile(
+    source: &str,
+    opts: &fortrand::CompileOptions,
+) -> Result<fortrand::CompileOutput, fortrand::CompileError> {
+    match fortrand::Session::new(source)
+        .options(opts.clone())
+        .compile()
+    {
+        Ok(compiled) => Ok(compiled.into_output()),
+        Err(fortrand::Error::Compile(e)) => Err(e),
+        Err(e) => panic!("compile-only session hit a non-compile error: {e}"),
+    }
+}
 
 /// Asserts every simulated observable matches between the two outputs.
 fn assert_identical(t: &ExecOutput, b: &ExecOutput, ctx: &str) {
@@ -78,7 +95,13 @@ fn engines_agree(src: &str, opts: &CompileOptions, named: &[(String, Vec<f64>)],
     }
     let run = |engine| {
         let machine = Machine::new(out.spmd.nprocs);
-        run_spmd_engine(&out.spmd, &machine, &init, engine)
+        try_run_spmd(
+            &out.spmd,
+            &machine,
+            &init,
+            &ExecOptions::new().engine(engine),
+        )
+        .unwrap_or_else(|f| panic!("{ctx}: {f}"))
     };
     let t = run(ExecEngine::Tree);
     let b = run(ExecEngine::Bytecode);

@@ -1,9 +1,26 @@
 //! Golden reproductions of the paper's code figures: the pretty-printed
 //! compiler output must match the structure of Figs. 2, 3, 10 and 12.
 
-use fortrand::{compile, CompileOptions, Strategy};
+use fortrand::{CompileOptions, Strategy};
 use fortrand_analysis::fixtures::{FIG1, FIG4};
 use fortrand_spmd::print::{pretty, pretty_all};
+
+/// Clean compile through the `Session` facade (replaces the retired
+/// `fortrand::compile` wrapper, which is now gated behind the `legacy`
+/// cargo feature).
+fn compile(
+    source: &str,
+    opts: &fortrand::CompileOptions,
+) -> Result<fortrand::CompileOutput, fortrand::CompileError> {
+    match fortrand::Session::new(source)
+        .options(opts.clone())
+        .compile()
+    {
+        Ok(compiled) => Ok(compiled.into_output()),
+        Err(fortrand::Error::Compile(e)) => Err(e),
+        Err(e) => panic!("compile-only session hit a non-compile error: {e}"),
+    }
+}
 
 fn compiled(src: &str, strategy: Strategy) -> fortrand::CompileOutput {
     compile(src, &CompileOptions::builder().strategy(strategy).build()).unwrap()
@@ -130,12 +147,16 @@ fn fig12_immediate_shape() {
 #[test]
 fn fig10_vs_fig12_message_counts() {
     use fortrand_machine::Machine;
-    use fortrand_spmd::run_spmd;
+    use fortrand_spmd::{try_run_spmd, ExecOptions};
     let inter = compiled(FIG4, Strategy::Interprocedural);
     let imm = compiled(FIG4, Strategy::Immediate);
     let m = Machine::new(4);
-    let ri = run_spmd(&inter.spmd, &m, &Default::default());
-    let rm = run_spmd(&imm.spmd, &m, &Default::default());
+    let run = |out: &fortrand::CompileOutput| {
+        try_run_spmd(&out.spmd, &m, &Default::default(), &ExecOptions::default())
+            .unwrap_or_else(|f| panic!("{f}"))
+    };
+    let ri = run(&inter);
+    let rm = run(&imm);
     // Paper: 100 messages (per invocation) vs 1; three of four ranks send.
     assert_eq!(
         ri.stats.total_msgs, 3,

@@ -4,9 +4,26 @@
 //! clean compile — reused artifacts included.
 
 use fortrand::recompile::{self, ModuleDb, Reason};
-use fortrand::{compile, CompileOptions, IncrementalEngine};
+use fortrand::{CompileOptions, IncrementalEngine};
 use fortrand_analysis::fixtures::FIG4;
 use fortrand_spmd::print::pretty_all;
+
+/// Clean compile through the `Session` facade (replaces the retired
+/// `fortrand::compile` wrapper, which is now gated behind the `legacy`
+/// cargo feature).
+fn compile(
+    source: &str,
+    opts: &fortrand::CompileOptions,
+) -> Result<fortrand::CompileOutput, fortrand::CompileError> {
+    match fortrand::Session::new(source)
+        .options(opts.clone())
+        .compile()
+    {
+        Ok(compiled) => Ok(compiled.into_output()),
+        Err(fortrand::Error::Compile(e)) => Err(e),
+        Err(e) => panic!("compile-only session hit a non-compile error: {e}"),
+    }
+}
 
 /// The `tables sec8` edit scenarios.
 fn scenarios() -> Vec<(&'static str, String)> {
@@ -180,10 +197,10 @@ fn constants_only_edit_recompiles_fewer_units_than_decomposition_edit() {
 #[test]
 fn chained_edits_keep_converging() {
     // Edit, edit back, edit again: each round's decisions must be based on
-    // the *latest* state, and a revert must reuse everything the original
-    // compile cached... except units whose artifacts were evicted by the
-    // intermediate compile. The engine recompiles f2 clones on revert
-    // (their cache slots now hold the edited version) but nothing else.
+    // the *latest* state. Because artifacts are content-addressed, both
+    // the original and the edited versions of the f2 clones coexist in the
+    // store under different keys, so a revert reuses *everything* the
+    // original compile produced — no slot was overwritten.
     let edited = FIG4.replace("0.5 *", "0.25 *");
     let mut eng = IncrementalEngine::new();
     let opts = CompileOptions::default();
@@ -194,20 +211,16 @@ fn chained_edits_keep_converging() {
         "{:?}",
         fwd.recompiled
     );
+    assert!(fwd.recompiled.values().all(|r| *r == Reason::SourceChanged));
     let back = eng.compile(FIG4, &opts).unwrap();
     assert!(
-        back.recompiled.keys().all(|k| k.starts_with("f2")),
-        "{:?}",
-        back.recompiled
-    );
-    assert_eq!(
-        back.recompiled.values().collect::<Vec<_>>(),
-        vec![&Reason::SourceChanged, &Reason::SourceChanged],
-        "{:?}",
+        back.recompiled.is_empty(),
+        "content-addressed store keeps both versions: {:?}",
         back.recompiled
     );
     let clean = compile(FIG4, &opts).unwrap();
     assert_eq!(pretty_all(&back.spmd), pretty_all(&clean.spmd));
+    assert_eq!(back.report.fact_hashes, clean.report.fact_hashes);
 }
 
 /// The communication-optimizer level is part of the compilation contract:
@@ -261,4 +274,101 @@ fn comm_opt_level_participates_in_caching() {
     assert!(!inc.recompiled.is_empty());
     assert_eq!(pretty_all(&inc.spmd), pretty_all(&clean.spmd));
     assert_eq!(inc.report.fact_hashes, clean.report.fact_hashes);
+}
+
+/// Satellite: per-class fact digests are *content* addresses, so they
+/// must not move when the program text changes in ways that leave every
+/// unit's structure alone — reordering whole units in the file, or
+/// whitespace-only edits. (If they did move, the shared artifact store
+/// would miss on programs it has already compiled.)
+mod digest_stability {
+    use super::*;
+    use fortrand::corpus::wide_corpus;
+    use proptest::prelude::*;
+
+    /// Deterministic Fisher–Yates driven by a proptest-chosen seed (the
+    /// vendored proptest has no shuffle strategy).
+    fn permute<T>(items: &mut [T], mut seed: u64) {
+        for i in (1..items.len()).rev() {
+            // xorshift64* step; any full-period mixer works here.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            items.swap(i, (seed % (i as u64 + 1)) as usize);
+        }
+    }
+
+    /// `wide_corpus` with its SUBROUTINE blocks permuted (PROGRAM first —
+    /// the frontend requires the entry unit, not any particular order of
+    /// the rest).
+    fn reordered(src: &str, seed: u64) -> String {
+        let mut parts: Vec<&str> = src.split("\n      SUBROUTINE ").collect();
+        let program = parts.remove(0).to_string();
+        permute(&mut parts, seed);
+        parts.iter().fold(program, |mut acc, p| {
+            acc.push_str("\n      SUBROUTINE ");
+            acc.push_str(p);
+            acc
+        })
+    }
+
+    fn db_of(src: &str) -> ModuleDb {
+        let out = compile(src, &CompileOptions::default()).unwrap();
+        ModuleDb::from_report(&out.report)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+        #[test]
+        fn digests_survive_unit_reordering_and_whitespace_edits(
+            procs in 2usize..7,
+            n in 16i64..65,
+            nprocs in 2usize..5,
+            // Bounded: the vendored proptest draws u64 ranges through i64.
+            seed in 1u64..0x7fff_ffff_ffff_0000,
+        ) {
+            let src = wide_corpus(procs, n, nprocs);
+            let base = db_of(&src);
+
+            let shuffled = reordered(&src, seed);
+            prop_assert_eq!(
+                &base, &db_of(&shuffled),
+                "unit reordering must not move any source hash or digest"
+            );
+
+            // Trailing spaces on every line plus extra blank lines.
+            let spaced = format!("\n\n{}\n\n", src.replace('\n', "  \n"));
+            prop_assert_ne!(&src, &spaced);
+            prop_assert_eq!(
+                &base, &db_of(&spaced),
+                "whitespace-only edits must not move any source hash or digest"
+            );
+
+            // Both at once, for good measure.
+            let both = reordered(&spaced, seed ^ 0x9e37_79b9_7f4a_7c15);
+            prop_assert_eq!(&base, &db_of(&both));
+        }
+    }
+
+    /// The invariance is what makes cross-program artifact sharing work:
+    /// a whitespace-edited copy of an already-compiled program must be a
+    /// 100% store hit in a fresh session.
+    #[test]
+    fn whitespace_edit_is_a_full_store_hit_across_sessions() {
+        use fortrand::ArtifactStore;
+
+        let store = ArtifactStore::shared();
+        let src = wide_corpus(4, 32, 4);
+        let mut a = IncrementalEngine::new().with_store(store.clone());
+        a.compile(&src, &CompileOptions::default()).unwrap();
+
+        let spaced = src.replace('\n', " \n");
+        let mut b = IncrementalEngine::new().with_store(store);
+        let out = b.compile(&spaced, &CompileOptions::default()).unwrap();
+        assert!(
+            out.recompiled.is_empty(),
+            "every unit should come from the shared store, recompiled {:?}",
+            out.recompiled
+        );
+    }
 }

@@ -2,11 +2,38 @@
 //! compilation strategy, the simulated SPMD execution must produce the
 //! same array contents as the sequential reference interpreter.
 
-use fortrand::{compile, run_sequential, CompileOptions, DynOptLevel, Strategy};
+use fortrand::{run_sequential, CompileOptions, DynOptLevel, Strategy};
 use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
 use fortrand_machine::Machine;
-use fortrand_spmd::run_spmd;
 use std::collections::BTreeMap;
+
+/// Clean compile through the `Session` facade (replaces the retired
+/// `fortrand::compile` wrapper, which is now gated behind the `legacy`
+/// cargo feature).
+fn compile(
+    source: &str,
+    opts: &fortrand::CompileOptions,
+) -> Result<fortrand::CompileOutput, fortrand::CompileError> {
+    match fortrand::Session::new(source)
+        .options(opts.clone())
+        .compile()
+    {
+        Ok(compiled) => Ok(compiled.into_output()),
+        Err(fortrand::Error::Compile(e)) => Err(e),
+        Err(e) => panic!("compile-only session hit a non-compile error: {e}"),
+    }
+}
+
+/// Panic-on-failure runner (replaces the retired `run_spmd` wrapper,
+/// now gated behind the `legacy` cargo feature).
+fn run_spmd(
+    prog: &fortrand_spmd::SpmdProgram,
+    machine: &Machine,
+    init: &BTreeMap<fortrand_ir::Sym, Vec<f64>>,
+) -> fortrand_spmd::ExecOutput {
+    fortrand_spmd::try_run_spmd(prog, machine, init, &fortrand_spmd::ExecOptions::default())
+        .unwrap_or_else(|f| panic!("{f}"))
+}
 
 /// Runs `src` sequentially and under `strategy` on `nprocs`, comparing
 /// every main-program array elementwise.

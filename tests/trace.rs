@@ -9,13 +9,13 @@
 //!   events;
 //! * tracing **off is free**: compiled output and run observables are
 //!   byte-identical with and without a sink attached;
-//! * the [`fortrand::Session`] facade is **equivalent to the legacy**
-//!   free-function pipeline.
+//! * the [`fortrand::Session`] facade is **equivalent to the raw**
+//!   free-function pipeline (`compile_with_trace` + `try_run_spmd`).
 //!
 //! Regenerate the golden snapshot with
 //! `UPDATE_GOLDEN=1 cargo test --test trace`.
 
-use fortrand::{compile, CompileOptions, Session, Strategy};
+use fortrand::{CompileOptions, Session, Strategy};
 use fortrand_analysis::fixtures::FIG1;
 use fortrand_spmd::print::pretty_all;
 use fortrand_trace::chrome::validate;
@@ -176,19 +176,30 @@ fn tracing_off_and_on_produce_identical_outputs() {
 }
 
 /// The facade is a veneer: it must produce the same program and the same
-/// simulated results as the legacy free functions.
+/// simulated results as driving the raw pipeline functions directly.
 #[test]
-fn session_is_equivalent_to_legacy_pipeline() {
-    let legacy = compile(FIG1, &CompileOptions::default()).unwrap();
+fn session_is_equivalent_to_raw_pipeline() {
+    let raw = fortrand::compile_with_trace(
+        FIG1,
+        &CompileOptions::default(),
+        &fortrand_trace::Trace::off(),
+    )
+    .unwrap();
     let session = Session::new(FIG1).compile().unwrap();
-    assert_eq!(pretty_all(&legacy.spmd), session.emit());
-    assert_eq!(legacy.report.fact_hashes, session.report().fact_hashes);
+    assert_eq!(pretty_all(&raw.spmd), session.emit());
+    assert_eq!(raw.report.fact_hashes, session.report().fact_hashes);
 
-    let machine = fortrand_machine::Machine::new(legacy.spmd.nprocs);
-    let legacy_run = fortrand_spmd::run_spmd(&legacy.spmd, &machine, &BTreeMap::new());
+    let machine = fortrand_machine::Machine::new(raw.spmd.nprocs);
+    let raw_run = fortrand_spmd::try_run_spmd(
+        &raw.spmd,
+        &machine,
+        &BTreeMap::new(),
+        &fortrand_spmd::ExecOptions::default(),
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
     let session_run = session.run(&BTreeMap::new()).unwrap();
-    assert_eq!(legacy_run.stats.time_us, session_run.stats.time_us);
-    assert_eq!(legacy_run.arrays, session_run.arrays);
+    assert_eq!(raw_run.stats.time_us, session_run.stats.time_us);
+    assert_eq!(raw_run.arrays, session_run.arrays);
 }
 
 /// Every dataflow solve the driver runs shows up as a span on the compile
