@@ -25,7 +25,11 @@ use fortrand_spmd::print::{pretty, pretty_all};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let args: Vec<String> = args.into_iter().filter(|a| a != "--json").collect();
+    let check = args.iter().any(|a| a == "--check");
+    let args: Vec<String> = args
+        .into_iter()
+        .filter(|a| a != "--json" && a != "--check")
+        .collect();
     let mut trace_path: Option<String> = None;
     let args: Vec<String> = {
         let mut filtered = Vec::new();
@@ -582,6 +586,71 @@ fn main() {
             std::process::exit(1);
         }
         println!("gate passed");
+    }
+    if want("vmprof") {
+        banner("VM PROFILE — opcode mix and fusion coverage");
+        let prof = fortrand_bench::vmprof_dgefa(64, 4);
+        println!("{}:", prof.label);
+        println!("{:<14} {:>12} {:>7}", "opcode", "dispatches", "%");
+        for (op, count) in &prof.mix {
+            println!(
+                "{:<14} {:>12} {:>6.1}%",
+                op,
+                count,
+                100.0 * *count as f64 / prof.engine_instrs.max(1) as f64
+            );
+        }
+        println!(
+            "dispatched {} + fused {} = {} retired; fusion coverage {:.1}%",
+            prof.engine_instrs,
+            prof.fused_instrs,
+            prof.engine_instrs + prof.fused_instrs,
+            100.0 * prof.coverage()
+        );
+        // Self-validation: the profiler counts every dispatch exactly
+        // once, so the mix must sum to the engine's dispatch counter.
+        if prof.mix_total() != prof.engine_instrs {
+            eprintln!(
+                "VMPROF SELF-CHECK FAIL: opcode mix sums to {} but the \
+                 engine dispatched {}",
+                prof.mix_total(),
+                prof.engine_instrs
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "self-check passed: mix sums to engine_instrs ({})",
+            prof.engine_instrs
+        );
+        if json {
+            let doc = fortrand_bench::vmprof_report(&prof);
+            std::fs::write("BENCH_vmprof.json", doc.pretty()).expect("write BENCH_vmprof.json");
+            println!("wrote BENCH_vmprof.json");
+        }
+        if check {
+            let threshold_path = concat!(env!("CARGO_MANIFEST_DIR"), "/sim_threshold.json");
+            let text = std::fs::read_to_string(threshold_path)
+                .unwrap_or_else(|e| panic!("read {threshold_path}: {e}"));
+            let limits = fortrand::json::parse(&text).expect("parse sim_threshold.json");
+            let min_x100 = limits
+                .get("dgefa_min_fusion_coverage_x100")
+                .and_then(|v| v.as_int())
+                .expect("dgefa_min_fusion_coverage_x100");
+            let x100 = (prof.coverage() * 100.0) as i128;
+            println!(
+                "fusion coverage {:.1}%              (floor {}%)",
+                100.0 * prof.coverage(),
+                min_x100
+            );
+            if x100 < min_x100 {
+                eprintln!(
+                    "CHECK FAIL: fusion coverage {x100}% below the {min_x100}% floor — \
+                     a fusion pattern stopped firing on dgefa"
+                );
+                std::process::exit(1);
+            }
+            println!("check passed");
+        }
     }
     if want("weakscale") {
         banner("WEAK SCALING — event machine, p=128..4096");

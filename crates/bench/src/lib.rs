@@ -542,6 +542,95 @@ pub fn sim_report_of(timings: &[EngineTiming]) -> Json {
     ])
 }
 
+/// Opcode-mix profile of one bytecode run (the `tables vmprof` report):
+/// dynamic dispatch counts per opcode plus the dispatches that fused
+/// kernels retired without entering the dispatch loop.
+#[derive(Clone, Debug)]
+pub struct VmProfile {
+    /// Experiment label, e.g. `dgefa n=64 p=4`.
+    pub label: String,
+    /// `(opcode, dispatches)` for every opcode that executed at least
+    /// once, descending by count.
+    pub mix: Vec<(String, u64)>,
+    /// Instructions actually dispatched (must equal the sum of `mix`).
+    pub engine_instrs: u64,
+    /// Dispatches retired inside fused superinstructions.
+    pub fused_instrs: u64,
+}
+
+impl VmProfile {
+    /// Fraction of would-be dispatches that fusion absorbed, in
+    /// `[0, 1]`: `fused / (dispatched + fused)`.
+    pub fn coverage(&self) -> f64 {
+        let total = self.engine_instrs + self.fused_instrs;
+        if total == 0 {
+            0.0
+        } else {
+            self.fused_instrs as f64 / total as f64
+        }
+    }
+
+    /// Sum of the per-opcode counts; the self-check compares this
+    /// against `engine_instrs`.
+    pub fn mix_total(&self) -> u64 {
+        self.mix.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// Runs dgefa under the bytecode engine and returns its opcode profile.
+pub fn vmprof_dgefa(n: i64, p: usize) -> VmProfile {
+    let out = compile(
+        &dgefa_source(n, p),
+        &CompileOptions::builder()
+            .strategy(Strategy::Interprocedural)
+            .nprocs(p)
+            .dyn_opt(DynOptLevel::Kills)
+            .build(),
+    )
+    .unwrap_or_else(|e| panic!("vmprof dgefa n={n} p={p}: {e}"));
+    let mut init = BTreeMap::new();
+    init.insert(out.spmd.interner.get("a").unwrap(), dgefa_matrix(n));
+    let machine = Machine::new(p);
+    let run = try_run_spmd(
+        &out.spmd,
+        &machine,
+        &init,
+        &ExecOptions::new().engine(ExecEngine::Bytecode),
+    )
+    .unwrap_or_else(|f| panic!("vmprof dgefa n={n} p={p}: {f}"));
+    let mut mix = run.stats.instr_mix.clone();
+    mix.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    VmProfile {
+        label: format!("dgefa n={n} p={p}"),
+        mix,
+        engine_instrs: run.stats.engine_instrs,
+        fused_instrs: run.stats.fused_instrs,
+    }
+}
+
+/// The `BENCH_vmprof.json` document for one profile.
+pub fn vmprof_report(p: &VmProfile) -> Json {
+    Json::Obj(vec![
+        ("version".into(), Json::Int(1)),
+        ("experiment".into(), Json::str(&p.label)),
+        ("engine_instrs".into(), Json::Int(p.engine_instrs as i128)),
+        ("fused_instrs".into(), Json::Int(p.fused_instrs as i128)),
+        (
+            "fusion_coverage_x100".into(),
+            Json::Int((p.coverage() * 100.0) as i128),
+        ),
+        (
+            "mix".into(),
+            Json::Obj(
+                p.mix
+                    .iter()
+                    .map(|(op, c)| (op.clone(), Json::Int(*c as i128)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Communication metrics for one simulated run as a JSON object (one
 /// entry of the `BENCH_comm.json` artifact; format documented in
 /// EXPERIMENTS.md).

@@ -195,6 +195,12 @@ impl CollCore {
             }
         };
         self.results[(self.generation % 2) as usize] = Some(out.clone());
+        // Retire the previous generation: finishing this collective means
+        // every rank contributed to it, which it could only do after
+        // reading the previous result — so no reader remains, and
+        // dropping the slot releases its payload buffer to the pool
+        // instead of pinning it for another whole generation.
+        self.results[((self.generation + 1) % 2) as usize] = None;
         self.arrived = 0;
         self.max_clock = f64::NEG_INFINITY;
         self.extra = f64::NEG_INFINITY;
@@ -263,15 +269,18 @@ impl PostedCore {
 
     /// One rank takes its copy of posted broadcast `seq`; `None` while the
     /// root has not deposited it yet. The entry is retired after the
-    /// `nprocs`-th take.
-    pub(crate) fn try_take(&mut self, seq: u64) -> Option<(f64, Payload)> {
+    /// `nprocs`-th take — the returned flag is `true` on that final take,
+    /// so the event scheduler can retire the broadcast from its queue
+    /// accounting.
+    pub(crate) fn try_take(&mut self, seq: u64) -> Option<(f64, Payload, bool)> {
         let e = self.map.get_mut(&seq)?;
         e.reads += 1;
         let out = (e.time, e.data.clone());
-        if e.reads >= self.nprocs {
+        let retired = e.reads >= self.nprocs;
+        if retired {
             self.map.remove(&seq);
         }
-        Some(out)
+        Some((out.0, out.1, retired))
     }
 }
 
@@ -308,8 +317,8 @@ impl SharedPosted {
         let mut g = self.state.lock().expect("posted lock poisoned");
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
         loop {
-            if let Some(out) = g.try_take(seq) {
-                return out;
+            if let Some((time, data, _retired)) = g.try_take(seq) {
+                return (time, data);
             }
             let now = std::time::Instant::now();
             if now >= deadline {

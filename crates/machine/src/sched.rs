@@ -266,8 +266,15 @@ impl EventShared {
     pub(crate) fn collective(&self, me: usize, my_clock: f64, c: Contribution) -> CollOut {
         let mut st = self.lock();
         let gen = st.coll.generation();
-        if st.coll.contribute(c) {
+        let last = st.coll.contribute(c);
+        // Each contribution is an undelivered message held by the
+        // rendezvous until the last arriver completes it, so it counts
+        // toward the queue high-water mark like a mailbox message.
+        st.queued += 1;
+        st.queue_peak = st.queue_peak.max(st.queued as u64);
+        if last {
             let out = st.coll.finish();
+            st.queued -= self.nprocs;
             for rank in 0..self.nprocs {
                 if matches!(st.tasks[rank].status, Status::Blocked(Wait::Coll)) {
                     let at = st.tasks[rank].clock.max(out.time);
@@ -290,6 +297,10 @@ impl EventShared {
     pub(crate) fn post_insert(&self, seq: u64, time: f64, data: Payload) {
         let mut st = self.lock();
         st.posted.insert(seq, time, data);
+        // An in-flight posted broadcast is one undelivered message until
+        // the last rank takes its copy (see `posted_wait`).
+        st.queued += 1;
+        st.queue_peak = st.queue_peak.max(st.queued as u64);
         for rank in 0..self.nprocs {
             if matches!(st.tasks[rank].status, Status::Blocked(Wait::Posted { seq: s }) if s == seq)
             {
@@ -304,8 +315,11 @@ impl EventShared {
     pub(crate) fn posted_wait(&self, me: usize, seq: u64, my_clock: f64) -> (f64, Payload) {
         let mut st = self.lock();
         loop {
-            if let Some(out) = st.posted.try_take(seq) {
-                return out;
+            if let Some((time, data, retired)) = st.posted.try_take(seq) {
+                if retired {
+                    st.queued -= 1;
+                }
+                return (time, data);
             }
             st.tasks[me].status = Status::Blocked(Wait::Posted { seq });
             st.tasks[me].clock = my_clock;

@@ -105,6 +105,15 @@ pub struct RunStats {
     /// Bytecode-engine instructions retired across all ranks (0 for the
     /// tree engine and for raw `Machine::run` bodies).
     pub engine_instrs: u64,
+    /// Bytecode-engine dispatches *saved* by superinstruction fusion:
+    /// constituent instructions retired inside fused kernels and scalar
+    /// superinstructions rather than individually dispatched. Fusion
+    /// coverage is `fused_instrs / (engine_instrs + fused_instrs)`.
+    pub fused_instrs: u64,
+    /// Per-opcode dynamic dispatch counts of the bytecode engine, summed
+    /// across ranks; only opcodes with nonzero counts appear. Sums to
+    /// `engine_instrs`. Empty for the tree engine.
+    pub instr_mix: Vec<(String, u64)>,
     /// Message buffers taken from the [`crate::BufferPool`] free list
     /// instead of allocated. Thread-interleaving dependent: which rank's
     /// drop races which rank's acquire varies run to run.
@@ -122,7 +131,9 @@ pub struct RunStats {
     /// Event-machine scheduler: peak simultaneously-runnable ranks.
     pub sched_ready_peak: u64,
     /// Event-machine scheduler: peak undelivered messages queued across
-    /// all mailboxes.
+    /// all mailboxes, counting pending collective contributions and
+    /// in-flight posted broadcasts (held by the rendezvous / posted table
+    /// until delivered) alongside point-to-point mailbox messages.
     pub sched_queue_peak: u64,
 }
 

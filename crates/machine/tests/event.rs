@@ -146,7 +146,9 @@ fn scheduler_counters_populated_under_event_only() {
     assert!(ev.sched_switches > 0, "event machine dispatches tasks");
     assert_eq!(ev.sched_msgs, 1);
     assert!(ev.sched_ready_peak >= 1);
-    assert!(ev.sched_queue_peak <= 1);
+    // One point-to-point message may sit queued, and the barrier's two
+    // contributions count as queued work until the collective finishes.
+    assert!((1..=2).contains(&ev.sched_queue_peak));
     let th = Machine::threaded(2).run(body);
     assert_eq!(th.sched_switches, 0, "threaded machine has no scheduler");
     assert_eq!(th.sched_msgs, 0);

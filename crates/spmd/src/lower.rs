@@ -45,7 +45,7 @@ pub(crate) struct SecInstr {
 /// that provably always hold integers (loop variables never otherwise
 /// assigned), so the integer add matches the tree engine's `I + I`
 /// evaluation and its 1-op charge exactly.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct SubIdx {
     pub slot: Slot,
     pub off: i32,
@@ -63,6 +63,123 @@ pub(crate) const NO_SLOT: Slot = Slot::MAX;
 pub(crate) struct Opnd {
     pub slot: Slot,
     pub reg: Reg,
+}
+
+/// Strided element access inside a fused kernel: the same folded
+/// subscript form as [`LoadS`](Instr::LoadS)/[`StoreS`](Instr::StoreS),
+/// packaged so the kernel executor can turn it into a `flat0 + t*stride`
+/// walk over the frame's array storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct KAcc {
+    pub arr: u16,
+    pub n: u16,
+    pub extra_ops: u16,
+    pub subs: [SubIdx; 3],
+}
+
+impl KAcc {
+    /// Ops charged by the LoadS/StoreS this access replaces.
+    fn ops(&self) -> u64 {
+        (self.n + self.extra_ops) as u64
+    }
+}
+
+/// Decoded operand of a fused kernel or scalar superinstruction: an
+/// array element walk, a scalar slot read, or an immediate. Slot
+/// operands are only accepted by the fuser when the slot is provably
+/// loop-invariant (never the loop variable, never written by the fused
+/// window), so the executor may read them once.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum KSrc {
+    Elem(KAcc),
+    Slot(Slot),
+    ImmI(i64),
+    ImmR(f64),
+}
+
+impl KSrc {
+    fn elem_ops(&self) -> u64 {
+        match self {
+            KSrc::Elem(a) => a.ops(),
+            _ => 0,
+        }
+    }
+    /// True when the operand is statically known to evaluate to
+    /// `Value::R` (elements always load as reals).
+    fn always_real(&self) -> bool {
+        matches!(self, KSrc::Elem(_) | KSrc::ImmR(_))
+    }
+}
+
+/// Recognized whole-loop-body kernels. Each variant names the exact
+/// instruction shape it replaced; the executor replays that shape's
+/// per-element semantics (including `Value` promotion via `apply_bin`/
+/// `apply_intr`) in a tight loop with no dispatch.
+#[derive(Clone, Debug)]
+pub(crate) enum KBody {
+    /// `a(...) = v` — loop-invariant fill.
+    Fill { dst: KAcc, v: KSrc },
+    /// `a(...) = b(...)` — strided copy.
+    Copy { dst: KAcc, src: KAcc },
+    /// `a(...) = l op r` with at least one always-real operand
+    /// (covers `Scal`-style `a(i) = a(i)/x` and friends).
+    EBin {
+        op: SBinOp,
+        dst: KAcc,
+        l: KSrc,
+        r: KSrc,
+    },
+    /// `a(...) = acc op (ml*mr)` — the Axpy/daxpy inner loop.
+    Fma {
+        op: SBinOp,
+        dst: KAcc,
+        acc: KSrc,
+        ml: KSrc,
+        mr: KSrc,
+    },
+    /// `s = s op e(...)` (`acc_left`) or `s = e(...) op s` — running
+    /// reduction into a scalar (sum, max, ...).
+    RedBin {
+        op: SBinOp,
+        slot: Slot,
+        e: KAcc,
+        acc_left: bool,
+    },
+    /// `t = x(...); x(...) = y(...); y(...) = t` — dgefa's row swap.
+    Swap { x: KAcc, y: KAcc, tmp: Slot },
+    /// `if (intr(e(...)) cmp dmax) then dmax = intr(e(...)); idx = var`
+    /// — idamax-style guarded arg-reduction.
+    ArgMax {
+        e: KAcc,
+        intr: SIntr,
+        cmp: SBinOp,
+        dmax: Slot,
+        idx: Slot,
+    },
+}
+
+/// A fused loop: retains every [`LoopHead`](Instr::LoopHead) field so
+/// the executor can fall back to the *intact* unfused body (still in
+/// the code right after this instruction) whenever a precondition
+/// fails — e.g. an endpoint subscript out of local bounds, where the
+/// slow path must panic at the exact offending iteration.
+#[derive(Debug)]
+pub(crate) struct KLoop {
+    pub i: Reg,
+    pub var: Slot,
+    pub hi: Reg,
+    pub step: i64,
+    pub exit: u32,
+    /// Dispatches the fast path retires per iteration (body + LoopNext).
+    pub fused_per_iter: u32,
+    /// Flop/op inventory of one iteration (including the 1-op loop
+    /// bookkeeping charge), batch-applied as `trip_count * per_iter`.
+    pub ops_per_iter: u64,
+    pub flops_per_iter: u64,
+    /// Extra charges per *taken* guard iteration (ArgMax only).
+    pub taken_ops: u64,
+    pub taken_flops: u64,
+    pub body: KBody,
 }
 
 /// Call operand: pre-resolved argument and copy-out plumbing.
@@ -322,6 +439,142 @@ pub(crate) enum Instr {
         first: Reg,
         n: u16,
     },
+    /// Fused whole-loop kernel (replaces a `LoopHead` in place; the
+    /// original body and `LoopNext` remain live as the slow path).
+    KLoop(Box<KLoop>),
+    /// `scalars[dst] = scalars[src]` — fuses `LdVar + StVar` (skips 1).
+    MovVar {
+        dst: Slot,
+        src: Slot,
+    },
+    /// `scalars[dst] = l op r` — fuses `leaf + leaf + Bin + StVar`
+    /// (skips 3); charges one runtime-typed flop-or-op like `Bin`.
+    BinSS {
+        op: SBinOp,
+        dst: Slot,
+        l: KSrc,
+        r: KSrc,
+    },
+    /// `scalars[slot] = a(...)` — fuses `LoadS + StVar` (skips 1).
+    LdElemVar {
+        slot: Slot,
+        acc: KAcc,
+    },
+}
+
+/// Number of distinct opcodes (sizes the VM's dynamic-mix histogram).
+pub(crate) const N_OPCODES: usize = 51;
+
+/// Display names indexed by [`op_idx`].
+pub(crate) const OPCODE_NAMES: [&str; N_OPCODES] = [
+    "LdI",
+    "LdR",
+    "LdVar",
+    "StVar",
+    "MovI",
+    "MyP",
+    "NProcs",
+    "Bin",
+    "Fma",
+    "Neg",
+    "Not",
+    "Intr",
+    "Load",
+    "Store",
+    "LoadS",
+    "StoreS",
+    "Owner",
+    "CurOwner",
+    "LocalIdx",
+    "Jmp",
+    "BrFalse",
+    "BrNotRank",
+    "BrNotRank0",
+    "LoopHead",
+    "LoopNext",
+    "Call",
+    "Return",
+    "Stop",
+    "Gather",
+    "Scatter",
+    "PackVar",
+    "UnpackVar",
+    "SendMsg",
+    "RecvMsg",
+    "SendElem",
+    "RecvElem",
+    "Bcast",
+    "PostSendMsg",
+    "WaitSendMsg",
+    "PostRecvMsg",
+    "WaitRecvMsg",
+    "PostBcastMsg",
+    "WaitBcastMsg",
+    "Remap",
+    "RemapGlobal",
+    "MarkDist",
+    "Print",
+    "KLoop",
+    "MovVar",
+    "BinSS",
+    "LdElemVar",
+];
+
+/// Dense opcode index of an instruction, for the dynamic-mix histogram.
+pub(crate) fn op_idx(i: &Instr) -> usize {
+    match i {
+        Instr::LdI { .. } => 0,
+        Instr::LdR { .. } => 1,
+        Instr::LdVar { .. } => 2,
+        Instr::StVar { .. } => 3,
+        Instr::MovI { .. } => 4,
+        Instr::MyP { .. } => 5,
+        Instr::NProcs { .. } => 6,
+        Instr::Bin { .. } => 7,
+        Instr::Fma { .. } => 8,
+        Instr::Neg { .. } => 9,
+        Instr::Not { .. } => 10,
+        Instr::Intr { .. } => 11,
+        Instr::Load { .. } => 12,
+        Instr::Store { .. } => 13,
+        Instr::LoadS { .. } => 14,
+        Instr::StoreS { .. } => 15,
+        Instr::Owner { .. } => 16,
+        Instr::CurOwner { .. } => 17,
+        Instr::LocalIdx { .. } => 18,
+        Instr::Jmp { .. } => 19,
+        Instr::BrFalse { .. } => 20,
+        Instr::BrNotRank { .. } => 21,
+        Instr::BrNotRank0 { .. } => 22,
+        Instr::LoopHead { .. } => 23,
+        Instr::LoopNext { .. } => 24,
+        Instr::Call(_) => 25,
+        Instr::Return => 26,
+        Instr::Stop => 27,
+        Instr::Gather { .. } => 28,
+        Instr::Scatter { .. } => 29,
+        Instr::PackVar { .. } => 30,
+        Instr::UnpackVar { .. } => 31,
+        Instr::SendMsg { .. } => 32,
+        Instr::RecvMsg { .. } => 33,
+        Instr::SendElem { .. } => 34,
+        Instr::RecvElem { .. } => 35,
+        Instr::Bcast { .. } => 36,
+        Instr::PostSendMsg { .. } => 37,
+        Instr::WaitSendMsg => 38,
+        Instr::PostRecvMsg { .. } => 39,
+        Instr::WaitRecvMsg { .. } => 40,
+        Instr::PostBcastMsg { .. } => 41,
+        Instr::WaitBcastMsg { .. } => 42,
+        Instr::Remap { .. } => 43,
+        Instr::RemapGlobal { .. } => 44,
+        Instr::MarkDist { .. } => 45,
+        Instr::Print { .. } => 46,
+        Instr::KLoop(_) => 47,
+        Instr::MovVar { .. } => 48,
+        Instr::BinSS { .. } => 49,
+        Instr::LdElemVar { .. } => 50,
+    }
 }
 
 /// A lowered procedure.
@@ -640,7 +893,10 @@ fn collect_scalar_writes(body: &[SStmt], w: &mut FxHashSet<Sym>) {
 
 /// Lowers a whole program: phase A computes every procedure's layout,
 /// phase B flattens each body against its own layout (and callees').
-pub(crate) fn lower(prog: &SpmdProgram) -> Lowered {
+/// When `fuse` is set, a peephole pass then collapses recognized
+/// whole-loop bodies into [`Instr::KLoop`] superinstructions and short
+/// scalar windows into `MovVar`/`BinSS`/`LdElemVar`.
+pub(crate) fn lower_with(prog: &SpmdProgram, fuse: bool) -> Lowered {
     let layouts: Vec<Layout> = prog.procs.iter().map(layout_proc).collect();
     let mut n_sites = 0u32;
     let procs = prog
@@ -676,8 +932,12 @@ pub(crate) fn lower(prog: &SpmdProgram) -> Lowered {
             };
             lw.lower_body(&p.body);
             lw.code.push(Instr::Return);
+            let mut code = lw.code;
+            if fuse {
+                fuse_proc(&mut code);
+            }
             LProc {
-                code: lw.code,
+                code,
                 n_slots: layouts[pi].n_slots,
                 n_regs: lw.max_reg,
                 decls: p.decls.clone(),
@@ -1465,5 +1725,977 @@ impl ProcLowerer<'_> {
             }
         }
         self.free_to(mark);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction fusion (the kernel tier).
+//
+// Fusion never moves or removes an instruction, so absolute jump targets
+// stay valid. A fused loop replaces only its `LoopHead` with a `KLoop`;
+// the body and `LoopNext` stay in place as a live slow path the executor
+// falls back to whenever a precondition fails (so even out-of-bounds
+// subscripts panic at the exact original iteration with the original
+// message). Scalar superinstructions replace the first instruction of a
+// straight-line window and *skip* the remainder, which is safe because
+// the window interior is never a branch target.
+
+/// Per-iteration charge inventory of a matched kernel body (excluding
+/// the 1-op loop bookkeeping charge, added by the pass).
+#[derive(Clone, Copy, Debug, Default)]
+struct KCharges {
+    ops: u64,
+    flops: u64,
+    taken_ops: u64,
+    taken_flops: u64,
+}
+
+/// True when `slot` appears in a subscript of `acc` — writing it inside
+/// the loop would be a carried dependence through the subscripts, which
+/// the affine `flat0 + t*stride` plan cannot express.
+fn slot_in_acc(slot: Slot, acc: &KAcc) -> bool {
+    acc.subs[..acc.n as usize].iter().any(|s| s.slot == slot)
+}
+
+/// Classifies a kernel leaf: an immediate, scalar, or element load whose
+/// register result feeds the rest of the body.
+fn leaf_of(ins: &Instr) -> Option<(Reg, KSrc)> {
+    match ins {
+        Instr::LdI { dst, v } => Some((*dst, KSrc::ImmI(*v))),
+        Instr::LdR { dst, v } => Some((*dst, KSrc::ImmR(*v))),
+        Instr::LdVar { dst, slot } => Some((*dst, KSrc::Slot(*slot))),
+        Instr::LoadS {
+            dst,
+            arr,
+            n,
+            extra_ops,
+            subs,
+        } => Some((
+            *dst,
+            KSrc::Elem(KAcc {
+                arr: *arr,
+                n: *n,
+                extra_ops: *extra_ops,
+                subs: *subs,
+            }),
+        )),
+        _ => None,
+    }
+}
+
+/// Like [`leaf_of`] but scalar-only (for `BinSS` windows, whose charge
+/// must stay runtime-typed like `Bin`'s).
+fn scalar_leaf(ins: &Instr) -> Option<(Reg, KSrc)> {
+    match ins {
+        Instr::LoadS { .. } => None,
+        other => leaf_of(other),
+    }
+}
+
+fn acc_of_store(ins: &Instr) -> Option<(KAcc, Reg)> {
+    if let Instr::StoreS {
+        arr,
+        n,
+        extra_ops,
+        subs,
+        src,
+    } = ins
+    {
+        Some((
+            KAcc {
+                arr: *arr,
+                n: *n,
+                extra_ops: *extra_ops,
+                subs: *subs,
+            },
+            *src,
+        ))
+    } else {
+        None
+    }
+}
+
+/// Fill/Copy: `[leaf, StoreS]`.
+fn m_fill_copy(body: &[Instr], var: Slot) -> Option<(KBody, KCharges)> {
+    let [a, st] = body else { return None };
+    let (r, leaf) = leaf_of(a)?;
+    let (dst, src) = acc_of_store(st)?;
+    if r != src {
+        return None;
+    }
+    match leaf {
+        KSrc::Elem(s) => Some((
+            KBody::Copy { dst, src: s },
+            KCharges {
+                ops: s.ops() + dst.ops(),
+                ..KCharges::default()
+            },
+        )),
+        // The loop variable as the fill value varies per iteration;
+        // refuse (aliased-slot near miss).
+        KSrc::Slot(s) if s == var => None,
+        v => Some((
+            KBody::Fill { dst, v },
+            KCharges {
+                ops: dst.ops(),
+                ..KCharges::default()
+            },
+        )),
+    }
+}
+
+/// EBin: `[leaf, leaf, Bin, StoreS]` with a guaranteed-real operand so
+/// the per-iteration flop charge is statically constant.
+fn m_ebin(body: &[Instr], var: Slot) -> Option<(KBody, KCharges)> {
+    let [a, b, Instr::Bin { op, dst, l, r }, st] = body else {
+        return None;
+    };
+    let (ra, la) = leaf_of(a)?;
+    let (rb, lb) = leaf_of(b)?;
+    let (dacc, src) = acc_of_store(st)?;
+    if *l != ra || *r != rb || *dst != ra || src != ra {
+        return None;
+    }
+    for s in [&la, &lb] {
+        if let KSrc::Slot(sl) = s {
+            if *sl == var {
+                return None;
+            }
+        }
+    }
+    if !la.always_real() && !lb.always_real() {
+        return None;
+    }
+    Some((
+        KBody::EBin {
+            op: *op,
+            dst: dacc,
+            l: la,
+            r: lb,
+        },
+        KCharges {
+            ops: la.elem_ops() + lb.elem_ops() + dacc.ops(),
+            flops: 1,
+            ..KCharges::default()
+        },
+    ))
+}
+
+/// Fma/Axpy: `[leaf*, Fma, StoreS]` — up to three leaves feeding the
+/// Fma's register operands in order (slot operands consume no leaf).
+fn m_fma(body: &[Instr], var: Slot) -> Option<(KBody, KCharges)> {
+    let n = body.len();
+    if !(2..=5).contains(&n) {
+        return None;
+    }
+    let Instr::Fma {
+        op,
+        dst,
+        acc,
+        ml,
+        mr,
+    } = &body[n - 2]
+    else {
+        return None;
+    };
+    let (dacc, src) = acc_of_store(&body[n - 1])?;
+    if src != *dst {
+        return None;
+    }
+    let mut li = 0usize;
+    let mut resolved = [KSrc::ImmI(0); 3];
+    for (k, o) in [acc, ml, mr].into_iter().enumerate() {
+        resolved[k] = if o.slot != NO_SLOT {
+            if o.slot == var {
+                return None;
+            }
+            KSrc::Slot(o.slot)
+        } else {
+            if li >= n - 2 {
+                return None;
+            }
+            let (r, leaf) = leaf_of(&body[li])?;
+            li += 1;
+            if r != o.reg {
+                return None;
+            }
+            if let KSrc::Slot(s) = leaf {
+                if s == var {
+                    return None;
+                }
+            }
+            leaf
+        };
+    }
+    if li != n - 2 {
+        return None;
+    }
+    let [racc, rml, rmr] = resolved;
+    // A real multiplicand guarantees a real product, making both
+    // constituent charges (mul, then add/sub) flops every iteration.
+    if !rml.always_real() && !rmr.always_real() {
+        return None;
+    }
+    Some((
+        KBody::Fma {
+            op: *op,
+            dst: dacc,
+            acc: racc,
+            ml: rml,
+            mr: rmr,
+        },
+        KCharges {
+            ops: racc.elem_ops() + rml.elem_ops() + rmr.elem_ops() + dacc.ops(),
+            flops: 2,
+            ..KCharges::default()
+        },
+    ))
+}
+
+/// RedBin: `[LdVar s, leaf, Bin, StVar s]` (acc left) or
+/// `[leaf, LdVar s, Bin, StVar s]` (acc right); the other operand must
+/// be an element load so the Bin charge is always a flop.
+fn m_redbin(body: &[Instr], var: Slot) -> Option<(KBody, KCharges)> {
+    let [a, b, Instr::Bin { op, dst, l, r }, Instr::StVar { slot, src }] = body else {
+        return None;
+    };
+    let (ra, la) = leaf_of(a)?;
+    let (rb, lb) = leaf_of(b)?;
+    if *l != ra || *r != rb || *dst != ra || *src != ra {
+        return None;
+    }
+    let (e, acc_left) = match (la, lb) {
+        (KSrc::Slot(s), KSrc::Elem(e)) if s == *slot => (e, true),
+        (KSrc::Elem(e), KSrc::Slot(s)) if s == *slot => (e, false),
+        _ => return None,
+    };
+    if *slot == var || slot_in_acc(*slot, &e) {
+        return None;
+    }
+    Some((
+        KBody::RedBin {
+            op: *op,
+            slot: *slot,
+            e,
+            acc_left,
+        },
+        KCharges {
+            ops: e.ops(),
+            flops: 1,
+            ..KCharges::default()
+        },
+    ))
+}
+
+/// Swap: `t = x(..); x(..) = y(..); y(..) = t` (dgefa's row exchange).
+fn m_swap(body: &[Instr], var: Slot) -> Option<(KBody, KCharges)> {
+    let [lx, Instr::StVar { slot: tmp, src: s0 }, ly, st_x, Instr::LdVar {
+        dst: r2,
+        slot: tmp2,
+    }, st_y] = body
+    else {
+        return None;
+    };
+    let (r0, KSrc::Elem(x)) = leaf_of(lx)? else {
+        return None;
+    };
+    let (r1, KSrc::Elem(y)) = leaf_of(ly)? else {
+        return None;
+    };
+    let (x2, sx) = acc_of_store(st_x)?;
+    let (y2, sy) = acc_of_store(st_y)?;
+    if *s0 != r0 || sx != r1 || *tmp2 != *tmp || sy != *r2 || x2 != x || y2 != y {
+        return None;
+    }
+    if *tmp == var || slot_in_acc(*tmp, &x) || slot_in_acc(*tmp, &y) {
+        return None;
+    }
+    Some((
+        KBody::Swap { x, y, tmp: *tmp },
+        KCharges {
+            ops: 2 * x.ops() + 2 * y.ops(),
+            ..KCharges::default()
+        },
+    ))
+}
+
+/// ArgMax: the idamax guarded reduction
+/// `if (intr(e) cmp dmax) then dmax = intr(e); idx = var`.
+/// `next_at` is the loop's `LoopNext` index — the `BrFalse` of a
+/// loop-final `If` must target exactly it.
+fn m_argmax(body: &[Instr], var: Slot, next_at: u32) -> Option<(KBody, KCharges)> {
+    let [le1, Instr::Intr {
+        name,
+        dst: i1d,
+        first: i1f,
+        n: 1,
+    }, Instr::LdVar {
+        dst: dmr,
+        slot: dmax,
+    }, Instr::Bin {
+        op: cmp,
+        dst: bd,
+        l: bl,
+        r: br,
+    }, Instr::BrFalse { cond, to }, le2, Instr::Intr {
+        name: name2,
+        dst: i2d,
+        first: i2f,
+        n: 1,
+    }, Instr::StVar {
+        slot: dmax2,
+        src: sv1,
+    }, Instr::LdVar {
+        dst: vr,
+        slot: vslot,
+    }, Instr::StVar {
+        slot: idx,
+        src: sv2,
+    }] = body
+    else {
+        return None;
+    };
+    let (e1r, KSrc::Elem(e)) = leaf_of(le1)? else {
+        return None;
+    };
+    let (e2r, KSrc::Elem(e2)) = leaf_of(le2)? else {
+        return None;
+    };
+    if *i1f != e1r
+        || *bl != *i1d
+        || *br != *dmr
+        || *bd != *bl
+        || *cond != *bd
+        || *to != next_at
+        || e2 != e
+        || *i2f != e2r
+        || *name2 != *name
+        || *sv1 != *i2d
+        || *dmax2 != *dmax
+        || *vslot != var
+        || *sv2 != *vr
+    {
+        return None;
+    }
+    if *dmax == var
+        || *idx == var
+        || *dmax == *idx
+        || slot_in_acc(*dmax, &e)
+        || slot_in_acc(*idx, &e)
+    {
+        return None;
+    }
+    Some((
+        KBody::ArgMax {
+            e,
+            intr: *name,
+            cmp: *cmp,
+            dmax: *dmax,
+            idx: *idx,
+        },
+        KCharges {
+            ops: e.ops() + 1, // element load + BrFalse guard
+            flops: 2,         // Intr + Bin (always real: elements load as R)
+            taken_ops: e.ops(),
+            taken_flops: 1, // taken branch re-runs the Intr
+        },
+    ))
+}
+
+fn match_kernel(body: &[Instr], var: Slot, next_at: u32) -> Option<(KBody, KCharges)> {
+    m_fill_copy(body, var)
+        .or_else(|| m_redbin(body, var))
+        .or_else(|| m_ebin(body, var))
+        .or_else(|| m_fma(body, var))
+        .or_else(|| m_swap(body, var))
+        .or_else(|| m_argmax(body, var, next_at))
+}
+
+/// The fusion pass over one lowered procedure.
+fn fuse_proc(code: &mut [Instr]) {
+    // Kernel tier first, so matchers see pristine loop bodies.
+    for h in 0..code.len() {
+        let &Instr::LoopHead {
+            i,
+            var,
+            hi,
+            step,
+            exit,
+        } = &code[h]
+        else {
+            continue;
+        };
+        let e = exit as usize;
+        if e < h + 3 || e > code.len() {
+            continue;
+        }
+        let &Instr::LoopNext {
+            i: ni,
+            var: nv,
+            hi: nh,
+            step: ns,
+            body: nb,
+        } = &code[e - 1]
+        else {
+            continue;
+        };
+        if ni != i || nv != var || nh != hi || ns != step || nb as usize != h + 1 {
+            continue;
+        }
+        if let Some((kb, ch)) = match_kernel(&code[h + 1..e - 1], var, (e - 1) as u32) {
+            code[h] = Instr::KLoop(Box::new(KLoop {
+                i,
+                var,
+                hi,
+                step,
+                exit,
+                fused_per_iter: (e - 1 - h) as u32,
+                ops_per_iter: ch.ops + 1, // + loop bookkeeping
+                flops_per_iter: ch.flops,
+                taken_ops: ch.taken_ops,
+                taken_flops: ch.taken_flops,
+                body: kb,
+            }));
+        }
+    }
+
+    // Scalar tier: superinstructions that skip their window's interior,
+    // which is only sound when no branch targets an interior position.
+    let mut target = vec![false; code.len() + 1];
+    for ins in code.iter() {
+        match ins {
+            Instr::Jmp { to }
+            | Instr::BrFalse { to, .. }
+            | Instr::BrNotRank { to, .. }
+            | Instr::BrNotRank0 { to }
+            | Instr::LoopHead { exit: to, .. } => target[*to as usize] = true,
+            Instr::KLoop(kl) => target[kl.exit as usize] = true,
+            Instr::LoopNext { body, .. } => target[*body as usize] = true,
+            _ => {}
+        }
+    }
+    let mut pc = 0usize;
+    while pc + 1 < code.len() {
+        // BinSS: [leaf, leaf, Bin, StVar], all-scalar operands.
+        if pc + 3 < code.len() && !target[pc + 1] && !target[pc + 2] && !target[pc + 3] {
+            if let (Some((ra, la)), Some((rb, lb))) =
+                (scalar_leaf(&code[pc]), scalar_leaf(&code[pc + 1]))
+            {
+                if let (&Instr::Bin { op, dst, l, r }, &Instr::StVar { slot, src }) =
+                    (&code[pc + 2], &code[pc + 3])
+                {
+                    if l == ra && r == rb && dst == ra && src == ra {
+                        code[pc] = Instr::BinSS {
+                            op,
+                            dst: slot,
+                            l: la,
+                            r: lb,
+                        };
+                        pc += 4;
+                        continue;
+                    }
+                }
+            }
+        }
+        if !target[pc + 1] {
+            // LdElemVar: [LoadS, StVar].
+            if let (
+                &Instr::LoadS {
+                    dst,
+                    arr,
+                    n,
+                    extra_ops,
+                    subs,
+                },
+                &Instr::StVar { slot, src },
+            ) = (&code[pc], &code[pc + 1])
+            {
+                if dst == src {
+                    code[pc] = Instr::LdElemVar {
+                        slot,
+                        acc: KAcc {
+                            arr,
+                            n,
+                            extra_ops,
+                            subs,
+                        },
+                    };
+                    pc += 2;
+                    continue;
+                }
+            }
+            // MovVar: [LdVar, StVar].
+            if let (&Instr::LdVar { dst, slot: s_src }, &Instr::StVar { slot, src }) =
+                (&code[pc], &code[pc + 1])
+            {
+                if dst == src {
+                    code[pc] = Instr::MovVar {
+                        dst: slot,
+                        src: s_src,
+                    };
+                    pc += 2;
+                    continue;
+                }
+            }
+        }
+        pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{SDecl, SFormal, SLval, SProc, SStmt};
+    use fortrand_ir::Interner;
+
+    /// Builds a one-rank, one-procedure program over two 1-D arrays
+    /// `a(1:8)` and `b(1:8)` with the given body. The dist table is
+    /// empty — lowering copies `DistId`s verbatim and never indexes it.
+    struct TB {
+        it: Interner,
+    }
+
+    impl TB {
+        fn new() -> TB {
+            TB {
+                it: Interner::new(),
+            }
+        }
+
+        fn s(&mut self, n: &str) -> Sym {
+            self.it.intern(n)
+        }
+
+        fn prog(mut self, body: Vec<SStmt>) -> SpmdProgram {
+            let a = self.s("a");
+            let b = self.s("b");
+            let name = self.s("main");
+            let decl = |name| SDecl {
+                name,
+                bounds: vec![(1, 8)],
+                dist: DistId(0),
+                owner_dist: None,
+            };
+            SpmdProgram {
+                interner: self.it,
+                nprocs: 1,
+                procs: vec![SProc {
+                    name,
+                    formals: Vec::<SFormal>::new(),
+                    decls: vec![decl(a), decl(b)],
+                    body,
+                }],
+                main: 0,
+                dists: vec![],
+            }
+        }
+    }
+
+    fn elem(array: Sym, i: Sym) -> SExpr {
+        SExpr::Elem {
+            array,
+            subs: vec![SExpr::Var(i)],
+        }
+    }
+
+    fn st_elem(array: Sym, i: Sym, rhs: SExpr) -> SStmt {
+        SStmt::Assign {
+            lhs: SLval::Elem {
+                array,
+                subs: vec![SExpr::Var(i)],
+            },
+            rhs,
+        }
+    }
+
+    fn do8(var: Sym, body: Vec<SStmt>) -> SStmt {
+        SStmt::Do {
+            var,
+            lo: SExpr::Int(1),
+            hi: SExpr::Int(8),
+            step: 1,
+            body,
+        }
+    }
+
+    fn kloops(lw: &Lowered) -> Vec<&KLoop> {
+        lw.procs
+            .iter()
+            .flat_map(|p| p.code.iter())
+            .filter_map(|ins| match ins {
+                Instr::KLoop(kl) => Some(&**kl),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn fused_body(p: SpmdProgram) -> Vec<KBody> {
+        // Fusion must be opt-in: the unfused lowering of the same program
+        // never contains a superinstruction.
+        let plain = lower_with(&p, false);
+        assert!(kloops(&plain).is_empty(), "unfused lowering has KLoop");
+        let lw = lower_with(&p, true);
+        kloops(&lw).iter().map(|kl| kl.body.clone()).collect()
+    }
+
+    #[test]
+    fn fuses_fill() {
+        let mut tb = TB::new();
+        let (a, i) = (tb.s("a"), tb.s("i"));
+        let p = tb.prog(vec![do8(i, vec![st_elem(a, i, SExpr::Real(0.0))])]);
+        let ks = fused_body(p);
+        assert!(
+            matches!(ks[..], [KBody::Fill { v: KSrc::ImmR(v), .. }] if v == 0.0),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn fuses_copy() {
+        let mut tb = TB::new();
+        let (a, b, i) = (tb.s("a"), tb.s("b"), tb.s("i"));
+        let p = tb.prog(vec![do8(i, vec![st_elem(b, i, elem(a, i))])]);
+        let ks = fused_body(p);
+        assert!(matches!(ks[..], [KBody::Copy { .. }]), "{ks:?}");
+    }
+
+    #[test]
+    fn fuses_scal_ebin() {
+        // dscal: a(i) = a(i) / t
+        let mut tb = TB::new();
+        let (a, i, t) = (tb.s("a"), tb.s("i"), tb.s("t"));
+        let p = tb.prog(vec![
+            SStmt::Assign {
+                lhs: SLval::Scalar(t),
+                rhs: SExpr::Real(2.0),
+            },
+            do8(
+                i,
+                vec![st_elem(
+                    a,
+                    i,
+                    SExpr::bin(SBinOp::Div, elem(a, i), SExpr::Var(t)),
+                )],
+            ),
+        ]);
+        let ks = fused_body(p);
+        assert!(
+            matches!(
+                ks[..],
+                [KBody::EBin {
+                    op: SBinOp::Div,
+                    l: KSrc::Elem(_),
+                    r: KSrc::Slot(_),
+                    ..
+                }]
+            ),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn fuses_axpy_fma() {
+        // daxpy: b(i) = b(i) - t * a(i)
+        let mut tb = TB::new();
+        let (a, b, i, t) = (tb.s("a"), tb.s("b"), tb.s("i"), tb.s("t"));
+        let p = tb.prog(vec![
+            SStmt::Assign {
+                lhs: SLval::Scalar(t),
+                rhs: SExpr::Real(2.0),
+            },
+            do8(
+                i,
+                vec![st_elem(
+                    b,
+                    i,
+                    SExpr::sub(elem(b, i), SExpr::mul(SExpr::Var(t), elem(a, i))),
+                )],
+            ),
+        ]);
+        let ks = fused_body(p);
+        assert!(
+            matches!(
+                ks[..],
+                [KBody::Fma {
+                    op: SBinOp::Sub,
+                    acc: KSrc::Elem(_),
+                    ml: KSrc::Slot(_),
+                    mr: KSrc::Elem(_),
+                    ..
+                }]
+            ),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn fuses_reduction() {
+        // s = s + a(i)
+        let mut tb = TB::new();
+        let (a, i, s) = (tb.s("a"), tb.s("i"), tb.s("s"));
+        let p = tb.prog(vec![
+            SStmt::Assign {
+                lhs: SLval::Scalar(s),
+                rhs: SExpr::Real(0.0),
+            },
+            do8(
+                i,
+                vec![SStmt::Assign {
+                    lhs: SLval::Scalar(s),
+                    rhs: SExpr::add(SExpr::Var(s), elem(a, i)),
+                }],
+            ),
+        ]);
+        let ks = fused_body(p);
+        assert!(
+            matches!(
+                ks[..],
+                [KBody::RedBin {
+                    op: SBinOp::Add,
+                    acc_left: true,
+                    ..
+                }]
+            ),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn fuses_swap() {
+        // t = a(i); a(i) = b(i); b(i) = t
+        let mut tb = TB::new();
+        let (a, b, i, t) = (tb.s("a"), tb.s("b"), tb.s("i"), tb.s("t"));
+        let p = tb.prog(vec![do8(
+            i,
+            vec![
+                SStmt::Assign {
+                    lhs: SLval::Scalar(t),
+                    rhs: elem(a, i),
+                },
+                st_elem(a, i, elem(b, i)),
+                st_elem(b, i, SExpr::Var(t)),
+            ],
+        )]);
+        let ks = fused_body(p);
+        assert!(matches!(ks[..], [KBody::Swap { .. }]), "{ks:?}");
+    }
+
+    #[test]
+    fn fuses_argmax() {
+        // idamax: if (abs(a(i)) > dmax) { dmax = abs(a(i)); l = i }
+        let mut tb = TB::new();
+        let (a, i, dmax, l) = (tb.s("a"), tb.s("i"), tb.s("dmax"), tb.s("l"));
+        let abs = |e| SExpr::Intr {
+            name: SIntr::Abs,
+            args: vec![e],
+        };
+        let p = tb.prog(vec![
+            SStmt::Assign {
+                lhs: SLval::Scalar(dmax),
+                rhs: SExpr::Real(0.0),
+            },
+            do8(
+                i,
+                vec![SStmt::If {
+                    cond: SExpr::bin(SBinOp::Gt, abs(elem(a, i)), SExpr::Var(dmax)),
+                    then_body: vec![
+                        SStmt::Assign {
+                            lhs: SLval::Scalar(dmax),
+                            rhs: abs(elem(a, i)),
+                        },
+                        SStmt::Assign {
+                            lhs: SLval::Scalar(l),
+                            rhs: SExpr::Var(i),
+                        },
+                    ],
+                    else_body: vec![],
+                }],
+            ),
+        ]);
+        let ks = fused_body(p);
+        assert!(
+            matches!(
+                ks[..],
+                [KBody::ArgMax {
+                    intr: SIntr::Abs,
+                    cmp: SBinOp::Gt,
+                    ..
+                }]
+            ),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn refuses_carried_scalar_dependence_in_subscript() {
+        // s = s + a(s): the reduction slot feeds the subscript, so each
+        // iteration reads a different element than the batched walk would.
+        let mut tb = TB::new();
+        let (a, i, s) = (tb.s("a"), tb.s("i"), tb.s("s"));
+        let p = tb.prog(vec![
+            SStmt::Assign {
+                lhs: SLval::Scalar(s),
+                rhs: SExpr::Int(1),
+            },
+            do8(
+                i,
+                vec![SStmt::Assign {
+                    lhs: SLval::Scalar(s),
+                    rhs: SExpr::add(SExpr::Var(s), elem(a, s)),
+                }],
+            ),
+        ]);
+        assert!(fused_body(p).is_empty());
+    }
+
+    #[test]
+    fn refuses_loop_var_as_scalar_operand() {
+        // b(i) = a(i) * i: the slot operand aliases the loop variable,
+        // so it is not loop-invariant.
+        let mut tb = TB::new();
+        let (a, b, i) = (tb.s("a"), tb.s("b"), tb.s("i"));
+        let p = tb.prog(vec![do8(
+            i,
+            vec![st_elem(b, i, SExpr::mul(elem(a, i), SExpr::Var(i)))],
+        )]);
+        assert!(fused_body(p).is_empty());
+    }
+
+    #[test]
+    fn refuses_runtime_typed_charge() {
+        // a(i) = s + t: neither operand is statically REAL, so the
+        // per-iteration flop-vs-op split depends on runtime values and
+        // cannot be batch-charged.
+        let mut tb = TB::new();
+        let (a, i, s, t) = (tb.s("a"), tb.s("i"), tb.s("s"), tb.s("t"));
+        let p = tb.prog(vec![
+            SStmt::Assign {
+                lhs: SLval::Scalar(s),
+                rhs: SExpr::Int(1),
+            },
+            SStmt::Assign {
+                lhs: SLval::Scalar(t),
+                rhs: SExpr::Int(2),
+            },
+            do8(
+                i,
+                vec![st_elem(a, i, SExpr::add(SExpr::Var(s), SExpr::Var(t)))],
+            ),
+        ]);
+        assert!(fused_body(p).is_empty());
+    }
+
+    #[test]
+    fn refuses_near_miss_swap() {
+        // Third statement stores a different scalar than the temporary,
+        // so the window is not a rotation.
+        let mut tb = TB::new();
+        let (a, b, i, t, s) = (tb.s("a"), tb.s("b"), tb.s("i"), tb.s("t"), tb.s("s"));
+        let p = tb.prog(vec![
+            SStmt::Assign {
+                lhs: SLval::Scalar(s),
+                rhs: SExpr::Real(7.0),
+            },
+            do8(
+                i,
+                vec![
+                    SStmt::Assign {
+                        lhs: SLval::Scalar(t),
+                        rhs: elem(a, i),
+                    },
+                    st_elem(a, i, elem(b, i)),
+                    st_elem(b, i, SExpr::Var(s)),
+                ],
+            ),
+        ]);
+        assert!(fused_body(p).is_empty());
+    }
+
+    #[test]
+    fn refuses_argmax_with_nonvar_index() {
+        // l = s instead of l = i: the taken branch does not record the
+        // loop index, so this is not an argmax.
+        let mut tb = TB::new();
+        let (a, i, dmax, l, s) = (tb.s("a"), tb.s("i"), tb.s("dmax"), tb.s("l"), tb.s("s"));
+        let abs = |e| SExpr::Intr {
+            name: SIntr::Abs,
+            args: vec![e],
+        };
+        let p = tb.prog(vec![
+            SStmt::Assign {
+                lhs: SLval::Scalar(dmax),
+                rhs: SExpr::Real(0.0),
+            },
+            SStmt::Assign {
+                lhs: SLval::Scalar(s),
+                rhs: SExpr::Int(3),
+            },
+            do8(
+                i,
+                vec![SStmt::If {
+                    cond: SExpr::bin(SBinOp::Gt, abs(elem(a, i)), SExpr::Var(dmax)),
+                    then_body: vec![
+                        SStmt::Assign {
+                            lhs: SLval::Scalar(dmax),
+                            rhs: abs(elem(a, i)),
+                        },
+                        SStmt::Assign {
+                            lhs: SLval::Scalar(l),
+                            rhs: SExpr::Var(s),
+                        },
+                    ],
+                    else_body: vec![],
+                }],
+            ),
+        ]);
+        assert!(fused_body(p).is_empty());
+    }
+
+    #[test]
+    fn fuses_scalar_windows() {
+        // Straight-line statements outside loops fuse into scalar
+        // superinstructions: s = t (MovVar), s = s + t (BinSS),
+        // s = a(1) (LdElemVar).
+        let mut tb = TB::new();
+        let (a, s, t) = (tb.s("a"), tb.s("s"), tb.s("t"));
+        let p = tb.prog(vec![
+            SStmt::Assign {
+                lhs: SLval::Scalar(t),
+                rhs: SExpr::Real(1.0),
+            },
+            SStmt::Assign {
+                lhs: SLval::Scalar(s),
+                rhs: SExpr::Var(t),
+            },
+            SStmt::Assign {
+                lhs: SLval::Scalar(s),
+                rhs: SExpr::add(SExpr::Var(s), SExpr::Var(t)),
+            },
+            SStmt::Assign {
+                lhs: SLval::Scalar(s),
+                rhs: SExpr::Elem {
+                    array: a,
+                    subs: vec![SExpr::Int(1)],
+                },
+            },
+        ]);
+        let lw = lower_with(&p, true);
+        let code = &lw.procs[0].code;
+        assert!(code.iter().any(|x| matches!(x, Instr::MovVar { .. })));
+        assert!(code.iter().any(|x| matches!(x, Instr::BinSS { .. })));
+        assert!(code.iter().any(|x| matches!(x, Instr::LdElemVar { .. })));
+        let plain = lower_with(&p, false);
+        assert!(!plain.procs[0].code.iter().any(|x| matches!(
+            x,
+            Instr::MovVar { .. } | Instr::BinSS { .. } | Instr::LdElemVar { .. }
+        )));
+    }
+
+    #[test]
+    fn opcode_table_covers_every_instr() {
+        assert_eq!(OPCODE_NAMES.len(), N_OPCODES);
+        // Names are unique and nonempty.
+        let set: std::collections::BTreeSet<&str> = OPCODE_NAMES.iter().copied().collect();
+        assert_eq!(set.len(), N_OPCODES);
     }
 }

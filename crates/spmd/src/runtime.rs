@@ -60,7 +60,7 @@ pub struct ExecOutput {
 /// ```ignore
 /// let opts = ExecOptions::new().engine(ExecEngine::Tree);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct ExecOptions {
     /// Which engine interprets the node program
@@ -71,10 +71,25 @@ pub struct ExecOptions {
     /// substrate (event-driven scheduler or thread-per-rank). Observables
     /// are bit-identical either way — this selects host mechanics only.
     pub machine: Option<MachineKind>,
+    /// Whether the bytecode engine's superinstruction fusion tier runs
+    /// (`true` by default). Off, the VM dispatches the unfused lowering
+    /// one instruction at a time — observables are bit-identical either
+    /// way; this selects host mechanics only. Ignored by the tree engine.
+    pub kernels: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            engine: ExecEngine::default(),
+            machine: None,
+            kernels: true,
+        }
+    }
 }
 
 impl ExecOptions {
-    /// Default options (bytecode engine).
+    /// Default options (bytecode engine, fusion on).
     pub fn new() -> ExecOptions {
         ExecOptions::default()
     }
@@ -89,6 +104,13 @@ impl ExecOptions {
     /// kind of whatever [`Machine`] is passed in.
     pub fn machine(mut self, kind: MachineKind) -> ExecOptions {
         self.machine = Some(kind);
+        self
+    }
+
+    /// Enables or disables the bytecode engine's superinstruction
+    /// fusion tier.
+    pub fn kernels(mut self, on: bool) -> ExecOptions {
+        self.kernels = on;
         self
     }
 }
@@ -117,7 +139,7 @@ pub fn try_run_spmd(
     };
     match opts.engine {
         ExecEngine::Tree => crate::interp::run_tree(prog, machine, init),
-        ExecEngine::Bytecode => crate::vm::run_bytecode(prog, machine, init),
+        ExecEngine::Bytecode => crate::vm::run_bytecode(prog, machine, init, opts.kernels),
     }
 }
 

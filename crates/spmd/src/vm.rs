@@ -15,7 +15,10 @@
 
 use crate::interp::slot;
 use crate::ir::{SBinOp, SpmdProgram};
-use crate::lower::{lower, CallArgs, Instr, Lowered, SecInstr, NO_SLOT};
+use crate::lower::{
+    lower_with, op_idx, CallArgs, Instr, KAcc, KBody, KLoop, KSrc, Lowered, SecInstr, Slot,
+    NO_SLOT, N_OPCODES, OPCODE_NAMES,
+};
 use crate::runtime::{
     apply_bin, apply_intr, mark_dist_store, remap_global_store, remap_store, run_harness,
     scalar_from_wire, scatter_init_store, ArrayStore, ExecOutput, FinalArray, Value,
@@ -26,14 +29,19 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Runs `prog` under the bytecode engine. Lowering happens once; the
-/// resulting program is shared read-only by every rank's VM.
+/// resulting program is shared read-only by every rank's VM. `kernels`
+/// enables the superinstruction fusion tier (identical observables
+/// either way; only dispatch count and wall time differ).
 pub(crate) fn run_bytecode(
     prog: &SpmdProgram,
     machine: &Machine,
     init: &BTreeMap<Sym, Vec<f64>>,
+    kernels: bool,
 ) -> Result<ExecOutput, crate::runtime::RankFailure> {
-    let lowered = lower(prog);
+    let lowered = lower_with(prog, kernels);
     let instr_total = AtomicU64::new(0);
+    let fused_total = AtomicU64::new(0);
+    let mix_total: Vec<AtomicU64> = (0..N_OPCODES).map(|_| AtomicU64::new(0)).collect();
     // Resolved once per run, only when tracing: per-call spans need
     // procedure names and the hot path must not touch the interner.
     let proc_names: Vec<String> = if machine.trace().on() {
@@ -50,9 +58,24 @@ pub(crate) fn run_bytecode(
         exec(&mut vm);
         vm.close_open_spans();
         instr_total.fetch_add(vm.instrs, Ordering::Relaxed);
+        fused_total.fetch_add(vm.fused, Ordering::Relaxed);
+        for (k, v) in vm.mix.iter().enumerate() {
+            if *v > 0 {
+                mix_total[k].fetch_add(*v, Ordering::Relaxed);
+            }
+        }
         (vm.finish(), std::mem::take(&mut vm.printed))
     })?;
     out.stats.engine_instrs = instr_total.load(Ordering::Relaxed);
+    out.stats.fused_instrs = fused_total.load(Ordering::Relaxed);
+    out.stats.instr_mix = mix_total
+        .iter()
+        .enumerate()
+        .filter_map(|(k, v)| {
+            let n = v.load(Ordering::Relaxed);
+            (n > 0).then(|| (OPCODE_NAMES[k].to_string(), n))
+        })
+        .collect();
     Ok(out)
 }
 
@@ -109,6 +132,12 @@ struct Vm<'a, 'n> {
     /// Instructions dispatched (diagnostic; summed into
     /// `RunStats::engine_instrs`).
     instrs: u64,
+    /// Dispatches retired *inside* superinstructions (the instructions
+    /// the unfused program would have dispatched); summed into
+    /// `RunStats::fused_instrs`.
+    fused: u64,
+    /// Dynamic opcode histogram, indexed by [`op_idx`].
+    mix: Vec<u64>,
     main_arrays: Vec<usize>,
     /// Cached `node.trace().on()` so the dispatch loop pays one bool test.
     trace_on: bool,
@@ -145,6 +174,8 @@ impl<'a, 'n> Vm<'a, 'n> {
             pending_flops: 0,
             pending_ops: 0,
             instrs: 0,
+            fused: 0,
+            mix: vec![0; N_OPCODES],
             main_arrays: Vec::new(),
             trace_on,
             proc_names,
@@ -195,6 +226,15 @@ impl<'a, 'n> Vm<'a, 'n> {
     }
 
     fn flush(&mut self) {
+        // Every communication instruction flushes before installing a new
+        // incoming payload, and the scatters that consume one never
+        // flush, so the previous message is fully consumed here. Dropping
+        // our clone now (instead of when the *next* receive overwrites
+        // it) returns the shared buffer to the pool one pipeline stage
+        // earlier — under posted/pipelined schedules each rank would
+        // otherwise pin the last broadcast's buffer across the whole
+        // in-flight window, forcing the root's gathers to allocate.
+        self.incoming = None;
         if self.pending_flops > 0 {
             self.node.charge_flops(self.pending_flops);
             self.pending_flops = 0;
@@ -329,6 +369,255 @@ impl<'a, 'n> Vm<'a, 'n> {
         self.regs.truncate(fr.r_base);
         self.heap.truncate(fr.heap_mark);
         fr.ret_pc
+    }
+
+    /// Affine access plan for a [`KAcc`]: `(heap id, flat0, stride)`
+    /// such that iteration `t` of the fused loop touches
+    /// `data[flat0 + t*stride]`. Each dimension's subscript is affine
+    /// in `t` (the loop-variable dims advance by `step`, the rest are
+    /// constant), so validating both endpoints validates every
+    /// iteration. Returns `None` when an endpoint leaves the local
+    /// bounds — the caller then runs the intact interpreted body, which
+    /// panics at the exact offending iteration with the exact message.
+    #[allow(clippy::too_many_arguments)]
+    fn kacc_plan(
+        &self,
+        acc: &KAcc,
+        s_base: usize,
+        a_base: usize,
+        var: Slot,
+        i0: i64,
+        step: i64,
+        t: i64,
+    ) -> Option<(usize, i64, i64)> {
+        let id = self.atab[a_base + acc.arr as usize];
+        let store = &self.heap[id];
+        let mut flat0 = 0i64;
+        let mut stride = 0i64;
+        for k in 0..acc.n as usize {
+            let s = acc.subs[k];
+            let (v0, delta) = if s.slot == NO_SLOT {
+                (s.off as i64, 0)
+            } else if s.slot == var {
+                (i0 + s.off as i64, step)
+            } else {
+                (
+                    self.scalars[s_base + s.slot as usize].as_i() + s.off as i64,
+                    0,
+                )
+            };
+            let (lo, hi) = store.bounds[k];
+            let vl = v0 + delta * (t - 1);
+            if v0 < lo || v0 > hi || vl < lo || vl > hi {
+                return None;
+            }
+            let w = hi - lo + 1;
+            flat0 = flat0 * w + (v0 - lo);
+            stride = stride * w + delta;
+        }
+        Some((id, flat0, stride))
+    }
+
+    /// Reads a non-element kernel operand (loop-invariant by the
+    /// fuser's guards, so reading once is exact).
+    fn ksrc_val(&self, s: &KSrc, s_base: usize) -> Value {
+        match s {
+            KSrc::Slot(sl) => self.scalars[s_base + *sl as usize],
+            KSrc::ImmI(v) => Value::I(*v),
+            KSrc::ImmR(v) => Value::R(*v),
+            KSrc::Elem(_) => unreachable!("element operand resolved via kacc_plan"),
+        }
+    }
+
+    /// Executes a fused loop's entire trip count (`t >= 1` iterations
+    /// from `i0`) in one dispatch, charging the batched per-iteration
+    /// inventory. Returns `false` (having performed *no* side effects)
+    /// when a precondition fails, so the caller can fall back to the
+    /// interpreted body.
+    fn run_kloop(&mut self, kl: &KLoop, s_base: usize, a_base: usize, i0: i64, t: i64) -> bool {
+        let var = kl.var;
+        let step = kl.step;
+        /// Resolved per-iteration operand: a constant or a strided walk.
+        enum Rop {
+            C(Value),
+            M(*const f64, i64, i64),
+        }
+        let resolve = |vm: &Self, s: &KSrc| -> Option<Rop> {
+            match s {
+                KSrc::Elem(a) => {
+                    let (id, f0, st) = vm.kacc_plan(a, s_base, a_base, var, i0, step, t)?;
+                    Some(Rop::M(vm.heap[id].data.as_ptr(), f0, st))
+                }
+                other => Some(Rop::C(vm.ksrc_val(other, s_base))),
+            }
+        };
+        let rop_val = |r: &Rop, k: i64| -> Value {
+            match r {
+                Rop::C(v) => *v,
+                Rop::M(p, f0, st) => Value::R(unsafe { *p.add((f0 + k * st) as usize) }),
+            }
+        };
+        match &kl.body {
+            KBody::Fill { dst, v } => {
+                let Some((did, f0, st)) = self.kacc_plan(dst, s_base, a_base, var, i0, step, t)
+                else {
+                    return false;
+                };
+                let x = self.ksrc_val(v, s_base).as_r();
+                let p = self.heap[did].data.as_mut_ptr();
+                for k in 0..t {
+                    unsafe { *p.add((f0 + k * st) as usize) = x };
+                }
+            }
+            KBody::Copy { dst, src } => {
+                let Some((sid, sf0, sst)) = self.kacc_plan(src, s_base, a_base, var, i0, step, t)
+                else {
+                    return false;
+                };
+                let Some((did, df0, dstr)) = self.kacc_plan(dst, s_base, a_base, var, i0, step, t)
+                else {
+                    return false;
+                };
+                let sp = self.heap[sid].data.as_ptr();
+                let dp = self.heap[did].data.as_mut_ptr();
+                for k in 0..t {
+                    unsafe {
+                        let v = *sp.add((sf0 + k * sst) as usize);
+                        *dp.add((df0 + k * dstr) as usize) = v;
+                    }
+                }
+            }
+            KBody::EBin { op, dst, l, r } => {
+                let Some(rl) = resolve(self, l) else {
+                    return false;
+                };
+                let Some(rr) = resolve(self, r) else {
+                    return false;
+                };
+                let Some((did, df0, dstr)) = self.kacc_plan(dst, s_base, a_base, var, i0, step, t)
+                else {
+                    return false;
+                };
+                let dp = self.heap[did].data.as_mut_ptr();
+                for k in 0..t {
+                    let a = rop_val(&rl, k);
+                    let b = rop_val(&rr, k);
+                    let out = apply_bin(*op, a, b).as_r();
+                    unsafe { *dp.add((df0 + k * dstr) as usize) = out };
+                }
+            }
+            KBody::Fma {
+                op,
+                dst,
+                acc,
+                ml,
+                mr,
+            } => {
+                let Some(racc) = resolve(self, acc) else {
+                    return false;
+                };
+                let Some(rml) = resolve(self, ml) else {
+                    return false;
+                };
+                let Some(rmr) = resolve(self, mr) else {
+                    return false;
+                };
+                let Some((did, df0, dstr)) = self.kacc_plan(dst, s_base, a_base, var, i0, step, t)
+                else {
+                    return false;
+                };
+                let dp = self.heap[did].data.as_mut_ptr();
+                for k in 0..t {
+                    let x = rop_val(&rml, k);
+                    let y = rop_val(&rmr, k);
+                    let m = apply_bin(SBinOp::Mul, x, y);
+                    let a = rop_val(&racc, k);
+                    let out = apply_bin(*op, a, m).as_r();
+                    unsafe { *dp.add((df0 + k * dstr) as usize) = out };
+                }
+            }
+            KBody::RedBin {
+                op,
+                slot,
+                e,
+                acc_left,
+            } => {
+                let Some((eid, f0, st)) = self.kacc_plan(e, s_base, a_base, var, i0, step, t)
+                else {
+                    return false;
+                };
+                let p = self.heap[eid].data.as_ptr();
+                let mut acc = self.scalars[s_base + *slot as usize];
+                for k in 0..t {
+                    let ev = Value::R(unsafe { *p.add((f0 + k * st) as usize) });
+                    acc = if *acc_left {
+                        apply_bin(*op, acc, ev)
+                    } else {
+                        apply_bin(*op, ev, acc)
+                    };
+                }
+                self.scalars[s_base + *slot as usize] = acc;
+            }
+            KBody::Swap { x, y, tmp } => {
+                let Some((xid, xf0, xst)) = self.kacc_plan(x, s_base, a_base, var, i0, step, t)
+                else {
+                    return false;
+                };
+                let Some((yid, yf0, yst)) = self.kacc_plan(y, s_base, a_base, var, i0, step, t)
+                else {
+                    return false;
+                };
+                let xp = self.heap[xid].data.as_mut_ptr();
+                let yp = self.heap[yid].data.as_mut_ptr();
+                let mut last_x = 0.0f64;
+                for k in 0..t {
+                    unsafe {
+                        let xv = *xp.add((xf0 + k * xst) as usize);
+                        let yv = *yp.add((yf0 + k * yst) as usize);
+                        *xp.add((xf0 + k * xst) as usize) = yv;
+                        *yp.add((yf0 + k * yst) as usize) = xv;
+                        last_x = xv;
+                    }
+                }
+                // The interpreted body leaves the last swapped-out value
+                // in the temporary (t >= 1 here).
+                self.scalars[s_base + *tmp as usize] = Value::R(last_x);
+            }
+            KBody::ArgMax {
+                e,
+                intr,
+                cmp,
+                dmax,
+                idx,
+            } => {
+                let Some((eid, f0, st)) = self.kacc_plan(e, s_base, a_base, var, i0, step, t)
+                else {
+                    return false;
+                };
+                let p = self.heap[eid].data.as_ptr();
+                let mut best = self.scalars[s_base + *dmax as usize];
+                let mut best_i: Option<i64> = None;
+                let mut takes = 0u64;
+                for k in 0..t {
+                    let av = Value::R(unsafe { *p.add((f0 + k * st) as usize) });
+                    let m = apply_intr(*intr, &[av]);
+                    if apply_bin(*cmp, m, best).truthy() {
+                        takes += 1;
+                        best = m;
+                        best_i = Some(i0 + k * step);
+                    }
+                }
+                self.scalars[s_base + *dmax as usize] = best;
+                if let Some(bi) = best_i {
+                    self.scalars[s_base + *idx as usize] = Value::I(bi);
+                }
+                self.pending_ops += takes * kl.taken_ops;
+                self.pending_flops += takes * kl.taken_flops;
+            }
+        }
+        self.pending_ops += t as u64 * kl.ops_per_iter;
+        self.pending_flops += t as u64 * kl.flops_per_iter;
+        true
     }
 
     /// Evaluates a section's bounds from registers and returns its point
@@ -482,6 +771,7 @@ fn exec(vm: &mut Vm) {
         let switched = 'frame: loop {
             let instr = &code[pc];
             vm.instrs += 1;
+            vm.mix[op_idx(instr)] += 1;
             pc += 1;
             match instr {
                 Instr::LdI { dst, v } => {
@@ -715,6 +1005,78 @@ fn exec(vm: &mut Vm) {
                         vm.pending_ops += 1; // loop bookkeeping
                         pc = *body as usize;
                     }
+                }
+                Instr::KLoop(kl) => {
+                    // Fused inner loop: identical enter test to LoopHead,
+                    // then the whole trip count in one dispatch. On any
+                    // precondition failure (`run_kloop` returns false with
+                    // no side effects) this does exactly what LoopHead
+                    // would have and falls through to the intact body.
+                    let iv = reg!(kl.i).as_i();
+                    let hv = reg!(kl.hi).as_i();
+                    if (kl.step > 0 && iv <= hv) || (kl.step < 0 && iv >= hv) {
+                        let t = (hv - iv) / kl.step + 1;
+                        if vm.run_kloop(kl, s_base, a_base, iv, t) {
+                            reg_set!(kl.i, Value::I(iv + t * kl.step));
+                            let idx = s_base + kl.var as usize;
+                            debug_assert!(idx < vm.scalars.len());
+                            unsafe {
+                                *vm.scalars.as_mut_ptr().add(idx) = Value::I(iv + (t - 1) * kl.step)
+                            };
+                            vm.fused += t as u64 * kl.fused_per_iter as u64;
+                            pc = kl.exit as usize;
+                        } else {
+                            let idx = s_base + kl.var as usize;
+                            debug_assert!(idx < vm.scalars.len());
+                            unsafe { *vm.scalars.as_mut_ptr().add(idx) = Value::I(iv) };
+                            vm.pending_ops += 1; // loop bookkeeping
+                        }
+                    } else {
+                        pc = kl.exit as usize;
+                    }
+                }
+                Instr::MovVar { dst, src } => {
+                    // Fused LdVar+StVar: scalar-to-scalar move, uncharged
+                    // like its constituents.
+                    let si = s_base + *src as usize;
+                    let di = s_base + *dst as usize;
+                    debug_assert!(si < vm.scalars.len() && di < vm.scalars.len());
+                    unsafe {
+                        let v = *vm.scalars.as_ptr().add(si);
+                        *vm.scalars.as_mut_ptr().add(di) = v;
+                    }
+                    vm.fused += 1;
+                    pc += 1; // skip the replaced StVar
+                }
+                Instr::BinSS { op, dst, l, r } => {
+                    // Fused leaf+leaf+Bin+StVar: runtime-typed charge
+                    // identical to the constituent Bin.
+                    let a = vm.ksrc_val(l, s_base);
+                    let b = vm.ksrc_val(r, s_base);
+                    if matches!(a, Value::R(_)) || matches!(b, Value::R(_)) {
+                        vm.pending_flops += 1;
+                    } else {
+                        vm.pending_ops += 1;
+                    }
+                    let idx = s_base + *dst as usize;
+                    debug_assert!(idx < vm.scalars.len());
+                    unsafe { *vm.scalars.as_mut_ptr().add(idx) = apply_bin(*op, a, b) };
+                    vm.fused += 3;
+                    pc += 3; // skip the replaced leaves and StVar
+                }
+                Instr::LdElemVar { slot, acc } => {
+                    // Fused LoadS+StVar: element load straight into a
+                    // scalar slot, charged like the constituent LoadS.
+                    let id = vm.atab[a_base + acc.arr as usize];
+                    vm.pending_ops += (acc.n as u64) + acc.extra_ops as u64;
+                    let store = &vm.heap[id];
+                    let flat = flat_of_sub!(store, acc.subs, acc.n);
+                    let v = Value::R(store.data[flat]);
+                    let idx = s_base + *slot as usize;
+                    debug_assert!(idx < vm.scalars.len());
+                    unsafe { *vm.scalars.as_mut_ptr().add(idx) = v };
+                    vm.fused += 1;
+                    pc += 1; // skip the replaced StVar
                 }
                 Instr::Call(ca) => {
                     vm.do_call(ca, r_base, a_base, pc);

@@ -231,6 +231,32 @@ fn overlap_same_traffic_less_time() {
             ov.time_us,
             full.time_us
         );
+        // Buffer-pool parity: posting acquires exactly as many buffers as
+        // the blocking schedule did (one per message), and Overlap may
+        // out-grow Full's pool only by its in-flight window — at most one
+        // outstanding post per rank — never with the iteration count.
+        assert_eq!(
+            ov.pool_allocs + ov.pool_reuses,
+            full.pool_allocs + full.pool_reuses,
+            "{what}: Overlap changed the number of pooled buffer acquisitions"
+        );
+        assert!(
+            ov.pool_allocs < full.pool_allocs + p as u64,
+            "{what}: Overlap grew the pool to {} buffers (Full: {}), above \
+             its in-flight window of p-1={}",
+            ov.pool_allocs,
+            full.pool_allocs,
+            p - 1
+        );
+        if what == "dgefa" {
+            // The pivot-broadcast pipeline keeps at most one post in
+            // flight per root, so the pool never reaches p buffers.
+            assert!(
+                ov.pool_allocs < p as u64,
+                "dgefa: pivot pipeline holds {} buffers, expected < p={p}",
+                ov.pool_allocs
+            );
+        }
         if what == "dgefa" {
             assert!(
                 ov.time_us < full.time_us,

@@ -86,26 +86,30 @@ fn assert_identical(t: &ExecOutput, b: &ExecOutput, ctx: &str) {
 }
 
 /// Compiles `src` once and runs it under both engines on fresh
-/// machines, with `named` as the initial array contents.
+/// machines, with `named` as the initial array contents. The bytecode
+/// engine runs twice — superinstruction fusion on and off — and both
+/// runs must match the tree walker bit for bit, so a fused kernel that
+/// drifts from its constituent instructions fails here.
 fn engines_agree(src: &str, opts: &CompileOptions, named: &[(String, Vec<f64>)], ctx: &str) {
     let out = compile(src, opts).unwrap_or_else(|e| panic!("{ctx}: compile failed: {e}"));
     let mut init = BTreeMap::new();
     for (name, data) in named {
         init.insert(out.spmd.interner.get(name).unwrap(), data.clone());
     }
-    let run = |engine| {
+    let run = |exec_opts: ExecOptions| {
         let machine = Machine::new(out.spmd.nprocs);
-        try_run_spmd(
-            &out.spmd,
-            &machine,
-            &init,
-            &ExecOptions::new().engine(engine),
-        )
-        .unwrap_or_else(|f| panic!("{ctx}: {f}"))
+        try_run_spmd(&out.spmd, &machine, &init, &exec_opts)
+            .unwrap_or_else(|f| panic!("{ctx}: {f}"))
     };
-    let t = run(ExecEngine::Tree);
-    let b = run(ExecEngine::Bytecode);
-    assert_identical(&t, &b, ctx);
+    let t = run(ExecOptions::new().engine(ExecEngine::Tree));
+    let b = run(ExecOptions::new().engine(ExecEngine::Bytecode));
+    assert_identical(&t, &b, &format!("{ctx}/kernels-on"));
+    let b_plain = run(ExecOptions::new()
+        .engine(ExecEngine::Bytecode)
+        .kernels(false));
+    assert_identical(&t, &b_plain, &format!("{ctx}/kernels-off"));
+    // Fusion must actually be off: no dispatches retired in kernels.
+    assert_eq!(b_plain.stats.fused_instrs, 0, "{ctx}: kernels(false) fused");
 }
 
 /// Deterministic non-trivial contents for every main-program array
