@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fortrand::corpus::{dgefa_matrix, dgefa_source};
-use fortrand::{CompileOptions, ExecEngine, Strategy};
-use fortrand_bench::{compile, run_spmd_engine};
+use fortrand::{Bytecode, CompileOptions, ExecOptions, Strategy, Tree};
+use fortrand_bench::{compile, run_spmd_opts};
 use fortrand_machine::Machine;
 use std::collections::BTreeMap;
 
@@ -26,14 +26,17 @@ fn bench_engines(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("sim_time");
     g.sample_size(10);
-    for (name, engine) in [
-        ("dgefa_n64_p4_tree", ExecEngine::Tree),
-        ("dgefa_n64_p4_bytecode", ExecEngine::Bytecode),
+    for (name, opts) in [
+        ("dgefa_n64_p4_tree", ExecOptions::new().backend(Tree)),
+        (
+            "dgefa_n64_p4_bytecode",
+            ExecOptions::new().backend(Bytecode),
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let machine = Machine::new(p);
-                run_spmd_engine(&out.spmd, &machine, &init, engine)
+                run_spmd_opts(&out.spmd, &machine, &init, &opts)
                     .stats
                     .time_us
             })

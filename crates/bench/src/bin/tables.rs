@@ -13,12 +13,15 @@
 
 use fortrand::corpus::{dgefa_matrix, dgefa_source};
 use fortrand::recompile::{self, ModuleDb};
-use fortrand::{record_exec_stats, CompileOptions, DynOptLevel, ExecEngine, Session, Strategy};
+use fortrand::{
+    record_exec_stats, rustc_available, Bytecode, CompileOptions, DynOptLevel, ExecOptions,
+    Session, Strategy, Tree,
+};
 use fortrand_analysis::acg::build_acg;
 use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
 use fortrand_analysis::reaching;
 use fortrand_bench::{
-    compile, exp_delayed, exp_dgefa, exp_remap, exp_resolution, render_rows, run_spmd_engine, Row,
+    compile, exp_delayed, exp_dgefa, exp_remap, exp_resolution, render_rows, run_spmd_opts, Row,
 };
 use fortrand_spmd::print::{pretty, pretty_all};
 
@@ -108,14 +111,13 @@ fn main() {
             if with_matrix {
                 init.insert(out.spmd.interner.get("a").unwrap(), dgefa_matrix(64));
             }
-            for engine in [ExecEngine::Tree, ExecEngine::Bytecode] {
+            for opts in [
+                ExecOptions::new().backend(Tree),
+                ExecOptions::new().backend(Bytecode),
+            ] {
                 let machine = fortrand_machine::Machine::new(out.spmd.nprocs);
-                let res = run_spmd_engine(&out.spmd, &machine, &init, engine);
-                record_exec_stats(
-                    &mut out.report,
-                    &format!("{engine:?}").to_lowercase(),
-                    &res.stats,
-                );
+                let res = run_spmd_opts(&out.spmd, &machine, &init, &opts);
+                record_exec_stats(&mut out.report, opts.backend.name(), &res.stats);
             }
             println!("{label}:");
             for st in &out.report.pass_stats {
@@ -650,6 +652,78 @@ fn main() {
                 std::process::exit(1);
             }
             println!("check passed");
+        }
+    }
+    if want("native") {
+        banner("NATIVE — compiled node programs vs bytecode VM");
+        if !rustc_available() {
+            // Graceful skip: a runner without a toolchain still passes
+            // `tables native --check` (the gate only fires where the
+            // backend can actually run).
+            println!("SKIP: no rustc toolchain on PATH — native backend unavailable");
+        } else {
+            let mut init = std::collections::BTreeMap::new();
+            init.insert("a", dgefa_matrix(256));
+            let t = fortrand_bench::native_experiment(
+                "dgefa n=256 p=8",
+                &dgefa_source(256, 8),
+                8,
+                &init,
+                3,
+            );
+            println!(
+                "{}: VM {} us, native {} us ({} us incl. emit+rustc) — {:.2}x, {} msgs / {} bytes, outputs {}",
+                t.label,
+                t.vm_wall_us,
+                t.native_wall_us,
+                t.build_wall_us,
+                t.speedup(),
+                t.msgs,
+                t.bytes,
+                if t.identical { "identical" } else { "DIVERGED" }
+            );
+            if json {
+                let doc = fortrand_bench::native_report(&t);
+                std::fs::write("BENCH_native.json", doc.pretty()).expect("write BENCH_native.json");
+                println!("wrote BENCH_native.json");
+            }
+            if check {
+                let threshold_path = concat!(env!("CARGO_MANIFEST_DIR"), "/native_threshold.json");
+                let text = std::fs::read_to_string(threshold_path)
+                    .unwrap_or_else(|e| panic!("read {threshold_path}: {e}"));
+                let limits = fortrand::json::parse(&text).expect("parse native_threshold.json");
+                let min_x100 = limits
+                    .get("dgefa_n256_p8_min_speedup_x100")
+                    .and_then(|v| v.as_int())
+                    .expect("dgefa_n256_p8_min_speedup_x100");
+                let mut failed = false;
+                if !t.identical {
+                    eprintln!(
+                        "GATE FAIL: {}: native outputs diverged from the bytecode VM",
+                        t.label
+                    );
+                    failed = true;
+                }
+                let x100 = (t.speedup() * 100.0) as i128;
+                println!(
+                    "{}: native speedup {:.2}x              (threshold {:.2}x)",
+                    t.label,
+                    t.speedup(),
+                    min_x100 as f64 / 100.0
+                );
+                if x100 < min_x100 {
+                    eprintln!(
+                        "GATE FAIL: native speedup {:.2}x below threshold {:.2}x",
+                        t.speedup(),
+                        min_x100 as f64 / 100.0
+                    );
+                    failed = true;
+                }
+                if failed {
+                    std::process::exit(1);
+                }
+                println!("gate passed");
+            }
         }
     }
     if want("weakscale") {

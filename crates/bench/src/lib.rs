@@ -14,7 +14,7 @@ use fortrand::corpus::{dgefa_matrix, dgefa_source, fig15_source, fig4_source, re
 use fortrand::json::Json;
 use fortrand::{CommOpt, CompileOptions, DynOptLevel, Strategy};
 use fortrand_machine::{Machine, RunStats, HIST_LABELS};
-use fortrand_spmd::{try_run_spmd, ExecEngine, ExecOptions, ExecOutput, SpmdProgram};
+use fortrand_spmd::{try_run_spmd, Bytecode, ExecOptions, ExecOutput, Native, SpmdProgram, Tree};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -36,25 +36,24 @@ pub fn compile(
     }
 }
 
-/// Panic-on-failure runner on the default engine (replaces the retired
+/// Panic-on-failure runner on the default backend (replaces the retired
 /// `fortrand_spmd::run_spmd` wrapper for the harness).
 pub fn run_spmd(
     prog: &SpmdProgram,
     machine: &Machine,
     init: &BTreeMap<fortrand_ir::Sym, Vec<f64>>,
 ) -> ExecOutput {
-    run_spmd_engine(prog, machine, init, ExecEngine::default())
+    run_spmd_opts(prog, machine, init, &ExecOptions::new())
 }
 
-/// [`run_spmd`] with an explicit execution engine.
-pub fn run_spmd_engine(
+/// [`run_spmd`] with explicit execution options (backend selection etc.).
+pub fn run_spmd_opts(
     prog: &SpmdProgram,
     machine: &Machine,
     init: &BTreeMap<fortrand_ir::Sym, Vec<f64>>,
-    engine: ExecEngine,
+    opts: &ExecOptions,
 ) -> ExecOutput {
-    try_run_spmd(prog, machine, init, &ExecOptions::new().engine(engine))
-        .unwrap_or_else(|f| panic!("{f}"))
+    try_run_spmd(prog, machine, init, opts).unwrap_or_else(|f| panic!("{f}"))
 }
 
 /// Compiles and simulates one program; panics on compile errors (the
@@ -411,20 +410,20 @@ pub fn engine_experiment(
             init.insert(s, data.clone());
         }
     }
-    let run = |engine: ExecEngine| -> (ExecOutput, u64) {
+    let run = |opts: &ExecOptions| -> (ExecOutput, u64) {
         let mut best = u64::MAX;
         let mut result = None;
         for _ in 0..reps.max(1) {
             let machine = Machine::new(nprocs);
             let t0 = Instant::now();
-            let r = run_spmd_engine(&out.spmd, &machine, &init, engine);
+            let r = run_spmd_opts(&out.spmd, &machine, &init, opts);
             best = best.min(t0.elapsed().as_micros() as u64);
             result = Some(r);
         }
         (result.unwrap(), best.max(1))
     };
-    let (tree, tree_wall_us) = run(ExecEngine::Tree);
-    let (vm, bytecode_wall_us) = run(ExecEngine::Bytecode);
+    let (tree, tree_wall_us) = run(&ExecOptions::new().backend(Tree));
+    let (vm, bytecode_wall_us) = run(&ExecOptions::new().backend(Bytecode));
     EngineTiming {
         label: label.into(),
         tree_wall_us,
@@ -542,6 +541,150 @@ pub fn sim_report_of(timings: &[EngineTiming]) -> Json {
     ])
 }
 
+/// Host wall-clock comparison of the bytecode VM against the native
+/// codegen backend on one program (the `tables native` report). The VM
+/// wall includes bytecode lowering; the native wall is the child
+/// process's run time only — the `rustc` build is a compile-time cost
+/// and is reported separately.
+#[derive(Debug, Clone)]
+pub struct NativeTiming {
+    /// Experiment label.
+    pub label: String,
+    /// Bytecode-VM wall-clock, min over reps (µs, host time).
+    pub vm_wall_us: u64,
+    /// Native-process run wall-clock, min over reps (µs, host time,
+    /// excludes the `rustc` build).
+    pub native_wall_us: u64,
+    /// Wall-clock of one emit + `rustc` build + run round trip (µs).
+    pub build_wall_us: u64,
+    /// Total messages (identical across backends by construction).
+    pub msgs: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Whether every shared observable (message totals, histogram,
+    /// per-tag counts, final arrays bit for bit, printed output) matched
+    /// between the VM and the native process. Simulated clock, flop and
+    /// op counts are simulator-only and excluded.
+    pub identical: bool,
+}
+
+impl NativeTiming {
+    /// Wall-clock speedup of the native process over the bytecode VM.
+    pub fn speedup(&self) -> f64 {
+        self.vm_wall_us as f64 / self.native_wall_us.max(1) as f64
+    }
+}
+
+/// True iff a simulator run and a native run agree on every observable
+/// the two worlds share (traffic, arrays, printed output — not the
+/// simulated clock, which the native process does not model).
+pub fn native_outputs_identical(sim: &ExecOutput, nat: &ExecOutput) -> bool {
+    sim.stats.total_msgs == nat.stats.total_msgs
+        && sim.stats.total_bytes == nat.stats.total_bytes
+        && sim.stats.total_remaps == nat.stats.total_remaps
+        && sim.stats.msg_hist == nat.stats.msg_hist
+        && sim.stats.msgs_by_tag == nat.stats.msgs_by_tag
+        && sim.arrays.len() == nat.arrays.len()
+        && sim.arrays.iter().all(|(name, sv)| {
+            nat.arrays.get(name).is_some_and(|nv| {
+                sv.len() == nv.len() && sv.iter().zip(nv).all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+        })
+        && sim.printed == nat.printed
+}
+
+/// Compiles `src` once, then runs it `reps` times under the bytecode VM
+/// (timed externally, minimum kept) and `reps` times as a native
+/// process (run time from the backend's own wall clock, which excludes
+/// the `rustc` build; minimum kept).
+pub fn native_experiment(
+    label: &str,
+    src: &str,
+    nprocs: usize,
+    init_named: &BTreeMap<&str, Vec<f64>>,
+    reps: usize,
+) -> NativeTiming {
+    let out = compile(
+        src,
+        &CompileOptions::builder()
+            .strategy(Strategy::Interprocedural)
+            .dyn_opt(DynOptLevel::Kills)
+            .comm_opt(CommOpt::Full)
+            .nprocs(nprocs)
+            .build(),
+    )
+    .unwrap_or_else(|e| panic!("compile: {e}"));
+    let mut init = BTreeMap::new();
+    for (name, data) in init_named {
+        if let Some(s) = out.spmd.interner.get(name) {
+            init.insert(s, data.clone());
+        }
+    }
+    let mut vm_wall_us = u64::MAX;
+    let mut vm = None;
+    for _ in 0..reps.max(1) {
+        let machine = Machine::new(nprocs);
+        let t0 = Instant::now();
+        let r = run_spmd_opts(
+            &out.spmd,
+            &machine,
+            &init,
+            &ExecOptions::new().backend(Bytecode),
+        );
+        vm_wall_us = vm_wall_us.min(t0.elapsed().as_micros() as u64);
+        vm = Some(r);
+    }
+    let native_opts = ExecOptions::new().backend(Native {
+        opt_level: 2,
+        keep_artifacts: false,
+    });
+    let mut native_wall_us = u64::MAX;
+    let mut build_wall_us = u64::MAX;
+    let mut nat = None;
+    for _ in 0..reps.max(1) {
+        let machine = Machine::new(nprocs);
+        let t0 = Instant::now();
+        let r = run_spmd_opts(&out.spmd, &machine, &init, &native_opts);
+        build_wall_us = build_wall_us.min(t0.elapsed().as_micros() as u64);
+        native_wall_us = native_wall_us.min(r.stats.wall_us as u64);
+        nat = Some(r);
+    }
+    let (vm, nat) = (vm.unwrap(), nat.unwrap());
+    NativeTiming {
+        label: label.into(),
+        vm_wall_us: vm_wall_us.max(1),
+        native_wall_us: native_wall_us.max(1),
+        build_wall_us: build_wall_us.max(1),
+        msgs: nat.stats.total_msgs,
+        bytes: nat.stats.total_bytes,
+        identical: native_outputs_identical(&vm, &nat),
+    }
+}
+
+/// The `BENCH_native.json` document: dgefa n=256 p=8 under the bytecode
+/// VM and as a compiled native process.
+pub fn native_report(t: &NativeTiming) -> Json {
+    Json::Obj(vec![
+        ("version".into(), Json::Int(1)),
+        ("experiment".into(), Json::str(&t.label)),
+        ("vm_wall_us".into(), Json::Int(t.vm_wall_us as i128)),
+        ("native_wall_us".into(), Json::Int(t.native_wall_us as i128)),
+        ("build_wall_us".into(), Json::Int(t.build_wall_us as i128)),
+        (
+            "speedup_x100".into(),
+            Json::Int((t.speedup() * 100.0) as i128),
+        ),
+        ("speedup".into(), Json::str(format!("{:.2}", t.speedup()))),
+        ("msgs".into(), Json::Int(t.msgs as i128)),
+        ("bytes".into(), Json::Int(t.bytes as i128)),
+        ("arrays_match".into(), Json::Bool(t.identical)),
+        (
+            "rustc".into(),
+            Json::str(fortrand_spmd::codegen::rustc_version().unwrap_or_default()),
+        ),
+    ])
+}
+
 /// Opcode-mix profile of one bytecode run (the `tables vmprof` report):
 /// dynamic dispatch counts per opcode plus the dispatches that fused
 /// kernels retired without entering the dispatch loop.
@@ -595,7 +738,7 @@ pub fn vmprof_dgefa(n: i64, p: usize) -> VmProfile {
         &out.spmd,
         &machine,
         &init,
-        &ExecOptions::new().engine(ExecEngine::Bytecode),
+        &ExecOptions::new().backend(Bytecode),
     )
     .unwrap_or_else(|f| panic!("vmprof dgefa n={n} p={p}: {f}"));
     let mut mix = run.stats.instr_mix.clone();

@@ -60,10 +60,14 @@ pub use driver::{
     compile_with_trace, record_exec_stats, CompileError, CompileMode, CompileOptions,
     CompileOptionsBuilder, CompileOutput, CompileReport,
 };
+pub use fortrand_spmd::codegen::rustc_available;
 pub use fortrand_spmd::opt::{CommOpt, OptReport};
 #[cfg(feature = "legacy")]
 pub use fortrand_spmd::{run_spmd, run_spmd_engine};
-pub use fortrand_spmd::{try_run_spmd, ExecEngine, ExecOptions, MachineKind, RankFailure};
+pub use fortrand_spmd::{
+    try_run_spmd, Bytecode, ExecBackend, ExecEngine, ExecError, ExecOptions, MachineKind, Native,
+    RankFailure, RunOutcome, Tree,
+};
 pub use fortrand_trace::{
     ChromeTraceSink, JsonLinesSink, MemorySink, Trace, TraceSink, PID_COMPILE, PID_MACHINE,
 };

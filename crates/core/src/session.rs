@@ -36,7 +36,7 @@ use fortrand_machine::{Machine, RankFailure};
 use fortrand_spmd::ir::SpmdProgram;
 use fortrand_spmd::opt::CommOpt;
 use fortrand_spmd::print::pretty_all;
-use fortrand_spmd::{try_run_spmd, ExecOptions, ExecOutput};
+use fortrand_spmd::{try_run_spmd, ExecError, ExecOptions, ExecOutput};
 use fortrand_trace::{Trace, TraceSink};
 use std::collections::BTreeMap;
 
@@ -49,8 +49,10 @@ use std::collections::BTreeMap;
 pub enum Error {
     /// Compilation failed (front end, interprocedural analysis, codegen).
     Compile(CompileError),
-    /// A simulated rank panicked during execution.
-    Exec(RankFailure),
+    /// Execution failed: a rank panicked (in a simulator or inside the
+    /// natively compiled node program), or the backend itself could not
+    /// run the program (e.g. no `rustc` for the native backend).
+    Exec(ExecError),
     /// Trace sink I/O failed on flush.
     Io(std::io::Error),
 }
@@ -83,6 +85,12 @@ impl From<CompileError> for Error {
 
 impl From<RankFailure> for Error {
     fn from(e: RankFailure) -> Error {
+        Error::Exec(ExecError::Rank(e))
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Error {
         Error::Exec(e)
     }
 }

@@ -19,11 +19,15 @@
 //! yields the execution time, message count and volume that the benchmark
 //! harness reports.
 //!
-//! Two engines execute node programs — the bytecode VM (default; programs
-//! are flattened by [`lower`] and run by [`vm`]) and the reference
-//! tree-walker ([`interp`]). Both produce bit-identical simulated results;
-//! pick explicitly with [`run_spmd_engine`].
+//! Three [`ExecBackend`]s execute node programs — the bytecode VM
+//! (default; programs are flattened by [`lower`] and run by [`vm`]), the
+//! reference tree-walker ([`interp`]), and the native backend
+//! ([`codegen`]), which pretty-prints the program as standalone Rust,
+//! builds it with `rustc` against the `fortrand-shim` runtime crate, and
+//! runs it for real. All three produce identical program-defined
+//! observables; pick one with [`ExecOptions::backend`].
 
+pub mod codegen;
 pub mod interp;
 pub mod ir;
 mod lower;
@@ -33,6 +37,7 @@ pub mod rewrite;
 mod runtime;
 mod vm;
 
+pub use codegen::Native;
 pub use ir::{
     DistId, SActual, SBinOp, SDecl, SExpr, SIntr, SLval, SProc, SRect, SStmt, SpmdProgram,
 };
@@ -40,12 +45,17 @@ pub use opt::{optimize, CommOpt, OptReport};
 pub use print::pretty;
 #[cfg(feature = "legacy")]
 pub use runtime::{run_spmd, run_spmd_engine};
-pub use runtime::{try_run_spmd, ExecEngine, ExecOptions, ExecOutput, MachineKind, RankFailure};
+pub use runtime::{
+    try_run_spmd, Bytecode, ExecBackend, ExecEngine, ExecError, ExecOptions, ExecOutput,
+    MachineKind, RankFailure, RunOutcome, Tree,
+};
 
 // Compile-time thread-safety audit: compiled node programs are cached in
 // the shared artifact store and executed from server threads, so the IR
 // (and a rank failure carried across a join) must stay Send + Sync.
 const fn assert_send_sync<T: Send + Sync>() {}
 const _: () = assert_send_sync::<ir::SpmdProgram>();
-const _: () = assert_send_sync::<runtime::ExecOutput>();
+const _: () = assert_send_sync::<runtime::RunOutcome>();
+const _: () = assert_send_sync::<runtime::ExecOptions>();
+const _: () = assert_send_sync::<runtime::ExecError>();
 const _: () = assert_send_sync::<runtime::RankFailure>();

@@ -15,7 +15,8 @@ use fortrand_ir::Sym;
 use fortrand_machine::{Machine, Node, RunStats};
 pub use fortrand_machine::{MachineKind, RankFailure};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Accounting tag under which plain broadcasts ([`SStmt::Bcast`],
 /// [`SStmt::BcastScalar`]) are recorded in the machine's per-tag message
@@ -26,11 +27,14 @@ pub const TAG_BCAST_PACK: u64 = (1 << 32) + 1;
 /// Tag space reserved for remap traffic (compiler tags stay below this).
 pub(crate) const REMAP_TAG_BASE: u64 = 1 << 40;
 
-/// Which execution engine runs the node program.
+/// Legacy engine selector, kept so existing call sites (and the `legacy`
+/// feature's wrappers) compile unchanged.
 ///
-/// Both engines charge identical costs to the simulated machine; they
-/// differ only in host wall-clock. The bytecode VM is the default; the
-/// tree-walker is kept as the reference for differential testing.
+/// Deprecated in favor of [`ExecBackend`] values passed to
+/// [`ExecOptions::backend`]; [`ExecOptions::engine`] maps each variant to
+/// the equivalent backend ([`Tree`] / [`Bytecode`]). The native backend
+/// (`crate::codegen::Native`) has no `ExecEngine` spelling — it predates
+/// the trait and stays frozen at these two simulator engines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ExecEngine {
     /// Reference tree-walking interpreter over the [`SStmt`]/[`SExpr`] IR.
@@ -41,47 +45,161 @@ pub enum ExecEngine {
     Bytecode,
 }
 
-/// Result of running a node program.
+/// Unified result of running a node program under any [`ExecBackend`].
 #[derive(Debug)]
 #[non_exhaustive]
-pub struct ExecOutput {
-    /// Machine statistics (time, messages, bytes, flops…).
+pub struct RunOutcome {
+    /// Run statistics. Simulator backends fill the full virtual-clock
+    /// cost model; the native backend reports real message/byte tallies
+    /// (parsed from the emitted program's stats protocol) with the
+    /// simulated-time fields zeroed and `wall_us` set to the node
+    /// program's host wall-clock.
     pub stats: RunStats,
     /// Final global contents of every array declared in the entry
     /// procedure, row-major over the array's global extents.
     pub arrays: BTreeMap<Sym, Vec<f64>>,
     /// Lines printed by rank 0 (`print *` statements).
     pub printed: Vec<String>,
+    /// Build artifacts kept on disk, if the backend produced any and was
+    /// asked to keep them (e.g. `Native { keep_artifacts: true }` leaves
+    /// the emitted source, binary, and IO files in this directory).
+    /// `None` for the simulator backends.
+    pub artifact: Option<PathBuf>,
+}
+
+/// Former name of [`RunOutcome`]; kept as an alias for existing call
+/// sites (the struct gained the `artifact` field in the rename).
+pub type ExecOutput = RunOutcome;
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum ExecError {
+    /// A rank panicked (deadlock diagnostic, subscript out of local
+    /// bounds, …) — in the simulators or inside the emitted native
+    /// program.
+    Rank(RankFailure),
+    /// The backend itself could not run the program: `rustc` missing,
+    /// the emitted program failed to compile, the stats protocol came
+    /// back malformed, …
+    Backend(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Rank(r) => write!(f, "{r}"),
+            ExecError::Backend(m) => write!(f, "backend failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Rank(r) => Some(r),
+            ExecError::Backend(_) => None,
+        }
+    }
+}
+
+impl From<RankFailure> for ExecError {
+    fn from(f: RankFailure) -> ExecError {
+        ExecError::Rank(f)
+    }
+}
+
+/// A pluggable way to execute a compiled node program.
+///
+/// The two simulator engines ([`Tree`], [`Bytecode`]) and the native
+/// codegen backend (`crate::codegen::Native`) all implement this; which
+/// one runs is selected by [`ExecOptions::backend`]. Implementations must
+/// agree on every program-defined observable (final arrays bit for bit,
+/// printed lines, message/byte/remap counts, size histogram, per-tag
+/// traffic) — `tests/native.rs` and `tests/engines.rs` enforce this
+/// differentially. Host-side metrics (`wall_us`, instruction counters)
+/// and the simulated clock are backend-specific.
+pub trait ExecBackend: Send + Sync + std::fmt::Debug {
+    /// Short stable name for reports and bench tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs `prog` (already checked against `machine.nprocs`) with the
+    /// given initial arrays.
+    fn run(
+        &self,
+        prog: &SpmdProgram,
+        machine: &Machine,
+        init: &BTreeMap<Sym, Vec<f64>>,
+        opts: &ExecOptions,
+    ) -> Result<RunOutcome, ExecError>;
+}
+
+/// Reference tree-walking interpreter backend ([`crate::interp`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tree;
+
+impl ExecBackend for Tree {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+    fn run(
+        &self,
+        prog: &SpmdProgram,
+        machine: &Machine,
+        init: &BTreeMap<Sym, Vec<f64>>,
+        _opts: &ExecOptions,
+    ) -> Result<RunOutcome, ExecError> {
+        crate::interp::run_tree(prog, machine, init).map_err(ExecError::Rank)
+    }
+}
+
+/// Bytecode-VM backend ([`crate::vm`]), the default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bytecode;
+
+impl ExecBackend for Bytecode {
+    fn name(&self) -> &'static str {
+        "bytecode"
+    }
+    fn run(
+        &self,
+        prog: &SpmdProgram,
+        machine: &Machine,
+        init: &BTreeMap<Sym, Vec<f64>>,
+        opts: &ExecOptions,
+    ) -> Result<RunOutcome, ExecError> {
+        crate::vm::run_bytecode(prog, machine, init, opts.kernels).map_err(ExecError::Rank)
+    }
 }
 
 /// Execution knobs for running a compiled node program. Built with
 /// chained setters so new knobs never grow a positional-argument list:
 ///
 /// ```ignore
-/// let opts = ExecOptions::new().engine(ExecEngine::Tree);
+/// let opts = ExecOptions::new().backend(codegen::Native::default());
+/// let opts = ExecOptions::new().engine(ExecEngine::Tree); // legacy spelling
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct ExecOptions {
-    /// Which engine interprets the node program
-    /// ([`ExecEngine::Bytecode`] by default).
-    pub engine: ExecEngine,
-    /// Execution-substrate override. `None` (the default) respects the
-    /// [`Machine`]'s own kind; `Some(kind)` re-keys the run onto that
-    /// substrate (event-driven scheduler or thread-per-rank). Observables
-    /// are bit-identical either way — this selects host mechanics only.
+    /// The execution backend ([`Bytecode`] by default).
+    pub backend: Arc<dyn ExecBackend>,
+    /// Execution-substrate override for the simulator backends. `None`
+    /// (the default) respects the [`Machine`]'s own kind; `Some(kind)`
+    /// re-keys the run onto that substrate (event-driven scheduler or
+    /// thread-per-rank). Observables are bit-identical either way — this
+    /// selects host mechanics only. Ignored by the native backend.
     pub machine: Option<MachineKind>,
     /// Whether the bytecode engine's superinstruction fusion tier runs
     /// (`true` by default). Off, the VM dispatches the unfused lowering
     /// one instruction at a time — observables are bit-identical either
-    /// way; this selects host mechanics only. Ignored by the tree engine.
+    /// way; this selects host mechanics only. Ignored by other backends.
     pub kernels: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> ExecOptions {
         ExecOptions {
-            engine: ExecEngine::default(),
+            backend: Arc::new(Bytecode),
             machine: None,
             kernels: true,
         }
@@ -89,15 +207,25 @@ impl Default for ExecOptions {
 }
 
 impl ExecOptions {
-    /// Default options (bytecode engine, fusion on).
+    /// Default options (bytecode backend, fusion on).
     pub fn new() -> ExecOptions {
         ExecOptions::default()
     }
 
-    /// Selects the execution engine.
-    pub fn engine(mut self, engine: ExecEngine) -> ExecOptions {
-        self.engine = engine;
+    /// Selects the execution backend.
+    pub fn backend(mut self, backend: impl ExecBackend + 'static) -> ExecOptions {
+        self.backend = Arc::new(backend);
         self
+    }
+
+    /// Selects a simulator engine by its legacy [`ExecEngine`] name.
+    /// Compatibility shim for pre-`ExecBackend` call sites; equivalent to
+    /// `backend(Tree)` / `backend(Bytecode)`.
+    pub fn engine(self, engine: ExecEngine) -> ExecOptions {
+        match engine {
+            ExecEngine::Tree => self.backend(Tree),
+            ExecEngine::Bytecode => self.backend(Bytecode),
+        }
     }
 
     /// Forces the run onto the given execution substrate, overriding the
@@ -115,15 +243,16 @@ impl ExecOptions {
     }
 }
 
-/// Runs `prog` on `machine`, surfacing a rank panic (e.g. a deadlock
-/// diagnostic) as a [`RankFailure`] value instead of unwinding. This is
-/// the primary entry point; `fortrand::Session::run` builds on it.
+/// Runs `prog` on `machine` under the backend selected by `opts`,
+/// surfacing a rank panic (e.g. a deadlock diagnostic) as an
+/// [`ExecError::Rank`] value instead of unwinding. This is the primary
+/// entry point; `fortrand::Session::run` builds on it.
 pub fn try_run_spmd(
     prog: &SpmdProgram,
     machine: &Machine,
     init: &BTreeMap<Sym, Vec<f64>>,
     opts: &ExecOptions,
-) -> Result<ExecOutput, RankFailure> {
+) -> Result<RunOutcome, ExecError> {
     assert_eq!(
         machine.nprocs, prog.nprocs,
         "program compiled for {} procs, machine has {}",
@@ -137,10 +266,7 @@ pub fn try_run_spmd(
         }
         _ => machine,
     };
-    match opts.engine {
-        ExecEngine::Tree => crate::interp::run_tree(prog, machine, init),
-        ExecEngine::Bytecode => crate::vm::run_bytecode(prog, machine, init, opts.kernels),
-    }
+    opts.backend.run(prog, machine, init, opts)
 }
 
 /// Runs `prog` on `machine` under the default engine ([`ExecEngine::Bytecode`]).
@@ -205,10 +331,11 @@ pub(crate) fn run_harness(
         .into_iter()
         .map(|f| f.expect("rank finished without recording finals"))
         .collect();
-    Ok(ExecOutput {
+    Ok(RunOutcome {
         stats,
         arrays: assemble_arrays(prog, &per_rank),
         printed: printed.into_inner().unwrap_or_else(|p| p.into_inner()),
+        artifact: None,
     })
 }
 

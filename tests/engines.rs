@@ -1,8 +1,8 @@
 //! Differential testing of the two SPMD execution engines.
 //!
-//! The bytecode VM ([`ExecEngine::Bytecode`]) must be observationally
-//! indistinguishable from the reference tree-walker
-//! ([`ExecEngine::Tree`]): identical virtual clock, message counts and
+//! The bytecode VM (the [`Bytecode`] backend) must be observationally
+//! indistinguishable from the reference tree-walker (the [`Tree`]
+//! backend): identical virtual clock, message counts and
 //! volumes, size histogram, per-tag traffic, bit-exact final arrays,
 //! and printed output — across every strategy, dynamic-decomposition
 //! level, communication-optimizer level, and fixture, plus a sampled
@@ -14,7 +14,7 @@ use fortrand::corpus::{dgefa_matrix, dgefa_source};
 use fortrand::{CommOpt, CompileOptions, DynOptLevel, Strategy};
 use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
 use fortrand_machine::Machine;
-use fortrand_spmd::{try_run_spmd, ExecEngine, ExecOptions, ExecOutput};
+use fortrand_spmd::{try_run_spmd, Bytecode, ExecOptions, ExecOutput, Tree};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -101,12 +101,10 @@ fn engines_agree(src: &str, opts: &CompileOptions, named: &[(String, Vec<f64>)],
         try_run_spmd(&out.spmd, &machine, &init, &exec_opts)
             .unwrap_or_else(|f| panic!("{ctx}: {f}"))
     };
-    let t = run(ExecOptions::new().engine(ExecEngine::Tree));
-    let b = run(ExecOptions::new().engine(ExecEngine::Bytecode));
+    let t = run(ExecOptions::new().backend(Tree));
+    let b = run(ExecOptions::new().backend(Bytecode));
     assert_identical(&t, &b, &format!("{ctx}/kernels-on"));
-    let b_plain = run(ExecOptions::new()
-        .engine(ExecEngine::Bytecode)
-        .kernels(false));
+    let b_plain = run(ExecOptions::new().backend(Bytecode).kernels(false));
     assert_identical(&t, &b_plain, &format!("{ctx}/kernels-off"));
     // Fusion must actually be off: no dispatches retired in kernels.
     assert_eq!(b_plain.stats.fused_instrs, 0, "{ctx}: kernels(false) fused");

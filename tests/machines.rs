@@ -22,7 +22,7 @@ use fortrand::corpus::{dgefa_matrix, dgefa_source, relax_source};
 use fortrand::{CommOpt, CompileOptions, DynOptLevel, Strategy};
 use fortrand_analysis::fixtures::{FIG1, FIG15, FIG4};
 use fortrand_machine::{HypercubeNet, Machine, MachineKind, RunStats, TorusNet};
-use fortrand_spmd::{try_run_spmd, ExecEngine, ExecOptions, ExecOutput};
+use fortrand_spmd::{try_run_spmd, Bytecode, ExecOptions, ExecOutput, Tree};
 use fortrand_trace::{MemorySink, Trace, PID_MACHINE};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -110,14 +110,22 @@ fn assert_identical(r: &ExecOutput, c: &ExecOutput, ctx: &str) {
     }
 }
 
-const MATRIX: [(MachineKind, ExecEngine); 3] = [
-    (MachineKind::Threaded, ExecEngine::Bytecode),
-    (MachineKind::Event, ExecEngine::Tree),
-    (MachineKind::Event, ExecEngine::Bytecode),
+fn tree_opts() -> ExecOptions {
+    ExecOptions::new().backend(Tree)
+}
+
+fn vm_opts() -> ExecOptions {
+    ExecOptions::new().backend(Bytecode)
+}
+
+const MATRIX: [(MachineKind, fn() -> ExecOptions); 3] = [
+    (MachineKind::Threaded, vm_opts),
+    (MachineKind::Event, tree_opts),
+    (MachineKind::Event, vm_opts),
 ];
 
-/// Compiles `src` once and runs it on the full substrate × engine
-/// matrix, comparing every combination against the Threaded/Tree
+/// Compiles `src` once and runs it on the full substrate × backend
+/// matrix, comparing every combination against the threaded/[`Tree`]
 /// reference.
 fn machines_agree(src: &str, opts: &CompileOptions, named: &[(String, Vec<f64>)], ctx: &str) {
     let out = compile(src, opts).unwrap_or_else(|e| panic!("{ctx}: compile failed: {e}"));
@@ -125,23 +133,21 @@ fn machines_agree(src: &str, opts: &CompileOptions, named: &[(String, Vec<f64>)]
     for (name, data) in named {
         init.insert(out.spmd.interner.get(name).unwrap(), data.clone());
     }
-    let run = |kind, engine| {
+    let run = |kind, opts: ExecOptions| {
         let machine = Machine::new(out.spmd.nprocs).with_kind(kind);
-        try_run_spmd(
-            &out.spmd,
-            &machine,
-            &init,
-            &ExecOptions::new().engine(engine),
-        )
-        .unwrap_or_else(|e| panic!("{ctx}: {kind:?}/{engine:?} failed: {e}"))
+        let backend = opts.backend.name();
+        try_run_spmd(&out.spmd, &machine, &init, &opts)
+            .unwrap_or_else(|e| panic!("{ctx}: {kind:?}/{backend} failed: {e}"))
     };
-    let reference = run(MachineKind::Threaded, ExecEngine::Tree);
-    for (kind, engine) in MATRIX {
-        let candidate = run(kind, engine);
+    let reference = run(MachineKind::Threaded, tree_opts());
+    for (kind, make_opts) in MATRIX {
+        let opts = make_opts();
+        let backend = opts.backend.name();
+        let candidate = run(kind, opts);
         assert_identical(
             &reference,
             &candidate,
-            &format!("{ctx} [{kind:?}/{engine:?}]"),
+            &format!("{ctx} [{kind:?}/{backend}]"),
         );
     }
 }
